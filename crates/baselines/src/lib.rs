@@ -1,0 +1,31 @@
+//! Baseline algorithms the paper compares `LCF` against (Section IV-A).
+//!
+//! * [`jo_offload_cache`](mod@jo_offload_cache) — per-provider joint caching + offloading after
+//!   \[23\], run independently by every provider;
+//! * [`offload_cache`](mod@offload_cache) — greedy decoupled offload-then-cache after \[20\].
+//!
+//! Both respect cloudlet capacities and are evaluated under the true
+//! congestion-aware social-cost model of `mec-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mec_baselines::{jo_offload_cache, offload_cache, JoConfig};
+//! use mec_workload::{gtitm_scenario, Params};
+//!
+//! let s = gtitm_scenario(100, &Params::paper().with_providers(20), 1);
+//! let greedy = offload_cache(&s.generated);
+//! let joint = jo_offload_cache(&s.generated, &JoConfig::default());
+//! assert!(greedy.profile.is_feasible(&s.generated.market));
+//! assert!(joint.profile.is_feasible(&s.generated.market));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod jo_offload_cache;
+pub mod offload_cache;
+pub mod reference;
+
+pub use jo_offload_cache::{jo_offload_cache, JoConfig};
+pub use offload_cache::{offload_cache, offload_objective, BaselineOutcome};
+pub use reference::{centralized_greedy, nearest_cloudlet, random_placement};

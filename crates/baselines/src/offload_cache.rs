@@ -1,0 +1,146 @@
+//! `OffloadCache` — the greedy decoupled baseline (paper Section IV-A,
+//! after \[20\]).
+//!
+//! Each provider first selects the cloudlet that minimizes its *offloading*
+//! cost (user→cloudlet transmission only), then the service is instantiated
+//! at that cloudlet — or, if it no longer has room, at the next-best
+//! cloudlet by offloading cost, falling back to remote serving. Congestion
+//! and consistency-update costs are ignored during the decision, which is
+//! exactly why the paper finds this baseline's social cost the highest.
+
+use mec_core::strategy::{Placement, Profile};
+use mec_core::ProviderId;
+use mec_workload::GeneratedMarket;
+
+/// Outcome of a baseline algorithm run.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// The placement every provider ended up with.
+    pub profile: Profile,
+    /// Social cost evaluated with the *true* congestion-aware model (Eq. 6).
+    pub social_cost: f64,
+}
+
+/// Runs `OffloadCache` on a generated market.
+///
+/// Providers are processed in id order (the "arrival order" of their cache
+/// requests); capacities are respected, and a provider whose preferred
+/// cloudlets are all full stays remote (or, when remote is forbidden, takes
+/// any cloudlet with room).
+///
+/// # Panics
+///
+/// Panics if a provider can neither be placed nor stay remote.
+pub fn offload_cache(gen: &GeneratedMarket) -> BaselineOutcome {
+    let market = &gen.market;
+    let n = market.provider_count();
+    let mut profile = Profile::all_remote(n);
+    let mut residual: Vec<(f64, f64)> = market
+        .cloudlets()
+        .map(|i| {
+            let c = market.cloudlet(i);
+            (c.compute_capacity, c.bandwidth_capacity)
+        })
+        .collect();
+
+    for l in market.providers() {
+        // Cloudlets ordered by pure offloading cost.
+        let mut order: Vec<_> = market.cloudlets().collect();
+        order.sort_by(|&a, &b| {
+            gen.offload_cost(l, a)
+                .partial_cmp(&gen.offload_cost(l, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index().cmp(&b.index()))
+        });
+        let placed = order
+            .into_iter()
+            .find(|&i| market.fits(l, residual[i.index()]));
+        match placed {
+            Some(i) => {
+                let spec = market.provider(l);
+                residual[i.index()].0 -= spec.compute_demand;
+                residual[i.index()].1 -= spec.bandwidth_demand;
+                profile.set(l, Placement::Cloudlet(i));
+            }
+            None => {
+                assert!(
+                    market.provider(l).can_stay_remote(),
+                    "provider {l} cannot be placed and may not stay remote"
+                );
+                profile.set(l, Placement::Remote);
+            }
+        }
+    }
+
+    let social_cost = profile.social_cost(market);
+    BaselineOutcome {
+        profile,
+        social_cost,
+    }
+}
+
+/// Cost of `l`'s cache request as `OffloadCache` evaluates it (offloading
+/// transmission only) — exposed for tests and diagnostics.
+pub fn offload_objective(gen: &GeneratedMarket, l: ProviderId) -> f64 {
+    gen.market
+        .cloudlets()
+        .map(|i| gen.offload_cost(l, i))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_workload::{gtitm_scenario, Params};
+
+    fn scenario(providers: usize, seed: u64) -> GeneratedMarket {
+        gtitm_scenario(100, &Params::paper().with_providers(providers), seed).generated
+    }
+
+    #[test]
+    fn produces_feasible_profile() {
+        let gen = scenario(40, 1);
+        let out = offload_cache(&gen);
+        assert!(out.profile.is_feasible(&gen.market));
+        assert_eq!(out.profile.len(), 40);
+    }
+
+    #[test]
+    fn social_cost_matches_profile() {
+        let gen = scenario(25, 2);
+        let out = offload_cache(&gen);
+        assert!((out.social_cost - out.profile.social_cost(&gen.market)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn providers_prefer_their_cheapest_offload_cloudlet() {
+        let gen = scenario(5, 3); // few providers: no capacity pressure
+        let out = offload_cache(&gen);
+        for l in gen.market.providers() {
+            if let Placement::Cloudlet(i) = out.profile.placement(l) {
+                let best = gen
+                    .market
+                    .cloudlets()
+                    .map(|j| gen.offload_cost(l, j))
+                    .fold(f64::INFINITY, f64::min);
+                assert!((gen.offload_cost(l, i) - best).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let gen = scenario(30, 4);
+        let a = offload_cache(&gen);
+        let b = offload_cache(&gen);
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn objective_finite() {
+        let gen = scenario(10, 5);
+        for l in gen.market.providers() {
+            assert!(offload_objective(&gen, l).is_finite());
+        }
+    }
+}

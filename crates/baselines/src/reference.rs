@@ -1,0 +1,216 @@
+//! Reference placements that bracket the algorithm space:
+//!
+//! * [`random_placement`] — a capacity-feasible uniformly random profile
+//!   (the "no algorithm at all" floor for comparisons);
+//! * [`nearest_cloudlet`] — every provider caches at the cloudlet closest
+//!   to its users (pure latency chasing, like a CDN heuristic);
+//! * [`centralized_greedy`] — hill-climbing on the social cost from the
+//!   all-remote profile (a strong centralized heuristic that, unlike
+//!   `Appro`, has no approximation guarantee).
+
+use mec_core::local_search::social_local_search;
+use mec_core::strategy::{Placement, Profile};
+use mec_topology::{CloudletId, MecNetwork};
+use mec_workload::GeneratedMarket;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::offload_cache::BaselineOutcome;
+
+/// A uniformly random capacity-feasible placement: each provider tries a
+/// random cloudlet (or remote) in a random order and keeps the first that
+/// fits.
+///
+/// # Panics
+///
+/// Panics if a provider can neither be placed nor stay remote.
+pub fn random_placement(gen: &GeneratedMarket, seed: u64) -> BaselineOutcome {
+    let market = &gen.market;
+    let n = market.provider_count();
+    let m = market.cloudlet_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut profile = Profile::all_remote(n);
+    let mut residual: Vec<(f64, f64)> = market
+        .cloudlets()
+        .map(|i| {
+            let c = market.cloudlet(i);
+            (c.compute_capacity, c.bandwidth_capacity)
+        })
+        .collect();
+    for l in market.providers() {
+        // Random candidate order over cloudlets plus the remote option.
+        let mut order: Vec<usize> = (0..=m).collect();
+        for k in (1..order.len()).rev() {
+            let j = rng.random_range(0..=k);
+            order.swap(k, j);
+        }
+        let mut placed = false;
+        for &cand in &order {
+            if cand == m {
+                if market.provider(l).can_stay_remote() {
+                    profile.set(l, Placement::Remote);
+                    placed = true;
+                    break;
+                }
+            } else {
+                let i = CloudletId(cand);
+                if market.fits(l, residual[i.index()]) {
+                    let spec = market.provider(l);
+                    residual[i.index()].0 -= spec.compute_demand;
+                    residual[i.index()].1 -= spec.bandwidth_demand;
+                    profile.set(l, Placement::Cloudlet(i));
+                    placed = true;
+                    break;
+                }
+            }
+        }
+        assert!(placed, "provider {l} could not be placed anywhere");
+    }
+    let social_cost = profile.social_cost(market);
+    BaselineOutcome {
+        profile,
+        social_cost,
+    }
+}
+
+/// Every provider caches at the cloudlet nearest its users, capacity
+/// permitting (next-nearest otherwise, remote as the last resort).
+///
+/// # Panics
+///
+/// Panics if a provider can neither be placed nor stay remote.
+pub fn nearest_cloudlet(net: &MecNetwork, gen: &GeneratedMarket) -> BaselineOutcome {
+    let market = &gen.market;
+    let n = market.provider_count();
+    let mut profile = Profile::all_remote(n);
+    let mut residual: Vec<(f64, f64)> = market
+        .cloudlets()
+        .map(|i| {
+            let c = market.cloudlet(i);
+            (c.compute_capacity, c.bandwidth_capacity)
+        })
+        .collect();
+    for (idx, meta) in gen.providers.iter().enumerate() {
+        let l = mec_core::ProviderId(idx);
+        let mut order: Vec<CloudletId> = market.cloudlets().collect();
+        order.sort_by(|&a, &b| {
+            net.node_cloudlet_distance(meta.user_node, a)
+                .partial_cmp(&net.node_cloudlet_distance(meta.user_node, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        match order
+            .into_iter()
+            .find(|&i| market.fits(l, residual[i.index()]))
+        {
+            Some(i) => {
+                let spec = market.provider(l);
+                residual[i.index()].0 -= spec.compute_demand;
+                residual[i.index()].1 -= spec.bandwidth_demand;
+                profile.set(l, Placement::Cloudlet(i));
+            }
+            None => {
+                assert!(
+                    market.provider(l).can_stay_remote(),
+                    "provider {l} cannot be placed and may not stay remote"
+                );
+            }
+        }
+    }
+    let social_cost = profile.social_cost(market);
+    BaselineOutcome {
+        profile,
+        social_cost,
+    }
+}
+
+/// Centralized hill climbing on the social cost, starting from all-remote.
+/// Strong but guarantee-free; used to sanity-check how close `Appro`'s
+/// guaranteed solution gets.
+pub fn centralized_greedy(gen: &GeneratedMarket) -> BaselineOutcome {
+    let market = &gen.market;
+    let n = market.provider_count();
+    let mut profile = Profile::all_remote(n);
+    let movable = vec![true; n];
+    social_local_search(market, &mut profile, &movable, 50 * n);
+    let social_cost = profile.social_cost(market);
+    BaselineOutcome {
+        profile,
+        social_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_core::appro::{appro, ApproConfig};
+    use mec_workload::{gtitm_scenario, Params, Scenario};
+
+    fn scenario(providers: usize, seed: u64) -> Scenario {
+        gtitm_scenario(100, &Params::paper().with_providers(providers), seed)
+    }
+
+    #[test]
+    fn random_placement_feasible_and_seeded() {
+        let s = scenario(30, 1);
+        let a = random_placement(&s.generated, 7);
+        let b = random_placement(&s.generated, 7);
+        assert!(a.profile.is_feasible(&s.generated.market));
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    fn nearest_cloudlet_feasible_and_latency_greedy() {
+        let s = scenario(10, 2);
+        let out = nearest_cloudlet(&s.net, &s.generated);
+        assert!(out.profile.is_feasible(&s.generated.market));
+        // With light load every provider sits at its true nearest cloudlet.
+        for (idx, meta) in s.generated.providers.iter().enumerate() {
+            let l = mec_core::ProviderId(idx);
+            if let Placement::Cloudlet(i) = out.profile.placement(l) {
+                assert_eq!(i, s.net.nearest_cloudlet(meta.user_node));
+            }
+        }
+    }
+
+    #[test]
+    fn centralized_greedy_beats_random() {
+        let s = scenario(40, 3);
+        let greedy = centralized_greedy(&s.generated);
+        let random = random_placement(&s.generated, 1);
+        assert!(greedy.social_cost <= random.social_cost + 1e-9);
+    }
+
+    #[test]
+    fn appro_competitive_with_centralized_greedy() {
+        // Appro (guaranteed) should land within 25 % of the guarantee-free
+        // hill climber across seeds.
+        for seed in 0..3 {
+            let s = scenario(40, 10 + seed);
+            let ap = appro(&s.generated.market, &ApproConfig::new()).unwrap();
+            let hc = centralized_greedy(&s.generated);
+            assert!(
+                ap.social_cost <= hc.social_cost * 1.25 + 1e-9,
+                "seed {seed}: appro {} vs greedy {}",
+                ap.social_cost,
+                hc.social_cost
+            );
+        }
+    }
+
+    #[test]
+    fn reference_ordering_is_sane() {
+        // centralized greedy <= nearest-cloudlet and random (typical case:
+        // checked over seeds with a tolerance of one outlier).
+        let mut ok = 0;
+        for seed in 0..4 {
+            let s = scenario(40, 20 + seed);
+            let hc = centralized_greedy(&s.generated).social_cost;
+            let nc = nearest_cloudlet(&s.net, &s.generated).social_cost;
+            let rp = random_placement(&s.generated, seed).social_cost;
+            if hc <= nc + 1e-9 && hc <= rp + 1e-9 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 3, "greedy lost too often: {ok}/4");
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the mechanism hot paths: the `Appro`
+//! approximation, the full LCF Stackelberg run, the best-response
+//! dynamics, and both baselines (the running-time panels of Figs. 2d/3d/5b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mec_baselines::{jo_offload_cache, offload_cache, JoConfig};
+use mec_core::appro::{appro, ApproConfig};
+use mec_core::game::{BestResponseDynamics, MoveOrder};
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_core::Profile;
+use mec_workload::{gtitm_scenario, Params, Scenario};
+
+fn scenario(size: usize) -> Scenario {
+    gtitm_scenario(size, &Params::paper().with_providers(60), 42)
+}
+
+fn bench_appro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("appro");
+    g.sample_size(10);
+    for size in [50usize, 150, 250] {
+        let s = scenario(size);
+        g.bench_with_input(BenchmarkId::from_parameter(size), &s, |b, s| {
+            b.iter(|| appro(black_box(&s.generated.market), &ApproConfig::new()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_lcf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lcf");
+    g.sample_size(10);
+    for size in [50usize, 150, 250] {
+        let s = scenario(size);
+        g.bench_with_input(BenchmarkId::from_parameter(size), &s, |b, s| {
+            b.iter(|| lcf(black_box(&s.generated.market), &LcfConfig::new(0.7)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_best_response(c: &mut Criterion) {
+    let s = scenario(150);
+    let market = &s.generated.market;
+    let movable = vec![true; market.provider_count()];
+    c.bench_function("best_response_dynamics_from_remote", |b| {
+        b.iter(|| {
+            let mut profile = Profile::all_remote(market.provider_count());
+            BestResponseDynamics::new(MoveOrder::RoundRobin).run(
+                black_box(market),
+                &mut profile,
+                &movable,
+            )
+        })
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let s = scenario(150);
+    c.bench_function("jo_offload_cache", |b| {
+        b.iter(|| jo_offload_cache(black_box(&s.generated), &JoConfig::default()))
+    });
+    c.bench_function("offload_cache", |b| {
+        b.iter(|| offload_cache(black_box(&s.generated)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_appro,
+    bench_lcf,
+    bench_best_response,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Ablation studies for the design choices called out in DESIGN.md.
+
+use mec_core::appro::{appro, ApproConfig};
+use mec_core::game::MoveOrder;
+use mec_core::lcf::{lcf, LcfConfig, SelectionRule};
+use mec_workload::scenario::waxman_scenario;
+use mec_workload::{gtitm_scenario, Params};
+
+use crate::table::Table;
+
+/// Slot pricing: marginal-congestion (ours) vs paper-literal flat (Eq. 9).
+pub fn ablation_gap_pricing(sizes: &[usize], seeds: &[u64]) -> Table {
+    let mut t = Table::new(
+        "Ablation: GAP slot pricing (Appro social cost)",
+        "network size",
+        &["marginal", "flat"],
+    );
+    for &size in sizes {
+        let mut marginal = 0.0;
+        let mut flat = 0.0;
+        for &seed in seeds {
+            let s = gtitm_scenario(size, &Params::paper().with_providers(60), seed);
+            let m = &s.generated.market;
+            marginal += appro(m, &ApproConfig::new()).unwrap().social_cost / seeds.len() as f64;
+            flat += appro(m, &ApproConfig::paper_flat()).unwrap().social_cost
+                / seeds.len() as f64;
+        }
+        t.row(size as f64, &[marginal, flat]);
+    }
+    t
+}
+
+/// Coordination selection: Largest-Cost-First vs Smallest-Cost-First vs
+/// random.
+pub fn ablation_selection(xi: f64, seeds: &[u64]) -> Table {
+    let mut t = Table::new(
+        "Ablation: coordination selection rule (LCF social cost)",
+        "seed",
+        &["largest-cost-first", "smallest-cost-first", "random"],
+    );
+    for &seed in seeds {
+        let s = gtitm_scenario(150, &Params::paper().with_providers(60), seed);
+        let m = &s.generated.market;
+        let run = |rule: SelectionRule| {
+            lcf(
+                m,
+                &LcfConfig {
+                    selection: rule,
+                    ..LcfConfig::new(xi)
+                },
+            )
+            .unwrap()
+            .social_cost
+        };
+        t.row(
+            seed as f64,
+            &[
+                run(SelectionRule::LargestCostFirst),
+                run(SelectionRule::SmallestCostFirst),
+                run(SelectionRule::Random(seed)),
+            ],
+        );
+    }
+    t
+}
+
+/// The "to cache or not to cache" opt-out: remote serving allowed vs
+/// forbidden.
+pub fn ablation_optout(seeds: &[u64]) -> Table {
+    let mut t = Table::new(
+        "Ablation: remote opt-out (LCF social cost)",
+        "seed",
+        &["opt-out allowed", "must cache"],
+    );
+    for &seed in seeds {
+        let with = gtitm_scenario(150, &Params::paper().with_providers(60), seed);
+        let mut p = Params::paper().with_providers(60);
+        p.allow_remote = false;
+        let without = gtitm_scenario(150, &p, seed);
+        let a = lcf(&with.generated.market, &LcfConfig::new(0.7))
+            .unwrap()
+            .social_cost;
+        let b = lcf(&without.generated.market, &LcfConfig::new(0.7))
+            .unwrap()
+            .social_cost;
+        t.row(seed as f64, &[a, b]);
+    }
+    t
+}
+
+/// Topology robustness: the LCF-vs-baselines ordering must hold on both
+/// of GT-ITM's models (transit-stub and flat Waxman).
+pub fn ablation_topology(size: usize, seeds: &[u64]) -> Table {
+    let mut t = Table::new(
+        "Ablation: topology model (social cost, LCF | Jo | Off)",
+        "seed",
+        &[
+            "ts LCF",
+            "ts Jo",
+            "ts Off",
+            "wax LCF",
+            "wax Jo",
+            "wax Off",
+        ],
+    );
+    for &seed in seeds {
+        let params = Params::paper().with_providers(60);
+        let mut row = Vec::new();
+        for scenario in [
+            gtitm_scenario(size, &params, seed),
+            waxman_scenario(size, &params, seed),
+        ] {
+            let m = &scenario.generated.market;
+            row.push(lcf(m, &LcfConfig::new(0.7)).unwrap().social_cost);
+            row.push(
+                mec_baselines::jo_offload_cache(
+                    &scenario.generated,
+                    &mec_baselines::JoConfig::default(),
+                )
+                .social_cost,
+            );
+            row.push(mec_baselines::offload_cache(&scenario.generated).social_cost);
+        }
+        t.row(seed as f64, &row);
+    }
+    t
+}
+
+/// Best-response move order: round-robin vs max-gain (moves to converge).
+pub fn ablation_br_order(seeds: &[u64]) -> Table {
+    let mut t = Table::new(
+        "Ablation: best-response order (moves to converge)",
+        "seed",
+        &["round-robin", "max-gain"],
+    );
+    for &seed in seeds {
+        let s = gtitm_scenario(150, &Params::paper().with_providers(60), seed);
+        let m = &s.generated.market;
+        let run = |order: MoveOrder| {
+            lcf(
+                m,
+                &LcfConfig {
+                    order,
+                    ..LcfConfig::new(0.3)
+                },
+            )
+            .unwrap()
+            .convergence
+            .moves as f64
+        };
+        t.row(
+            seed as f64,
+            &[run(MoveOrder::RoundRobin), run(MoveOrder::MaxGain)],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pricing_ablation_marginal_wins() {
+        let t = ablation_gap_pricing(&[60], &[1]);
+        assert!(t.column_dominates(0, 1, 1e-6), "marginal should dominate flat");
+    }
+
+    #[test]
+    fn selection_ablation_runs() {
+        let t = ablation_selection(0.5, &[1]);
+        assert_eq!(t.rows().len(), 1);
+        for v in &t.rows()[0].1 {
+            assert!(v.is_finite() && *v > 0.0);
+        }
+    }
+
+    #[test]
+    fn optout_ablation_optout_no_worse() {
+        // Forbidding the opt-out removes strategies, so cost cannot drop.
+        let t = ablation_optout(&[1, 2]);
+        assert!(t.column_dominates(0, 1, 1e-6));
+    }
+
+    #[test]
+    fn br_order_both_converge() {
+        let t = ablation_br_order(&[1]);
+        for v in &t.rows()[0].1 {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn topology_ablation_ordering_holds_on_both_models() {
+        let t = ablation_topology(100, &[1]);
+        let row = &t.rows()[0].1;
+        // LCF <= Jo <= Off on transit-stub and on Waxman.
+        assert!(row[0] <= row[1] + 1e-6 && row[1] <= row[2] + 1e-6, "ts {row:?}");
+        assert!(row[3] <= row[4] + 1e-6 && row[4] <= row[5] + 1e-6, "wax {row:?}");
+    }
+}

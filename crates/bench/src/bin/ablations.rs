@@ -1,0 +1,14 @@
+//! Runs the DESIGN.md ablation studies and prints their tables.
+
+use mec_bench::ablation;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let sizes: &[usize] = if quick { &[60] } else { &[50, 150, 250] };
+    println!("{}", ablation::ablation_gap_pricing(sizes, &seeds));
+    println!("{}", ablation::ablation_selection(0.7, &seeds));
+    println!("{}", ablation::ablation_optout(&seeds));
+    println!("{}", ablation::ablation_br_order(&seeds));
+    println!("{}", ablation::ablation_topology(if quick { 80 } else { 150 }, &seeds));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 7 tables. Pass `--quick` for a reduced run.
+
+fn main() {
+    let cfg = mec_bench::run_config_from_args();
+    mec_bench::print_tables(&mec_bench::fig7(&cfg));
+}

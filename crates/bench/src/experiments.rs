@@ -1,0 +1,352 @@
+//! Experiment runners: one function per paper figure.
+//!
+//! Every function regenerates the series of one figure as [`Table`]s —
+//! same x-axis, same algorithms, same metrics as the paper — averaged over
+//! the configured seeds. The `fig*` binaries print them; integration tests
+//! assert the qualitative shapes recorded in EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use mec_baselines::{jo_offload_cache, offload_cache, JoConfig};
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_core::ProviderId;
+use mec_testbed::{ControllerApp, JoOffloadCacheApp, LcfApp, OffloadCacheApp, Testbed};
+use mec_workload::{
+    gtitm_scenario, Params, Scenario, FIG2_SIZES, FIG3_SIZE, SELFISH_FRACTIONS,
+};
+
+use crate::table::Table;
+
+/// Shared configuration of the figure runners.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Providers in the market (paper: 100).
+    pub providers: usize,
+    /// Default selfish fraction `(1 − ξ)` (paper: 0.3).
+    pub selfish_fraction: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seeds: vec![1, 2, 3],
+            providers: 100,
+            selfish_fraction: 0.3,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A fast configuration for CI / smoke tests: one seed, fewer
+    /// providers.
+    pub fn quick() -> Self {
+        RunConfig {
+            seeds: vec![1],
+            providers: 40,
+            selfish_fraction: 0.3,
+        }
+    }
+}
+
+/// Per-algorithm metrics of one run.
+#[derive(Debug, Clone, Copy, Default)]
+struct Metrics {
+    social: f64,
+    selfish: f64,
+    coordinated: f64,
+    millis: f64,
+}
+
+/// Runs the three algorithms on one scenario. Baseline profiles are split
+/// into "coordinated"/"selfish" provider subsets using LCF's partition so
+/// Figs. 2(b)–(c) compare the same provider groups across algorithms.
+fn run_all(scenario: &Scenario, selfish_fraction: f64) -> [Metrics; 3] {
+    let market = &scenario.generated.market;
+    let xi = 1.0 - selfish_fraction;
+
+    let t0 = Instant::now();
+    let lcf_out = lcf(market, &LcfConfig::new(xi)).expect("LCF failed");
+    let lcf_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    let coordinated = lcf_out.coordinated.clone();
+    let selfish: Vec<ProviderId> = market
+        .providers()
+        .filter(|l| !coordinated.contains(l))
+        .collect();
+
+    let t1 = Instant::now();
+    let jo = jo_offload_cache(&scenario.generated, &JoConfig::default());
+    let jo_ms = t1.elapsed().as_secs_f64() * 1000.0;
+
+    let t2 = Instant::now();
+    let off = offload_cache(&scenario.generated);
+    let off_ms = t2.elapsed().as_secs_f64() * 1000.0;
+
+    let m = |profile: &mec_core::Profile, ms: f64| Metrics {
+        social: profile.social_cost(market),
+        selfish: profile.subset_cost(market, selfish.iter().copied()),
+        coordinated: profile.subset_cost(market, coordinated.iter().copied()),
+        millis: ms,
+    };
+    [
+        m(&lcf_out.profile, lcf_ms),
+        m(&jo.profile, jo_ms),
+        m(&off.profile, off_ms),
+    ]
+}
+
+fn average<I: IntoIterator<Item = [Metrics; 3]>>(runs: I) -> [Metrics; 3] {
+    let mut acc = [Metrics::default(); 3];
+    let mut count = 0.0;
+    for r in runs {
+        for (a, b) in acc.iter_mut().zip(r.iter()) {
+            a.social += b.social;
+            a.selfish += b.selfish;
+            a.coordinated += b.coordinated;
+            a.millis += b.millis;
+        }
+        count += 1.0;
+    }
+    for a in &mut acc {
+        a.social /= count;
+        a.selfish /= count;
+        a.coordinated /= count;
+        a.millis /= count;
+    }
+    acc
+}
+
+const ALGOS: [&str; 3] = ["LCF", "JoOffloadCache", "OffloadCache"];
+
+fn four_panel(
+    prefix: &str,
+    x_label: &str,
+    points: &[(f64, [Metrics; 3])],
+) -> Vec<Table> {
+    let mut social = Table::new(&format!("{prefix}(a) social cost"), x_label, &ALGOS);
+    let mut selfish = Table::new(
+        &format!("{prefix}(b) cost of the selfish network service providers"),
+        x_label,
+        &ALGOS,
+    );
+    let mut coord = Table::new(
+        &format!("{prefix}(c) cost of the coordinated network service providers"),
+        x_label,
+        &ALGOS,
+    );
+    let mut time = Table::new(&format!("{prefix}(d) running times (ms)"), x_label, &ALGOS);
+    for (x, m) in points {
+        social.row(*x, &[m[0].social, m[1].social, m[2].social]);
+        selfish.row(*x, &[m[0].selfish, m[1].selfish, m[2].selfish]);
+        coord.row(*x, &[m[0].coordinated, m[1].coordinated, m[2].coordinated]);
+        time.row(*x, &[m[0].millis, m[1].millis, m[2].millis]);
+    }
+    vec![social, selfish, coord, time]
+}
+
+/// **Fig. 2** — GT-ITM networks, size 50–400, 100 providers, `(1−ξ)=0.3`:
+/// social cost, selfish-provider cost, coordinated-provider cost, runtime.
+pub fn fig2(cfg: &RunConfig) -> Vec<Table> {
+    let metrics = crate::parallel::parallel_map(FIG2_SIZES, |&size| {
+        let runs = cfg.seeds.iter().map(|&seed| {
+            let s = gtitm_scenario(
+                size,
+                &Params::paper().with_providers(cfg.providers),
+                seed,
+            );
+            run_all(&s, cfg.selfish_fraction)
+        });
+        average(runs)
+    });
+    let points: Vec<(f64, [Metrics; 3])> = FIG2_SIZES
+        .iter()
+        .map(|&s| s as f64)
+        .zip(metrics)
+        .collect();
+    four_panel("Fig. 2", "network size", &points)
+}
+
+/// **Fig. 3** — GT-ITM network of size 250, sweeping `(1−ξ)` from 0 to 1.
+pub fn fig3(cfg: &RunConfig) -> Vec<Table> {
+    let metrics = crate::parallel::parallel_map(SELFISH_FRACTIONS, |&frac| {
+        let runs = cfg.seeds.iter().map(|&seed| {
+            let s = gtitm_scenario(
+                FIG3_SIZE,
+                &Params::paper().with_providers(cfg.providers),
+                seed,
+            );
+            run_all(&s, frac)
+        });
+        average(runs)
+    });
+    let points: Vec<(f64, [Metrics; 3])> = SELFISH_FRACTIONS
+        .iter()
+        .copied()
+        .zip(metrics)
+        .collect();
+    four_panel("Fig. 3", "1 - xi (selfish fraction)", &points)
+}
+
+fn testbed_apps(selfish_fraction: f64) -> Vec<Box<dyn ControllerApp>> {
+    vec![
+        Box::new(LcfApp {
+            config: LcfConfig::new(1.0 - selfish_fraction),
+        }),
+        Box::new(JoOffloadCacheApp::default()),
+        Box::new(OffloadCacheApp),
+    ]
+}
+
+fn testbed_point(params: &Params, seeds: &[u64], selfish_fraction: f64) -> ([f64; 3], [f64; 3]) {
+    let mut social = [0.0; 3];
+    let mut millis = [0.0; 3];
+    for &seed in seeds {
+        let tb = Testbed::new(params, seed);
+        for (k, app) in testbed_apps(selfish_fraction).iter().enumerate() {
+            let rep = tb.run(app.as_ref()).expect("testbed run failed");
+            social[k] += rep.social_cost / seeds.len() as f64;
+            millis[k] += rep.running_time.as_secs_f64() * 1000.0 / seeds.len() as f64;
+        }
+    }
+    (social, millis)
+}
+
+/// **Fig. 5** — testbed (AS1755 overlay), `(1−ξ)=0.3`: social cost and
+/// running time as the number of service-caching requests grows.
+pub fn fig5(cfg: &RunConfig) -> Vec<Table> {
+    let mut social = Table::new("Fig. 5(a) social cost (testbed)", "providers", &ALGOS);
+    let mut time = Table::new("Fig. 5(b) running times (ms, testbed)", "providers", &ALGOS);
+    for providers in [20, 40, 60, 80, 100] {
+        let params = Params::paper().with_providers(providers);
+        let (s, t) = testbed_point(&params, &cfg.seeds, cfg.selfish_fraction);
+        social.row(providers as f64, &s);
+        time.row(providers as f64, &t);
+    }
+    vec![social, time]
+}
+
+/// **Fig. 6** — testbed parameter studies: (a) `(1−ξ)`, (c) number of
+/// service-caching requests, (d) update-data volume.
+pub fn fig6(cfg: &RunConfig) -> Vec<Table> {
+    let mut a = Table::new(
+        "Fig. 6(a) social cost vs (1 - xi) (testbed)",
+        "1 - xi",
+        &ALGOS,
+    );
+    for &frac in SELFISH_FRACTIONS {
+        let params = Params::paper().with_providers(cfg.providers.min(60));
+        let (s, _) = testbed_point(&params, &cfg.seeds, frac);
+        a.row(frac, &s);
+    }
+
+    let mut c = Table::new(
+        "Fig. 6(c) total cost vs number of service caching requests (testbed)",
+        "requests",
+        &ALGOS,
+    );
+    for providers in [20, 40, 60, 80, 100, 120] {
+        let params = Params::paper().with_providers(providers);
+        let (s, _) = testbed_point(&params, &cfg.seeds, cfg.selfish_fraction);
+        c.row(providers as f64, &s);
+    }
+
+    let mut d = Table::new(
+        "Fig. 6(d) total cost vs update-data volume (testbed)",
+        "update ratio",
+        &ALGOS,
+    );
+    for ratio in [0.05, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let params = Params::paper()
+            .with_providers(cfg.providers.min(60))
+            .with_update_ratio(ratio);
+        let (s, _) = testbed_point(&params, &cfg.seeds, cfg.selfish_fraction);
+        d.row(ratio, &s);
+    }
+    vec![a, c, d]
+}
+
+/// **Fig. 7** — testbed: impact of the maximum computing demand `a_max`
+/// and maximum bandwidth demand `b_max`.
+pub fn fig7(cfg: &RunConfig) -> Vec<Table> {
+    let mut a = Table::new(
+        "Fig. 7(a) total cost vs a_max (testbed)",
+        "a_max (VM units)",
+        &ALGOS,
+    );
+    for a_max in [2.0, 4.0, 6.0, 8.0, 10.0] {
+        let params = Params::paper()
+            .with_providers(cfg.providers.min(60))
+            .with_max_service_vms(a_max);
+        let (s, _) = testbed_point(&params, &cfg.seeds, cfg.selfish_fraction);
+        a.row(a_max, &s);
+    }
+
+    let mut b = Table::new(
+        "Fig. 7(b) total cost vs b_max scale (testbed)",
+        "b_max scale",
+        &ALGOS,
+    );
+    for scale in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
+        let params = Params::paper()
+            .with_providers(cfg.providers.min(60))
+            .with_bandwidth_scale(scale);
+        let (s, _) = testbed_point(&params, &cfg.seeds, cfg.selfish_fraction);
+        b.row(scale, &s);
+    }
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_quick_has_expected_shape() {
+        let cfg = RunConfig {
+            seeds: vec![1],
+            providers: 30,
+            selfish_fraction: 0.3,
+        };
+        // Only two sizes to keep the unit test fast.
+        let s = gtitm_scenario(50, &Params::paper().with_providers(30), 1);
+        let m = run_all(&s, 0.3);
+        // LCF no worse than the baselines on social cost.
+        assert!(m[0].social <= m[1].social + 1e-6);
+        assert!(m[0].social <= m[2].social + 1e-6);
+        let _ = cfg;
+    }
+
+    #[test]
+    fn metrics_partition() {
+        let s = gtitm_scenario(60, &Params::paper().with_providers(20), 2);
+        let m = run_all(&s, 0.4);
+        #[allow(clippy::needless_range_loop)] // k indexes the algorithm triple
+        for k in 0..3 {
+            assert!(
+                (m[k].selfish + m[k].coordinated - m[k].social).abs() < 1e-6,
+                "partition broken for algo {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn average_averages() {
+        let a = [Metrics {
+            social: 2.0,
+            selfish: 1.0,
+            coordinated: 1.0,
+            millis: 10.0,
+        }; 3];
+        let b = [Metrics {
+            social: 4.0,
+            selfish: 2.0,
+            coordinated: 2.0,
+            millis: 30.0,
+        }; 3];
+        let avg = average([a, b]);
+        assert_eq!(avg[0].social, 3.0);
+        assert_eq!(avg[0].millis, 20.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Benchmark harness regenerating every figure of the paper's evaluation.
+//!
+//! * [`table`] — plain-text result tables with shape-assertion helpers,
+//! * [`experiments`] — one runner per figure (Figs. 2, 3, 5, 6, 7),
+//! * [`ablation`] — the DESIGN.md ablations (slot pricing, selection rule,
+//!   opt-out, best-response order).
+//!
+//! Binaries (`cargo run -p mec-bench --release --bin figN`) print the
+//! tables; `cargo bench -p mec-bench` runs the Criterion micro-benchmarks
+//! of the algorithm hot paths.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod experiments;
+pub mod parallel;
+pub mod table;
+
+pub use experiments::{fig2, fig3, fig5, fig6, fig7, RunConfig};
+pub use parallel::parallel_map;
+pub use table::Table;
+
+/// Prints tables to stdout, exiting quietly (status 0) when the reader
+/// closes the pipe early (e.g. `fig2 | head`).
+pub fn print_tables(tables: &[Table]) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for t in tables {
+        if writeln!(out, "{t}").is_err() {
+            std::process::exit(0);
+        }
+    }
+}
+
+/// Parses a `--quick` flag from the process arguments (used by every fig
+/// binary to run a reduced sweep in CI).
+pub fn run_config_from_args() -> RunConfig {
+    if std::env::args().any(|a| a == "--quick") {
+        RunConfig::quick()
+    } else {
+        RunConfig::default()
+    }
+}

@@ -1,0 +1,62 @@
+//! Scoped-thread fan-out for the figure sweeps.
+//!
+//! Every point of a sweep (a network size, a `(1−ξ)` value, a seed) is an
+//! independent deterministic computation, so the runners fan them out over
+//! scoped threads. Sweeps stay reproducible: results are returned in input
+//! order regardless of completion order.
+
+/// Maps `f` over `items` in parallel (one scoped thread per item) and
+/// returns the results in input order.
+///
+/// Intended for coarse work units (hundreds of milliseconds each); the
+/// figure sweeps produce at most a few dozen items.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .iter()
+            .map(|item| scope.spawn(|_| f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..16).collect();
+        let out = parallel_map(&items, |&x| {
+            // Stagger completion so order would scramble without joins.
+            std::thread::sleep(std::time::Duration::from_millis(16 - x));
+            x * 2
+        });
+        assert_eq!(out, (0..16).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(&Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = parallel_map(&[1u8], |_| panic!("boom"));
+    }
+}

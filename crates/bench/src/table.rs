@@ -1,0 +1,143 @@
+//! Plain-text result tables, one per figure panel.
+
+use std::fmt;
+
+/// A result table: an x-axis column plus one column per algorithm/series.
+///
+/// # Examples
+///
+/// ```
+/// use mec_bench::table::Table;
+///
+/// let mut t = Table::new("Fig. X", "network size", &["LCF", "OffloadCache"]);
+/// t.row(50.0, &[1.0, 2.0]);
+/// let s = t.to_string();
+/// assert!(s.contains("LCF"));
+/// assert!(s.contains("50"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    x_label: String,
+    columns: Vec<String>,
+    rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, x_label: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the column count.
+    pub fn row(&mut self, x: f64, values: &[f64]) -> &mut Self {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width mismatches columns"
+        );
+        self.rows.push((x, values.to_vec()));
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column labels (excluding the x column).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Raw rows.
+    pub fn rows(&self) -> &[(f64, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.rows[row].1[col]
+    }
+
+    /// `true` if column `col` is non-decreasing down the rows (within
+    /// `tol` slack) — used by shape assertions in EXPERIMENTS.md tests.
+    pub fn column_non_decreasing(&self, col: usize, tol: f64) -> bool {
+        self.rows
+            .windows(2)
+            .all(|w| w[1].1[col] >= w[0].1[col] - tol)
+    }
+
+    /// `true` if column `a` is pointwise ≤ column `b` (within `tol`).
+    pub fn column_dominates(&self, a: usize, b: usize, tol: f64) -> bool {
+        self.rows.iter().all(|(_, v)| v[a] <= v[b] + tol)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        write!(f, "{:>14}", self.x_label)?;
+        for c in &self.columns {
+            write!(f, "{c:>16}")?;
+        }
+        writeln!(f)?;
+        for (x, values) in &self.rows {
+            write!(f, "{x:>14.2}")?;
+            for v in values {
+                write!(f, "{v:>16.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        let mut t = Table::new("test", "x", &["a", "b"]);
+        t.row(1.0, &[1.0, 2.0]);
+        t.row(2.0, &[1.5, 2.5]);
+        t.row(3.0, &[2.0, 3.0]);
+        t
+    }
+
+    #[test]
+    fn display_contains_everything() {
+        let s = t().to_string();
+        assert!(s.contains("## test"));
+        assert!(s.contains('a') && s.contains('b'));
+        assert!(s.contains("1.00") && s.contains("3.000"));
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let t = t();
+        assert!(t.column_non_decreasing(0, 0.0));
+        assert!(t.column_non_decreasing(1, 0.0));
+        assert!(t.column_dominates(0, 1, 0.0));
+        assert!(!t.column_dominates(1, 0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("x", "x", &["a"]).row(0.0, &[1.0, 2.0]);
+    }
+}

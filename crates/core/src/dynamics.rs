@@ -1,0 +1,334 @@
+//! Market churn: temporary caching under provider arrivals and departures.
+//!
+//! Service caching is *temporary* by definition — "services are only cached
+//! for temporary and their original services are still kept in remote data
+//! centers for later use when the cached service is destroyed" (Section
+//! II-B). This module simulates a market where providers activate and
+//! deactivate over time and the mechanism replans, measuring both cost and
+//! *stability*: how many cached instances must be instantiated, evicted or
+//! relocated per event. Two replanning strategies are compared:
+//!
+//! * [`ReplanStrategy::FullLcf`] — rerun the whole LCF mechanism on the
+//!   active sub-market at every step (best cost, most churn);
+//! * [`ReplanStrategy::Incremental`] — newly arrived providers best-respond
+//!   into the existing configuration; everyone then settles to a Nash
+//!   equilibrium (less churn, equilibrium-quality cost).
+
+use crate::error::CoreError;
+use crate::game::{BestResponseDynamics, MoveOrder};
+use crate::lcf::{lcf, LcfConfig};
+use crate::model::{Market, ProviderId};
+use crate::strategy::{Placement, Profile};
+
+/// How the mechanism reacts to churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanStrategy {
+    /// Re-run the full LCF mechanism on the active sub-market.
+    FullLcf,
+    /// Keep the current placements; only let the (re)active providers
+    /// best-respond to a new equilibrium.
+    Incremental,
+}
+
+/// One churn event: providers that appear and providers that leave.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnEvent {
+    /// Providers that become active (cache requests arrive).
+    pub arrivals: Vec<ProviderId>,
+    /// Providers that become inactive (cached instance destroyed, traffic
+    /// returns to the original remote instance).
+    pub departures: Vec<ProviderId>,
+}
+
+/// Measured outcome of one replanning step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Social cost over the active providers after replanning.
+    pub social_cost: f64,
+    /// Active providers currently cached in some cloudlet.
+    pub cached: usize,
+    /// Persisting providers whose placement changed (service migrations).
+    pub relocations: usize,
+    /// New cached instances spun up this step.
+    pub instantiations: usize,
+    /// Cached instances destroyed this step.
+    pub evictions: usize,
+}
+
+/// Stateful churn simulation over a fixed provider universe.
+#[derive(Debug, Clone)]
+pub struct ChurnSimulation<'a> {
+    market: &'a Market,
+    config: LcfConfig,
+    strategy: ReplanStrategy,
+    active: Vec<bool>,
+    profile: Profile,
+}
+
+impl<'a> ChurnSimulation<'a> {
+    /// Creates a simulation with no active providers.
+    pub fn new(market: &'a Market, strategy: ReplanStrategy, config: LcfConfig) -> Self {
+        let n = market.provider_count();
+        ChurnSimulation {
+            market,
+            config,
+            strategy,
+            active: vec![false; n],
+            profile: Profile::all_remote(n),
+        }
+    }
+
+    /// Currently active providers.
+    pub fn active_providers(&self) -> Vec<ProviderId> {
+        self.market
+            .providers()
+            .filter(|l| self.active[l.index()])
+            .collect()
+    }
+
+    /// Current placements (inactive providers are always `Remote`).
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Social cost of the active providers under the current placements.
+    pub fn social_cost(&self) -> f64 {
+        self.profile
+            .subset_cost(self.market, self.active_providers())
+    }
+
+    /// Applies one churn event and replans.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from a full-LCF replan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an arrival is already active or a departure is not active.
+    pub fn step(&mut self, event: &ChurnEvent) -> Result<StepReport, CoreError> {
+        let before = self.profile.clone();
+
+        for &l in &event.departures {
+            assert!(self.active[l.index()], "{l} is not active");
+            self.active[l.index()] = false;
+            self.profile.set(l, Placement::Remote);
+        }
+        for &l in &event.arrivals {
+            assert!(!self.active[l.index()], "{l} is already active");
+            self.active[l.index()] = true;
+            self.profile.set(l, Placement::Remote);
+        }
+
+        let active = self.active_providers();
+        if active.is_empty() {
+            return Ok(StepReport {
+                social_cost: 0.0,
+                cached: 0,
+                relocations: 0,
+                instantiations: 0,
+                evictions: event.departures.len(),
+            });
+        }
+
+        match self.strategy {
+            ReplanStrategy::FullLcf => {
+                let sub = self.market.restrict(&active);
+                let out = lcf(&sub, &self.config)?;
+                for (k, &l) in active.iter().enumerate() {
+                    self.profile.set(l, out.profile.placement(ProviderId(k)));
+                }
+            }
+            ReplanStrategy::Incremental => {
+                let mut movable = vec![false; self.market.provider_count()];
+                for &l in &active {
+                    movable[l.index()] = true;
+                }
+                BestResponseDynamics::new(MoveOrder::RoundRobin).run(
+                    self.market,
+                    &mut self.profile,
+                    &movable,
+                );
+            }
+        }
+
+        // Churn accounting relative to the pre-event placements.
+        let mut relocations = 0;
+        let mut instantiations = 0;
+        let mut evictions = 0;
+        for l in self.market.providers() {
+            let old = before.placement(l);
+            let new = self.profile.placement(l);
+            let was_active_cached = matches!(old, Placement::Cloudlet(_));
+            let is_active_cached =
+                self.active[l.index()] && matches!(new, Placement::Cloudlet(_));
+            match (was_active_cached, is_active_cached) {
+                (false, true) => instantiations += 1,
+                (true, false) => evictions += 1,
+                (true, true) if old != new => {
+                    relocations += 1;
+                    // A migration destroys one instance and spins up another.
+                    instantiations += 1;
+                    evictions += 1;
+                }
+                _ => {}
+            }
+        }
+
+        Ok(StepReport {
+            social_cost: self.social_cost(),
+            cached: active
+                .iter()
+                .filter(|l| matches!(self.profile.placement(**l), Placement::Cloudlet(_)))
+                .count(),
+            relocations,
+            instantiations,
+            evictions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CloudletSpec, ProviderSpec};
+
+    fn market(n: usize) -> Market {
+        let mut b = Market::builder()
+            .cloudlet(CloudletSpec::new(30.0, 150.0, 0.5, 0.5))
+            .cloudlet(CloudletSpec::new(30.0, 150.0, 0.3, 0.3));
+        for k in 0..n {
+            b = b.provider(ProviderSpec::new(
+                1.0 + (k % 3) as f64,
+                5.0 + (k % 4) as f64,
+                0.8,
+                20.0,
+            ));
+        }
+        b.uniform_update_cost(0.2).build()
+    }
+
+    fn ids(range: std::ops::Range<usize>) -> Vec<ProviderId> {
+        range.map(ProviderId).collect()
+    }
+
+    #[test]
+    fn arrivals_get_cached() {
+        let m = market(10);
+        for strategy in [ReplanStrategy::FullLcf, ReplanStrategy::Incremental] {
+            let mut sim = ChurnSimulation::new(&m, strategy, LcfConfig::new(0.7));
+            let rep = sim
+                .step(&ChurnEvent {
+                    arrivals: ids(0..6),
+                    departures: vec![],
+                })
+                .unwrap();
+            assert!(rep.cached > 0, "{strategy:?}");
+            assert_eq!(rep.instantiations, rep.cached);
+            assert_eq!(rep.evictions, 0);
+            assert!(rep.social_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn departures_release_capacity() {
+        let m = market(10);
+        let mut sim = ChurnSimulation::new(&m, ReplanStrategy::Incremental, LcfConfig::new(0.7));
+        sim.step(&ChurnEvent {
+            arrivals: ids(0..8),
+            departures: vec![],
+        })
+        .unwrap();
+        let rep = sim
+            .step(&ChurnEvent {
+                arrivals: vec![],
+                departures: ids(0..4),
+            })
+            .unwrap();
+        assert_eq!(sim.active_providers().len(), 4);
+        for l in ids(0..4) {
+            assert_eq!(sim.profile().placement(l), Placement::Remote);
+        }
+        assert!(rep.evictions >= 4);
+    }
+
+    #[test]
+    fn incremental_churns_less_than_full() {
+        let m = market(12);
+        let script = [
+            ChurnEvent { arrivals: ids(0..8), departures: vec![] },
+            ChurnEvent { arrivals: ids(8..10), departures: ids(0..2) },
+            ChurnEvent { arrivals: ids(10..12), departures: ids(2..4) },
+            ChurnEvent { arrivals: ids(0..2), departures: ids(8..10) },
+        ];
+        let run = |strategy| {
+            let mut sim = ChurnSimulation::new(&m, strategy, LcfConfig::new(0.7));
+            let mut relocations = 0;
+            for e in &script {
+                relocations += sim.step(e).unwrap().relocations;
+            }
+            relocations
+        };
+        let full = run(ReplanStrategy::FullLcf);
+        let inc = run(ReplanStrategy::Incremental);
+        assert!(
+            inc <= full,
+            "incremental relocated more ({inc}) than full replan ({full})"
+        );
+    }
+
+    #[test]
+    fn social_cost_tracks_active_set() {
+        let m = market(10);
+        let mut sim = ChurnSimulation::new(&m, ReplanStrategy::Incremental, LcfConfig::new(0.7));
+        let r1 = sim
+            .step(&ChurnEvent { arrivals: ids(0..4), departures: vec![] })
+            .unwrap();
+        let r2 = sim
+            .step(&ChurnEvent { arrivals: ids(4..10), departures: vec![] })
+            .unwrap();
+        assert!(r2.social_cost > r1.social_cost);
+        let r3 = sim
+            .step(&ChurnEvent { arrivals: vec![], departures: ids(0..9) })
+            .unwrap();
+        assert!(r3.social_cost < r2.social_cost);
+    }
+
+    #[test]
+    fn empty_market_costs_nothing() {
+        let m = market(4);
+        let mut sim = ChurnSimulation::new(&m, ReplanStrategy::Incremental, LcfConfig::new(0.5));
+        sim.step(&ChurnEvent { arrivals: ids(0..4), departures: vec![] })
+            .unwrap();
+        let rep = sim
+            .step(&ChurnEvent { arrivals: vec![], departures: ids(0..4) })
+            .unwrap();
+        assert_eq!(rep.social_cost, 0.0);
+        assert_eq!(rep.cached, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is already active")]
+    fn double_arrival_panics() {
+        let m = market(4);
+        let mut sim = ChurnSimulation::new(&m, ReplanStrategy::Incremental, LcfConfig::new(0.5));
+        sim.step(&ChurnEvent { arrivals: ids(0..2), departures: vec![] })
+            .unwrap();
+        let _ = sim.step(&ChurnEvent { arrivals: ids(0..1), departures: vec![] });
+    }
+
+    #[test]
+    fn restrict_preserves_costs() {
+        let m = market(6);
+        let keep = ids(2..5);
+        let sub = m.restrict(&keep);
+        assert_eq!(sub.provider_count(), 3);
+        assert_eq!(sub.cloudlet_count(), m.cloudlet_count());
+        for (k, &l) in keep.iter().enumerate() {
+            for i in m.cloudlets() {
+                assert_eq!(sub.update_cost(ProviderId(k), i), m.update_cost(l, i));
+                assert_eq!(sub.flat_cost(ProviderId(k), i), m.flat_cost(l, i));
+            }
+        }
+    }
+}

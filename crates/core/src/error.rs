@@ -1,0 +1,79 @@
+//! Error type of the core mechanism crate.
+
+use mec_gap::GapError;
+
+use crate::model::ProviderId;
+
+/// Errors produced by the `Appro` / `LCF` mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A provider fits in no cloudlet and may not stay remote.
+    NoFeasiblePlacement {
+        /// The stranded provider.
+        provider: ProviderId,
+    },
+    /// The market as a whole cannot host every provider.
+    Infeasible,
+    /// The GAP substrate failed.
+    Gap(GapError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::NoFeasiblePlacement { provider } => {
+                write!(f, "provider {provider} has no feasible placement")
+            }
+            CoreError::Infeasible => write!(f, "market cannot host every provider"),
+            CoreError::Gap(e) => write!(f, "GAP substrate failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Gap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GapError> for CoreError {
+    fn from(e: GapError) -> Self {
+        match e {
+            GapError::ItemDoesNotFit { item } => CoreError::NoFeasiblePlacement {
+                provider: ProviderId(item),
+            },
+            GapError::Infeasible => CoreError::Infeasible,
+            other => CoreError::Gap(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::NoFeasiblePlacement {
+            provider: ProviderId(3),
+        };
+        assert!(e.to_string().contains("sp3"));
+        assert!(CoreError::Infeasible.to_string().contains("market"));
+    }
+
+    #[test]
+    fn from_gap_error() {
+        let e: CoreError = GapError::ItemDoesNotFit { item: 2 }.into();
+        assert_eq!(
+            e,
+            CoreError::NoFeasiblePlacement {
+                provider: ProviderId(2)
+            }
+        );
+        let e: CoreError = GapError::Infeasible.into();
+        assert_eq!(e, CoreError::Infeasible);
+    }
+}

@@ -1,0 +1,418 @@
+//! The congestion game played by selfish providers (paper Section II-E).
+//!
+//! Costs are affine in the congestion level, so the game is an exact
+//! potential game (Rosenthal): every unilateral improvement strictly
+//! decreases the potential
+//!
+//! ```text
+//! Φ(σ) = Σ_i [ (α_i+β_i) · |σ_i|(|σ_i|+1)/2  +  Σ_{l ∈ σ_i} (c_l_ins + c_{l,i}_bdw) ]
+//!        + Σ_{l remote} remote_l
+//! ```
+//!
+//! and best-response dynamics therefore converge to a pure Nash equilibrium
+//! (Lemma 3). Capacity constraints restrict the strategy sets (a player may
+//! only move into a cloudlet with room) — improvements still strictly
+//! decrease `Φ`, so convergence is unaffected.
+
+
+
+use crate::model::{Market, ProviderId};
+use crate::strategy::{Placement, Profile};
+
+/// Order in which players are offered deviations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MoveOrder {
+    /// Sweep providers in id order repeatedly (fast, the default).
+    #[default]
+    RoundRobin,
+    /// Always move the player with the largest cost improvement
+    /// (slower; ablation `ablation_br`).
+    MaxGain,
+}
+
+/// Result of running best-response dynamics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Convergence {
+    /// Full sweeps over the player set that were executed.
+    pub rounds: usize,
+    /// Number of improving moves applied.
+    pub moves: usize,
+    /// `true` if a Nash equilibrium was reached within the round budget.
+    pub converged: bool,
+}
+
+/// Minimum cost improvement that counts as a profitable deviation.
+pub const IMPROVEMENT_TOL: f64 = 1e-9;
+
+/// Computes the Rosenthal potential of `profile`.
+pub fn rosenthal_potential(market: &Market, profile: &Profile) -> f64 {
+    let sigma = profile.congestion(market);
+    let mut phi = 0.0;
+    for i in market.cloudlets() {
+        let s = sigma[i.index()] as f64;
+        phi += market.cloudlet(i).congestion_price() * s * (s + 1.0) / 2.0;
+    }
+    for (l, p) in profile.iter() {
+        match p {
+            Placement::Remote => phi += market.provider(l).remote_cost,
+            Placement::Cloudlet(i) => {
+                phi += market.provider(l).instantiation_cost + market.update_cost(l, i);
+            }
+        }
+    }
+    phi
+}
+
+/// The best response of provider `l` against the rest of `profile`.
+///
+/// Only capacity-feasible cloudlets (after removing `l` from its current
+/// placement) and — if the provider allows it — the remote option are
+/// candidates. Returns the placement and the cost `l` would pay there.
+/// Ties are broken toward the current placement, then the smallest cloudlet
+/// id, so dynamics are deterministic.
+///
+/// Returns `None` when no candidate at all is available (every cloudlet is
+/// full and the remote option is forbidden); the caller should keep the
+/// current placement.
+pub fn best_response(
+    market: &Market,
+    profile: &Profile,
+    l: ProviderId,
+) -> Option<(Placement, f64)> {
+    let current = profile.placement(l);
+    let mut residual = profile.residual(market);
+    let mut sigma = profile.congestion(market);
+    // Remove l from its current cloudlet so candidates see the "others only"
+    // state.
+    if let Placement::Cloudlet(c) = current {
+        let spec = market.provider(l);
+        residual[c.index()].0 += spec.compute_demand;
+        residual[c.index()].1 += spec.bandwidth_demand;
+        sigma[c.index()] -= 1;
+    }
+
+    let mut best: Option<(Placement, f64)> = None;
+    let mut consider = |p: Placement, cost: f64| {
+        let better = match best {
+            None => true,
+            Some((bp, bc)) => {
+                cost < bc - IMPROVEMENT_TOL
+                    || ((cost - bc).abs() <= IMPROVEMENT_TOL && p == current && bp != current)
+            }
+        };
+        if better {
+            best = Some((p, cost));
+        }
+    };
+
+    if market.provider(l).can_stay_remote() {
+        consider(Placement::Remote, market.provider(l).remote_cost);
+    }
+    for i in market.cloudlets() {
+        if market.fits(l, residual[i.index()]) {
+            let cost = market.caching_cost(l, i, sigma[i.index()] + 1);
+            consider(Placement::Cloudlet(i), cost);
+        }
+    }
+    best
+}
+
+/// `true` if no provider in `movable` has a profitable unilateral deviation.
+pub fn is_nash(market: &Market, profile: &Profile, movable: &[bool]) -> bool {
+    assert_eq!(movable.len(), profile.len(), "movable mask length mismatch");
+    for (l, _) in profile.iter() {
+        if !movable[l.index()] {
+            continue;
+        }
+        let current_cost = profile.provider_cost(market, l);
+        if let Some((p, cost)) = best_response(market, profile, l) {
+            if p != profile.placement(l) && cost < current_cost - IMPROVEMENT_TOL {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Best-response dynamics driver.
+///
+/// # Examples
+///
+/// ```
+/// use mec_core::game::{BestResponseDynamics, MoveOrder};
+/// use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+/// use mec_core::strategy::Profile;
+///
+/// let market = Market::builder()
+///     .cloudlet(CloudletSpec::new(10.0, 50.0, 0.5, 0.5))
+///     .provider(ProviderSpec::new(1.0, 5.0, 1.0, 100.0))
+///     .provider(ProviderSpec::new(1.0, 5.0, 1.0, 100.0))
+///     .uniform_update_cost(0.1)
+///     .build();
+/// let mut profile = Profile::all_remote(2);
+/// let movable = vec![true, true];
+/// let result = BestResponseDynamics::new(MoveOrder::RoundRobin)
+///     .run(&market, &mut profile, &movable);
+/// assert!(result.converged);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BestResponseDynamics {
+    order: MoveOrder,
+    max_rounds: usize,
+}
+
+impl BestResponseDynamics {
+    /// Creates a driver with the given move order and a generous default
+    /// round budget.
+    pub fn new(order: MoveOrder) -> Self {
+        BestResponseDynamics {
+            order,
+            max_rounds: 10_000,
+        }
+    }
+
+    /// Overrides the maximum number of sweeps before giving up.
+    pub fn max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Runs the dynamics until no movable player can improve.
+    ///
+    /// The potential strictly decreases with every applied move, so on any
+    /// finite market this terminates at a Nash equilibrium of the movable
+    /// subgame (the fixed players act as environment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `movable.len() != profile.len()`.
+    pub fn run(&self, market: &Market, profile: &mut Profile, movable: &[bool]) -> Convergence {
+        assert_eq!(movable.len(), profile.len(), "movable mask length mismatch");
+        let mut moves = 0;
+        match self.order {
+            MoveOrder::RoundRobin => {
+                for round in 0..self.max_rounds {
+                    let mut improved = false;
+                    for (l, _) in profile.clone().iter() {
+                        if !movable[l.index()] {
+                            continue;
+                        }
+                        let cur_cost = profile.provider_cost(market, l);
+                        if let Some((p, cost)) = best_response(market, profile, l) {
+                            if p != profile.placement(l) && cost < cur_cost - IMPROVEMENT_TOL {
+                                profile.set(l, p);
+                                moves += 1;
+                                improved = true;
+                            }
+                        }
+                    }
+                    if !improved {
+                        return Convergence {
+                            rounds: round + 1,
+                            moves,
+                            converged: true,
+                        };
+                    }
+                }
+            }
+            MoveOrder::MaxGain => {
+                for round in 0..self.max_rounds {
+                    let mut best_move: Option<(ProviderId, Placement, f64)> = None;
+                    for (l, _) in profile.iter() {
+                        if !movable[l.index()] {
+                            continue;
+                        }
+                        let cur_cost = profile.provider_cost(market, l);
+                        if let Some((p, cost)) = best_response(market, profile, l) {
+                            if p != profile.placement(l) && cost < cur_cost - IMPROVEMENT_TOL {
+                                let gain = cur_cost - cost;
+                                if best_move.is_none_or(|(_, _, g)| gain > g) {
+                                    best_move = Some((l, p, gain));
+                                }
+                            }
+                        }
+                    }
+                    match best_move {
+                        Some((l, p, _)) => {
+                            profile.set(l, p);
+                            moves += 1;
+                        }
+                        None => {
+                            return Convergence {
+                                rounds: round + 1,
+                                moves,
+                                converged: true,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        Convergence {
+            rounds: self.max_rounds,
+            moves,
+            converged: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CloudletSpec, ProviderSpec};
+    use mec_topology::CloudletId;
+
+    fn market(n_providers: usize) -> Market {
+        let mut b = Market::builder()
+            .cloudlet(CloudletSpec::new(20.0, 100.0, 0.5, 0.5))
+            .cloudlet(CloudletSpec::new(20.0, 100.0, 0.3, 0.2));
+        for _ in 0..n_providers {
+            b = b.provider(ProviderSpec::new(2.0, 10.0, 1.0, 50.0));
+        }
+        b.uniform_update_cost(0.2).build()
+    }
+
+    #[test]
+    fn best_response_prefers_cheapest_cloudlet() {
+        let m = market(1);
+        let p = Profile::all_remote(1);
+        let (placement, cost) = best_response(&m, &p, ProviderId(0)).unwrap();
+        // CL1 has price 0.5 vs CL0's 1.0; flat cost 0.5+1.0+0.2=1.7.
+        assert_eq!(placement, Placement::Cloudlet(CloudletId(1)));
+        assert!((cost - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamics_converge_and_reach_nash() {
+        let m = market(8);
+        let mut p = Profile::all_remote(8);
+        let movable = vec![true; 8];
+        let res = BestResponseDynamics::new(MoveOrder::RoundRobin).run(&m, &mut p, &movable);
+        assert!(res.converged);
+        assert!(is_nash(&m, &p, &movable));
+        assert!(p.is_feasible(&m));
+    }
+
+    #[test]
+    fn players_balance_across_cloudlets() {
+        // With symmetric providers, equilibrium congestion differs by at
+        // most ~price ratio; assert both cloudlets are used.
+        let m = market(10);
+        let mut p = Profile::all_remote(10);
+        let movable = vec![true; 10];
+        BestResponseDynamics::new(MoveOrder::RoundRobin).run(&m, &mut p, &movable);
+        let sigma = p.congestion(&m);
+        assert!(sigma[0] > 0 && sigma[1] > 0, "sigma {sigma:?}");
+    }
+
+    #[test]
+    fn potential_decreases_along_improving_moves() {
+        let m = market(6);
+        let mut p = Profile::all_remote(6);
+        let mut phi = rosenthal_potential(&m, &p);
+        for _ in 0..50 {
+            let mut moved = false;
+            for (l, _) in p.clone().iter() {
+                let cur = p.provider_cost(&m, l);
+                if let Some((np, cost)) = best_response(&m, &p, l) {
+                    if np != p.placement(l) && cost < cur - IMPROVEMENT_TOL {
+                        p.set(l, np);
+                        let nphi = rosenthal_potential(&m, &p);
+                        assert!(
+                            nphi < phi - IMPROVEMENT_TOL / 2.0,
+                            "potential did not decrease: {phi} -> {nphi}"
+                        );
+                        // Potential change equals the mover's cost change.
+                        assert!(((phi - nphi) - (cur - cost)).abs() < 1e-9);
+                        phi = nphi;
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_players_do_not_move() {
+        let m = market(4);
+        let mut p = Profile::all_remote(4);
+        let movable = vec![false, true, true, true];
+        BestResponseDynamics::new(MoveOrder::RoundRobin).run(&m, &mut p, &movable);
+        assert_eq!(p.placement(ProviderId(0)), Placement::Remote);
+    }
+
+    #[test]
+    fn max_gain_reaches_nash_too() {
+        let m = market(8);
+        let mut p = Profile::all_remote(8);
+        let movable = vec![true; 8];
+        let res = BestResponseDynamics::new(MoveOrder::MaxGain).run(&m, &mut p, &movable);
+        assert!(res.converged);
+        assert!(is_nash(&m, &p, &movable));
+    }
+
+    #[test]
+    fn capacity_limits_moves() {
+        // Cloudlet fits only one provider; the other must go remote or CL1.
+        let m = Market::builder()
+            .cloudlet(CloudletSpec::new(2.0, 10.0, 0.1, 0.1))
+            .provider(ProviderSpec::new(2.0, 5.0, 1.0, 3.0))
+            .provider(ProviderSpec::new(2.0, 5.0, 1.0, 3.0))
+            .uniform_update_cost(0.0)
+            .build();
+        let mut p = Profile::all_remote(2);
+        let movable = vec![true; 2];
+        BestResponseDynamics::new(MoveOrder::RoundRobin).run(&m, &mut p, &movable);
+        assert!(p.is_feasible(&m));
+        let cached = p
+            .iter()
+            .filter(|(_, pl)| matches!(pl, Placement::Cloudlet(_)))
+            .count();
+        assert_eq!(cached, 1);
+    }
+
+    #[test]
+    fn no_candidates_keeps_current() {
+        // Remote forbidden and cloudlet full of the OTHER provider: best
+        // response for p1 is None only if even its own current placement
+        // does not fit. Construct: p0 occupies CL0 fully; p1 remote
+        // forbidden... then p1 must already be somewhere; give p1 a distinct
+        // cloudlet CL1 it fully occupies. Its best response is CL1 itself.
+        let m = Market::builder()
+            .cloudlet(CloudletSpec::new(2.0, 10.0, 0.1, 0.1))
+            .cloudlet(CloudletSpec::new(2.0, 10.0, 0.9, 0.9))
+            .provider(ProviderSpec::new(2.0, 5.0, 1.0, f64::INFINITY))
+            .provider(ProviderSpec::new(2.0, 5.0, 1.0, f64::INFINITY))
+            .uniform_update_cost(0.0)
+            .build();
+        let mut p = Profile::new(vec![
+            Placement::Cloudlet(CloudletId(0)),
+            Placement::Cloudlet(CloudletId(1)),
+        ]);
+        let movable = vec![true; 2];
+        let res = BestResponseDynamics::new(MoveOrder::RoundRobin).run(&m, &mut p, &movable);
+        assert!(res.converged);
+        // p1 cannot move to CL0 (full); stays at CL1.
+        assert_eq!(p.placement(ProviderId(1)), Placement::Cloudlet(CloudletId(1)));
+    }
+
+    #[test]
+    fn remote_attractive_when_congested() {
+        // Tiny remote cost: equilibrium leaves everyone remote.
+        let m = Market::builder()
+            .cloudlet(CloudletSpec::new(100.0, 100.0, 5.0, 5.0))
+            .provider(ProviderSpec::new(1.0, 1.0, 1.0, 0.5))
+            .provider(ProviderSpec::new(1.0, 1.0, 1.0, 0.5))
+            .uniform_update_cost(0.0)
+            .build();
+        let mut p = Profile::all_remote(2);
+        let movable = vec![true; 2];
+        BestResponseDynamics::new(MoveOrder::RoundRobin).run(&m, &mut p, &movable);
+        for (_, pl) in p.iter() {
+            assert_eq!(pl, Placement::Remote);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Incentives for coordination: are the bulk-lease contracts viable?
+//!
+//! The paper's leader "has bulk-lease contracts with several large-scale
+//! network service providers; it thus can coordinate them as long as
+//! requirements in the bulk-lease contracts are met" (Section II-D). This
+//! module quantifies that requirement: a coordinated provider pinned to the
+//! `Appro` placement may *envy* the deviation a selfish player would take.
+//! The minimal per-provider discount that removes the envy is the price of
+//! its obedience; coordination is **budget-feasible** when the total
+//! subsidy is no larger than the social-cost saving coordination produces.
+
+use crate::game::best_response;
+use crate::lcf::LcfOutcome;
+use crate::model::{Market, ProviderId};
+
+/// Envy analysis of one LCF outcome.
+#[derive(Debug, Clone)]
+pub struct IncentiveReport {
+    /// Per coordinated provider: `(provider, current cost, best deviation
+    /// cost, required discount)`. Discount is zero when obedience is
+    /// already a best response.
+    pub discounts: Vec<(ProviderId, f64, f64, f64)>,
+    /// Sum of all required discounts (the leader's subsidy bill).
+    pub total_subsidy: f64,
+    /// Social-cost saving of this outcome versus full anarchy
+    /// (`lcf` with ξ = 0 on the same market).
+    pub coordination_saving: f64,
+}
+
+impl IncentiveReport {
+    /// `true` if the subsidies are covered by the saving they enable.
+    pub fn budget_feasible(&self) -> bool {
+        self.total_subsidy <= self.coordination_saving + 1e-9
+    }
+
+    /// Number of coordinated providers that actually envy a deviation.
+    pub fn envious_count(&self) -> usize {
+        self.discounts.iter().filter(|(_, _, _, d)| *d > 1e-9).count()
+    }
+}
+
+/// Computes the minimal obedience discounts for `outcome`'s coordinated
+/// providers and compares the subsidy bill with the saving coordination
+/// buys over full anarchy.
+///
+/// # Errors
+///
+/// Propagates [`crate::CoreError`] from the anarchy benchmark run.
+pub fn incentive_report(
+    market: &Market,
+    outcome: &LcfOutcome,
+) -> Result<IncentiveReport, crate::CoreError> {
+    let mut discounts = Vec::with_capacity(outcome.coordinated.len());
+    let mut total = 0.0;
+    for &l in &outcome.coordinated {
+        let current = outcome.profile.provider_cost(market, l);
+        let deviation = best_response(market, &outcome.profile, l)
+            .map(|(_, c)| c)
+            .unwrap_or(current);
+        let discount = (current - deviation).max(0.0);
+        total += discount;
+        discounts.push((l, current, deviation, discount));
+    }
+
+    // Full anarchy on the same market: ξ = 0.
+    let anarchy = crate::lcf::lcf(market, &crate::lcf::LcfConfig::new(0.0))?;
+    let coordination_saving = (anarchy.social_cost - outcome.social_cost).max(0.0);
+
+    Ok(IncentiveReport {
+        discounts,
+        total_subsidy: total,
+        coordination_saving,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcf::{lcf, LcfConfig};
+    use crate::model::{CloudletSpec, ProviderSpec};
+
+    fn market(n: usize) -> Market {
+        let mut b = Market::builder()
+            .cloudlet(CloudletSpec::new(30.0, 150.0, 0.7, 0.7))
+            .cloudlet(CloudletSpec::new(30.0, 150.0, 0.4, 0.4))
+            .cloudlet(CloudletSpec::new(30.0, 150.0, 0.2, 0.2));
+        for k in 0..n {
+            b = b.provider(ProviderSpec::new(
+                1.0 + (k % 3) as f64,
+                5.0 + (k % 4) as f64,
+                0.6,
+                18.0,
+            ));
+        }
+        b.uniform_update_cost(0.2).build()
+    }
+
+    #[test]
+    fn discounts_are_nonnegative_and_bounded_by_current_cost() {
+        let m = market(12);
+        let out = lcf(&m, &LcfConfig::new(0.7)).unwrap();
+        let rep = incentive_report(&m, &out).unwrap();
+        assert_eq!(rep.discounts.len(), out.coordinated.len());
+        for (l, current, deviation, discount) in &rep.discounts {
+            assert!(*discount >= 0.0, "{l}");
+            assert!(*discount <= *current + 1e-9, "{l}");
+            assert!((*discount - (current - deviation).max(0.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_coordination_means_no_subsidy() {
+        let m = market(10);
+        let out = lcf(&m, &LcfConfig::new(0.0)).unwrap();
+        let rep = incentive_report(&m, &out).unwrap();
+        assert!(rep.discounts.is_empty());
+        assert_eq!(rep.total_subsidy, 0.0);
+        // Anarchy vs anarchy: no saving either.
+        assert!(rep.coordination_saving < 1e-9);
+    }
+
+    #[test]
+    fn subsidy_bill_reported_against_saving() {
+        let m = market(15);
+        let out = lcf(&m, &LcfConfig::new(0.8)).unwrap();
+        let rep = incentive_report(&m, &out).unwrap();
+        assert!(rep.total_subsidy.is_finite());
+        assert!(rep.coordination_saving >= 0.0);
+        // envious_count consistent with the discount list.
+        let manual = rep
+            .discounts
+            .iter()
+            .filter(|(_, _, _, d)| *d > 1e-9)
+            .count();
+        assert_eq!(rep.envious_count(), manual);
+    }
+
+    #[test]
+    fn obedient_providers_need_no_discount_at_equilibrium_quality_pins() {
+        // With everyone coordinated into the polished Appro solution and a
+        // near-optimal placement, most providers are close to their best
+        // response; discounts stay small relative to costs.
+        let m = market(12);
+        let out = lcf(&m, &LcfConfig::new(1.0)).unwrap();
+        let rep = incentive_report(&m, &out).unwrap();
+        let total_cost: f64 = rep.discounts.iter().map(|(_, c, _, _)| c).sum();
+        assert!(
+            rep.total_subsidy <= 0.5 * total_cost,
+            "subsidy {} vs cost {}",
+            rep.total_subsidy,
+            total_cost
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Algorithm 2 — `LCF`: the approximation-restricted Stackelberg strategy
+//! (paper Section III-C).
+//!
+//! The infrastructure provider (leader):
+//! 1. computes the `Appro` solution `ζ` for the whole market;
+//! 2. coordinates the `⌊ξ·|N|⌋` providers whose `ζ`-placement is most
+//!    expensive — *Largest Cost First* — pinning them to `ζ`;
+//! 3. lets the remaining `(1−ξ)·|N|` selfish providers best-respond until a
+//!    Nash equilibrium of the induced subgame is reached (exists and is
+//!    reached by Lemma 3 / the Rosenthal potential).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::appro::{appro, ApproConfig, ApproSolution};
+use crate::error::CoreError;
+use crate::game::{BestResponseDynamics, Convergence, MoveOrder};
+use crate::model::{Market, ProviderId};
+use crate::strategy::Profile;
+
+/// How the leader picks which providers to coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionRule {
+    /// Coordinate the providers with the largest `Appro` cost (the paper's
+    /// LCF rule).
+    #[default]
+    LargestCostFirst,
+    /// Coordinate the providers with the smallest `Appro` cost
+    /// (ablation `ablation_selection`).
+    SmallestCostFirst,
+    /// Coordinate a uniformly random subset (ablation baseline); the seed
+    /// makes runs reproducible.
+    Random(u64),
+}
+
+/// Configuration of [`lcf`].
+#[derive(Debug, Clone)]
+pub struct LcfConfig {
+    /// Fraction `ξ ∈ [0, 1]` of providers the leader coordinates.
+    pub xi: f64,
+    /// Coordination selection rule.
+    pub selection: SelectionRule,
+    /// Move order of the selfish best-response dynamics.
+    pub order: MoveOrder,
+    /// `Appro` configuration used for the restricted strategy.
+    pub appro: ApproConfig,
+}
+
+impl LcfConfig {
+    /// Default configuration with the given coordination fraction `ξ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi` is outside `[0, 1]`.
+    pub fn new(xi: f64) -> Self {
+        assert!((0.0..=1.0).contains(&xi), "xi must be in [0, 1], got {xi}");
+        LcfConfig {
+            xi,
+            selection: SelectionRule::LargestCostFirst,
+            order: MoveOrder::RoundRobin,
+            appro: ApproConfig::new(),
+        }
+    }
+}
+
+/// Outcome of the LCF mechanism.
+#[derive(Debug, Clone)]
+pub struct LcfOutcome {
+    /// Final strategy profile (coordinated pinned, selfish at equilibrium).
+    pub profile: Profile,
+    /// The `Appro` solution the leader restricted itself to.
+    pub appro: ApproSolution,
+    /// Providers coordinated by the leader (`N_s`).
+    pub coordinated: Vec<ProviderId>,
+    /// Convergence statistics of the selfish dynamics.
+    pub convergence: Convergence,
+    /// Social cost of the final profile — Eq. (6).
+    pub social_cost: f64,
+    /// Total cost paid by coordinated providers.
+    pub coordinated_cost: f64,
+    /// Total cost paid by selfish providers.
+    pub selfish_cost: f64,
+}
+
+/// Runs the LCF Stackelberg mechanism on `market`.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the `Appro` phase.
+///
+/// # Examples
+///
+/// ```
+/// use mec_core::lcf::{lcf, LcfConfig};
+/// use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+///
+/// let mut b = Market::builder()
+///     .cloudlet(CloudletSpec::new(20.0, 100.0, 0.5, 0.5))
+///     .cloudlet(CloudletSpec::new(20.0, 100.0, 0.2, 0.2));
+/// for _ in 0..6 {
+///     b = b.provider(ProviderSpec::new(2.0, 10.0, 1.0, 30.0));
+/// }
+/// let market = b.uniform_update_cost(0.2).build();
+/// let out = lcf(&market, &LcfConfig::new(0.7))?;
+/// assert_eq!(out.coordinated.len(), 4); // ⌊0.7 · 6⌋
+/// assert!(out.convergence.converged);
+/// # Ok::<(), mec_core::CoreError>(())
+/// ```
+pub fn lcf(market: &Market, config: &LcfConfig) -> Result<LcfOutcome, CoreError> {
+    let n = market.provider_count();
+    let appro_sol = appro(market, &config.appro)?;
+
+    // Cost of each provider in the approximate solution (with congestion —
+    // "the cost of caching their services" under ζ).
+    let zeta_costs: Vec<f64> = market
+        .providers()
+        .map(|l| appro_sol.profile.provider_cost(market, l))
+        .collect();
+
+    let k = (config.xi * n as f64).floor() as usize;
+    let coordinated = select(market, &zeta_costs, k, config.selection);
+    let mut movable = vec![true; n];
+    for &l in &coordinated {
+        movable[l.index()] = false;
+    }
+
+    // Coordinated providers are pinned to ζ. Selfish providers never agreed
+    // to ζ in the first place — they enter the market fresh (from their
+    // remote instance when they have one) and "selfishly select cloudlets
+    // that incur the lowest cost" until a Nash equilibrium is reached.
+    let mut profile = appro_sol.profile.clone();
+    for l in market.providers() {
+        if movable[l.index()] && market.provider(l).can_stay_remote() {
+            profile.set(l, crate::strategy::Placement::Remote);
+        }
+    }
+    let convergence = BestResponseDynamics::new(config.order).run(market, &mut profile, &movable);
+
+    let social_cost = profile.social_cost(market);
+    let coordinated_cost = profile.subset_cost(market, coordinated.iter().copied());
+    let selfish: Vec<ProviderId> = market
+        .providers()
+        .filter(|l| movable[l.index()])
+        .collect();
+    let selfish_cost = profile.subset_cost(market, selfish);
+
+    Ok(LcfOutcome {
+        profile,
+        appro: appro_sol,
+        coordinated,
+        convergence,
+        social_cost,
+        coordinated_cost,
+        selfish_cost,
+    })
+}
+
+fn select(
+    market: &Market,
+    zeta_costs: &[f64],
+    k: usize,
+    rule: SelectionRule,
+) -> Vec<ProviderId> {
+    let mut ids: Vec<ProviderId> = market.providers().collect();
+    match rule {
+        SelectionRule::LargestCostFirst => {
+            ids.sort_by(|a, b| {
+                zeta_costs[b.index()]
+                    .partial_cmp(&zeta_costs[a.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.index().cmp(&b.index()))
+            });
+        }
+        SelectionRule::SmallestCostFirst => {
+            ids.sort_by(|a, b| {
+                zeta_costs[a.index()]
+                    .partial_cmp(&zeta_costs[b.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.index().cmp(&b.index()))
+            });
+        }
+        SelectionRule::Random(seed) => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            ids.shuffle(&mut rng);
+        }
+    }
+    ids.truncate(k);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::is_nash;
+    use crate::model::{CloudletSpec, ProviderSpec};
+
+    fn market(n: usize) -> Market {
+        let mut b = Market::builder()
+            .cloudlet(CloudletSpec::new(30.0, 150.0, 0.6, 0.6))
+            .cloudlet(CloudletSpec::new(30.0, 150.0, 0.3, 0.3))
+            .cloudlet(CloudletSpec::new(30.0, 150.0, 0.1, 0.1));
+        for k in 0..n {
+            b = b.provider(ProviderSpec::new(
+                1.0 + (k % 3) as f64,
+                5.0 + (k % 5) as f64,
+                0.5 + 0.25 * (k % 4) as f64,
+                25.0,
+            ));
+        }
+        b.uniform_update_cost(0.2).build()
+    }
+
+    #[test]
+    fn coordinated_count_is_floor_xi_n() {
+        let m = market(10);
+        for (xi, want) in [(0.0, 0), (0.3, 3), (0.75, 7), (1.0, 10)] {
+            let out = lcf(&m, &LcfConfig::new(xi)).unwrap();
+            assert_eq!(out.coordinated.len(), want, "xi={xi}");
+        }
+    }
+
+    #[test]
+    fn coordinated_pinned_to_appro() {
+        let m = market(8);
+        let out = lcf(&m, &LcfConfig::new(0.5)).unwrap();
+        for &l in &out.coordinated {
+            assert_eq!(
+                out.profile.placement(l),
+                out.appro.profile.placement(l),
+                "coordinated provider {l} moved"
+            );
+        }
+    }
+
+    #[test]
+    fn selfish_players_reach_nash() {
+        let m = market(12);
+        let out = lcf(&m, &LcfConfig::new(0.4)).unwrap();
+        assert!(out.convergence.converged);
+        let mut movable = vec![true; 12];
+        for &l in &out.coordinated {
+            movable[l.index()] = false;
+        }
+        assert!(is_nash(&m, &out.profile, &movable));
+    }
+
+    #[test]
+    fn lcf_selects_largest_cost_providers() {
+        let m = market(6);
+        let out = lcf(&m, &LcfConfig::new(0.5)).unwrap();
+        let costs: Vec<f64> = m
+            .providers()
+            .map(|l| out.appro.profile.provider_cost(&m, l))
+            .collect();
+        let min_coord = out
+            .coordinated
+            .iter()
+            .map(|l| costs[l.index()])
+            .fold(f64::INFINITY, f64::min);
+        let max_free = m
+            .providers()
+            .filter(|l| !out.coordinated.contains(l))
+            .map(|l| costs[l.index()])
+            .fold(0.0, f64::max);
+        assert!(min_coord + 1e-9 >= max_free);
+    }
+
+    #[test]
+    fn cost_split_sums_to_social_cost() {
+        let m = market(9);
+        let out = lcf(&m, &LcfConfig::new(0.33)).unwrap();
+        assert!((out.coordinated_cost + out.selfish_cost - out.social_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_coordination_equals_appro() {
+        let m = market(7);
+        let out = lcf(&m, &LcfConfig::new(1.0)).unwrap();
+        assert!((out.social_cost - out.appro.social_cost).abs() < 1e-9);
+        assert_eq!(out.selfish_cost, 0.0);
+    }
+
+    #[test]
+    fn zero_coordination_is_pure_game() {
+        let m = market(7);
+        let out = lcf(&m, &LcfConfig::new(0.0)).unwrap();
+        assert!(out.coordinated.is_empty());
+        let movable = vec![true; 7];
+        assert!(is_nash(&m, &out.profile, &movable));
+    }
+
+    #[test]
+    fn selection_rules_differ() {
+        let m = market(10);
+        let a = lcf(
+            &m,
+            &LcfConfig {
+                selection: SelectionRule::LargestCostFirst,
+                ..LcfConfig::new(0.5)
+            },
+        )
+        .unwrap();
+        let b = lcf(
+            &m,
+            &LcfConfig {
+                selection: SelectionRule::SmallestCostFirst,
+                ..LcfConfig::new(0.5)
+            },
+        )
+        .unwrap();
+        assert_ne!(a.coordinated, b.coordinated);
+    }
+
+    #[test]
+    fn profile_stays_feasible() {
+        let m = market(15);
+        let out = lcf(&m, &LcfConfig::new(0.3)).unwrap();
+        assert!(out.profile.is_feasible(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "xi must be in [0, 1]")]
+    fn rejects_bad_xi() {
+        let _ = LcfConfig::new(1.5);
+    }
+}

@@ -1,0 +1,252 @@
+//! Social-cost local search: single-provider moves that reduce Eq. (6).
+//!
+//! The optimal-restricted Stackelberg framework assumes the leader holds a
+//! near-optimal solution to pin coordinated players to. Shmoys–Tardos
+//! rounding leaves a small constant-factor slack; this polish removes most
+//! of it by greedily applying the single-provider relocation with the
+//! largest *social*-cost reduction (capacity-respecting) until none exists.
+//!
+//! The move deltas internalize the congestion externality: relocating `l`
+//! from cloudlet `X` to `Y` changes the social cost by
+//!
+//! ```text
+//! Δ = p_X·(1 − 2σ_X) + p_Y·(2σ_Y + 1) + fixed_{l,Y} − fixed_{l,X}
+//! ```
+//!
+//! (`p_i = α_i + β_i`, σ counted before the move, `l ∈ σ_X`), which is what
+//! a *selfish* player does **not** see — a selfish deviation only prices its
+//! own `p·σ` term. The gap between the two is exactly the anarchy the
+//! Stackelberg coordination suppresses.
+
+
+
+use crate::model::{Market, ProviderId};
+use crate::strategy::{Placement, Profile};
+
+/// Result of a local-search run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalSearchResult {
+    /// Improving moves applied.
+    pub moves: usize,
+    /// `true` if the search reached a local optimum (no improving move).
+    pub converged: bool,
+}
+
+const TOL: f64 = 1e-9;
+
+/// Social-cost change if `l` moves from its current placement to `to`,
+/// with `sigma` the current congestion counts (including `l`).
+fn social_delta(
+    market: &Market,
+    profile: &Profile,
+    sigma: &[usize],
+    l: ProviderId,
+    to: Placement,
+) -> f64 {
+    let from = profile.placement(l);
+    if from == to {
+        return 0.0;
+    }
+    let fixed = |p: Placement| -> f64 {
+        match p {
+            Placement::Cloudlet(i) => {
+                market.provider(l).instantiation_cost + market.update_cost(l, i)
+            }
+            Placement::Remote => market.provider(l).remote_cost,
+        }
+    };
+    let mut delta = fixed(to) - fixed(from);
+    if let Placement::Cloudlet(x) = from {
+        let p = market.cloudlet(x).congestion_price();
+        let s = sigma[x.index()] as f64;
+        delta += p * (1.0 - 2.0 * s);
+    }
+    if let Placement::Cloudlet(y) = to {
+        let p = market.cloudlet(y).congestion_price();
+        let s = sigma[y.index()] as f64;
+        delta += p * (2.0 * s + 1.0);
+    }
+    delta
+}
+
+/// Greedy best-improvement local search on the social cost.
+///
+/// Only providers marked in `movable` are relocated; all moves respect the
+/// cloudlet capacities. Stops at a local optimum or after `max_moves`.
+///
+/// # Panics
+///
+/// Panics if `movable.len() != profile.len()`.
+pub fn social_local_search(
+    market: &Market,
+    profile: &mut Profile,
+    movable: &[bool],
+    max_moves: usize,
+) -> LocalSearchResult {
+    assert_eq!(movable.len(), profile.len(), "movable mask length mismatch");
+    let mut moves = 0;
+    while moves < max_moves {
+        let sigma = profile.congestion(market);
+        let residual = profile.residual(market);
+        let mut best: Option<(ProviderId, Placement, f64)> = None;
+        for (l, current) in profile.iter() {
+            if !movable[l.index()] {
+                continue;
+            }
+            // Remote candidate.
+            if market.provider(l).can_stay_remote() && current != Placement::Remote {
+                let d = social_delta(market, profile, &sigma, l, Placement::Remote);
+                if d < -TOL && best.as_ref().is_none_or(|(_, _, bd)| d < *bd) {
+                    best = Some((l, Placement::Remote, d));
+                }
+            }
+            // Cloudlet candidates.
+            for i in market.cloudlets() {
+                if current == Placement::Cloudlet(i) {
+                    continue;
+                }
+                // `l` is not currently in `i`, so the residual is correct.
+                if !market.fits(l, residual[i.index()]) {
+                    continue;
+                }
+                let d = social_delta(market, profile, &sigma, l, Placement::Cloudlet(i));
+                if d < -TOL && best.as_ref().is_none_or(|(_, _, bd)| d < *bd) {
+                    best = Some((l, Placement::Cloudlet(i), d));
+                }
+            }
+        }
+        match best {
+            Some((l, to, _)) => {
+                profile.set(l, to);
+                moves += 1;
+            }
+            None => {
+                return LocalSearchResult {
+                    moves,
+                    converged: true,
+                };
+            }
+        }
+    }
+    LocalSearchResult {
+        moves,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CloudletSpec, ProviderSpec};
+    use mec_topology::CloudletId;
+
+    fn market(n: usize) -> Market {
+        let mut b = Market::builder()
+            .cloudlet(CloudletSpec::new(30.0, 150.0, 0.8, 0.8))
+            .cloudlet(CloudletSpec::new(30.0, 150.0, 0.8, 0.8));
+        for _ in 0..n {
+            b = b.provider(ProviderSpec::new(1.0, 5.0, 0.5, 50.0));
+        }
+        b.uniform_update_cost(0.1).build()
+    }
+
+    #[test]
+    fn delta_matches_recomputation() {
+        let m = market(6);
+        let mut profile = Profile::all_remote(6);
+        for k in 0..4 {
+            profile.set(ProviderId(k), Placement::Cloudlet(CloudletId(0)));
+        }
+        let sigma = profile.congestion(&m);
+        let before = profile.social_cost(&m);
+        for (l, _) in profile.clone().iter() {
+            for to in [
+                Placement::Remote,
+                Placement::Cloudlet(CloudletId(0)),
+                Placement::Cloudlet(CloudletId(1)),
+            ] {
+                let d = social_delta(&m, &profile, &sigma, l, to);
+                let mut trial = profile.clone();
+                trial.set(l, to);
+                let actual = trial.social_cost(&m) - before;
+                assert!(
+                    (d - actual).abs() < 1e-9,
+                    "delta {d} vs actual {actual} for {l} -> {to}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balances_identical_cloudlets() {
+        let m = market(8);
+        let mut profile = Profile::all_remote(8);
+        for k in 0..8 {
+            profile.set(ProviderId(k), Placement::Cloudlet(CloudletId(0)));
+        }
+        let movable = vec![true; 8];
+        let res = social_local_search(&m, &mut profile, &movable, 1000);
+        assert!(res.converged);
+        let sigma = profile.congestion(&m);
+        assert_eq!(sigma, vec![4, 4]);
+    }
+
+    #[test]
+    fn never_increases_social_cost() {
+        let m = market(7);
+        let mut profile = Profile::all_remote(7);
+        for k in 0..5 {
+            profile.set(ProviderId(k), Placement::Cloudlet(CloudletId(0)));
+        }
+        let before = profile.social_cost(&m);
+        let movable = vec![true; 7];
+        social_local_search(&m, &mut profile, &movable, 1000);
+        assert!(profile.social_cost(&m) <= before + 1e-9);
+    }
+
+    #[test]
+    fn respects_movable_mask() {
+        let m = market(4);
+        let mut profile = Profile::all_remote(4);
+        for k in 0..4 {
+            profile.set(ProviderId(k), Placement::Cloudlet(CloudletId(0)));
+        }
+        let movable = vec![false, false, true, true];
+        social_local_search(&m, &mut profile, &movable, 1000);
+        assert_eq!(profile.placement(ProviderId(0)), Placement::Cloudlet(CloudletId(0)));
+        assert_eq!(profile.placement(ProviderId(1)), Placement::Cloudlet(CloudletId(0)));
+    }
+
+    #[test]
+    fn respects_capacity() {
+        // Tiny second cloudlet: nothing may move into it.
+        let mut b = Market::builder()
+            .cloudlet(CloudletSpec::new(30.0, 150.0, 1.0, 1.0))
+            .cloudlet(CloudletSpec::new(0.5, 1.0, 0.0, 0.0));
+        for _ in 0..4 {
+            b = b.provider(ProviderSpec::new(1.0, 5.0, 0.5, 50.0));
+        }
+        let m = b.uniform_update_cost(0.1).build();
+        let mut profile = Profile::all_remote(4);
+        for k in 0..4 {
+            profile.set(ProviderId(k), Placement::Cloudlet(CloudletId(0)));
+        }
+        let movable = vec![true; 4];
+        social_local_search(&m, &mut profile, &movable, 1000);
+        assert!(profile.is_feasible(&m));
+        assert_eq!(profile.congestion(&m)[1], 0);
+    }
+
+    #[test]
+    fn move_cap_respected() {
+        let m = market(8);
+        let mut profile = Profile::all_remote(8);
+        for k in 0..8 {
+            profile.set(ProviderId(k), Placement::Cloudlet(CloudletId(0)));
+        }
+        let movable = vec![true; 8];
+        let res = social_local_search(&m, &mut profile, &movable, 1);
+        assert_eq!(res.moves, 1);
+        assert!(!res.converged);
+    }
+}

@@ -1,0 +1,199 @@
+//! Price of Anarchy: the theoretical bound of Theorem 1 and an empirical
+//! estimator for small markets.
+//!
+//! Theorem 1: the PoA of the approximation-restricted Stackelberg strategy
+//! is at most `2δκ/(1−v) · (1/(4v) + 1 − ξ)` for any `v ∈ (0, 1)`, where
+//! `δ = C(CL_i)/a_max` and `κ = B(CL_i)/b_max`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::CoreError;
+use crate::game::{BestResponseDynamics, MoveOrder};
+use crate::model::Market;
+use crate::opt::social_optimum;
+use crate::strategy::{Placement, Profile};
+use mec_topology::CloudletId;
+
+/// Theorem 1's PoA bound at a specific `v ∈ (0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `v` is outside `(0, 1)` or `xi` outside `[0, 1]`.
+pub fn poa_bound(delta: f64, kappa: f64, xi: f64, v: f64) -> f64 {
+    assert!(v > 0.0 && v < 1.0, "v must be in (0, 1), got {v}");
+    assert!((0.0..=1.0).contains(&xi), "xi must be in [0, 1], got {xi}");
+    2.0 * delta * kappa / (1.0 - v) * (1.0 / (4.0 * v) + 1.0 - xi)
+}
+
+/// Theorem 1's bound minimized over a fine grid of `v`.
+pub fn best_poa_bound(delta: f64, kappa: f64, xi: f64) -> f64 {
+    (1..100)
+        .map(|k| poa_bound(delta, kappa, xi, k as f64 / 100.0))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Theorem 1's bound evaluated directly from a market's `δ` and `κ`.
+pub fn market_poa_bound(market: &Market, xi: f64) -> f64 {
+    best_poa_bound(market.delta(), market.kappa(), xi)
+}
+
+/// Empirical PoA measurement on a small market.
+#[derive(Debug, Clone)]
+pub struct PoaEstimate {
+    /// Social cost of the worst Nash equilibrium found.
+    pub worst_nash_cost: f64,
+    /// Social cost of the best Nash equilibrium found.
+    pub best_nash_cost: f64,
+    /// Exact optimal social cost.
+    pub optimum_cost: f64,
+    /// `worst_nash_cost / optimum_cost`.
+    pub poa: f64,
+    /// `best_nash_cost / optimum_cost` (Price of Stability).
+    pub pos: f64,
+    /// Number of distinct equilibria encountered.
+    pub equilibria_found: usize,
+}
+
+/// Estimates the empirical PoA by running best-response dynamics from
+/// `starts` random initial profiles and comparing the worst equilibrium
+/// against the exact optimum.
+///
+/// # Errors
+///
+/// Propagates [`CoreError::Infeasible`] from the exact optimum.
+///
+/// # Panics
+///
+/// Panics if the market exceeds [`crate::opt::MAX_PROVIDERS`] providers.
+pub fn estimate_poa(market: &Market, starts: usize, seed: u64) -> Result<PoaEstimate, CoreError> {
+    let opt = social_optimum(market)?;
+    let n = market.provider_count();
+    let m = market.cloudlet_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dynamics = BestResponseDynamics::new(MoveOrder::RoundRobin);
+    let movable = vec![true; n];
+
+    let mut worst = f64::NEG_INFINITY;
+    let mut best = f64::INFINITY;
+    let mut seen: Vec<Profile> = Vec::new();
+
+    for _ in 0..starts.max(1) {
+        // Random feasible start: try random placements, fall back to remote.
+        let mut profile = Profile::all_remote(n);
+        for l in market.providers() {
+            let choice = rng.random_range(0..=m);
+            if choice < m {
+                let cand = Placement::Cloudlet(CloudletId(choice));
+                let mut trial = profile.clone();
+                trial.set(l, cand);
+                if trial.is_feasible(market) {
+                    profile = trial;
+                }
+            }
+        }
+        let res = dynamics.run(market, &mut profile, &movable);
+        if !res.converged {
+            continue;
+        }
+        let cost = profile.social_cost(market);
+        worst = worst.max(cost);
+        best = best.min(cost);
+        if !seen.contains(&profile) {
+            seen.push(profile);
+        }
+    }
+
+    if !worst.is_finite() {
+        return Err(CoreError::Infeasible);
+    }
+    Ok(PoaEstimate {
+        worst_nash_cost: worst,
+        best_nash_cost: best,
+        optimum_cost: opt.social_cost,
+        poa: worst / opt.social_cost,
+        pos: best / opt.social_cost,
+        equilibria_found: seen.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CloudletSpec, ProviderSpec};
+
+    fn tiny() -> Market {
+        Market::builder()
+            .cloudlet(CloudletSpec::new(20.0, 80.0, 0.5, 0.5))
+            .cloudlet(CloudletSpec::new(20.0, 80.0, 0.4, 0.4))
+            .provider(ProviderSpec::new(2.0, 8.0, 1.0, 15.0))
+            .provider(ProviderSpec::new(2.0, 8.0, 1.0, 15.0))
+            .provider(ProviderSpec::new(3.0, 9.0, 1.2, 15.0))
+            .provider(ProviderSpec::new(1.0, 7.0, 0.8, 15.0))
+            .uniform_update_cost(0.2)
+            .build()
+    }
+
+    #[test]
+    fn bound_decreases_with_xi() {
+        let b0 = best_poa_bound(2.0, 2.0, 0.0);
+        let b5 = best_poa_bound(2.0, 2.0, 0.5);
+        let b9 = best_poa_bound(2.0, 2.0, 0.9);
+        assert!(b0 > b5 && b5 > b9, "{b0} {b5} {b9}");
+    }
+
+    #[test]
+    fn bound_scales_with_delta_kappa() {
+        assert!(best_poa_bound(4.0, 2.0, 0.3) > best_poa_bound(2.0, 2.0, 0.3));
+        assert!(best_poa_bound(2.0, 4.0, 0.3) > best_poa_bound(2.0, 2.0, 0.3));
+    }
+
+    #[test]
+    fn grid_minimum_at_interior_v() {
+        // The bound blows up at v -> 0 and v -> 1; the grid minimum must be
+        // strictly below both near-boundary evaluations.
+        let b = best_poa_bound(2.0, 2.0, 0.3);
+        assert!(b < poa_bound(2.0, 2.0, 0.3, 0.01));
+        assert!(b < poa_bound(2.0, 2.0, 0.3, 0.99));
+    }
+
+    #[test]
+    #[should_panic(expected = "v must be in (0, 1)")]
+    fn rejects_bad_v() {
+        let _ = poa_bound(1.0, 1.0, 0.5, 1.0);
+    }
+
+    #[test]
+    fn empirical_poa_at_least_one() {
+        let m = tiny();
+        let est = estimate_poa(&m, 20, 7).unwrap();
+        assert!(est.poa >= 1.0 - 1e-9, "PoA {}", est.poa);
+        assert!(est.pos >= 1.0 - 1e-9);
+        assert!(est.pos <= est.poa + 1e-9);
+        assert!(est.equilibria_found >= 1);
+    }
+
+    #[test]
+    fn empirical_poa_below_theorem_bound() {
+        let m = tiny();
+        let est = estimate_poa(&m, 20, 11).unwrap();
+        // ξ = 0 here (everyone selfish): the Stackelberg bound with ξ = 0
+        // must still dominate the measured anarchy.
+        let bound = market_poa_bound(&m, 0.0);
+        assert!(
+            est.poa <= bound + 1e-9,
+            "measured {} exceeds bound {}",
+            est.poa,
+            bound
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = tiny();
+        let a = estimate_poa(&m, 10, 3).unwrap();
+        let b = estimate_poa(&m, 10, 3).unwrap();
+        assert_eq!(a.worst_nash_cost, b.worst_nash_cost);
+        assert_eq!(a.equilibria_found, b.equilibria_found);
+    }
+}

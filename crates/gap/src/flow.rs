@@ -1,0 +1,373 @@
+//! Minimum-cost flow on sparse graphs (successive shortest paths with
+//! Johnson potentials).
+//!
+//! Used by the Shmoys–Tardos rounding to extract a minimum-cost integral
+//! matching from the fractional LP solution, and by the transportation fast
+//! path of the relaxation. Arc costs must be non-negative (true for every
+//! graph built in this crate), which lets each augmentation run Dijkstra on
+//! reduced costs instead of Bellman–Ford — the difference between seconds
+//! and minutes on the paper's 400-node sweeps.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A directed arc with residual bookkeeping.
+#[derive(Debug, Clone)]
+struct Arc {
+    to: usize,
+    cap: f64,
+    cost: f64,
+    flow: f64,
+    /// Index of the reverse arc in `arcs`.
+    rev: usize,
+}
+
+/// Handle to an arc added with [`MinCostFlow::add_edge`]; use it to query
+/// the final flow with [`MinCostFlow::flow_on`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArcId(usize);
+
+/// Outcome of a [`MinCostFlow::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowResult {
+    /// Amount of flow actually routed (≤ the requested amount).
+    pub flow: f64,
+    /// Total cost of the routed flow.
+    pub cost: f64,
+}
+
+/// Sparse min-cost-flow network builder/solver.
+///
+/// # Examples
+///
+/// ```
+/// use mec_gap::flow::MinCostFlow;
+///
+/// // s=0 -> a=1 -> t=2 with capacity 1, plus a costlier parallel path.
+/// let mut f = MinCostFlow::new(3);
+/// let cheap = f.add_edge(0, 1, 1.0, 1.0);
+/// f.add_edge(1, 2, 1.0, 1.0);
+/// f.add_edge(0, 2, 1.0, 10.0);
+/// let r = f.run(0, 2, 2.0);
+/// assert!((r.flow - 2.0).abs() < 1e-9);
+/// assert!((r.cost - 12.0).abs() < 1e-9);
+/// assert!((f.flow_on(cheap) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    n: usize,
+    arcs: Vec<Arc>,
+    adj: Vec<Vec<usize>>,
+}
+
+const EPS: f64 = 1e-12;
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+impl Eq for HeapEntry {}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl MinCostFlow {
+    /// Creates a network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        MinCostFlow {
+            n,
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a directed arc `u -> v` with the given capacity and per-unit
+    /// cost; returns a handle for [`MinCostFlow::flow_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range, the capacity is negative or
+    /// non-finite, or the cost is negative or non-finite (non-negative
+    /// costs are what allow the Dijkstra-based solver).
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: f64, cost: f64) -> ArcId {
+        assert!(u < self.n && v < self.n, "node out of range");
+        assert!(cap.is_finite() && cap >= 0.0, "capacity must be >= 0");
+        assert!(cost.is_finite() && cost >= 0.0, "cost must be >= 0");
+        let fwd = self.arcs.len();
+        self.arcs.push(Arc {
+            to: v,
+            cap,
+            cost,
+            flow: 0.0,
+            rev: fwd + 1,
+        });
+        self.arcs.push(Arc {
+            to: u,
+            cap: 0.0,
+            cost: -cost,
+            flow: 0.0,
+            rev: fwd,
+        });
+        self.adj[u].push(fwd);
+        self.adj[v].push(fwd + 1);
+        ArcId(fwd)
+    }
+
+    /// Flow currently on the arc (after [`MinCostFlow::run`]).
+    pub fn flow_on(&self, id: ArcId) -> f64 {
+        self.arcs[id.0].flow
+    }
+
+    /// Routes up to `amount` units of flow from `s` to `t` at minimum cost.
+    ///
+    /// Returns the amount actually routed and its cost. If the network
+    /// cannot carry the full amount, the result's `flow` is smaller than
+    /// `amount` (callers decide whether that is an error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t`, a node is out of range, or `amount` is negative.
+    pub fn run(&mut self, s: usize, t: usize, amount: f64) -> FlowResult {
+        assert!(s < self.n && t < self.n && s != t, "bad terminals");
+        assert!(amount >= 0.0, "amount must be >= 0");
+        let mut remaining = amount;
+        let mut total_cost = 0.0;
+        let mut routed = 0.0;
+        // Johnson potentials: all arc costs are >= 0 initially, so pi = 0 is
+        // a valid start; after each Dijkstra, pi[v] += dist[v] keeps every
+        // residual reduced cost non-negative.
+        let mut pi = vec![0.0; self.n];
+        let mut dist = vec![f64::INFINITY; self.n];
+        let mut pred: Vec<Option<usize>> = vec![None; self.n];
+
+        while remaining > EPS {
+            dist.fill(f64::INFINITY);
+            pred.fill(None);
+            dist[s] = 0.0;
+            let mut heap = BinaryHeap::new();
+            heap.push(HeapEntry { dist: 0.0, node: s });
+            while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+                if d > dist[u] + EPS {
+                    continue;
+                }
+                for &ai in &self.adj[u] {
+                    let a = &self.arcs[ai];
+                    if a.cap - a.flow <= EPS {
+                        continue;
+                    }
+                    let rc = a.cost + pi[u] - pi[a.to];
+                    debug_assert!(rc > -1e-6, "negative reduced cost {rc}");
+                    let nd = d + rc.max(0.0);
+                    if nd < dist[a.to] - EPS {
+                        dist[a.to] = nd;
+                        pred[a.to] = Some(ai);
+                        heap.push(HeapEntry {
+                            dist: nd,
+                            node: a.to,
+                        });
+                    }
+                }
+            }
+            if !dist[t].is_finite() {
+                break; // No augmenting path left.
+            }
+            for v in 0..self.n {
+                if dist[v].is_finite() {
+                    pi[v] += dist[v];
+                }
+            }
+            // Bottleneck along the path.
+            let mut push = remaining;
+            let mut v = t;
+            while v != s {
+                let ai = pred[v].expect("path is connected");
+                let a = &self.arcs[ai];
+                push = push.min(a.cap - a.flow);
+                v = self.arcs[a.rev].to;
+            }
+            if push <= EPS {
+                break; // Degenerate path; cannot make progress.
+            }
+            // Apply, accumulating the true (unreduced) cost.
+            let mut v = t;
+            let mut path_cost = 0.0;
+            while v != s {
+                let ai = pred[v].expect("path is connected");
+                let rev = self.arcs[ai].rev;
+                path_cost += self.arcs[ai].cost;
+                self.arcs[ai].flow += push;
+                self.arcs[rev].flow -= push;
+                v = self.arcs[rev].to;
+            }
+            total_cost += push * path_cost;
+            routed += push;
+            remaining -= push;
+        }
+        FlowResult {
+            flow: routed,
+            cost: total_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path() {
+        let mut f = MinCostFlow::new(2);
+        f.add_edge(0, 1, 5.0, 2.0);
+        let r = f.run(0, 1, 3.0);
+        assert_eq!(r.flow, 3.0);
+        assert_eq!(r.cost, 6.0);
+    }
+
+    #[test]
+    fn prefers_cheaper_path() {
+        let mut f = MinCostFlow::new(4);
+        let cheap1 = f.add_edge(0, 1, 1.0, 1.0);
+        f.add_edge(1, 3, 1.0, 1.0);
+        let exp1 = f.add_edge(0, 2, 1.0, 5.0);
+        f.add_edge(2, 3, 1.0, 5.0);
+        let r = f.run(0, 3, 1.0);
+        assert_eq!(r.cost, 2.0);
+        assert_eq!(f.flow_on(cheap1), 1.0);
+        assert_eq!(f.flow_on(exp1), 0.0);
+    }
+
+    #[test]
+    fn splits_when_capacity_binds() {
+        let mut f = MinCostFlow::new(4);
+        f.add_edge(0, 1, 1.0, 1.0);
+        f.add_edge(1, 3, 1.0, 1.0);
+        f.add_edge(0, 2, 1.0, 5.0);
+        f.add_edge(2, 3, 1.0, 5.0);
+        let r = f.run(0, 3, 2.0);
+        assert_eq!(r.flow, 2.0);
+        assert_eq!(r.cost, 12.0);
+    }
+
+    #[test]
+    fn partial_flow_when_capacity_insufficient() {
+        let mut f = MinCostFlow::new(2);
+        f.add_edge(0, 1, 1.0, 1.0);
+        let r = f.run(0, 1, 5.0);
+        assert_eq!(r.flow, 1.0);
+    }
+
+    #[test]
+    fn rerouting_via_residual_arcs() {
+        // The second augmentation must undo part of the first via the
+        // residual arc a->b: optimum routes {s-a-t, s-b-t} at cost 22.
+        let mut f = MinCostFlow::new(4);
+        let (s, a, b, t) = (0, 1, 2, 3);
+        f.add_edge(s, a, 1.0, 1.0);
+        f.add_edge(a, t, 1.0, 10.0);
+        f.add_edge(s, b, 1.0, 10.0);
+        f.add_edge(b, t, 1.0, 1.0);
+        f.add_edge(a, b, 1.0, 0.0);
+        let r = f.run(s, t, 2.0);
+        assert_eq!(r.flow, 2.0);
+        assert!((r.cost - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut f = MinCostFlow::new(3);
+        f.add_edge(0, 1, 0.5, 1.0);
+        f.add_edge(0, 1, 0.75, 2.0);
+        f.add_edge(1, 2, 2.0, 0.0);
+        let r = f.run(0, 2, 1.0);
+        assert!((r.flow - 1.0).abs() < 1e-9);
+        assert!((r.cost - (0.5 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_routes_zero() {
+        let mut f = MinCostFlow::new(3);
+        f.add_edge(0, 1, 1.0, 1.0);
+        let r = f.run(0, 2, 1.0);
+        assert_eq!(r.flow, 0.0);
+        assert_eq!(r.cost, 0.0);
+    }
+
+    #[test]
+    fn larger_random_instance_matches_greedy_lower_bound() {
+        // Bipartite 6x6 unit assignment: SSP must return a perfect matching
+        // whose cost is >= the sum of row minima and <= sum of row maxima.
+        let costs = [
+            [4.0, 1.0, 3.0, 2.0, 9.0, 5.0],
+            [2.0, 0.5, 6.0, 3.0, 1.0, 8.0],
+            [7.0, 2.0, 2.5, 1.0, 4.0, 3.0],
+            [1.5, 6.0, 4.0, 2.0, 3.0, 2.0],
+            [3.0, 3.0, 1.0, 5.0, 2.0, 4.0],
+            [5.0, 4.0, 2.0, 3.0, 6.0, 1.0],
+        ];
+        let n = 6;
+        let (s, t) = (2 * n, 2 * n + 1);
+        let mut f = MinCostFlow::new(2 * n + 2);
+        #[allow(clippy::needless_range_loop)] // i, j are bipartite node ids
+        for i in 0..n {
+            f.add_edge(s, i, 1.0, 0.0);
+            f.add_edge(n + i, t, 1.0, 0.0);
+            for j in 0..n {
+                f.add_edge(i, n + j, 1.0, costs[i][j]);
+            }
+        }
+        let r = f.run(s, t, n as f64);
+        assert!((r.flow - n as f64).abs() < 1e-9);
+        let lb: f64 = costs
+            .iter()
+            .map(|row| row.iter().cloned().fold(f64::INFINITY, f64::min))
+            .sum();
+        assert!(r.cost >= lb - 1e-9);
+        // Known optimum by inspection/brute force: check against exhaustive.
+        let mut best = f64::INFINITY;
+        let mut perm = [0usize; 6];
+        fn go(k: usize, used: &mut u32, perm: &mut [usize; 6], costs: &[[f64; 6]; 6], best: &mut f64) {
+            if k == 6 {
+                let c: f64 = (0..6).map(|i| costs[i][perm[i]]).sum();
+                if c < *best {
+                    *best = c;
+                }
+                return;
+            }
+            for j in 0..6 {
+                if *used & (1 << j) == 0 {
+                    *used |= 1 << j;
+                    perm[k] = j;
+                    go(k + 1, used, perm, costs, best);
+                    *used &= !(1 << j);
+                }
+            }
+        }
+        let mut used = 0u32;
+        go(0, &mut used, &mut perm, &costs, &mut best);
+        assert!((r.cost - best).abs() < 1e-9, "SSP {} vs brute {}", r.cost, best);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must be >= 0")]
+    fn rejects_negative_costs() {
+        let mut f = MinCostFlow::new(2);
+        f.add_edge(0, 1, 1.0, -1.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Generalized Assignment Problem solvers.
+//!
+//! The paper's `Appro` algorithm reduces service caching to GAP and invokes
+//! the Shmoys–Tardos approximation \[34\]. This crate implements:
+//!
+//! * [`instance`] — GAP instances and assignments,
+//! * [`flow`] — a min-cost-flow substrate (successive shortest paths),
+//! * [`lp_relax`] — the LP relaxation (general simplex path plus a
+//!   transportation fast path for bin-independent weights),
+//! * [`shmoys_tardos`] — the LP rounding with its cost / augmented-capacity
+//!   guarantees,
+//! * [`greedy`] — a regret heuristic (ablation baseline),
+//! * [`exact`] — branch-and-bound optimum for small instances (testing).
+//!
+//! # Examples
+//!
+//! ```
+//! use mec_gap::{GapInstance, shmoys_tardos};
+//!
+//! let mut inst = GapInstance::new(3, 2);
+//! for i in 0..3 {
+//!     inst.set_cost(i, 0, 1.0 + i as f64);
+//!     inst.set_cost(i, 1, 2.0);
+//!     inst.set_item_weight(i, 1.0);
+//! }
+//! inst.set_capacity(0, 2.0);
+//! inst.set_capacity(1, 2.0);
+//! let sol = shmoys_tardos::solve(&inst)?;
+//! assert!(sol.assignment_cost <= sol.lp_objective + 1e-6);
+//! # Ok::<(), mec_gap::GapError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod flow;
+pub mod greedy;
+pub mod instance;
+pub mod lp_relax;
+pub mod shmoys_tardos;
+pub mod swap;
+
+pub use instance::{Assignment, GapInstance, FORBIDDEN};
+pub use lp_relax::{capacity_shadow_prices, FractionalSolution, GapError};
+pub use shmoys_tardos::StSolution;
+pub use swap::{improve, SwapResult};

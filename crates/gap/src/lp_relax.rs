@@ -1,0 +1,485 @@
+//! LP relaxation of the Generalized Assignment Problem.
+//!
+//! The Shmoys–Tardos algorithm starts from an optimal *fractional* solution
+//! of the GAP relaxation:
+//!
+//! ```text
+//! minimize   Σ_ij c_ij x_ij
+//! subject to Σ_j x_ij = 1            for every item i
+//!            Σ_i w_ij x_ij ≤ CAP_j   for every bin j
+//!            x_ij ≥ 0, and x_ij = 0 whenever w_ij > CAP_j
+//! ```
+//!
+//! Two solution paths are provided:
+//! * [`solve_lp`] — the general relaxation via the dense simplex
+//!   ([`mec_lp`]); works for arbitrary bin-dependent weights.
+//! * [`solve_transportation`] — a min-cost-flow fast path for the
+//!   *bin-independent weight* case (`w_ij = w_i`), which is exactly the form
+//!   produced by the paper's virtual-cloudlet reduction. The relaxation is
+//!   then a transportation LP whose optimal vertex the flow computes.
+
+use mec_lp::{LpBuilder, LpError, Relation};
+
+use crate::flow::MinCostFlow;
+use crate::instance::GapInstance;
+
+/// Errors produced while relaxing/rounding a GAP instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GapError {
+    /// `item` does not fit in any bin (weight exceeds every capacity or all
+    /// its costs are forbidden).
+    ItemDoesNotFit {
+        /// The offending item.
+        item: usize,
+    },
+    /// The relaxation itself is infeasible (total weight exceeds total
+    /// capacity in every fractional split).
+    Infeasible,
+    /// The underlying LP solver failed.
+    Lp(LpError),
+}
+
+impl std::fmt::Display for GapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GapError::ItemDoesNotFit { item } => {
+                write!(f, "item {item} fits in no bin")
+            }
+            GapError::Infeasible => write!(f, "GAP relaxation is infeasible"),
+            GapError::Lp(e) => write!(f, "LP solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GapError {}
+
+impl From<LpError> for GapError {
+    fn from(e: LpError) -> Self {
+        match e {
+            LpError::Infeasible => GapError::Infeasible,
+            other => GapError::Lp(other),
+        }
+    }
+}
+
+/// A fractional solution of the GAP relaxation: sparse `(item, bin, frac)`
+/// triples with `Σ_j frac(i, j) = 1` per item.
+#[derive(Debug, Clone)]
+pub struct FractionalSolution {
+    /// Sparse nonzero fractions.
+    pub fractions: Vec<(usize, usize, f64)>,
+    /// Objective value `Σ c_ij x_ij` (a lower bound on the integral optimum).
+    pub objective: f64,
+}
+
+impl FractionalSolution {
+    /// Fractions grouped per bin: `result[j]` lists `(item, frac)`.
+    pub fn per_bin(&self, bins: usize) -> Vec<Vec<(usize, f64)>> {
+        let mut out = vec![Vec::new(); bins];
+        for &(i, j, f) in &self.fractions {
+            out[j].push((i, f));
+        }
+        out
+    }
+
+    /// Checks `Σ_j x_ij ≈ 1` for every item in `0..items`.
+    pub fn covers_all_items(&self, items: usize) -> bool {
+        let mut sums = vec![0.0; items];
+        for &(i, _, f) in &self.fractions {
+            sums[i] += f;
+        }
+        sums.iter().all(|s| (s - 1.0).abs() < 1e-6)
+    }
+}
+
+/// Returns whether `(item, bin)` is an admissible pair.
+fn allowed(inst: &GapInstance, i: usize, j: usize) -> bool {
+    inst.cost(i, j).is_finite() && inst.weight(i, j) <= inst.capacity(j) + 1e-12
+}
+
+fn check_items_fit(inst: &GapInstance) -> Result<(), GapError> {
+    for i in 0..inst.items() {
+        if !(0..inst.bins()).any(|j| allowed(inst, i, j)) {
+            return Err(GapError::ItemDoesNotFit { item: i });
+        }
+    }
+    Ok(())
+}
+
+/// Solves the GAP relaxation with the dense simplex.
+///
+/// # Errors
+///
+/// * [`GapError::ItemDoesNotFit`] — some item is inadmissible everywhere.
+/// * [`GapError::Infeasible`] — the relaxation has no solution.
+/// * [`GapError::Lp`] — numerical trouble in the simplex.
+pub fn solve_lp(inst: &GapInstance) -> Result<FractionalSolution, GapError> {
+    check_items_fit(inst)?;
+    let n = inst.items();
+    let m = inst.bins();
+    // Variable layout: dense over allowed pairs.
+    let mut var_of = vec![usize::MAX; n * m];
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in 0..m {
+            if allowed(inst, i, j) {
+                var_of[i * m + j] = pairs.len();
+                pairs.push((i, j));
+            }
+        }
+    }
+    let nv = pairs.len();
+    let mut lp = LpBuilder::new(nv);
+    let costs: Vec<f64> = pairs.iter().map(|&(i, j)| inst.cost(i, j)).collect();
+    lp.objective(&costs);
+    // Item rows.
+    for i in 0..n {
+        let mut row = vec![0.0; nv];
+        for j in 0..m {
+            let v = var_of[i * m + j];
+            if v != usize::MAX {
+                row[v] = 1.0;
+            }
+        }
+        lp.constraint(&row, Relation::Eq, 1.0);
+    }
+    // Bin rows.
+    for j in 0..m {
+        let mut row = vec![0.0; nv];
+        let mut any = false;
+        for i in 0..n {
+            let v = var_of[i * m + j];
+            if v != usize::MAX {
+                row[v] = inst.weight(i, j);
+                any = true;
+            }
+        }
+        if any {
+            lp.constraint(&row, Relation::Le, inst.capacity(j));
+        }
+    }
+    let sol = lp.solve()?;
+    let mut fractions = Vec::new();
+    for (v, &(i, j)) in pairs.iter().enumerate() {
+        if sol.x[v] > 1e-9 {
+            fractions.push((i, j, sol.x[v].min(1.0)));
+        }
+    }
+    Ok(FractionalSolution {
+        fractions,
+        objective: sol.objective,
+    })
+}
+
+/// Solves the relaxation via min-cost flow when weights are bin-independent.
+///
+/// The substitution `y_ij = w_i · x_ij` turns the relaxation into a
+/// transportation problem: item `i` supplies `w_i` units, bin `j` absorbs at
+/// most `CAP_j`, and a unit of `y_ij` costs `c_ij / w_i`. Zero-weight items
+/// are assigned integrally to their cheapest admissible bin up front.
+///
+/// # Errors
+///
+/// Same as [`solve_lp`]; additionally returns [`GapError::Infeasible`] if
+/// the flow cannot route the full supply.
+///
+/// # Panics
+///
+/// Panics if the instance has bin-dependent weights (checked via
+/// [`GapInstance::has_bin_independent_weights`]).
+pub fn solve_transportation(inst: &GapInstance) -> Result<FractionalSolution, GapError> {
+    assert!(
+        inst.has_bin_independent_weights(),
+        "transportation fast path requires bin-independent weights"
+    );
+    check_items_fit(inst)?;
+    let n = inst.items();
+    let m = inst.bins();
+    let mut fractions = Vec::new();
+    let mut objective = 0.0;
+
+    // Nodes: 0 = source, 1..=n items, n+1..=n+m bins, n+m+1 = sink.
+    let src = 0;
+    let item0 = 1;
+    let bin0 = 1 + n;
+    let sink = 1 + n + m;
+    let mut f = MinCostFlow::new(n + m + 2);
+    let mut arc_of_pair = Vec::new();
+    let mut total_supply = 0.0;
+
+    for i in 0..n {
+        let w = inst.weight(i, 0);
+        if w <= 1e-12 {
+            // Weightless item: integral assignment to its cheapest bin.
+            let best = (0..m)
+                .filter(|&j| allowed(inst, i, j))
+                .min_by(|&a, &b| {
+                    inst.cost(i, a)
+                        .partial_cmp(&inst.cost(i, b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("checked by check_items_fit");
+            fractions.push((i, best, 1.0));
+            objective += inst.cost(i, best);
+            continue;
+        }
+        total_supply += w;
+        f.add_edge(src, item0 + i, w, 0.0);
+        for j in 0..m {
+            if allowed(inst, i, j) {
+                let arc = f.add_edge(item0 + i, bin0 + j, w, inst.cost(i, j) / w);
+                arc_of_pair.push((i, j, arc, w));
+            }
+        }
+    }
+    for j in 0..m {
+        f.add_edge(bin0 + j, sink, inst.capacity(j), 0.0);
+    }
+
+    if total_supply > 0.0 {
+        let res = f.run(src, sink, total_supply);
+        if res.flow + 1e-6 < total_supply {
+            return Err(GapError::Infeasible);
+        }
+        objective += res.cost;
+        for (i, j, arc, w) in arc_of_pair {
+            let y = f.flow_on(arc);
+            if y > 1e-9 {
+                fractions.push((i, j, (y / w).min(1.0)));
+            }
+        }
+    }
+
+    Ok(FractionalSolution {
+        fractions,
+        objective,
+    })
+}
+
+/// Solves the relaxation with the best available method: the transportation
+/// fast path when weights are bin-independent, the general LP otherwise.
+///
+/// # Errors
+///
+/// See [`solve_lp`].
+pub fn solve_relaxation(inst: &GapInstance) -> Result<FractionalSolution, GapError> {
+    if inst.has_bin_independent_weights() {
+        solve_transportation(inst)
+    } else {
+        solve_lp(inst)
+    }
+}
+
+/// Shadow price of every bin's capacity at the LP optimum: the marginal
+/// *reduction* of the optimal assignment cost per extra unit of capacity
+/// (non-negative; zero when the bin's capacity is slack).
+///
+/// Solves the general LP (the transportation fast path does not produce
+/// duals) and negates the `≤`-row duals of the capacity constraints.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_lp`].
+pub fn capacity_shadow_prices(inst: &GapInstance) -> Result<Vec<f64>, GapError> {
+    // Rebuild the exact LP of solve_lp to recover its row layout: items
+    // rows first (Eq), then one Le row per bin that admits any item.
+    let n = inst.items();
+    let m = inst.bins();
+    let mut var_of = vec![usize::MAX; n * m];
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in 0..m {
+            if allowed(inst, i, j) {
+                var_of[i * m + j] = pairs.len();
+                pairs.push((i, j));
+            }
+        }
+    }
+    check_items_fit(inst)?;
+    let nv = pairs.len();
+    let mut lp = LpBuilder::new(nv);
+    let costs: Vec<f64> = pairs.iter().map(|&(i, j)| inst.cost(i, j)).collect();
+    lp.objective(&costs);
+    for i in 0..n {
+        let mut row = vec![0.0; nv];
+        for j in 0..m {
+            let v = var_of[i * m + j];
+            if v != usize::MAX {
+                row[v] = 1.0;
+            }
+        }
+        lp.constraint(&row, Relation::Eq, 1.0);
+    }
+    let mut bin_row = vec![None; m];
+    for j in 0..m {
+        let mut row = vec![0.0; nv];
+        let mut any = false;
+        for i in 0..n {
+            let v = var_of[i * m + j];
+            if v != usize::MAX {
+                row[v] = inst.weight(i, j);
+                any = true;
+            }
+        }
+        if any {
+            bin_row[j] = Some(lp.constraint_count());
+            lp.constraint(&row, Relation::Le, inst.capacity(j));
+        }
+    }
+    let sol = lp.solve()?;
+    Ok((0..m)
+        .map(|j| match bin_row[j] {
+            Some(r) => (-sol.duals[r]).max(0.0),
+            None => 0.0,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight() -> GapInstance {
+        // 2 items of weight 1, 2 bins of capacity 1; diagonal is cheap.
+        let mut inst = GapInstance::new(2, 2);
+        inst.set_cost(0, 0, 1.0).set_cost(0, 1, 3.0);
+        inst.set_cost(1, 0, 2.0).set_cost(1, 1, 1.0);
+        inst.set_uniform_weights(1.0);
+        inst.set_capacity(0, 1.0);
+        inst.set_capacity(1, 1.0);
+        inst
+    }
+
+    #[test]
+    fn lp_matches_known_optimum() {
+        let sol = solve_lp(&tight()).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+        assert!(sol.covers_all_items(2));
+    }
+
+    #[test]
+    fn transportation_matches_lp() {
+        let inst = tight();
+        let a = solve_lp(&inst).unwrap();
+        let b = solve_transportation(&inst).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-6);
+        assert!(b.covers_all_items(2));
+    }
+
+    #[test]
+    fn fractional_split_when_forced() {
+        // One bin with capacity 1, two items of weight 1: infeasible.
+        let mut inst = GapInstance::new(2, 1);
+        inst.set_cost(0, 0, 1.0).set_cost(1, 0, 1.0);
+        inst.set_uniform_weights(1.0);
+        inst.set_capacity(0, 1.0);
+        assert_eq!(solve_lp(&inst).unwrap_err(), GapError::Infeasible);
+        assert_eq!(solve_transportation(&inst).unwrap_err(), GapError::Infeasible);
+    }
+
+    #[test]
+    fn item_too_big_everywhere() {
+        let mut inst = GapInstance::new(1, 2);
+        inst.set_cost(0, 0, 1.0).set_cost(0, 1, 1.0);
+        inst.set_uniform_weights(5.0);
+        inst.set_capacity(0, 1.0);
+        inst.set_capacity(1, 1.0);
+        assert_eq!(
+            solve_lp(&inst).unwrap_err(),
+            GapError::ItemDoesNotFit { item: 0 }
+        );
+    }
+
+    #[test]
+    fn zero_weight_items_assigned_cheapest() {
+        let mut inst = GapInstance::new(2, 2);
+        inst.set_cost(0, 0, 5.0).set_cost(0, 1, 1.0);
+        inst.set_cost(1, 0, 1.0).set_cost(1, 1, 5.0);
+        inst.set_uniform_weights(0.0);
+        inst.set_capacity(0, 0.0);
+        inst.set_capacity(1, 0.0);
+        let sol = solve_transportation(&inst).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_when_capacity_forces_split() {
+        // 1 item weight 2; two bins capacity 1 each: x must split 0.5/0.5.
+        let mut inst = GapInstance::new(1, 2);
+        inst.set_cost(0, 0, 2.0).set_cost(0, 1, 4.0);
+        inst.set_uniform_weights(2.0);
+        inst.set_capacity(0, 2.0);
+        inst.set_capacity(1, 2.0);
+        let sol = solve_transportation(&inst).unwrap();
+        // Fits entirely in bin 0 (cheapest).
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_forbidden_pairs() {
+        let mut inst = tight();
+        inst.set_cost(0, 0, crate::instance::FORBIDDEN);
+        let sol = solve_relaxation(&inst).unwrap();
+        // Item 0 must go to bin 1, pushing item 1 to bin 0: cost 3 + 2.
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relaxation_lower_bounds_any_integral_assignment() {
+        let inst = tight();
+        let sol = solve_relaxation(&inst).unwrap();
+        use crate::instance::Assignment;
+        for assign in [vec![0, 1], vec![1, 0]] {
+            let a = Assignment::new(assign);
+            if a.is_capacity_feasible(&inst) {
+                assert!(sol.objective <= a.total_cost(&inst) + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_prices_zero_when_capacity_slack() {
+        // Huge capacities: no bin constraint binds, every price is 0.
+        let mut inst = tight();
+        inst.set_capacity(0, 100.0);
+        inst.set_capacity(1, 100.0);
+        let prices = capacity_shadow_prices(&inst).unwrap();
+        assert!(prices.iter().all(|p| *p < 1e-9), "{prices:?}");
+    }
+
+    #[test]
+    fn shadow_prices_positive_when_capacity_binds() {
+        // Bin 0 is cheap for both items but only fits one: its capacity is
+        // worth exactly the detour cost the second item pays elsewhere.
+        let mut inst = GapInstance::new(2, 2);
+        inst.set_cost(0, 0, 1.0).set_cost(0, 1, 4.0);
+        inst.set_cost(1, 0, 1.0).set_cost(1, 1, 4.0);
+        inst.set_uniform_weights(1.0);
+        inst.set_capacity(0, 1.0);
+        inst.set_capacity(1, 2.0);
+        let prices = capacity_shadow_prices(&inst).unwrap();
+        assert!(prices[0] > 1.0, "bin 0 price {:?}", prices);
+        assert!(prices[1] < 1e-9, "bin 1 should be free, {prices:?}");
+        // Marginal check: adding a unit of capacity to bin 0 reduces the
+        // optimum by (close to) its shadow price.
+        let base = solve_lp(&inst).unwrap().objective;
+        let mut relaxed = inst.clone();
+        relaxed.set_capacity(0, 2.0);
+        let better = solve_lp(&relaxed).unwrap().objective;
+        assert!((base - better - prices[0]).abs() < 1e-6,
+            "price {} vs realized saving {}", prices[0], base - better);
+    }
+
+    #[test]
+    fn bin_dependent_weights_use_lp() {
+        let mut inst = GapInstance::new(2, 2);
+        inst.set_cost(0, 0, 1.0).set_cost(0, 1, 2.0);
+        inst.set_cost(1, 0, 2.0).set_cost(1, 1, 1.0);
+        inst.set_weight(0, 0, 1.0).set_weight(0, 1, 2.0);
+        inst.set_weight(1, 0, 2.0).set_weight(1, 1, 1.0);
+        inst.set_capacity(0, 2.0);
+        inst.set_capacity(1, 2.0);
+        let sol = solve_relaxation(&inst).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+}

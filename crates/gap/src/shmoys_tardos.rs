@@ -1,0 +1,264 @@
+//! Shmoys–Tardos rounding for the Generalized Assignment Problem.
+//!
+//! Given an optimal fractional solution of the GAP relaxation, the rounding
+//! of Shmoys & Tardos (Math. Programming 62, 1993) produces an integral
+//! assignment whose cost is **no more than the LP optimum** and whose bin
+//! loads exceed capacity by **at most the largest item weight in that bin**
+//! (the "2-approximation with capacity augmentation" guarantee the paper's
+//! Lemma 2 builds on).
+//!
+//! Procedure:
+//! 1. For each bin `j`, sort its fractionally assigned items by
+//!    non-increasing weight and pour their fractions into unit-size *slots*
+//!    (`⌈Σ_i x_ij⌉` of them). An item's fraction may straddle two
+//!    consecutive slots.
+//! 2. The items and slots form a bipartite graph in which the fractional
+//!    solution is a fractional perfect matching on the item side; a
+//!    minimum-cost integral matching therefore exists and costs no more.
+//!    We extract it with unit-capacity min-cost flow.
+
+use crate::flow::MinCostFlow;
+use crate::instance::{Assignment, GapInstance};
+use crate::lp_relax::{solve_relaxation, FractionalSolution, GapError};
+
+/// Result of [`solve`]: the rounded assignment plus the LP lower bound used
+/// to certify its quality.
+#[derive(Debug, Clone)]
+pub struct StSolution {
+    /// The integral assignment (cost ≤ `lp_objective`).
+    pub assignment: Assignment,
+    /// Optimal value of the LP relaxation (lower bound on integral OPT).
+    pub lp_objective: f64,
+    /// Cost of `assignment` on the instance.
+    pub assignment_cost: f64,
+}
+
+/// Rounds a fractional solution to an integral assignment.
+///
+/// # Errors
+///
+/// Returns [`GapError::Infeasible`] if the matching cannot saturate every
+/// item (cannot happen for a valid fractional solution; guards against
+/// numerically corrupt inputs).
+///
+/// # Panics
+///
+/// Panics if `frac` references items/bins outside the instance.
+pub fn round(inst: &GapInstance, frac: &FractionalSolution) -> Result<Assignment, GapError> {
+    let n = inst.items();
+    let m = inst.bins();
+
+    // 1. Build slots per bin.
+    #[derive(Debug)]
+    struct SlotEdge {
+        item: usize,
+        bin: usize,
+    }
+    let mut slot_edges: Vec<Vec<SlotEdge>> = Vec::new(); // per slot: candidate items
+    let per_bin = frac.per_bin(m);
+    for (j, mut entries) in per_bin.into_iter().enumerate() {
+        if entries.is_empty() {
+            continue;
+        }
+        // Non-increasing weight order (ties by item id for determinism).
+        entries.sort_by(|a, b| {
+            inst.weight(b.0, j)
+                .partial_cmp(&inst.weight(a.0, j))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let total: f64 = entries.iter().map(|(_, f)| f).sum();
+        let slots = (total - 1e-9).ceil().max(1.0) as usize;
+        let mut current = slot_edges.len();
+        slot_edges.extend((0..slots).map(|_| Vec::new()));
+        let mut filled = 0.0f64; // mass in the current slot
+        for (item, mut f) in entries {
+            while f > 1e-12 {
+                if filled >= 1.0 - 1e-12 {
+                    current += 1;
+                    filled = 0.0;
+                }
+                debug_assert!(current < slot_edges.len(), "slot overflow in bin {j}");
+                let take = f.min(1.0 - filled);
+                // Record the edge once per (item, slot).
+                if slot_edges[current]
+                    .last()
+                    .is_none_or(|e: &SlotEdge| e.item != item)
+                {
+                    slot_edges[current].push(SlotEdge { item, bin: j });
+                }
+                filled += take;
+                f -= take;
+            }
+        }
+    }
+
+    // 2. Min-cost perfect matching on the item side via unit-cap flow.
+    let s_count = slot_edges.len();
+    let src = 0;
+    let item0 = 1;
+    let slot0 = 1 + n;
+    let sink = 1 + n + s_count;
+    let mut f = MinCostFlow::new(n + s_count + 2);
+    let mut pair_arcs = Vec::new();
+    for i in 0..n {
+        f.add_edge(src, item0 + i, 1.0, 0.0);
+    }
+    for (s, edges) in slot_edges.iter().enumerate() {
+        for e in edges {
+            let arc = f.add_edge(item0 + e.item, slot0 + s, 1.0, inst.cost(e.item, e.bin));
+            pair_arcs.push((e.item, e.bin, arc));
+        }
+        f.add_edge(slot0 + s, sink, 1.0, 0.0);
+    }
+    let res = f.run(src, sink, n as f64);
+    if res.flow + 1e-6 < n as f64 {
+        return Err(GapError::Infeasible);
+    }
+
+    let mut of = vec![usize::MAX; n];
+    for (item, bin, arc) in pair_arcs {
+        if f.flow_on(arc) > 0.5 {
+            of[item] = bin;
+        }
+    }
+    debug_assert!(of.iter().all(|&b| b != usize::MAX));
+    Ok(Assignment::new(of))
+}
+
+/// Solves a GAP instance end to end: relaxation + Shmoys–Tardos rounding.
+///
+/// # Errors
+///
+/// Propagates [`GapError`] from the relaxation ([`solve_relaxation`]) or the
+/// rounding ([`round`]).
+///
+/// # Examples
+///
+/// ```
+/// use mec_gap::{GapInstance, shmoys_tardos};
+///
+/// let mut inst = GapInstance::new(2, 2);
+/// inst.set_cost(0, 0, 1.0).set_cost(0, 1, 3.0);
+/// inst.set_cost(1, 0, 2.0).set_cost(1, 1, 1.0);
+/// inst.set_uniform_weights(1.0);
+/// inst.set_capacity(0, 1.0);
+/// inst.set_capacity(1, 1.0);
+/// let sol = shmoys_tardos::solve(&inst).unwrap();
+/// assert!(sol.assignment_cost <= sol.lp_objective + 1e-6);
+/// ```
+pub fn solve(inst: &GapInstance) -> Result<StSolution, GapError> {
+    let frac = solve_relaxation(inst)?;
+    let assignment = round(inst, &frac)?;
+    let assignment_cost = assignment.total_cost(inst);
+    Ok(StSolution {
+        assignment,
+        lp_objective: frac.objective,
+        assignment_cost,
+    })
+}
+
+/// The per-bin augmented-capacity bound the rounding guarantees:
+/// `load(j) ≤ CAP_j + max_i w_ij` over items allowed in `j`.
+pub fn augmented_capacity(inst: &GapInstance, bin: usize) -> f64 {
+    let max_w = (0..inst.items())
+        .filter(|&i| inst.cost(i, bin).is_finite())
+        .map(|i| inst.weight(i, bin))
+        .fold(0.0, f64::max);
+    inst.capacity(bin) + max_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(n: usize) -> GapInstance {
+        let mut inst = GapInstance::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                inst.set_cost(i, j, if i == j { 1.0 } else { 10.0 });
+            }
+        }
+        inst.set_uniform_weights(1.0);
+        for j in 0..n {
+            inst.set_capacity(j, 1.0);
+        }
+        inst
+    }
+
+    #[test]
+    fn diagonal_optimum() {
+        let inst = diag(4);
+        let sol = solve(&inst).unwrap();
+        assert!((sol.assignment_cost - 4.0).abs() < 1e-6);
+        for i in 0..4 {
+            assert_eq!(sol.assignment.bin_of(i), i);
+        }
+    }
+
+    #[test]
+    fn cost_never_exceeds_lp() {
+        let inst = diag(5);
+        let sol = solve(&inst).unwrap();
+        assert!(sol.assignment_cost <= sol.lp_objective + 1e-6);
+    }
+
+    #[test]
+    fn load_within_augmented_capacity() {
+        // Capacities force fractional splits; rounding may overflow by at
+        // most one item weight.
+        let mut inst = GapInstance::new(4, 2);
+        for i in 0..4 {
+            inst.set_cost(i, 0, 1.0).set_cost(i, 1, 2.0);
+            inst.set_item_weight(i, 1.0);
+        }
+        inst.set_capacity(0, 2.0);
+        inst.set_capacity(1, 2.0);
+        let sol = solve(&inst).unwrap();
+        let loads = sol.assignment.loads(&inst);
+        #[allow(clippy::needless_range_loop)] // j is a bin id
+        for j in 0..2 {
+            assert!(loads[j] <= augmented_capacity(&inst, j) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_weights() {
+        let mut inst = GapInstance::new(3, 2);
+        inst.set_cost(0, 0, 1.0).set_cost(0, 1, 2.0);
+        inst.set_cost(1, 0, 1.0).set_cost(1, 1, 2.0);
+        inst.set_cost(2, 0, 5.0).set_cost(2, 1, 1.0);
+        inst.set_item_weight(0, 2.0);
+        inst.set_item_weight(1, 1.0);
+        inst.set_item_weight(2, 1.5);
+        inst.set_capacity(0, 3.0);
+        inst.set_capacity(1, 2.0);
+        let sol = solve(&inst).unwrap();
+        assert!(sol.assignment_cost <= sol.lp_objective + 1e-6);
+        assert!(sol.assignment.max_overflow(&inst) <= 2.0 + 1e-9); // max item weight
+    }
+
+    #[test]
+    fn single_bin_all_fit() {
+        let mut inst = GapInstance::new(3, 1);
+        for i in 0..3 {
+            inst.set_cost(i, 0, 1.0);
+            inst.set_item_weight(i, 1.0);
+        }
+        inst.set_capacity(0, 3.0);
+        let sol = solve(&inst).unwrap();
+        assert!((sol.assignment_cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_item_propagates() {
+        let mut inst = GapInstance::new(1, 1);
+        inst.set_cost(0, 0, 1.0);
+        inst.set_item_weight(0, 9.0);
+        inst.set_capacity(0, 1.0);
+        assert_eq!(
+            solve(&inst).unwrap_err(),
+            GapError::ItemDoesNotFit { item: 0 }
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the GAP pipeline.
+//!
+//! Invariants checked on random small instances:
+//! * the Shmoys–Tardos assignment costs no more than the LP optimum;
+//! * the LP optimum lower-bounds the exact integral optimum;
+//! * rounding never overflows a bin by more than the largest item weight;
+//! * the transportation fast path agrees with the general LP relaxation.
+
+use mec_gap::{exact, greedy, lp_relax, shmoys_tardos, GapInstance};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandInst {
+    items: usize,
+    bins: usize,
+    costs: Vec<f64>,
+    weights: Vec<f64>,
+    cap_slack: f64,
+}
+
+fn rand_inst() -> impl Strategy<Value = RandInst> {
+    (2usize..6, 2usize..4).prop_flat_map(|(items, bins)| {
+        let costs = proptest::collection::vec(0.1..10.0f64, items * bins);
+        let weights = proptest::collection::vec(0.5..2.0f64, items);
+        (Just(items), Just(bins), costs, weights, 1.1..3.0f64).prop_map(
+            |(items, bins, costs, weights, cap_slack)| RandInst {
+                items,
+                bins,
+                costs,
+                weights,
+                cap_slack,
+            },
+        )
+    })
+}
+
+fn build(r: &RandInst) -> GapInstance {
+    let mut inst = GapInstance::new(r.items, r.bins);
+    for i in 0..r.items {
+        for j in 0..r.bins {
+            inst.set_cost(i, j, r.costs[i * r.bins + j]);
+        }
+        inst.set_item_weight(i, r.weights[i]);
+    }
+    // Capacity sized so the instance is always feasible: the total weight
+    // split across bins with some slack.
+    let total: f64 = r.weights.iter().sum();
+    let per_bin = total / r.bins as f64 * r.cap_slack + 2.0;
+    for j in 0..r.bins {
+        inst.set_capacity(j, per_bin);
+    }
+    inst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn st_cost_at_most_lp(r in rand_inst()) {
+        let inst = build(&r);
+        let sol = shmoys_tardos::solve(&inst).unwrap();
+        prop_assert!(sol.assignment_cost <= sol.lp_objective + 1e-6,
+            "rounded {} > LP {}", sol.assignment_cost, sol.lp_objective);
+    }
+
+    #[test]
+    fn lp_lower_bounds_exact(r in rand_inst()) {
+        let inst = build(&r);
+        let sol = shmoys_tardos::solve(&inst).unwrap();
+        let opt = exact::solve(&inst).unwrap();
+        prop_assert!(sol.lp_objective <= opt.total_cost(&inst) + 1e-6,
+            "LP {} > OPT {}", sol.lp_objective, opt.total_cost(&inst));
+    }
+
+    #[test]
+    fn rounding_overflow_bounded(r in rand_inst()) {
+        let inst = build(&r);
+        let sol = shmoys_tardos::solve(&inst).unwrap();
+        let max_w = r.weights.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(sol.assignment.max_overflow(&inst) <= max_w + 1e-9);
+    }
+
+    #[test]
+    fn transportation_agrees_with_lp(r in rand_inst()) {
+        let inst = build(&r);
+        let a = lp_relax::solve_lp(&inst).unwrap();
+        let b = lp_relax::solve_transportation(&inst).unwrap();
+        prop_assert!((a.objective - b.objective).abs() < 1e-5,
+            "LP {} vs transportation {}", a.objective, b.objective);
+    }
+
+    #[test]
+    fn greedy_feasible_when_it_succeeds(r in rand_inst()) {
+        let inst = build(&r);
+        if let Ok(a) = greedy::solve(&inst) {
+            prop_assert!(a.is_capacity_feasible(&inst));
+            let opt = exact::solve(&inst).unwrap();
+            prop_assert!(a.total_cost(&inst) >= opt.total_cost(&inst) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn fractional_solution_covers_items(r in rand_inst()) {
+        let inst = build(&r);
+        let frac = lp_relax::solve_relaxation(&inst).unwrap();
+        prop_assert!(frac.covers_all_items(r.items));
+    }
+}

@@ -1,0 +1,35 @@
+//! A dense two-phase primal-simplex linear-programming solver.
+//!
+//! The Shmoys–Tardos approximation algorithm for the Generalized Assignment
+//! Problem (used by the paper's `Appro` algorithm) needs the optimal solution
+//! of an LP relaxation. No external solver is assumed; this crate implements
+//! a compact, deterministic two-phase primal simplex with Bland's rule as an
+//! anti-cycling fallback.
+//!
+//! The solver handles problems of the form
+//!
+//! ```text
+//! minimize    c · x
+//! subject to  A_i · x  (≤ | = | ≥)  b_i     for every row i
+//!             x ≥ 0
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use mec_lp::{LpBuilder, Relation};
+//!
+//! // minimize  -x - 2y   s.t.  x + y <= 4,  y <= 3,  x,y >= 0
+//! let mut lp = LpBuilder::new(2);
+//! lp.objective(&[-1.0, -2.0]);
+//! lp.constraint(&[1.0, 1.0], Relation::Le, 4.0);
+//! lp.constraint(&[0.0, 1.0], Relation::Le, 3.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective - (-7.0)).abs() < 1e-9); // x=1, y=3
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod simplex;
+
+pub use simplex::{LpBuilder, LpError, LpSolution, Relation};

@@ -1,0 +1,614 @@
+//! Two-phase dense tableau simplex.
+//!
+//! Deterministic: Dantzig pricing with a Bland's-rule fallback after a fixed
+//! iteration budget, so cycling cannot occur. All numerics use absolute
+//! tolerances scaled to the problem data.
+
+use std::fmt;
+
+/// Relation of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `A_i · x ≤ b_i`
+    Le,
+    /// `A_i · x = b_i`
+    Eq,
+    /// `A_i · x ≥ b_i`
+    Ge,
+}
+
+/// Errors returned by [`LpBuilder::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// A coefficient slice had the wrong length.
+    DimensionMismatch {
+        /// Number of structural variables the builder was created with.
+        expected: usize,
+        /// Length of the offending slice.
+        got: usize,
+    },
+    /// The iteration budget was exhausted (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::DimensionMismatch { expected, got } => {
+                write!(f, "coefficient slice has length {got}, expected {expected}")
+            }
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution of a linear program.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal values of the structural variables.
+    pub x: Vec<f64>,
+    /// Optimal objective value `c · x`.
+    pub objective: f64,
+    /// Dual values (shadow prices), one per constraint row in insertion
+    /// order. For a minimization, `duals[i]` is the marginal change of the
+    /// optimal objective per unit increase of `b_i`; strong duality
+    /// (`b · y = c · x`) holds at the optimum.
+    pub duals: Vec<f64>,
+}
+
+/// Builder for a minimization LP over non-negative variables.
+///
+/// See the [crate-level docs](crate) for the problem form and an example.
+#[derive(Debug, Clone)]
+pub struct LpBuilder {
+    n: usize,
+    c: Vec<f64>,
+    rows: Vec<Row>,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    coeffs: Vec<f64>,
+    rel: Relation,
+    rhs: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+impl LpBuilder {
+    /// Creates a builder for an LP with `n` structural variables, all with a
+    /// zero objective coefficient until [`LpBuilder::objective`] is called.
+    pub fn new(n: usize) -> Self {
+        LpBuilder {
+            n,
+            c: vec![0.0; n],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn var_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraint rows added so far.
+    pub fn constraint_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective coefficients (minimization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::DimensionMismatch`] if `coeffs.len() != n`.
+    pub fn objective(&mut self, coeffs: &[f64]) -> &mut Self {
+        assert_eq!(
+            coeffs.len(),
+            self.n,
+            "objective has {} coefficients, LP has {} variables",
+            coeffs.len(),
+            self.n
+        );
+        self.c.copy_from_slice(coeffs);
+        self
+    }
+
+    /// Adds the constraint `coeffs · x (rel) rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n` or if any value is non-finite.
+    pub fn constraint(&mut self, coeffs: &[f64], rel: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(
+            coeffs.len(),
+            self.n,
+            "constraint has {} coefficients, LP has {} variables",
+            coeffs.len(),
+            self.n
+        );
+        assert!(
+            coeffs.iter().all(|v| v.is_finite()) && rhs.is_finite(),
+            "constraint contains non-finite values"
+        );
+        self.rows.push(Row {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
+        self
+    }
+
+    /// Solves the LP with the two-phase primal simplex.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] — no point satisfies all constraints.
+    /// * [`LpError::Unbounded`] — the objective decreases without bound.
+    /// * [`LpError::IterationLimit`] — the pivot budget was exhausted.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        Tableau::build(self).solve(&self.c, self.n)
+    }
+}
+
+/// Dense simplex tableau in canonical form.
+struct Tableau {
+    m: usize,
+    /// Total columns excluding the RHS.
+    ncols: usize,
+    /// Row-major `m × (ncols + 1)`; the last column is the RHS.
+    t: Vec<f64>,
+    basis: Vec<usize>,
+    /// First artificial column index (artificials occupy `art0..ncols`).
+    art0: usize,
+    /// Per original row: the auxiliary column carrying its dual (slack,
+    /// surplus or artificial) and that column's coefficient (+1 / −1).
+    row_marker: Vec<(usize, f64)>,
+    /// Per original row: −1 if the row was multiplied by −1 to make b ≥ 0.
+    row_sign: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(lp: &LpBuilder) -> Tableau {
+        let m = lp.rows.len();
+        let n = lp.n;
+        // Count auxiliary columns.
+        let mut slack = 0;
+        let mut art = 0;
+        for r in &lp.rows {
+            let b_neg = r.rhs < 0.0;
+            let rel = flip(r.rel, b_neg);
+            match rel {
+                Relation::Le => slack += 1,
+                Relation::Ge => {
+                    slack += 1;
+                    art += 1;
+                }
+                Relation::Eq => art += 1,
+            }
+        }
+        let ncols = n + slack + art;
+        let art0 = n + slack;
+        let width = ncols + 1;
+        let mut t = vec![0.0; m * width];
+        let mut basis = vec![usize::MAX; m];
+        let mut next_slack = n;
+        let mut next_art = art0;
+        let mut row_marker = vec![(usize::MAX, 1.0); m];
+        let mut row_sign = vec![1.0; m];
+
+        for (i, r) in lp.rows.iter().enumerate() {
+            let b_neg = r.rhs < 0.0;
+            let sign = if b_neg { -1.0 } else { 1.0 };
+            let rel = flip(r.rel, b_neg);
+            let row = &mut t[i * width..(i + 1) * width];
+            for (j, &v) in r.coeffs.iter().enumerate() {
+                row[j] = sign * v;
+            }
+            row[ncols] = sign * r.rhs;
+            row_sign[i] = sign;
+            match rel {
+                Relation::Le => {
+                    row[next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    row_marker[i] = (next_slack, 1.0);
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    row[next_slack] = -1.0;
+                    row_marker[i] = (next_slack, -1.0);
+                    next_slack += 1;
+                    row[next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Relation::Eq => {
+                    row[next_art] = 1.0;
+                    basis[i] = next_art;
+                    row_marker[i] = (next_art, 1.0);
+                    next_art += 1;
+                }
+            }
+        }
+        Tableau {
+            m,
+            ncols,
+            t,
+            basis,
+            art0,
+            row_marker,
+            row_sign,
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.t[i * (self.ncols + 1) + j]
+    }
+
+    #[inline]
+    fn rhs(&self, i: usize) -> f64 {
+        self.at(i, self.ncols)
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.ncols + 1;
+        let piv = self.t[row * width + col];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for j in 0..width {
+            self.t[row * width + j] *= inv;
+        }
+        for i in 0..self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.t[i * width + col];
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for j in 0..width {
+                let v = self.t[row * width + j];
+                self.t[i * width + j] -= factor * v;
+            }
+            // Kill residual round-off in the pivot column.
+            self.t[i * width + col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations minimizing `cost` (length `ncols`).
+    /// `allowed(j)` limits which columns may enter.
+    fn optimize<F: Fn(usize) -> bool>(
+        &mut self,
+        cost: &[f64],
+        allowed: F,
+    ) -> Result<(), LpError> {
+        let max_iter = 200 + 20 * (self.m + self.ncols);
+        let bland_after = 100 + 10 * (self.m + self.ncols);
+        for iter in 0..max_iter {
+            let bland = iter >= bland_after;
+            // Reduced costs r_j = cost_j - y · A_j with y_i = cost[basis_i].
+            let mut entering: Option<usize> = None;
+            let mut best = -EPS * 10.0;
+            for j in 0..self.ncols {
+                if !allowed(j) || self.basis.contains(&j) {
+                    continue;
+                }
+                let mut rj = cost[j];
+                for i in 0..self.m {
+                    let cb = cost[self.basis[i]];
+                    if cb != 0.0 {
+                        rj -= cb * self.at(i, j);
+                    }
+                }
+                if rj < best {
+                    if bland {
+                        entering = Some(j);
+                        break;
+                    }
+                    best = rj;
+                    entering = Some(j);
+                }
+            }
+            let Some(e) = entering else {
+                return Ok(());
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.m {
+                let a = self.at(i, e);
+                if a > EPS {
+                    let ratio = self.rhs(i) / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(l) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(l, e);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    fn solve(mut self, c: &[f64], n: usize) -> Result<LpSolution, LpError> {
+        // Phase 1: minimize the sum of artificials.
+        if self.art0 < self.ncols {
+            let mut cost1 = vec![0.0; self.ncols];
+            #[allow(clippy::needless_range_loop)] // j is a column id
+            for j in self.art0..self.ncols {
+                cost1[j] = 1.0;
+            }
+            self.optimize(&cost1, |_| true)?;
+            let phase1: f64 = (0..self.m)
+                .filter(|&i| self.basis[i] >= self.art0)
+                .map(|i| self.rhs(i))
+                .sum();
+            if phase1 > 1e-6 {
+                return Err(LpError::Infeasible);
+            }
+            // Drive artificials at zero level out of the basis when possible.
+            for i in 0..self.m {
+                if self.basis[i] >= self.art0 {
+                    if let Some(j) = (0..self.art0).find(|&j| self.at(i, j).abs() > 1e-7) {
+                        self.pivot(i, j);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: minimize the true objective; artificials may not re-enter.
+        let mut cost2 = vec![0.0; self.ncols];
+        cost2[..n].copy_from_slice(c);
+        let art0 = self.art0;
+        self.optimize(&cost2, |j| j < art0)?;
+
+        let mut x = vec![0.0; n];
+        for i in 0..self.m {
+            if self.basis[i] < n {
+                x[self.basis[i]] = self.rhs(i).max(0.0);
+            }
+        }
+        let objective = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+
+        // Duals from the reduced costs of each row's marker column:
+        // the marker is `coeff · e_row`, so r = -coeff · y_row (its own
+        // objective coefficient is zero in phase 2), and the original-row
+        // dual undoes the b >= 0 normalization sign.
+        let mut duals = vec![0.0; self.m];
+        #[allow(clippy::needless_range_loop)] // row is a constraint id
+        for row in 0..self.m {
+            let (col, coeff) = self.row_marker[row];
+            if col == usize::MAX {
+                continue;
+            }
+            let mut r = cost2[col];
+            for i in 0..self.m {
+                let cb = cost2[self.basis[i]];
+                if cb != 0.0 {
+                    r -= cb * self.at(i, col);
+                }
+            }
+            duals[row] = self.row_sign[row] * (-r / coeff);
+        }
+        Ok(LpSolution { x, objective, duals })
+    }
+}
+
+fn flip(rel: Relation, negate: bool) -> Relation {
+    if !negate {
+        return rel;
+    }
+    match rel {
+        Relation::Le => Relation::Ge,
+        Relation::Ge => Relation::Le,
+        Relation::Eq => Relation::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn basic_maximization_as_minimization() {
+        // max x + 2y s.t. x+y<=4, y<=3 -> min -x-2y, opt at (1,3): -7.
+        let mut lp = LpBuilder::new(2);
+        lp.objective(&[-1.0, -2.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Le, 4.0);
+        lp.constraint(&[0.0, 1.0], Relation::Le, 3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -7.0);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 3.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x+y s.t. x+2y = 4, x,y >= 0 -> y=2, x=0, obj 2.
+        let mut lp = LpBuilder::new(2);
+        lp.objective(&[1.0, 1.0]);
+        lp.constraint(&[1.0, 2.0], Relation::Eq, 4.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 2.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min 2x+3y s.t. x+y >= 5, x <= 3 -> x=3, y=2, obj 12.
+        let mut lp = LpBuilder::new(2);
+        lp.objective(&[2.0, 3.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Ge, 5.0);
+        lp.constraint(&[1.0, 0.0], Relation::Le, 3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 12.0);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min x s.t. -x <= -3  (i.e. x >= 3) -> x=3.
+        let mut lp = LpBuilder::new(1);
+        lp.objective(&[1.0]);
+        lp.constraint(&[-1.0], Relation::Le, -3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.x[0], 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpBuilder::new(1);
+        lp.objective(&[1.0]);
+        lp.constraint(&[1.0], Relation::Le, 1.0);
+        lp.constraint(&[1.0], Relation::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpBuilder::new(1);
+        lp.objective(&[-1.0]);
+        lp.constraint(&[-1.0], Relation::Le, 0.0); // x >= 0, minimize -x
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn zero_objective_returns_feasible_point() {
+        let mut lp = LpBuilder::new(2);
+        lp.constraint(&[1.0, 1.0], Relation::Eq, 1.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.x[0] + s.x[1], 1.0);
+        assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate example (multiple identical corners).
+        let mut lp = LpBuilder::new(3);
+        lp.objective(&[-0.75, 150.0, -0.02]);
+        lp.constraint(&[0.25, -60.0, -0.04], Relation::Le, 0.0);
+        lp.constraint(&[0.5, -90.0, -0.02], Relation::Le, 0.0);
+        lp.constraint(&[0.0, 0.0, 1.0], Relation::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert!(s.objective.is_finite());
+    }
+
+    #[test]
+    fn transportation_like_lp() {
+        // 2 items to 2 bins, assignment rows Eq, capacity rows Le.
+        // Vars: x00 x01 x10 x11; costs 1,3,2,1.
+        let mut lp = LpBuilder::new(4);
+        lp.objective(&[1.0, 3.0, 2.0, 1.0]);
+        lp.constraint(&[1.0, 1.0, 0.0, 0.0], Relation::Eq, 1.0);
+        lp.constraint(&[0.0, 0.0, 1.0, 1.0], Relation::Eq, 1.0);
+        lp.constraint(&[1.0, 0.0, 1.0, 0.0], Relation::Le, 1.0);
+        lp.constraint(&[0.0, 1.0, 0.0, 1.0], Relation::Le, 1.0);
+        let s = lp.solve().unwrap();
+        // Optimal: item0->bin0 (1), item1->bin1 (1) => 2.
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        let mut lp = LpBuilder::new(2);
+        lp.objective(&[1.0, 2.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Eq, 2.0);
+        lp.constraint(&[2.0, 2.0], Relation::Eq, 4.0); // redundant copy
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 2.0); // x=2, y=0
+    }
+
+    #[test]
+    fn solution_within_bounds() {
+        let mut lp = LpBuilder::new(3);
+        lp.objective(&[-1.0, -1.0, -1.0]);
+        lp.constraint(&[1.0, 0.0, 0.0], Relation::Le, 2.0);
+        lp.constraint(&[0.0, 1.0, 0.0], Relation::Le, 3.0);
+        lp.constraint(&[0.0, 0.0, 1.0], Relation::Le, 4.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -9.0);
+        for v in &s.x {
+            assert!(*v >= -1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "variables")]
+    fn dimension_mismatch_panics() {
+        let mut lp = LpBuilder::new(2);
+        lp.constraint(&[1.0], Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality() {
+        // max x + 2y s.t. x+y<=4, y<=3  (min -x-2y): y* = (-1, -1),
+        // b·y = 4(-1) + 3(-1) = -7 = objective.
+        let mut lp = LpBuilder::new(2);
+        lp.objective(&[-1.0, -2.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Le, 4.0);
+        lp.constraint(&[0.0, 1.0], Relation::Le, 3.0);
+        let s = lp.solve().unwrap();
+        let by: f64 = 4.0 * s.duals[0] + 3.0 * s.duals[1];
+        assert_close(by, s.objective);
+        assert_close(s.duals[0], -1.0);
+        assert_close(s.duals[1], -1.0);
+    }
+
+    #[test]
+    fn duals_for_ge_and_eq_rows() {
+        // min 2x+3y s.t. x+y >= 5, x <= 3: x=3, y=2, obj 12.
+        // Duals: y_ge = 3 (marginal unit of demand costs 3 via y),
+        // y_le = -1 (one more unit of x-capacity saves 3-2=1).
+        let mut lp = LpBuilder::new(2);
+        lp.objective(&[2.0, 3.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Ge, 5.0);
+        lp.constraint(&[1.0, 0.0], Relation::Le, 3.0);
+        let s = lp.solve().unwrap();
+        assert_close(5.0 * s.duals[0] + 3.0 * s.duals[1], s.objective);
+        assert_close(s.duals[0], 3.0);
+        assert_close(s.duals[1], -1.0);
+
+        // Equality version: min x+y s.t. x+2y = 4 -> y=2 obj 2; dual 0.5.
+        let mut lp2 = LpBuilder::new(2);
+        lp2.objective(&[1.0, 1.0]);
+        lp2.constraint(&[1.0, 2.0], Relation::Eq, 4.0);
+        let s2 = lp2.solve().unwrap();
+        assert_close(s2.duals[0], 0.5);
+        assert_close(4.0 * s2.duals[0], s2.objective);
+    }
+
+    #[test]
+    fn complementary_slackness() {
+        // Slack constraint (y <= 3 not tight when y* < 3) has dual 0.
+        let mut lp = LpBuilder::new(2);
+        lp.objective(&[-1.0, -2.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Le, 4.0);
+        lp.constraint(&[0.0, 1.0], Relation::Le, 30.0); // never tight
+        let s = lp.solve().unwrap();
+        assert_close(s.duals[1], 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+    }
+}

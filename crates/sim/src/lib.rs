@@ -1,0 +1,39 @@
+//! Discrete-event simulation of the two-tiered MEC network.
+//!
+//! While `mec-core` evaluates placements with the paper's closed-form cost
+//! model, this crate replays the actual request streams — uplink transfers,
+//! FIFO VM queues per cloudlet, asynchronous consistency updates — so that
+//! latency claims ("caching cuts the motion-to-photon detour") can be
+//! observed rather than assumed, and the dollar accounting can be
+//! cross-checked against the analytical social cost.
+//!
+//! * [`event`] — deterministic discrete-event queue,
+//! * [`simulator`] — the request-level simulation.
+//!
+//! # Examples
+//!
+//! ```
+//! use mec_sim::{simulate, nearest_cloudlet_profile, SimConfig};
+//! use mec_workload::{gtitm_scenario, Params};
+//!
+//! let s = gtitm_scenario(100, &Params::paper().with_providers(10), 1);
+//! let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+//! let report = simulate(&s.net, &s.generated, &profile, &SimConfig::default());
+//! assert!(report.completed > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod mobility;
+pub mod simulator;
+pub mod stats;
+pub mod trace;
+
+pub use simulator::{
+    nearest_cloudlet_profile, simulate, simulate_all_remote, ArrivalProcess, CloudletStats,
+    SimConfig, SimReport,
+};
+pub use mobility::{mobility_drift, MobilityConfig, MobilityReport};
+pub use stats::{replicate, ReplicationReport, Summary};
+pub use trace::{RequestRecord, ServedAt, Trace};

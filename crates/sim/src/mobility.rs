@@ -1,0 +1,224 @@
+//! User mobility: how placements age as users move.
+//!
+//! Cached placements are computed against a snapshot of user locations,
+//! but mobile users drift (the paper's motivating AR/VR users walk through
+//! museums and stadiums). This module models each provider's user
+//! population as a token doing a lazy random walk on the physical graph
+//! and measures how the access latency of a *fixed* placement degrades
+//! relative to an idealized placement that follows the users — the
+//! replacement-pressure signal a dynamic mechanism (see
+//! `mec_core::dynamics`) responds to.
+
+use mec_core::strategy::{Placement, Profile};
+use mec_core::ProviderId;
+use mec_topology::{MecNetwork, NodeId};
+use mec_workload::GeneratedMarket;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Mobility-model configuration.
+#[derive(Debug, Clone)]
+pub struct MobilityConfig {
+    /// Number of epochs to walk.
+    pub epochs: usize,
+    /// Probability a user token moves to a random neighbor each epoch.
+    pub move_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MobilityConfig {
+    fn default() -> Self {
+        MobilityConfig {
+            epochs: 12,
+            move_prob: 0.6,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch latency series of a placement under mobility.
+#[derive(Debug, Clone)]
+pub struct MobilityReport {
+    /// Mean user→serving-site distance (ms) per epoch under the *fixed*
+    /// placement.
+    pub fixed_latency_ms: Vec<f64>,
+    /// Mean user→nearest-cloudlet distance (ms) per epoch — what an
+    /// always-replaced placement could achieve.
+    pub chasing_latency_ms: Vec<f64>,
+}
+
+impl MobilityReport {
+    /// Ratio of final-epoch fixed latency to epoch-0 fixed latency
+    /// (how much the placement aged).
+    pub fn aging_factor(&self) -> f64 {
+        let first = self.fixed_latency_ms.first().copied().unwrap_or(1.0);
+        let last = self.fixed_latency_ms.last().copied().unwrap_or(1.0);
+        if first > 0.0 {
+            last / first
+        } else {
+            1.0
+        }
+    }
+
+    /// Mean per-epoch latency gap between the fixed placement and the
+    /// user-chasing ideal, ms.
+    pub fn mean_gap_ms(&self) -> f64 {
+        let n = self.fixed_latency_ms.len().max(1) as f64;
+        self.fixed_latency_ms
+            .iter()
+            .zip(&self.chasing_latency_ms)
+            .map(|(f, c)| f - c)
+            .sum::<f64>()
+            / n
+    }
+}
+
+/// Walks every provider's users for `config.epochs` epochs and measures
+/// the access latency of `profile` at each epoch.
+///
+/// Remote placements are measured to the provider's home data center.
+///
+/// # Panics
+///
+/// Panics if `profile` does not cover the market or `move_prob` is outside
+/// `[0, 1]`.
+pub fn mobility_drift(
+    net: &MecNetwork,
+    gen: &GeneratedMarket,
+    profile: &Profile,
+    config: &MobilityConfig,
+) -> MobilityReport {
+    assert_eq!(
+        profile.len(),
+        gen.market.provider_count(),
+        "profile/market mismatch"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.move_prob),
+        "move_prob must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let graph = &net.topology().graph;
+    let mut positions: Vec<NodeId> = gen.providers.iter().map(|m| m.user_node).collect();
+
+    let mut fixed = Vec::with_capacity(config.epochs);
+    let mut chasing = Vec::with_capacity(config.epochs);
+    for _ in 0..config.epochs {
+        // Measure.
+        let mut f_total = 0.0;
+        let mut c_total = 0.0;
+        for (idx, &pos) in positions.iter().enumerate() {
+            let l = ProviderId(idx);
+            let site_dist = match profile.placement(l) {
+                Placement::Cloudlet(c) => net.node_cloudlet_distance(pos, c),
+                Placement::Remote => net.node_dc_distance(pos, gen.providers[idx].home_dc),
+            };
+            f_total += site_dist;
+            let nearest = net.nearest_cloudlet(pos);
+            c_total += net.node_cloudlet_distance(pos, nearest);
+        }
+        let n = positions.len().max(1) as f64;
+        fixed.push(f_total / n);
+        chasing.push(c_total / n);
+
+        // Walk.
+        for pos in positions.iter_mut() {
+            if rng.random_bool(config.move_prob) {
+                let nbrs: Vec<NodeId> = graph.neighbors(*pos).map(|(v, _)| v).collect();
+                if !nbrs.is_empty() {
+                    *pos = nbrs[rng.random_range(0..nbrs.len())];
+                }
+            }
+        }
+    }
+    MobilityReport {
+        fixed_latency_ms: fixed,
+        chasing_latency_ms: chasing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::nearest_cloudlet_profile;
+    use mec_workload::{gtitm_scenario, Params, Scenario};
+
+    fn scenario() -> Scenario {
+        gtitm_scenario(120, &Params::paper().with_providers(25), 3)
+    }
+
+    #[test]
+    fn chasing_never_beaten_by_fixed() {
+        let s = scenario();
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let rep = mobility_drift(&s.net, &s.generated, &profile, &MobilityConfig::default());
+        for (f, c) in rep.fixed_latency_ms.iter().zip(&rep.chasing_latency_ms) {
+            assert!(*f >= *c - 1e-9, "fixed {f} < chasing {c}");
+        }
+    }
+
+    #[test]
+    fn epoch_zero_matches_for_nearest_placement() {
+        // The nearest-cloudlet placement is optimal for epoch-0 positions.
+        let s = scenario();
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let rep = mobility_drift(&s.net, &s.generated, &profile, &MobilityConfig::default());
+        assert!(
+            (rep.fixed_latency_ms[0] - rep.chasing_latency_ms[0]).abs() < 1e-9,
+            "epoch 0 should match"
+        );
+    }
+
+    #[test]
+    fn placements_age_under_mobility() {
+        let s = scenario();
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let rep = mobility_drift(
+            &s.net,
+            &s.generated,
+            &profile,
+            &MobilityConfig {
+                epochs: 20,
+                move_prob: 0.9,
+                seed: 1,
+            },
+        );
+        assert!(
+            rep.aging_factor() > 1.0,
+            "placement did not age: {}",
+            rep.aging_factor()
+        );
+        assert!(rep.mean_gap_ms() >= 0.0);
+    }
+
+    #[test]
+    fn zero_mobility_is_flat() {
+        let s = scenario();
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let rep = mobility_drift(
+            &s.net,
+            &s.generated,
+            &profile,
+            &MobilityConfig {
+                epochs: 5,
+                move_prob: 0.0,
+                seed: 2,
+            },
+        );
+        let first = rep.fixed_latency_ms[0];
+        for f in &rep.fixed_latency_ms {
+            assert!((f - first).abs() < 1e-12);
+        }
+        assert!((rep.aging_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = scenario();
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let a = mobility_drift(&s.net, &s.generated, &profile, &MobilityConfig::default());
+        let b = mobility_drift(&s.net, &s.generated, &profile, &MobilityConfig::default());
+        assert_eq!(a.fixed_latency_ms, b.fixed_latency_ms);
+    }
+}

@@ -1,0 +1,590 @@
+//! End-to-end request simulation of a caching profile.
+//!
+//! Given a placement [`Profile`], the simulator replays every provider's
+//! request stream through the two-tiered network:
+//!
+//! 1. **Uplink transfer** — the request payload travels from the user node
+//!    to the serving site (cached cloudlet or remote DC); duration =
+//!    propagation (path latency) + payload / per-request bandwidth.
+//! 2. **Processing** — each cloudlet is a `C_i`-server FIFO queue (its VMs);
+//!    data centers have effectively unlimited servers. Service time =
+//!    payload / per-VM processing rate.
+//! 3. **Consistency update** — cached instances asynchronously push their
+//!    amortized update volume back to the home DC (accounted, not blocking).
+//!
+//! The simulator reports latency distributions, per-cloudlet utilization
+//! and a dollar cost computed with the same pricing as the analytical
+//! model, letting tests cross-check the closed-form social cost against a
+//! packet-level replay.
+
+use mec_core::strategy::{Placement, Profile};
+use mec_topology::{CloudletId, MecNetwork};
+use mec_workload::GeneratedMarket;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::event::EventQueue;
+
+/// How request arrival instants are drawn within the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrivalProcess {
+    /// Each of the `r_l` requests arrives uniformly at random (default).
+    #[default]
+    Uniform,
+    /// Poisson process with rate `r_l / horizon` (exponential gaps),
+    /// truncated to the horizon — burstier, stresses the VM queues harder.
+    Poisson,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated horizon in seconds; each provider's `r_l` requests arrive
+    /// within it.
+    pub horizon_s: f64,
+    /// Per-VM processing rate, GB/s.
+    pub vm_proc_rate_gb_s: f64,
+    /// Per-request uplink bandwidth, Mbps (mirrors `b_l`).
+    pub uplink_mbps: f64,
+    /// Extra propagation multiplier for reaching a remote data center
+    /// (core-network detour).
+    pub remote_latency_factor: f64,
+    /// Model the cloudlet access link as a shared serial pipe of capacity
+    /// `B(CL_i)`: concurrent uploads queue behind each other. When off,
+    /// uplinks are independent (the paper's bandwidth-reservation view).
+    pub access_link_contention: bool,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Collect a per-request [`crate::trace::Trace`] in the report.
+    pub record_trace: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon_s: 100.0,
+            vm_proc_rate_gb_s: 0.05,
+            uplink_mbps: 50.0,
+            remote_latency_factor: 5.0,
+            access_link_contention: false,
+            arrivals: ArrivalProcess::Uniform,
+            record_trace: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-cloudlet statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CloudletStats {
+    /// Requests served by this cloudlet.
+    pub served: u64,
+    /// Mean number of busy VMs over the horizon.
+    pub mean_busy_vms: f64,
+    /// Peak queue length observed.
+    pub peak_queue: usize,
+}
+
+/// Simulation output.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Requests completed within the horizon (+ drain phase).
+    pub completed: u64,
+    /// Mean end-to-end latency, milliseconds.
+    pub avg_latency_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_latency_ms: f64,
+    /// Mean latency of requests served by cloudlets, milliseconds.
+    pub cached_latency_ms: f64,
+    /// Mean latency of remotely served requests, milliseconds
+    /// (NaN when nothing was served remotely).
+    pub remote_latency_ms: f64,
+    /// Total dollar cost accrued (transmission + processing + updates).
+    pub total_cost: f64,
+    /// Per-cloudlet statistics.
+    pub cloudlets: Vec<CloudletStats>,
+    /// Per-request trace (present when [`SimConfig::record_trace`] is set).
+    pub trace: Option<crate::trace::Trace>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A request reached the cloudlet's access link (contention mode only)
+    /// and must serialize over the shared pipe before processing.
+    LinkArrive {
+        provider: usize,
+        cloudlet: usize,
+        sent_at: f64,
+    },
+    /// A request finished its uplink and reaches the serving site.
+    Arrive {
+        provider: usize,
+        site: Site,
+        sent_at: f64,
+    },
+    /// A request finished processing.
+    Finish { provider: usize, site: Site, sent_at: f64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Site {
+    Cloudlet(usize),
+    Remote,
+}
+
+struct CloudletState {
+    servers: usize,
+    busy: usize,
+    queue: std::collections::VecDeque<(usize, f64)>, // (provider, sent_at)
+    served: u64,
+    busy_integral: f64,
+    last_change: f64,
+    peak_queue: usize,
+}
+
+impl CloudletState {
+    fn tick(&mut self, now: f64) {
+        self.busy_integral += self.busy as f64 * (now - self.last_change);
+        self.last_change = now;
+    }
+}
+
+/// Runs the simulation.
+///
+/// # Panics
+///
+/// Panics if `profile` does not cover every provider of the market or if
+/// the config contains non-positive rates.
+pub fn simulate(
+    net: &MecNetwork,
+    gen: &GeneratedMarket,
+    profile: &Profile,
+    config: &SimConfig,
+) -> SimReport {
+    assert_eq!(
+        profile.len(),
+        gen.market.provider_count(),
+        "profile/market mismatch"
+    );
+    assert!(config.horizon_s > 0.0, "horizon must be positive");
+    assert!(config.vm_proc_rate_gb_s > 0.0, "processing rate must be positive");
+    assert!(config.uplink_mbps > 0.0, "uplink bandwidth must be positive");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let market = &gen.market;
+
+    let mut cls: Vec<CloudletState> = market
+        .cloudlets()
+        .map(|i| CloudletState {
+            servers: market.cloudlet(i).compute_capacity.max(1.0) as usize,
+            busy: 0,
+            queue: std::collections::VecDeque::new(),
+            served: 0,
+            busy_integral: 0.0,
+            last_change: 0.0,
+            peak_queue: 0,
+        })
+        .collect();
+
+    // Pre-compute per-provider request parameters and schedule arrivals.
+    let mut per_request_gb = vec![0.0; market.provider_count()];
+    let mut uplink_ms = vec![0.0; market.provider_count()];
+    let mut total_cost = 0.0;
+    for (idx, meta) in gen.providers.iter().enumerate() {
+        let l = mec_core::ProviderId(idx);
+        per_request_gb[idx] = meta.traffic_gb / meta.requests.max(1) as f64;
+        let site = profile.placement(l);
+        // Propagation latency of the uplink path (ms).
+        let prop_ms = match site {
+            Placement::Cloudlet(c) => net.node_cloudlet_distance(meta.user_node, c),
+            Placement::Remote => {
+                net.node_dc_distance(meta.user_node, meta.home_dc) * config.remote_latency_factor
+            }
+        };
+        // Serialization delay: payload over the per-request uplink.
+        let gb = per_request_gb[idx];
+        let ser_ms = gb * 8.0 * 1024.0 / config.uplink_mbps * 1000.0 / 1000.0; // Gb / (Gb/s) in ms
+        uplink_ms[idx] = prop_ms + ser_ms;
+
+        let s = match site {
+            Placement::Cloudlet(c) => Site::Cloudlet(c.index()),
+            Placement::Remote => Site::Remote,
+        };
+        let rate = meta.requests.max(1) as f64 / config.horizon_s;
+        let mut poisson_t = 0.0;
+        for _ in 0..meta.requests {
+            let at = match config.arrivals {
+                ArrivalProcess::Uniform => rng.random_range(0.0..config.horizon_s),
+                ArrivalProcess::Poisson => {
+                    let u: f64 = rng.random_range(1e-12..1.0);
+                    poisson_t += -u.ln() / rate;
+                    poisson_t % config.horizon_s
+                }
+            };
+            match (s, config.access_link_contention) {
+                (Site::Cloudlet(ci), true) => {
+                    // Propagation only; serialization happens at the
+                    // shared access link.
+                    q.schedule(
+                        at + prop_ms / 1000.0,
+                        Ev::LinkArrive {
+                            provider: idx,
+                            cloudlet: ci,
+                            sent_at: at,
+                        },
+                    );
+                }
+                _ => {
+                    q.schedule(
+                        at + uplink_ms[idx] / 1000.0,
+                        Ev::Arrive {
+                            provider: idx,
+                            site: s,
+                            sent_at: at,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Dollar accounting mirrors Eq. (3)/(6) exactly: congestion-priced
+        // caching cost for cached services, remote cost otherwise — so the
+        // replayed total cross-checks the analytical social cost.
+        match site {
+            Placement::Cloudlet(c) => {
+                let sigma = (0..profile.len())
+                    .filter(|&k| {
+                        profile.placement(mec_core::ProviderId(k)) == Placement::Cloudlet(c)
+                    })
+                    .count();
+                total_cost += market.caching_cost(l, c, sigma);
+            }
+            Placement::Remote => {
+                total_cost += market.provider(l).remote_cost;
+            }
+        }
+    }
+
+    let service_time =
+        |gb: f64| -> f64 { gb / config.vm_proc_rate_gb_s };
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut cached_lat = Vec::new();
+    let mut remote_lat = Vec::new();
+    let mut records: Vec<crate::trace::RequestRecord> = Vec::new();
+    // Shared access-link availability per cloudlet (contention mode).
+    let mut link_free = vec![0.0f64; market.cloudlet_count()];
+
+    while let Some((now, ev)) = q.pop() {
+        match ev {
+            Ev::LinkArrive {
+                provider,
+                cloudlet,
+                sent_at,
+            } => {
+                let bw_mbps = market
+                    .cloudlet(CloudletId(cloudlet))
+                    .bandwidth_capacity
+                    .max(1.0);
+                let ser_s = per_request_gb[provider] * 8.0 * 1024.0 / bw_mbps;
+                let start = now.max(link_free[cloudlet]);
+                link_free[cloudlet] = start + ser_s;
+                q.schedule(
+                    link_free[cloudlet],
+                    Ev::Arrive {
+                        provider,
+                        site: Site::Cloudlet(cloudlet),
+                        sent_at,
+                    },
+                );
+            }
+            Ev::Arrive {
+                provider,
+                site,
+                sent_at,
+            } => match site {
+                Site::Cloudlet(ci) => {
+                    let st = &mut cls[ci];
+                    st.tick(now);
+                    if st.busy < st.servers {
+                        st.busy += 1;
+                        q.schedule(
+                            now + service_time(per_request_gb[provider]),
+                            Ev::Finish {
+                                provider,
+                                site,
+                                sent_at,
+                            },
+                        );
+                    } else {
+                        st.queue.push_back((provider, sent_at));
+                        st.peak_queue = st.peak_queue.max(st.queue.len());
+                    }
+                }
+                Site::Remote => {
+                    // Data centers have abundant servers: no queueing.
+                    q.schedule(
+                        now + service_time(per_request_gb[provider]),
+                        Ev::Finish {
+                            provider,
+                            site,
+                            sent_at,
+                        },
+                    );
+                }
+            },
+            Ev::Finish {
+                provider,
+                site,
+                sent_at,
+            } => {
+                let lat_ms = (now - sent_at) * 1000.0;
+                latencies.push(lat_ms);
+                if config.record_trace {
+                    records.push(crate::trace::RequestRecord {
+                        provider: mec_core::ProviderId(provider),
+                        served_at: match site {
+                            Site::Cloudlet(ci) => {
+                                crate::trace::ServedAt::Cloudlet(CloudletId(ci))
+                            }
+                            Site::Remote => crate::trace::ServedAt::Remote,
+                        },
+                        sent_at_s: sent_at,
+                        completed_at_s: now,
+                    });
+                }
+                match site {
+                    Site::Cloudlet(ci) => {
+                        cached_lat.push(lat_ms);
+                        let st = &mut cls[ci];
+                        st.tick(now);
+                        st.served += 1;
+                        if let Some((p, s)) = st.queue.pop_front() {
+                            q.schedule(
+                                now + service_time(per_request_gb[p]),
+                                Ev::Finish {
+                                    provider: p,
+                                    site,
+                                    sent_at: s,
+                                },
+                            );
+                        } else {
+                            st.busy -= 1;
+                        }
+                    }
+                    Site::Remote => remote_lat.push(lat_ms),
+                }
+                let _ = provider;
+            }
+        }
+    }
+
+    let end = latencies.len().max(1);
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let avg = latencies.iter().sum::<f64>() / end as f64;
+    // Same index formula as Trace::latency_percentile_ms so the two agree.
+    let p95 = latencies
+        .get((((end - 1) as f64 * 0.95).round() as usize).min(end - 1))
+        .copied()
+        .unwrap_or(0.0);
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+
+    let horizon_end = cls.iter().map(|c| c.last_change).fold(config.horizon_s, f64::max);
+    SimReport {
+        completed: latencies.len() as u64,
+        avg_latency_ms: avg,
+        p95_latency_ms: p95,
+        cached_latency_ms: mean(&cached_lat),
+        remote_latency_ms: mean(&remote_lat),
+        total_cost,
+        trace: config.record_trace.then(|| crate::trace::Trace::new(records)),
+        cloudlets: cls
+            .into_iter()
+            .map(|c| CloudletStats {
+                served: c.served,
+                mean_busy_vms: if horizon_end > 0.0 {
+                    c.busy_integral / horizon_end
+                } else {
+                    0.0
+                },
+                peak_queue: c.peak_queue,
+            })
+            .collect(),
+    }
+}
+
+/// Convenience: simulate the all-remote profile (the pre-MEC status quo).
+pub fn simulate_all_remote(
+    net: &MecNetwork,
+    gen: &GeneratedMarket,
+    config: &SimConfig,
+) -> SimReport {
+    let profile = Profile::all_remote(gen.market.provider_count());
+    simulate(net, gen, &profile, config)
+}
+
+/// Convenience: a profile caching every provider at its nearest cloudlet,
+/// ignoring capacity (stress input for queueing tests).
+pub fn nearest_cloudlet_profile(net: &MecNetwork, gen: &GeneratedMarket) -> Profile {
+    let mut profile = Profile::all_remote(gen.market.provider_count());
+    for (idx, meta) in gen.providers.iter().enumerate() {
+        let c: CloudletId = net.nearest_cloudlet(meta.user_node);
+        profile.set(mec_core::ProviderId(idx), Placement::Cloudlet(c));
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_workload::{gtitm_scenario, Params, Scenario};
+
+    fn scenario(providers: usize, seed: u64) -> Scenario {
+        gtitm_scenario(100, &Params::paper().with_providers(providers), seed)
+    }
+
+    #[test]
+    fn completes_every_request() {
+        let s = scenario(10, 1);
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let rep = simulate(&s.net, &s.generated, &profile, &SimConfig::default());
+        let want: u64 = s.generated.providers.iter().map(|m| m.requests as u64).sum();
+        assert_eq!(rep.completed, want);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = scenario(8, 2);
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let a = simulate(&s.net, &s.generated, &profile, &SimConfig::default());
+        let b = simulate(&s.net, &s.generated, &profile, &SimConfig::default());
+        assert_eq!(a.avg_latency_ms, b.avg_latency_ms);
+        assert_eq!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn remote_latency_exceeds_cached() {
+        let s = scenario(12, 3);
+        let cached = nearest_cloudlet_profile(&s.net, &s.generated);
+        let rep_cached = simulate(&s.net, &s.generated, &cached, &SimConfig::default());
+        let rep_remote = simulate_all_remote(&s.net, &s.generated, &SimConfig::default());
+        assert!(
+            rep_remote.avg_latency_ms > rep_cached.avg_latency_ms,
+            "remote {} <= cached {}",
+            rep_remote.avg_latency_ms,
+            rep_cached.avg_latency_ms
+        );
+    }
+
+    #[test]
+    fn queueing_appears_under_load() {
+        // Compress the horizon so arrivals overwhelm the VM pools.
+        let s = scenario(30, 4);
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let relaxed = simulate(
+            &s.net,
+            &s.generated,
+            &profile,
+            &SimConfig {
+                horizon_s: 500.0,
+                ..SimConfig::default()
+            },
+        );
+        let squeezed = simulate(
+            &s.net,
+            &s.generated,
+            &profile,
+            &SimConfig {
+                horizon_s: 2.0,
+                ..SimConfig::default()
+            },
+        );
+        assert!(
+            squeezed.avg_latency_ms > relaxed.avg_latency_ms,
+            "no queueing under load: {} vs {}",
+            squeezed.avg_latency_ms,
+            relaxed.avg_latency_ms
+        );
+        let peak: usize = squeezed.cloudlets.iter().map(|c| c.peak_queue).max().unwrap();
+        assert!(peak > 0, "expected non-empty queues under load");
+    }
+
+    #[test]
+    fn utilization_bounded_by_servers() {
+        let s = scenario(20, 5);
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let rep = simulate(&s.net, &s.generated, &profile, &SimConfig::default());
+        for (st, i) in rep.cloudlets.iter().zip(s.generated.market.cloudlets()) {
+            let servers = s.generated.market.cloudlet(i).compute_capacity;
+            assert!(st.mean_busy_vms <= servers + 1e-9);
+        }
+    }
+
+    #[test]
+    fn total_cost_positive_and_tracks_remote() {
+        let s = scenario(10, 6);
+        let cached = nearest_cloudlet_profile(&s.net, &s.generated);
+        let rc = simulate(&s.net, &s.generated, &cached, &SimConfig::default());
+        let rr = simulate_all_remote(&s.net, &s.generated, &SimConfig::default());
+        assert!(rc.total_cost > 0.0 && rr.total_cost > 0.0);
+        // Remote serving should be pricier under default parameters.
+        assert!(rr.total_cost > rc.total_cost);
+    }
+
+    #[test]
+    fn access_link_contention_adds_latency() {
+        let s = scenario(20, 8);
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let free = simulate(&s.net, &s.generated, &profile, &SimConfig::default());
+        let contended = simulate(
+            &s.net,
+            &s.generated,
+            &profile,
+            &SimConfig {
+                access_link_contention: true,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(free.completed, contended.completed);
+        assert!(
+            contended.avg_latency_ms >= free.avg_latency_ms * 0.5,
+            "contended latency implausibly low"
+        );
+    }
+
+    #[test]
+    fn poisson_arrivals_complete_and_are_burstier() {
+        let s = scenario(15, 9);
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let uni = simulate(&s.net, &s.generated, &profile, &SimConfig::default());
+        let poi = simulate(
+            &s.net,
+            &s.generated,
+            &profile,
+            &SimConfig {
+                arrivals: ArrivalProcess::Poisson,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(uni.completed, poi.completed);
+        assert!(poi.avg_latency_ms.is_finite() && poi.avg_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn remote_latency_nan_when_everything_cached() {
+        let s = scenario(6, 7);
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let rep = simulate(&s.net, &s.generated, &profile, &SimConfig::default());
+        assert!(rep.remote_latency_ms.is_nan());
+        assert!(!rep.cached_latency_ms.is_nan());
+    }
+}

@@ -1,0 +1,149 @@
+//! Replicated simulation runs with confidence intervals.
+//!
+//! A single discrete-event run is one sample; credible latency claims need
+//! replications. [`replicate`] reruns the simulator with independent seeds
+//! and summarizes each metric with a mean and a 95 % confidence interval
+//! (normal approximation — fine for the ≥ 10 replications used here).
+
+use mec_core::strategy::Profile;
+use mec_topology::MecNetwork;
+use mec_workload::GeneratedMarket;
+
+use crate::simulator::{simulate, SimConfig};
+
+/// Mean / spread summary of one metric across replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub std_dev: f64,
+    /// Lower edge of the 95 % confidence interval.
+    pub ci95_low: f64,
+    /// Upper edge of the 95 % confidence interval.
+    pub ci95_high: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "summary needs samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        let half = 1.96 * std_dev / (n as f64).sqrt();
+        Summary {
+            mean,
+            std_dev,
+            ci95_low: mean - half,
+            ci95_high: mean + half,
+            n,
+        }
+    }
+
+    /// `true` if `v` lies within the 95 % CI.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.ci95_low && v <= self.ci95_high
+    }
+}
+
+/// Replicated-simulation summary.
+#[derive(Debug, Clone)]
+pub struct ReplicationReport {
+    /// Mean end-to-end latency, ms.
+    pub avg_latency_ms: Summary,
+    /// 95th-percentile latency, ms.
+    pub p95_latency_ms: Summary,
+    /// Total dollar cost (deterministic given the profile — zero spread).
+    pub total_cost: Summary,
+}
+
+/// Runs `trials` independent replications of the simulation.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn replicate(
+    net: &MecNetwork,
+    gen: &GeneratedMarket,
+    profile: &Profile,
+    base: &SimConfig,
+    trials: usize,
+) -> ReplicationReport {
+    assert!(trials > 0, "need at least one trial");
+    let mut avg = Vec::with_capacity(trials);
+    let mut p95 = Vec::with_capacity(trials);
+    let mut cost = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let config = SimConfig {
+            seed: base.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9),
+            ..base.clone()
+        };
+        let rep = simulate(net, gen, profile, &config);
+        avg.push(rep.avg_latency_ms);
+        p95.push(rep.p95_latency_ms);
+        cost.push(rep.total_cost);
+    }
+    ReplicationReport {
+        avg_latency_ms: Summary::of(&avg),
+        p95_latency_ms: Summary::of(&p95),
+        total_cost: Summary::of(&cost),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::nearest_cloudlet_profile;
+    use mec_workload::{gtitm_scenario, Params};
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+        assert!(s.contains(2.0));
+        assert!(!s.contains(10.0));
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_low, 5.0);
+        assert_eq!(s.ci95_high, 5.0);
+    }
+
+    #[test]
+    fn replications_tighten_around_a_stable_mean() {
+        let s = gtitm_scenario(100, &Params::paper().with_providers(12), 4);
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let rep = replicate(&s.net, &s.generated, &profile, &SimConfig::default(), 10);
+        assert_eq!(rep.avg_latency_ms.n, 10);
+        assert!(rep.avg_latency_ms.mean > 0.0);
+        assert!(rep.avg_latency_ms.ci95_low <= rep.avg_latency_ms.mean);
+        assert!(rep.avg_latency_ms.ci95_high >= rep.avg_latency_ms.mean);
+        // The dollar cost does not depend on arrival randomness.
+        assert!(rep.total_cost.std_dev < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let s = gtitm_scenario(100, &Params::paper().with_providers(5), 5);
+        let profile = nearest_cloudlet_profile(&s.net, &s.generated);
+        let _ = replicate(&s.net, &s.generated, &profile, &SimConfig::default(), 0);
+    }
+}

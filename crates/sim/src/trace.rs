@@ -1,0 +1,194 @@
+//! Per-request traces and latency analytics.
+//!
+//! When [`crate::SimConfig::record_trace`] is set, the simulator keeps one
+//! [`RequestRecord`] per completed request; [`Trace`] then answers the
+//! questions the aggregate report cannot — per-provider latency, which
+//! cloudlets serve which providers, and full latency histograms.
+
+use mec_core::ProviderId;
+use mec_topology::CloudletId;
+
+/// Where a request was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedAt {
+    /// Served by a cached instance at this cloudlet.
+    Cloudlet(CloudletId),
+    /// Served by the original remote instance.
+    Remote,
+}
+
+/// One completed request.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestRecord {
+    /// The provider whose user issued the request.
+    pub provider: ProviderId,
+    /// Serving site.
+    pub served_at: ServedAt,
+    /// Send instant, seconds.
+    pub sent_at_s: f64,
+    /// Completion instant, seconds.
+    pub completed_at_s: f64,
+}
+
+impl RequestRecord {
+    /// End-to-end latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        (self.completed_at_s - self.sent_at_s) * 1000.0
+    }
+}
+
+/// A collection of completed-request records with analytics helpers.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<RequestRecord>,
+}
+
+impl Trace {
+    /// Wraps raw records.
+    pub fn new(records: Vec<RequestRecord>) -> Self {
+        Trace { records }
+    }
+
+    /// All records in completion order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no requests were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Mean latency of one provider's requests, ms (`None` if it had none).
+    pub fn provider_mean_latency_ms(&self, l: ProviderId) -> Option<f64> {
+        let lats: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.provider == l)
+            .map(RequestRecord::latency_ms)
+            .collect();
+        if lats.is_empty() {
+            None
+        } else {
+            Some(lats.iter().sum::<f64>() / lats.len() as f64)
+        }
+    }
+
+    /// Requests served per cloudlet (indexed by cloudlet id).
+    pub fn requests_per_cloudlet(&self, cloudlets: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; cloudlets];
+        for r in &self.records {
+            if let ServedAt::Cloudlet(c) = r.served_at {
+                counts[c.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Latency histogram with the given bucket edges (ms); returns one
+    /// count per bucket plus a final overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly increasing.
+    pub fn latency_histogram(&self, edges: &[f64]) -> Vec<u64> {
+        assert!(!edges.is_empty(), "need at least one bucket edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly increasing"
+        );
+        let mut counts = vec![0u64; edges.len() + 1];
+        for r in &self.records {
+            let lat = r.latency_ms();
+            let bucket = edges
+                .iter()
+                .position(|&e| lat <= e)
+                .unwrap_or(edges.len());
+            counts[bucket] += 1;
+        }
+        counts
+    }
+
+    /// A latency percentile (0.0–1.0) over all records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `q` is outside `[0, 1]`.
+    pub fn latency_percentile_ms(&self, q: f64) -> f64 {
+        assert!(!self.records.is_empty(), "empty trace");
+        assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+        let mut lats: Vec<f64> = self.records.iter().map(RequestRecord::latency_ms).collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((lats.len() as f64 - 1.0) * q).round() as usize;
+        lats[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(p: usize, site: ServedAt, sent: f64, done: f64) -> RequestRecord {
+        RequestRecord {
+            provider: ProviderId(p),
+            served_at: site,
+            sent_at_s: sent,
+            completed_at_s: done,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace::new(vec![
+            rec(0, ServedAt::Cloudlet(CloudletId(0)), 0.0, 0.010),
+            rec(0, ServedAt::Cloudlet(CloudletId(0)), 1.0, 1.020),
+            rec(1, ServedAt::Remote, 0.5, 0.600),
+            rec(1, ServedAt::Cloudlet(CloudletId(1)), 2.0, 2.030),
+        ])
+    }
+
+    #[test]
+    fn latency_computed_in_ms() {
+        let t = sample();
+        assert!((t.records()[0].latency_ms() - 10.0).abs() < 1e-9);
+        assert!((t.records()[2].latency_ms() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn provider_means() {
+        let t = sample();
+        assert!((t.provider_mean_latency_ms(ProviderId(0)).unwrap() - 15.0).abs() < 1e-9);
+        assert!((t.provider_mean_latency_ms(ProviderId(1)).unwrap() - 65.0).abs() < 1e-9);
+        assert!(t.provider_mean_latency_ms(ProviderId(9)).is_none());
+    }
+
+    #[test]
+    fn cloudlet_counts() {
+        let t = sample();
+        assert_eq!(t.requests_per_cloudlet(2), vec![2, 1]);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let t = sample();
+        // Latencies are 10, 20, 100, 30 ms; edges at 15 and 50 ms.
+        assert_eq!(t.latency_histogram(&[15.0, 50.0]), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn percentiles() {
+        let t = sample();
+        assert!((t.latency_percentile_ms(0.0) - 10.0).abs() < 1e-9);
+        assert!((t.latency_percentile_ms(1.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_edges_rejected() {
+        sample().latency_histogram(&[10.0, 10.0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! The SDN controller and its algorithm applications.
+//!
+//! The paper implements its algorithms as Ryu applications driving the OVS
+//! overlay. We model the controller as a flow-table owner: an application
+//! computes a placement, and the controller compiles it into per-provider
+//! flow rules (user node → serving site paths over the overlay) whose
+//! count and path latency the testbed reports.
+
+use mec_baselines::{jo_offload_cache, offload_cache, JoConfig};
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_core::strategy::{Placement, Profile};
+use mec_core::{CoreError, ProviderId};
+use mec_topology::{dijkstra, NodeId};
+use mec_workload::Scenario;
+
+/// A flow rule installed for one provider's request path.
+#[derive(Debug, Clone)]
+pub struct FlowRule {
+    /// The provider whose traffic this rule steers.
+    pub provider: ProviderId,
+    /// Overlay path from the user node to the serving site.
+    pub path: Vec<NodeId>,
+    /// Total path latency, ms.
+    pub latency_ms: f64,
+}
+
+/// What an application returns to the controller.
+#[derive(Debug, Clone)]
+pub struct AppOutcome {
+    /// The placement the application computed.
+    pub profile: Profile,
+    /// Providers the application coordinated (empty for baselines).
+    pub coordinated: Vec<ProviderId>,
+}
+
+/// A controller application ("Ryu app") hosting one placement algorithm.
+pub trait ControllerApp {
+    /// Algorithm name as printed in the figures.
+    fn name(&self) -> &'static str;
+
+    /// Computes the placement for the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when the scenario admits no feasible placement.
+    fn compute(&self, scenario: &Scenario) -> Result<AppOutcome, CoreError>;
+}
+
+/// The paper's LCF mechanism as a controller app.
+#[derive(Debug, Clone)]
+pub struct LcfApp {
+    /// LCF configuration (`ξ`, selection rule, `Appro` settings).
+    pub config: LcfConfig,
+}
+
+impl ControllerApp for LcfApp {
+    fn name(&self) -> &'static str {
+        "LCF"
+    }
+
+    fn compute(&self, scenario: &Scenario) -> Result<AppOutcome, CoreError> {
+        let out = lcf(&scenario.generated.market, &self.config)?;
+        Ok(AppOutcome {
+            profile: out.profile,
+            coordinated: out.coordinated,
+        })
+    }
+}
+
+/// The `JoOffloadCache` baseline as a controller app.
+#[derive(Debug, Clone, Default)]
+pub struct JoOffloadCacheApp {
+    /// Gibbs-sampler tuning.
+    pub config: JoConfig,
+}
+
+impl ControllerApp for JoOffloadCacheApp {
+    fn name(&self) -> &'static str {
+        "JoOffloadCache"
+    }
+
+    fn compute(&self, scenario: &Scenario) -> Result<AppOutcome, CoreError> {
+        let out = jo_offload_cache(&scenario.generated, &self.config);
+        Ok(AppOutcome {
+            profile: out.profile,
+            coordinated: Vec::new(),
+        })
+    }
+}
+
+/// The `OffloadCache` baseline as a controller app.
+#[derive(Debug, Clone, Default)]
+pub struct OffloadCacheApp;
+
+impl ControllerApp for OffloadCacheApp {
+    fn name(&self) -> &'static str {
+        "OffloadCache"
+    }
+
+    fn compute(&self, scenario: &Scenario) -> Result<AppOutcome, CoreError> {
+        let out = offload_cache(&scenario.generated);
+        Ok(AppOutcome {
+            profile: out.profile,
+            coordinated: Vec::new(),
+        })
+    }
+}
+
+/// The controller: compiles placements into flow rules over the overlay.
+#[derive(Debug, Default)]
+pub struct Controller {
+    rules: Vec<FlowRule>,
+}
+
+impl Controller {
+    /// Creates a controller with an empty flow table.
+    pub fn new() -> Self {
+        Controller::default()
+    }
+
+    /// Installed rules.
+    pub fn rules(&self) -> &[FlowRule] {
+        &self.rules
+    }
+
+    /// Compiles `profile` into flow rules: for every provider, the shortest
+    /// overlay path from its user node to its serving site (cached cloudlet
+    /// or home data center). Replaces the previous table and returns the
+    /// number of rules installed.
+    pub fn install_placement(&mut self, scenario: &Scenario, profile: &Profile) -> usize {
+        self.rules.clear();
+        let graph = &scenario.net.topology().graph;
+        for (idx, meta) in scenario.generated.providers.iter().enumerate() {
+            let l = ProviderId(idx);
+            let target = match profile.placement(l) {
+                Placement::Cloudlet(c) => scenario.net.cloudlet_site(c),
+                Placement::Remote => scenario.net.dc_site(meta.home_dc),
+            };
+            let sp = dijkstra(graph, meta.user_node);
+            if let Some(path) = sp.path(target) {
+                let latency_ms = sp.distance(target);
+                self.rules.push(FlowRule {
+                    provider: l,
+                    path,
+                    latency_ms,
+                });
+            }
+        }
+        self.rules.len()
+    }
+
+    /// Mean path latency over all installed rules, ms (NaN if empty).
+    pub fn mean_rule_latency_ms(&self) -> f64 {
+        if self.rules.is_empty() {
+            return f64::NAN;
+        }
+        self.rules.iter().map(|r| r.latency_ms).sum::<f64>() / self.rules.len() as f64
+    }
+
+    /// Total number of switch entries (path hops) across all rules — a
+    /// proxy for flow-table pressure on the OVS nodes.
+    pub fn total_table_entries(&self) -> usize {
+        self.rules.iter().map(|r| r.path.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_workload::{as1755_scenario, Params};
+
+    fn scenario() -> Scenario {
+        as1755_scenario(&Params::paper().with_providers(20), 1)
+    }
+
+    #[test]
+    fn apps_have_paper_names() {
+        assert_eq!(
+            LcfApp {
+                config: LcfConfig::new(0.7)
+            }
+            .name(),
+            "LCF"
+        );
+        assert_eq!(JoOffloadCacheApp::default().name(), "JoOffloadCache");
+        assert_eq!(OffloadCacheApp.name(), "OffloadCache");
+    }
+
+    #[test]
+    fn lcf_app_computes_feasible_profile() {
+        let s = scenario();
+        let out = LcfApp {
+            config: LcfConfig::new(0.7),
+        }
+        .compute(&s)
+        .unwrap();
+        assert!(out.profile.is_feasible(&s.generated.market));
+        assert_eq!(out.coordinated.len(), 14);
+    }
+
+    #[test]
+    fn baseline_apps_compute() {
+        let s = scenario();
+        for app in [
+            Box::new(JoOffloadCacheApp::default()) as Box<dyn ControllerApp>,
+            Box::new(OffloadCacheApp) as Box<dyn ControllerApp>,
+        ] {
+            let out = app.compute(&s).unwrap();
+            assert!(out.profile.is_feasible(&s.generated.market));
+            assert!(out.coordinated.is_empty());
+        }
+    }
+
+    #[test]
+    fn controller_installs_one_rule_per_provider() {
+        let s = scenario();
+        let out = OffloadCacheApp.compute(&s).unwrap();
+        let mut c = Controller::new();
+        let n = c.install_placement(&s, &out.profile);
+        assert_eq!(n, 20);
+        assert_eq!(c.rules().len(), 20);
+        assert!(c.mean_rule_latency_ms() > 0.0);
+        assert!(c.total_table_entries() >= 20);
+    }
+
+    #[test]
+    fn rules_start_at_user_and_end_at_site() {
+        let s = scenario();
+        let out = OffloadCacheApp.compute(&s).unwrap();
+        let mut c = Controller::new();
+        c.install_placement(&s, &out.profile);
+        for rule in c.rules() {
+            let meta = &s.generated.providers[rule.provider.index()];
+            assert_eq!(rule.path.first(), Some(&meta.user_node));
+            let end = *rule.path.last().unwrap();
+            match out.profile.placement(rule.provider) {
+                Placement::Cloudlet(cl) => assert_eq!(end, s.net.cloudlet_site(cl)),
+                Placement::Remote => assert_eq!(end, s.net.dc_site(meta.home_dc)),
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Emulated SDN testbed (paper Section IV-C, Fig. 4).
+//!
+//! The paper's physical testbed — five heterogeneous hardware switches, five
+//! i7-8700 servers, an OVS/VXLAN overlay shaped like AS1755, and a Ryu
+//! controller hosting the algorithms — is emulated here:
+//!
+//! * [`switch`] — per-model forwarding latency / throughput,
+//! * [`underlay`] — the wired 5-switch, 5-server fabric (single-failure
+//!   tolerant, as the paper requires),
+//! * [`overlay`] — AS1755 OVS nodes pinned to servers, VXLAN tunnel
+//!   latencies,
+//! * [`controller`] — flow-rule compiler plus the three algorithms as
+//!   controller applications,
+//! * [`run`] — the experiment driver measuring social cost and wall-clock
+//!   running time (the quantities of Figs. 5–7).
+//!
+//! Substitution note (see DESIGN.md): the testbed figures measure algorithm
+//! *cost* and *running time* on the AS1755 overlay; both depend on the
+//! overlay topology and the algorithms, not on proprietary switch
+//! internals, so datasheet-class latency/throughput constants preserve the
+//! relevant behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use mec_core::lcf::LcfConfig;
+//! use mec_testbed::{LcfApp, Testbed};
+//! use mec_workload::Params;
+//!
+//! let tb = Testbed::new(&Params::paper().with_providers(15), 7);
+//! let report = tb.run(&LcfApp { config: LcfConfig::new(0.7) })?;
+//! assert!(report.social_cost > 0.0);
+//! # Ok::<(), mec_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod failure;
+pub mod overlay;
+pub mod run;
+pub mod switch;
+pub mod underlay;
+pub mod vm;
+
+pub use controller::{
+    AppOutcome, Controller, ControllerApp, FlowRule, JoOffloadCacheApp, LcfApp, OffloadCacheApp,
+};
+pub use failure::{drill_all, fail_switch, FailureReport};
+pub use overlay::{Overlay, VxlanTunnel};
+pub use run::{Testbed, TestbedReport};
+pub use switch::SwitchModel;
+pub use underlay::{Server, ServerId, SwitchId, Underlay};
+pub use vm::{deploy, VmDeployment, VmInstance};

@@ -1,0 +1,146 @@
+//! The virtual overlay: OVS nodes and VMs on the AS1755 topology, carried
+//! by VXLAN tunnels over the physical underlay (Fig. 4a).
+//!
+//! Every AS1755 router becomes an Open vSwitch instance pinned to one of
+//! the five servers (round-robin). Each overlay link becomes a VXLAN tunnel
+//! whose latency is the AS1755 link latency plus the underlay forwarding
+//! path between the two hosting servers (µs-scale switch hops — small but
+//! real, and visible in the measured path latencies).
+
+use mec_topology::zoo::as1755;
+use mec_topology::{NodeId, Topology};
+
+use crate::underlay::{ServerId, Underlay};
+
+/// A VXLAN tunnel realizing one overlay link.
+#[derive(Debug, Clone, Copy)]
+pub struct VxlanTunnel {
+    /// Overlay endpoint A.
+    pub a: NodeId,
+    /// Overlay endpoint B.
+    pub b: NodeId,
+    /// Effective tunnel latency (overlay link + underlay path), ms.
+    pub latency_ms: f64,
+}
+
+/// The overlay network: AS1755 OVS nodes hosted on the underlay servers.
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    topology: Topology,
+    host_of: Vec<ServerId>,
+    tunnels: Vec<VxlanTunnel>,
+}
+
+impl Overlay {
+    /// Builds the AS1755 overlay over the given underlay.
+    pub fn build(underlay: &Underlay) -> Self {
+        let topology = as1755();
+        let n = topology.graph.node_count();
+        let host_of: Vec<ServerId> = (0..n)
+            .map(|k| ServerId(k % underlay.server_count()))
+            .collect();
+        let tunnels = topology
+            .graph
+            .edges()
+            .map(|e| {
+                let ha = host_of[e.a.index()];
+                let hb = host_of[e.b.index()];
+                let under_ms = underlay.server_path_latency_us(ha, hb) / 1000.0;
+                VxlanTunnel {
+                    a: e.a,
+                    b: e.b,
+                    latency_ms: e.weight + under_ms,
+                }
+            })
+            .collect();
+        Overlay {
+            topology,
+            host_of,
+            tunnels,
+        }
+    }
+
+    /// The overlay topology (AS1755).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The server hosting an overlay node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn host_of(&self, n: NodeId) -> ServerId {
+        self.host_of[n.index()]
+    }
+
+    /// All VXLAN tunnels.
+    pub fn tunnels(&self) -> &[VxlanTunnel] {
+        &self.tunnels
+    }
+
+    /// Number of OVS nodes hosted on `server`.
+    pub fn nodes_on(&self, server: ServerId) -> usize {
+        self.host_of.iter().filter(|s| **s == server).count()
+    }
+
+    /// Mean VXLAN overhead (underlay contribution) across all tunnels, ms.
+    pub fn mean_vxlan_overhead_ms(&self) -> f64 {
+        let total: f64 = self
+            .tunnels
+            .iter()
+            .zip(self.topology.graph.edges())
+            .map(|(t, e)| t.latency_ms - e.weight)
+            .sum();
+        total / self.tunnels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlay() -> Overlay {
+        Overlay::build(&Underlay::paper_testbed())
+    }
+
+    #[test]
+    fn one_tunnel_per_as1755_link() {
+        let o = overlay();
+        assert_eq!(o.tunnels().len(), 161);
+        assert_eq!(o.topology().graph.node_count(), 87);
+    }
+
+    #[test]
+    fn nodes_spread_across_servers() {
+        let o = overlay();
+        for k in 0..5 {
+            let c = o.nodes_on(ServerId(k));
+            assert!(c >= 87 / 5, "server {k} hosts only {c}");
+        }
+    }
+
+    #[test]
+    fn tunnel_latency_exceeds_overlay_link() {
+        let o = overlay();
+        for (t, e) in o.tunnels().iter().zip(o.topology().graph.edges()) {
+            assert!(t.latency_ms >= e.weight, "tunnel lost latency");
+        }
+    }
+
+    #[test]
+    fn vxlan_overhead_is_microseconds() {
+        let o = overlay();
+        let ovh = o.mean_vxlan_overhead_ms();
+        assert!(ovh > 0.0 && ovh < 0.1, "overhead {ovh} ms looks wrong");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = overlay();
+        let b = overlay();
+        for (x, y) in a.tunnels().iter().zip(b.tunnels()) {
+            assert_eq!(x.latency_ms, y.latency_ms);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Testbed experiment driver: deploy an algorithm, measure cost and time.
+//!
+//! Mirrors the paper's testbed methodology (Section IV-C): the AS1755
+//! overlay runs on the five-switch underlay, the algorithms execute as
+//! controller applications, and we record the social cost of the resulting
+//! placement plus the *measured wall-clock running time* of the algorithm —
+//! the two quantities plotted in Figs. 5–7.
+
+use std::time::{Duration, Instant};
+
+use mec_core::CoreError;
+use mec_sim::{simulate, SimConfig, SimReport};
+use mec_workload::{as1755_scenario, Params, Scenario};
+
+use crate::controller::{Controller, ControllerApp};
+use crate::overlay::Overlay;
+use crate::underlay::Underlay;
+
+/// A fully assembled testbed: underlay + overlay + generated workload.
+#[derive(Debug)]
+pub struct Testbed {
+    underlay: Underlay,
+    overlay: Overlay,
+    scenario: Scenario,
+}
+
+/// Everything measured from one algorithm run on the testbed.
+#[derive(Debug, Clone)]
+pub struct TestbedReport {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Social cost of the deployed placement (Eq. 6).
+    pub social_cost: f64,
+    /// Cost paid by coordinated providers (0 for baselines).
+    pub coordinated_cost: f64,
+    /// Cost paid by uncoordinated providers.
+    pub selfish_cost: f64,
+    /// Measured wall-clock running time of the algorithm.
+    pub running_time: Duration,
+    /// Flow rules the controller installed.
+    pub flow_rules: usize,
+    /// Mean installed-path latency over the overlay, ms.
+    pub mean_path_latency_ms: f64,
+    /// Request-level simulation of the deployed placement.
+    pub sim: SimReport,
+    /// VMs materialized on the physical servers for this placement.
+    pub vm_count: usize,
+    /// Worst per-server core oversubscription of the deployment.
+    pub max_oversubscription: f64,
+}
+
+impl Testbed {
+    /// Assembles the paper's testbed with the given workload parameters.
+    pub fn new(params: &Params, seed: u64) -> Self {
+        let underlay = Underlay::paper_testbed();
+        let overlay = Overlay::build(&underlay);
+        let scenario = as1755_scenario(params, seed);
+        Testbed {
+            underlay,
+            overlay,
+            scenario,
+        }
+    }
+
+    /// The physical underlay.
+    pub fn underlay(&self) -> &Underlay {
+        &self.underlay
+    }
+
+    /// The VXLAN overlay.
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// The generated workload scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs one algorithm end to end: compute placement (timed), install
+    /// flow rules, replay the request streams.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from the application.
+    pub fn run(&self, app: &dyn ControllerApp) -> Result<TestbedReport, CoreError> {
+        let started = Instant::now();
+        let outcome = app.compute(&self.scenario)?;
+        let running_time = started.elapsed();
+
+        let mut controller = Controller::new();
+        let flow_rules = controller.install_placement(&self.scenario, &outcome.profile);
+        let market = &self.scenario.generated.market;
+        let social_cost = outcome.profile.social_cost(market);
+        let coordinated_cost = outcome
+            .profile
+            .subset_cost(market, outcome.coordinated.iter().copied());
+        let selfish: Vec<_> = market
+            .providers()
+            .filter(|l| !outcome.coordinated.contains(l))
+            .collect();
+        let selfish_cost = outcome.profile.subset_cost(market, selfish);
+
+        let sim = simulate(
+            &self.scenario.net,
+            &self.scenario.generated,
+            &outcome.profile,
+            &SimConfig::default(),
+        );
+        let deployment =
+            crate::vm::deploy(&self.scenario, &self.overlay, &self.underlay, &outcome.profile);
+
+        Ok(TestbedReport {
+            algorithm: app.name(),
+            social_cost,
+            coordinated_cost,
+            selfish_cost,
+            running_time,
+            flow_rules,
+            mean_path_latency_ms: controller.mean_rule_latency_ms(),
+            sim,
+            vm_count: deployment.vm_count(),
+            max_oversubscription: deployment.max_oversubscription(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{JoOffloadCacheApp, LcfApp, OffloadCacheApp};
+    use mec_core::lcf::LcfConfig;
+
+    fn testbed(providers: usize, seed: u64) -> Testbed {
+        Testbed::new(&Params::paper().with_providers(providers), seed)
+    }
+
+    #[test]
+    fn runs_all_three_algorithms() {
+        let tb = testbed(20, 1);
+        let apps: Vec<Box<dyn ControllerApp>> = vec![
+            Box::new(LcfApp {
+                config: LcfConfig::new(0.7),
+            }),
+            Box::new(JoOffloadCacheApp::default()),
+            Box::new(OffloadCacheApp),
+        ];
+        for app in &apps {
+            let rep = tb.run(app.as_ref()).unwrap();
+            assert!(rep.social_cost > 0.0);
+            assert_eq!(rep.flow_rules, 20);
+            assert!(rep.sim.completed > 0);
+            assert!(
+                (rep.coordinated_cost + rep.selfish_cost - rep.social_cost).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn lcf_beats_baselines_on_social_cost() {
+        // The paper's headline testbed result (Fig. 5a). Checked across
+        // seeds to avoid cherry-picking.
+        let mut wins = 0;
+        for seed in 0..5 {
+            let tb = testbed(40, 100 + seed);
+            let lcf = tb
+                .run(&LcfApp {
+                    config: LcfConfig::new(0.7),
+                })
+                .unwrap();
+            let jo = tb.run(&JoOffloadCacheApp::default()).unwrap();
+            let of = tb.run(&OffloadCacheApp).unwrap();
+            if lcf.social_cost <= jo.social_cost && lcf.social_cost <= of.social_cost {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "LCF won only {wins}/5 testbed runs");
+    }
+
+    #[test]
+    fn running_time_measured() {
+        let tb = testbed(15, 2);
+        let rep = tb
+            .run(&LcfApp {
+                config: LcfConfig::new(0.7),
+            })
+            .unwrap();
+        assert!(rep.running_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn testbed_components_assembled() {
+        let tb = testbed(10, 3);
+        assert_eq!(tb.underlay().switch_count(), 5);
+        assert_eq!(tb.overlay().tunnels().len(), 161);
+        assert_eq!(tb.scenario().label, "as1755");
+    }
+}

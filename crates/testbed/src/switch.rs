@@ -1,0 +1,121 @@
+//! Hardware-switch models of the paper's physical underlay (Fig. 4).
+//!
+//! The real testbed uses five heterogeneous switches (Huawei, H3C, Ruijie,
+//! Cisco, Centec). We model each as a store-and-forward device with a
+//! per-packet forwarding latency and a backplane throughput taken from
+//! datasheet-class numbers. The testbed experiments measure algorithm cost
+//! and running time on the overlay, so what matters is that forwarding
+//! delays are heterogeneous, positive, and deterministic — which these
+//! models preserve.
+
+/// The five switch models deployed in the physical underlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchModel {
+    /// Huawei S5720-32C-HI-24S-AC.
+    HuaweiS5720,
+    /// H3C S5560-30S-EI.
+    H3cS5560,
+    /// Ruijie RG-5750C-28Gt4XS-H.
+    RuijieRg5750,
+    /// Cisco 3750X-24T.
+    Cisco3750X,
+    /// Centec aSW1100-48T4X.
+    CentecAsw1100,
+}
+
+impl SwitchModel {
+    /// All five models, in the paper's order.
+    pub const ALL: [SwitchModel; 5] = [
+        SwitchModel::HuaweiS5720,
+        SwitchModel::H3cS5560,
+        SwitchModel::RuijieRg5750,
+        SwitchModel::Cisco3750X,
+        SwitchModel::CentecAsw1100,
+    ];
+
+    /// Store-and-forward latency per packet, microseconds.
+    pub fn forwarding_latency_us(self) -> f64 {
+        match self {
+            SwitchModel::HuaweiS5720 => 2.8,
+            SwitchModel::H3cS5560 => 3.1,
+            SwitchModel::RuijieRg5750 => 3.5,
+            SwitchModel::Cisco3750X => 4.2,
+            SwitchModel::CentecAsw1100 => 2.5,
+        }
+    }
+
+    /// Backplane throughput, Gbps.
+    pub fn throughput_gbps(self) -> f64 {
+        match self {
+            SwitchModel::HuaweiS5720 => 672.0,
+            SwitchModel::H3cS5560 => 598.0,
+            SwitchModel::RuijieRg5750 => 336.0,
+            SwitchModel::Cisco3750X => 160.0,
+            SwitchModel::CentecAsw1100 => 176.0,
+        }
+    }
+
+    /// Number of usable ports in the testbed wiring.
+    pub fn ports(self) -> usize {
+        match self {
+            SwitchModel::HuaweiS5720 => 24,
+            SwitchModel::H3cS5560 => 30,
+            SwitchModel::RuijieRg5750 => 28,
+            SwitchModel::Cisco3750X => 24,
+            SwitchModel::CentecAsw1100 => 48,
+        }
+    }
+
+    /// Vendor/model label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SwitchModel::HuaweiS5720 => "Huawei S5720-32C-HI-24S-AC",
+            SwitchModel::H3cS5560 => "H3C S5560-30S-EI",
+            SwitchModel::RuijieRg5750 => "Ruijie RG-5750C-28Gt4XS-H",
+            SwitchModel::Cisco3750X => "CISCO 3750X-24T",
+            SwitchModel::CentecAsw1100 => "Centec aSW1100-48T4X",
+        }
+    }
+}
+
+impl std::fmt::Display for SwitchModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_models() {
+        assert_eq!(SwitchModel::ALL.len(), 5);
+    }
+
+    #[test]
+    fn latencies_positive_and_heterogeneous() {
+        let lats: Vec<f64> = SwitchModel::ALL
+            .iter()
+            .map(|s| s.forwarding_latency_us())
+            .collect();
+        assert!(lats.iter().all(|&l| l > 0.0));
+        let distinct: std::collections::HashSet<u64> =
+            lats.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(distinct.len(), 5, "models must differ");
+    }
+
+    #[test]
+    fn throughput_and_ports_positive() {
+        for s in SwitchModel::ALL {
+            assert!(s.throughput_gbps() > 0.0);
+            assert!(s.ports() >= 24);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert!(SwitchModel::HuaweiS5720.label().contains("S5720"));
+        assert!(SwitchModel::Cisco3750X.to_string().contains("3750X"));
+    }
+}

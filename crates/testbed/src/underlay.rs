@@ -1,0 +1,262 @@
+//! The physical underlay: five hardware switches and five servers (Fig. 4).
+//!
+//! Each switch connects to at least two other switches so the network
+//! survives a single switch failure, exactly as the paper describes. One
+//! server (i7-8700, 16 GB) hangs off each switch and hosts the overlay's
+//! OVS nodes and VMs.
+
+use crate::switch::SwitchModel;
+
+/// Index of a switch in the underlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchId(pub usize);
+
+/// Index of a server in the underlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServerId(pub usize);
+
+/// A physical server (i7-8700 CPU, 16 GB RAM) attached to one switch.
+#[derive(Debug, Clone)]
+pub struct Server {
+    /// The switch this server is cabled to.
+    pub attached_to: SwitchId,
+    /// Logical CPU cores available for VMs.
+    pub cores: usize,
+    /// RAM in GiB.
+    pub ram_gib: usize,
+}
+
+/// The wired underlay.
+#[derive(Debug, Clone)]
+pub struct Underlay {
+    switches: Vec<SwitchModel>,
+    /// Adjacency (switch–switch cables), by switch index.
+    links: Vec<(usize, usize)>,
+    servers: Vec<Server>,
+}
+
+impl Underlay {
+    /// Builds the testbed underlay: 5 switches in a ring plus two chords
+    /// (every switch has degree ≥ 2, so any single switch failure leaves
+    /// the rest connected), one server per switch.
+    pub fn paper_testbed() -> Self {
+        let switches = SwitchModel::ALL.to_vec();
+        // Ring 0-1-2-3-4-0 plus chords 0-2 and 1-3.
+        let links = vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3)];
+        let servers = (0..5)
+            .map(|k| Server {
+                attached_to: SwitchId(k),
+                cores: 12, // i7-8700: 6 cores / 12 threads
+                ram_gib: 16,
+            })
+            .collect();
+        Underlay {
+            switches,
+            links,
+            servers,
+        }
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The model of a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn switch(&self, s: SwitchId) -> SwitchModel {
+        self.switches[s.0]
+    }
+
+    /// The server description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn server(&self, s: ServerId) -> &Server {
+        &self.servers[s.0]
+    }
+
+    /// Degree of a switch in the cable graph.
+    pub fn degree(&self, s: SwitchId) -> usize {
+        self.links
+            .iter()
+            .filter(|(a, b)| *a == s.0 || *b == s.0)
+            .count()
+    }
+
+    /// Hop-by-hop forwarding latency (µs) of the shortest switch path
+    /// between two servers, including both end switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either server id is out of range.
+    pub fn server_path_latency_us(&self, a: ServerId, b: ServerId) -> f64 {
+        let sa = self.servers[a.0].attached_to;
+        let sb = self.servers[b.0].attached_to;
+        if sa == sb {
+            return self.switches[sa.0].forwarding_latency_us();
+        }
+        // BFS over the tiny switch graph weighting nodes by latency.
+        let n = self.switches.len();
+        let mut best = vec![f64::INFINITY; n];
+        best[sa.0] = self.switches[sa.0].forwarding_latency_us();
+        let mut frontier = vec![sa.0];
+        while let Some(u) = frontier.pop() {
+            for &(x, y) in &self.links {
+                let v = if x == u {
+                    y
+                } else if y == u {
+                    x
+                } else {
+                    continue;
+                };
+                let cand = best[u] + self.switches[v].forwarding_latency_us();
+                if cand < best[v] - 1e-12 {
+                    best[v] = cand;
+                    frontier.push(v);
+                }
+            }
+        }
+        best[sb.0]
+    }
+
+    /// Like [`Underlay::server_path_latency_us`] but with switch `down`
+    /// removed from the fabric. Returns `None` when either endpoint hangs
+    /// off the failed switch or no path survives.
+    pub fn server_path_latency_us_with_failure(
+        &self,
+        a: ServerId,
+        b: ServerId,
+        down: SwitchId,
+    ) -> Option<f64> {
+        let sa = self.servers[a.0].attached_to;
+        let sb = self.servers[b.0].attached_to;
+        if sa == down || sb == down {
+            return None;
+        }
+        if sa == sb {
+            return Some(self.switches[sa.0].forwarding_latency_us());
+        }
+        let n = self.switches.len();
+        let mut best = vec![f64::INFINITY; n];
+        best[sa.0] = self.switches[sa.0].forwarding_latency_us();
+        let mut frontier = vec![sa.0];
+        while let Some(u) = frontier.pop() {
+            for &(x, y) in &self.links {
+                if x == down.0 || y == down.0 {
+                    continue;
+                }
+                let v = if x == u {
+                    y
+                } else if y == u {
+                    x
+                } else {
+                    continue;
+                };
+                let cand = best[u] + self.switches[v].forwarding_latency_us();
+                if cand < best[v] - 1e-12 {
+                    best[v] = cand;
+                    frontier.push(v);
+                }
+            }
+        }
+        best[sb.0].is_finite().then_some(best[sb.0])
+    }
+
+    /// `true` if the switch graph stays connected after removing `down`.
+    pub fn survives_failure(&self, down: SwitchId) -> bool {
+        let n = self.switches.len();
+        let alive: Vec<usize> = (0..n).filter(|&k| k != down.0).collect();
+        if alive.is_empty() {
+            return true;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![alive[0]];
+        seen.insert(alive[0]);
+        while let Some(u) = stack.pop() {
+            for &(x, y) in &self.links {
+                if x == down.0 || y == down.0 {
+                    continue;
+                }
+                let v = if x == u {
+                    y
+                } else if y == u {
+                    x
+                } else {
+                    continue;
+                };
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen.len() == alive.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_switches_five_servers() {
+        let u = Underlay::paper_testbed();
+        assert_eq!(u.switch_count(), 5);
+        assert_eq!(u.server_count(), 5);
+    }
+
+    #[test]
+    fn every_switch_has_degree_at_least_two() {
+        let u = Underlay::paper_testbed();
+        for k in 0..5 {
+            assert!(u.degree(SwitchId(k)) >= 2, "switch {k}");
+        }
+    }
+
+    #[test]
+    fn survives_any_single_switch_failure() {
+        let u = Underlay::paper_testbed();
+        for k in 0..5 {
+            assert!(u.survives_failure(SwitchId(k)), "switch {k} down");
+        }
+    }
+
+    #[test]
+    fn path_latency_positive_and_symmetric() {
+        let u = Underlay::paper_testbed();
+        for a in 0..5 {
+            for b in 0..5 {
+                let l = u.server_path_latency_us(ServerId(a), ServerId(b));
+                assert!(l > 0.0 && l.is_finite());
+                let r = u.server_path_latency_us(ServerId(b), ServerId(a));
+                assert!((l - r).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn same_server_pays_single_switch() {
+        let u = Underlay::paper_testbed();
+        let l = u.server_path_latency_us(ServerId(0), ServerId(0));
+        assert!((l - u.switch(SwitchId(0)).forwarding_latency_us()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn servers_are_i7_8700_class() {
+        let u = Underlay::paper_testbed();
+        for k in 0..5 {
+            let s = u.server(ServerId(k));
+            assert_eq!(s.cores, 12);
+            assert_eq!(s.ram_gib, 16);
+        }
+    }
+}

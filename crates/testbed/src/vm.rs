@@ -1,0 +1,182 @@
+//! VM lifecycle on the testbed servers.
+//!
+//! In the real testbed every cached service instance is a VM created on
+//! the server hosting the target cloudlet's OVS node. This module performs
+//! that mapping for a placement: it materializes one [`VmInstance`] per
+//! cached service, bins them onto the five physical servers, and reports
+//! core usage / oversubscription — the physical-feasibility check behind
+//! the overlay abstraction.
+
+use mec_core::strategy::{Placement, Profile};
+use mec_core::ProviderId;
+use mec_topology::CloudletId;
+use mec_workload::Scenario;
+
+use crate::overlay::Overlay;
+use crate::underlay::{ServerId, Underlay};
+
+/// One cached service instance materialized as a VM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmInstance {
+    /// The provider whose service this VM runs.
+    pub provider: ProviderId,
+    /// The cloudlet the service is cached at.
+    pub cloudlet: CloudletId,
+    /// The physical server hosting the VM.
+    pub server: ServerId,
+    /// vCPU cores the VM occupies (⌈compute demand⌉, min 1).
+    pub cores: usize,
+}
+
+/// Result of deploying a placement onto the physical servers.
+#[derive(Debug, Clone)]
+pub struct VmDeployment {
+    /// All materialized VMs.
+    pub vms: Vec<VmInstance>,
+    /// Cores used per server.
+    pub cores_used: Vec<usize>,
+    /// Core capacity per server.
+    pub cores_capacity: Vec<usize>,
+}
+
+impl VmDeployment {
+    /// Number of VMs created.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Worst per-server oversubscription ratio `used / capacity`
+    /// (can exceed 1 — hypervisors oversubscribe vCPUs).
+    pub fn max_oversubscription(&self) -> f64 {
+        self.cores_used
+            .iter()
+            .zip(&self.cores_capacity)
+            .map(|(&u, &c)| u as f64 / c.max(1) as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// VMs hosted on a server.
+    pub fn vms_on(&self, server: ServerId) -> usize {
+        self.vms.iter().filter(|v| v.server == server).count()
+    }
+}
+
+/// Materializes the VMs a placement requires.
+///
+/// Each cached service becomes one VM on the server hosting the overlay
+/// node of its cloudlet; remote placements create no VM (the original
+/// instance already runs in the data center).
+///
+/// # Panics
+///
+/// Panics if `profile` does not match the scenario's market.
+pub fn deploy(
+    scenario: &Scenario,
+    overlay: &Overlay,
+    underlay: &Underlay,
+    profile: &Profile,
+) -> VmDeployment {
+    let market = &scenario.generated.market;
+    assert_eq!(profile.len(), market.provider_count(), "profile mismatch");
+    assert_eq!(
+        scenario.net.topology().graph.node_count(),
+        overlay.topology().graph.node_count(),
+        "scenario and overlay must share the same (AS1755) node space"
+    );
+    let mut vms = Vec::new();
+    let mut cores_used = vec![0usize; underlay.server_count()];
+    for (l, p) in profile.iter() {
+        if let Placement::Cloudlet(c) = p {
+            let site = scenario.net.cloudlet_site(c);
+            // Scenario and overlay share the AS1755 node space.
+            let server = overlay.host_of(site);
+            let cores = (market.provider(l).compute_demand.ceil() as usize).max(1);
+            cores_used[server.0] += cores;
+            vms.push(VmInstance {
+                provider: l,
+                cloudlet: c,
+                server,
+                cores,
+            });
+        }
+    }
+    let cores_capacity = (0..underlay.server_count())
+        .map(|k| underlay.server(ServerId(k)).cores)
+        .collect();
+    VmDeployment {
+        vms,
+        cores_used,
+        cores_capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ControllerApp, LcfApp};
+    use mec_core::lcf::LcfConfig;
+    use mec_workload::{as1755_scenario, Params};
+
+    fn setup() -> (Scenario, Overlay, Underlay, Profile) {
+        let underlay = Underlay::paper_testbed();
+        let overlay = Overlay::build(&underlay);
+        let scenario = as1755_scenario(&Params::paper().with_providers(30), 3);
+        let profile = LcfApp {
+            config: LcfConfig::new(0.7),
+        }
+        .compute(&scenario)
+        .unwrap()
+        .profile;
+        (scenario, overlay, underlay, profile)
+    }
+
+    #[test]
+    fn one_vm_per_cached_service() {
+        let (s, o, u, p) = setup();
+        let d = deploy(&s, &o, &u, &p);
+        let cached = p
+            .iter()
+            .filter(|(_, x)| matches!(x, Placement::Cloudlet(_)))
+            .count();
+        assert_eq!(d.vm_count(), cached);
+    }
+
+    #[test]
+    fn cores_accounted_per_server() {
+        let (s, o, u, p) = setup();
+        let d = deploy(&s, &o, &u, &p);
+        let total_cores: usize = d.vms.iter().map(|v| v.cores).sum();
+        let accounted: usize = d.cores_used.iter().sum();
+        assert_eq!(total_cores, accounted);
+        assert_eq!(d.cores_capacity, vec![12; 5]);
+    }
+
+    #[test]
+    fn vms_land_on_their_cloudlets_server() {
+        let (s, o, u, p) = setup();
+        let d = deploy(&s, &o, &u, &p);
+        for vm in &d.vms {
+            let site = s.net.cloudlet_site(vm.cloudlet);
+            assert_eq!(vm.server, o.host_of(site));
+        }
+    }
+
+    #[test]
+    fn oversubscription_reported() {
+        let (s, o, u, p) = setup();
+        let d = deploy(&s, &o, &u, &p);
+        let os = d.max_oversubscription();
+        assert!(os >= 0.0 && os.is_finite());
+        let per_server: usize = (0..5).map(|k| d.vms_on(ServerId(k))).sum();
+        assert_eq!(per_server, d.vm_count());
+    }
+
+    #[test]
+    fn all_remote_deploys_nothing() {
+        let (s, o, u, _) = setup();
+        let p = Profile::all_remote(s.generated.market.provider_count());
+        let d = deploy(&s, &o, &u, &p);
+        assert_eq!(d.vm_count(), 0);
+        assert_eq!(d.max_oversubscription(), 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Graphviz DOT export for topologies and MEC networks.
+//!
+//! Renders the generated graphs for inspection (`dot -Tsvg`): transit
+//! nodes as boxes, stub nodes as circles, cloudlet sites filled green,
+//! data-center sites filled blue. Handy when debugging generator changes
+//! or presenting a scenario.
+
+use std::fmt::Write as _;
+
+use crate::gtitm::{NodeKind, Topology};
+use crate::mec::MecNetwork;
+
+/// Renders a bare topology as an undirected DOT graph.
+pub fn topology_dot(topology: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", topology.name);
+    let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+    for n in topology.graph.nodes() {
+        let shape = match topology.kinds[n.index()] {
+            NodeKind::Transit => "box",
+            NodeKind::Stub => "circle",
+        };
+        let _ = writeln!(out, "  {} [shape={shape}, label=\"{}\"];", n.index(), n);
+    }
+    for e in topology.graph.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -- {} [len={:.2}];",
+            e.a.index(),
+            e.b.index(),
+            (e.weight / 4.0).max(0.3)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a placed MEC network: cloudlet sites green, DC sites blue.
+pub fn network_dot(net: &MecNetwork) -> String {
+    let topology = net.topology();
+    let cloudlet_sites: std::collections::HashSet<usize> = net
+        .cloudlets()
+        .map(|c| net.cloudlet_site(c).index())
+        .collect();
+    let dc_sites: std::collections::HashSet<usize> =
+        net.data_centers().map(|d| net.dc_site(d).index()).collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", topology.name);
+    let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+    for n in topology.graph.nodes() {
+        let idx = n.index();
+        let (shape, extra) = if dc_sites.contains(&idx) {
+            ("box", ", style=filled, fillcolor=\"#7aa6ff\"")
+        } else if cloudlet_sites.contains(&idx) {
+            ("circle", ", style=filled, fillcolor=\"#7fd98c\"")
+        } else {
+            match topology.kinds[idx] {
+                NodeKind::Transit => ("box", ""),
+                NodeKind::Stub => ("circle", ""),
+            }
+        };
+        let _ = writeln!(out, "  {idx} [shape={shape}, label=\"{}\"{extra}];", n);
+    }
+    for e in topology.graph.edges() {
+        let _ = writeln!(out, "  {} -- {};", e.a.index(), e.b.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gtitm::{generate, GtItmConfig};
+    use crate::mec::{MecNetwork, PlacementConfig};
+
+    #[test]
+    fn topology_dot_is_well_formed() {
+        let t = generate(&GtItmConfig::for_size(40, 1));
+        let dot = topology_dot(&t);
+        assert!(dot.starts_with("graph \"gt-itm-40\" {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches(" -- ").count(), t.graph.edge_count());
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=circle"));
+    }
+
+    #[test]
+    fn network_dot_marks_sites() {
+        let t = generate(&GtItmConfig::for_size(60, 2));
+        let net = MecNetwork::place(t, &PlacementConfig::default());
+        let dot = network_dot(&net);
+        assert_eq!(dot.matches("#7fd98c").count(), net.cloudlet_count());
+        assert_eq!(dot.matches("#7aa6ff").count(), net.data_center_count());
+    }
+}

@@ -1,0 +1,44 @@
+//! Network-topology substrate for the MEC service-caching reproduction.
+//!
+//! The paper evaluates on GT-ITM transit-stub topologies (50–400 nodes) and
+//! on the real AS1755 (Ebone) ISP map. This crate provides:
+//!
+//! * [`graph`] — undirected weighted graphs,
+//! * [`shortest_path`] — Dijkstra and all-pairs distance matrices,
+//! * [`gtitm`] — a GT-ITM-style transit-stub generator,
+//! * [`zoo`] — the AS1755 surrogate topology,
+//! * [`mec`] — cloudlet / data-center placement producing a two-tiered
+//!   [`mec::MecNetwork`].
+//!
+//! # Examples
+//!
+//! ```
+//! use mec_topology::gtitm::{generate, GtItmConfig};
+//! use mec_topology::mec::{MecNetwork, PlacementConfig};
+//!
+//! let topo = generate(&GtItmConfig::for_size(100, 42));
+//! let net = MecNetwork::place(topo, &PlacementConfig::default());
+//! assert_eq!(net.cloudlet_count(), 10);
+//! assert_eq!(net.data_center_count(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod graph;
+pub mod gtitm;
+pub mod mec;
+pub mod placement;
+pub mod shortest_path;
+pub mod stats;
+pub mod waxman;
+pub mod zoo;
+
+pub use dot::{network_dot, topology_dot};
+pub use graph::{Edge, EdgeId, Graph, NodeId};
+pub use gtitm::{GtItmConfig, NodeKind, Topology};
+pub use mec::{CloudletId, DataCenterId, MecNetwork, PlacementConfig};
+pub use placement::{choose_sites, coverage_cost, PlacementStrategy};
+pub use shortest_path::{dijkstra, DistanceMatrix, ShortestPaths};
+pub use stats::{graph_stats, GraphStats};
+pub use waxman::WaxmanConfig;

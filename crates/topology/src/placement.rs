@@ -1,0 +1,182 @@
+//! Cloudlet-placement strategies.
+//!
+//! The paper distributes cloudlets "randomly in the network edge". Real
+//! operators place them more deliberately; this module provides the random
+//! baseline plus two informed strategies so the `placement_strategies`
+//! example can quantify how much placement matters for the market's social
+//! cost.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::graph::NodeId;
+use crate::gtitm::Topology;
+use crate::shortest_path::DistanceMatrix;
+
+/// How cloudlet sites are chosen among the stub (edge) nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Uniformly random stub nodes (the paper's setup).
+    Random,
+    /// The highest-degree stub nodes (aggregation points).
+    DegreeWeighted,
+    /// Greedy k-median: repeatedly add the site that most reduces the mean
+    /// stub-node→nearest-cloudlet distance.
+    KMedian,
+}
+
+/// Selects `count` cloudlet sites from the topology's stub nodes.
+///
+/// Falls back to all nodes when the topology has no stub/transit split.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or exceeds the candidate-node count.
+pub fn choose_sites(
+    topology: &Topology,
+    distances: &DistanceMatrix,
+    strategy: PlacementStrategy,
+    count: usize,
+    seed: u64,
+) -> Vec<NodeId> {
+    let mut candidates = topology.stub_nodes();
+    if candidates.is_empty() {
+        candidates = topology.graph.nodes().collect();
+    }
+    assert!(count >= 1, "need at least one cloudlet");
+    assert!(
+        count <= candidates.len(),
+        "cannot place {count} cloudlets on {} candidates",
+        candidates.len()
+    );
+    match strategy {
+        PlacementStrategy::Random => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            candidates.shuffle(&mut rng);
+            candidates.truncate(count);
+            candidates
+        }
+        PlacementStrategy::DegreeWeighted => {
+            candidates.sort_by_key(|&n| {
+                (std::cmp::Reverse(topology.graph.degree(n)), n.index())
+            });
+            candidates.truncate(count);
+            candidates
+        }
+        PlacementStrategy::KMedian => {
+            let demand = candidates.clone(); // users live on stub nodes
+            let mut chosen: Vec<NodeId> = Vec::with_capacity(count);
+            let mut best_dist: Vec<f64> = vec![f64::INFINITY; demand.len()];
+            for _ in 0..count {
+                let mut best_site = None;
+                let mut best_total = f64::INFINITY;
+                for &cand in &candidates {
+                    if chosen.contains(&cand) {
+                        continue;
+                    }
+                    let total: f64 = demand
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &d)| best_dist[k].min(distances.distance(d, cand)))
+                        .sum();
+                    if total < best_total {
+                        best_total = total;
+                        best_site = Some(cand);
+                    }
+                }
+                let site = best_site.expect("candidates remain");
+                for (k, &d) in demand.iter().enumerate() {
+                    best_dist[k] = best_dist[k].min(distances.distance(d, site));
+                }
+                chosen.push(site);
+            }
+            chosen
+        }
+    }
+}
+
+/// Mean distance from every stub node to its nearest site — the coverage
+/// objective the `KMedian` strategy greedily minimizes.
+pub fn coverage_cost(topology: &Topology, distances: &DistanceMatrix, sites: &[NodeId]) -> f64 {
+    let mut demand = topology.stub_nodes();
+    if demand.is_empty() {
+        demand = topology.graph.nodes().collect();
+    }
+    let total: f64 = demand
+        .iter()
+        .map(|&d| {
+            sites
+                .iter()
+                .map(|&s| distances.distance(d, s))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    total / demand.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gtitm::{generate, GtItmConfig};
+
+    fn setup() -> (Topology, DistanceMatrix) {
+        let t = generate(&GtItmConfig::for_size(120, 7));
+        let d = DistanceMatrix::new(&t.graph);
+        (t, d)
+    }
+
+    #[test]
+    fn all_strategies_return_requested_count() {
+        let (t, d) = setup();
+        for s in [
+            PlacementStrategy::Random,
+            PlacementStrategy::DegreeWeighted,
+            PlacementStrategy::KMedian,
+        ] {
+            let sites = choose_sites(&t, &d, s, 12, 1);
+            assert_eq!(sites.len(), 12, "{s:?}");
+            let distinct: std::collections::HashSet<_> = sites.iter().collect();
+            assert_eq!(distinct.len(), 12, "{s:?} returned duplicates");
+        }
+    }
+
+    #[test]
+    fn kmedian_beats_random_on_coverage() {
+        let (t, d) = setup();
+        let random = choose_sites(&t, &d, PlacementStrategy::Random, 10, 1);
+        let kmed = choose_sites(&t, &d, PlacementStrategy::KMedian, 10, 1);
+        assert!(
+            coverage_cost(&t, &d, &kmed) <= coverage_cost(&t, &d, &random) + 1e-9,
+            "k-median worse than random"
+        );
+    }
+
+    #[test]
+    fn degree_weighted_picks_hubs() {
+        let (t, d) = setup();
+        let sites = choose_sites(&t, &d, PlacementStrategy::DegreeWeighted, 5, 1);
+        let min_chosen = sites.iter().map(|&n| t.graph.degree(n)).min().unwrap();
+        let stubs = t.stub_nodes();
+        let above = stubs
+            .iter()
+            .filter(|&&n| t.graph.degree(n) > min_chosen)
+            .count();
+        assert!(above < 5, "skipped higher-degree stubs");
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let (t, d) = setup();
+        let a = choose_sites(&t, &d, PlacementStrategy::Random, 8, 42);
+        let b = choose_sites(&t, &d, PlacementStrategy::Random, 8, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn too_many_sites_rejected() {
+        let (t, d) = setup();
+        let _ = choose_sites(&t, &d, PlacementStrategy::Random, 10_000, 1);
+    }
+}

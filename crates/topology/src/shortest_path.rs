@@ -1,0 +1,266 @@
+//! Single-source and all-pairs shortest paths (Dijkstra).
+//!
+//! Edge weights model link latency/length. The MEC cost model uses shortest
+//! hop/latency distances between cloudlets, data centers and user locations
+//! to price remote serving and update traffic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{Graph, NodeId};
+
+/// Result of a single-source shortest-path run.
+///
+/// Produced by [`dijkstra`]. Distances of unreachable nodes are
+/// [`f64::INFINITY`].
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<f64>,
+    prev: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// The source node of this run.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `to` (`f64::INFINITY` if unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of bounds.
+    pub fn distance(&self, to: NodeId) -> f64 {
+        self.dist[to.index()]
+    }
+
+    /// Returns `true` if `to` is reachable from the source.
+    pub fn is_reachable(&self, to: NodeId) -> bool {
+        self.dist[to.index()].is_finite()
+    }
+
+    /// Reconstructs the node sequence from the source to `to`, inclusive.
+    ///
+    /// Returns `None` if `to` is unreachable.
+    pub fn path(&self, to: NodeId) -> Option<Vec<NodeId>> {
+        if !self.is_reachable(to) {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while let Some(p) = self.prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; ties broken on node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs Dijkstra's algorithm from `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use mec_topology::graph::Graph;
+/// use mec_topology::shortest_path::dijkstra;
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(0.into(), 1.into(), 1.0);
+/// g.add_edge(1.into(), 2.into(), 2.0);
+/// let sp = dijkstra(&g, 0.into());
+/// assert_eq!(sp.distance(2.into()), 3.0);
+/// assert_eq!(sp.path(2.into()).unwrap().len(), 3);
+/// ```
+pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPaths {
+    assert!(source.index() < g.node_count(), "source out of bounds");
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        for (v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some(u);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPaths { source, dist, prev }
+}
+
+/// Dense all-pairs shortest-path distance matrix.
+///
+/// Runs Dijkstra from every node: `O(n (m + n) log n)`, fine for the paper's
+/// topology sizes (≤ 400 nodes).
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all-pairs shortest paths on `g`.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut dist = vec![f64::INFINITY; n * n];
+        for s in g.nodes() {
+            let sp = dijkstra(g, s);
+            for t in g.nodes() {
+                dist[s.index() * n + t.index()] = sp.distance(t);
+            }
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Number of nodes the matrix covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between `a` and `b` (`f64::INFINITY` if disconnected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        assert!(a.index() < self.n && b.index() < self.n, "node out of bounds");
+        self.dist[a.index() * self.n + b.index()]
+    }
+
+    /// The largest finite pairwise distance (graph diameter), or `None` for
+    /// an empty matrix.
+    pub fn diameter(&self) -> Option<f64> {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(None, |acc, d| Some(acc.map_or(d, |m: f64| m.max(d))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn line(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn line_distances() {
+        let g = line(5);
+        let sp = dijkstra(&g, NodeId(0));
+        for i in 0..5 {
+            assert_eq!(sp.distance(NodeId(i)), i as f64);
+        }
+    }
+
+    #[test]
+    fn prefers_shorter_weighted_path() {
+        // 0 -(10)- 1, 0 -(1)- 2 -(1)- 1: shortest 0->1 is via 2.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 10.0);
+        g.add_edge(NodeId(0), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(1), 1.0);
+        let sp = dijkstra(&g, NodeId(0));
+        assert_eq!(sp.distance(NodeId(1)), 2.0);
+        assert_eq!(sp.path(NodeId(1)).unwrap(), vec![NodeId(0), NodeId(2), NodeId(1)]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        let sp = dijkstra(&g, NodeId(0));
+        assert!(!sp.is_reachable(NodeId(2)));
+        assert_eq!(sp.distance(NodeId(2)), f64::INFINITY);
+        assert!(sp.path(NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn source_distance_zero() {
+        let g = line(3);
+        let sp = dijkstra(&g, NodeId(1));
+        assert_eq!(sp.distance(NodeId(1)), 0.0);
+        assert_eq!(sp.path(NodeId(1)).unwrap(), vec![NodeId(1)]);
+        assert_eq!(sp.source(), NodeId(1));
+    }
+
+    #[test]
+    fn distance_matrix_symmetric() {
+        let g = line(6);
+        let m = DistanceMatrix::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(m.distance(a, b), m.distance(b, a));
+            }
+        }
+        assert_eq!(m.diameter(), Some(5.0));
+        assert_eq!(m.node_count(), 6);
+    }
+
+    #[test]
+    fn matrix_triangle_inequality() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 2.0);
+        g.add_edge(NodeId(1), NodeId(2), 3.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        g.add_edge(NodeId(0), NodeId(3), 9.0);
+        let m = DistanceMatrix::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                for c in g.nodes() {
+                    assert!(m.distance(a, c) <= m.distance(a, b) + m.distance(b, c) + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Topology statistics: sanity metrics for generated graphs.
+//!
+//! The experiments are topology-sensitive, so the generators are validated
+//! against the structural properties the paper's setup relies on: ISP-like
+//! degree heterogeneity, small diameters, and a dense-core / sparse-edge
+//! split. These metrics also feed the `ablation_topology` comparison of
+//! transit-stub vs Waxman graphs.
+
+use crate::graph::Graph;
+use crate::shortest_path::DistanceMatrix;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Edge density `2m / (n(n−1))`.
+    pub density: f64,
+    /// Global clustering coefficient (transitivity).
+    pub clustering: f64,
+    /// Mean finite pairwise shortest-path length (weighted).
+    pub mean_path_length: f64,
+    /// Weighted diameter (largest finite pairwise distance).
+    pub diameter: f64,
+}
+
+/// Computes [`GraphStats`] for `g`.
+///
+/// Runs all-pairs shortest paths internally — intended for the paper-scale
+/// graphs (≤ a few hundred nodes).
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than 2 nodes.
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let n = g.node_count();
+    assert!(n >= 2, "statistics need at least 2 nodes");
+    let m = g.edge_count();
+    let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let min_degree = *degrees.iter().min().unwrap();
+    let max_degree = *degrees.iter().max().unwrap();
+    let mean_degree = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let density = 2.0 * m as f64 / (n as f64 * (n as f64 - 1.0));
+
+    // Transitivity: 3 × triangles / connected triples.
+    let mut triangles = 0usize;
+    let mut triples = 0usize;
+    let neighbor_sets: Vec<std::collections::HashSet<usize>> = g
+        .nodes()
+        .map(|v| g.neighbors(v).map(|(u, _)| u.index()).collect())
+        .collect();
+    for v in 0..n {
+        let d = neighbor_sets[v].len();
+        triples += d * d.saturating_sub(1) / 2;
+        let nbrs: Vec<usize> = neighbor_sets[v].iter().copied().collect();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                if neighbor_sets[nbrs[i]].contains(&nbrs[j]) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    // Each triangle counted once per corner = 3 times.
+    let clustering = if triples > 0 {
+        triangles as f64 / triples as f64
+    } else {
+        0.0
+    };
+
+    let dm = DistanceMatrix::new(g);
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for a in g.nodes() {
+        for b in g.nodes() {
+            if a != b {
+                let d = dm.distance(a, b);
+                if d.is_finite() {
+                    total += d;
+                    pairs += 1;
+                }
+            }
+        }
+    }
+    GraphStats {
+        nodes: n,
+        edges: m,
+        min_degree,
+        max_degree,
+        mean_degree,
+        density,
+        clustering,
+        mean_path_length: if pairs > 0 { total / pairs as f64 } else { 0.0 },
+        diameter: dm.diameter().unwrap_or(0.0),
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "nodes            {:>10}", self.nodes)?;
+        writeln!(f, "edges            {:>10}", self.edges)?;
+        writeln!(
+            f,
+            "degree           {:>4} min {:>4} max {:>8.2} mean",
+            self.min_degree, self.max_degree, self.mean_degree
+        )?;
+        writeln!(f, "density          {:>10.4}", self.density)?;
+        writeln!(f, "clustering       {:>10.4}", self.clustering)?;
+        writeln!(f, "mean path (ms)   {:>10.2}", self.mean_path_length)?;
+        write!(f, "diameter (ms)    {:>10.2}", self.diameter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+    use crate::gtitm::{generate as gen_ts, GtItmConfig};
+    use crate::waxman::{generate as gen_wax, WaxmanConfig};
+    use crate::zoo::as1755;
+
+    #[test]
+    fn complete_graph_stats() {
+        let mut g = Graph::with_nodes(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(NodeId(i), NodeId(j), 1.0);
+            }
+        }
+        let s = graph_stats(&g);
+        assert_eq!(s.edges, 6);
+        assert_eq!(s.min_degree, 3);
+        assert!((s.density - 1.0).abs() < 1e-12);
+        assert!((s.clustering - 1.0).abs() < 1e-12);
+        assert!((s.mean_path_length - 1.0).abs() < 1e-12);
+        assert_eq!(s.diameter, 1.0);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let mut g = Graph::with_nodes(5);
+        for i in 1..5 {
+            g.add_edge(NodeId(0), NodeId(i), 1.0);
+        }
+        let s = graph_stats(&g);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.min_degree, 1);
+    }
+
+    #[test]
+    fn transit_stub_looks_isp_like() {
+        let t = gen_ts(&GtItmConfig::for_size(200, 1));
+        let s = graph_stats(&t.graph);
+        // Sparse edge, heterogeneous degrees, modest diameter.
+        assert!(s.density < 0.1, "density {}", s.density);
+        assert!(s.max_degree >= 3 * s.min_degree.max(1));
+        assert!(s.diameter < 200.0);
+    }
+
+    #[test]
+    fn as1755_stats_match_published_counts() {
+        let s = graph_stats(&as1755().graph);
+        assert_eq!(s.nodes, 87);
+        assert_eq!(s.edges, 161);
+        assert!((s.mean_degree - 2.0 * 161.0 / 87.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waxman_density_between_models() {
+        let w = gen_wax(&WaxmanConfig::for_size(100, 2));
+        let s = graph_stats(&w.graph);
+        assert!(s.density > 0.01 && s.density < 0.5, "density {}", s.density);
+    }
+
+    #[test]
+    fn display_renders() {
+        let t = gen_ts(&GtItmConfig::for_size(50, 3));
+        let text = graph_stats(&t.graph).to_string();
+        assert!(text.contains("nodes"));
+        assert!(text.contains("diameter"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Waxman random-graph generator — GT-ITM's "flat random" model.
+//!
+//! GT-ITM offers both the transit-stub model ([`crate::gtitm`]) and flat
+//! Waxman graphs; the paper's sweeps use transit-stub, but Waxman is the
+//! standard robustness check for topology-sensitive results (the
+//! `ablation_topology` study compares the two). Nodes are scattered in the
+//! unit square and edge `(u, v)` exists with probability
+//! `α · exp(−d(u,v) / (β · L))`, `L` the maximum distance.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::{Graph, NodeId};
+use crate::gtitm::{NodeKind, Topology};
+
+/// Waxman model parameters.
+#[derive(Debug, Clone)]
+pub struct WaxmanConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Edge-density parameter `α ∈ (0, 1]`.
+    pub alpha: f64,
+    /// Distance-decay parameter `β ∈ (0, 1]`.
+    pub beta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WaxmanConfig {
+    /// Canonical parameters (`α = 0.4`, `β = 0.2`) for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn for_size(n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "Waxman graphs need at least 2 nodes");
+        WaxmanConfig {
+            nodes: n,
+            alpha: 0.4,
+            beta: 0.2,
+            seed,
+        }
+    }
+}
+
+/// Generates a connected Waxman topology.
+///
+/// Connectivity is guaranteed by linking each node `i ≥ 1` to its nearest
+/// already-placed neighbor before the probabilistic edges are drawn
+/// (standard practice; the spanning edges follow the same distance-decay
+/// preference the model encodes). The ~15 % highest-degree nodes are
+/// labelled [`NodeKind::Transit`].
+///
+/// # Examples
+///
+/// ```
+/// use mec_topology::waxman::{generate, WaxmanConfig};
+///
+/// let topo = generate(&WaxmanConfig::for_size(80, 1));
+/// assert_eq!(topo.graph.node_count(), 80);
+/// assert!(topo.graph.is_connected());
+/// ```
+pub fn generate(config: &WaxmanConfig) -> Topology {
+    assert!(
+        config.alpha > 0.0 && config.alpha <= 1.0,
+        "alpha must be in (0, 1]"
+    );
+    assert!(
+        config.beta > 0.0 && config.beta <= 1.0,
+        "beta must be in (0, 1]"
+    );
+    let n = config.nodes;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    let dist = |a: usize, b: usize| -> f64 {
+        let dx = pos[a].0 - pos[b].0;
+        let dy = pos[a].1 - pos[b].1;
+        (dx * dx + dy * dy).sqrt()
+    };
+    let l = std::f64::consts::SQRT_2; // max distance in the unit square
+
+    let mut g = Graph::with_nodes(n);
+    // Spanning skeleton: connect each node to its nearest predecessor.
+    for i in 1..n {
+        let nearest = (0..i)
+            .min_by(|&a, &b| dist(i, a).partial_cmp(&dist(i, b)).unwrap())
+            .expect("i >= 1");
+        g.add_edge(NodeId(i), NodeId(nearest), latency_ms(dist(i, nearest)));
+    }
+    // Probabilistic Waxman edges.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if g.has_edge(NodeId(i), NodeId(j)) {
+                continue;
+            }
+            let p = config.alpha * (-dist(i, j) / (config.beta * l)).exp();
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(NodeId(i), NodeId(j), latency_ms(dist(i, j)));
+            }
+        }
+    }
+
+    // Label the densest ~15 % as transit cores (DC anchors).
+    let mut by_degree: Vec<usize> = (0..n).collect();
+    by_degree.sort_by_key(|&i| std::cmp::Reverse(g.degree(NodeId(i))));
+    let core = (n * 15 / 100).max(1);
+    let mut kinds = vec![NodeKind::Stub; n];
+    for &i in by_degree.iter().take(core) {
+        kinds[i] = NodeKind::Transit;
+    }
+
+    debug_assert!(g.is_connected());
+    Topology {
+        graph: g,
+        kinds,
+        name: format!("waxman-{n}"),
+    }
+}
+
+/// Converts a unit-square distance into a link latency in milliseconds
+/// (unit square ≈ a 3000 km region; ~5 µs/km propagation).
+fn latency_ms(d: f64) -> f64 {
+    (d * 3000.0 * 0.005).max(0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size_connected() {
+        for &n in &[10usize, 50, 150] {
+            let t = generate(&WaxmanConfig::for_size(n, 3));
+            assert_eq!(t.graph.node_count(), n);
+            assert!(t.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&WaxmanConfig::for_size(60, 9));
+        let b = generate(&WaxmanConfig::for_size(60, 9));
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    #[test]
+    fn alpha_controls_density() {
+        let sparse = generate(&WaxmanConfig {
+            alpha: 0.1,
+            ..WaxmanConfig::for_size(100, 4)
+        });
+        let dense = generate(&WaxmanConfig {
+            alpha: 0.9,
+            ..WaxmanConfig::for_size(100, 4)
+        });
+        assert!(dense.graph.edge_count() > sparse.graph.edge_count());
+    }
+
+    #[test]
+    fn has_transit_labels() {
+        let t = generate(&WaxmanConfig::for_size(100, 5));
+        let cores = t.transit_nodes().len();
+        assert!((1..=20).contains(&cores));
+    }
+
+    #[test]
+    fn latencies_positive() {
+        let t = generate(&WaxmanConfig::for_size(40, 6));
+        for e in t.graph.edges() {
+            assert!(e.weight > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn rejects_bad_alpha() {
+        let mut c = WaxmanConfig::for_size(10, 0);
+        c.alpha = 0.0;
+        let _ = generate(&c);
+    }
+}

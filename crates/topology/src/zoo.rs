@@ -1,0 +1,132 @@
+//! The AS1755 (Ebone) ISP topology used by the paper's testbed overlay.
+//!
+//! The paper builds its overlay network "following the real topology AS1755"
+//! from the Internet Topology Zoo / Rocketfuel data sets \[29\]. The published
+//! AS1755 backbone map has 87 routers and 161 links. The raw map is not
+//! redistributable here, so this module *synthesizes* a deterministic graph
+//! with exactly those counts and ISP-like degree heterogeneity (a ring
+//! backbone with preferential-attachment chords — the standard structural
+//! surrogate for router-level ISP maps). The experiments only consume node
+//! count, connectivity and hop distances, which this surrogate preserves.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::Graph;
+use crate::gtitm::{NodeKind, Topology};
+
+/// Number of routers in the AS1755 (Ebone) backbone map.
+pub const AS1755_NODES: usize = 87;
+/// Number of links in the AS1755 (Ebone) backbone map.
+pub const AS1755_EDGES: usize = 161;
+
+/// Fixed seed so that every build of the library ships the identical graph.
+const AS1755_SEED: u64 = 0x1755;
+
+/// Builds the AS1755 surrogate topology (87 nodes, 161 links, connected).
+///
+/// The graph is deterministic: repeated calls return identical topologies.
+/// The ~15 % highest-degree routers are labelled [`NodeKind::Transit`]
+/// (backbone/PoP cores where data centers attach); the rest are
+/// [`NodeKind::Stub`].
+///
+/// # Examples
+///
+/// ```
+/// use mec_topology::zoo::{as1755, AS1755_NODES, AS1755_EDGES};
+///
+/// let topo = as1755();
+/// assert_eq!(topo.graph.node_count(), AS1755_NODES);
+/// assert_eq!(topo.graph.edge_count(), AS1755_EDGES);
+/// assert!(topo.graph.is_connected());
+/// ```
+pub fn as1755() -> Topology {
+    let mut rng = StdRng::seed_from_u64(AS1755_SEED);
+    let mut g = Graph::with_nodes(AS1755_NODES);
+
+    // Ring backbone guarantees connectivity (87 edges).
+    for i in 0..AS1755_NODES {
+        let j = (i + 1) % AS1755_NODES;
+        let w = rng.random_range(1.0..6.0);
+        g.add_edge(i.into(), j.into(), w);
+    }
+
+    // Preferential-attachment chords up to the published link count.
+    while g.edge_count() < AS1755_EDGES {
+        // Sample an endpoint biased by degree (router-level maps are heavy
+        // tailed): pick an edge uniformly and reuse one of its endpoints.
+        let e = rng.random_range(0..g.edge_count());
+        let edge = *g.edge(crate::graph::EdgeId(e));
+        let a = if rng.random_bool(0.5) { edge.a } else { edge.b };
+        let b = crate::graph::NodeId(rng.random_range(0..AS1755_NODES));
+        if a != b && !g.has_edge(a, b) {
+            let w = rng.random_range(1.0..10.0);
+            g.add_edge(a, b, w);
+        }
+    }
+
+    // Label the top ~15 % degree routers as transit cores.
+    let mut by_degree: Vec<usize> = (0..AS1755_NODES).collect();
+    by_degree.sort_by_key(|&i| std::cmp::Reverse(g.degree(i.into())));
+    let core = AS1755_NODES * 15 / 100;
+    let mut kinds = vec![NodeKind::Stub; AS1755_NODES];
+    for &i in by_degree.iter().take(core) {
+        kinds[i] = NodeKind::Transit;
+    }
+
+    Topology {
+        graph: g,
+        kinds,
+        name: "as1755".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_counts() {
+        let t = as1755();
+        assert_eq!(t.graph.node_count(), 87);
+        assert_eq!(t.graph.edge_count(), 161);
+    }
+
+    #[test]
+    fn connected() {
+        assert!(as1755().graph.is_connected());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = as1755();
+        let b = as1755();
+        for (ea, eb) in a.graph.edges().zip(b.graph.edges()) {
+            assert_eq!(ea.a, eb.a);
+            assert_eq!(ea.b, eb.b);
+            assert_eq!(ea.weight, eb.weight);
+        }
+        assert_eq!(a.kinds, b.kinds);
+    }
+
+    #[test]
+    fn has_transit_cores() {
+        let t = as1755();
+        let cores = t.transit_nodes();
+        assert!(!cores.is_empty());
+        assert!(cores.len() < 87 / 4);
+        // Cores must be among the highest-degree routers.
+        let min_core_deg = cores.iter().map(|&n| t.graph.degree(n)).min().unwrap();
+        assert!(min_core_deg >= 2);
+    }
+
+    #[test]
+    fn degree_heterogeneity() {
+        let t = as1755();
+        let degs: Vec<usize> = t.graph.nodes().map(|n| t.graph.degree(n)).collect();
+        let max = *degs.iter().max().unwrap();
+        let min = *degs.iter().min().unwrap();
+        // ISP maps are heavy tailed: hubs have several times the leaf degree.
+        assert!(max >= 3 * min.max(1), "max {max} min {min}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Churn-script generation: provider arrival/departure schedules.
+//!
+//! Drives the market-churn simulation (`mec_core::dynamics`) with
+//! realistic temporal patterns: a launch ramp, steady-state turnover, and
+//! an optional diurnal intensity curve (caching demand peaks in the
+//! evening for consumer VR/AR — the paper's motivating workloads).
+
+use mec_core::dynamics::ChurnEvent;
+use mec_core::ProviderId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of [`generate_script`].
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Total epochs to script.
+    pub epochs: usize,
+    /// Epochs of pure ramp-up at the start (arrivals only).
+    pub ramp_epochs: usize,
+    /// Arrivals per ramp epoch.
+    pub ramp_arrivals: usize,
+    /// Mean turnover (arrivals ≈ departures) per steady epoch.
+    pub steady_turnover: usize,
+    /// Modulate the steady-state turnover with a sinusoidal day curve
+    /// of this period (in epochs); `None` keeps it flat.
+    pub diurnal_period: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            epochs: 20,
+            ramp_epochs: 5,
+            ramp_arrivals: 8,
+            steady_turnover: 4,
+            diurnal_period: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a valid churn script over a universe of `providers` ids:
+/// no provider arrives while active or departs while inactive, and the
+/// active set never exceeds the universe.
+///
+/// # Panics
+///
+/// Panics if `providers == 0` or the ramp would overflow the universe.
+pub fn generate_script(providers: usize, config: &ChurnConfig) -> Vec<ChurnEvent> {
+    assert!(providers > 0, "need a provider universe");
+    assert!(
+        config.ramp_epochs * config.ramp_arrivals <= providers,
+        "ramp ({} x {}) exceeds the {providers}-provider universe",
+        config.ramp_epochs,
+        config.ramp_arrivals
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut inactive: Vec<ProviderId> = (0..providers).map(ProviderId).collect();
+    let mut active: Vec<ProviderId> = Vec::new();
+    let mut script = Vec::with_capacity(config.epochs);
+
+    for epoch in 0..config.epochs {
+        let intensity = match config.diurnal_period {
+            Some(period) if period > 0 => {
+                let phase = epoch as f64 / period as f64 * std::f64::consts::TAU;
+                1.0 + 0.75 * phase.sin()
+            }
+            _ => 1.0,
+        };
+        let (n_arr, n_dep) = if epoch < config.ramp_epochs {
+            (config.ramp_arrivals, 0)
+        } else {
+            let base = (config.steady_turnover as f64 * intensity).round() as usize;
+            let jitter = if base > 0 {
+                rng.random_range(0..=base.min(2))
+            } else {
+                0
+            };
+            (base + jitter, base)
+        };
+        inactive.shuffle(&mut rng);
+        active.shuffle(&mut rng);
+        let arrivals: Vec<ProviderId> = inactive.drain(..n_arr.min(inactive.len())).collect();
+        let departures: Vec<ProviderId> = active.drain(..n_dep.min(active.len())).collect();
+        active.extend(arrivals.iter().copied());
+        inactive.extend(departures.iter().copied());
+        script.push(ChurnEvent {
+            arrivals,
+            departures,
+        });
+    }
+    script
+}
+
+/// Validates a script against a universe: every arrival targets an
+/// inactive provider and every departure an active one. Returns the peak
+/// active-set size.
+///
+/// # Panics
+///
+/// Panics on the first inconsistency, naming the epoch.
+pub fn validate_script(providers: usize, script: &[ChurnEvent]) -> usize {
+    let mut active = vec![false; providers];
+    let mut peak = 0;
+    for (epoch, e) in script.iter().enumerate() {
+        for d in &e.departures {
+            assert!(active[d.index()], "epoch {epoch}: departure of inactive {d}");
+            active[d.index()] = false;
+        }
+        for a in &e.arrivals {
+            assert!(!active[a.index()], "epoch {epoch}: double arrival of {a}");
+            active[a.index()] = true;
+        }
+        peak = peak.max(active.iter().filter(|x| **x).count());
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_is_valid() {
+        let script = generate_script(60, &ChurnConfig::default());
+        assert_eq!(script.len(), 20);
+        let peak = validate_script(60, &script);
+        assert!(peak >= 5 * 8, "ramp never materialized (peak {peak})");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_script(40, &ChurnConfig::default());
+        let b = generate_script(40, &ChurnConfig::default());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrivals, y.arrivals);
+            assert_eq!(x.departures, y.departures);
+        }
+    }
+
+    #[test]
+    fn diurnal_modulates_turnover() {
+        let flat = generate_script(
+            200,
+            &ChurnConfig {
+                epochs: 40,
+                diurnal_period: None,
+                seed: 3,
+                ..ChurnConfig::default()
+            },
+        );
+        let wave = generate_script(
+            200,
+            &ChurnConfig {
+                epochs: 40,
+                diurnal_period: Some(10),
+                seed: 3,
+                ..ChurnConfig::default()
+            },
+        );
+        validate_script(200, &flat);
+        validate_script(200, &wave);
+        let spread = |s: &[ChurnEvent]| {
+            let sizes: Vec<usize> = s.iter().skip(5).map(|e| e.arrivals.len()).collect();
+            *sizes.iter().max().unwrap() as i64 - *sizes.iter().min().unwrap() as i64
+        };
+        assert!(spread(&wave) > spread(&flat), "diurnal curve had no effect");
+    }
+
+    #[test]
+    fn script_feeds_churn_simulation() {
+        use mec_core::dynamics::{ChurnSimulation, ReplanStrategy};
+        use mec_core::lcf::LcfConfig;
+        let s = crate::gtitm_scenario(100, &crate::Params::paper().with_providers(30), 1);
+        let script = generate_script(
+            30,
+            &ChurnConfig {
+                epochs: 8,
+                ramp_epochs: 3,
+                ramp_arrivals: 6,
+                steady_turnover: 3,
+                diurnal_period: Some(6),
+                seed: 1,
+            },
+        );
+        let mut sim = ChurnSimulation::new(
+            &s.generated.market,
+            ReplanStrategy::Incremental,
+            LcfConfig::new(0.7),
+        );
+        for e in &script {
+            let rep = sim.step(e).unwrap();
+            assert!(rep.social_cost >= 0.0);
+        }
+        assert!(sim.profile().is_feasible(&s.generated.market));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn overlong_ramp_rejected() {
+        let _ = generate_script(
+            10,
+            &ChurnConfig {
+                ramp_epochs: 5,
+                ramp_arrivals: 8,
+                ..ChurnConfig::default()
+            },
+        );
+    }
+}

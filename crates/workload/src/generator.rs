@@ -1,0 +1,326 @@
+//! Seeded market generation: topology + [`Params`] → [`GeneratedMarket`].
+//!
+//! Converts the paper's raw parameter draws into the cost model of
+//! `mec-core`:
+//!
+//! * `C(CL_i)` = VMs per cloudlet; `B(CL_i)` = VMs × per-VM bandwidth.
+//! * `c_l_ins` = VM instantiation fee + processing cost of the service's
+//!   total request traffic (`proc_cost_per_gb × traffic_gb`).
+//! * `c_{l,i}_bdw` = transmission cost of the consistency-update volume
+//!   (10 % of the service data volume) priced by the cloudlet→home-DC
+//!   distance.
+//! * `remote_cost` = processing in the data center plus the wide-area
+//!   transfer of all request traffic (with the remote delay penalty).
+//! * `offload_cost(l, i)` = user→cloudlet transfer price of the request
+//!   traffic; this is what the `OffloadCache`/`JoOffloadCache` baselines
+//!   greedily optimize.
+
+use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+use mec_core::ProviderId;
+use mec_topology::{CloudletId, DataCenterId, MecNetwork, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::params::Params;
+
+/// Side information about one generated provider.
+#[derive(Debug, Clone)]
+pub struct ProviderMeta {
+    /// Data center hosting the original service instance.
+    pub home_dc: DataCenterId,
+    /// Representative location of the provider's users.
+    pub user_node: NodeId,
+    /// Number of requests `r_l`.
+    pub requests: u32,
+    /// Total request traffic, GB.
+    pub traffic_gb: f64,
+    /// Service data volume, GB.
+    pub data_gb: f64,
+    /// Consistency-update volume, GB (`update_ratio × data_gb`).
+    pub update_gb: f64,
+    /// Sampled transmission price, $/GB.
+    pub tx_cost_per_gb: f64,
+    /// Sampled processing price, $/GB.
+    pub proc_cost_per_gb: f64,
+}
+
+/// A market generated from a topology, plus the metadata the baselines and
+/// the simulator need.
+#[derive(Debug, Clone)]
+pub struct GeneratedMarket {
+    /// The game-theoretic market (see [`mec_core::Market`]).
+    pub market: Market,
+    /// Per-provider generation metadata.
+    pub providers: Vec<ProviderMeta>,
+    /// Row-major `providers × cloudlets` user→cloudlet offloading cost.
+    offload: Vec<f64>,
+    cloudlets: usize,
+}
+
+impl GeneratedMarket {
+    /// User→cloudlet offloading cost for `(l, i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn offload_cost(&self, l: ProviderId, i: CloudletId) -> f64 {
+        assert!(l.index() < self.providers.len() && i.index() < self.cloudlets);
+        self.offload[l.index() * self.cloudlets + i.index()]
+    }
+
+    /// Number of cloudlets in the generated market.
+    pub fn cloudlet_count(&self) -> usize {
+        self.cloudlets
+    }
+}
+
+/// Generates a market on `net` with the given parameters and seed.
+///
+/// Deterministic: the same `(net, params, seed)` triple yields an identical
+/// market.
+///
+/// # Panics
+///
+/// Panics if `net` has no cloudlets or no data centers.
+pub fn generate(net: &MecNetwork, params: &Params, seed: u64) -> GeneratedMarket {
+    assert!(net.cloudlet_count() > 0, "network has no cloudlets");
+    assert!(net.data_center_count() > 0, "network has no data centers");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = Market::builder();
+
+    // Cloudlets.
+    for _ in net.cloudlets() {
+        let vms = params.vms_per_cloudlet.sample(&mut rng).round();
+        let bw = vms * params.vm_bandwidth_mbps.sample(&mut rng);
+        let alpha = params.alpha.sample(&mut rng);
+        let beta = params.beta.sample(&mut rng);
+        builder = builder.cloudlet(CloudletSpec::new(vms, bw, alpha, beta));
+    }
+
+    // Providers.
+    let stub_nodes = {
+        let s = net.topology().stub_nodes();
+        if s.is_empty() {
+            net.topology().graph.nodes().collect::<Vec<_>>()
+        } else {
+            s
+        }
+    };
+    let mut metas = Vec::with_capacity(params.providers);
+    let mut bandwidth_demands = Vec::with_capacity(params.providers);
+    for _ in 0..params.providers {
+        let home_dc = DataCenterId(rng.random_range(0..net.data_center_count()));
+        let user_node = stub_nodes[rng.random_range(0..stub_nodes.len())];
+        let requests = params.requests_per_service.sample(&mut rng).round() as u32;
+        let traffic_gb =
+            params.traffic_per_request_mb.sample(&mut rng) / 1024.0 * requests as f64;
+        let data_gb = params.service_data_gb.sample(&mut rng);
+        let update_gb = params.update_ratio * data_gb;
+        let tx = params.tx_cost_per_gb.sample(&mut rng);
+        let proc = params.proc_cost_per_gb.sample(&mut rng);
+
+        let compute_demand = params.service_vms.sample(&mut rng);
+        let bandwidth_demand =
+            params.bandwidth_per_request_mbps.sample(&mut rng) * requests as f64;
+        // Resource-proportional VM pricing: the fee scales with the VMs the
+        // service occupies, plus the processing of its request traffic.
+        let instantiation =
+            params.instantiation_fee.sample(&mut rng) * compute_demand + proc * traffic_gb;
+        let remote_cost = if params.allow_remote {
+            let dist = net.node_dc_distance(user_node, home_dc);
+            proc * traffic_gb
+                + tx * traffic_gb
+                    * (1.0 + params.distance_factor_per_ms * dist * params.remote_penalty)
+        } else {
+            f64::INFINITY
+        };
+        builder = builder.provider(ProviderSpec::new(
+            compute_demand,
+            bandwidth_demand,
+            instantiation,
+            remote_cost,
+        ));
+        bandwidth_demands.push(bandwidth_demand);
+        metas.push(ProviderMeta {
+            home_dc,
+            user_node,
+            requests,
+            traffic_gb,
+            data_gb,
+            update_gb,
+            tx_cost_per_gb: tx,
+            proc_cost_per_gb: proc,
+        });
+    }
+
+    // Update-cost matrix and offload matrix.
+    let cl_count = net.cloudlet_count();
+    let mut update = Vec::with_capacity(params.providers * cl_count);
+    let mut offload = Vec::with_capacity(params.providers * cl_count);
+    for (idx, meta) in metas.iter().enumerate() {
+        // Bandwidth reservation at the cloudlet: resource-proportional.
+        let bw_reservation = params.bandwidth_price_per_mbps * bandwidth_demands[idx];
+        for i in net.cloudlets() {
+            let d_dc = net.cloudlet_dc_distance(i, meta.home_dc);
+            update.push(
+                meta.tx_cost_per_gb
+                    * meta.update_gb
+                    * (1.0 + params.distance_factor_per_ms * d_dc)
+                    + bw_reservation,
+            );
+            let d_user = net.node_cloudlet_distance(meta.user_node, i);
+            offload.push(
+                meta.tx_cost_per_gb
+                    * meta.traffic_gb
+                    * (1.0 + params.distance_factor_per_ms * d_user)
+                    * 0.25, // edge links are cheap relative to wide-area
+            );
+        }
+    }
+
+    let market = builder.update_cost_matrix(update).build();
+    GeneratedMarket {
+        market,
+        providers: metas,
+        offload,
+        cloudlets: cl_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::gtitm::{generate as gen_topo, GtItmConfig};
+    use mec_topology::PlacementConfig;
+
+    fn net(size: usize, seed: u64) -> MecNetwork {
+        MecNetwork::place(
+            gen_topo(&GtItmConfig::for_size(size, seed)),
+            &PlacementConfig::default(),
+        )
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let n = net(100, 1);
+        let g = generate(&n, &Params::paper().with_providers(20), 7);
+        assert_eq!(g.market.provider_count(), 20);
+        assert_eq!(g.market.cloudlet_count(), n.cloudlet_count());
+        assert_eq!(g.providers.len(), 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let n = net(80, 2);
+        let a = generate(&n, &Params::paper().with_providers(10), 3);
+        let b = generate(&n, &Params::paper().with_providers(10), 3);
+        for l in a.market.providers() {
+            assert_eq!(
+                a.market.provider(l).remote_cost,
+                b.market.provider(l).remote_cost
+            );
+        }
+    }
+
+    #[test]
+    fn capacities_exceed_single_service_demand() {
+        // Lemma 1's standing assumption must hold under default parameters.
+        let n = net(120, 3);
+        let g = generate(&n, &Params::paper().with_providers(30), 5);
+        let a_max = g.market.max_compute_demand();
+        let b_max = g.market.max_bandwidth_demand();
+        for i in g.market.cloudlets() {
+            let c = g.market.cloudlet(i);
+            assert!(c.compute_capacity >= a_max, "C_i {} < a_max {a_max}", c.compute_capacity);
+            assert!(
+                c.bandwidth_capacity >= b_max,
+                "B_i {} < b_max {b_max}",
+                c.bandwidth_capacity
+            );
+        }
+    }
+
+    #[test]
+    fn update_cost_grows_with_dc_distance() {
+        let n = net(150, 4);
+        let g = generate(&n, &Params::paper().with_providers(15), 6);
+        // For each provider, the farthest cloudlet costs at least as much
+        // as the nearest one.
+        for (idx, meta) in g.providers.iter().enumerate() {
+            let l = ProviderId(idx);
+            let near = n
+                .cloudlets()
+                .min_by(|&a, &b| {
+                    n.cloudlet_dc_distance(a, meta.home_dc)
+                        .partial_cmp(&n.cloudlet_dc_distance(b, meta.home_dc))
+                        .unwrap()
+                })
+                .unwrap();
+            let far = n
+                .cloudlets()
+                .max_by(|&a, &b| {
+                    n.cloudlet_dc_distance(a, meta.home_dc)
+                        .partial_cmp(&n.cloudlet_dc_distance(b, meta.home_dc))
+                        .unwrap()
+                })
+                .unwrap();
+            assert!(
+                g.market.update_cost(l, near) <= g.market.update_cost(l, far) + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn update_volume_is_ten_percent() {
+        let n = net(90, 5);
+        let g = generate(&n, &Params::paper().with_providers(10), 8);
+        for meta in &g.providers {
+            assert!((meta.update_gb - 0.1 * meta.data_gb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn remote_forbidden_when_disabled() {
+        let n = net(90, 6);
+        let mut p = Params::paper().with_providers(5);
+        p.allow_remote = false;
+        let g = generate(&n, &p, 9);
+        for l in g.market.providers() {
+            assert!(!g.market.provider(l).can_stay_remote());
+        }
+    }
+
+    #[test]
+    fn offload_cost_accessible_and_positive() {
+        let n = net(100, 7);
+        let g = generate(&n, &Params::paper().with_providers(8), 10);
+        for l in g.market.providers() {
+            for i in g.market.cloudlets() {
+                assert!(g.offload_cost(l, i) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn remote_cost_exceeds_typical_flat_cost() {
+        // Caching should usually be attractive at low congestion —
+        // otherwise the whole market degenerates to remote serving.
+        let n = net(100, 8);
+        let g = generate(&n, &Params::paper().with_providers(30), 11);
+        let mut cheaper = 0;
+        for l in g.market.providers() {
+            let best_flat = g
+                .market
+                .cloudlets()
+                .map(|i| g.market.flat_cost(l, i))
+                .fold(f64::INFINITY, f64::min);
+            if best_flat < g.market.provider(l).remote_cost {
+                cheaper += 1;
+            }
+        }
+        assert!(
+            cheaper * 2 > g.market.provider_count(),
+            "only {cheaper}/30 providers prefer caching at congestion 1"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generation: the paper's Section IV-A parameters and seeded
+//! market generators.
+//!
+//! * [`params`] — every experimental knob with the paper's defaults,
+//! * [`generator`] — topology + params → [`generator::GeneratedMarket`],
+//! * [`scenario`] — figure-ready presets (GT-ITM sweeps, AS1755 overlay).
+//!
+//! # Examples
+//!
+//! ```
+//! use mec_workload::{gtitm_scenario, Params};
+//!
+//! let scenario = gtitm_scenario(100, &Params::paper().with_providers(20), 42);
+//! assert_eq!(scenario.generated.market.provider_count(), 20);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod generator;
+pub mod params;
+pub mod scenario;
+
+pub use churn::{generate_script, validate_script, ChurnConfig};
+pub use generator::{GeneratedMarket, ProviderMeta};
+pub use params::{Params, Range};
+pub use scenario::{
+    as1755_scenario, gtitm_scenario, Scenario, DEFAULT_SELFISH_FRACTION, FIG2_SIZES, FIG3_SIZE,
+    SELFISH_FRACTIONS,
+};

@@ -1,0 +1,139 @@
+//! Ready-made experiment scenarios matching the paper's figures.
+
+use mec_topology::gtitm::{generate as generate_topology, GtItmConfig};
+use mec_topology::zoo::as1755;
+use mec_topology::{MecNetwork, PlacementConfig};
+
+use crate::generator::{generate, GeneratedMarket};
+use crate::params::Params;
+
+/// The GT-ITM network sizes swept in Fig. 2.
+pub const FIG2_SIZES: &[usize] = &[50, 100, 150, 200, 250, 300, 350, 400];
+
+/// The network size fixed in Fig. 3.
+pub const FIG3_SIZE: usize = 250;
+
+/// The `(1 − ξ)` values swept in Figs. 3 and 6(a).
+pub const SELFISH_FRACTIONS: &[f64] = &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// The default selfish fraction `(1 − ξ) = 0.3` (Figs. 2 and 5).
+pub const DEFAULT_SELFISH_FRACTION: f64 = 0.3;
+
+/// A fully-generated experiment scenario: the placed network plus the
+/// generated market.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The two-tiered MEC network.
+    pub net: MecNetwork,
+    /// The generated market and its metadata.
+    pub generated: GeneratedMarket,
+    /// Human-readable label for tables ("gt-itm-250", "as1755", ...).
+    pub label: String,
+}
+
+/// Builds a GT-ITM scenario of the given size (Figs. 2–3).
+pub fn gtitm_scenario(size: usize, params: &Params, seed: u64) -> Scenario {
+    let topo = generate_topology(&GtItmConfig::for_size(size, seed));
+    let label = topo.name.clone();
+    let net = MecNetwork::place(
+        topo,
+        &PlacementConfig {
+            seed,
+            ..PlacementConfig::default()
+        },
+    );
+    let generated = generate(&net, params, seed.wrapping_add(0x9E37_79B9));
+    Scenario {
+        net,
+        generated,
+        label,
+    }
+}
+
+/// Builds a flat Waxman scenario of the given size (topology-robustness
+/// ablation; GT-ITM's other model).
+pub fn waxman_scenario(size: usize, params: &Params, seed: u64) -> Scenario {
+    let topo = mec_topology::waxman::generate(&mec_topology::waxman::WaxmanConfig::for_size(
+        size, seed,
+    ));
+    let label = topo.name.clone();
+    let net = MecNetwork::place(
+        topo,
+        &PlacementConfig {
+            seed,
+            ..PlacementConfig::default()
+        },
+    );
+    let generated = generate(&net, params, seed.wrapping_add(0x2545_F491));
+    Scenario {
+        net,
+        generated,
+        label,
+    }
+}
+
+/// Builds the AS1755 testbed-overlay scenario (Figs. 5–7).
+pub fn as1755_scenario(params: &Params, seed: u64) -> Scenario {
+    let topo = as1755();
+    let label = topo.name.clone();
+    let net = MecNetwork::place(
+        topo,
+        &PlacementConfig {
+            seed,
+            ..PlacementConfig::default()
+        },
+    );
+    let generated = generate(&net, params, seed.wrapping_add(0x517C_C1B7));
+    Scenario {
+        net,
+        generated,
+        label,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_sizes_match_paper() {
+        assert_eq!(FIG2_SIZES.first(), Some(&50));
+        assert_eq!(FIG2_SIZES.last(), Some(&400));
+        assert_eq!(FIG3_SIZE, 250);
+    }
+
+    #[test]
+    fn gtitm_scenario_builds() {
+        let s = gtitm_scenario(100, &Params::paper().with_providers(20), 1);
+        assert_eq!(s.net.topology().graph.node_count(), 100);
+        assert_eq!(s.generated.market.provider_count(), 20);
+        assert_eq!(s.label, "gt-itm-100");
+    }
+
+    #[test]
+    fn as1755_scenario_builds() {
+        let s = as1755_scenario(&Params::paper().with_providers(15), 2);
+        assert_eq!(s.net.topology().graph.node_count(), 87);
+        assert_eq!(s.label, "as1755");
+    }
+
+    #[test]
+    fn waxman_scenario_builds() {
+        let s = waxman_scenario(90, &Params::paper().with_providers(12), 4);
+        assert_eq!(s.net.topology().graph.node_count(), 90);
+        assert_eq!(s.generated.market.provider_count(), 12);
+        assert_eq!(s.label, "waxman-90");
+    }
+
+    #[test]
+    fn scenarios_deterministic() {
+        let a = gtitm_scenario(80, &Params::paper().with_providers(10), 5);
+        let b = gtitm_scenario(80, &Params::paper().with_providers(10), 5);
+        for l in a.generated.market.providers() {
+            assert_eq!(
+                a.generated.market.provider(l).remote_cost,
+                b.generated.market.provider(l).remote_cost
+            );
+        }
+    }
+}

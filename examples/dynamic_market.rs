@@ -1,0 +1,72 @@
+//! Dynamic service market: caching is temporary. Providers arrive and
+//! depart over 20 epochs; compare full-LCF replanning against incremental
+//! best-response on cost and churn (instantiations / evictions /
+//! migrations).
+//!
+//! ```sh
+//! cargo run --release --example dynamic_market
+//! ```
+
+use mec_core::dynamics::{ChurnSimulation, ReplanStrategy};
+use mec_core::lcf::LcfConfig;
+use mec_workload::{generate_script, gtitm_scenario, ChurnConfig, Params};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let universe = 80;
+    let scenario = gtitm_scenario(200, &Params::paper().with_providers(universe), 42);
+    let market = &scenario.generated.market;
+
+    // Scripted churn: launch ramp, then diurnal steady-state turnover.
+    let script = generate_script(
+        universe,
+        &ChurnConfig {
+            epochs: 20,
+            ramp_epochs: 5,
+            ramp_arrivals: 10,
+            steady_turnover: 4,
+            diurnal_period: Some(8),
+            seed: 7,
+        },
+    );
+
+    for (name, strategy) in [
+        ("full LCF replan", ReplanStrategy::FullLcf),
+        ("incremental", ReplanStrategy::Incremental),
+    ] {
+        let mut sim = ChurnSimulation::new(market, strategy, LcfConfig::new(0.7));
+        let mut total_cost = 0.0;
+        let mut total_reloc = 0;
+        let mut total_inst = 0;
+        let mut total_evict = 0;
+        println!("\n=== {name} ===");
+        println!(
+            "{:>6}{:>10}{:>9}{:>8}{:>8}{:>8}{:>8}",
+            "epoch", "active", "cost", "cached", "moves", "new", "evict"
+        );
+        for (epoch, event) in script.iter().enumerate() {
+            let rep = sim.step(event)?;
+            total_cost += rep.social_cost;
+            total_reloc += rep.relocations;
+            total_inst += rep.instantiations;
+            total_evict += rep.evictions;
+            if epoch % 4 == 0 || epoch == script.len() - 1 {
+                println!(
+                    "{:>6}{:>10}{:>9.1}{:>8}{:>8}{:>8}{:>8}",
+                    epoch,
+                    sim.active_providers().len(),
+                    rep.social_cost,
+                    rep.cached,
+                    rep.relocations,
+                    rep.instantiations,
+                    rep.evictions
+                );
+            }
+        }
+        println!(
+            "TOTAL  cost {total_cost:.1}  migrations {total_reloc}  instantiations {total_inst}  evictions {total_evict}"
+        );
+    }
+    println!("\nFull replanning buys lower epoch cost; incremental replanning");
+    println!("keeps the market stable (far fewer service migrations).");
+    Ok(())
+}

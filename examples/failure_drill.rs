@@ -1,0 +1,42 @@
+//! Failure drill: fail each hardware switch of the testbed underlay in
+//! turn and measure what the AS1755 overlay suffers — the resilience
+//! property the paper's wiring ("each switch is connected to at least two
+//! other switches") is designed to provide.
+//!
+//! ```sh
+//! cargo run --release --example failure_drill
+//! ```
+
+use mec_testbed::{drill_all, Overlay, SwitchId, Underlay};
+
+fn main() {
+    let underlay = Underlay::paper_testbed();
+    let overlay = Overlay::build(&underlay);
+
+    println!(
+        "Underlay: {} switches / {} servers; overlay: {} OVS nodes, {} VXLAN tunnels\n",
+        underlay.switch_count(),
+        underlay.server_count(),
+        overlay.topology().graph.node_count(),
+        overlay.tunnels().len()
+    );
+    println!(
+        "{:<30}{:>10}{:>10}{:>12}{:>12}{:>11}",
+        "failed switch", "survives", "migrated", "rerouted", "lat before", "lat after"
+    );
+    for report in drill_all(&underlay, &overlay) {
+        let model = underlay.switch(SwitchId(report.failed.0));
+        println!(
+            "{:<30}{:>10}{:>10}{:>12}{:>11.3}ms{:>10.3}ms",
+            model.label(),
+            if report.fabric_survives { "yes" } else { "NO" },
+            report.migrated_nodes,
+            report.rerouted_tunnels,
+            report.mean_tunnel_ms_before,
+            report.mean_tunnel_ms_after,
+        );
+        assert!(report.fabric_survives, "testbed has a single point of failure!");
+    }
+    println!("\nEvery single-switch failure is survivable; orphaned OVS nodes are");
+    println!("migrated and the VXLAN mesh re-routes with microsecond-scale inflation.");
+}

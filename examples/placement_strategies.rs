@@ -1,0 +1,64 @@
+//! Does cloudlet placement matter? The paper drops cloudlets on random
+//! edge nodes; this example compares that against degree-weighted and
+//! greedy k-median placement, measuring both user coverage and the social
+//! cost the LCF mechanism achieves on the resulting market.
+//!
+//! ```sh
+//! cargo run --release --example placement_strategies
+//! ```
+
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_topology::gtitm::{generate, GtItmConfig};
+use mec_topology::{coverage_cost, MecNetwork, PlacementConfig, PlacementStrategy};
+use mec_workload::{generator, Params};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Params::paper().with_providers(80);
+    println!(
+        "{:<18}{:>16}{:>16}{:>14}",
+        "strategy", "coverage (ms)", "social cost", "cached"
+    );
+    for (name, strategy) in [
+        ("random (paper)", PlacementStrategy::Random),
+        ("degree-weighted", PlacementStrategy::DegreeWeighted),
+        ("k-median", PlacementStrategy::KMedian),
+    ] {
+        let mut coverage = 0.0;
+        let mut social = 0.0;
+        let mut cached = 0usize;
+        let seeds = [1u64, 2, 3];
+        for &seed in &seeds {
+            let topo = generate(&GtItmConfig::for_size(200, seed));
+            let net = MecNetwork::place_with_strategy(
+                topo,
+                &PlacementConfig {
+                    seed,
+                    ..PlacementConfig::default()
+                },
+                strategy,
+            );
+            let sites: Vec<_> = net.cloudlets().map(|c| net.cloudlet_site(c)).collect();
+            coverage += coverage_cost(net.topology(), net.distances(), &sites)
+                / seeds.len() as f64;
+            let gen = generator::generate(&net, &params, seed + 100);
+            let out = lcf(&gen.market, &LcfConfig::new(0.7))?;
+            social += out.social_cost / seeds.len() as f64;
+            cached += out
+                .profile
+                .iter()
+                .filter(|(_, p)| matches!(p, mec_core::Placement::Cloudlet(_)))
+                .count();
+        }
+        println!(
+            "{:<18}{:>16.2}{:>16.2}{:>14}",
+            name,
+            coverage,
+            social,
+            cached / seeds.len()
+        );
+    }
+    println!("\nBetter coverage shortens user paths (offload/latency), while the");
+    println!("market's social cost is dominated by congestion + update pricing —");
+    println!("placement matters most for the baselines that chase offload cost.");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Price-of-Anarchy study: empirical anarchy on small markets against
+//! Theorem 1's bound, sweeping the coordination fraction ξ.
+//!
+//! ```sh
+//! cargo run --release --example poa_study
+//! ```
+
+use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+use mec_core::{estimate_poa, market_poa_bound};
+
+fn small_market(seed: u64) -> Market {
+    // Deterministic pseudo-random small market (≤ 10 providers so the
+    // exact optimum is computable).
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x % 1000) as f64 / 1000.0
+    };
+    let mut b = Market::builder();
+    for _ in 0..3 {
+        b = b.cloudlet(CloudletSpec::new(
+            20.0 + 10.0 * next(),
+            80.0 + 40.0 * next(),
+            0.2 + 0.8 * next(),
+            0.2 + 0.8 * next(),
+        ));
+    }
+    for _ in 0..8 {
+        b = b.provider(ProviderSpec::new(
+            1.0 + 2.0 * next(),
+            4.0 + 6.0 * next(),
+            0.5 + next(),
+            6.0 + 6.0 * next(),
+        ));
+    }
+    b.uniform_update_cost(0.2).build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Empirical PoA (worst Nash / optimum) over random small markets\n");
+    println!(
+        "{:>6}{:>14}{:>14}{:>12}{:>12}{:>16}",
+        "seed", "worst NE", "optimum", "PoA", "PoS", "Theorem 1 (ξ=0)"
+    );
+    let mut max_poa: f64 = 1.0;
+    for seed in 1..=8u64 {
+        let market = small_market(seed);
+        let est = estimate_poa(&market, 40, seed)?;
+        let bound = market_poa_bound(&market, 0.0);
+        max_poa = max_poa.max(est.poa);
+        println!(
+            "{:>6}{:>14.3}{:>14.3}{:>12.4}{:>12.4}{:>16.1}",
+            seed, est.worst_nash_cost, est.optimum_cost, est.poa, est.pos, bound
+        );
+        assert!(est.poa <= bound, "Theorem 1 violated!");
+    }
+    println!("\nLargest empirical PoA observed: {max_poa:.4}");
+    println!("Affine congestion games stay far below the worst-case bound —");
+    println!("the Stackelberg coordination mainly buys stability, not raw cost.");
+
+    println!("\nTheorem 1 bound as coordination grows (δ=κ=2):");
+    for xi in [0.0, 0.25, 0.5, 0.75, 0.9] {
+        println!(
+            "  ξ = {xi:.2} -> PoA ≤ {:.2}",
+            mec_core::best_poa_bound(2.0, 2.0, xi)
+        );
+    }
+    Ok(())
+}

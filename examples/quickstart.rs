@@ -1,0 +1,63 @@
+//! Quickstart: build a small service-caching market by hand, run the LCF
+//! Stackelberg mechanism, and inspect the outcome.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-tiered MEC with three cloudlets of different congestion prices.
+    let mut builder = Market::builder()
+        .cloudlet(CloudletSpec::new(20.0, 100.0, 0.8, 0.7)) // pricey
+        .cloudlet(CloudletSpec::new(25.0, 120.0, 0.4, 0.3)) // mid
+        .cloudlet(CloudletSpec::new(15.0, 90.0, 0.1, 0.2)); // cheap but small
+
+    // Ten providers wanting to cache one service each; serving from the
+    // remote cloud stays possible at a distance-priced cost.
+    for k in 0..10 {
+        builder = builder.provider(ProviderSpec::new(
+            1.0 + (k % 3) as f64,        // compute demand (VM units)
+            5.0 + (k % 4) as f64 * 2.0,  // bandwidth demand (Mbps)
+            0.8,                         // instantiation + processing cost
+            6.0 + (k % 5) as f64,        // remote-serving cost
+        ));
+    }
+    let market = builder.uniform_update_cost(0.25).build();
+
+    // Coordinate 70 % of the providers (ξ = 0.7); the rest play selfishly.
+    let outcome = lcf(&market, &LcfConfig::new(0.7))?;
+
+    println!("LCF outcome");
+    println!("  social cost       : {:.3}", outcome.social_cost);
+    println!("  coordinated cost  : {:.3}", outcome.coordinated_cost);
+    println!("  selfish cost      : {:.3}", outcome.selfish_cost);
+    println!(
+        "  equilibrium       : {} (after {} improving moves)",
+        if outcome.convergence.converged {
+            "reached"
+        } else {
+            "budget exhausted"
+        },
+        outcome.convergence.moves
+    );
+    println!("  placements:");
+    for (l, p) in outcome.profile.iter() {
+        let tag = if outcome.coordinated.contains(&l) {
+            "coordinated"
+        } else {
+            "selfish"
+        };
+        println!(
+            "    {l} -> {p:<7} [{tag}] cost {:.3}",
+            outcome.profile.provider_cost(&market, l)
+        );
+    }
+    println!(
+        "\nTheorem 1 PoA bound at ξ=0.7: {:.2}",
+        mec_core::market_poa_bound(&market, 0.7)
+    );
+    Ok(())
+}

@@ -1,0 +1,240 @@
+//! `mec` — command-line driver for the service-caching reproduction.
+//!
+//! ```text
+//! mec fig <2|3> [--quick]         regenerate a simulation figure
+//!                                  (figs 5-7 are testbed figures: use the
+//!                                  mec-bench binaries)
+//! mec ablations [--quick]         run the DESIGN.md ablations
+//! mec run [size] [providers]      one LCF-vs-baselines comparison
+//! mec poa [seeds]                 empirical PoA vs Theorem 1
+//! mec failure                     testbed switch-failure drill
+//! mec stats <gtitm|waxman|as1755> [size]   topology statistics
+//! mec dot <gtitm|waxman|as1755> [size]     Graphviz DOT of a placed network
+//! ```
+
+use mec_baselines::{jo_offload_cache, offload_cache, JoConfig};
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_core::{estimate_poa, market_poa_bound};
+use mec_testbed::{drill_all, Overlay, Underlay};
+use mec_topology::gtitm::{generate as gen_ts, GtItmConfig};
+use mec_topology::waxman::{generate as gen_wax, WaxmanConfig};
+use mec_topology::zoo::as1755;
+use mec_topology::graph_stats;
+use mec_testbed::SwitchId;
+use mec_workload::{gtitm_scenario, Params};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    match args.first().map(String::as_str) {
+        Some("fig") => cmd_fig(args.get(1).map(String::as_str), quick),
+        Some("ablations") => cmd_ablations(quick),
+        Some("run") => cmd_run(&args[1..]),
+        Some("poa") => cmd_poa(&args[1..]),
+        Some("failure") => cmd_failure(),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        _ => {
+            eprintln!("usage: mec <fig N|ablations|run|poa|failure|stats|dot> [args] [--quick]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_fig(which: Option<&str>, quick: bool) {
+    let cfg = if quick {
+        mec_bench_config_quick()
+    } else {
+        mec_bench_config_default()
+    };
+    let tables = match which {
+        Some("2") => mec_fig(2, &cfg),
+        Some("3") => mec_fig(3, &cfg),
+        Some("5") | Some("6") | Some("7") => {
+            eprintln!(
+                "figs 5-7 are testbed figures; run `cargo run --release -p mec-bench --bin fig{}`",
+                which.unwrap()
+            );
+            std::process::exit(2);
+        }
+        _ => {
+            eprintln!("usage: mec fig <2|3> [--quick] (figs 5-7: mec-bench binaries)");
+            std::process::exit(2);
+        }
+    };
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for t in tables {
+        if writeln!(out, "{t}").is_err() {
+            return; // reader closed the pipe (e.g. `| head`)
+        }
+    }
+}
+
+// Thin local wrappers so the binary does not depend on mec-bench (which is
+// a workspace-internal harness crate): the fig sweeps are re-expressed via
+// the public APIs. For the full multi-panel tables use `-p mec-bench`.
+struct FigConfig {
+    seeds: Vec<u64>,
+    providers: usize,
+}
+
+fn mec_bench_config_default() -> FigConfig {
+    FigConfig {
+        seeds: vec![1, 2, 3],
+        providers: 100,
+    }
+}
+
+fn mec_bench_config_quick() -> FigConfig {
+    FigConfig {
+        seeds: vec![1],
+        providers: 40,
+    }
+}
+
+fn mec_fig(which: u8, cfg: &FigConfig) -> Vec<String> {
+    let mut out = Vec::new();
+    let sizes: &[usize] = match which {
+        2 => &[50, 100, 150, 200, 250, 300, 350, 400],
+        _ => &[250],
+    };
+    let fractions: &[f64] = match which {
+        3 | 6 => &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        _ => &[0.3],
+    };
+    out.push(format!(
+        "## Fig. {which} (social cost)\n{:>10}{:>10}{:>12}{:>16}{:>14}",
+        "size", "1-xi", "LCF", "JoOffloadCache", "OffloadCache"
+    ));
+    for &size in sizes {
+        for &frac in fractions {
+            let mut l = 0.0;
+            let mut j = 0.0;
+            let mut o = 0.0;
+            for &seed in &cfg.seeds {
+                let s = gtitm_scenario(size, &Params::paper().with_providers(cfg.providers), seed);
+                let k = cfg.seeds.len() as f64;
+                l += lcf(&s.generated.market, &LcfConfig::new(1.0 - frac))
+                    .expect("lcf")
+                    .social_cost
+                    / k;
+                j += jo_offload_cache(&s.generated, &JoConfig::default()).social_cost / k;
+                o += offload_cache(&s.generated).social_cost / k;
+            }
+            out.push(format!(
+                "{size:>10}{frac:>10.2}{l:>12.2}{j:>16.2}{o:>14.2}"
+            ));
+        }
+    }
+    out
+}
+
+fn cmd_ablations(quick: bool) {
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    println!("GAP pricing ablation (Appro social cost, size 150):");
+    for &seed in &seeds {
+        let s = gtitm_scenario(150, &Params::paper().with_providers(60), seed);
+        let m = &s.generated.market;
+        let marginal = mec_core::appro::appro(m, &mec_core::appro::ApproConfig::new())
+            .expect("appro")
+            .social_cost;
+        let flat = mec_core::appro::appro(m, &mec_core::appro::ApproConfig::paper_flat())
+            .expect("appro")
+            .social_cost;
+        println!("  seed {seed}: marginal {marginal:.2}  flat {flat:.2}");
+    }
+}
+
+/// Parses a positional numeric argument, exiting with a clear error on a
+/// typo instead of silently falling back to the default.
+fn parse_arg<T: std::str::FromStr>(rest: &[String], idx: usize, name: &str, default: T) -> T {
+    match rest.get(idx) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid {name} '{raw}' (expected a number)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn cmd_run(rest: &[String]) {
+    let size: usize = parse_arg(rest, 0, "network size", 250);
+    let providers: usize = parse_arg(rest, 1, "provider count", 100);
+    let s = gtitm_scenario(size, &Params::paper().with_providers(providers), 42);
+    let m = &s.generated.market;
+    let l = lcf(m, &LcfConfig::new(0.7)).expect("lcf");
+    let j = jo_offload_cache(&s.generated, &JoConfig::default());
+    let o = offload_cache(&s.generated);
+    println!("network {size}, providers {providers} ((1-xi)=0.3)");
+    println!("  LCF            {:.2}", l.social_cost);
+    println!("  JoOffloadCache {:.2}", j.social_cost);
+    println!("  OffloadCache   {:.2}", o.social_cost);
+}
+
+fn cmd_poa(rest: &[String]) {
+    let seeds: u64 = parse_arg(rest, 0, "seed count", 5);
+    for seed in 1..=seeds {
+        let s = gtitm_scenario(60, &Params::paper().with_providers(8), seed);
+        let m = &s.generated.market;
+        match estimate_poa(m, 30, seed) {
+            Ok(est) => println!(
+                "seed {seed}: PoA {:.4} PoS {:.4} (Theorem 1 bound {:.1})",
+                est.poa,
+                est.pos,
+                market_poa_bound(m, 0.0)
+            ),
+            Err(e) => println!("seed {seed}: {e}"),
+        }
+    }
+}
+
+fn cmd_failure() {
+    let u = Underlay::paper_testbed();
+    let o = Overlay::build(&u);
+    for rep in drill_all(&u, &o) {
+        println!(
+            "fail {:<30} survives={} migrated={} rerouted={} latency {:.3} -> {:.3} ms",
+            u.switch(SwitchId(rep.failed.0)).label(),
+            rep.fabric_survives,
+            rep.migrated_nodes,
+            rep.rerouted_tunnels,
+            rep.mean_tunnel_ms_before,
+            rep.mean_tunnel_ms_after,
+        );
+    }
+}
+
+fn cmd_dot(rest: &[String]) {
+    let kind = rest.first().map(String::as_str).unwrap_or("gtitm");
+    let size: usize = parse_arg(rest, 1, "size", 100);
+    let topo = match kind {
+        "gtitm" => gen_ts(&GtItmConfig::for_size(size, 42)),
+        "waxman" => gen_wax(&WaxmanConfig::for_size(size, 42)),
+        "as1755" => as1755(),
+        other => {
+            eprintln!("unknown topology '{other}' (use gtitm|waxman|as1755)");
+            std::process::exit(2);
+        }
+    };
+    let net = mec_topology::MecNetwork::place(topo, &mec_topology::PlacementConfig::default());
+    use std::io::Write;
+    let _ = write!(std::io::stdout(), "{}", mec_topology::network_dot(&net));
+}
+
+fn cmd_stats(rest: &[String]) {
+    let kind = rest.first().map(String::as_str).unwrap_or("gtitm");
+    let size: usize = parse_arg(rest, 1, "size", 200);
+    let topo = match kind {
+        "gtitm" => gen_ts(&GtItmConfig::for_size(size, 42)),
+        "waxman" => gen_wax(&WaxmanConfig::for_size(size, 42)),
+        "as1755" => as1755(),
+        other => {
+            eprintln!("unknown topology '{other}' (use gtitm|waxman|as1755)");
+            std::process::exit(2);
+        }
+    };
+    println!("{} —", topo.name);
+    println!("{}", graph_stats(&topo.graph));
+}

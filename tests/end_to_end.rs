@@ -1,0 +1,94 @@
+//! End-to-end integration: topology → workload → mechanism → simulator.
+
+use mec_baselines::{jo_offload_cache, offload_cache, JoConfig};
+use mec_core::game::is_nash;
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_sim::{simulate, SimConfig};
+use mec_workload::{as1755_scenario, gtitm_scenario, Params};
+
+#[test]
+fn full_pipeline_gtitm() {
+    let s = gtitm_scenario(150, &Params::paper().with_providers(50), 11);
+    let market = &s.generated.market;
+
+    let out = lcf(market, &LcfConfig::new(0.7)).unwrap();
+    assert!(out.profile.is_feasible(market));
+    assert!(out.convergence.converged);
+
+    // Deployed placement survives a request-level replay.
+    let rep = simulate(&s.net, &s.generated, &out.profile, &SimConfig::default());
+    let want: u64 = s.generated.providers.iter().map(|m| m.requests as u64).sum();
+    assert_eq!(rep.completed, want);
+    assert!(rep.avg_latency_ms > 0.0);
+}
+
+#[test]
+fn lcf_dominates_baselines_across_seeds_and_topologies() {
+    // The headline result (Figs. 2a / 5a): LCF's social cost is the lowest.
+    let mut lcf_wins = 0;
+    let mut total = 0;
+    for seed in 0..4 {
+        for scenario in [
+            gtitm_scenario(100, &Params::paper().with_providers(40), seed),
+            as1755_scenario(&Params::paper().with_providers(40), seed),
+        ] {
+            let market = &scenario.generated.market;
+            let l = lcf(market, &LcfConfig::new(0.7)).unwrap().social_cost;
+            let j = jo_offload_cache(&scenario.generated, &JoConfig::default()).social_cost;
+            let o = offload_cache(&scenario.generated).social_cost;
+            total += 1;
+            if l <= j + 1e-9 && l <= o + 1e-9 {
+                lcf_wins += 1;
+            }
+        }
+    }
+    assert!(
+        lcf_wins * 10 >= total * 9,
+        "LCF won only {lcf_wins}/{total} scenario runs"
+    );
+}
+
+#[test]
+fn lcf_equilibrium_is_stable() {
+    // Market stability: no selfish provider wants to deviate (Lemma 3).
+    let s = gtitm_scenario(120, &Params::paper().with_providers(60), 5);
+    let market = &s.generated.market;
+    let out = lcf(market, &LcfConfig::new(0.5)).unwrap();
+    let mut movable = vec![true; market.provider_count()];
+    for l in &out.coordinated {
+        movable[l.index()] = false;
+    }
+    assert!(is_nash(market, &out.profile, &movable));
+}
+
+#[test]
+fn analytic_and_simulated_costs_agree() {
+    // The simulator prices with Eq. (3)/(6), so the replayed total must
+    // reproduce the closed-form social cost for any profile.
+    let s = gtitm_scenario(100, &Params::paper().with_providers(40), 9);
+    let market = &s.generated.market;
+    let l = lcf(market, &LcfConfig::new(0.7)).unwrap();
+    let o = offload_cache(&s.generated);
+    for (analytic, profile) in [(l.social_cost, &l.profile), (o.social_cost, &o.profile)] {
+        let sim = simulate(&s.net, &s.generated, profile, &SimConfig::default());
+        assert!(
+            (sim.total_cost - analytic).abs() < 1e-6,
+            "replayed {} != analytic {}",
+            sim.total_cost,
+            analytic
+        );
+    }
+}
+
+#[test]
+fn remote_forbidden_still_works_when_capacity_allows() {
+    let mut params = Params::paper().with_providers(20);
+    params.allow_remote = false;
+    let s = gtitm_scenario(150, &params, 3);
+    let market = &s.generated.market;
+    let out = lcf(market, &LcfConfig::new(0.7)).unwrap();
+    assert!(out.profile.is_feasible(market));
+    for (_, p) in out.profile.iter() {
+        assert!(matches!(p, mec_core::Placement::Cloudlet(_)));
+    }
+}

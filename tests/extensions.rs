@@ -1,0 +1,159 @@
+//! Integration tests for the extension modules: generalized congestion
+//! models, the weighted game, churn dynamics, failure drills, and the
+//! trace/replication analytics — all driven through generated scenarios.
+
+use mec_core::congestion::{CongestionModel, GeneralizedGame};
+use mec_core::dynamics::{ChurnEvent, ChurnSimulation, ReplanStrategy};
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_core::weighted::WeightedGame;
+use mec_core::{cost_breakdown, load_balance, Profile, ProviderId};
+use mec_sim::{replicate, simulate, SimConfig};
+use mec_testbed::{drill_all, Overlay, Underlay};
+use mec_workload::{gtitm_scenario, Params};
+
+#[test]
+fn generalized_models_converge_on_generated_markets() {
+    let s = gtitm_scenario(100, &Params::paper().with_providers(30), 1);
+    let market = &s.generated.market;
+    for model in [
+        CongestionModel::Linear,
+        CongestionModel::Polynomial { degree: 2 },
+        CongestionModel::Mm1 { capacity: 12 },
+    ] {
+        let g = GeneralizedGame::new(market, model);
+        let mut p = Profile::all_remote(30);
+        assert!(g.run_dynamics(&mut p, 10_000).is_some(), "{model:?}");
+        assert!(g.is_nash(&p), "{model:?}");
+        assert!(p.is_feasible(market), "{model:?}");
+    }
+}
+
+#[test]
+fn convexity_ordering_on_generated_markets() {
+    // More convex pricing → flatter equilibrium load profiles.
+    let s = gtitm_scenario(120, &Params::paper().with_providers(50), 2);
+    let market = &s.generated.market;
+    let max_sigma = |model| {
+        let g = GeneralizedGame::new(market, model);
+        let mut p = Profile::all_remote(50);
+        g.run_dynamics(&mut p, 10_000).unwrap();
+        *p.congestion(market).iter().max().unwrap()
+    };
+    let lin = max_sigma(CongestionModel::Linear);
+    let cub = max_sigma(CongestionModel::Polynomial { degree: 3 });
+    assert!(cub <= lin, "cubic {cub} > linear {lin}");
+}
+
+#[test]
+fn weighted_game_converges_on_generated_markets() {
+    let s = gtitm_scenario(100, &Params::paper().with_providers(40), 3);
+    let market = &s.generated.market;
+    let g = WeightedGame::new(market);
+    let mut p = Profile::all_remote(40);
+    assert!(g.run_dynamics(&mut p, 10_000).is_some());
+    assert!(g.is_nash(&p));
+    assert!(p.is_feasible(market));
+}
+
+#[test]
+fn churn_simulation_stays_feasible_under_turnover() {
+    let s = gtitm_scenario(120, &Params::paper().with_providers(40), 4);
+    let market = &s.generated.market;
+    for strategy in [ReplanStrategy::FullLcf, ReplanStrategy::Incremental] {
+        let mut sim = ChurnSimulation::new(market, strategy, LcfConfig::new(0.7));
+        let ids = |r: std::ops::Range<usize>| r.map(ProviderId).collect::<Vec<_>>();
+        sim.step(&ChurnEvent {
+            arrivals: ids(0..25),
+            departures: vec![],
+        })
+        .unwrap();
+        sim.step(&ChurnEvent {
+            arrivals: ids(25..35),
+            departures: ids(0..10),
+        })
+        .unwrap();
+        let rep = sim
+            .step(&ChurnEvent {
+                arrivals: ids(0..5),
+                departures: ids(30..35),
+            })
+            .unwrap();
+        assert!(sim.profile().is_feasible(market), "{strategy:?}");
+        assert!(rep.social_cost > 0.0);
+    }
+}
+
+#[test]
+fn breakdown_explains_lcf_advantage() {
+    // LCF wins primarily by lower congestion charges — verify the
+    // decomposition supports the EXPERIMENTS.md narrative.
+    let s = gtitm_scenario(150, &Params::paper().with_providers(60), 5);
+    let market = &s.generated.market;
+    let lcf_out = lcf(market, &LcfConfig::new(0.7)).unwrap();
+    let off = mec_baselines::offload_cache(&s.generated);
+    let b_lcf = cost_breakdown(market, &lcf_out.profile);
+    let b_off = cost_breakdown(market, &off.profile);
+    assert!((b_lcf.total() - lcf_out.social_cost).abs() < 1e-9);
+    assert!(
+        b_lcf.congestion < b_off.congestion,
+        "LCF congestion {} not below OffloadCache {}",
+        b_lcf.congestion,
+        b_off.congestion
+    );
+    // And its load profile is flatter.
+    let lb_lcf = load_balance(market, &lcf_out.profile);
+    let lb_off = load_balance(market, &off.profile);
+    assert!(lb_lcf.max_congestion <= lb_off.max_congestion);
+}
+
+#[test]
+fn trace_accounts_every_request() {
+    let s = gtitm_scenario(100, &Params::paper().with_providers(15), 6);
+    let out = lcf(&s.generated.market, &LcfConfig::new(0.7)).unwrap();
+    let rep = simulate(
+        &s.net,
+        &s.generated,
+        &out.profile,
+        &SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        },
+    );
+    let trace = rep.trace.expect("trace requested");
+    assert_eq!(trace.len() as u64, rep.completed);
+    let per_cloudlet = trace.requests_per_cloudlet(s.generated.market.cloudlet_count());
+    let cached_total: u64 = per_cloudlet.iter().sum();
+    assert!(cached_total <= rep.completed);
+    // Percentile consistency with the aggregate report.
+    assert!((trace.latency_percentile_ms(0.95) - rep.p95_latency_ms).abs() < 1e-6);
+}
+
+#[test]
+fn replication_confidence_interval_covers_single_runs() {
+    let s = gtitm_scenario(100, &Params::paper().with_providers(12), 7);
+    let out = lcf(&s.generated.market, &LcfConfig::new(0.7)).unwrap();
+    let rep = replicate(&s.net, &s.generated, &out.profile, &SimConfig::default(), 12);
+    // The spread should be modest for this workload.
+    assert!(rep.avg_latency_ms.std_dev < rep.avg_latency_ms.mean);
+    assert!(rep.total_cost.std_dev < 1e-9);
+}
+
+#[test]
+fn failure_drill_and_vm_deployment_integrate() {
+    let underlay = Underlay::paper_testbed();
+    let overlay = Overlay::build(&underlay);
+    let reports = drill_all(&underlay, &overlay);
+    assert_eq!(reports.len(), 5);
+    assert!(reports.iter().all(|r| r.fabric_survives));
+
+    let tb = mec_testbed::Testbed::new(&Params::paper().with_providers(25), 8);
+    let rep = tb
+        .run(&mec_testbed::LcfApp {
+            config: LcfConfig::new(0.7),
+        })
+        .unwrap();
+    let cached = rep.flow_rules; // one rule per provider
+    assert_eq!(cached, 25);
+    assert!(rep.vm_count <= 25);
+    assert!(rep.max_oversubscription.is_finite());
+}

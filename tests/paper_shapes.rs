@@ -1,0 +1,106 @@
+//! Shape assertions for the paper's figures (quick single-seed versions of
+//! what EXPERIMENTS.md records from the full runs).
+
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_workload::{gtitm_scenario, Params};
+
+/// Fig. 3(a): the LCF social cost grows as the selfish fraction grows.
+#[test]
+fn fig3_shape_social_cost_grows_with_selfish_fraction() {
+    let s = gtitm_scenario(150, &Params::paper().with_providers(60), 42);
+    let market = &s.generated.market;
+    let costs: Vec<f64> = [0.0, 0.5, 1.0]
+        .iter()
+        .map(|&frac| lcf(market, &LcfConfig::new(1.0 - frac)).unwrap().social_cost)
+        .collect();
+    assert!(
+        costs[0] <= costs[2] + 1e-6,
+        "full coordination {} should beat full anarchy {}",
+        costs[0],
+        costs[2]
+    );
+    assert!(
+        costs[0] <= costs[1] + 1e-6,
+        "coordination monotonicity violated: {costs:?}"
+    );
+}
+
+/// Fig. 6(d): a larger update-data volume means a higher total cost.
+#[test]
+fn fig6d_shape_cost_grows_with_update_volume() {
+    let mut last = 0.0;
+    for ratio in [0.05, 0.25, 0.5] {
+        let params = Params::paper().with_providers(40).with_update_ratio(ratio);
+        let s = gtitm_scenario(150, &params, 42);
+        let cost = lcf(&s.generated.market, &LcfConfig::new(0.7))
+            .unwrap()
+            .social_cost;
+        assert!(
+            cost >= last - 1e-6,
+            "cost {cost} dropped as update ratio rose to {ratio}"
+        );
+        last = cost;
+    }
+}
+
+/// Fig. 6(c): more service-caching requests mean a higher total cost.
+#[test]
+fn fig6c_shape_cost_grows_with_requests() {
+    let mut last = 0.0;
+    for providers in [20, 60, 100] {
+        let s = gtitm_scenario(150, &Params::paper().with_providers(providers), 42);
+        let cost = lcf(&s.generated.market, &LcfConfig::new(0.7))
+            .unwrap()
+            .social_cost;
+        assert!(
+            cost > last,
+            "cost {cost} did not grow with {providers} providers"
+        );
+        last = cost;
+    }
+}
+
+/// Fig. 7(a): a larger `a_max` (fewer virtual cloudlets per cloudlet, Eq. 7)
+/// pushes the cost up.
+#[test]
+fn fig7a_shape_cost_grows_with_a_max() {
+    let lo = {
+        let params = Params::paper().with_providers(60).with_max_service_vms(2.0);
+        let s = gtitm_scenario(150, &params, 42);
+        lcf(&s.generated.market, &LcfConfig::new(0.7))
+            .unwrap()
+            .social_cost
+    };
+    let hi = {
+        let params = Params::paper().with_providers(60).with_max_service_vms(10.0);
+        let s = gtitm_scenario(150, &params, 42);
+        lcf(&s.generated.market, &LcfConfig::new(0.7))
+            .unwrap()
+            .social_cost
+    };
+    assert!(hi >= lo - 1e-6, "a_max=10 cost {hi} below a_max=2 cost {lo}");
+}
+
+/// Eq. 7 sanity behind Fig. 7: growing `a_max` shrinks every `n_i`.
+#[test]
+fn fig7_mechanism_fewer_virtual_cloudlets_as_a_max_grows() {
+    use mec_core::appro::virtual_cloudlet_counts;
+    let small = gtitm_scenario(
+        150,
+        &Params::paper().with_providers(60).with_max_service_vms(2.0),
+        42,
+    );
+    let large = gtitm_scenario(
+        150,
+        &Params::paper().with_providers(60).with_max_service_vms(10.0),
+        42,
+    );
+    let n_small = virtual_cloudlet_counts(&small.generated.market);
+    let n_large = virtual_cloudlet_counts(&large.generated.market);
+    let sum_small: usize = n_small.iter().sum();
+    let sum_large: usize = n_large.iter().sum();
+    assert!(
+        sum_large < sum_small,
+        "virtual cloudlets did not shrink: {sum_small} -> {sum_large}"
+    );
+}

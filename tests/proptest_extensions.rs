@@ -1,0 +1,114 @@
+//! Property tests for the extension modules: churn bookkeeping, the
+//! weighted game, GAP swap improvement, and incentive accounting.
+
+use mec_core::dynamics::{ChurnEvent, ChurnSimulation, ReplanStrategy};
+use mec_core::incentives::incentive_report;
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+use mec_core::weighted::WeightedGame;
+use mec_core::{Profile, ProviderId};
+use mec_gap::{greedy, swap, GapInstance};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandMarket {
+    cloudlets: Vec<(f64, f64, f64, f64)>,
+    providers: Vec<(f64, f64, f64, f64)>,
+}
+
+fn rand_market() -> impl Strategy<Value = RandMarket> {
+    (
+        proptest::collection::vec((15.0..35.0f64, 80.0..200.0f64, 0.1..1.0f64, 0.1..1.0f64), 2..4),
+        proptest::collection::vec((0.5..4.0f64, 2.0..12.0f64, 0.3..1.5f64, 4.0..20.0f64), 4..12),
+    )
+        .prop_map(|(cloudlets, providers)| RandMarket {
+            cloudlets,
+            providers,
+        })
+}
+
+fn build(r: &RandMarket) -> Market {
+    let mut b = Market::builder();
+    for &(c, bw, a, be) in &r.cloudlets {
+        b = b.cloudlet(CloudletSpec::new(c, bw, a, be));
+    }
+    for &(cd, bd, ic, rc) in &r.providers {
+        b = b.provider(ProviderSpec::new(cd, bd, ic, rc));
+    }
+    b.uniform_update_cost(0.2).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn churn_bookkeeping_consistent(r in rand_market(), split in 1usize..4) {
+        let m = build(&r);
+        let n = m.provider_count();
+        let first = n / split.max(1);
+        let mut sim = ChurnSimulation::new(&m, ReplanStrategy::Incremental, LcfConfig::new(0.7));
+        let ids = |range: std::ops::Range<usize>| range.map(ProviderId).collect::<Vec<_>>();
+        let rep1 = sim.step(&ChurnEvent { arrivals: ids(0..first.max(1)), departures: vec![] }).unwrap();
+        prop_assert!(rep1.evictions == 0);
+        prop_assert!(rep1.instantiations == rep1.cached);
+        if first.max(1) < n {
+            let rep2 = sim.step(&ChurnEvent { arrivals: ids(first.max(1)..n), departures: vec![] }).unwrap();
+            prop_assert!(sim.profile().is_feasible(&m));
+            prop_assert!(rep2.social_cost >= 0.0);
+        }
+        // Drain everyone.
+        let active = sim.active_providers();
+        let rep3 = sim.step(&ChurnEvent { arrivals: vec![], departures: active }).unwrap();
+        prop_assert_eq!(rep3.cached, 0);
+        prop_assert!(rep3.social_cost.abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_game_always_converges(r in rand_market()) {
+        let m = build(&r);
+        let g = WeightedGame::new(&m);
+        let mut p = Profile::all_remote(m.provider_count());
+        prop_assert!(g.run_dynamics(&mut p, 10_000).is_some());
+        prop_assert!(g.is_nash(&p));
+        prop_assert!(p.is_feasible(&m));
+    }
+
+    #[test]
+    fn swap_improvement_monotone_and_feasible(
+        costs in proptest::collection::vec(0.5..10.0f64, 12),
+        weights in proptest::collection::vec(0.5..1.5f64, 4),
+    ) {
+        let mut inst = GapInstance::new(4, 3);
+        for i in 0..4 {
+            for j in 0..3 {
+                inst.set_cost(i, j, costs[i * 3 + j]);
+            }
+            inst.set_item_weight(i, weights[i]);
+        }
+        for j in 0..3 {
+            inst.set_capacity(j, 3.0);
+        }
+        if let Ok(mut a) = greedy::solve(&inst) {
+            let before_feasible = a.is_capacity_feasible(&inst);
+            let res = swap::improve(&inst, &mut a, 100);
+            prop_assert!(res.after <= res.before + 1e-9);
+            prop_assert!((a.total_cost(&inst) - res.after).abs() < 1e-9);
+            if before_feasible {
+                prop_assert!(a.is_capacity_feasible(&inst));
+            }
+        }
+    }
+
+    #[test]
+    fn incentive_discounts_never_exceed_costs(r in rand_market(), xi in 0.1..0.9f64) {
+        let m = build(&r);
+        let out = lcf(&m, &LcfConfig::new(xi)).unwrap();
+        let rep = incentive_report(&m, &out).unwrap();
+        for (_, current, deviation, discount) in &rep.discounts {
+            prop_assert!(*discount >= -1e-12);
+            prop_assert!(*deviation <= *current + 1e-9 || *discount == 0.0);
+        }
+        prop_assert!(rep.total_subsidy >= 0.0);
+        prop_assert!(rep.coordination_saving >= 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-crate property tests of the mechanism's invariants.
+
+use mec_core::appro::{appro, ApproConfig};
+use mec_core::game::{is_nash, rosenthal_potential, BestResponseDynamics, MoveOrder};
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+use mec_core::Profile;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandMarket {
+    cloudlets: Vec<(f64, f64, f64, f64)>,
+    providers: Vec<(f64, f64, f64, f64)>,
+    update: f64,
+}
+
+fn rand_market() -> impl Strategy<Value = RandMarket> {
+    let cloudlet = (10.0..40.0f64, 50.0..200.0f64, 0.0..1.0f64, 0.0..1.0f64);
+    let provider = (0.5..4.0f64, 2.0..15.0f64, 0.2..1.5f64, 3.0..20.0f64);
+    (
+        proptest::collection::vec(cloudlet, 2..5),
+        proptest::collection::vec(provider, 3..10),
+        0.0..0.5f64,
+    )
+        .prop_map(|(cloudlets, providers, update)| RandMarket {
+            cloudlets,
+            providers,
+            update,
+        })
+}
+
+fn build(r: &RandMarket) -> Market {
+    let mut b = Market::builder();
+    for &(c, bw, a, be) in &r.cloudlets {
+        b = b.cloudlet(CloudletSpec::new(c, bw, a, be));
+    }
+    for &(cd, bd, ic, rc) in &r.providers {
+        b = b.provider(ProviderSpec::new(cd, bd, ic, rc));
+    }
+    b.uniform_update_cost(r.update).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn appro_always_feasible(r in rand_market()) {
+        let m = build(&r);
+        let sol = appro(&m, &ApproConfig::new()).unwrap();
+        prop_assert!(sol.profile.is_feasible(&m));
+        prop_assert!(sol.social_cost.is_finite());
+    }
+
+    #[test]
+    fn lcf_reaches_stable_feasible_outcome(r in rand_market(), xi in 0.0..1.0f64) {
+        let m = build(&r);
+        let out = lcf(&m, &LcfConfig::new(xi)).unwrap();
+        prop_assert!(out.profile.is_feasible(&m));
+        prop_assert!(out.convergence.converged);
+        let mut movable = vec![true; m.provider_count()];
+        for l in &out.coordinated {
+            movable[l.index()] = false;
+        }
+        prop_assert!(is_nash(&m, &out.profile, &movable));
+        prop_assert!((out.coordinated_cost + out.selfish_cost - out.social_cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dynamics_always_converge_and_decrease_potential(r in rand_market()) {
+        let m = build(&r);
+        let n = m.provider_count();
+        let mut profile = Profile::all_remote(n);
+        let before = rosenthal_potential(&m, &profile);
+        let movable = vec![true; n];
+        let res = BestResponseDynamics::new(MoveOrder::RoundRobin)
+            .run(&m, &mut profile, &movable);
+        prop_assert!(res.converged);
+        let after = rosenthal_potential(&m, &profile);
+        prop_assert!(after <= before + 1e-9, "potential rose: {before} -> {after}");
+        prop_assert!(profile.is_feasible(&m));
+    }
+
+    #[test]
+    fn coordination_rarely_hurts_and_never_much(r in rand_market()) {
+        // Full coordination pins everyone to the polished Appro solution —
+        // a *local* optimum of the social cost. A Nash equilibrium reached
+        // from a different starting basin can occasionally edge it out, so
+        // dominance is not a theorem; what must hold is that coordination
+        // never loses by more than a small constant factor.
+        let m = build(&r);
+        let full = lcf(&m, &LcfConfig::new(1.0)).unwrap().social_cost;
+        let none = lcf(&m, &LcfConfig::new(0.0)).unwrap().social_cost;
+        prop_assert!(
+            full <= none * 1.10 + 1e-6,
+            "coordination lost badly: {full} vs anarchy {none}"
+        );
+    }
+
+    #[test]
+    fn theorem1_bound_holds_empirically(r in rand_market()) {
+        let m = build(&r);
+        if m.provider_count() <= 8 {
+            if let Ok(est) = mec_core::estimate_poa(&m, 10, 1) {
+                let bound = mec_core::market_poa_bound(&m, 0.0);
+                prop_assert!(est.poa <= bound + 1e-6,
+                    "PoA {} exceeds Theorem 1 bound {}", est.poa, bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Empirical validation of the paper's formal results on markets small
+//! enough to compute the exact optimum.
+
+use mec_core::appro::{appro, approximation_ratio_bound, ApproConfig};
+use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+use mec_core::opt::social_optimum;
+
+fn small_market(seed: u64, providers: usize) -> Market {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(11);
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x % 1024) as f64 / 1024.0
+    };
+    let mut b = Market::builder();
+    for _ in 0..3 {
+        b = b.cloudlet(CloudletSpec::new(
+            18.0 + 12.0 * next(),
+            70.0 + 60.0 * next(),
+            0.1 + 0.9 * next(),
+            0.1 + 0.9 * next(),
+        ));
+    }
+    for _ in 0..providers {
+        b = b.provider(ProviderSpec::new(
+            1.0 + 3.0 * next(),
+            4.0 + 8.0 * next(),
+            0.4 + next(),
+            5.0 + 8.0 * next(),
+        ));
+    }
+    b.uniform_update_cost(0.15 + 0.2 * next()).build()
+}
+
+/// Lemma 1: the (repaired) Appro solution is always capacity-feasible.
+#[test]
+fn lemma1_appro_feasibility() {
+    for seed in 0..20 {
+        let m = small_market(seed, 8);
+        let sol = appro(&m, &ApproConfig::new()).unwrap();
+        assert!(sol.profile.is_feasible(&m), "seed {seed}");
+        let flat = appro(&m, &ApproConfig::paper_flat()).unwrap();
+        assert!(flat.profile.is_feasible(&m), "flat, seed {seed}");
+    }
+}
+
+/// Lemma 2: the paper-literal Appro stays within the `2δκ` factor of the
+/// exact social optimum (the bound is loose — we also record how loose).
+#[test]
+fn lemma2_approximation_ratio_bound() {
+    let mut worst_ratio = 1.0f64;
+    for seed in 0..15 {
+        let m = small_market(seed, 7);
+        let opt = social_optimum(&m).unwrap();
+        let sol = appro(&m, &ApproConfig::paper_flat()).unwrap();
+        let ratio = sol.social_cost / opt.social_cost;
+        let bound = approximation_ratio_bound(&m);
+        assert!(
+            ratio <= bound + 1e-6,
+            "seed {seed}: ratio {ratio} exceeds 2δκ = {bound}"
+        );
+        worst_ratio = worst_ratio.max(ratio);
+    }
+    // Empirically the flat Appro lands far inside the guarantee.
+    assert!(
+        worst_ratio < 4.0,
+        "flat Appro unusually bad: worst ratio {worst_ratio}"
+    );
+}
+
+/// The default (marginal-pricing + polish) Appro should be near-optimal on
+/// small markets — much tighter than the Lemma 2 guarantee.
+#[test]
+fn default_appro_is_near_optimal() {
+    let mut worst = 1.0f64;
+    for seed in 0..15 {
+        let m = small_market(seed, 7);
+        let opt = social_optimum(&m).unwrap();
+        let sol = appro(&m, &ApproConfig::new()).unwrap();
+        let ratio = sol.social_cost / opt.social_cost;
+        assert!(ratio >= 1.0 - 1e-9, "beat the optimum?! seed {seed}");
+        worst = worst.max(ratio);
+    }
+    assert!(worst <= 1.10, "default Appro ratio {worst} > 1.10");
+}
+
+/// The optimum never prefers congestion over an equal-price spread: at the
+/// optimum, no single-provider move strictly reduces the social cost.
+#[test]
+fn optimum_is_locally_stable() {
+    use mec_core::local_search::social_local_search;
+    for seed in 0..10 {
+        let m = small_market(seed, 6);
+        let opt = social_optimum(&m).unwrap();
+        let mut p = opt.profile.clone();
+        let movable = vec![true; m.provider_count()];
+        let res = social_local_search(&m, &mut p, &movable, 100);
+        assert_eq!(res.moves, 0, "seed {seed}: optimum admitted an improving move");
+    }
+}
