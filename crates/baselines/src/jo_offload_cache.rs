@@ -52,9 +52,7 @@ impl Default for JoConfig {
 fn perceived_cost(gen: &GeneratedMarket, l: ProviderId, i: CloudletId) -> f64 {
     let market = &gen.market;
     let c = market.cloudlet(i);
-    gen.offload_cost(l, i)
-        + c.congestion_price()
-        + market.provider(l).instantiation_cost
+    gen.offload_cost(l, i) + c.congestion_price() + market.provider(l).instantiation_cost
 }
 
 /// Runs `JoOffloadCache` on a generated market.
@@ -132,9 +130,11 @@ pub fn jo_offload_cache(gen: &GeneratedMarket, config: &JoConfig) -> BaselineOut
         // candidates by perceived cost.
         let mut order: Vec<usize> = (0..candidates.len()).collect();
         order.sort_by(|&a, &b| {
-            (a != best_idx)
-                .cmp(&(b != best_idx))
-                .then(costs[a].partial_cmp(&costs[b]).unwrap_or(std::cmp::Ordering::Equal))
+            (a != best_idx).cmp(&(b != best_idx)).then(
+                costs[a]
+                    .partial_cmp(&costs[b])
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         preferences.push(order.into_iter().map(|k| candidates[k]).collect());
     }

@@ -125,5 +125,11 @@ fn bench_extensions(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pricing, bench_orders, bench_selection, bench_extensions);
+criterion_group!(
+    benches,
+    bench_pricing,
+    bench_orders,
+    bench_selection,
+    bench_extensions
+);
 criterion_main!(benches);

@@ -34,25 +34,21 @@ fn bench_flow(c: &mut Criterion) {
     let mut g = c.benchmark_group("min_cost_flow");
     g.sample_size(10);
     for n in [20usize, 60, 120] {
-        g.bench_with_input(
-            BenchmarkId::new("bipartite_assignment", n),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let (s, t) = (2 * n, 2 * n + 1);
-                    let mut f = MinCostFlow::new(2 * n + 2);
-                    for i in 0..n {
-                        f.add_edge(s, i, 1.0, 0.0);
-                        f.add_edge(n + i, t, 1.0, 0.0);
-                        for j in 0..n {
-                            let cost = ((i * 31 + j * 17) % 97) as f64 + 1.0;
-                            f.add_edge(i, n + j, 1.0, cost);
-                        }
+        g.bench_with_input(BenchmarkId::new("bipartite_assignment", n), &n, |b, &n| {
+            b.iter(|| {
+                let (s, t) = (2 * n, 2 * n + 1);
+                let mut f = MinCostFlow::new(2 * n + 2);
+                for i in 0..n {
+                    f.add_edge(s, i, 1.0, 0.0);
+                    f.add_edge(n + i, t, 1.0, 0.0);
+                    for j in 0..n {
+                        let cost = ((i * 31 + j * 17) % 97) as f64 + 1.0;
+                        f.add_edge(i, n + j, 1.0, cost);
                     }
-                    f.run(s, t, n as f64)
-                })
-            },
-        );
+                }
+                f.run(s, t, n as f64)
+            })
+        });
     }
     g.finish();
 }
@@ -87,7 +83,14 @@ fn bench_simulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
     g.sample_size(10);
     g.bench_function("replay_40_providers", |b| {
-        b.iter(|| simulate(black_box(&s.net), &s.generated, &profile, &SimConfig::default()))
+        b.iter(|| {
+            simulate(
+                black_box(&s.net),
+                &s.generated,
+                &profile,
+                &SimConfig::default(),
+            )
+        })
     });
     g.bench_function("replay_with_contention", |b| {
         b.iter(|| {

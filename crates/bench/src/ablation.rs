@@ -22,8 +22,7 @@ pub fn ablation_gap_pricing(sizes: &[usize], seeds: &[u64]) -> Table {
             let s = gtitm_scenario(size, &Params::paper().with_providers(60), seed);
             let m = &s.generated.market;
             marginal += appro(m, &ApproConfig::new()).unwrap().social_cost / seeds.len() as f64;
-            flat += appro(m, &ApproConfig::paper_flat()).unwrap().social_cost
-                / seeds.len() as f64;
+            flat += appro(m, &ApproConfig::paper_flat()).unwrap().social_cost / seeds.len() as f64;
         }
         t.row(size as f64, &[marginal, flat]);
     }
@@ -94,14 +93,7 @@ pub fn ablation_topology(size: usize, seeds: &[u64]) -> Table {
     let mut t = Table::new(
         "Ablation: topology model (social cost, LCF | Jo | Off)",
         "seed",
-        &[
-            "ts LCF",
-            "ts Jo",
-            "ts Off",
-            "wax LCF",
-            "wax Jo",
-            "wax Off",
-        ],
+        &["ts LCF", "ts Jo", "ts Off", "wax LCF", "wax Jo", "wax Off"],
     );
     for &seed in seeds {
         let params = Params::paper().with_providers(60);
@@ -163,7 +155,10 @@ mod tests {
     #[test]
     fn pricing_ablation_marginal_wins() {
         let t = ablation_gap_pricing(&[60], &[1]);
-        assert!(t.column_dominates(0, 1, 1e-6), "marginal should dominate flat");
+        assert!(
+            t.column_dominates(0, 1, 1e-6),
+            "marginal should dominate flat"
+        );
     }
 
     #[test]
@@ -195,7 +190,13 @@ mod tests {
         let t = ablation_topology(100, &[1]);
         let row = &t.rows()[0].1;
         // LCF <= Jo <= Off on transit-stub and on Waxman.
-        assert!(row[0] <= row[1] + 1e-6 && row[1] <= row[2] + 1e-6, "ts {row:?}");
-        assert!(row[3] <= row[4] + 1e-6 && row[4] <= row[5] + 1e-6, "wax {row:?}");
+        assert!(
+            row[0] <= row[1] + 1e-6 && row[1] <= row[2] + 1e-6,
+            "ts {row:?}"
+        );
+        assert!(
+            row[3] <= row[4] + 1e-6 && row[4] <= row[5] + 1e-6,
+            "wax {row:?}"
+        );
     }
 }

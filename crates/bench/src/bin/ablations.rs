@@ -10,5 +10,8 @@ fn main() {
     println!("{}", ablation::ablation_selection(0.7, &seeds));
     println!("{}", ablation::ablation_optout(&seeds));
     println!("{}", ablation::ablation_br_order(&seeds));
-    println!("{}", ablation::ablation_topology(if quick { 80 } else { 150 }, &seeds));
+    println!(
+        "{}",
+        ablation::ablation_topology(if quick { 80 } else { 150 }, &seeds)
+    );
 }

@@ -1,0 +1,172 @@
+//! Best-response sweep benchmark: seed recompute path vs incremental
+//! `GameState` path, written to `BENCH_dynamics.json`.
+//!
+//! Runs round-robin best-response dynamics from the all-remote profile on
+//! GT-ITM markets and reports, per market size: wall-clock sweep time of
+//! both implementations, moves per second, the speedup, and an
+//! allocations-avoided proxy (the recompute path pays three heap
+//! allocations per best-response query — congestion, loads, residual — plus
+//! one profile clone per round; the incremental path pays none of those).
+//!
+//! Both implementations are verified to produce identical equilibria before
+//! anything is timed. Run with `--release`; a debug build also times the
+//! per-move differential `debug_assert` inside `GameState::apply_move`,
+//! which exists to validate the incremental state, not to be benchmarked.
+
+use std::time::Instant;
+
+use mec_core::game::{BestResponseDynamics, Convergence, MoveOrder};
+use mec_core::Profile;
+use mec_workload::{gtitm_scenario, Params, Scenario};
+
+struct Measured {
+    seconds: f64,
+    convergence: Convergence,
+}
+
+fn time_run(f: impl Fn() -> Convergence, reps: usize) -> Measured {
+    let mut best = f64::INFINITY;
+    let mut convergence = f();
+    for _ in 0..reps {
+        let start = Instant::now();
+        convergence = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Measured {
+        seconds: best,
+        convergence,
+    }
+}
+
+struct Row {
+    providers: usize,
+    cloudlets: usize,
+    reference: Measured,
+    incremental: Measured,
+    allocations_avoided: usize,
+}
+
+fn measure(scenario: &Scenario, reps: usize) -> Row {
+    let market = &scenario.generated.market;
+    let n = market.provider_count();
+    let movable = vec![true; n];
+
+    // Sanity: both paths must agree before timing means anything.
+    let mut p_ref = Profile::all_remote(n);
+    let mut p_inc = Profile::all_remote(n);
+    let driver = BestResponseDynamics::new(MoveOrder::RoundRobin);
+    let c_ref = driver.run_reference(market, &mut p_ref, &movable);
+    let c_inc = driver.run(market, &mut p_inc, &movable);
+    assert_eq!(c_ref, c_inc, "convergence stats diverged");
+    assert_eq!(p_ref, p_inc, "equilibria diverged");
+
+    let reference = time_run(
+        || {
+            let mut profile = Profile::all_remote(n);
+            driver.run_reference(market, &mut profile, &movable)
+        },
+        reps,
+    );
+    let incremental = time_run(
+        || {
+            let mut profile = Profile::all_remote(n);
+            driver.run(market, &mut profile, &movable)
+        },
+        reps,
+    );
+
+    // The reference round-robin sweep calls best_response once per movable
+    // provider per round (3 allocations each) and clones the profile once
+    // per round; the incremental sweep allocates nothing per round.
+    let rounds = incremental.convergence.rounds;
+    let allocations_avoided = 3 * rounds * n + rounds;
+
+    Row {
+        providers: n,
+        cloudlets: market.cloudlet_count(),
+        reference,
+        incremental,
+        allocations_avoided,
+    }
+}
+
+fn json_row(r: &Row) -> String {
+    let speedup = r.reference.seconds / r.incremental.seconds;
+    let moves = r.incremental.convergence.moves as f64;
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"providers\": {},\n",
+            "      \"cloudlets\": {},\n",
+            "      \"rounds\": {},\n",
+            "      \"moves\": {},\n",
+            "      \"reference_seconds\": {:.6},\n",
+            "      \"incremental_seconds\": {:.6},\n",
+            "      \"reference_moves_per_sec\": {:.1},\n",
+            "      \"incremental_moves_per_sec\": {:.1},\n",
+            "      \"speedup\": {:.2},\n",
+            "      \"allocations_avoided\": {}\n",
+            "    }}"
+        ),
+        r.providers,
+        r.cloudlets,
+        r.incremental.convergence.rounds,
+        r.incremental.convergence.moves,
+        r.reference.seconds,
+        r.incremental.seconds,
+        moves / r.reference.seconds,
+        moves / r.incremental.seconds,
+        speedup,
+        r.allocations_avoided,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // (network size, providers): cloudlets are ~10% of network nodes, so
+    // the headline config is ≥500 providers on ≥50 cloudlets.
+    let configs: &[(usize, usize)] = if quick {
+        &[(200, 100)]
+    } else {
+        &[(200, 100), (500, 500), (800, 1000)]
+    };
+    let reps = if quick { 2 } else { 5 };
+
+    let mut rows = Vec::new();
+    for &(size, providers) in configs {
+        let s = gtitm_scenario(size, &Params::paper().with_providers(providers), 42);
+        let row = measure(&s, reps);
+        eprintln!(
+            "providers {:4} cloudlets {:3}: reference {:.4}s incremental {:.4}s speedup {:.2}x",
+            row.providers,
+            row.cloudlets,
+            row.reference.seconds,
+            row.incremental.seconds,
+            row.reference.seconds / row.incremental.seconds,
+        );
+        rows.push(row);
+    }
+
+    let body: Vec<String> = rows.iter().map(json_row).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"best_response_dynamics_sweep\",\n",
+            "  \"order\": \"round_robin\",\n",
+            "  \"build\": \"{}\",\n",
+            "  \"note\": \"min of {} reps per cell; reference = seed recompute path, ",
+            "incremental = GameState path; allocations_avoided = 3*rounds*providers + rounds\",\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+        reps,
+        body.join(",\n"),
+    );
+    std::fs::write("BENCH_dynamics.json", &json).expect("write BENCH_dynamics.json");
+    println!("{json}");
+}

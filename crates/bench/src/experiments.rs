@@ -11,9 +11,7 @@ use mec_baselines::{jo_offload_cache, offload_cache, JoConfig};
 use mec_core::lcf::{lcf, LcfConfig};
 use mec_core::ProviderId;
 use mec_testbed::{ControllerApp, JoOffloadCacheApp, LcfApp, OffloadCacheApp, Testbed};
-use mec_workload::{
-    gtitm_scenario, Params, Scenario, FIG2_SIZES, FIG3_SIZE, SELFISH_FRACTIONS,
-};
+use mec_workload::{gtitm_scenario, Params, Scenario, FIG2_SIZES, FIG3_SIZE, SELFISH_FRACTIONS};
 
 use crate::table::Table;
 
@@ -120,11 +118,7 @@ fn average<I: IntoIterator<Item = [Metrics; 3]>>(runs: I) -> [Metrics; 3] {
 
 const ALGOS: [&str; 3] = ["LCF", "JoOffloadCache", "OffloadCache"];
 
-fn four_panel(
-    prefix: &str,
-    x_label: &str,
-    points: &[(f64, [Metrics; 3])],
-) -> Vec<Table> {
+fn four_panel(prefix: &str, x_label: &str, points: &[(f64, [Metrics; 3])]) -> Vec<Table> {
     let mut social = Table::new(&format!("{prefix}(a) social cost"), x_label, &ALGOS);
     let mut selfish = Table::new(
         &format!("{prefix}(b) cost of the selfish network service providers"),
@@ -151,20 +145,13 @@ fn four_panel(
 pub fn fig2(cfg: &RunConfig) -> Vec<Table> {
     let metrics = crate::parallel::parallel_map(FIG2_SIZES, |&size| {
         let runs = cfg.seeds.iter().map(|&seed| {
-            let s = gtitm_scenario(
-                size,
-                &Params::paper().with_providers(cfg.providers),
-                seed,
-            );
+            let s = gtitm_scenario(size, &Params::paper().with_providers(cfg.providers), seed);
             run_all(&s, cfg.selfish_fraction)
         });
         average(runs)
     });
-    let points: Vec<(f64, [Metrics; 3])> = FIG2_SIZES
-        .iter()
-        .map(|&s| s as f64)
-        .zip(metrics)
-        .collect();
+    let points: Vec<(f64, [Metrics; 3])> =
+        FIG2_SIZES.iter().map(|&s| s as f64).zip(metrics).collect();
     four_panel("Fig. 2", "network size", &points)
 }
 
@@ -181,11 +168,7 @@ pub fn fig3(cfg: &RunConfig) -> Vec<Table> {
         });
         average(runs)
     });
-    let points: Vec<(f64, [Metrics; 3])> = SELFISH_FRACTIONS
-        .iter()
-        .copied()
-        .zip(metrics)
-        .collect();
+    let points: Vec<(f64, [Metrics; 3])> = SELFISH_FRACTIONS.iter().copied().zip(metrics).collect();
     four_panel("Fig. 3", "1 - xi (selfish fraction)", &points)
 }
 

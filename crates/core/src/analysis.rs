@@ -42,8 +42,7 @@ pub fn cost_breakdown(market: &Market, profile: &Profile) -> CostBreakdown {
         match p {
             Placement::Remote => b.remote += market.provider(l).remote_cost,
             Placement::Cloudlet(i) => {
-                b.congestion +=
-                    market.cloudlet(i).congestion_price() * sigma[i.index()] as f64;
+                b.congestion += market.cloudlet(i).congestion_price() * sigma[i.index()] as f64;
                 b.instantiation += market.provider(l).instantiation_cost;
                 b.update += market.update_cost(l, i);
             }

@@ -271,8 +271,8 @@ pub fn appro(market: &Market, config: &ApproConfig) -> Result<ApproSolution, Cor
         slot: usize,
         cap: f64,
     }
-    let per_slot = config.pricing == SlotPricing::MarginalCongestion
-        || config.split == SplitMode::PerSlot;
+    let per_slot =
+        config.pricing == SlotPricing::MarginalCongestion || config.split == SplitMode::PerSlot;
     let mut bins: Vec<Bin> = Vec::new();
     for i in market.cloudlets() {
         let n_i = counts[i.index()];
@@ -439,12 +439,7 @@ mod tests {
     fn market(providers: usize, cloudlets: usize) -> Market {
         let mut b = Market::builder();
         for k in 0..cloudlets {
-            b = b.cloudlet(CloudletSpec::new(
-                20.0,
-                100.0,
-                0.2 + 0.1 * k as f64,
-                0.3,
-            ));
+            b = b.cloudlet(CloudletSpec::new(20.0, 100.0, 0.2 + 0.1 * k as f64, 0.3));
         }
         for k in 0..providers {
             b = b.provider(ProviderSpec::new(
@@ -620,7 +615,10 @@ mod tests {
         }
         let tight = b.uniform_update_cost(0.1).build();
         let v = cloudlet_capacity_values(&tight).unwrap();
-        assert!(v[0] > 1e-6, "cheap tight cloudlet should be valuable: {v:?}");
+        assert!(
+            v[0] > 1e-6,
+            "cheap tight cloudlet should be valuable: {v:?}"
+        );
     }
 
     #[test]

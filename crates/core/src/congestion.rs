@@ -19,8 +19,7 @@ use crate::strategy::{Placement, Profile};
 /// `price(base, k)` is what **one** provider pays at a cloudlet whose
 /// congestion coefficient sum is `base = α_i + β_i` when `k` providers
 /// (including itself) are cached there.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum CongestionModel {
     /// The paper's proportional model: `base · k`.
     #[default]
@@ -74,7 +73,6 @@ impl CongestionModel {
         (1..max_k).all(|k| self.price(base, k + 1) >= self.price(base, k) - 1e-12)
     }
 }
-
 
 /// The congestion game of Section II-E generalized over a
 /// [`CongestionModel`]. With [`CongestionModel::Linear`] it coincides with
@@ -145,8 +143,8 @@ impl<'a> GeneralizedGame<'a> {
             match p {
                 Placement::Remote => phi += self.market.provider(l).remote_cost,
                 Placement::Cloudlet(i) => {
-                    phi += self.market.provider(l).instantiation_cost
-                        + self.market.update_cost(l, i);
+                    phi +=
+                        self.market.provider(l).instantiation_cost + self.market.update_cost(l, i);
                 }
             }
         }
@@ -274,9 +272,7 @@ mod tests {
             assert!((g.provider_cost(&p, l) - p.provider_cost(&m, l)).abs() < 1e-12);
         }
         assert!((g.social_cost(&p) - p.social_cost(&m)).abs() < 1e-9);
-        assert!(
-            (g.potential(&p) - game::rosenthal_potential(&m, &p)).abs() < 1e-9
-        );
+        assert!((g.potential(&p) - game::rosenthal_potential(&m, &p)).abs() < 1e-9);
         assert!(g.is_nash(&p));
     }
 

@@ -18,6 +18,7 @@ use crate::error::CoreError;
 use crate::game::{BestResponseDynamics, MoveOrder};
 use crate::lcf::{lcf, LcfConfig};
 use crate::model::{Market, ProviderId};
+use crate::state::GameState;
 use crate::strategy::{Placement, Profile};
 
 /// How the mechanism reacts to churn.
@@ -56,13 +57,17 @@ pub struct StepReport {
 }
 
 /// Stateful churn simulation over a fixed provider universe.
+///
+/// Placements live in an incremental [`GameState`], so churn application,
+/// replanning and per-step cost reporting all run against maintained
+/// congestion/load aggregates instead of rescanning the profile.
 #[derive(Debug, Clone)]
 pub struct ChurnSimulation<'a> {
     market: &'a Market,
     config: LcfConfig,
     strategy: ReplanStrategy,
     active: Vec<bool>,
-    profile: Profile,
+    state: GameState<'a>,
 }
 
 impl<'a> ChurnSimulation<'a> {
@@ -74,7 +79,7 @@ impl<'a> ChurnSimulation<'a> {
             config,
             strategy,
             active: vec![false; n],
-            profile: Profile::all_remote(n),
+            state: GameState::all_remote(market),
         }
     }
 
@@ -88,13 +93,12 @@ impl<'a> ChurnSimulation<'a> {
 
     /// Current placements (inactive providers are always `Remote`).
     pub fn profile(&self) -> &Profile {
-        &self.profile
+        self.state.profile()
     }
 
     /// Social cost of the active providers under the current placements.
     pub fn social_cost(&self) -> f64 {
-        self.profile
-            .subset_cost(self.market, self.active_providers())
+        self.state.subset_cost(self.active_providers())
     }
 
     /// Applies one churn event and replans.
@@ -107,17 +111,17 @@ impl<'a> ChurnSimulation<'a> {
     ///
     /// Panics if an arrival is already active or a departure is not active.
     pub fn step(&mut self, event: &ChurnEvent) -> Result<StepReport, CoreError> {
-        let before = self.profile.clone();
+        let before = self.state.profile().clone();
 
         for &l in &event.departures {
             assert!(self.active[l.index()], "{l} is not active");
             self.active[l.index()] = false;
-            self.profile.set(l, Placement::Remote);
+            self.state.apply_move(l, Placement::Remote);
         }
         for &l in &event.arrivals {
             assert!(!self.active[l.index()], "{l} is already active");
             self.active[l.index()] = true;
-            self.profile.set(l, Placement::Remote);
+            self.state.apply_move(l, Placement::Remote);
         }
 
         let active = self.active_providers();
@@ -136,7 +140,8 @@ impl<'a> ChurnSimulation<'a> {
                 let sub = self.market.restrict(&active);
                 let out = lcf(&sub, &self.config)?;
                 for (k, &l) in active.iter().enumerate() {
-                    self.profile.set(l, out.profile.placement(ProviderId(k)));
+                    self.state
+                        .apply_move(l, out.profile.placement(ProviderId(k)));
                 }
             }
             ReplanStrategy::Incremental => {
@@ -144,11 +149,8 @@ impl<'a> ChurnSimulation<'a> {
                 for &l in &active {
                     movable[l.index()] = true;
                 }
-                BestResponseDynamics::new(MoveOrder::RoundRobin).run(
-                    self.market,
-                    &mut self.profile,
-                    &movable,
-                );
+                BestResponseDynamics::new(MoveOrder::RoundRobin)
+                    .run_state(&mut self.state, &movable);
             }
         }
 
@@ -158,10 +160,9 @@ impl<'a> ChurnSimulation<'a> {
         let mut evictions = 0;
         for l in self.market.providers() {
             let old = before.placement(l);
-            let new = self.profile.placement(l);
+            let new = self.state.placement(l);
             let was_active_cached = matches!(old, Placement::Cloudlet(_));
-            let is_active_cached =
-                self.active[l.index()] && matches!(new, Placement::Cloudlet(_));
+            let is_active_cached = self.active[l.index()] && matches!(new, Placement::Cloudlet(_));
             match (was_active_cached, is_active_cached) {
                 (false, true) => instantiations += 1,
                 (true, false) => evictions += 1,
@@ -179,7 +180,7 @@ impl<'a> ChurnSimulation<'a> {
             social_cost: self.social_cost(),
             cached: active
                 .iter()
-                .filter(|l| matches!(self.profile.placement(**l), Placement::Cloudlet(_)))
+                .filter(|l| matches!(self.state.placement(**l), Placement::Cloudlet(_)))
                 .count(),
             relocations,
             instantiations,
@@ -256,10 +257,22 @@ mod tests {
     fn incremental_churns_less_than_full() {
         let m = market(12);
         let script = [
-            ChurnEvent { arrivals: ids(0..8), departures: vec![] },
-            ChurnEvent { arrivals: ids(8..10), departures: ids(0..2) },
-            ChurnEvent { arrivals: ids(10..12), departures: ids(2..4) },
-            ChurnEvent { arrivals: ids(0..2), departures: ids(8..10) },
+            ChurnEvent {
+                arrivals: ids(0..8),
+                departures: vec![],
+            },
+            ChurnEvent {
+                arrivals: ids(8..10),
+                departures: ids(0..2),
+            },
+            ChurnEvent {
+                arrivals: ids(10..12),
+                departures: ids(2..4),
+            },
+            ChurnEvent {
+                arrivals: ids(0..2),
+                departures: ids(8..10),
+            },
         ];
         let run = |strategy| {
             let mut sim = ChurnSimulation::new(&m, strategy, LcfConfig::new(0.7));
@@ -282,14 +295,23 @@ mod tests {
         let m = market(10);
         let mut sim = ChurnSimulation::new(&m, ReplanStrategy::Incremental, LcfConfig::new(0.7));
         let r1 = sim
-            .step(&ChurnEvent { arrivals: ids(0..4), departures: vec![] })
+            .step(&ChurnEvent {
+                arrivals: ids(0..4),
+                departures: vec![],
+            })
             .unwrap();
         let r2 = sim
-            .step(&ChurnEvent { arrivals: ids(4..10), departures: vec![] })
+            .step(&ChurnEvent {
+                arrivals: ids(4..10),
+                departures: vec![],
+            })
             .unwrap();
         assert!(r2.social_cost > r1.social_cost);
         let r3 = sim
-            .step(&ChurnEvent { arrivals: vec![], departures: ids(0..9) })
+            .step(&ChurnEvent {
+                arrivals: vec![],
+                departures: ids(0..9),
+            })
             .unwrap();
         assert!(r3.social_cost < r2.social_cost);
     }
@@ -298,10 +320,16 @@ mod tests {
     fn empty_market_costs_nothing() {
         let m = market(4);
         let mut sim = ChurnSimulation::new(&m, ReplanStrategy::Incremental, LcfConfig::new(0.5));
-        sim.step(&ChurnEvent { arrivals: ids(0..4), departures: vec![] })
-            .unwrap();
+        sim.step(&ChurnEvent {
+            arrivals: ids(0..4),
+            departures: vec![],
+        })
+        .unwrap();
         let rep = sim
-            .step(&ChurnEvent { arrivals: vec![], departures: ids(0..4) })
+            .step(&ChurnEvent {
+                arrivals: vec![],
+                departures: ids(0..4),
+            })
             .unwrap();
         assert_eq!(rep.social_cost, 0.0);
         assert_eq!(rep.cached, 0);
@@ -312,9 +340,15 @@ mod tests {
     fn double_arrival_panics() {
         let m = market(4);
         let mut sim = ChurnSimulation::new(&m, ReplanStrategy::Incremental, LcfConfig::new(0.5));
-        sim.step(&ChurnEvent { arrivals: ids(0..2), departures: vec![] })
-            .unwrap();
-        let _ = sim.step(&ChurnEvent { arrivals: ids(0..1), departures: vec![] });
+        sim.step(&ChurnEvent {
+            arrivals: ids(0..2),
+            departures: vec![],
+        })
+        .unwrap();
+        let _ = sim.step(&ChurnEvent {
+            arrivals: ids(0..1),
+            departures: vec![],
+        });
     }
 
     #[test]

@@ -13,10 +13,19 @@
 //! (Lemma 3). Capacity constraints restrict the strategy sets (a player may
 //! only move into a cloudlet with room) — improvements still strictly
 //! decrease `Φ`, so convergence is unaffected.
-
-
+//!
+//! The dynamics run on an incremental [`GameState`] (see [`crate::state`]):
+//! moves update congestion and loads in `O(1)`, a full sweep costs `O(N·M)`
+//! with zero allocations instead of the `O(N·(N+M))` + `~3N` allocations of
+//! recomputing per candidate. The recompute path is retained as
+//! [`best_response`] / [`BestResponseDynamics::run_reference`] for
+//! differential tests and benchmarks. `MaxGain` candidate scans and Nash
+//! verification fan out across threads when the market is large enough to
+//! amortize thread startup; the chunked merge reproduces the sequential
+//! tie-breaking exactly, so results are identical at any worker count.
 
 use crate::model::{Market, ProviderId};
+use crate::state::GameState;
 use crate::strategy::{Placement, Profile};
 
 /// Order in which players are offered deviations.
@@ -44,6 +53,22 @@ pub struct Convergence {
 /// Minimum cost improvement that counts as a profitable deviation.
 pub const IMPROVEMENT_TOL: f64 = 1e-9;
 
+/// Provider×cloudlet cells below which scans stay sequential: thread
+/// startup (~tens of µs) dwarfs the scan itself on small markets.
+const PAR_MIN_CELLS: usize = 1 << 15;
+
+/// Worker count for a scan over `cells` provider×cloudlet cells split
+/// into at most `items` chunks; `1` means "stay sequential".
+fn par_workers(cells: usize, items: usize) -> usize {
+    if cells < PAR_MIN_CELLS || items < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(16)
+        .min(items)
+}
+
 /// Computes the Rosenthal potential of `profile`.
 pub fn rosenthal_potential(market: &Market, profile: &Profile) -> f64 {
     let sigma = profile.congestion(market);
@@ -63,7 +88,12 @@ pub fn rosenthal_potential(market: &Market, profile: &Profile) -> f64 {
     phi
 }
 
-/// The best response of provider `l` against the rest of `profile`.
+/// The best response of provider `l` against the rest of `profile`,
+/// recomputing congestion and residuals from scratch.
+///
+/// This is the *reference* path — `O(N+M)` and two allocations per call.
+/// Hot loops use the allocation-free [`GameState::best_response`] instead,
+/// which is differentially tested to return identical results.
 ///
 /// Only capacity-feasible cloudlets (after removing `l` from its current
 /// placement) and — if the provider allows it — the remote option are
@@ -117,21 +147,121 @@ pub fn best_response(
     best
 }
 
+/// `true` if `l` has a profitable unilateral deviation — `O(M)`.
+fn has_improving_move(state: &GameState<'_>, l: ProviderId) -> bool {
+    let current_cost = state.provider_cost(l);
+    match state.best_response(l) {
+        Some((p, cost)) => p != state.placement(l) && cost < current_cost - IMPROVEMENT_TOL,
+        None => false,
+    }
+}
+
 /// `true` if no provider in `movable` has a profitable unilateral deviation.
 pub fn is_nash(market: &Market, profile: &Profile, movable: &[bool]) -> bool {
     assert_eq!(movable.len(), profile.len(), "movable mask length mismatch");
-    for (l, _) in profile.iter() {
-        if !movable[l.index()] {
+    let state = GameState::new(market, profile.clone());
+    is_nash_state(&state, movable)
+}
+
+/// [`is_nash`] evaluated against maintained aggregates: `O(N·M)` total,
+/// fanning out across threads on large markets.
+pub fn is_nash_state(state: &GameState<'_>, movable: &[bool]) -> bool {
+    assert_eq!(movable.len(), state.len(), "movable mask length mismatch");
+    let n = state.len();
+    let workers = par_workers(n * state.market().cloudlet_count(), n);
+    is_nash_with(state, movable, workers)
+}
+
+fn is_nash_with(state: &GameState<'_>, movable: &[bool], workers: usize) -> bool {
+    let n = state.len();
+    let check_range = |lo: usize, hi: usize| {
+        (lo..hi).all(|k| !movable[k] || !has_improving_move(state, ProviderId(k)))
+    };
+    if workers <= 1 {
+        return check_range(0, n);
+    }
+    let chunk = n.div_ceil(workers);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let check_range = &check_range;
+                s.spawn(move |_| check_range(w * chunk, ((w + 1) * chunk).min(n)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .all(|h| h.join().expect("nash verification worker panicked"))
+    })
+    .expect("nash verification scope panicked")
+}
+
+/// Scans `lo..hi` for the movable provider with the largest improving gain.
+/// Ties keep the earliest (smallest id) candidate, matching a sequential
+/// first-max scan.
+fn scan_range(
+    state: &GameState<'_>,
+    movable: &[bool],
+    lo: usize,
+    hi: usize,
+) -> Option<(ProviderId, Placement, f64)> {
+    let mut best_move: Option<(ProviderId, Placement, f64)> = None;
+    for (k, &mv) in movable.iter().enumerate().take(hi).skip(lo) {
+        if !mv {
             continue;
         }
-        let current_cost = profile.provider_cost(market, l);
-        if let Some((p, cost)) = best_response(market, profile, l) {
-            if p != profile.placement(l) && cost < current_cost - IMPROVEMENT_TOL {
-                return false;
+        let l = ProviderId(k);
+        let cur_cost = state.provider_cost(l);
+        if let Some((p, cost)) = state.best_response(l) {
+            if p != state.placement(l) && cost < cur_cost - IMPROVEMENT_TOL {
+                let gain = cur_cost - cost;
+                if best_move.is_none_or(|(_, _, g)| gain > g) {
+                    best_move = Some((l, p, gain));
+                }
             }
         }
     }
-    true
+    best_move
+}
+
+/// Full `MaxGain` candidate scan, parallel when the market is large.
+fn scan_best_move(state: &GameState<'_>, movable: &[bool]) -> Option<(ProviderId, Placement, f64)> {
+    let n = state.len();
+    let workers = par_workers(n * state.market().cloudlet_count(), n);
+    scan_best_move_with(state, movable, workers)
+}
+
+fn scan_best_move_with(
+    state: &GameState<'_>,
+    movable: &[bool],
+    workers: usize,
+) -> Option<(ProviderId, Placement, f64)> {
+    let n = state.len();
+    if workers <= 1 {
+        return scan_range(state, movable, 0, n);
+    }
+    let chunk = n.div_ceil(workers);
+    let partials = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move |_| scan_range(state, movable, w * chunk, ((w + 1) * chunk).min(n)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("max-gain scan worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("max-gain scan scope panicked");
+    // Merging chunk partials in ascending id order with a strict `>` keeps
+    // the earliest maximum — exactly what the sequential scan picks — so the
+    // dynamics are deterministic regardless of worker count.
+    partials
+        .into_iter()
+        .flatten()
+        .fold(None, |acc, cand| match acc {
+            Some((_, _, g)) if cand.2 <= g => acc,
+            _ => Some(cand),
+        })
 }
 
 /// Best-response dynamics driver.
@@ -183,10 +313,106 @@ impl BestResponseDynamics {
     /// finite market this terminates at a Nash equilibrium of the movable
     /// subgame (the fixed players act as environment).
     ///
+    /// Builds a [`GameState`] once and delegates to
+    /// [`BestResponseDynamics::run_state`]; callers already holding a state
+    /// should call that directly and skip the profile round-trip.
+    ///
     /// # Panics
     ///
     /// Panics if `movable.len() != profile.len()`.
     pub fn run(&self, market: &Market, profile: &mut Profile, movable: &[bool]) -> Convergence {
+        // Move the profile into the state (empty profiles are forbidden, so
+        // park a 1-slot placeholder) and move it back out when converged.
+        let taken = std::mem::replace(profile, Profile::all_remote(1));
+        let mut state = GameState::new(market, taken);
+        let convergence = self.run_state(&mut state, movable);
+        *profile = state.into_profile();
+        convergence
+    }
+
+    /// Runs the dynamics on an incremental state: each sweep is `O(N·M)`
+    /// and allocation-free (the reference recompute path is `O(N·(N+M))`
+    /// with `~3N` allocations per sweep). Visits providers in id order
+    /// (`RoundRobin`) or applies the single largest improvement per round
+    /// (`MaxGain`, scanned in parallel on large markets); both orders make
+    /// exactly the moves the reference implementation makes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `movable.len() != state.len()`.
+    pub fn run_state(&self, state: &mut GameState<'_>, movable: &[bool]) -> Convergence {
+        assert_eq!(movable.len(), state.len(), "movable mask length mismatch");
+        let mut moves = 0;
+        match self.order {
+            MoveOrder::RoundRobin => {
+                for round in 0..self.max_rounds {
+                    let mut improved = false;
+                    for (k, &mv) in movable.iter().enumerate() {
+                        if !mv {
+                            continue;
+                        }
+                        let l = ProviderId(k);
+                        let cur_cost = state.provider_cost(l);
+                        if let Some((p, cost)) = state.best_response(l) {
+                            if p != state.placement(l) && cost < cur_cost - IMPROVEMENT_TOL {
+                                state.apply_move(l, p);
+                                moves += 1;
+                                improved = true;
+                            }
+                        }
+                    }
+                    if !improved {
+                        return Convergence {
+                            rounds: round + 1,
+                            moves,
+                            converged: true,
+                        };
+                    }
+                }
+            }
+            MoveOrder::MaxGain => {
+                for round in 0..self.max_rounds {
+                    match scan_best_move(state, movable) {
+                        Some((l, p, _)) => {
+                            state.apply_move(l, p);
+                            moves += 1;
+                        }
+                        None => {
+                            return Convergence {
+                                rounds: round + 1,
+                                moves,
+                                converged: true,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        Convergence {
+            rounds: self.max_rounds,
+            moves,
+            converged: false,
+        }
+    }
+
+    /// The seed implementation, recomputing congestion and residuals from
+    /// scratch for every candidate evaluation and cloning the profile once
+    /// per `RoundRobin` round.
+    ///
+    /// Retained verbatim as the baseline for the differential equivalence
+    /// tests and the `recompute vs incremental` benchmark
+    /// (`benches/bench_dynamics.rs`, `mec-bench`'s `sweepbench`). Use
+    /// [`BestResponseDynamics::run`] everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `movable.len() != profile.len()`.
+    pub fn run_reference(
+        &self,
+        market: &Market,
+        profile: &mut Profile,
+        movable: &[bool],
+    ) -> Convergence {
         assert_eq!(movable.len(), profile.len(), "movable mask length mismatch");
         let mut moves = 0;
         match self.order {
@@ -268,6 +494,23 @@ mod tests {
             .cloudlet(CloudletSpec::new(20.0, 100.0, 0.3, 0.2));
         for _ in 0..n_providers {
             b = b.provider(ProviderSpec::new(2.0, 10.0, 1.0, 50.0));
+        }
+        b.uniform_update_cost(0.2).build()
+    }
+
+    /// Heterogeneous market so MaxGain scans see distinct gains.
+    fn varied_market(n_providers: usize) -> Market {
+        let mut b = Market::builder()
+            .cloudlet(CloudletSpec::new(30.0, 120.0, 0.5, 0.5))
+            .cloudlet(CloudletSpec::new(18.0, 90.0, 0.3, 0.2))
+            .cloudlet(CloudletSpec::new(12.0, 70.0, 0.7, 0.4));
+        for k in 0..n_providers {
+            b = b.provider(ProviderSpec::new(
+                1.0 + (k % 4) as f64 * 0.5,
+                5.0 + (k % 3) as f64 * 2.0,
+                0.5 + (k % 5) as f64 * 0.3,
+                20.0 + (k % 7) as f64 * 4.0,
+            ));
         }
         b.uniform_update_cost(0.2).build()
     }
@@ -396,7 +639,10 @@ mod tests {
         let res = BestResponseDynamics::new(MoveOrder::RoundRobin).run(&m, &mut p, &movable);
         assert!(res.converged);
         // p1 cannot move to CL0 (full); stays at CL1.
-        assert_eq!(p.placement(ProviderId(1)), Placement::Cloudlet(CloudletId(1)));
+        assert_eq!(
+            p.placement(ProviderId(1)),
+            Placement::Cloudlet(CloudletId(1))
+        );
     }
 
     #[test]
@@ -414,5 +660,83 @@ mod tests {
         for (_, pl) in p.iter() {
             assert_eq!(pl, Placement::Remote);
         }
+    }
+
+    #[test]
+    fn incremental_run_matches_reference_round_robin() {
+        let m = varied_market(40);
+        let movable: Vec<bool> = (0..40).map(|k| k % 6 != 0).collect();
+        let mut p_inc = Profile::all_remote(40);
+        let mut p_ref = Profile::all_remote(40);
+        let driver = BestResponseDynamics::new(MoveOrder::RoundRobin);
+        let c_inc = driver.run(&m, &mut p_inc, &movable);
+        let c_ref = driver.run_reference(&m, &mut p_ref, &movable);
+        assert_eq!(c_inc, c_ref);
+        assert_eq!(p_inc, p_ref);
+    }
+
+    #[test]
+    fn incremental_run_matches_reference_max_gain() {
+        let m = varied_market(30);
+        let movable = vec![true; 30];
+        let mut p_inc = Profile::all_remote(30);
+        let mut p_ref = Profile::all_remote(30);
+        let driver = BestResponseDynamics::new(MoveOrder::MaxGain);
+        let c_inc = driver.run(&m, &mut p_inc, &movable);
+        let c_ref = driver.run_reference(&m, &mut p_ref, &movable);
+        assert_eq!(c_inc, c_ref);
+        assert_eq!(p_inc, p_ref);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_at_any_worker_count() {
+        let m = varied_market(23);
+        // A mid-dynamics state: run a few round-robin sweeps first.
+        let mut state = GameState::all_remote(&m);
+        let movable: Vec<bool> = (0..23).map(|k| k % 5 != 1).collect();
+        BestResponseDynamics::new(MoveOrder::RoundRobin)
+            .max_rounds(1)
+            .run_state(&mut state, &movable);
+        let sequential = scan_best_move_with(&state, &movable, 1);
+        for workers in 2..=7 {
+            assert_eq!(
+                scan_best_move_with(&state, &movable, workers),
+                sequential,
+                "worker count {workers} changed the scan result"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_nash_check_matches_sequential() {
+        let m = varied_market(17);
+        let movable = vec![true; 17];
+        let mut state = GameState::all_remote(&m);
+        // Mid-dynamics (not an equilibrium) and post-convergence states.
+        BestResponseDynamics::new(MoveOrder::RoundRobin)
+            .max_rounds(1)
+            .run_state(&mut state, &movable);
+        for workers in [1, 2, 3, 5] {
+            assert_eq!(
+                is_nash_with(&state, &movable, workers),
+                is_nash_with(&state, &movable, 1)
+            );
+        }
+        BestResponseDynamics::new(MoveOrder::RoundRobin).run_state(&mut state, &movable);
+        for workers in [1, 2, 3, 5] {
+            assert!(is_nash_with(&state, &movable, workers));
+        }
+    }
+
+    #[test]
+    fn run_preserves_profile_on_entry_and_exit() {
+        // `run` takes the profile by `&mut` and must leave the converged
+        // profile in place (it is moved through a GameState internally).
+        let m = market(5);
+        let mut p = Profile::all_remote(5);
+        let movable = vec![true; 5];
+        BestResponseDynamics::new(MoveOrder::RoundRobin).run(&m, &mut p, &movable);
+        assert_eq!(p.len(), 5);
+        assert!(is_nash(&m, &p, &movable));
     }
 }

@@ -9,9 +9,9 @@
 //! its obedience; coordination is **budget-feasible** when the total
 //! subsidy is no larger than the social-cost saving coordination produces.
 
-use crate::game::best_response;
 use crate::lcf::LcfOutcome;
 use crate::model::{Market, ProviderId};
+use crate::state::GameState;
 
 /// Envy analysis of one LCF outcome.
 #[derive(Debug, Clone)]
@@ -35,7 +35,10 @@ impl IncentiveReport {
 
     /// Number of coordinated providers that actually envy a deviation.
     pub fn envious_count(&self) -> usize {
-        self.discounts.iter().filter(|(_, _, _, d)| *d > 1e-9).count()
+        self.discounts
+            .iter()
+            .filter(|(_, _, _, d)| *d > 1e-9)
+            .count()
     }
 }
 
@@ -50,13 +53,14 @@ pub fn incentive_report(
     market: &Market,
     outcome: &LcfOutcome,
 ) -> Result<IncentiveReport, crate::CoreError> {
+    // Share one incremental state across all coordinated providers: each
+    // envy check is then an O(M) allocation-free best-response query.
+    let state = GameState::new(market, outcome.profile.clone());
     let mut discounts = Vec::with_capacity(outcome.coordinated.len());
     let mut total = 0.0;
     for &l in &outcome.coordinated {
-        let current = outcome.profile.provider_cost(market, l);
-        let deviation = best_response(market, &outcome.profile, l)
-            .map(|(_, c)| c)
-            .unwrap_or(current);
+        let current = state.provider_cost(l);
+        let deviation = state.best_response(l).map(|(_, c)| c).unwrap_or(current);
         let discount = (current - deviation).max(0.0);
         total += discount;
         discounts.push((l, current, deviation, discount));

@@ -17,7 +17,8 @@ use crate::appro::{appro, ApproConfig, ApproSolution};
 use crate::error::CoreError;
 use crate::game::{BestResponseDynamics, Convergence, MoveOrder};
 use crate::model::{Market, ProviderId};
-use crate::strategy::Profile;
+use crate::state::GameState;
+use crate::strategy::{Placement, Profile};
 
 /// How the leader picks which providers to coordinate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -111,12 +112,14 @@ pub fn lcf(market: &Market, config: &LcfConfig) -> Result<LcfOutcome, CoreError>
     let n = market.provider_count();
     let appro_sol = appro(market, &config.appro)?;
 
+    // One incremental state carries the whole mechanism: ζ-cost extraction,
+    // the pin/reset phase, the selfish dynamics, and the final cost split
+    // all read its O(1) aggregates instead of rescanning the profile.
+    let mut state = GameState::new(market, appro_sol.profile.clone());
+
     // Cost of each provider in the approximate solution (with congestion —
     // "the cost of caching their services" under ζ).
-    let zeta_costs: Vec<f64> = market
-        .providers()
-        .map(|l| appro_sol.profile.provider_cost(market, l))
-        .collect();
+    let zeta_costs: Vec<f64> = market.providers().map(|l| state.provider_cost(l)).collect();
 
     let k = (config.xi * n as f64).floor() as usize;
     let coordinated = select(market, &zeta_costs, k, config.selection);
@@ -129,24 +132,20 @@ pub fn lcf(market: &Market, config: &LcfConfig) -> Result<LcfOutcome, CoreError>
     // to ζ in the first place — they enter the market fresh (from their
     // remote instance when they have one) and "selfishly select cloudlets
     // that incur the lowest cost" until a Nash equilibrium is reached.
-    let mut profile = appro_sol.profile.clone();
     for l in market.providers() {
         if movable[l.index()] && market.provider(l).can_stay_remote() {
-            profile.set(l, crate::strategy::Placement::Remote);
+            state.apply_move(l, Placement::Remote);
         }
     }
-    let convergence = BestResponseDynamics::new(config.order).run(market, &mut profile, &movable);
+    let convergence = BestResponseDynamics::new(config.order).run_state(&mut state, &movable);
 
-    let social_cost = profile.social_cost(market);
-    let coordinated_cost = profile.subset_cost(market, coordinated.iter().copied());
-    let selfish: Vec<ProviderId> = market
-        .providers()
-        .filter(|l| movable[l.index()])
-        .collect();
-    let selfish_cost = profile.subset_cost(market, selfish);
+    let social_cost = state.social_cost();
+    let coordinated_cost = state.subset_cost(coordinated.iter().copied());
+    let selfish = market.providers().filter(|l| movable[l.index()]);
+    let selfish_cost = state.subset_cost(selfish);
 
     Ok(LcfOutcome {
-        profile,
+        profile: state.into_profile(),
         appro: appro_sol,
         coordinated,
         convergence,
@@ -156,12 +155,7 @@ pub fn lcf(market: &Market, config: &LcfConfig) -> Result<LcfOutcome, CoreError>
     })
 }
 
-fn select(
-    market: &Market,
-    zeta_costs: &[f64],
-    k: usize,
-    rule: SelectionRule,
-) -> Vec<ProviderId> {
+fn select(market: &Market, zeta_costs: &[f64], k: usize, rule: SelectionRule) -> Vec<ProviderId> {
     let mut ids: Vec<ProviderId> = market.providers().collect();
     match rule {
         SelectionRule::LargestCostFirst => {

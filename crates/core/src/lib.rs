@@ -9,6 +9,9 @@
 //! * [`strategy`] — placements, profiles, social cost (Eq. 5–6);
 //! * [`game`] — the affine congestion game, Rosenthal potential, and
 //!   best-response dynamics (Lemma 3);
+//! * [`state`] — incremental game state: `O(1)` move application with
+//!   maintained congestion, loads, and residuals (what the dynamics and
+//!   every other hot path run on);
 //! * [`appro`](mod@appro) — Algorithm 1, the GAP-based approximation for non-selfish
 //!   players with its `2δκ` ratio (Lemma 2);
 //! * [`lcf`](mod@lcf) — Algorithm 2, the Largest-Cost-First Stackelberg strategy;
@@ -57,22 +60,26 @@ pub mod local_search;
 pub mod model;
 pub mod opt;
 pub mod poa;
+pub mod state;
 pub mod strategy;
 pub mod weighted;
 
 pub use analysis::{cost_breakdown, load_balance, CostBreakdown, LoadBalance};
-pub use congestion::{CongestionModel, GeneralizedGame};
-pub use dynamics::{ChurnEvent, ChurnSimulation, ReplanStrategy, StepReport};
 pub use appro::{
     appro, approximation_ratio_bound, cloudlet_capacity_values, ApproConfig, ApproSolution,
     SlotPricing, SplitMode,
 };
+pub use congestion::{CongestionModel, GeneralizedGame};
+pub use dynamics::{ChurnEvent, ChurnSimulation, ReplanStrategy, StepReport};
 pub use error::CoreError;
-pub use game::{best_response, is_nash, BestResponseDynamics, Convergence, MoveOrder};
+pub use game::{
+    best_response, is_nash, is_nash_state, BestResponseDynamics, Convergence, MoveOrder,
+};
 pub use incentives::{incentive_report, IncentiveReport};
 pub use lcf::{lcf, LcfConfig, LcfOutcome, SelectionRule};
 pub use local_search::{social_local_search, LocalSearchResult};
 pub use model::{CloudletSpec, Market, MarketBuilder, ProviderId, ProviderSpec};
 pub use poa::{best_poa_bound, estimate_poa, market_poa_bound, poa_bound, PoaEstimate};
+pub use state::GameState;
 pub use strategy::{Placement, Profile};
 pub use weighted::WeightedGame;

@@ -18,9 +18,8 @@
 //! own `p·σ` term. The gap between the two is exactly the anarchy the
 //! Stackelberg coordination suppresses.
 
-
-
 use crate::model::{Market, ProviderId};
+use crate::state::GameState;
 use crate::strategy::{Placement, Profile};
 
 /// Result of a local-search run.
@@ -84,18 +83,35 @@ pub fn social_local_search(
     max_moves: usize,
 ) -> LocalSearchResult {
     assert_eq!(movable.len(), profile.len(), "movable mask length mismatch");
+    // The incremental state keeps congestion and residuals current across
+    // moves, so each pass reads them in O(1) instead of recomputing and
+    // reallocating both vectors per outer iteration.
+    let taken = std::mem::replace(profile, Profile::all_remote(1));
+    let mut state = GameState::new(market, taken);
     let mut moves = 0;
-    while moves < max_moves {
-        let sigma = profile.congestion(market);
-        let residual = profile.residual(market);
+    let result = loop {
+        if moves >= max_moves {
+            break LocalSearchResult {
+                moves,
+                converged: false,
+            };
+        }
         let mut best: Option<(ProviderId, Placement, f64)> = None;
-        for (l, current) in profile.iter() {
-            if !movable[l.index()] {
+        for (k, &mv) in movable.iter().enumerate() {
+            if !mv {
                 continue;
             }
+            let l = ProviderId(k);
+            let current = state.placement(l);
             // Remote candidate.
             if market.provider(l).can_stay_remote() && current != Placement::Remote {
-                let d = social_delta(market, profile, &sigma, l, Placement::Remote);
+                let d = social_delta(
+                    market,
+                    state.profile(),
+                    state.congestion_counts(),
+                    l,
+                    Placement::Remote,
+                );
                 if d < -TOL && best.as_ref().is_none_or(|(_, _, bd)| d < *bd) {
                     best = Some((l, Placement::Remote, d));
                 }
@@ -106,10 +122,16 @@ pub fn social_local_search(
                     continue;
                 }
                 // `l` is not currently in `i`, so the residual is correct.
-                if !market.fits(l, residual[i.index()]) {
+                if !market.fits(l, state.residual(i)) {
                     continue;
                 }
-                let d = social_delta(market, profile, &sigma, l, Placement::Cloudlet(i));
+                let d = social_delta(
+                    market,
+                    state.profile(),
+                    state.congestion_counts(),
+                    l,
+                    Placement::Cloudlet(i),
+                );
                 if d < -TOL && best.as_ref().is_none_or(|(_, _, bd)| d < *bd) {
                     best = Some((l, Placement::Cloudlet(i), d));
                 }
@@ -117,21 +139,19 @@ pub fn social_local_search(
         }
         match best {
             Some((l, to, _)) => {
-                profile.set(l, to);
+                state.apply_move(l, to);
                 moves += 1;
             }
             None => {
-                return LocalSearchResult {
+                break LocalSearchResult {
                     moves,
                     converged: true,
                 };
             }
         }
-    }
-    LocalSearchResult {
-        moves,
-        converged: false,
-    }
+    };
+    *profile = state.into_profile();
+    result
 }
 
 #[cfg(test)]
@@ -213,8 +233,14 @@ mod tests {
         }
         let movable = vec![false, false, true, true];
         social_local_search(&m, &mut profile, &movable, 1000);
-        assert_eq!(profile.placement(ProviderId(0)), Placement::Cloudlet(CloudletId(0)));
-        assert_eq!(profile.placement(ProviderId(1)), Placement::Cloudlet(CloudletId(0)));
+        assert_eq!(
+            profile.placement(ProviderId(0)),
+            Placement::Cloudlet(CloudletId(0))
+        );
+        assert_eq!(
+            profile.placement(ProviderId(1)),
+            Placement::Cloudlet(CloudletId(0))
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@
 use mec_topology::CloudletId;
 
 /// Identifier of a network service provider (dense index into the market).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ProviderId(pub usize);
 
 impl ProviderId {

@@ -91,8 +91,7 @@ pub fn social_optimum(market: &Market) -> Result<Optimum, CoreError> {
             // Cloudlet placements.
             for i in self.market.cloudlets() {
                 let free = self.free[i.index()];
-                if spec.compute_demand <= free.0 + 1e-9 && spec.bandwidth_demand <= free.1 + 1e-9
-                {
+                if spec.compute_demand <= free.0 + 1e-9 && spec.bandwidth_demand <= free.1 + 1e-9 {
                     let c = i.index();
                     self.counts[c] += 1;
                     self.free[c].0 -= spec.compute_demand;

@@ -276,7 +276,10 @@ mod tests {
     fn set_and_get() {
         let mut p = Profile::all_remote(2);
         p.set(ProviderId(1), Placement::Cloudlet(CloudletId(0)));
-        assert_eq!(p.placement(ProviderId(1)), Placement::Cloudlet(CloudletId(0)));
+        assert_eq!(
+            p.placement(ProviderId(1)),
+            Placement::Cloudlet(CloudletId(0))
+        );
         assert_eq!(p.placement(ProviderId(0)), Placement::Remote);
     }
 

@@ -203,9 +203,7 @@ impl<'a> WeightedGame<'a> {
         self.market.providers().all(|l| {
             let cur = self.provider_cost(profile, l);
             match self.best_response(profile, l) {
-                Some((p, cost)) => {
-                    p == profile.placement(l) || cost >= cur - IMPROVEMENT_TOL
-                }
+                Some((p, cost)) => p == profile.placement(l) || cost >= cur - IMPROVEMENT_TOL,
                 None => true,
             }
         })
@@ -239,7 +237,13 @@ mod tests {
 
     #[test]
     fn dynamics_converge_to_nash() {
-        let m = market(&[(4.0, 10.0), (1.0, 5.0), (2.0, 20.0), (3.0, 8.0), (1.5, 12.0)]);
+        let m = market(&[
+            (4.0, 10.0),
+            (1.0, 5.0),
+            (2.0, 20.0),
+            (3.0, 8.0),
+            (1.5, 12.0),
+        ]);
         let g = WeightedGame::new(&m);
         let mut p = Profile::all_remote(5);
         let moves = g.run_dynamics(&mut p, 10_000);

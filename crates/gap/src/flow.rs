@@ -342,7 +342,13 @@ mod tests {
         // Known optimum by inspection/brute force: check against exhaustive.
         let mut best = f64::INFINITY;
         let mut perm = [0usize; 6];
-        fn go(k: usize, used: &mut u32, perm: &mut [usize; 6], costs: &[[f64; 6]; 6], best: &mut f64) {
+        fn go(
+            k: usize,
+            used: &mut u32,
+            perm: &mut [usize; 6],
+            costs: &[[f64; 6]; 6],
+            best: &mut f64,
+        ) {
             if k == 6 {
                 let c: f64 = (0..6).map(|i| costs[i][perm[i]]).sum();
                 if c < *best {
@@ -361,7 +367,12 @@ mod tests {
         }
         let mut used = 0u32;
         go(0, &mut used, &mut perm, &costs, &mut best);
-        assert!((r.cost - best).abs() < 1e-9, "SSP {} vs brute {}", r.cost, best);
+        assert!(
+            (r.cost - best).abs() < 1e-9,
+            "SSP {} vs brute {}",
+            r.cost,
+            best
+        );
     }
 
     #[test]

@@ -59,10 +59,12 @@ pub fn solve(inst: &GapInstance) -> Result<Assignment, GapError> {
         let mut best: Option<usize> = None;
         #[allow(clippy::needless_range_loop)] // j is a bin id
         for j in 0..m {
-            if inst.cost(i, j).is_finite() && inst.weight(i, j) <= remaining[j] + 1e-12
-                && best.is_none_or(|b| inst.cost(i, j) < inst.cost(i, b)) {
-                    best = Some(j);
-                }
+            if inst.cost(i, j).is_finite()
+                && inst.weight(i, j) <= remaining[j] + 1e-12
+                && best.is_none_or(|b| inst.cost(i, j) < inst.cost(i, b))
+            {
+                best = Some(j);
+            }
         }
         let Some(j) = best else {
             return Err(GapError::Infeasible);

@@ -88,7 +88,10 @@ impl GapInstance {
     /// Panics on out-of-range indices, NaN, or negative cost.
     pub fn set_cost(&mut self, item: usize, bin: usize, cost: f64) -> &mut Self {
         assert!(item < self.items && bin < self.bins, "index out of range");
-        assert!(!cost.is_nan() && cost >= 0.0, "cost must be >= 0, got {cost}");
+        assert!(
+            !cost.is_nan() && cost >= 0.0,
+            "cost must be >= 0, got {cost}"
+        );
         self.cost[item * self.bins + bin] = cost;
         self
     }

@@ -374,7 +374,10 @@ mod tests {
         inst.set_uniform_weights(1.0);
         inst.set_capacity(0, 1.0);
         assert_eq!(solve_lp(&inst).unwrap_err(), GapError::Infeasible);
-        assert_eq!(solve_transportation(&inst).unwrap_err(), GapError::Infeasible);
+        assert_eq!(
+            solve_transportation(&inst).unwrap_err(),
+            GapError::Infeasible
+        );
     }
 
     #[test]
@@ -466,8 +469,12 @@ mod tests {
         let mut relaxed = inst.clone();
         relaxed.set_capacity(0, 2.0);
         let better = solve_lp(&relaxed).unwrap().objective;
-        assert!((base - better - prices[0]).abs() < 1e-6,
-            "price {} vs realized saving {}", prices[0], base - better);
+        assert!(
+            (base - better - prices[0]).abs() < 1e-6,
+            "price {} vs realized saving {}",
+            prices[0],
+            base - better
+        );
     }
 
     #[test]

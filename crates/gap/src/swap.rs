@@ -29,7 +29,11 @@ pub struct SwapResult {
 ///
 /// Panics if the assignment does not match the instance dimensions.
 pub fn improve(inst: &GapInstance, assignment: &mut Assignment, max_moves: usize) -> SwapResult {
-    assert_eq!(assignment.len(), inst.items(), "assignment/instance mismatch");
+    assert_eq!(
+        assignment.len(),
+        inst.items(),
+        "assignment/instance mismatch"
+    );
     let before = assignment.total_cost(inst);
     let mut shifts = 0;
     let mut swaps = 0;
@@ -75,9 +79,8 @@ pub fn improve(inst: &GapInstance, assignment: &mut Assignment, max_moves: usize
                 if la > inst.capacity(ba) + 1e-12 || lb > inst.capacity(bb) + 1e-12 {
                     continue;
                 }
-                let delta = inst.cost(a, bb) + inst.cost(b, ba)
-                    - inst.cost(a, ba)
-                    - inst.cost(b, bb);
+                let delta =
+                    inst.cost(a, bb) + inst.cost(b, ba) - inst.cost(a, ba) - inst.cost(b, bb);
                 if delta < best_delta {
                     best_delta = delta;
                     best_move = Some((true, a, b));

@@ -286,11 +286,7 @@ impl Tableau {
 
     /// Runs simplex iterations minimizing `cost` (length `ncols`).
     /// `allowed(j)` limits which columns may enter.
-    fn optimize<F: Fn(usize) -> bool>(
-        &mut self,
-        cost: &[f64],
-        allowed: F,
-    ) -> Result<(), LpError> {
+    fn optimize<F: Fn(usize) -> bool>(&mut self, cost: &[f64], allowed: F) -> Result<(), LpError> {
         let max_iter = 200 + 20 * (self.m + self.ncols);
         let bland_after = 100 + 10 * (self.m + self.ncols);
         for iter in 0..max_iter {
@@ -405,7 +401,11 @@ impl Tableau {
             }
             duals[row] = self.row_sign[row] * (-r / coeff);
         }
-        Ok(LpSolution { x, objective, duals })
+        Ok(LpSolution {
+            x,
+            objective,
+            duals,
+        })
     }
 }
 
@@ -608,7 +608,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
-        assert_eq!(LpError::Unbounded.to_string(), "linear program is unbounded");
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
+        assert_eq!(
+            LpError::Unbounded.to_string(),
+            "linear program is unbounded"
+        );
     }
 }

@@ -50,9 +50,10 @@ fn build(lp: &RandomLp) -> LpBuilder {
 
 fn is_feasible(lp: &RandomLp, x: &[f64]) -> bool {
     x.iter().all(|&v| v >= -TOL && v <= lp.box_ub + TOL)
-        && lp.rows.iter().all(|(coeffs, rhs)| {
-            coeffs.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() <= rhs + TOL
-        })
+        && lp
+            .rows
+            .iter()
+            .all(|(coeffs, rhs)| coeffs.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() <= rhs + TOL)
 }
 
 proptest! {

@@ -30,10 +30,10 @@ pub mod simulator;
 pub mod stats;
 pub mod trace;
 
+pub use mobility::{mobility_drift, MobilityConfig, MobilityReport};
 pub use simulator::{
     nearest_cloudlet_profile, simulate, simulate_all_remote, ArrivalProcess, CloudletStats,
     SimConfig, SimReport,
 };
-pub use mobility::{mobility_drift, MobilityConfig, MobilityReport};
 pub use stats::{replicate, ReplicationReport, Summary};
 pub use trace::{RequestRecord, ServedAt, Trace};

@@ -105,10 +105,7 @@ impl Trace {
         let mut counts = vec![0u64; edges.len() + 1];
         for r in &self.records {
             let lat = r.latency_ms();
-            let bucket = edges
-                .iter()
-                .position(|&e| lat <= e)
-                .unwrap_or(edges.len());
+            let bucket = edges.iter().position(|&e| lat <= e).unwrap_or(edges.len());
             counts[bucket] += 1;
         }
         counts

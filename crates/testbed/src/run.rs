@@ -107,8 +107,12 @@ impl Testbed {
             &outcome.profile,
             &SimConfig::default(),
         );
-        let deployment =
-            crate::vm::deploy(&self.scenario, &self.overlay, &self.underlay, &outcome.profile);
+        let deployment = crate::vm::deploy(
+            &self.scenario,
+            &self.overlay,
+            &self.underlay,
+            &outcome.profile,
+        );
 
         Ok(TestbedReport {
             algorithm: app.name(),
@@ -150,9 +154,7 @@ mod tests {
             assert!(rep.social_cost > 0.0);
             assert_eq!(rep.flow_rules, 20);
             assert!(rep.sim.completed > 0);
-            assert!(
-                (rep.coordinated_cost + rep.selfish_cost - rep.social_cost).abs() < 1e-9
-            );
+            assert!((rep.coordinated_cost + rep.selfish_cost - rep.social_cost).abs() < 1e-9);
         }
     }
 

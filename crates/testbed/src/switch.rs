@@ -100,8 +100,7 @@ mod tests {
             .map(|s| s.forwarding_latency_us())
             .collect();
         assert!(lats.iter().all(|&l| l > 0.0));
-        let distinct: std::collections::HashSet<u64> =
-            lats.iter().map(|l| l.to_bits()).collect();
+        let distinct: std::collections::HashSet<u64> = lats.iter().map(|l| l.to_bits()).collect();
         assert_eq!(distinct.len(), 5, "models must differ");
     }
 

@@ -18,7 +18,9 @@ use std::fmt;
 /// let n = NodeId(3);
 /// assert_eq!(n.index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -44,7 +46,9 @@ impl From<usize> for NodeId {
 /// Identifier of an edge in a [`Graph`].
 ///
 /// Edge ids are dense indices in `0..graph.edge_count()`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct EdgeId(pub usize);
 
 impl EdgeId {
@@ -191,12 +195,10 @@ impl Graph {
     ///
     /// Panics if `n` is out of bounds.
     pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.adjacency[n.index()]
-            .iter()
-            .map(move |&eid| {
-                let e = self.edge(eid);
-                (e.other(n), e.weight)
-            })
+        self.adjacency[n.index()].iter().map(move |&eid| {
+            let e = self.edge(eid);
+            (e.other(n), e.weight)
+        })
     }
 
     /// Degree of node `n`.

@@ -114,13 +114,7 @@ fn sample(rng: &mut StdRng, range: (f64, f64)) -> f64 {
 
 /// Connects `members` into a random spanning tree plus extra edges with
 /// probability `p`, weights drawn from `w`.
-fn connect_domain(
-    g: &mut Graph,
-    rng: &mut StdRng,
-    members: &[NodeId],
-    p: f64,
-    w: (f64, f64),
-) {
+fn connect_domain(g: &mut Graph, rng: &mut StdRng, members: &[NodeId], p: f64, w: (f64, f64)) {
     for (i, &m) in members.iter().enumerate().skip(1) {
         let parent = members[rng.random_range(0..i)];
         let weight = sample(rng, w);
@@ -165,7 +159,13 @@ pub fn generate(config: &GtItmConfig) -> Topology {
             kinds.push(NodeKind::Transit);
             members.push(n);
         }
-        connect_domain(&mut g, &mut rng, &members, config.intra_edge_prob.max(0.5), TRANSIT_TRANSIT_MS);
+        connect_domain(
+            &mut g,
+            &mut rng,
+            &members,
+            config.intra_edge_prob.max(0.5),
+            TRANSIT_TRANSIT_MS,
+        );
         transit_domains.push(members);
     }
 
@@ -206,7 +206,13 @@ pub fn generate(config: &GtItmConfig) -> Topology {
                     kinds.push(NodeKind::Stub);
                     members.push(n);
                 }
-                connect_domain(&mut g, &mut rng, &members, config.intra_edge_prob, STUB_STUB_MS);
+                connect_domain(
+                    &mut g,
+                    &mut rng,
+                    &members,
+                    config.intra_edge_prob,
+                    STUB_STUB_MS,
+                );
                 // Attach the stub domain to its transit node.
                 let gw = members[rng.random_range(0..members.len())];
                 g.add_edge(tnode, gw, sample(&mut rng, TRANSIT_STUB_MS));

@@ -13,7 +13,9 @@ use crate::gtitm::Topology;
 use crate::shortest_path::DistanceMatrix;
 
 /// Index of a cloudlet site in a [`MecNetwork`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct CloudletId(pub usize);
 
 impl CloudletId {
@@ -31,7 +33,9 @@ impl std::fmt::Display for CloudletId {
 }
 
 /// Index of a data-center site in a [`MecNetwork`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct DataCenterId(pub usize);
 
 impl DataCenterId {
@@ -114,11 +118,8 @@ impl MecNetwork {
             cloudlet_sites.extend(transits.iter().copied().take(missing));
         }
 
-        let mut dc_sites: Vec<NodeId> = transits
-            .iter()
-            .copied()
-            .take(config.data_centers)
-            .collect();
+        let mut dc_sites: Vec<NodeId> =
+            transits.iter().copied().take(config.data_centers).collect();
         if dc_sites.len() < config.data_centers {
             let used: std::collections::HashSet<NodeId> = cloudlet_sites.iter().copied().collect();
             for &s in stubs.iter().rev() {
@@ -157,8 +158,13 @@ impl MecNetwork {
         assert!(n > 0, "topology must have nodes");
         let distances = DistanceMatrix::new(&topology.graph);
         let cloudlet_count = ((n as f64 * config.cloudlet_fraction).round() as usize).max(1);
-        let cloudlet_sites =
-            crate::placement::choose_sites(&topology, &distances, strategy, cloudlet_count, config.seed);
+        let cloudlet_sites = crate::placement::choose_sites(
+            &topology,
+            &distances,
+            strategy,
+            cloudlet_count,
+            config.seed,
+        );
 
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xDC));
         let mut transits = topology.transit_nodes();
@@ -316,8 +322,7 @@ mod tests {
     #[test]
     fn cloudlets_on_stub_nodes() {
         let m = net(150, 2);
-        let stubs: std::collections::HashSet<_> =
-            m.topology().stub_nodes().into_iter().collect();
+        let stubs: std::collections::HashSet<_> = m.topology().stub_nodes().into_iter().collect();
         for c in m.cloudlets() {
             assert!(stubs.contains(&m.cloudlet_site(c)));
         }
@@ -361,9 +366,7 @@ mod tests {
         for n in m.topology().graph.nodes().take(20) {
             let nc = m.nearest_cloudlet(n);
             for c in m.cloudlets() {
-                assert!(
-                    m.node_cloudlet_distance(n, nc) <= m.node_cloudlet_distance(n, c) + 1e-12
-                );
+                assert!(m.node_cloudlet_distance(n, nc) <= m.node_cloudlet_distance(n, c) + 1e-12);
             }
         }
     }
@@ -432,12 +435,18 @@ mod tests {
         let c_rand = coverage_cost(
             rand.topology(),
             rand.distances(),
-            &rand.cloudlets().map(|c| rand.cloudlet_site(c)).collect::<Vec<_>>(),
+            &rand
+                .cloudlets()
+                .map(|c| rand.cloudlet_site(c))
+                .collect::<Vec<_>>(),
         );
         let c_kmed = coverage_cost(
             kmed.topology(),
             kmed.distances(),
-            &kmed.cloudlets().map(|c| kmed.cloudlet_site(c)).collect::<Vec<_>>(),
+            &kmed
+                .cloudlets()
+                .map(|c| kmed.cloudlet_site(c))
+                .collect::<Vec<_>>(),
         );
         assert!(c_kmed <= c_rand + 1e-9);
     }

@@ -58,9 +58,7 @@ pub fn choose_sites(
             candidates
         }
         PlacementStrategy::DegreeWeighted => {
-            candidates.sort_by_key(|&n| {
-                (std::cmp::Reverse(topology.graph.degree(n)), n.index())
-            });
+            candidates.sort_by_key(|&n| (std::cmp::Reverse(topology.graph.degree(n)), n.index()));
             candidates.truncate(count);
             candidates
         }

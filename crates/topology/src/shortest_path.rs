@@ -166,7 +166,10 @@ impl DistanceMatrix {
     ///
     /// Panics if either node is out of bounds.
     pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
-        assert!(a.index() < self.n && b.index() < self.n, "node out of bounds");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "node out of bounds"
+        );
         self.dist[a.index() * self.n + b.index()]
     }
 
@@ -212,7 +215,10 @@ mod tests {
         g.add_edge(NodeId(2), NodeId(1), 1.0);
         let sp = dijkstra(&g, NodeId(0));
         assert_eq!(sp.distance(NodeId(1)), 2.0);
-        assert_eq!(sp.path(NodeId(1)).unwrap(), vec![NodeId(0), NodeId(2), NodeId(1)]);
+        assert_eq!(
+            sp.path(NodeId(1)).unwrap(),
+            vec![NodeId(0), NodeId(2), NodeId(1)]
+        );
     }
 
     #[test]

@@ -107,7 +107,10 @@ pub fn validate_script(providers: usize, script: &[ChurnEvent]) -> usize {
     let mut peak = 0;
     for (epoch, e) in script.iter().enumerate() {
         for d in &e.departures {
-            assert!(active[d.index()], "epoch {epoch}: departure of inactive {d}");
+            assert!(
+                active[d.index()],
+                "epoch {epoch}: departure of inactive {d}"
+            );
             active[d.index()] = false;
         }
         for a in &e.arrivals {

@@ -112,16 +112,14 @@ pub fn generate(net: &MecNetwork, params: &Params, seed: u64) -> GeneratedMarket
         let home_dc = DataCenterId(rng.random_range(0..net.data_center_count()));
         let user_node = stub_nodes[rng.random_range(0..stub_nodes.len())];
         let requests = params.requests_per_service.sample(&mut rng).round() as u32;
-        let traffic_gb =
-            params.traffic_per_request_mb.sample(&mut rng) / 1024.0 * requests as f64;
+        let traffic_gb = params.traffic_per_request_mb.sample(&mut rng) / 1024.0 * requests as f64;
         let data_gb = params.service_data_gb.sample(&mut rng);
         let update_gb = params.update_ratio * data_gb;
         let tx = params.tx_cost_per_gb.sample(&mut rng);
         let proc = params.proc_cost_per_gb.sample(&mut rng);
 
         let compute_demand = params.service_vms.sample(&mut rng);
-        let bandwidth_demand =
-            params.bandwidth_per_request_mbps.sample(&mut rng) * requests as f64;
+        let bandwidth_demand = params.bandwidth_per_request_mbps.sample(&mut rng) * requests as f64;
         // Resource-proportional VM pricing: the fee scales with the VMs the
         // service occupies, plus the processing of its request traffic.
         let instantiation =
@@ -163,9 +161,7 @@ pub fn generate(net: &MecNetwork, params: &Params, seed: u64) -> GeneratedMarket
         for i in net.cloudlets() {
             let d_dc = net.cloudlet_dc_distance(i, meta.home_dc);
             update.push(
-                meta.tx_cost_per_gb
-                    * meta.update_gb
-                    * (1.0 + params.distance_factor_per_ms * d_dc)
+                meta.tx_cost_per_gb * meta.update_gb * (1.0 + params.distance_factor_per_ms * d_dc)
                     + bw_reservation,
             );
             let d_user = net.node_cloudlet_distance(meta.user_node, i);
@@ -231,7 +227,11 @@ mod tests {
         let b_max = g.market.max_bandwidth_demand();
         for i in g.market.cloudlets() {
             let c = g.market.cloudlet(i);
-            assert!(c.compute_capacity >= a_max, "C_i {} < a_max {a_max}", c.compute_capacity);
+            assert!(
+                c.compute_capacity >= a_max,
+                "C_i {} < a_max {a_max}",
+                c.compute_capacity
+            );
             assert!(
                 c.bandwidth_capacity >= b_max,
                 "B_i {} < b_max {b_max}",
@@ -264,9 +264,7 @@ mod tests {
                         .unwrap()
                 })
                 .unwrap();
-            assert!(
-                g.market.update_cost(l, near) <= g.market.update_cost(l, far) + 1e-12
-            );
+            assert!(g.market.update_cost(l, near) <= g.market.update_cost(l, far) + 1e-12);
         }
     }
 

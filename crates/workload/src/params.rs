@@ -27,7 +27,10 @@ impl Range {
     ///
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi}]");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi}]"
+        );
         Range { lo, hi }
     }
 

@@ -53,9 +53,8 @@ pub fn gtitm_scenario(size: usize, params: &Params, seed: u64) -> Scenario {
 /// Builds a flat Waxman scenario of the given size (topology-robustness
 /// ablation; GT-ITM's other model).
 pub fn waxman_scenario(size: usize, params: &Params, seed: u64) -> Scenario {
-    let topo = mec_topology::waxman::generate(&mec_topology::waxman::WaxmanConfig::for_size(
-        size, seed,
-    ));
+    let topo =
+        mec_topology::waxman::generate(&mec_topology::waxman::WaxmanConfig::for_size(size, seed));
     let label = topo.name.clone();
     let net = MecNetwork::place(
         topo,

@@ -35,7 +35,10 @@ fn main() {
             report.mean_tunnel_ms_before,
             report.mean_tunnel_ms_after,
         );
-        assert!(report.fabric_survives, "testbed has a single point of failure!");
+        assert!(
+            report.fabric_survives,
+            "testbed has a single point of failure!"
+        );
     }
     println!("\nEvery single-switch failure is survivable; orphaned OVS nodes are");
     println!("migrated and the VXLAN mesh re-routes with microsecond-scale inflation.");

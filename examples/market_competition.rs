@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|(_, x)| matches!(x, Placement::Cloudlet(_)))
             .count()
     };
-    println!("\n{:<16}{:>14}{:>10}{:>10}", "algorithm", "social cost", "cached", "remote");
+    println!(
+        "\n{:<16}{:>14}{:>10}{:>10}",
+        "algorithm", "social cost", "cached", "remote"
+    );
     for (name, cost, profile) in [
         ("LCF", outcome.social_cost, &outcome.profile),
         ("JoOffloadCache", jo.social_cost, &jo.profile),

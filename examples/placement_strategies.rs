@@ -38,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 strategy,
             );
             let sites: Vec<_> = net.cloudlets().map(|c| net.cloudlet_site(c)).collect();
-            coverage += coverage_cost(net.topology(), net.distances(), &sites)
-                / seeds.len() as f64;
+            coverage += coverage_cost(net.topology(), net.distances(), &sites) / seeds.len() as f64;
             let gen = generator::generate(&net, &params, seed + 100);
             let out = lcf(&gen.market, &LcfConfig::new(0.7))?;
             social += out.social_cost / seeds.len() as f64;

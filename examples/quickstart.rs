@@ -19,10 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // remote cloud stays possible at a distance-priced cost.
     for k in 0..10 {
         builder = builder.provider(ProviderSpec::new(
-            1.0 + (k % 3) as f64,        // compute demand (VM units)
-            5.0 + (k % 4) as f64 * 2.0,  // bandwidth demand (Mbps)
-            0.8,                         // instantiation + processing cost
-            6.0 + (k % 5) as f64,        // remote-serving cost
+            1.0 + (k % 3) as f64,       // compute demand (VM units)
+            5.0 + (k % 4) as f64 * 2.0, // bandwidth demand (Mbps)
+            0.8,                        // instantiation + processing cost
+            6.0 + (k % 5) as f64,       // remote-serving cost
         ));
     }
     let market = builder.uniform_update_cost(0.25).build();

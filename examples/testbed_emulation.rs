@@ -13,7 +13,10 @@ use mec_workload::Params;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tb = Testbed::new(&Params::paper().with_providers(60), 7);
 
-    println!("Underlay: {} hardware switches", tb.underlay().switch_count());
+    println!(
+        "Underlay: {} hardware switches",
+        tb.underlay().switch_count()
+    );
     for k in 0..tb.underlay().switch_count() {
         let model = tb.underlay().switch(mec_testbed::SwitchId(k));
         println!(

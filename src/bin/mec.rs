@@ -15,12 +15,12 @@
 use mec_baselines::{jo_offload_cache, offload_cache, JoConfig};
 use mec_core::lcf::{lcf, LcfConfig};
 use mec_core::{estimate_poa, market_poa_bound};
+use mec_testbed::SwitchId;
 use mec_testbed::{drill_all, Overlay, Underlay};
+use mec_topology::graph_stats;
 use mec_topology::gtitm::{generate as gen_ts, GtItmConfig};
 use mec_topology::waxman::{generate as gen_wax, WaxmanConfig};
 use mec_topology::zoo::as1755;
-use mec_topology::graph_stats;
-use mec_testbed::SwitchId;
 use mec_workload::{gtitm_scenario, Params};
 
 fn main() {
@@ -123,9 +123,7 @@ fn mec_fig(which: u8, cfg: &FigConfig) -> Vec<String> {
                 j += jo_offload_cache(&s.generated, &JoConfig::default()).social_cost / k;
                 o += offload_cache(&s.generated).social_cost / k;
             }
-            out.push(format!(
-                "{size:>10}{frac:>10.2}{l:>12.2}{j:>16.2}{o:>14.2}"
-            ));
+            out.push(format!("{size:>10}{frac:>10.2}{l:>12.2}{j:>16.2}{o:>14.2}"));
         }
     }
     out

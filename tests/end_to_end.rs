@@ -17,7 +17,12 @@ fn full_pipeline_gtitm() {
 
     // Deployed placement survives a request-level replay.
     let rep = simulate(&s.net, &s.generated, &out.profile, &SimConfig::default());
-    let want: u64 = s.generated.providers.iter().map(|m| m.requests as u64).sum();
+    let want: u64 = s
+        .generated
+        .providers
+        .iter()
+        .map(|m| m.requests as u64)
+        .sum();
     assert_eq!(rep.completed, want);
     assert!(rep.avg_latency_ms > 0.0);
 }

@@ -132,7 +132,13 @@ fn trace_accounts_every_request() {
 fn replication_confidence_interval_covers_single_runs() {
     let s = gtitm_scenario(100, &Params::paper().with_providers(12), 7);
     let out = lcf(&s.generated.market, &LcfConfig::new(0.7)).unwrap();
-    let rep = replicate(&s.net, &s.generated, &out.profile, &SimConfig::default(), 12);
+    let rep = replicate(
+        &s.net,
+        &s.generated,
+        &out.profile,
+        &SimConfig::default(),
+        12,
+    );
     // The spread should be modest for this workload.
     assert!(rep.avg_latency_ms.std_dev < rep.avg_latency_ms.mean);
     assert!(rep.total_cost.std_dev < 1e-9);

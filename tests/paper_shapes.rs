@@ -11,7 +11,11 @@ fn fig3_shape_social_cost_grows_with_selfish_fraction() {
     let market = &s.generated.market;
     let costs: Vec<f64> = [0.0, 0.5, 1.0]
         .iter()
-        .map(|&frac| lcf(market, &LcfConfig::new(1.0 - frac)).unwrap().social_cost)
+        .map(|&frac| {
+            lcf(market, &LcfConfig::new(1.0 - frac))
+                .unwrap()
+                .social_cost
+        })
         .collect();
     assert!(
         costs[0] <= costs[2] + 1e-6,
@@ -72,13 +76,18 @@ fn fig7a_shape_cost_grows_with_a_max() {
             .social_cost
     };
     let hi = {
-        let params = Params::paper().with_providers(60).with_max_service_vms(10.0);
+        let params = Params::paper()
+            .with_providers(60)
+            .with_max_service_vms(10.0);
         let s = gtitm_scenario(150, &params, 42);
         lcf(&s.generated.market, &LcfConfig::new(0.7))
             .unwrap()
             .social_cost
     };
-    assert!(hi >= lo - 1e-6, "a_max=10 cost {hi} below a_max=2 cost {lo}");
+    assert!(
+        hi >= lo - 1e-6,
+        "a_max=10 cost {hi} below a_max=2 cost {lo}"
+    );
 }
 
 /// Eq. 7 sanity behind Fig. 7: growing `a_max` shrinks every `n_i`.
@@ -92,7 +101,9 @@ fn fig7_mechanism_fewer_virtual_cloudlets_as_a_max_grows() {
     );
     let large = gtitm_scenario(
         150,
-        &Params::paper().with_providers(60).with_max_service_vms(10.0),
+        &Params::paper()
+            .with_providers(60)
+            .with_max_service_vms(10.0),
         42,
     );
     let n_small = virtual_cloudlet_counts(&small.generated.market);

@@ -18,8 +18,14 @@ struct RandMarket {
 
 fn rand_market() -> impl Strategy<Value = RandMarket> {
     (
-        proptest::collection::vec((15.0..35.0f64, 80.0..200.0f64, 0.1..1.0f64, 0.1..1.0f64), 2..4),
-        proptest::collection::vec((0.5..4.0f64, 2.0..12.0f64, 0.3..1.5f64, 4.0..20.0f64), 4..12),
+        proptest::collection::vec(
+            (15.0..35.0f64, 80.0..200.0f64, 0.1..1.0f64, 0.1..1.0f64),
+            2..4,
+        ),
+        proptest::collection::vec(
+            (0.5..4.0f64, 2.0..12.0f64, 0.3..1.5f64, 4.0..20.0f64),
+            4..12,
+        ),
     )
         .prop_map(|(cloudlets, providers)| RandMarket {
             cloudlets,

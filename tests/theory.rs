@@ -96,6 +96,9 @@ fn optimum_is_locally_stable() {
         let mut p = opt.profile.clone();
         let movable = vec![true; m.provider_count()];
         let res = social_local_search(&m, &mut p, &movable, 100);
-        assert_eq!(res.moves, 0, "seed {seed}: optimum admitted an improving move");
+        assert_eq!(
+            res.moves, 0,
+            "seed {seed}: optimum admitted an improving move"
+        );
     }
 }

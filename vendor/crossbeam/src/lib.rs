@@ -1,0 +1,99 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `crossbeam::thread::scope` API the workspace uses is provided,
+//! implemented on `std::thread::scope` (stable since Rust 1.63, which
+//! postdates crossbeam's scoped threads and made them redundant upstream
+//! too). Semantics match the call sites' expectations: spawned closures
+//! receive a `&Scope` so nested spawns work, handles `join()` to a
+//! `thread::Result`, and a panic that escapes the scope closure itself
+//! propagates as a panic rather than an `Err`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope for spawning borrowing threads (wraps [`std::thread::Scope`]).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its value, or the panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// again so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all threads spawned in it are joined before
+    /// this returns. Mirrors `crossbeam::thread::scope`'s signature — with
+    /// `std::thread::scope` underneath the closure's own panic propagates
+    /// directly, so the `Result` here is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_borrows_and_joins() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn join_surfaces_child_panic() {
+        let caught = thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("child died") });
+            h.join()
+        })
+        .unwrap();
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use — `proptest!`, `Strategy` with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, `Just`, `proptest::collection::vec`,
+//! `ProptestConfig::with_cases`, and `prop_assert!`/`prop_assert_eq!` —
+//! as plain seeded random testing. There is **no shrinking**: a failing
+//! case reports the case index and seed instead of a minimized input. The
+//! failure message includes the inputs (all strategies require
+//! `Debug`-able values in upstream proptest too, via `fmt::Debug` bounds
+//! on the macro side).
+//!
+//! Determinism: each `proptest!`-generated test derives its RNG seed from
+//! the test function's name, so runs are reproducible and independent of
+//! test execution order.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod bool {
+    //! Boolean strategies (`proptest::bool::ANY`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Strategy yielding `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical instance of [`Any`].
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest::prelude::*` glob is expected to bring in.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Stable 64-bit FNV-1a hash, used to derive per-test RNG seeds.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests over strategy-drawn inputs.
+///
+/// Supported grammar (the subset upstream proptest documents and this
+/// workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, v in proptest::collection::vec(0u32..9, 3..7)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(seed, case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    );
+                    let run = std::panic::AssertUnwindSafe(|| { $body });
+                    if let Err(payload) = std::panic::catch_unwind(run) {
+                        eprintln!(
+                            "proptest case {case}/{} failed (seed {seed:#x}): {inputs}",
+                            cfg.cases
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 1.5..9.5f64, n in 2usize..7) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((2..7).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u64..100, 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn flat_map_threads_dependent_values(
+            pair in (1usize..5).prop_flat_map(|n| (Just(n), crate::collection::vec(0.0..1.0f64, n)))
+        ) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = (0.0..1.0f64, 0usize..100).prop_map(|(a, b)| (a, b));
+        let a = strat.generate(&mut TestRng::for_case(7, 3));
+        let b = strat.generate(&mut TestRng::for_case(7, 3));
+        assert_eq!(a, b);
+        let c = strat.generate(&mut TestRng::for_case(7, 4));
+        assert_ne!(a, c);
+    }
+}

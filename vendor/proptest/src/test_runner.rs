@@ -1,0 +1,47 @@
+//! Test-runner configuration and the RNG handed to strategies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How many random cases each property test runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to generate (upstream default: 256).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// RNG handed to strategies; deterministic per `(test, case)` pair.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one case of one test: mixes the test seed with the case id.
+    pub fn for_case(test_seed: u64, case: u32) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(
+                test_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+        }
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

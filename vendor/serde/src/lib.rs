@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types and
+//! uses them as trait bounds (e.g. `T: Serialize + DeserializeOwned` static
+//! assertions); nothing actually serializes bytes today — result tables are
+//! plain text and BENCH json files are written by hand. This crate keeps
+//! those bounds compiling without network access: the traits are markers
+//! and the derives (re-exported from `serde_derive`) emit empty impls.
+//!
+//! If a future PR needs real serialization, replace this vendored crate
+//! with upstream serde; every `#[derive(serde::Serialize)]` in the tree is
+//! already written against the upstream-compatible paths.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Deserializer-side helpers (`serde::de`).
+pub mod de {
+    /// Marker standing in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}

@@ -1,0 +1,124 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! The real derives generate visitor plumbing; here the traits are markers,
+//! so the derives only have to name the type (including its generics, if
+//! any) and emit an empty impl. Parsing is done directly on the token
+//! stream — no `syn`/`quote`, which keeps the crate dependency-free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The type name and its generic parameter list (identifiers only).
+struct Target {
+    name: String,
+    /// Generic parameter names, e.g. `["T", "U"]` for `struct Foo<T, U: Ord>`.
+    generics: Vec<String>,
+}
+
+/// Extracts the deriving type's name and generic parameters.
+fn parse_target(input: TokenStream) -> Target {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`# [...]`), visibility and doc comments until the
+    // `struct`/`enum`/`union` keyword.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after struct/enum keyword, got {other:?}"),
+    };
+
+    // Optional `<...>` parameter list: collect parameter names, which are
+    // the identifiers that directly follow `<` or `,` at depth 1 (skipping
+    // lifetimes and const params' `const` keyword).
+    let mut generics = Vec::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        let mut in_bound = false;
+        while depth > 0 {
+            match tokens.next().expect("unclosed generic parameter list") {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => {
+                        at_param_start = true;
+                        in_bound = false;
+                    }
+                    ':' if depth == 1 => in_bound = true,
+                    '\'' => {
+                        // Lifetime tick: the next ident is the lifetime
+                        // name, also a valid generic parameter.
+                    }
+                    _ => {}
+                },
+                TokenTree::Ident(id) if depth == 1 && at_param_start && !in_bound => {
+                    let s = id.to_string();
+                    if s == "const" {
+                        continue; // next ident is the const param name
+                    }
+                    generics.push(s);
+                    at_param_start = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    Target { name, generics }
+}
+
+fn impl_for(target: &Target, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let mut params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        params.push(lt.to_string());
+    }
+    params.extend(target.generics.iter().cloned());
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if target.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", target.generics.join(", "))
+    };
+    format!(
+        "impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}",
+        name = target.name
+    )
+    .parse()
+    .expect("generated impl must tokenize")
+}
+
+/// Emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(strip_outer_groups(input));
+    impl_for(&target, "::serde::Serialize", None)
+}
+
+/// Emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(strip_outer_groups(input));
+    impl_for(&target, "::serde::Deserialize<'de>", Some("'de"))
+}
+
+/// Flattens `None`-delimited groups the compiler may wrap items in.
+fn strip_outer_groups(input: TokenStream) -> TokenStream {
+    input
+        .into_iter()
+        .flat_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::None => {
+                g.stream().into_iter().collect::<Vec<_>>()
+            }
+            other => vec![other],
+        })
+        .collect()
+}
