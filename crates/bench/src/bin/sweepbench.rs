@@ -167,6 +167,16 @@ fn main() {
         reps,
         body.join(",\n"),
     );
-    std::fs::write("BENCH_dynamics.json", &json).expect("write BENCH_dynamics.json");
+    // The checked-in BENCH_dynamics.json is a release-build artifact; a
+    // debug run times the differential debug_assert in apply_move, not the
+    // algorithm, so it must never overwrite the recorded numbers.
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "sweepbench: debug build — refusing to overwrite BENCH_dynamics.json \
+             (regenerate with `cargo run --release -p mec-bench --bin sweepbench`)"
+        );
+    } else {
+        std::fs::write("BENCH_dynamics.json", &json).expect("write BENCH_dynamics.json");
+    }
     println!("{json}");
 }

@@ -284,6 +284,7 @@ pub fn fig7(cfg: &RunConfig) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mec_num::assert_approx_eq;
 
     #[test]
     fn fig2_quick_has_expected_shape() {
@@ -329,7 +330,7 @@ mod tests {
             millis: 30.0,
         }; 3];
         let avg = average([a, b]);
-        assert_eq!(avg[0].social, 3.0);
-        assert_eq!(avg[0].millis, 20.0);
+        assert_approx_eq!(avg[0].social, 3.0, 1e-12);
+        assert_approx_eq!(avg[0].millis, 20.0, 1e-12);
     }
 }

@@ -5,6 +5,12 @@
 //! a bounded pool of scoped worker threads. Sweeps stay reproducible:
 //! results are returned in input order regardless of completion order.
 
+// Under `--features loom-model` the shared counter runs on the loom
+// stand-in's schedule-perturbing atomics, so the concurrency stress tests
+// (tests/loom_pool.rs) push the workers through many interleavings.
+#[cfg(feature = "loom-model")]
+use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(feature = "loom-model"))]
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Maps `f` over `items` in parallel and returns the results in input order.

@@ -1,0 +1,144 @@
+//! Concurrency analysis of the parallel substrate, run under the loom
+//! stand-in's schedule perturbation (`--features loom-model`).
+//!
+//! Two shared-state mechanisms carry every parallel code path in this
+//! workspace, and both are exercised here across many perturbed
+//! schedules (the TSan CI job additionally watches these same tests for
+//! data races at the memory-access level):
+//!
+//! * the worker pool's atomic index counter (`parallel_map`): each item
+//!   must be claimed by **exactly one** worker and results must come
+//!   back in input order, no matter how the claims interleave;
+//! * the chunk-merge of the parallel `MaxGain` / `is_nash` scans: the
+//!   merged verdict must be identical for every worker count — the
+//!   dynamics are deterministic by construction, not by scheduling luck.
+#![cfg(feature = "loom-model")]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mec_bench::parallel_map;
+use mec_core::game::{is_nash_state_workers, scan_best_move_workers};
+use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+use mec_core::state::GameState;
+use mec_core::{Placement, Profile, ProviderId};
+use mec_topology::CloudletId;
+
+/// The pool's shared counter claims each index exactly once: no lost
+/// items, no double-processing, input order preserved.
+#[test]
+fn pool_counter_claims_each_index_exactly_once() {
+    loom::model(|| {
+        const N: usize = 48;
+        let items: Vec<usize> = (0..N).collect();
+        let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..N).map(|_| AtomicUsize::new(0)).collect());
+        let h = Arc::clone(&hits);
+        let out = parallel_map(&items, move |&k| {
+            h[k].fetch_add(1, Ordering::SeqCst);
+            k * 3
+        });
+        assert_eq!(out, (0..N).map(|k| k * 3).collect::<Vec<_>>());
+        for (k, hit) in hits.iter().enumerate() {
+            assert_eq!(
+                hit.load(Ordering::SeqCst),
+                1,
+                "item {k} claimed twice or never"
+            );
+        }
+    });
+}
+
+/// Workers racing on an empty queue (more workers than items) must not
+/// duplicate or drop the few items there are.
+#[test]
+fn pool_with_more_workers_than_items() {
+    loom::model(|| {
+        let items = vec![7usize, 11];
+        let out = parallel_map(&items, |&x| x + 1);
+        assert_eq!(out, vec![8, 12]);
+    });
+}
+
+fn crowded_market() -> (Market, Profile) {
+    // Three cloudlets with distinct prices, ten providers crowded onto the
+    // most expensive one: many competing improving moves exist, so the
+    // max-gain merge has real ties and ordering decisions to make.
+    let mut b = Market::builder()
+        .cloudlet(CloudletSpec::new(40.0, 200.0, 1.0, 1.0))
+        .cloudlet(CloudletSpec::new(40.0, 200.0, 0.4, 0.4))
+        .cloudlet(CloudletSpec::new(40.0, 200.0, 0.2, 0.3));
+    for k in 0..10 {
+        b = b.provider(ProviderSpec::new(1.0, 5.0, 0.5 + 0.1 * k as f64, 50.0));
+    }
+    let m = b.uniform_update_cost(0.1).build();
+    let p = Profile::new(vec![Placement::Cloudlet(CloudletId(0)); 10]);
+    (m, p)
+}
+
+/// The parallel `MaxGain` scan merges chunk partials into the same move
+/// the sequential scan picks, for every worker count, on every schedule.
+#[test]
+fn max_gain_chunk_merge_is_deterministic() {
+    loom::model(|| {
+        let (market, profile) = crowded_market();
+        let state = GameState::new(&market, profile);
+        let movable = vec![true; 10];
+        let sequential = scan_best_move_workers(&state, &movable, 1);
+        assert!(sequential.is_some(), "crowded market must have a move");
+        for workers in 2..=8 {
+            assert_eq!(
+                scan_best_move_workers(&state, &movable, workers),
+                sequential,
+                "merge diverged at {workers} workers"
+            );
+        }
+    });
+}
+
+/// The parallel `is_nash` fan-out agrees with the sequential check for
+/// every worker count, on unstable and stable profiles alike.
+#[test]
+fn parallel_nash_check_is_deterministic() {
+    loom::model(|| {
+        let (market, profile) = crowded_market();
+        let movable = vec![true; 10];
+        let unstable = GameState::new(&market, profile);
+        for workers in 1..=8 {
+            assert!(!is_nash_state_workers(&unstable, &movable, workers));
+        }
+        // Pin every provider: trivially stable regardless of fan-out.
+        let (market2, profile2) = crowded_market();
+        let stable = GameState::new(&market2, profile2);
+        let pinned = vec![false; 10];
+        for workers in 1..=8 {
+            assert!(is_nash_state_workers(&stable, &pinned, workers));
+        }
+    });
+}
+
+/// A provider whose best response lands mid-chunk: the winning move must
+/// be the earliest maximum, mirroring the sequential first-max rule.
+#[test]
+fn chunk_merge_prefers_earliest_maximum_on_ties() {
+    loom::model(|| {
+        // Two identical providers with identical gains: the merge must
+        // pick provider 0 (earliest id) for every worker split.
+        let m = Market::builder()
+            .cloudlet(CloudletSpec::new(10.0, 50.0, 1.0, 1.0))
+            .cloudlet(CloudletSpec::new(10.0, 50.0, 0.1, 0.1))
+            .provider(ProviderSpec::new(1.0, 5.0, 1.0, 100.0))
+            .provider(ProviderSpec::new(1.0, 5.0, 1.0, 100.0))
+            .uniform_update_cost(0.0)
+            .build();
+        let p = Profile::new(vec![Placement::Cloudlet(CloudletId(0)); 2]);
+        let state = GameState::new(&m, p);
+        let movable = vec![true, true];
+        for workers in 1..=4 {
+            let best = scan_best_move_workers(&state, &movable, workers);
+            match best {
+                Some((l, _, _)) => assert_eq!(l, ProviderId(0), "at {workers} workers"),
+                None => panic!("tie market must have an improving move"),
+            }
+        }
+    });
+}

@@ -97,6 +97,7 @@ pub fn load_balance(market: &Market, profile: &Profile) -> LoadBalance {
 mod tests {
     use super::*;
     use crate::model::{CloudletSpec, ProviderSpec};
+    use mec_num::assert_approx_eq;
     use mec_topology::CloudletId;
 
     fn market() -> Market {
@@ -141,9 +142,9 @@ mod tests {
         let m = market();
         let p = Profile::all_remote(3);
         let b = cost_breakdown(&m, &p);
-        assert_eq!(b.congestion, 0.0);
-        assert_eq!(b.instantiation, 0.0);
-        assert_eq!(b.update, 0.0);
+        assert_approx_eq!(b.congestion, 0.0, 1e-12);
+        assert_approx_eq!(b.instantiation, 0.0, 1e-12);
+        assert_approx_eq!(b.update, 0.0, 1e-12);
         assert!((b.remote - 24.0).abs() < 1e-9);
     }
 
@@ -190,7 +191,7 @@ mod tests {
         let lb = load_balance(&m, &Profile::all_remote(3));
         assert_eq!(lb.used_cloudlets, 0);
         assert_eq!(lb.max_congestion, 0);
-        assert_eq!(lb.cached_fraction, 0.0);
-        assert_eq!(lb.jain_index, 1.0);
+        assert_approx_eq!(lb.cached_fraction, 0.0, 1e-12);
+        assert_approx_eq!(lb.jain_index, 1.0, 1e-12);
     }
 }

@@ -374,6 +374,20 @@ pub fn appro(market: &Market, config: &ApproConfig) -> Result<ApproSolution, Cor
         })
         .sum();
     let social_cost = profile.social_cost(market);
+    // Appro's output is feasible and correctly priced, but deliberately NOT
+    // an equilibrium — the Nash certificate only applies after dynamics.
+    #[cfg(feature = "verify")]
+    {
+        let mut cert = crate::verify::Certificate::new("appro solution");
+        cert.extend(crate::verify::check_capacity(market, &profile))
+            .extend(crate::verify::check_cost_reconstruction(
+                market,
+                &profile,
+                social_cost,
+                1e-9,
+            ));
+        cert.assert_valid();
+    }
     Ok(ApproSolution {
         profile,
         lp_lower_bound: st.lp_objective,

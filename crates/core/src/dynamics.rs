@@ -14,7 +14,7 @@
 //!   into the existing configuration; everyone then settles to a Nash
 //!   equilibrium (less churn, equilibrium-quality cost).
 
-use crate::error::CoreError;
+use crate::error::CacheError;
 use crate::game::{BestResponseDynamics, MoveOrder};
 use crate::lcf::{lcf, LcfConfig};
 use crate::model::{Market, ProviderId};
@@ -105,21 +105,36 @@ impl<'a> ChurnSimulation<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates [`CoreError`] from a full-LCF replan.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an arrival is already active or a departure is not active.
-    pub fn step(&mut self, event: &ChurnEvent) -> Result<StepReport, CoreError> {
+    /// Returns [`CacheError::NotActive`] if a departure names an inactive
+    /// provider and [`CacheError::AlreadyActive`] if an arrival names an
+    /// active one (departures are processed first, so a provider may depart
+    /// and re-arrive within one event). The event is validated before any
+    /// state changes, so on error the simulation is untouched. A full-LCF
+    /// replan propagates the mechanism's own [`CacheError`].
+    pub fn step(&mut self, event: &ChurnEvent) -> Result<StepReport, CacheError> {
+        // Dry-run the activation flips on a scratch copy so an invalid event
+        // (including duplicates within one list) leaves `self` unchanged.
+        let mut planned = self.active.clone();
+        for &l in &event.departures {
+            if !planned[l.index()] {
+                return Err(CacheError::NotActive { provider: l });
+            }
+            planned[l.index()] = false;
+        }
+        for &l in &event.arrivals {
+            if planned[l.index()] {
+                return Err(CacheError::AlreadyActive { provider: l });
+            }
+            planned[l.index()] = true;
+        }
+
         let before = self.state.profile().clone();
 
         for &l in &event.departures {
-            assert!(self.active[l.index()], "{l} is not active");
             self.active[l.index()] = false;
             self.state.apply_move(l, Placement::Remote);
         }
         for &l in &event.arrivals {
-            assert!(!self.active[l.index()], "{l} is already active");
             self.active[l.index()] = true;
             self.state.apply_move(l, Placement::Remote);
         }
@@ -193,6 +208,7 @@ impl<'a> ChurnSimulation<'a> {
 mod tests {
     use super::*;
     use crate::model::{CloudletSpec, ProviderSpec};
+    use mec_num::assert_approx_eq;
 
     fn market(n: usize) -> Market {
         let mut b = Market::builder()
@@ -331,13 +347,12 @@ mod tests {
                 departures: ids(0..4),
             })
             .unwrap();
-        assert_eq!(rep.social_cost, 0.0);
+        assert_approx_eq!(rep.social_cost, 0.0, 1e-12);
         assert_eq!(rep.cached, 0);
     }
 
     #[test]
-    #[should_panic(expected = "is already active")]
-    fn double_arrival_panics() {
+    fn double_arrival_is_a_typed_error() {
         let m = market(4);
         let mut sim = ChurnSimulation::new(&m, ReplanStrategy::Incremental, LcfConfig::new(0.5));
         sim.step(&ChurnEvent {
@@ -345,10 +360,58 @@ mod tests {
             departures: vec![],
         })
         .unwrap();
-        let _ = sim.step(&ChurnEvent {
-            arrivals: ids(0..1),
+        let before = sim.profile().clone();
+        let err = sim
+            .step(&ChurnEvent {
+                arrivals: ids(0..1),
+                departures: vec![],
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CacheError::AlreadyActive {
+                provider: ProviderId(0)
+            }
+        );
+        // A rejected event must not disturb the simulation.
+        assert_eq!(sim.profile(), &before);
+        assert_eq!(sim.active_providers().len(), 2);
+    }
+
+    #[test]
+    fn inactive_departure_is_a_typed_error() {
+        let m = market(4);
+        let mut sim = ChurnSimulation::new(&m, ReplanStrategy::Incremental, LcfConfig::new(0.5));
+        let err = sim
+            .step(&ChurnEvent {
+                arrivals: vec![],
+                departures: ids(3..4),
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CacheError::NotActive {
+                provider: ProviderId(3)
+            }
+        );
+    }
+
+    #[test]
+    fn depart_and_rearrive_in_one_event() {
+        let m = market(4);
+        let mut sim = ChurnSimulation::new(&m, ReplanStrategy::Incremental, LcfConfig::new(0.5));
+        sim.step(&ChurnEvent {
+            arrivals: ids(0..2),
             departures: vec![],
-        });
+        })
+        .unwrap();
+        // Departures apply before arrivals, so this is legal.
+        sim.step(&ChurnEvent {
+            arrivals: ids(0..1),
+            departures: ids(0..1),
+        })
+        .unwrap();
+        assert_eq!(sim.active_providers().len(), 2);
     }
 
     #[test]

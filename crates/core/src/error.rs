@@ -4,9 +4,14 @@ use mec_gap::GapError;
 
 use crate::model::ProviderId;
 
-/// Errors produced by the `Appro` / `LCF` mechanisms.
+/// Errors produced by the caching mechanisms (`Appro` / `LCF`) and the
+/// churn simulation.
+///
+/// Hot paths report failures through this type instead of panicking, so a
+/// caller embedding the mechanisms in a long-running service can degrade
+/// gracefully (e.g. keep the previous configuration when a replan fails).
 #[derive(Debug, Clone, PartialEq)]
-pub enum CoreError {
+pub enum CacheError {
     /// A provider fits in no cloudlet and may not stay remote.
     NoFeasiblePlacement {
         /// The stranded provider.
@@ -16,37 +21,57 @@ pub enum CoreError {
     Infeasible,
     /// The GAP substrate failed.
     Gap(GapError),
+    /// A churn arrival named a provider that is already active.
+    AlreadyActive {
+        /// The doubly-arriving provider.
+        provider: ProviderId,
+    },
+    /// A churn departure named a provider that is not active.
+    NotActive {
+        /// The absent provider.
+        provider: ProviderId,
+    },
 }
 
-impl std::fmt::Display for CoreError {
+/// Former name of [`CacheError`], kept so existing call sites and examples
+/// continue to compile.
+pub type CoreError = CacheError;
+
+impl std::fmt::Display for CacheError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CoreError::NoFeasiblePlacement { provider } => {
+            CacheError::NoFeasiblePlacement { provider } => {
                 write!(f, "provider {provider} has no feasible placement")
             }
-            CoreError::Infeasible => write!(f, "market cannot host every provider"),
-            CoreError::Gap(e) => write!(f, "GAP substrate failed: {e}"),
+            CacheError::Infeasible => write!(f, "market cannot host every provider"),
+            CacheError::Gap(e) => write!(f, "GAP substrate failed: {e}"),
+            CacheError::AlreadyActive { provider } => {
+                write!(f, "churn arrival: {provider} is already active")
+            }
+            CacheError::NotActive { provider } => {
+                write!(f, "churn departure: {provider} is not active")
+            }
         }
     }
 }
 
-impl std::error::Error for CoreError {
+impl std::error::Error for CacheError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CoreError::Gap(e) => Some(e),
+            CacheError::Gap(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<GapError> for CoreError {
+impl From<GapError> for CacheError {
     fn from(e: GapError) -> Self {
         match e {
-            GapError::ItemDoesNotFit { item } => CoreError::NoFeasiblePlacement {
+            GapError::ItemDoesNotFit { item } => CacheError::NoFeasiblePlacement {
                 provider: ProviderId(item),
             },
-            GapError::Infeasible => CoreError::Infeasible,
-            other => CoreError::Gap(other),
+            GapError::Infeasible => CacheError::Infeasible,
+            other => CacheError::Gap(other),
         }
     }
 }
@@ -57,23 +82,37 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = CoreError::NoFeasiblePlacement {
+        let e = CacheError::NoFeasiblePlacement {
             provider: ProviderId(3),
         };
         assert!(e.to_string().contains("sp3"));
-        assert!(CoreError::Infeasible.to_string().contains("market"));
+        assert!(CacheError::Infeasible.to_string().contains("market"));
+        let e = CacheError::AlreadyActive {
+            provider: ProviderId(1),
+        };
+        assert!(e.to_string().contains("already active"));
+        let e = CacheError::NotActive {
+            provider: ProviderId(2),
+        };
+        assert!(e.to_string().contains("not active"));
     }
 
     #[test]
     fn from_gap_error() {
-        let e: CoreError = GapError::ItemDoesNotFit { item: 2 }.into();
+        let e: CacheError = GapError::ItemDoesNotFit { item: 2 }.into();
         assert_eq!(
             e,
-            CoreError::NoFeasiblePlacement {
+            CacheError::NoFeasiblePlacement {
                 provider: ProviderId(2)
             }
         );
-        let e: CoreError = GapError::Infeasible.into();
-        assert_eq!(e, CoreError::Infeasible);
+        let e: CacheError = GapError::Infeasible.into();
+        assert_eq!(e, CacheError::Infeasible);
+    }
+
+    #[test]
+    fn core_error_alias_still_names_the_type() {
+        let e: CoreError = CacheError::Infeasible;
+        assert_eq!(e, CacheError::Infeasible);
     }
 }

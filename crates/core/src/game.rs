@@ -172,6 +172,26 @@ pub fn is_nash_state(state: &GameState<'_>, movable: &[bool]) -> bool {
     is_nash_with(state, movable, workers)
 }
 
+/// [`is_nash_state`] with an explicit worker count — test/bench hook for
+/// exercising the parallel fan-out regardless of market size.
+#[doc(hidden)]
+pub fn is_nash_state_workers(state: &GameState<'_>, movable: &[bool], workers: usize) -> bool {
+    assert_eq!(movable.len(), state.len(), "movable mask length mismatch");
+    is_nash_with(state, movable, workers)
+}
+
+/// [`scan_best_move`]'s merge with an explicit worker count — test/bench
+/// hook for exercising the parallel fan-out regardless of market size.
+#[doc(hidden)]
+pub fn scan_best_move_workers(
+    state: &GameState<'_>,
+    movable: &[bool],
+    workers: usize,
+) -> Option<(ProviderId, Placement, f64)> {
+    assert_eq!(movable.len(), state.len(), "movable mask length mismatch");
+    scan_best_move_with(state, movable, workers)
+}
+
 fn is_nash_with(state: &GameState<'_>, movable: &[bool], workers: usize) -> bool {
     let n = state.len();
     let check_range = |lo: usize, hi: usize| {
@@ -190,8 +210,11 @@ fn is_nash_with(state: &GameState<'_>, movable: &[bool], workers: usize) -> bool
             .collect();
         handles
             .into_iter()
+            // lint: allow(panics) — a worker panic is already fatal; joining
+            // re-raises it on the caller rather than deadlocking the scope.
             .all(|h| h.join().expect("nash verification worker panicked"))
     })
+    // lint: allow(panics) — propagate worker panics to the caller.
     .expect("nash verification scope panicked")
 }
 
@@ -248,9 +271,12 @@ fn scan_best_move_with(
             .collect();
         handles
             .into_iter()
+            // lint: allow(panics) — a worker panic is already fatal; joining
+            // re-raises it on the caller rather than deadlocking the scope.
             .map(|h| h.join().expect("max-gain scan worker panicked"))
             .collect::<Vec<_>>()
     })
+    // lint: allow(panics) — propagate worker panics to the caller.
     .expect("max-gain scan scope panicked");
     // Merging chunk partials in ascending id order with a strict `>` keeps
     // the earliest maximum — exactly what the sequential scan picks — so the
@@ -341,6 +367,23 @@ impl BestResponseDynamics {
     ///
     /// Panics if `movable.len() != state.len()`.
     pub fn run_state(&self, state: &mut GameState<'_>, movable: &[bool]) -> Convergence {
+        let convergence = self.run_state_inner(state, movable);
+        #[cfg(feature = "verify")]
+        if convergence.converged {
+            let mut cert = crate::verify::Certificate::new("best-response equilibrium");
+            cert.extend(crate::verify::check_state(state, 1e-6))
+                .extend(crate::verify::check_nash(
+                    state.market(),
+                    state.profile(),
+                    movable,
+                    IMPROVEMENT_TOL,
+                ));
+            cert.assert_valid();
+        }
+        convergence
+    }
+
+    fn run_state_inner(&self, state: &mut GameState<'_>, movable: &[bool]) -> Convergence {
         assert_eq!(movable.len(), state.len(), "movable mask length mismatch");
         let mut moves = 0;
         match self.order {

@@ -82,6 +82,7 @@ mod tests {
     use super::*;
     use crate::lcf::{lcf, LcfConfig};
     use crate::model::{CloudletSpec, ProviderSpec};
+    use mec_num::assert_approx_eq;
 
     fn market(n: usize) -> Market {
         let mut b = Market::builder()
@@ -118,7 +119,7 @@ mod tests {
         let out = lcf(&m, &LcfConfig::new(0.0)).unwrap();
         let rep = incentive_report(&m, &out).unwrap();
         assert!(rep.discounts.is_empty());
-        assert_eq!(rep.total_subsidy, 0.0);
+        assert_approx_eq!(rep.total_subsidy, 0.0, 1e-12);
         // Anarchy vs anarchy: no saving either.
         assert!(rep.coordination_saving < 1e-9);
     }

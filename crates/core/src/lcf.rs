@@ -144,8 +144,32 @@ pub fn lcf(market: &Market, config: &LcfConfig) -> Result<LcfOutcome, CoreError>
     let selfish = market.providers().filter(|l| movable[l.index()]);
     let selfish_cost = state.subset_cost(selfish);
 
+    let profile = state.into_profile();
+    #[cfg(feature = "verify")]
+    {
+        let mut cert = crate::verify::Certificate::new("lcf outcome");
+        cert.extend(crate::verify::check_capacity(market, &profile))
+            .extend(crate::verify::check_cost_reconstruction(
+                market,
+                &profile,
+                social_cost,
+                1e-9,
+            ));
+        if convergence.converged {
+            // The selfish subgame reached equilibrium: certify it from
+            // first principles, independent of the GameState machinery.
+            cert.extend(crate::verify::check_nash(
+                market,
+                &profile,
+                &movable,
+                crate::game::IMPROVEMENT_TOL,
+            ));
+        }
+        cert.assert_valid();
+    }
+
     Ok(LcfOutcome {
-        profile: state.into_profile(),
+        profile,
         appro: appro_sol,
         coordinated,
         convergence,
@@ -188,6 +212,7 @@ mod tests {
     use super::*;
     use crate::game::is_nash;
     use crate::model::{CloudletSpec, ProviderSpec};
+    use mec_num::assert_approx_eq;
 
     fn market(n: usize) -> Market {
         let mut b = Market::builder()
@@ -272,7 +297,7 @@ mod tests {
         let m = market(7);
         let out = lcf(&m, &LcfConfig::new(1.0)).unwrap();
         assert!((out.social_cost - out.appro.social_cost).abs() < 1e-9);
-        assert_eq!(out.selfish_cost, 0.0);
+        assert_approx_eq!(out.selfish_cost, 0.0, 1e-12);
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod opt;
 pub mod poa;
 pub mod state;
 pub mod strategy;
+pub mod verify;
 pub mod weighted;
 
 pub use analysis::{cost_breakdown, load_balance, CostBreakdown, LoadBalance};
@@ -71,7 +72,7 @@ pub use appro::{
 };
 pub use congestion::{CongestionModel, GeneralizedGame};
 pub use dynamics::{ChurnEvent, ChurnSimulation, ReplanStrategy, StepReport};
-pub use error::CoreError;
+pub use error::{CacheError, CoreError};
 pub use game::{
     best_response, is_nash, is_nash_state, BestResponseDynamics, Convergence, MoveOrder,
 };
@@ -82,4 +83,12 @@ pub use model::{CloudletSpec, Market, MarketBuilder, ProviderId, ProviderSpec};
 pub use poa::{best_poa_bound, estimate_poa, market_poa_bound, poa_bound, PoaEstimate};
 pub use state::GameState;
 pub use strategy::{Placement, Profile};
+pub use verify::{
+    check_capacity, check_congestion, check_cost_reconstruction, check_nash, check_state,
+    Certificate, Violation,
+};
 pub use weighted::WeightedGame;
+
+// Re-export the shared float-comparison helpers so downstream crates can
+// `use mec_core::{approx_eq, ...}` without depending on `mec-num` directly.
+pub use mec_num::{approx_eq, approx_ge, approx_le, approx_zero};

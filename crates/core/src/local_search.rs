@@ -151,6 +151,12 @@ pub fn social_local_search(
         }
     };
     *profile = state.into_profile();
+    #[cfg(feature = "verify")]
+    {
+        let mut cert = crate::verify::Certificate::new("local-search profile");
+        cert.extend(crate::verify::check_capacity(market, profile));
+        cert.assert_valid();
+    }
     result
 }
 

@@ -18,6 +18,7 @@
 //! serving from its remote data center at a congestion-free
 //! [`ProviderSpec::remote_cost`]; set that to `f64::INFINITY` to forbid it.
 
+use mec_num::approx_zero;
 use mec_topology::CloudletId;
 
 /// Identifier of a network service provider (dense index into the market).
@@ -238,7 +239,7 @@ impl Market {
     /// The paper's `δ = max_i C(CL_i)/a_max` (Lemma 2).
     pub fn delta(&self) -> f64 {
         let a_max = self.max_compute_demand();
-        if a_max == 0.0 {
+        if approx_zero(a_max, 0.0) {
             return 1.0;
         }
         self.cloudlets
@@ -276,7 +277,7 @@ impl Market {
     /// The paper's `κ = max_i B(CL_i)/b_max` (Lemma 2).
     pub fn kappa(&self) -> f64 {
         let b_max = self.max_bandwidth_demand();
-        if b_max == 0.0 {
+        if approx_zero(b_max, 0.0) {
             return 1.0;
         }
         self.cloudlets
@@ -376,6 +377,7 @@ impl MarketBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mec_num::assert_approx_eq;
 
     pub(crate) fn toy_market() -> Market {
         Market::builder()
@@ -393,9 +395,9 @@ mod tests {
         let m = toy_market();
         assert_eq!(m.cloudlet_count(), 2);
         assert_eq!(m.provider_count(), 3);
-        assert_eq!(m.cloudlet(CloudletId(0)).compute_capacity, 10.0);
-        assert_eq!(m.provider(ProviderId(1)).bandwidth_demand, 12.0);
-        assert_eq!(m.update_cost(ProviderId(2), CloudletId(1)), 0.4);
+        assert_approx_eq!(m.cloudlet(CloudletId(0)).compute_capacity, 10.0, 1e-12);
+        assert_approx_eq!(m.provider(ProviderId(1)).bandwidth_demand, 12.0, 1e-12);
+        assert_approx_eq!(m.update_cost(ProviderId(2), CloudletId(1)), 0.4, 0.0);
     }
 
     #[test]
@@ -427,8 +429,8 @@ mod tests {
     #[test]
     fn demand_maxima() {
         let m = toy_market();
-        assert_eq!(m.max_compute_demand(), 3.0);
-        assert_eq!(m.max_bandwidth_demand(), 12.0);
+        assert_approx_eq!(m.max_compute_demand(), 3.0, 1e-12);
+        assert_approx_eq!(m.max_bandwidth_demand(), 12.0, 1e-12);
     }
 
     #[test]

@@ -173,6 +173,7 @@ impl Profile {
 mod tests {
     use super::*;
     use crate::model::{CloudletSpec, ProviderSpec};
+    use mec_num::assert_approx_eq;
 
     fn market() -> Market {
         Market::builder()
@@ -236,7 +237,7 @@ mod tests {
         // sigma=2 at CL0: cost(p0) = 1.0*2 + 1.0 + 0.4 = 3.4
         assert!((p.provider_cost(&m, ProviderId(0)) - 3.4).abs() < 1e-12);
         // remote provider pays its remote cost
-        assert_eq!(p.provider_cost(&m, ProviderId(2)), 6.0);
+        assert_approx_eq!(p.provider_cost(&m, ProviderId(2)), 6.0, 0.0);
     }
 
     #[test]
@@ -269,7 +270,7 @@ mod tests {
         let m = market();
         let p = Profile::all_remote(3);
         assert!(p.is_feasible(&m));
-        assert_eq!(p.social_cost(&m), 10.0 + 12.0 + 6.0);
+        assert_approx_eq!(p.social_cost(&m), 10.0 + 12.0 + 6.0, 0.0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! reduced costs instead of Bellman–Ford — the difference between seconds
 //! and minutes on the paper's 400-node sweeps.
 
+use mec_num::approx_zero;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -169,7 +170,9 @@ impl MinCostFlow {
                 }
                 for &ai in &self.adj[u] {
                     let a = &self.arcs[ai];
-                    if a.cap - a.flow <= EPS {
+                    // Saturated arc: residual capacity within EPS of zero
+                    // (flow never exceeds cap, so this is a one-sided test).
+                    if approx_zero(a.cap - a.flow, EPS) {
                         continue;
                     }
                     let rc = a.cost + pi[u] - pi[a.to];
@@ -202,7 +205,7 @@ impl MinCostFlow {
                 push = push.min(a.cap - a.flow);
                 v = self.arcs[a.rev].to;
             }
-            if push <= EPS {
+            if approx_zero(push, EPS) {
                 break; // Degenerate path; cannot make progress.
             }
             // Apply, accumulating the true (unreduced) cost.
@@ -230,14 +233,15 @@ impl MinCostFlow {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mec_num::assert_approx_eq;
 
     #[test]
     fn single_path() {
         let mut f = MinCostFlow::new(2);
         f.add_edge(0, 1, 5.0, 2.0);
         let r = f.run(0, 1, 3.0);
-        assert_eq!(r.flow, 3.0);
-        assert_eq!(r.cost, 6.0);
+        assert_approx_eq!(r.flow, 3.0, 1e-12);
+        assert_approx_eq!(r.cost, 6.0, 1e-12);
     }
 
     #[test]
@@ -248,9 +252,9 @@ mod tests {
         let exp1 = f.add_edge(0, 2, 1.0, 5.0);
         f.add_edge(2, 3, 1.0, 5.0);
         let r = f.run(0, 3, 1.0);
-        assert_eq!(r.cost, 2.0);
-        assert_eq!(f.flow_on(cheap1), 1.0);
-        assert_eq!(f.flow_on(exp1), 0.0);
+        assert_approx_eq!(r.cost, 2.0, 1e-12);
+        assert_approx_eq!(f.flow_on(cheap1), 1.0, 1e-12);
+        assert_approx_eq!(f.flow_on(exp1), 0.0, 1e-12);
     }
 
     #[test]
@@ -261,8 +265,8 @@ mod tests {
         f.add_edge(0, 2, 1.0, 5.0);
         f.add_edge(2, 3, 1.0, 5.0);
         let r = f.run(0, 3, 2.0);
-        assert_eq!(r.flow, 2.0);
-        assert_eq!(r.cost, 12.0);
+        assert_approx_eq!(r.flow, 2.0, 1e-12);
+        assert_approx_eq!(r.cost, 12.0, 1e-12);
     }
 
     #[test]
@@ -270,7 +274,7 @@ mod tests {
         let mut f = MinCostFlow::new(2);
         f.add_edge(0, 1, 1.0, 1.0);
         let r = f.run(0, 1, 5.0);
-        assert_eq!(r.flow, 1.0);
+        assert_approx_eq!(r.flow, 1.0, 1e-12);
     }
 
     #[test]
@@ -285,7 +289,7 @@ mod tests {
         f.add_edge(b, t, 1.0, 1.0);
         f.add_edge(a, b, 1.0, 0.0);
         let r = f.run(s, t, 2.0);
-        assert_eq!(r.flow, 2.0);
+        assert_approx_eq!(r.flow, 2.0, 1e-12);
         assert!((r.cost - 22.0).abs() < 1e-9);
     }
 
@@ -305,8 +309,8 @@ mod tests {
         let mut f = MinCostFlow::new(3);
         f.add_edge(0, 1, 1.0, 1.0);
         let r = f.run(0, 2, 1.0);
-        assert_eq!(r.flow, 0.0);
-        assert_eq!(r.cost, 0.0);
+        assert_approx_eq!(r.flow, 0.0, 1e-12);
+        assert_approx_eq!(r.cost, 0.0, 1e-12);
     }
 
     #[test]

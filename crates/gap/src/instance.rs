@@ -254,6 +254,7 @@ impl fmt::Display for Assignment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mec_num::assert_approx_eq;
 
     fn small() -> GapInstance {
         let mut inst = GapInstance::new(3, 2);
@@ -271,16 +272,16 @@ mod tests {
         let inst = small();
         assert_eq!(inst.items(), 3);
         assert_eq!(inst.bins(), 2);
-        assert_eq!(inst.cost(0, 1), 4.0);
-        assert_eq!(inst.weight(2, 0), 1.0);
-        assert_eq!(inst.capacity(1), 2.0);
+        assert_approx_eq!(inst.cost(0, 1), 4.0, 0.0);
+        assert_approx_eq!(inst.weight(2, 0), 1.0, 0.0);
+        assert_approx_eq!(inst.capacity(1), 2.0, 1e-12);
     }
 
     #[test]
     fn assignment_cost_and_loads() {
         let inst = small();
         let a = Assignment::new(vec![0, 1, 1]);
-        assert_eq!(a.total_cost(&inst), 1.0 + 1.0 + 2.0);
+        assert_approx_eq!(a.total_cost(&inst), 1.0 + 1.0 + 2.0, 0.0);
         assert_eq!(a.loads(&inst), vec![1.0, 2.0]);
         assert!(a.is_capacity_feasible(&inst));
     }
@@ -304,16 +305,16 @@ mod tests {
     #[test]
     fn relaxed_lower_bound_sums_row_minima() {
         let inst = small();
-        assert_eq!(inst.relaxed_lower_bound(), 1.0 + 1.0 + 2.0);
+        assert_approx_eq!(inst.relaxed_lower_bound(), 1.0 + 1.0 + 2.0, 0.0);
     }
 
     #[test]
     fn item_weight_setter() {
         let mut inst = small();
         inst.set_item_weight(1, 5.0);
-        assert_eq!(inst.weight(1, 0), 5.0);
-        assert_eq!(inst.weight(1, 1), 5.0);
-        assert_eq!(inst.weight(0, 0), 1.0);
+        assert_approx_eq!(inst.weight(1, 0), 5.0, 0.0);
+        assert_approx_eq!(inst.weight(1, 1), 5.0, 0.0);
+        assert_approx_eq!(inst.weight(0, 0), 1.0, 0.0);
     }
 
     #[test]

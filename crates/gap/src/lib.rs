@@ -39,8 +39,10 @@ pub mod instance;
 pub mod lp_relax;
 pub mod shmoys_tardos;
 pub mod swap;
+pub mod verify;
 
 pub use instance::{Assignment, GapInstance, FORBIDDEN};
 pub use lp_relax::{capacity_shadow_prices, FractionalSolution, GapError};
 pub use shmoys_tardos::StSolution;
 pub use swap::{improve, SwapResult};
+pub use verify::{check_assignment, GapViolation};

@@ -151,6 +151,19 @@ pub fn solve(inst: &GapInstance) -> Result<StSolution, GapError> {
     let frac = solve_relaxation(inst)?;
     let assignment = round(inst, &frac)?;
     let assignment_cost = assignment.total_cost(inst);
+    #[cfg(feature = "verify")]
+    {
+        let violations = crate::verify::check_assignment(inst, &assignment, 1e-9);
+        assert!(
+            violations.is_empty(),
+            "Shmoys-Tardos self-certification failed:\n{}",
+            violations
+                .iter()
+                .map(|v| format!("  - {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
     Ok(StSolution {
         assignment,
         lp_objective: frac.objective,

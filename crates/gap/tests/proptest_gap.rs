@@ -4,9 +4,10 @@
 //! * the Shmoys–Tardos assignment costs no more than the LP optimum;
 //! * the LP optimum lower-bounds the exact integral optimum;
 //! * rounding never overflows a bin by more than the largest item weight;
-//! * the transportation fast path agrees with the general LP relaxation.
+//! * the transportation fast path agrees with the general LP relaxation;
+//! * the `verify::check_assignment` certifier accepts every rounded output.
 
-use mec_gap::{exact, greedy, lp_relax, shmoys_tardos, GapInstance};
+use mec_gap::{check_assignment, exact, greedy, lp_relax, shmoys_tardos, GapInstance};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -97,6 +98,17 @@ proptest! {
             let opt = exact::solve(&inst).unwrap();
             prop_assert!(a.total_cost(&inst) >= opt.total_cost(&inst) - 1e-9);
         }
+    }
+
+    /// The independent validity certifier (`verify::check_assignment`)
+    /// accepts every Shmoys–Tardos output: in-range bins, no forbidden
+    /// pairs, loads within the augmented capacities.
+    #[test]
+    fn st_output_passes_validity_certificate(r in rand_inst()) {
+        let inst = build(&r);
+        let sol = shmoys_tardos::solve(&inst).unwrap();
+        let violations = check_assignment(&inst, &sol.assignment, 1e-9);
+        prop_assert!(violations.is_empty(), "certifier rejected ST output: {violations:?}");
     }
 
     #[test]

@@ -31,5 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod simplex;
+pub mod verify;
 
 pub use simplex::{LpBuilder, LpError, LpSolution, Relation};
+pub use verify::{check_solution, LpViolation};

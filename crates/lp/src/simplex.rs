@@ -4,6 +4,7 @@
 //! iteration budget, so cycling cannot occur. All numerics use absolute
 //! tolerances scaled to the problem data.
 
+use mec_num::approx_zero;
 use std::fmt;
 
 /// Relation of a linear constraint row.
@@ -104,6 +105,23 @@ impl LpBuilder {
         self.rows.len()
     }
 
+    /// Coefficients, relation and right-hand side of constraint row `i`
+    /// (insertion order). Used by [`crate::verify`] to re-check solutions
+    /// from first principles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= constraint_count()`.
+    pub fn constraint_row(&self, i: usize) -> (&[f64], Relation, f64) {
+        let r = &self.rows[i];
+        (&r.coeffs, r.rel, r.rhs)
+    }
+
+    /// The objective coefficients (zeros until [`LpBuilder::objective`]).
+    pub fn objective_coeffs(&self) -> &[f64] {
+        &self.c
+    }
+
     /// Sets the objective coefficients (minimization).
     ///
     /// # Errors
@@ -148,13 +166,31 @@ impl LpBuilder {
 
     /// Solves the LP with the two-phase primal simplex.
     ///
+    /// With the `verify` cargo feature enabled, the solution is re-checked
+    /// against the original problem data ([`crate::verify::check_solution`])
+    /// before being returned; a violation panics with a full report.
+    ///
     /// # Errors
     ///
     /// * [`LpError::Infeasible`] — no point satisfies all constraints.
     /// * [`LpError::Unbounded`] — the objective decreases without bound.
     /// * [`LpError::IterationLimit`] — the pivot budget was exhausted.
     pub fn solve(&self) -> Result<LpSolution, LpError> {
-        Tableau::build(self).solve(&self.c, self.n)
+        let sol = Tableau::build(self).solve(&self.c, self.n)?;
+        #[cfg(feature = "verify")]
+        {
+            let violations = crate::verify::check_solution(self, &sol, 1e-6);
+            assert!(
+                violations.is_empty(),
+                "simplex self-certification failed:\n{}",
+                violations
+                    .iter()
+                    .map(|v| format!("  - {v}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+        Ok(sol)
     }
 }
 
@@ -301,7 +337,7 @@ impl Tableau {
                 let mut rj = cost[j];
                 for i in 0..self.m {
                     let cb = cost[self.basis[i]];
-                    if cb != 0.0 {
+                    if !approx_zero(cb, 0.0) {
                         rj -= cb * self.at(i, j);
                     }
                 }
@@ -395,7 +431,7 @@ impl Tableau {
             let mut r = cost2[col];
             for i in 0..self.m {
                 let cb = cost2[self.basis[i]];
-                if cb != 0.0 {
+                if !approx_zero(cb, 0.0) {
                     r -= cb * self.at(i, col);
                 }
             }

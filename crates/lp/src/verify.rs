@@ -1,0 +1,267 @@
+//! First-principles verification of simplex solutions.
+//!
+//! [`check_solution`] re-evaluates an [`LpSolution`] against the original
+//! [`LpBuilder`] data — it shares **no** code with the tableau machinery, so
+//! a pivoting bug cannot hide from it. It certifies:
+//!
+//! * every structural variable is non-negative,
+//! * every constraint row holds within tolerance (primal feasibility),
+//! * the reported objective equals `c · x`,
+//! * the duality gap `|c · x − b · y|` is bounded (strong duality holds at
+//!   a true optimum, so a large gap means the solver stopped early or the
+//!   duals are wrong).
+//!
+//! With the `verify` cargo feature enabled, [`LpBuilder::solve`] runs these
+//! checks on every solution before returning it and panics with a full
+//! report on any violation.
+
+use crate::simplex::{LpBuilder, LpSolution, Relation};
+use mec_num::{approx_eq, approx_ge, approx_le};
+
+/// A single broken invariant found in an [`LpSolution`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpViolation {
+    /// A structural variable is negative beyond tolerance.
+    NegativeVariable {
+        /// Variable index.
+        index: usize,
+        /// Its value.
+        value: f64,
+    },
+    /// A constraint row is violated.
+    PrimalInfeasible {
+        /// Constraint row index (insertion order).
+        row: usize,
+        /// `A_i · x` as recomputed.
+        lhs: f64,
+        /// The row's right-hand side.
+        rhs: f64,
+        /// How far past the relation the row is.
+        violation: f64,
+    },
+    /// The reported objective does not equal `c · x`.
+    ObjectiveMismatch {
+        /// Objective reported by the solver.
+        reported: f64,
+        /// `c · x` recomputed from the solution vector.
+        recomputed: f64,
+    },
+    /// `|c · x − b · y|` exceeds the allowed duality gap.
+    DualityGap {
+        /// Primal objective `c · x`.
+        primal: f64,
+        /// Dual objective `b · y`.
+        dual: f64,
+        /// `|primal − dual|`.
+        gap: f64,
+    },
+}
+
+impl std::fmt::Display for LpViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpViolation::NegativeVariable { index, value } => {
+                write!(f, "variable x[{index}] = {value} is negative")
+            }
+            LpViolation::PrimalInfeasible {
+                row,
+                lhs,
+                rhs,
+                violation,
+            } => write!(
+                f,
+                "constraint row {row} violated by {violation} (lhs {lhs}, rhs {rhs})"
+            ),
+            LpViolation::ObjectiveMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "objective mismatch: solver reported {reported}, c·x is {recomputed}"
+            ),
+            LpViolation::DualityGap { primal, dual, gap } => write!(
+                f,
+                "duality gap {gap} (primal {primal}, dual {dual}) exceeds tolerance"
+            ),
+        }
+    }
+}
+
+/// Checks `sol` against `lp` from first principles; returns every violation
+/// found (empty = certified).
+///
+/// `tol` is the absolute feasibility tolerance per row/variable; objective
+/// and duality-gap comparisons additionally scale it by the objective's
+/// magnitude so large instances are not flagged for benign round-off.
+///
+/// # Panics
+///
+/// Panics if `sol.x` or `sol.duals` do not match the builder's dimensions
+/// (that is a caller bug, not a numerical violation).
+pub fn check_solution(lp: &LpBuilder, sol: &LpSolution, tol: f64) -> Vec<LpViolation> {
+    assert_eq!(sol.x.len(), lp.var_count(), "solution/variable mismatch");
+    assert_eq!(
+        sol.duals.len(),
+        lp.constraint_count(),
+        "dual/constraint mismatch"
+    );
+    let mut out = Vec::new();
+
+    for (index, &value) in sol.x.iter().enumerate() {
+        if !approx_ge(value, 0.0, tol) {
+            out.push(LpViolation::NegativeVariable { index, value });
+        }
+    }
+
+    let mut dual_obj = 0.0;
+    for row in 0..lp.constraint_count() {
+        let (coeffs, rel, rhs) = lp.constraint_row(row);
+        let lhs: f64 = coeffs.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
+        // Row-scaled tolerance: a row with large coefficients accumulates
+        // proportionally more round-off.
+        let scale = 1.0 + rhs.abs() + coeffs.iter().map(|a| a.abs()).fold(0.0, f64::max);
+        let row_tol = tol * scale;
+        let violation = match rel {
+            Relation::Le => (lhs - rhs).max(0.0),
+            Relation::Ge => (rhs - lhs).max(0.0),
+            Relation::Eq => (lhs - rhs).abs(),
+        };
+        let ok = match rel {
+            Relation::Le => approx_le(lhs, rhs, row_tol),
+            Relation::Ge => approx_ge(lhs, rhs, row_tol),
+            Relation::Eq => approx_eq(lhs, rhs, row_tol),
+        };
+        if !ok {
+            out.push(LpViolation::PrimalInfeasible {
+                row,
+                lhs,
+                rhs,
+                violation,
+            });
+        }
+        dual_obj += rhs * sol.duals[row];
+    }
+
+    let recomputed: f64 = lp
+        .objective_coeffs()
+        .iter()
+        .zip(&sol.x)
+        .map(|(c, x)| c * x)
+        .sum();
+    let obj_tol = tol * (1.0 + recomputed.abs());
+    if !approx_eq(sol.objective, recomputed, obj_tol) {
+        out.push(LpViolation::ObjectiveMismatch {
+            reported: sol.objective,
+            recomputed,
+        });
+    }
+
+    let gap = (recomputed - dual_obj).abs();
+    // Strong duality is exact in theory; allow round-off proportional to the
+    // magnitudes involved.
+    let gap_tol = tol * (1.0 + recomputed.abs() + dual_obj.abs()) * 10.0;
+    if gap > gap_tol {
+        out.push(LpViolation::DualityGap {
+            primal: recomputed,
+            dual: dual_obj,
+            gap,
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_lp() -> LpBuilder {
+        // minimize -x - 2y  s.t.  x + y <= 4,  y <= 3
+        let mut lp = LpBuilder::new(2);
+        lp.objective(&[-1.0, -2.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Le, 4.0);
+        lp.constraint(&[0.0, 1.0], Relation::Le, 3.0);
+        lp
+    }
+
+    #[test]
+    fn optimal_solution_certifies_clean() {
+        let lp = sample_lp();
+        let sol = lp.solve().unwrap();
+        assert_eq!(check_solution(&lp, &sol, 1e-7), vec![]);
+    }
+
+    #[test]
+    fn detects_negative_variable() {
+        let lp = sample_lp();
+        let mut sol = lp.solve().unwrap();
+        sol.x[0] = -0.5;
+        let v = check_solution(&lp, &sol, 1e-7);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, LpViolation::NegativeVariable { index: 0, .. })));
+    }
+
+    #[test]
+    fn detects_primal_infeasibility() {
+        let lp = sample_lp();
+        let mut sol = lp.solve().unwrap();
+        sol.x = vec![10.0, 10.0]; // breaks both rows
+        let v = check_solution(&lp, &sol, 1e-7);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, LpViolation::PrimalInfeasible { row: 0, .. })));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, LpViolation::PrimalInfeasible { row: 1, .. })));
+    }
+
+    #[test]
+    fn detects_objective_mismatch() {
+        let lp = sample_lp();
+        let mut sol = lp.solve().unwrap();
+        sol.objective += 1.0;
+        let v = check_solution(&lp, &sol, 1e-7);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, LpViolation::ObjectiveMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_duality_gap() {
+        let lp = sample_lp();
+        let mut sol = lp.solve().unwrap();
+        sol.duals = vec![5.0, 5.0]; // bogus shadow prices
+        let v = check_solution(&lp, &sol, 1e-7);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, LpViolation::DualityGap { .. })));
+    }
+
+    #[test]
+    fn equality_and_ge_rows_checked() {
+        // minimize x + y  s.t.  x + y = 2,  x >= 0.5
+        let mut lp = LpBuilder::new(2);
+        lp.objective(&[1.0, 1.0]);
+        lp.constraint(&[1.0, 1.0], Relation::Eq, 2.0);
+        lp.constraint(&[1.0, 0.0], Relation::Ge, 0.5);
+        let sol = lp.solve().unwrap();
+        assert_eq!(check_solution(&lp, &sol, 1e-7), vec![]);
+        let mut bad = sol.clone();
+        bad.x = vec![0.0, 0.0];
+        let v = check_solution(&lp, &bad, 1e-7);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, LpViolation::PrimalInfeasible { .. })));
+    }
+
+    #[test]
+    fn violations_render() {
+        let lp = sample_lp();
+        let mut sol = lp.solve().unwrap();
+        sol.x[1] = -1.0;
+        for v in check_solution(&lp, &sol, 1e-7) {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

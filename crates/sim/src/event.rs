@@ -121,6 +121,7 @@ impl<T> EventQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mec_num::assert_approx_eq;
 
     #[test]
     fn orders_by_time() {
@@ -148,9 +149,9 @@ mod tests {
     fn clock_advances() {
         let mut q = EventQueue::new();
         q.schedule(5.0, ());
-        assert_eq!(q.now(), 0.0);
+        assert_approx_eq!(q.now(), 0.0, 1e-12);
         q.pop();
-        assert_eq!(q.now(), 5.0);
+        assert_approx_eq!(q.now(), 5.0, 1e-12);
     }
 
     #[test]

@@ -106,6 +106,7 @@ pub fn replicate(
 mod tests {
     use super::*;
     use crate::simulator::nearest_cloudlet_profile;
+    use mec_num::assert_approx_eq;
     use mec_workload::{gtitm_scenario, Params};
 
     #[test]
@@ -121,9 +122,9 @@ mod tests {
     #[test]
     fn single_sample_has_zero_spread() {
         let s = Summary::of(&[5.0]);
-        assert_eq!(s.std_dev, 0.0);
-        assert_eq!(s.ci95_low, 5.0);
-        assert_eq!(s.ci95_high, 5.0);
+        assert_approx_eq!(s.std_dev, 0.0, 1e-12);
+        assert_approx_eq!(s.ci95_low, 5.0, 1e-12);
+        assert_approx_eq!(s.ci95_high, 5.0, 1e-12);
     }
 
     #[test]

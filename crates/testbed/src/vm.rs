@@ -115,6 +115,7 @@ mod tests {
     use super::*;
     use crate::controller::{ControllerApp, LcfApp};
     use mec_core::lcf::LcfConfig;
+    use mec_num::assert_approx_eq;
     use mec_workload::{as1755_scenario, Params};
 
     fn setup() -> (Scenario, Overlay, Underlay, Profile) {
@@ -177,6 +178,6 @@ mod tests {
         let p = Profile::all_remote(s.generated.market.provider_count());
         let d = deploy(&s, &o, &u, &p);
         assert_eq!(d.vm_count(), 0);
-        assert_eq!(d.max_oversubscription(), 0.0);
+        assert_approx_eq!(d.max_oversubscription(), 0.0, 1e-12);
     }
 }

@@ -231,6 +231,7 @@ pub fn generate(config: &GtItmConfig) -> Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mec_num::{approx_eq, assert_approx_eq};
 
     #[test]
     fn hits_target_size() {
@@ -257,7 +258,8 @@ mod tests {
         for (ea, eb) in a.graph.edges().zip(b.graph.edges()) {
             assert_eq!(ea.a, eb.a);
             assert_eq!(ea.b, eb.b);
-            assert_eq!(ea.weight, eb.weight);
+            // Same seed, same arithmetic: weights must match exactly.
+            assert_approx_eq!(ea.weight, eb.weight, 0.0);
         }
     }
 
@@ -270,7 +272,7 @@ mod tests {
             && a.graph
                 .edges()
                 .zip(b.graph.edges())
-                .all(|(x, y)| x.a == y.a && x.b == y.b && x.weight == y.weight);
+                .all(|(x, y)| x.a == y.a && x.b == y.b && approx_eq(x.weight, y.weight, 0.0));
         assert!(!same);
     }
 

@@ -188,6 +188,7 @@ impl DistanceMatrix {
 mod tests {
     use super::*;
     use crate::graph::Graph;
+    use mec_num::assert_approx_eq;
 
     fn line(n: usize) -> Graph {
         let mut g = Graph::with_nodes(n);
@@ -214,7 +215,7 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(2), 1.0);
         g.add_edge(NodeId(2), NodeId(1), 1.0);
         let sp = dijkstra(&g, NodeId(0));
-        assert_eq!(sp.distance(NodeId(1)), 2.0);
+        assert_approx_eq!(sp.distance(NodeId(1)), 2.0, 1e-12);
         assert_eq!(
             sp.path(NodeId(1)).unwrap(),
             vec![NodeId(0), NodeId(2), NodeId(1)]
@@ -235,7 +236,7 @@ mod tests {
     fn source_distance_zero() {
         let g = line(3);
         let sp = dijkstra(&g, NodeId(1));
-        assert_eq!(sp.distance(NodeId(1)), 0.0);
+        assert_approx_eq!(sp.distance(NodeId(1)), 0.0, 1e-12);
         assert_eq!(sp.path(NodeId(1)).unwrap(), vec![NodeId(1)]);
         assert_eq!(sp.source(), NodeId(1));
     }

@@ -126,6 +126,7 @@ mod tests {
     use crate::gtitm::{generate as gen_ts, GtItmConfig};
     use crate::waxman::{generate as gen_wax, WaxmanConfig};
     use crate::zoo::as1755;
+    use mec_num::assert_approx_eq;
 
     #[test]
     fn complete_graph_stats() {
@@ -141,7 +142,7 @@ mod tests {
         assert!((s.density - 1.0).abs() < 1e-12);
         assert!((s.clustering - 1.0).abs() < 1e-12);
         assert!((s.mean_path_length - 1.0).abs() < 1e-12);
-        assert_eq!(s.diameter, 1.0);
+        assert_approx_eq!(s.diameter, 1.0, 1e-12);
     }
 
     #[test]
@@ -151,7 +152,7 @@ mod tests {
             g.add_edge(NodeId(0), NodeId(i), 1.0);
         }
         let s = graph_stats(&g);
-        assert_eq!(s.clustering, 0.0);
+        assert_approx_eq!(s.clustering, 0.0, 1e-12);
         assert_eq!(s.max_degree, 4);
         assert_eq!(s.min_degree, 1);
     }

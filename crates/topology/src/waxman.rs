@@ -128,6 +128,7 @@ fn latency_ms(d: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mec_num::approx_eq;
 
     #[test]
     fn generates_requested_size_connected() {
@@ -143,6 +144,11 @@ mod tests {
         let a = generate(&WaxmanConfig::for_size(60, 9));
         let b = generate(&WaxmanConfig::for_size(60, 9));
         assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        for (ea, eb) in a.graph.edges().zip(b.graph.edges()) {
+            assert_eq!((ea.a, ea.b), (eb.a, eb.b));
+            // Same seed, same arithmetic: latencies must match exactly.
+            assert!(approx_eq(ea.weight, eb.weight, 0.0));
+        }
     }
 
     #[test]

@@ -171,6 +171,7 @@ impl Params {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mec_num::assert_approx_eq;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -183,7 +184,7 @@ mod tests {
         assert_eq!(p.proc_cost_per_gb, Range::new(0.15, 0.22));
         assert_eq!(p.traffic_per_request_mb, Range::new(10.0, 200.0));
         assert_eq!(p.service_data_gb, Range::new(1.0, 5.0));
-        assert_eq!(p.update_ratio, 0.10);
+        assert_approx_eq!(p.update_ratio, 0.10, 1e-12);
     }
 
     #[test]
@@ -200,8 +201,8 @@ mod tests {
     fn degenerate_range_returns_constant() {
         let r = Range::new(3.0, 3.0);
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(r.sample(&mut rng), 3.0);
-        assert_eq!(r.mid(), 3.0);
+        assert_approx_eq!(r.sample(&mut rng), 3.0, 1e-12);
+        assert_approx_eq!(r.mid(), 3.0, 1e-12);
     }
 
     #[test]
@@ -209,9 +210,9 @@ mod tests {
         let p = Params::paper().with_providers(50);
         assert_eq!(p.providers, 50);
         let p = p.with_update_ratio(0.4);
-        assert_eq!(p.update_ratio, 0.4);
+        assert_approx_eq!(p.update_ratio, 0.4, 1e-12);
         let p = p.with_max_service_vms(8.0);
-        assert_eq!(p.service_vms.hi, 8.0);
+        assert_approx_eq!(p.service_vms.hi, 8.0, 1e-12);
         let p = p.with_bandwidth_scale(2.0);
         assert!((p.bandwidth_per_request_mbps.lo - 0.4).abs() < 1e-12);
     }

@@ -1,0 +1,157 @@
+//! `verify-run` — replay the paper's pipeline under the invariant checkers.
+//!
+//! ```text
+//! verify-run [size] [providers] [seed]
+//! ```
+//!
+//! Builds a GT-ITM scenario (default 250 switches, 100 providers, seed 42),
+//! runs every algorithm entry point — `appro`, `lcf`, the best-response
+//! dynamics from all-remote, and the social local search — and certifies
+//! each output with the `mec_core::verify` checkers: capacity (Eq. 4–5),
+//! congestion recount, Eq. 1–3 cost reconstruction, and the exhaustive Nash
+//! certificate. Prints one certificate per stage and exits non-zero if any
+//! violation is found.
+//!
+//! The checkers run unconditionally here; compile with
+//! `--features verify` to additionally arm the in-algorithm
+//! self-certification hooks (including the GAP and LP layers underneath).
+
+use mec_core::appro::{appro, ApproConfig};
+use mec_core::game::{BestResponseDynamics, MoveOrder, IMPROVEMENT_TOL};
+use mec_core::lcf::{lcf, LcfConfig};
+use mec_core::verify::{
+    check_capacity, check_congestion, check_cost_reconstruction, check_nash, Certificate,
+};
+use mec_core::{social_local_search, Market, Profile};
+use mec_workload::{gtitm_scenario, Params};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: verify-run [size] [providers] [seed]";
+    let size = parse_arg(&args, 0, 250, usage);
+    let providers = parse_arg(&args, 1, 100, usage);
+    let seed = parse_arg(&args, 2, 42, usage);
+
+    let params = Params {
+        providers,
+        ..Params::default()
+    };
+    let scenario = gtitm_scenario(size, &params, seed as u64);
+    let market = &scenario.generated.market;
+    println!(
+        "scenario {}: {} cloudlets, {} providers (seed {seed})",
+        scenario.label,
+        market.cloudlet_count(),
+        market.provider_count()
+    );
+
+    let mut failed = false;
+    failed |= !certify_appro(market);
+    failed |= !certify_lcf(market);
+    failed |= !certify_dynamics(market);
+    failed |= !certify_local_search(market);
+
+    if failed {
+        eprintln!("verify-run: FAILED — at least one certificate has violations");
+        std::process::exit(1);
+    }
+    println!("verify-run: all certificates valid");
+}
+
+fn parse_arg(args: &[String], idx: usize, default: usize, usage: &str) -> usize {
+    match args.get(idx) {
+        None => default,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            // lint: allow(panics) — CLI argument error, not a library path.
+            eprintln!("verify-run: bad argument `{s}`\n{usage}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn report(cert: &Certificate) -> bool {
+    println!("{cert}");
+    cert.is_valid()
+}
+
+fn certify_appro(market: &Market) -> bool {
+    match appro(market, &ApproConfig::default()) {
+        Ok(sol) => {
+            let mut cert = Certificate::new("appro");
+            cert.extend(check_capacity(market, &sol.profile))
+                .extend(check_congestion(
+                    market,
+                    &sol.profile,
+                    &sol.profile.congestion(market),
+                ))
+                .extend(check_cost_reconstruction(
+                    market,
+                    &sol.profile,
+                    sol.social_cost,
+                    1e-9,
+                ));
+            report(&cert)
+        }
+        Err(e) => {
+            eprintln!("appro failed: {e}");
+            false
+        }
+    }
+}
+
+fn certify_lcf(market: &Market) -> bool {
+    match lcf(market, &LcfConfig::new(0.7)) {
+        Ok(out) => {
+            let mut movable = vec![true; market.provider_count()];
+            for l in &out.coordinated {
+                movable[l.index()] = false;
+            }
+            let mut cert = Certificate::new("lcf");
+            cert.extend(check_capacity(market, &out.profile))
+                .extend(check_cost_reconstruction(
+                    market,
+                    &out.profile,
+                    out.social_cost,
+                    1e-9,
+                ));
+            if out.convergence.converged {
+                cert.extend(check_nash(market, &out.profile, &movable, IMPROVEMENT_TOL));
+            }
+            report(&cert)
+        }
+        Err(e) => {
+            eprintln!("lcf failed: {e}");
+            false
+        }
+    }
+}
+
+fn certify_dynamics(market: &Market) -> bool {
+    let movable = vec![true; market.provider_count()];
+    let mut profile = Profile::all_remote(market.provider_count());
+    let conv = BestResponseDynamics::new(MoveOrder::RoundRobin).run(market, &mut profile, &movable);
+    let mut cert = Certificate::new("best-response dynamics");
+    cert.extend(check_capacity(market, &profile));
+    if conv.converged {
+        cert.extend(check_nash(market, &profile, &movable, IMPROVEMENT_TOL));
+    } else {
+        eprintln!("dynamics did not converge within the round budget");
+    }
+    report(&cert) && conv.converged
+}
+
+fn certify_local_search(market: &Market) -> bool {
+    let movable = vec![true; market.provider_count()];
+    let mut profile = Profile::all_remote(market.provider_count());
+    let before = profile.social_cost(market);
+    let n = market.provider_count();
+    social_local_search(market, &mut profile, &movable, 10 * n);
+    let after = profile.social_cost(market);
+    let mut cert = Certificate::new("social local search");
+    cert.extend(check_capacity(market, &profile));
+    if after > before + 1e-9 {
+        eprintln!("local search increased social cost: {before} -> {after}");
+        return false;
+    }
+    report(&cert)
+}

@@ -6,7 +6,7 @@ use mec_core::incentives::incentive_report;
 use mec_core::lcf::{lcf, LcfConfig};
 use mec_core::model::{CloudletSpec, Market, ProviderSpec};
 use mec_core::weighted::WeightedGame;
-use mec_core::{Profile, ProviderId};
+use mec_core::{approx_zero, Profile, ProviderId};
 use mec_gap::{greedy, swap, GapInstance};
 use proptest::prelude::*;
 
@@ -112,7 +112,7 @@ proptest! {
         let rep = incentive_report(&m, &out).unwrap();
         for (_, current, deviation, discount) in &rep.discounts {
             prop_assert!(*discount >= -1e-12);
-            prop_assert!(*deviation <= *current + 1e-9 || *discount == 0.0);
+            prop_assert!(*deviation <= *current + 1e-9 || approx_zero(*discount, 0.0));
         }
         prop_assert!(rep.total_subsidy >= 0.0);
         prop_assert!(rep.coordination_saving >= 0.0);

@@ -1,0 +1,151 @@
+//! Property tests for the verification layer.
+//!
+//! The checkers in `mec_core::verify` recompute every invariant from first
+//! principles, sharing no code with the algorithms they certify — so their
+//! verdicts can be tested *differentially* against the independent
+//! implementations:
+//!
+//! * the exhaustive Nash certificate agrees with `is_nash` (which runs on
+//!   the incremental `GameState`) on arbitrary markets and profiles;
+//! * converged best-response dynamics always earn an empty certificate;
+//! * capacity certification agrees with `Profile::is_feasible`;
+//! * cost reconstruction accepts the true social cost and rejects
+//!   perturbations.
+
+use mec_core::game::{is_nash, BestResponseDynamics, MoveOrder, IMPROVEMENT_TOL};
+use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+use mec_core::state::GameState;
+use mec_core::verify::{check_capacity, check_cost_reconstruction, check_nash, check_state};
+use mec_core::{Placement, Profile, ProviderId};
+use mec_topology::CloudletId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandMarket {
+    cloudlets: Vec<(f64, f64, f64, f64)>,
+    providers: Vec<(f64, f64, f64, f64)>,
+    update: f64,
+}
+
+fn rand_market() -> impl Strategy<Value = RandMarket> {
+    let cloudlet = (10.0..40.0f64, 50.0..200.0f64, 0.0..1.0f64, 0.0..1.0f64);
+    let provider = (0.5..4.0f64, 2.0..15.0f64, 0.2..1.5f64, 3.0..25.0f64);
+    (
+        proptest::collection::vec(cloudlet, 2..5),
+        proptest::collection::vec(provider, 3..12),
+        0.0..0.5f64,
+    )
+        .prop_map(|(cloudlets, providers, update)| RandMarket {
+            cloudlets,
+            providers,
+            update,
+        })
+}
+
+fn build(r: &RandMarket) -> Market {
+    let mut b = Market::builder();
+    for &(c, bw, a, be) in &r.cloudlets {
+        b = b.cloudlet(CloudletSpec::new(c, bw, a, be));
+    }
+    for &(cd, bd, ic, rc) in &r.providers {
+        b = b.provider(ProviderSpec::new(cd, bd, ic, rc));
+    }
+    b.uniform_update_cost(r.update).build()
+}
+
+/// Decodes a script of `(provider pick, placement pick)` pairs into an
+/// arbitrary reachable profile (pick == cloudlet count means Remote).
+fn scripted_profile(market: &Market, script: &[(usize, usize)]) -> Profile {
+    let n = market.provider_count();
+    let m = market.cloudlet_count();
+    let mut profile = Profile::all_remote(n);
+    for &(lp, cp) in script {
+        let l = ProviderId(lp % n);
+        let to = match cp % (m + 1) {
+            k if k == m => Placement::Remote,
+            k => Placement::Cloudlet(CloudletId(k)),
+        };
+        profile.set(l, to);
+    }
+    profile
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The exhaustive first-principles Nash certificate and the
+    /// GameState-based `is_nash` reach the same verdict on arbitrary
+    /// markets, profiles and movable masks.
+    #[test]
+    fn nash_certificate_agrees_with_is_nash(
+        r in rand_market(),
+        script in proptest::collection::vec((0usize..64, 0usize..8), 0..40),
+        mask in proptest::collection::vec(proptest::bool::ANY, 12),
+    ) {
+        let market = build(&r);
+        let n = market.provider_count();
+        let movable: Vec<bool> = (0..n).map(|k| mask[k % mask.len()]).collect();
+        let profile = scripted_profile(&market, &script);
+        let violations = check_nash(&market, &profile, &movable, IMPROVEMENT_TOL);
+        let stable = is_nash(&market, &profile, &movable);
+        prop_assert_eq!(
+            violations.is_empty(),
+            stable,
+            "certificate ({:?}) disagrees with is_nash ({})",
+            violations,
+            stable
+        );
+    }
+
+    /// A converged best-response run always earns an empty Nash
+    /// certificate, and its final state passes the drift check.
+    #[test]
+    fn converged_dynamics_certify_clean(
+        r in rand_market(),
+        max_gain in proptest::bool::ANY,
+    ) {
+        let market = build(&r);
+        let n = market.provider_count();
+        let movable = vec![true; n];
+        let order = if max_gain { MoveOrder::MaxGain } else { MoveOrder::RoundRobin };
+        let mut state = GameState::all_remote(&market);
+        let conv = BestResponseDynamics::new(order).run_state(&mut state, &movable);
+        prop_assert!(conv.converged);
+        prop_assert_eq!(check_state(&state, 1e-9), vec![]);
+        prop_assert_eq!(
+            check_nash(&market, state.profile(), &movable, IMPROVEMENT_TOL),
+            vec![]
+        );
+    }
+
+    /// Capacity certification agrees with `Profile::is_feasible` on
+    /// arbitrary (possibly overloaded) profiles.
+    #[test]
+    fn capacity_certificate_agrees_with_is_feasible(
+        r in rand_market(),
+        script in proptest::collection::vec((0usize..64, 0usize..8), 0..40),
+    ) {
+        let market = build(&r);
+        let profile = scripted_profile(&market, &script);
+        prop_assert_eq!(
+            check_capacity(&market, &profile).is_empty(),
+            profile.is_feasible(&market)
+        );
+    }
+
+    /// Cost reconstruction accepts the true social cost of any profile and
+    /// rejects a visibly perturbed report.
+    #[test]
+    fn cost_reconstruction_accepts_truth_rejects_perturbation(
+        r in rand_market(),
+        script in proptest::collection::vec((0usize..64, 0usize..8), 0..40),
+        bump in 0.5..5.0f64,
+    ) {
+        let market = build(&r);
+        let profile = scripted_profile(&market, &script);
+        let truth = profile.social_cost(&market);
+        prop_assert_eq!(check_cost_reconstruction(&market, &profile, truth, 1e-9), vec![]);
+        let off = truth + bump * (1.0 + truth.abs()) * 1e-3;
+        prop_assert!(!check_cost_reconstruction(&market, &profile, off, 1e-9).is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `loom`.
+//!
+//! The real loom exhaustively model-checks every interleaving of a
+//! concurrent closure by running it under a controlled scheduler. This
+//! stand-in keeps loom's API shape ([`model`], [`sync::atomic`],
+//! [`thread`]) but replaces exhaustive exploration with **seeded schedule
+//! perturbation**: [`model`] re-runs the closure many times, and every
+//! loom-wrapped atomic operation decides pseudo-randomly — from a
+//! per-iteration seed mixed with the thread identity — whether to yield
+//! the OS scheduler first. Distinct seeds push the threads through
+//! different interleavings, so races of the "two workers claim the same
+//! index" kind get many chances to fire while the run stays fully
+//! deterministic in its *verdicts* (assertions inside the closure).
+//!
+//! This is a stress model, not a proof: it explores a random sample of
+//! schedules, where real loom explores all of them. It needs no
+//! dependencies, runs on stable, and slots into the same
+//! `--features loom-model` build the CI concurrency job drives (alongside
+//! ThreadSanitizer, which watches the same tests for data races at the
+//! memory-access level).
+//!
+//! Iteration count: 64 by default, overridable via the
+//! `LOOM_MODEL_ITERS` environment variable.
+
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `f` repeatedly under perturbed schedules (see the crate docs).
+///
+/// # Panics
+///
+/// Propagates any panic from `f` (a failed assertion aborts the model
+/// run, like loom).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_MODEL_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    for i in 0..iters {
+        // SplitMix64-style spread so consecutive iterations land far apart.
+        SCHEDULE_SEED.store(
+            (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            StdOrdering::SeqCst,
+        );
+        f();
+    }
+}
+
+/// Pseudo-randomly yields the OS scheduler, driven by the current model
+/// iteration's seed mixed with the calling thread's identity.
+fn maybe_yield() {
+    use std::cell::Cell;
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static RNG: Cell<u64> = const { Cell::new(0) };
+    }
+    RNG.with(|r| {
+        let mut x = r.get();
+        if x == 0 {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            x = (SCHEDULE_SEED.load(StdOrdering::Relaxed) ^ h.finish()) | 1;
+        }
+        // xorshift64
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        r.set(x);
+        if x & 0b11 == 0 {
+            std::thread::yield_now();
+        }
+    });
+}
+
+/// Loom-shaped synchronization primitives.
+pub mod sync {
+    /// Schedule-perturbing atomics (wrap `std::sync::atomic`).
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// `std::sync::atomic::AtomicUsize` with yield injection around
+        /// every operation.
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize {
+            inner: std::sync::atomic::AtomicUsize,
+        }
+
+        impl AtomicUsize {
+            /// Creates a new atomic.
+            pub fn new(v: usize) -> Self {
+                AtomicUsize {
+                    inner: std::sync::atomic::AtomicUsize::new(v),
+                }
+            }
+
+            /// Loads the value, possibly yielding first.
+            pub fn load(&self, order: Ordering) -> usize {
+                super::super::maybe_yield();
+                self.inner.load(order)
+            }
+
+            /// Stores a value, possibly yielding first.
+            pub fn store(&self, v: usize, order: Ordering) {
+                super::super::maybe_yield();
+                self.inner.store(v, order);
+            }
+
+            /// Atomic add; yields around the RMW so competing threads get
+            /// a chance to interleave on either side.
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                super::super::maybe_yield();
+                let out = self.inner.fetch_add(v, order);
+                super::super::maybe_yield();
+                out
+            }
+
+            /// Atomic compare-exchange with yield injection.
+            ///
+            /// # Errors
+            ///
+            /// Returns the actual value if it differed from `current`.
+            pub fn compare_exchange(
+                &self,
+                current: usize,
+                new: usize,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<usize, usize> {
+                super::super::maybe_yield();
+                let out = self.inner.compare_exchange(current, new, success, failure);
+                super::super::maybe_yield();
+                out
+            }
+
+            /// Consumes the atomic and returns the value.
+            pub fn into_inner(self) -> usize {
+                self.inner.into_inner()
+            }
+        }
+    }
+}
+
+/// Loom-shaped thread API.
+pub mod thread {
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread; propagates its panic payload.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Spawns a thread that participates in the perturbed schedule.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        JoinHandle {
+            inner: std::thread::spawn(move || {
+                super::maybe_yield();
+                f()
+            }),
+        }
+    }
+
+    /// Yields the scheduler (loom's explicit preemption point).
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn model_runs_many_iterations() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        super::model(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(count.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn fetch_add_is_still_atomic_under_perturbation() {
+        super::model(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = counter.clone();
+                    super::thread::spawn(move || {
+                        for _ in 0..25 {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 100);
+        });
+    }
+}

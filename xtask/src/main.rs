@@ -1,0 +1,67 @@
+//! `cargo xtask` — repository automation.
+//!
+//! ```text
+//! cargo xtask lint               lint the workspace (exit 1 on findings)
+//! cargo xtask lint --self-test   prove the rules flag seeded violations
+//! ```
+//!
+//! See [`lint`] for the rules and the `// lint: allow(<rule>)` escape
+//! hatch.
+
+mod lint;
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(args.iter().any(|a| a == "--self-test")),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--self-test]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // xtask lives at <repo>/xtask, so the parent of its manifest dir is
+    // the repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits one level below the repo root")
+        .to_path_buf()
+}
+
+fn cmd_lint(self_test: bool) {
+    if self_test {
+        match lint::self_test() {
+            Ok(()) => println!("xtask lint self-test: all seeded violations flagged"),
+            Err(e) => {
+                eprintln!("xtask lint self-test FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let root = repo_root();
+    match lint::lint_tree(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!(
+                "xtask lint: {} finding(s). Fix them or suppress a justified \
+                 site with `// lint: allow(<rule>)`.",
+                findings.len()
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("xtask lint: I/O error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
