@@ -1,0 +1,106 @@
+//! Criterion benchmarks of the LP solver backends on GAP relaxations:
+//! dense tableau vs sparse revised simplex vs the transportation fast
+//! path (on instances where it applies).
+//!
+//! The end-to-end Appro sweep that produces `BENCH_appro.json` lives in
+//! the `sweepbench` binary; this bench isolates the LP solve itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mec_gap::{lp_relax, GapInstance};
+use mec_lp::SolverBackend;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random feasible GAP instance with per-item weights that vary across
+/// bins — exercises the general LP path (transportation inapplicable).
+fn random_instance(items: usize, bins: usize, seed: u64) -> GapInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = GapInstance::new(items, bins);
+    for i in 0..items {
+        for j in 0..bins {
+            inst.set_weight(i, j, rng.random_range(0.3..1.0));
+            inst.set_cost(i, j, rng.random_range(0.5..10.0));
+        }
+    }
+    // Feasible with slack ~1.6x.
+    let per_bin = items as f64 * 0.65 / bins as f64 * 1.6 + 1.0;
+    for j in 0..bins {
+        inst.set_capacity(j, per_bin);
+    }
+    inst
+}
+
+/// Uniform-weight instance (one weight per item, identical across all
+/// bins) so the transportation fast path qualifies alongside the LPs.
+fn uniform_instance(items: usize, bins: usize, seed: u64) -> GapInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = GapInstance::new(items, bins);
+    for i in 0..items {
+        inst.set_item_weight(i, 1.0);
+        for j in 0..bins {
+            inst.set_cost(i, j, rng.random_range(0.5..10.0));
+        }
+    }
+    let per_bin = (items as f64 / bins as f64 * 1.6).ceil() + 1.0;
+    for j in 0..bins {
+        inst.set_capacity(j, per_bin);
+    }
+    inst
+}
+
+fn bench_general_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_solvers");
+    g.sample_size(10);
+    for (items, bins) in [(40usize, 16usize), (80, 32), (160, 48)] {
+        let inst = random_instance(items, bins, 7);
+        g.bench_with_input(
+            BenchmarkId::new("dense", format!("{items}x{bins}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| lp_relax::solve_lp_with(black_box(inst), SolverBackend::Dense).unwrap())
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("revised", format!("{items}x{bins}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| lp_relax::solve_lp_with(black_box(inst), SolverBackend::Revised).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_uniform_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_solvers_uniform");
+    g.sample_size(10);
+    for (items, bins) in [(40usize, 16usize), (120, 24)] {
+        let inst = uniform_instance(items, bins, 11);
+        assert!(inst.has_uniform_allowed_weights());
+        g.bench_with_input(
+            BenchmarkId::new("dense", format!("{items}x{bins}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| lp_relax::solve_lp_with(black_box(inst), SolverBackend::Dense).unwrap())
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("revised", format!("{items}x{bins}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| lp_relax::solve_lp_with(black_box(inst), SolverBackend::Revised).unwrap())
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("transportation", format!("{items}x{bins}")),
+            &inst,
+            |b, inst| b.iter(|| lp_relax::solve_transportation(black_box(inst)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_general_lp, bench_uniform_lp);
+criterion_main!(benches);

@@ -36,7 +36,7 @@
 //! Marginal pricing always uses per-slot bins (slot identity carries the
 //! price).
 
-use mec_gap::{shmoys_tardos, GapInstance, FORBIDDEN};
+use mec_gap::{shmoys_tardos, GapInstance, LpBackend, FORBIDDEN};
 use mec_topology::CloudletId;
 
 use crate::error::CoreError;
@@ -83,6 +83,11 @@ pub struct ApproConfig {
     /// close to the social optimum as single-provider moves allow. Enabled
     /// by default; disable to study the raw Shmoys–Tardos output.
     pub polish: bool,
+    /// Which relaxation backend solves the GAP LP ([`LpBackend::Auto`]
+    /// by default: the transportation fast path — Appro's instances always
+    /// qualify — with the revised simplex as the general fallback). Forcing
+    /// `Revised` or `Dense` is the benchmarking/differential-testing hook.
+    pub lp_backend: LpBackend,
 }
 
 impl ApproConfig {
@@ -93,6 +98,7 @@ impl ApproConfig {
             pricing: SlotPricing::MarginalCongestion,
             repair_capacity: true,
             polish: true,
+            lp_backend: LpBackend::Auto,
         }
     }
 
@@ -103,7 +109,14 @@ impl ApproConfig {
             pricing: SlotPricing::Flat,
             repair_capacity: true,
             polish: false,
+            lp_backend: LpBackend::Auto,
         }
+    }
+
+    /// This configuration with the given relaxation backend.
+    pub fn with_lp_backend(mut self, backend: LpBackend) -> Self {
+        self.lp_backend = backend;
+        self
     }
 }
 
@@ -313,15 +326,21 @@ pub fn appro(market: &Market, config: &ApproConfig) -> Result<ApproSolution, Cor
         return Err(CoreError::Infeasible);
     }
 
-    let mut inst = GapInstance::new(n, bins.len());
+    let nbins = bins.len();
+    let mut inst = GapInstance::new(n, nbins);
     for (bi, b) in bins.iter().enumerate() {
         inst.set_capacity(bi, b.cap);
     }
-    for l in market.providers() {
-        let w = normalized_weight(market, l, a_max, b_max);
-        inst.set_item_weight(l.index(), w);
-        for (bi, b) in bins.iter().enumerate() {
-            let cost = match b.cloudlet {
+
+    // Pricing: fill one cost row per provider. Rows are independent, so on
+    // large markets they fan out across the bounded worker pool over
+    // disjoint `chunks_mut` slices; the result is positional, hence
+    // identical at any worker count.
+    let bins_ref = &bins;
+    let price_row = |l_index: usize, row: &mut [f64]| {
+        let l = ProviderId(l_index);
+        for (bi, b) in bins_ref.iter().enumerate() {
+            row[bi] = match b.cloudlet {
                 Some(i) => {
                     let congestion_units = match config.pricing {
                         SlotPricing::MarginalCongestion => (2 * b.slot - 1) as f64,
@@ -341,11 +360,38 @@ pub fn appro(market: &Market, config: &ApproConfig) -> Result<ApproSolution, Cor
                     }
                 }
             };
-            inst.set_cost(l.index(), bi, cost);
+        }
+    };
+    let mut cost_matrix = vec![0.0; n * nbins];
+    let workers = crate::game::par_workers(n * nbins, n);
+    if workers <= 1 {
+        for (l_index, row) in cost_matrix.chunks_mut(nbins).enumerate() {
+            price_row(l_index, row);
+        }
+    } else {
+        let rows_per = n.div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            for (w, chunk) in cost_matrix.chunks_mut(rows_per * nbins).enumerate() {
+                let price_row = &price_row;
+                s.spawn(move |_| {
+                    for (k, row) in chunk.chunks_mut(nbins).enumerate() {
+                        price_row(w * rows_per + k, row);
+                    }
+                });
+            }
+        })
+        // lint: allow(panics) — propagate pricing-worker panics to the caller.
+        .expect("pricing scope panicked");
+    }
+    for l in market.providers() {
+        let w = normalized_weight(market, l, a_max, b_max);
+        inst.set_item_weight(l.index(), w);
+        for bi in 0..nbins {
+            inst.set_cost(l.index(), bi, cost_matrix[l.index() * nbins + bi]);
         }
     }
 
-    let st = shmoys_tardos::solve(&inst)?;
+    let st = shmoys_tardos::solve_with(&inst, config.lp_backend)?;
 
     // Merge virtual cloudlets back to physical cloudlets (Algorithm 1 step 4).
     let mut placements = Vec::with_capacity(n);
@@ -493,6 +539,7 @@ mod tests {
                 pricing: SlotPricing::Flat,
                 repair_capacity: false,
                 polish: false,
+                lp_backend: LpBackend::Auto,
             },
         )
         .unwrap();
@@ -510,11 +557,41 @@ mod tests {
                 pricing: SlotPricing::Flat,
                 repair_capacity: true,
                 polish: false,
+                lp_backend: LpBackend::Auto,
             },
         )
         .unwrap();
         // Same LP bound (the relaxations are equivalent up to slot symmetry).
         assert!((merged.lp_lower_bound - per_slot.lp_lower_bound).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_backends_agree() {
+        // Every backend solves the same relaxation to optimality, so the
+        // LP bound is identical and the rounded assignments can differ only
+        // by equal-cost ties.
+        let m = market(12, 3);
+        let auto = appro(&m, &ApproConfig::paper_flat()).unwrap();
+        for backend in [
+            LpBackend::Transportation,
+            LpBackend::Revised,
+            LpBackend::Dense,
+        ] {
+            let sol = appro(&m, &ApproConfig::paper_flat().with_lp_backend(backend)).unwrap();
+            assert!(
+                (sol.lp_lower_bound - auto.lp_lower_bound).abs() < 1e-6,
+                "{backend:?}: bound {} vs auto {}",
+                sol.lp_lower_bound,
+                auto.lp_lower_bound
+            );
+            assert!(
+                (sol.flat_cost - auto.flat_cost).abs() < 1e-6,
+                "{backend:?}: flat cost {} vs auto {}",
+                sol.flat_cost,
+                auto.flat_cost
+            );
+            assert!(sol.profile.is_feasible(&m));
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ const PAR_MIN_CELLS: usize = 1 << 15;
 
 /// Worker count for a scan over `cells` provider×cloudlet cells split
 /// into at most `items` chunks; `1` means "stay sequential".
-fn par_workers(cells: usize, items: usize) -> usize {
+pub(crate) fn par_workers(cells: usize, items: usize) -> usize {
     if cells < PAR_MIN_CELLS || items < 2 {
         return 1;
     }

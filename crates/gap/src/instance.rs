@@ -149,6 +149,41 @@ impl GapInstance {
         })
     }
 
+    /// Returns whether `(item, bin)` is an admissible pair: the cost is not
+    /// [`FORBIDDEN`] and the item fits the bin on its own. This is the
+    /// single admissibility predicate shared by every relaxation path.
+    #[inline]
+    pub fn is_allowed(&self, item: usize, bin: usize) -> bool {
+        self.cost(item, bin).is_finite() && self.weight(item, bin) <= self.capacity(bin) + 1e-12
+    }
+
+    /// Returns `true` if every item's weight is identical across all of its
+    /// *admissible* bins (see [`GapInstance::is_allowed`]).
+    ///
+    /// This is a strict superset of [`has_bin_independent_weights`]: pairs
+    /// ruled out by [`FORBIDDEN`] costs or per-bin fit may carry arbitrary
+    /// weights without affecting the relaxation, which only ever routes
+    /// flow over admissible arcs. It is exactly the class of instances the
+    /// paper's virtual-cloudlet reduction produces — uniform per-item slot
+    /// demand with per-item forbidden arcs — and the trigger for the
+    /// transportation fast path.
+    ///
+    /// [`has_bin_independent_weights`]: GapInstance::has_bin_independent_weights
+    pub fn has_uniform_allowed_weights(&self) -> bool {
+        (0..self.items).all(|i| {
+            let mut first = None;
+            (0..self.bins)
+                .filter(|&j| self.is_allowed(i, j))
+                .all(|j| match first {
+                    None => {
+                        first = Some(self.weight(i, j));
+                        true
+                    }
+                    Some(w) => (self.weight(i, j) - w).abs() < 1e-12,
+                })
+        })
+    }
+
     /// A simple lower bound: every item at its cheapest allowed bin,
     /// capacities ignored.
     pub fn relaxed_lower_bound(&self) -> f64 {

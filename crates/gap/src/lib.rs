@@ -5,8 +5,9 @@
 //!
 //! * [`instance`] — GAP instances and assignments,
 //! * [`flow`] — a min-cost-flow substrate (successive shortest paths),
-//! * [`lp_relax`] — the LP relaxation (general simplex path plus a
-//!   transportation fast path for bin-independent weights),
+//! * [`lp_relax`] — the LP relaxation (general simplex path — revised or
+//!   dense — plus a transportation fast path for per-item uniform weights
+//!   over admissible bins; select via [`LpBackend`]),
 //! * [`shmoys_tardos`] — the LP rounding with its cost / augmented-capacity
 //!   guarantees,
 //! * [`greedy`] — a regret heuristic (ablation baseline),
@@ -42,7 +43,7 @@ pub mod swap;
 pub mod verify;
 
 pub use instance::{Assignment, GapInstance, FORBIDDEN};
-pub use lp_relax::{capacity_shadow_prices, FractionalSolution, GapError};
+pub use lp_relax::{capacity_shadow_prices, FractionalSolution, GapError, LpBackend};
 pub use shmoys_tardos::StSolution;
 pub use swap::{improve, SwapResult};
 pub use verify::{check_assignment, GapViolation};

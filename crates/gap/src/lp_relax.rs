@@ -10,18 +10,40 @@
 //!            x_ij ≥ 0, and x_ij = 0 whenever w_ij > CAP_j
 //! ```
 //!
-//! Two solution paths are provided:
-//! * [`solve_lp`] — the general relaxation via the dense simplex
-//!   ([`mec_lp`]); works for arbitrary bin-dependent weights.
+//! Three solution paths are provided, selected by [`LpBackend`]:
+//! * [`solve_lp`] — the general relaxation via the [`mec_lp`] simplex
+//!   (sparse revised by default, dense tableau as the reference oracle);
+//!   works for arbitrary bin-dependent weights.
 //! * [`solve_transportation`] — a min-cost-flow fast path for the
-//!   *bin-independent weight* case (`w_ij = w_i`), which is exactly the form
-//!   produced by the paper's virtual-cloudlet reduction. The relaxation is
-//!   then a transportation LP whose optimal vertex the flow computes.
+//!   *uniform-allowed-weight* case (`w_ij = w_i` across every admissible
+//!   bin, [`GapInstance::has_uniform_allowed_weights`]), which is exactly
+//!   the class produced by the paper's virtual-cloudlet reduction —
+//!   uniform slot demand with per-item [`FORBIDDEN`] arcs. The relaxation
+//!   is then a transportation LP whose optimal vertex the flow computes.
+//!
+//! [`FORBIDDEN`]: crate::instance::FORBIDDEN
 
-use mec_lp::{LpBuilder, LpError, Relation};
+use mec_lp::{LpBuilder, LpError, Relation, SolverBackend};
 
 use crate::flow::MinCostFlow;
 use crate::instance::GapInstance;
+
+/// Which relaxation path [`solve_relaxation_with`] takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpBackend {
+    /// Dispatch automatically: the transportation fast path whenever
+    /// [`GapInstance::has_uniform_allowed_weights`] holds, the revised
+    /// simplex otherwise.
+    #[default]
+    Auto,
+    /// Force the min-cost-flow transportation fast path (panics when the
+    /// instance is outside its applicability class).
+    Transportation,
+    /// Force the general LP on the sparse revised simplex.
+    Revised,
+    /// Force the general LP on the dense tableau (reference oracle).
+    Dense,
+}
 
 /// Errors produced while relaxing/rounding a GAP instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,7 +116,7 @@ impl FractionalSolution {
 
 /// Returns whether `(item, bin)` is an admissible pair.
 fn allowed(inst: &GapInstance, i: usize, j: usize) -> bool {
-    inst.cost(i, j).is_finite() && inst.weight(i, j) <= inst.capacity(j) + 1e-12
+    inst.is_allowed(i, j)
 }
 
 fn check_items_fit(inst: &GapInstance) -> Result<(), GapError> {
@@ -106,15 +128,22 @@ fn check_items_fit(inst: &GapInstance) -> Result<(), GapError> {
     Ok(())
 }
 
-/// Solves the GAP relaxation with the dense simplex.
+/// The assignment LP of `inst`, plus the variable and row layout needed to
+/// interpret its solution: one variable per admissible `(item, bin)` pair
+/// (in `pairs` order), item `Eq` rows first (one per item, in item order),
+/// then one `Le` capacity row per bin that admits any item (`bin_row[j]`
+/// maps a bin to its row index, `None` when the bin admits nothing).
 ///
-/// # Errors
-///
-/// * [`GapError::ItemDoesNotFit`] — some item is inadmissible everywhere.
-/// * [`GapError::Infeasible`] — the relaxation has no solution.
-/// * [`GapError::Lp`] — numerical trouble in the simplex.
-pub fn solve_lp(inst: &GapInstance) -> Result<FractionalSolution, GapError> {
-    check_items_fit(inst)?;
+/// This is the **single** construction shared by [`solve_lp`] and
+/// [`capacity_shadow_prices`], so the row layout the duals are read from
+/// cannot drift out of sync with the LP being solved.
+struct AssignmentLp {
+    lp: LpBuilder,
+    pairs: Vec<(usize, usize)>,
+    bin_row: Vec<Option<usize>>,
+}
+
+fn build_assignment_lp(inst: &GapInstance) -> AssignmentLp {
     let n = inst.items();
     let m = inst.bins();
     // Variable layout: dense over allowed pairs.
@@ -144,6 +173,7 @@ pub fn solve_lp(inst: &GapInstance) -> Result<FractionalSolution, GapError> {
         lp.constraint(&row, Relation::Eq, 1.0);
     }
     // Bin rows.
+    let mut bin_row = vec![None; m];
     for j in 0..m {
         let mut row = vec![0.0; nv];
         let mut any = false;
@@ -155,12 +185,39 @@ pub fn solve_lp(inst: &GapInstance) -> Result<FractionalSolution, GapError> {
             }
         }
         if any {
+            bin_row[j] = Some(lp.constraint_count());
             lp.constraint(&row, Relation::Le, inst.capacity(j));
         }
     }
-    let sol = lp.solve()?;
+    AssignmentLp { lp, pairs, bin_row }
+}
+
+/// Solves the GAP relaxation with the default simplex backend (the sparse
+/// revised simplex).
+///
+/// # Errors
+///
+/// * [`GapError::ItemDoesNotFit`] — some item is inadmissible everywhere.
+/// * [`GapError::Infeasible`] — the relaxation has no solution.
+/// * [`GapError::Lp`] — numerical trouble in the simplex.
+pub fn solve_lp(inst: &GapInstance) -> Result<FractionalSolution, GapError> {
+    solve_lp_with(inst, SolverBackend::default())
+}
+
+/// Solves the GAP relaxation with an explicit [`mec_lp`] backend.
+///
+/// # Errors
+///
+/// Same as [`solve_lp`].
+pub fn solve_lp_with(
+    inst: &GapInstance,
+    backend: SolverBackend,
+) -> Result<FractionalSolution, GapError> {
+    check_items_fit(inst)?;
+    let built = build_assignment_lp(inst);
+    let sol = built.lp.solve_with(backend)?;
     let mut fractions = Vec::new();
-    for (v, &(i, j)) in pairs.iter().enumerate() {
+    for (v, &(i, j)) in built.pairs.iter().enumerate() {
         if sol.x[v] > 1e-9 {
             fractions.push((i, j, sol.x[v].min(1.0)));
         }
@@ -171,12 +228,18 @@ pub fn solve_lp(inst: &GapInstance) -> Result<FractionalSolution, GapError> {
     })
 }
 
-/// Solves the relaxation via min-cost flow when weights are bin-independent.
+/// Solves the relaxation via min-cost flow when every item's weight is
+/// uniform across its admissible bins.
 ///
 /// The substitution `y_ij = w_i · x_ij` turns the relaxation into a
 /// transportation problem: item `i` supplies `w_i` units, bin `j` absorbs at
 /// most `CAP_j`, and a unit of `y_ij` costs `c_ij / w_i`. Zero-weight items
 /// are assigned integrally to their cheapest admissible bin up front.
+/// `w_i` is read at the item's first admissible bin, so [`FORBIDDEN`] pairs
+/// (or bins the item does not fit) may carry arbitrary weights — this is
+/// the whole instance class Appro's virtual-cloudlet split produces.
+///
+/// [`FORBIDDEN`]: crate::instance::FORBIDDEN
 ///
 /// # Errors
 ///
@@ -185,12 +248,12 @@ pub fn solve_lp(inst: &GapInstance) -> Result<FractionalSolution, GapError> {
 ///
 /// # Panics
 ///
-/// Panics if the instance has bin-dependent weights (checked via
-/// [`GapInstance::has_bin_independent_weights`]).
+/// Panics if some item's weight differs between two of its admissible bins
+/// (checked via [`GapInstance::has_uniform_allowed_weights`]).
 pub fn solve_transportation(inst: &GapInstance) -> Result<FractionalSolution, GapError> {
     assert!(
-        inst.has_bin_independent_weights(),
-        "transportation fast path requires bin-independent weights"
+        inst.has_uniform_allowed_weights(),
+        "transportation fast path requires per-item uniform weights over admissible bins"
     );
     check_items_fit(inst)?;
     let n = inst.items();
@@ -208,7 +271,12 @@ pub fn solve_transportation(inst: &GapInstance) -> Result<FractionalSolution, Ga
     let mut total_supply = 0.0;
 
     for i in 0..n {
-        let w = inst.weight(i, 0);
+        // The item's uniform weight, read at its first admissible bin
+        // (check_items_fit guarantees one exists).
+        let w = (0..m)
+            .find(|&j| allowed(inst, i, j))
+            .map(|j| inst.weight(i, j))
+            .expect("checked by check_items_fit");
         if w <= 1e-12 {
             // Weightless item: integral assignment to its cheapest bin.
             let best = (0..m)
@@ -257,16 +325,41 @@ pub fn solve_transportation(inst: &GapInstance) -> Result<FractionalSolution, Ga
 }
 
 /// Solves the relaxation with the best available method: the transportation
-/// fast path when weights are bin-independent, the general LP otherwise.
+/// fast path when every item's weight is uniform over its admissible bins,
+/// the general LP (revised simplex) otherwise.
 ///
 /// # Errors
 ///
 /// See [`solve_lp`].
 pub fn solve_relaxation(inst: &GapInstance) -> Result<FractionalSolution, GapError> {
-    if inst.has_bin_independent_weights() {
-        solve_transportation(inst)
-    } else {
-        solve_lp(inst)
+    solve_relaxation_with(inst, LpBackend::Auto)
+}
+
+/// Solves the relaxation through an explicit [`LpBackend`].
+///
+/// # Errors
+///
+/// See [`solve_lp`].
+///
+/// # Panics
+///
+/// [`LpBackend::Transportation`] panics when the instance is outside the
+/// fast path's applicability class (see [`solve_transportation`]).
+pub fn solve_relaxation_with(
+    inst: &GapInstance,
+    backend: LpBackend,
+) -> Result<FractionalSolution, GapError> {
+    match backend {
+        LpBackend::Auto => {
+            if inst.has_uniform_allowed_weights() {
+                solve_transportation(inst)
+            } else {
+                solve_lp_with(inst, SolverBackend::Revised)
+            }
+        }
+        LpBackend::Transportation => solve_transportation(inst),
+        LpBackend::Revised => solve_lp_with(inst, SolverBackend::Revised),
+        LpBackend::Dense => solve_lp_with(inst, SolverBackend::Dense),
     }
 }
 
@@ -281,55 +374,14 @@ pub fn solve_relaxation(inst: &GapInstance) -> Result<FractionalSolution, GapErr
 ///
 /// Same conditions as [`solve_lp`].
 pub fn capacity_shadow_prices(inst: &GapInstance) -> Result<Vec<f64>, GapError> {
-    // Rebuild the exact LP of solve_lp to recover its row layout: items
-    // rows first (Eq), then one Le row per bin that admits any item.
-    let n = inst.items();
-    let m = inst.bins();
-    let mut var_of = vec![usize::MAX; n * m];
-    let mut pairs = Vec::new();
-    for i in 0..n {
-        for j in 0..m {
-            if allowed(inst, i, j) {
-                var_of[i * m + j] = pairs.len();
-                pairs.push((i, j));
-            }
-        }
-    }
     check_items_fit(inst)?;
-    let nv = pairs.len();
-    let mut lp = LpBuilder::new(nv);
-    let costs: Vec<f64> = pairs.iter().map(|&(i, j)| inst.cost(i, j)).collect();
-    lp.objective(&costs);
-    for i in 0..n {
-        let mut row = vec![0.0; nv];
-        for j in 0..m {
-            let v = var_of[i * m + j];
-            if v != usize::MAX {
-                row[v] = 1.0;
-            }
-        }
-        lp.constraint(&row, Relation::Eq, 1.0);
-    }
-    let mut bin_row = vec![None; m];
-    for j in 0..m {
-        let mut row = vec![0.0; nv];
-        let mut any = false;
-        for i in 0..n {
-            let v = var_of[i * m + j];
-            if v != usize::MAX {
-                row[v] = inst.weight(i, j);
-                any = true;
-            }
-        }
-        if any {
-            bin_row[j] = Some(lp.constraint_count());
-            lp.constraint(&row, Relation::Le, inst.capacity(j));
-        }
-    }
-    let sol = lp.solve()?;
-    Ok((0..m)
-        .map(|j| match bin_row[j] {
-            Some(r) => (-sol.duals[r]).max(0.0),
+    let built = build_assignment_lp(inst);
+    let sol = built.lp.solve()?;
+    Ok(built
+        .bin_row
+        .iter()
+        .map(|row| match row {
+            Some(r) => (-sol.duals[*r]).max(0.0),
             None => 0.0,
         })
         .collect())

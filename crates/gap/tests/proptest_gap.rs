@@ -7,7 +7,8 @@
 //! * the transportation fast path agrees with the general LP relaxation;
 //! * the `verify::check_assignment` certifier accepts every rounded output.
 
-use mec_gap::{check_assignment, exact, greedy, lp_relax, shmoys_tardos, GapInstance};
+use mec_gap::{check_assignment, exact, greedy, lp_relax, shmoys_tardos, GapInstance, FORBIDDEN};
+use mec_lp::SolverBackend;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -116,5 +117,48 @@ proptest! {
         let inst = build(&r);
         let frac = lp_relax::solve_relaxation(&inst).unwrap();
         prop_assert!(frac.covers_all_items(r.items));
+    }
+
+    /// The dense tableau and the sparse revised simplex solve the same
+    /// assignment LP; their optima must agree on every random relaxation.
+    #[test]
+    fn dense_and_revised_agree_on_relaxation(r in rand_inst()) {
+        let inst = build(&r);
+        let dense = lp_relax::solve_lp_with(&inst, SolverBackend::Dense).unwrap();
+        let revised = lp_relax::solve_lp_with(&inst, SolverBackend::Revised).unwrap();
+        prop_assert!((dense.objective - revised.objective).abs()
+            < 1e-5 * (1.0 + dense.objective.abs()),
+            "dense {} vs revised {}", dense.objective, revised.objective);
+    }
+
+    /// Widened fast-path applicability: uniform per-item weights with
+    /// FORBIDDEN arcs still qualify (`has_uniform_allowed_weights`), and
+    /// the transportation optimum matches the general LP there. Bin 0 is
+    /// never forbidden, so every item fits somewhere.
+    #[test]
+    fn transportation_agrees_with_forbidden_arcs(
+        r in rand_inst(),
+        forbidden in proptest::collection::vec(proptest::bool::ANY, 5 * 3),
+    ) {
+        let mut inst = build(&r);
+        for i in 0..r.items {
+            for j in 1..r.bins {
+                if forbidden[(i * r.bins + j) % forbidden.len()] {
+                    inst.set_cost(i, j, FORBIDDEN);
+                }
+            }
+        }
+        // Forbidding arcs can push every item onto one bin; size capacities
+        // so the instance stays feasible no matter how arcs were removed.
+        let total: f64 = r.weights.iter().sum();
+        for j in 0..r.bins {
+            inst.set_capacity(j, total + 2.0);
+        }
+        prop_assert!(inst.has_uniform_allowed_weights());
+        let a = lp_relax::solve_lp(&inst).unwrap();
+        let b = lp_relax::solve_transportation(&inst).unwrap();
+        prop_assert!((a.objective - b.objective).abs()
+            < 1e-5 * (1.0 + a.objective.abs()),
+            "LP {} vs transportation {}", a.objective, b.objective);
     }
 }

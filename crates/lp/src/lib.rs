@@ -1,10 +1,16 @@
-//! A dense two-phase primal-simplex linear-programming solver.
+//! Two-phase primal-simplex linear-programming solvers.
 //!
 //! The Shmoys–Tardos approximation algorithm for the Generalized Assignment
 //! Problem (used by the paper's `Appro` algorithm) needs the optimal solution
 //! of an LP relaxation. No external solver is assumed; this crate implements
-//! a compact, deterministic two-phase primal simplex with Bland's rule as an
-//! anti-cycling fallback.
+//! two interchangeable deterministic backends with Bland's rule as an
+//! anti-cycling fallback (select via [`SolverBackend`]):
+//!
+//! * a **sparse revised simplex** ([`simplex::SolverBackend::Revised`], the
+//!   default) — column-wise sparse storage and product-form basis updates,
+//!   built for the large, very sparse assignment LPs Appro produces;
+//! * a **dense tableau** ([`simplex::SolverBackend::Dense`]) — the original
+//!   implementation, kept as a reference oracle for differential testing.
 //!
 //! The solver handles problems of the form
 //!
@@ -30,8 +36,9 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod revised;
 pub mod simplex;
 pub mod verify;
 
-pub use simplex::{LpBuilder, LpError, LpSolution, Relation};
+pub use simplex::{LpBuilder, LpError, LpSolution, Relation, SolverBackend};
 pub use verify::{check_solution, LpViolation};

@@ -51,6 +51,25 @@ impl fmt::Display for LpError {
 
 impl std::error::Error for LpError {}
 
+/// Which simplex implementation answers a [`LpBuilder::solve_with`] call.
+///
+/// Both backends implement the same two-phase primal simplex contract —
+/// identical error taxonomy, duals in row-insertion order — and both are
+/// re-certified by [`crate::verify::check_solution`] under the `verify`
+/// feature. They differ only in data layout and per-iteration cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Sparse revised simplex (column-wise storage, eta-file basis updates
+    /// with periodic LU refactorization, Dantzig + partial pricing). The
+    /// default: on GAP-shaped relaxations with 2 nonzeros per structural
+    /// column it is orders of magnitude faster than the tableau.
+    #[default]
+    Revised,
+    /// Dense two-phase tableau — the original implementation, kept as a
+    /// slow reference oracle for differential testing.
+    Dense,
+}
+
 /// An optimal solution of a linear program.
 #[derive(Debug, Clone)]
 pub struct LpSolution {
@@ -164,7 +183,8 @@ impl LpBuilder {
         self
     }
 
-    /// Solves the LP with the two-phase primal simplex.
+    /// Solves the LP with the default backend
+    /// ([`SolverBackend::Revised`], the sparse revised simplex).
     ///
     /// With the `verify` cargo feature enabled, the solution is re-checked
     /// against the original problem data ([`crate::verify::check_solution`])
@@ -176,13 +196,37 @@ impl LpBuilder {
     /// * [`LpError::Unbounded`] — the objective decreases without bound.
     /// * [`LpError::IterationLimit`] — the pivot budget was exhausted.
     pub fn solve(&self) -> Result<LpSolution, LpError> {
-        let sol = Tableau::build(self).solve(&self.c, self.n)?;
+        self.solve_with(SolverBackend::default())
+    }
+
+    /// Solves the LP with the dense two-phase tableau — the reference
+    /// oracle. Same contract (and `verify`-feature self-certification) as
+    /// [`LpBuilder::solve`]; use it in differential tests against the
+    /// revised backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LpBuilder::solve`].
+    pub fn solve_dense(&self) -> Result<LpSolution, LpError> {
+        self.solve_with(SolverBackend::Dense)
+    }
+
+    /// Solves the LP with an explicit [`SolverBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LpBuilder::solve`].
+    pub fn solve_with(&self, backend: SolverBackend) -> Result<LpSolution, LpError> {
+        let sol = match backend {
+            SolverBackend::Revised => crate::revised::solve_revised(self)?,
+            SolverBackend::Dense => Tableau::build(self).solve(&self.c, self.n)?,
+        };
         #[cfg(feature = "verify")]
         {
             let violations = crate::verify::check_solution(self, &sol, 1e-6);
             assert!(
                 violations.is_empty(),
-                "simplex self-certification failed:\n{}",
+                "simplex self-certification failed ({backend:?} backend):\n{}",
                 violations
                     .iter()
                     .map(|v| format!("  - {v}"))

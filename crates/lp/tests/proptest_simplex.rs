@@ -5,7 +5,7 @@
 //! the solver's answer is (a) feasible and (b) at least as good as a cloud of
 //! random feasible points.
 
-use mec_lp::{LpBuilder, Relation};
+use mec_lp::{check_solution, LpBuilder, Relation, SolverBackend};
 use proptest::prelude::*;
 
 const TOL: f64 = 1e-6;
@@ -99,6 +99,24 @@ proptest! {
         }
         prop_assert!((by - sol.objective).abs() < 1e-5,
             "b·y = {by} but c·x = {}", sol.objective);
+    }
+
+    /// The sparse revised simplex and the dense tableau are independent
+    /// implementations; they must agree on the optimum of every random LP,
+    /// and both answers must survive the independent certifier.
+    #[test]
+    fn dense_and_revised_agree(lp in random_lp()) {
+        let b = build(&lp);
+        let dense = b.solve_with(SolverBackend::Dense).unwrap();
+        let revised = b.solve_with(SolverBackend::Revised).unwrap();
+        prop_assert!((dense.objective - revised.objective).abs()
+            < 1e-6 * (1.0 + dense.objective.abs()),
+            "dense {} vs revised {}", dense.objective, revised.objective);
+        for (label, sol) in [("dense", &dense), ("revised", &revised)] {
+            let violations = check_solution(&b, sol, 1e-6);
+            prop_assert!(violations.is_empty(),
+                "{label} solution rejected by certifier: {violations:?}");
+        }
     }
 
     #[test]

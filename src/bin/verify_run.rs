@@ -23,6 +23,7 @@ use mec_core::verify::{
     check_capacity, check_congestion, check_cost_reconstruction, check_nash, Certificate,
 };
 use mec_core::{social_local_search, Market, Profile};
+use mec_gap::LpBackend;
 use mec_workload::{gtitm_scenario, Params};
 
 fn main() {
@@ -47,6 +48,7 @@ fn main() {
 
     let mut failed = false;
     failed |= !certify_appro(market);
+    failed |= !certify_appro_revised(market);
     failed |= !certify_lcf(market);
     failed |= !certify_dynamics(market);
     failed |= !certify_local_search(market);
@@ -94,6 +96,38 @@ fn certify_appro(market: &Market) -> bool {
         }
         Err(e) => {
             eprintln!("appro failed: {e}");
+            false
+        }
+    }
+}
+
+/// Replays `appro` with the relaxation forced through the sparse revised
+/// simplex (the default dispatch prefers the transportation fast path on
+/// Appro-shaped instances, so the general LP route would otherwise never
+/// run here) and certifies that output too. Under `--features verify` this
+/// additionally routes every revised-simplex solve through
+/// `mec_lp::verify::check_solution`.
+fn certify_appro_revised(market: &Market) -> bool {
+    let config = ApproConfig::default().with_lp_backend(LpBackend::Revised);
+    match appro(market, &config) {
+        Ok(sol) => {
+            let mut cert = Certificate::new("appro (revised simplex)");
+            cert.extend(check_capacity(market, &sol.profile))
+                .extend(check_congestion(
+                    market,
+                    &sol.profile,
+                    &sol.profile.congestion(market),
+                ))
+                .extend(check_cost_reconstruction(
+                    market,
+                    &sol.profile,
+                    sol.social_cost,
+                    1e-9,
+                ));
+            report(&cert)
+        }
+        Err(e) => {
+            eprintln!("appro (revised simplex) failed: {e}");
             false
         }
     }

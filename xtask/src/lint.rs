@@ -363,6 +363,29 @@ pub fn self_test() -> Result<(), String> {
             0,
         ),
         (
+            "float-cmp",
+            "crates/lp/src/revised.rs",
+            // The sparse revised-simplex module is NOT exempt: a raw
+            // float compare in a fresh pivot routine must be flagged.
+            "fn skip_zero(v: f64) -> bool {\n    v != 0.0\n}\n",
+            1,
+        ),
+        (
+            "float-cmp",
+            "crates/lp/src/revised.rs",
+            // ... but the intentional pivot-tolerance style comparison
+            // carries the marker, exactly as the real module does.
+            "fn skip_zero(v: f64) -> bool {\n    // Exact zero-skip while gathering the CSC columns.\n    // lint: allow(float-cmp)\n    v != 0.0\n}\n",
+            0,
+        ),
+        (
+            "thread-spawn",
+            "crates/lp/src/revised.rs",
+            // Ad-hoc threads in the LP layer bypass the bounded pool.
+            "fn f() {\n    std::thread::spawn(|| {});\n}\n",
+            1,
+        ),
+        (
             "thread-spawn",
             "crates/sim/src/seeded.rs",
             "fn f() {\n    std::thread::spawn(|| {});\n}\n",
