@@ -19,8 +19,19 @@
 //!   is timed. `--smoke` runs one tiny cell once per backend — the CI
 //!   bit-rot guard, valid in debug builds because it never writes.
 //!
-//! Both modes verify their compared paths agree before timing, and both
-//! refuse to overwrite their checked-in artifact from a debug build.
+//! * **table** (`sweepbench table`) — no timing: renders the checked-in
+//!   `BENCH_appro.json` as the canonical markdown performance table that
+//!   README.md embeds (kept in sync by `tests/readme_table.rs`).
+//!
+//! Both timing modes verify their compared paths agree before timing, and
+//! both refuse to overwrite their checked-in artifact from a debug build.
+//!
+//! `--obs <path>` (either mode) streams mec-obs events — phase spans, LP
+//! pivot counts, per-round potential, move counters — to `<path>` as JSONL;
+//! summarize with `obsreport <path>`. Requires building with `--features
+//! obs` (otherwise the flag warns and is ignored). Because the probes add
+//! overhead inside the timed loops, an `--obs` run also refuses to
+//! overwrite the checked-in artifacts.
 
 use std::time::Instant;
 
@@ -350,12 +361,19 @@ fn run_appro_sweep(quick: bool, smoke: bool) {
         },
         body.join(",\n"),
     );
-    // Like BENCH_dynamics.json: the checked-in artifact is release-only.
-    if smoke || cfg!(debug_assertions) {
+    // Like BENCH_dynamics.json: the checked-in artifact is release-only,
+    // and an --obs run times the probes too, so it may not overwrite.
+    if smoke || cfg!(debug_assertions) || mec_obs::sink_installed() {
         eprintln!(
             "sweepbench: {} — not overwriting BENCH_appro.json \
              (regenerate with `cargo run --release -p mec-bench --bin sweepbench -- appro`)",
-            if smoke { "smoke mode" } else { "debug build" }
+            if smoke {
+                "smoke mode"
+            } else if cfg!(debug_assertions) {
+                "debug build"
+            } else {
+                "obs trace active"
+            }
         );
     } else {
         std::fs::write("BENCH_appro.json", &json).expect("write BENCH_appro.json");
@@ -363,12 +381,50 @@ fn run_appro_sweep(quick: bool, smoke: bool) {
     println!("{json}");
 }
 
+/// Strips `--obs <path>` out of `args` and installs the JSONL trace sink
+/// (check `mec_obs::sink_installed()` for whether capture is live).
+fn install_obs(args: &mut Vec<String>) {
+    let Some(pos) = args.iter().position(|a| a == "--obs") else {
+        return;
+    };
+    if pos + 1 >= args.len() {
+        eprintln!("sweepbench: --obs requires a path argument");
+        std::process::exit(2);
+    }
+    let path = args.remove(pos + 1);
+    args.remove(pos);
+    if !mec_obs::enabled() {
+        eprintln!(
+            "sweepbench: --obs ignored — rebuild with `--features obs` \
+             (e.g. `cargo run --release -p mec-bench --features obs --bin sweepbench`)"
+        );
+        return;
+    }
+    if let Err(e) = mec_obs::install_file(std::path::Path::new(&path)) {
+        eprintln!("sweepbench: cannot open obs trace `{path}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("sweepbench: streaming observability events to {path}");
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    install_obs(&mut args);
+    if args.iter().any(|a| a == "table") {
+        // Canonical markdown rendering of the checked-in artifact — the
+        // exact text README.md §Performance must contain (enforced by
+        // crates/bench/tests/readme_table.rs).
+        let json = std::fs::read_to_string("BENCH_appro.json")
+            .expect("read BENCH_appro.json (run from the workspace root)");
+        let rows = mec_bench::table::parse_appro_bench(&json);
+        print!("{}", mec_bench::table::appro_perf_markdown(&rows));
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "appro") {
         let smoke = args.iter().any(|a| a == "--smoke");
         run_appro_sweep(quick, smoke);
+        mec_obs::shutdown();
         return;
     }
     // (network size, providers): cloudlets are ~10% of network nodes, so
@@ -416,15 +472,22 @@ fn main() {
         body.join(",\n"),
     );
     // The checked-in BENCH_dynamics.json is a release-build artifact; a
-    // debug run times the differential debug_assert in apply_move, not the
-    // algorithm, so it must never overwrite the recorded numbers.
-    if cfg!(debug_assertions) {
+    // debug run times the differential debug_assert in apply_move — and an
+    // --obs run times the probes too — not the algorithm, so neither may
+    // overwrite the recorded numbers.
+    if cfg!(debug_assertions) || mec_obs::sink_installed() {
         eprintln!(
-            "sweepbench: debug build — refusing to overwrite BENCH_dynamics.json \
-             (regenerate with `cargo run --release -p mec-bench --bin sweepbench`)"
+            "sweepbench: {} — refusing to overwrite BENCH_dynamics.json \
+             (regenerate with `cargo run --release -p mec-bench --bin sweepbench`)",
+            if cfg!(debug_assertions) {
+                "debug build"
+            } else {
+                "obs trace active"
+            }
         );
     } else {
         std::fs::write("BENCH_dynamics.json", &json).expect("write BENCH_dynamics.json");
     }
     println!("{json}");
+    mec_obs::shutdown();
 }

@@ -1,4 +1,7 @@
-//! Plain-text result tables, one per figure panel.
+//! Plain-text result tables, one per figure panel — plus the canonical
+//! markdown rendering of the checked-in `BENCH_appro.json` sweep
+//! ([`appro_perf_markdown`]), which README.md's performance table is
+//! generated from.
 
 use std::fmt;
 
@@ -106,6 +109,154 @@ impl fmt::Display for Table {
     }
 }
 
+/// One grid cell of the Appro LP-backend sweep (`BENCH_appro.json`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproPerfRow {
+    /// Provider count of the cell.
+    pub providers: u64,
+    /// Cloudlet count of the cell.
+    pub cloudlets: u64,
+    /// End-to-end `appro` wall clock, dense tableau backend.
+    pub dense_seconds: f64,
+    /// End-to-end `appro` wall clock, sparse revised simplex backend.
+    pub revised_seconds: f64,
+    /// End-to-end `appro` wall clock, transportation fast path.
+    pub transportation_seconds: f64,
+    /// `dense_seconds / revised_seconds` as recorded by the sweep.
+    pub speedup_revised: f64,
+    /// `dense_seconds / transportation_seconds` as recorded by the sweep.
+    pub speedup_transportation: f64,
+}
+
+/// Extracts the per-cell timings from the pretty-printed
+/// `BENCH_appro.json` artifact (one `"key": value` pair per line, as
+/// `sweepbench -- appro` writes it). Unknown keys are ignored; a row is
+/// emitted at each new `"providers"` key.
+///
+/// # Examples
+///
+/// ```
+/// let json = include_str!("../../../BENCH_appro.json");
+/// let rows = mec_bench::table::parse_appro_bench(json);
+/// assert_eq!(rows.len(), 3);
+/// assert!(rows.iter().all(|r| r.speedup_revised > 1.0));
+/// ```
+pub fn parse_appro_bench(json: &str) -> Vec<ApproPerfRow> {
+    let mut rows: Vec<ApproPerfRow> = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim().trim_end_matches(',');
+        if key == "providers" {
+            rows.push(ApproPerfRow {
+                providers: value.parse().unwrap_or(0),
+                cloudlets: 0,
+                dense_seconds: 0.0,
+                revised_seconds: 0.0,
+                transportation_seconds: 0.0,
+                speedup_revised: 0.0,
+                speedup_transportation: 0.0,
+            });
+            continue;
+        }
+        let Some(row) = rows.last_mut() else {
+            continue;
+        };
+        match key {
+            "cloudlets" => row.cloudlets = value.parse().unwrap_or(0),
+            "dense_seconds" => row.dense_seconds = value.parse().unwrap_or(0.0),
+            "revised_seconds" => row.revised_seconds = value.parse().unwrap_or(0.0),
+            "transportation_seconds" => {
+                row.transportation_seconds = value.parse().unwrap_or(0.0);
+            }
+            "speedup_revised_vs_dense" => {
+                row.speedup_revised = value.parse().unwrap_or(0.0);
+            }
+            "speedup_transportation_vs_dense" => {
+                row.speedup_transportation = value.parse().unwrap_or(0.0);
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Wall-clock cell formatting of the canonical performance table:
+/// precision tapers with magnitude so every cell carries two-to-three
+/// significant digits.
+fn fmt_secs(v: f64) -> String {
+    if v < 0.1 {
+        format!("{v:.3} s")
+    } else if v < 10.0 {
+        format!("{v:.2} s")
+    } else if v < 100.0 {
+        format!("{v:.1} s")
+    } else {
+        format!("{v:.0} s")
+    }
+}
+
+/// Renders the canonical markdown performance table from parsed
+/// `BENCH_appro.json` rows — the exact text of README.md §Performance
+/// (a test in `tests/` asserts they stay in sync). Print it with
+/// `cargo run -p mec-bench --bin sweepbench -- table`.
+pub fn appro_perf_markdown(rows: &[ApproPerfRow]) -> String {
+    const HEADERS: [&str; 6] = [
+        "providers × cloudlets",
+        "dense tableau",
+        "revised simplex",
+        "transportation",
+        "speedup (revised)",
+        "speedup (transp.)",
+    ];
+    let widths: Vec<usize> = HEADERS.iter().map(|h| h.chars().count()).collect();
+    let mut out = String::new();
+    out.push('|');
+    for (h, w) in HEADERS.iter().zip(&widths) {
+        // Manual pad: `{:>w$}` counts `×` as one char but README columns
+        // are byte-aligned only when headers themselves set the width.
+        out.push(' ');
+        for _ in h.chars().count()..*w {
+            out.push(' ');
+        }
+        out.push_str(h);
+        out.push_str(" |");
+    }
+    out.push('\n');
+    out.push('|');
+    for w in &widths {
+        for _ in 0..w + 1 {
+            out.push('-');
+        }
+        out.push_str(":|");
+    }
+    out.push('\n');
+    for r in rows {
+        let cells = [
+            format!("{} × {}", r.providers, r.cloudlets),
+            fmt_secs(r.dense_seconds),
+            fmt_secs(r.revised_seconds),
+            fmt_secs(r.transportation_seconds),
+            format!("{:.1}×", r.speedup_revised),
+            format!("{:.1}×", r.speedup_transportation),
+        ];
+        out.push('|');
+        for (cell, w) in cells.iter().zip(&widths) {
+            out.push(' ');
+            for _ in cell.chars().count()..*w {
+                out.push(' ');
+            }
+            out.push_str(cell);
+            out.push_str(" |");
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +290,58 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn row_width_checked() {
         Table::new("x", "x", &["a"]).row(0.0, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn parse_appro_bench_extracts_rows() {
+        let json = r#"{
+  "results": [
+    {
+      "providers": 100,
+      "cloudlets": 10,
+      "dense_seconds": 0.059784,
+      "revised_seconds": 0.009505,
+      "transportation_seconds": 0.008674,
+      "speedup_revised_vs_dense": 6.29,
+      "speedup_transportation_vs_dense": 6.89
+    }
+  ]
+}"#;
+        let rows = parse_appro_bench(json);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].providers, 100);
+        assert_eq!(rows[0].cloudlets, 10);
+        assert!((rows[0].dense_seconds - 0.059784).abs() < 1e-12);
+        assert!((rows[0].speedup_transportation - 6.89).abs() < 1e-12);
+    }
+
+    #[test]
+    fn markdown_formats_cells_by_magnitude() {
+        let row = ApproPerfRow {
+            providers: 1000,
+            cloudlets: 80,
+            dense_seconds: 3800.360624,
+            revised_seconds: 23.172053,
+            transportation_seconds: 5.403851,
+            speedup_revised: 164.01,
+            speedup_transportation: 703.27,
+        };
+        let md = appro_perf_markdown(&[row]);
+        let mut lines = md.lines();
+        let header = lines.next().unwrap();
+        let sep = lines.next().unwrap();
+        let body = lines.next().unwrap();
+        assert_eq!(header.chars().count(), sep.chars().count());
+        assert_eq!(header.chars().count(), body.chars().count());
+        for cell in [
+            "1000 × 80",
+            "3800 s",
+            "23.2 s",
+            "5.40 s",
+            "164.0×",
+            "703.3×",
+        ] {
+            assert!(body.contains(cell), "missing `{cell}` in `{body}`");
+        }
     }
 }

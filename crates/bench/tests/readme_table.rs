@@ -1,0 +1,51 @@
+//! Keeps README.md's performance table in lockstep with the checked-in
+//! `BENCH_appro.json` artifact: the README text must contain, verbatim,
+//! the markdown that `mec_bench::table::appro_perf_markdown` renders
+//! from the artifact. Regenerate the README block with
+//! `cargo run -p mec-bench --bin sweepbench -- table`.
+
+use mec_bench::table::{appro_perf_markdown, parse_appro_bench};
+
+const BENCH_APPRO: &str = include_str!("../../../BENCH_appro.json");
+const README: &str = include_str!("../../../README.md");
+
+#[test]
+fn readme_perf_table_matches_bench_artifact() {
+    let rows = parse_appro_bench(BENCH_APPRO);
+    assert!(
+        rows.len() >= 3,
+        "BENCH_appro.json lost its grid: {} row(s) parsed",
+        rows.len()
+    );
+    let table = appro_perf_markdown(&rows);
+    assert!(
+        README.contains(&table),
+        "README.md performance table is out of sync with BENCH_appro.json.\n\
+         Replace the README table with this canonical rendering\n\
+         (`cargo run -p mec-bench --bin sweepbench -- table`):\n\n{table}"
+    );
+}
+
+#[test]
+fn artifact_rows_are_internally_consistent() {
+    for r in parse_appro_bench(BENCH_APPRO) {
+        let recomputed = r.dense_seconds / r.revised_seconds;
+        assert!(
+            (recomputed - r.speedup_revised).abs() / r.speedup_revised < 0.01,
+            "recorded revised speedup {} disagrees with timings ({recomputed:.2}) \
+             at {} × {}",
+            r.speedup_revised,
+            r.providers,
+            r.cloudlets
+        );
+        let recomputed = r.dense_seconds / r.transportation_seconds;
+        assert!(
+            (recomputed - r.speedup_transportation).abs() / r.speedup_transportation < 0.01,
+            "recorded transportation speedup {} disagrees with timings ({recomputed:.2}) \
+             at {} × {}",
+            r.speedup_transportation,
+            r.providers,
+            r.cloudlets
+        );
+    }
+}

@@ -271,10 +271,16 @@ pub fn cloudlet_capacity_values(market: &Market) -> Result<Vec<f64>, CoreError> 
 /// # Ok::<(), mec_core::CoreError>(())
 /// ```
 pub fn appro(market: &Market, config: &ApproConfig) -> Result<ApproSolution, CoreError> {
+    let _span_total = mec_obs::span("appro.total");
+    mec_obs::counter_add("appro.runs", 1);
     let n = market.provider_count();
     let a_max = market.max_compute_demand();
     let b_max = market.max_bandwidth_demand();
-    let counts = virtual_cloudlet_counts(market);
+    let counts = {
+        let _span = mec_obs::span("appro.split");
+        virtual_cloudlet_counts(market)
+    };
+    mec_obs::counter_add("appro.virtual_slots", counts.iter().sum::<usize>() as u64);
 
     // Bin layout. Each bin is a virtual cloudlet (or the remote sink).
     #[derive(Debug, Clone, Copy)]
@@ -362,6 +368,7 @@ pub fn appro(market: &Market, config: &ApproConfig) -> Result<ApproSolution, Cor
             };
         }
     };
+    let span_pricing = mec_obs::span("appro.pricing");
     let mut cost_matrix = vec![0.0; n * nbins];
     let workers = crate::game::par_workers(n * nbins, n);
     if workers <= 1 {
@@ -391,9 +398,15 @@ pub fn appro(market: &Market, config: &ApproConfig) -> Result<ApproSolution, Cor
         }
     }
 
-    let st = shmoys_tardos::solve_with(&inst, config.lp_backend)?;
+    drop(span_pricing);
+
+    let st = {
+        let _span = mec_obs::span("appro.gap_solve");
+        shmoys_tardos::solve_with(&inst, config.lp_backend)?
+    };
 
     // Merge virtual cloudlets back to physical cloudlets (Algorithm 1 step 4).
+    let span_merge = mec_obs::span("appro.merge");
     let mut placements = Vec::with_capacity(n);
     for l in market.providers() {
         let bin = st.assignment.bin_of(l.index());
@@ -403,11 +416,14 @@ pub fn appro(market: &Market, config: &ApproConfig) -> Result<ApproSolution, Cor
         });
     }
     let mut profile = Profile::new(placements);
+    drop(span_merge);
 
     if config.repair_capacity {
+        let _span = mec_obs::span("appro.repair");
         repair(market, &mut profile)?;
     }
     if config.polish {
+        let _span = mec_obs::span("appro.polish");
         let movable = vec![true; n];
         crate::local_search::social_local_search(market, &mut profile, &movable, 10 * n);
     }

@@ -69,6 +69,19 @@ pub(crate) fn par_workers(cells: usize, items: usize) -> usize {
         .min(items)
 }
 
+/// Samples the Rosenthal potential into the `core.dynamics.potential`
+/// gauge series, one point per round. The potential recount is `O(N+M)`,
+/// so it only runs when a trace sink is actually listening.
+fn emit_potential_gauge(state: &GameState<'_>, round: usize) {
+    if mec_obs::sink_installed() {
+        mec_obs::gauge(
+            "core.dynamics.potential",
+            round as u64,
+            rosenthal_potential(state.market(), state.profile()),
+        );
+    }
+}
+
 /// Computes the Rosenthal potential of `profile`.
 pub fn rosenthal_potential(market: &Market, profile: &Profile) -> f64 {
     let sigma = profile.congestion(market);
@@ -383,19 +396,33 @@ impl BestResponseDynamics {
         convergence
     }
 
+    /// Wraps the dynamics loop in the observability probes: the whole run
+    /// is one `core.dynamics.run` span (time-to-Nash when it converges) and
+    /// the applied-move / round totals are published as counters. Both are
+    /// no-ops unless the `obs` feature is armed.
     fn run_state_inner(&self, state: &mut GameState<'_>, movable: &[bool]) -> Convergence {
+        let _span = mec_obs::span("core.dynamics.run");
+        let convergence = self.run_state_loop(state, movable);
+        mec_obs::counter_add("core.dynamics.moves_applied", convergence.moves as u64);
+        mec_obs::counter_add("core.dynamics.rounds", convergence.rounds as u64);
+        convergence
+    }
+
+    fn run_state_loop(&self, state: &mut GameState<'_>, movable: &[bool]) -> Convergence {
         assert_eq!(movable.len(), state.len(), "movable mask length mismatch");
         let mut moves = 0;
         match self.order {
             MoveOrder::RoundRobin => {
                 for round in 0..self.max_rounds {
                     let mut improved = false;
+                    let mut attempts = 0u64;
                     for (k, &mv) in movable.iter().enumerate() {
                         if !mv {
                             continue;
                         }
                         let l = ProviderId(k);
                         let cur_cost = state.provider_cost(l);
+                        attempts += 1;
                         if let Some((p, cost)) = state.best_response(l) {
                             if p != state.placement(l) && cost < cur_cost - IMPROVEMENT_TOL {
                                 state.apply_move(l, p);
@@ -404,6 +431,8 @@ impl BestResponseDynamics {
                             }
                         }
                     }
+                    mec_obs::counter_add("core.dynamics.moves_attempted", attempts);
+                    emit_potential_gauge(state, round);
                     if !improved {
                         return Convergence {
                             rounds: round + 1,
@@ -414,11 +443,15 @@ impl BestResponseDynamics {
                 }
             }
             MoveOrder::MaxGain => {
+                let n_movable = movable.iter().filter(|&&m| m).count() as u64;
                 for round in 0..self.max_rounds {
-                    match scan_best_move(state, movable) {
+                    let step = scan_best_move(state, movable);
+                    mec_obs::counter_add("core.dynamics.moves_attempted", n_movable);
+                    match step {
                         Some((l, p, _)) => {
                             state.apply_move(l, p);
                             moves += 1;
+                            emit_potential_gauge(state, round);
                         }
                         None => {
                             return Convergence {

@@ -83,6 +83,7 @@ pub fn social_local_search(
     max_moves: usize,
 ) -> LocalSearchResult {
     assert_eq!(movable.len(), profile.len(), "movable mask length mismatch");
+    let _span = mec_obs::span("core.local_search.run");
     // The incremental state keeps congestion and residuals current across
     // moves, so each pass reads them in O(1) instead of recomputing and
     // reallocating both vectors per outer iteration.
@@ -151,6 +152,7 @@ pub fn social_local_search(
         }
     };
     *profile = state.into_profile();
+    mec_obs::counter_add("core.local_search.moves", result.moves as u64);
     #[cfg(feature = "verify")]
     {
         let mut cert = crate::verify::Certificate::new("local-search profile");

@@ -179,6 +179,29 @@ impl<'m> GameState<'m> {
     /// # Panics
     ///
     /// Panics if `l` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+    /// use mec_core::{GameState, Placement};
+    ///
+    /// let market = Market::builder()
+    ///     .cloudlet(CloudletSpec::new(20.0, 100.0, 0.5, 0.5))
+    ///     .provider(ProviderSpec::new(2.0, 10.0, 1.0, 30.0))
+    ///     .uniform_update_cost(0.3)
+    ///     .build();
+    /// let i = market.cloudlets().next().unwrap();
+    /// let l = market.providers().next().unwrap();
+    ///
+    /// let mut state = GameState::all_remote(&market);
+    /// let prev = state.apply_move(l, Placement::Cloudlet(i));
+    /// assert_eq!(prev, Placement::Remote);
+    /// assert_eq!(state.congestion(i), 1);
+    ///
+    /// state.apply_move(l, prev); // pass the old placement back to undo
+    /// assert_eq!(state.congestion(i), 0);
+    /// ```
     pub fn apply_move(&mut self, l: ProviderId, placement: Placement) -> Placement {
         let old = self.profile.placement(l);
         if old == placement {

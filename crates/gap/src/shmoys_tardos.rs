@@ -128,6 +128,7 @@ fn round_with(
     frac: &FractionalSolution,
     workers: usize,
 ) -> Result<Assignment, GapError> {
+    let _span = mec_obs::span("gap.round");
     let n = inst.items();
     let m = inst.bins();
 
@@ -178,6 +179,7 @@ fn round_with(
 
     // 2. Min-cost perfect matching on the item side via unit-cap flow.
     let s_count = slot_edges.len();
+    mec_obs::counter_add("gap.rounding_slots", s_count as u64);
     let src = 0;
     let item0 = 1;
     let slot0 = 1 + n;
@@ -248,7 +250,10 @@ pub fn solve(inst: &GapInstance) -> Result<StSolution, GapError> {
 /// [`LpBackend::Transportation`] panics when the instance is outside the
 /// fast path's applicability class.
 pub fn solve_with(inst: &GapInstance, backend: LpBackend) -> Result<StSolution, GapError> {
-    let frac = solve_relaxation_with(inst, backend)?;
+    let frac = {
+        let _span = mec_obs::span("gap.lp_relax");
+        solve_relaxation_with(inst, backend)?
+    };
     let assignment = round(inst, &frac)?;
     let assignment_cost = assignment.total_cost(inst);
     #[cfg(feature = "verify")]

@@ -216,6 +216,26 @@ impl LpBuilder {
     /// # Errors
     ///
     /// Same as [`LpBuilder::solve`].
+    ///
+    /// # Examples
+    ///
+    /// Both backends return the same optimum — useful for differential
+    /// testing:
+    ///
+    /// ```
+    /// use mec_lp::{LpBuilder, Relation, SolverBackend};
+    ///
+    /// // minimize  x + y   s.t.  x + 2y >= 4,  3x + y >= 3
+    /// let mut lp = LpBuilder::new(2);
+    /// lp.objective(&[1.0, 1.0]);
+    /// lp.constraint(&[1.0, 2.0], Relation::Ge, 4.0);
+    /// lp.constraint(&[3.0, 1.0], Relation::Ge, 3.0);
+    ///
+    /// let fast = lp.solve_with(SolverBackend::Revised)?;
+    /// let oracle = lp.solve_with(SolverBackend::Dense)?;
+    /// assert!((fast.objective - oracle.objective).abs() < 1e-9);
+    /// # Ok::<(), mec_lp::LpError>(())
+    /// ```
     pub fn solve_with(&self, backend: SolverBackend) -> Result<LpSolution, LpError> {
         let sol = match backend {
             SolverBackend::Revised => crate::revised::solve_revised(self)?,

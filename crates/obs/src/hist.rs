@@ -1,0 +1,345 @@
+//! HDR-style fixed-bucket histogram with no dependencies.
+//!
+//! Values are `u64` in an arbitrary unit (the recording site's name carries
+//! the unit by convention, e.g. `*.ns` or `*_us`). The bucket layout is the
+//! classic log-linear scheme used by HdrHistogram:
+//!
+//! * values `0..16` land in one exact bucket each;
+//! * larger values are bucketed by their most-significant bit (the
+//!   magnitude) with 16 linear sub-buckets per magnitude, giving a
+//!   guaranteed relative error of at most 1/16 (6.25 %) per recorded value;
+//! * values at or above 2^40 (~18 minutes if the unit is nanoseconds) share
+//!   one overflow bucket; the exact maximum is still tracked separately, so
+//!   `max()` is always precise.
+//!
+//! The whole structure is a flat `[u64; 593]` plus four scalars — cheap to
+//! clone, merge, and reset, and free of floating-point state.
+
+/// Number of exact low-value buckets (values `0..LINEAR_CUTOFF`).
+const LINEAR_CUTOFF: u64 = 16;
+/// Linear sub-buckets per power-of-two magnitude.
+const SUB_BUCKETS: usize = 16;
+/// Highest most-significant-bit index that is still bucketed precisely.
+/// Values with a higher MSB (>= 2^40) go to the overflow bucket.
+const MAX_MSB: usize = 39;
+/// Index of the overflow bucket (always the last slot).
+const OVERFLOW: usize = (MAX_MSB - 3) * SUB_BUCKETS + SUB_BUCKETS;
+/// Total bucket count: 16 exact + 36 magnitudes x 16 sub-buckets + overflow.
+const N_BUCKETS: usize = OVERFLOW + 1;
+
+/// Smallest value that lands in the overflow bucket.
+pub const OVERFLOW_THRESHOLD: u64 = 1 << (MAX_MSB + 1);
+
+/// Log-linear fixed-bucket histogram of `u64` values.
+///
+/// # Examples
+///
+/// ```
+/// use mec_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.max(), 1000);
+/// let p50 = h.percentile(0.50);
+/// // Bucketing guarantees at most 1/16 relative error.
+/// assert!((p50 as f64 - 500.0).abs() <= 500.0 / 16.0 + 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Box<[u64; N_BUCKETS]>,
+    count: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new([0; N_BUCKETS]),
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value` in one update.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::index(value)] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of values that landed in the overflow bucket (>= 2^40).
+    pub fn overflow_count(&self) -> u64 {
+        self.buckets[OVERFLOW]
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, e.g. `0.5` for the median.
+    ///
+    /// The result is a bucket representative (midpoint), clamped into the
+    /// exact `[min, max]` range, so `percentile(0.0)` and `percentile(1.0)`
+    /// are exact and interior quantiles carry at most 1/16 relative error.
+    /// Returns 0 when the histogram is empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return self.representative(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every recorded value of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+
+    /// Discards all recorded values.
+    pub fn reset(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        self.sum = 0;
+    }
+
+    fn index(value: u64) -> usize {
+        if value < LINEAR_CUTOFF {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as usize;
+        if msb > MAX_MSB {
+            return OVERFLOW;
+        }
+        (msb - 3) * SUB_BUCKETS + ((value >> (msb - 4)) & 0xF) as usize
+    }
+
+    /// Midpoint of the bucket's value range; exact for the low buckets.
+    fn representative(&self, idx: usize) -> u64 {
+        if idx < LINEAR_CUTOFF as usize {
+            return idx as u64;
+        }
+        if idx == OVERFLOW {
+            // The overflow bucket has no upper bound; the exact max is the
+            // only honest representative.
+            return self.max;
+        }
+        let msb = idx / SUB_BUCKETS + 3;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        let width = 1u64 << (msb - 4);
+        (1u64 << msb) + sub * width + width / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_exact() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(1.0), 0);
+        assert_eq!(h.overflow_count(), 0);
+    }
+
+    #[test]
+    fn low_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            // rank v+1 of 16 → quantile (v+1)/16 lands exactly on bucket v.
+            let q = (v + 1) as f64 / 16.0;
+            assert_eq!(h.percentile(q), v, "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn u64_max_lands_in_overflow_and_max_is_exact() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn overflow_boundary() {
+        let mut h = Histogram::new();
+        h.record(OVERFLOW_THRESHOLD - 1); // largest trackable value
+        assert_eq!(h.overflow_count(), 0);
+        h.record(OVERFLOW_THRESHOLD); // smallest overflow value
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), OVERFLOW_THRESHOLD);
+    }
+
+    #[test]
+    fn relative_error_within_one_sixteenth() {
+        let mut probe = vec![];
+        let mut v = 16u64;
+        while v < OVERFLOW_THRESHOLD / 3 {
+            probe.push(v);
+            probe.push(v + v / 3);
+            v *= 5;
+        }
+        for &p in &probe {
+            let mut h = Histogram::new();
+            // Surround the probe so min/max clamping cannot mask the bucket
+            // representative.
+            h.record(1);
+            h.record(p);
+            h.record(OVERFLOW_THRESHOLD - 1);
+            let got = h.percentile(0.5);
+            let err = got.abs_diff(p) as f64;
+            assert!(
+                err <= p as f64 / 16.0 + 1.0,
+                "value {p}: representative {got}, error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        let mut x = 3u64;
+        for _ in 0..1000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(x >> 20);
+        }
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let p = h.percentile(i as f64 / 100.0);
+            assert!(p >= prev, "p{i} = {p} < previous {prev}");
+            prev = p;
+        }
+        assert_eq!(h.percentile(1.0), h.max());
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0u64, 5, 17, 900, 1 << 20, u64::MAX] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 255, 1 << 35] {
+            b.record_n(v, 3);
+            all.record_n(v, 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.sum(), all.sum());
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            assert_eq!(a.percentile(q), all.percentile(q));
+        }
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+}

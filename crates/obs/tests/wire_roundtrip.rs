@@ -1,0 +1,87 @@
+//! Property test: every event the sink can emit parses back identically
+//! from its JSONL encoding, including hostile names (quotes, backslashes,
+//! control characters, non-ASCII) and full-range `u64` fields.
+
+use mec_obs::wire::{encode, parse, Event};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Characters chosen to stress the JSON escaper: quote, backslash,
+/// newline/tab, a raw control byte, and multi-byte Unicode (incl. a
+/// non-BMP scalar).
+const NAME_CHARS: [char; 12] = [
+    'a',
+    'z',
+    '.',
+    '_',
+    ' ',
+    '"',
+    '\\',
+    '\n',
+    '\t',
+    '\u{1}',
+    '€',
+    '\u{1F600}',
+];
+
+fn name_from(ids: Vec<usize>) -> String {
+    ids.into_iter().map(|i| NAME_CHARS[i]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn span_round_trips(
+        ids in vec(0usize..NAME_CHARS.len(), 0..16),
+        start_ns in 0u64..=u64::MAX,
+        dur_ns in 0u64..=u64::MAX,
+    ) {
+        let ev = Event::Span { name: name_from(ids), start_ns, dur_ns };
+        prop_assert_eq!(parse(&encode(&ev)).unwrap(), ev);
+    }
+
+    #[test]
+    fn counter_round_trips(
+        ids in vec(0usize..NAME_CHARS.len(), 0..16),
+        value in 0u64..=u64::MAX,
+    ) {
+        let ev = Event::Counter { name: name_from(ids), value };
+        prop_assert_eq!(parse(&encode(&ev)).unwrap(), ev);
+    }
+
+    #[test]
+    fn gauge_round_trips_bit_exactly(
+        ids in vec(0usize..NAME_CHARS.len(), 0..16),
+        seq in 0u64..=u64::MAX,
+        mantissa in -1.0e18f64..1.0e18,
+        exp in -300i32..300,
+    ) {
+        let value = mantissa * (exp as f64).exp2();
+        prop_assert!(value.is_finite());
+        let expect_name = name_from(ids);
+        let ev = Event::Gauge { name: expect_name.clone(), seq, value };
+        match parse(&encode(&ev)).unwrap() {
+            Event::Gauge { name, seq: s, value: v } => {
+                prop_assert_eq!(name, expect_name);
+                prop_assert_eq!(s, seq);
+                // Bit-exact: Display(f64) is shortest-round-trip.
+                prop_assert_eq!(v.to_bits(), value.to_bits());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hist_round_trips(
+        ids in vec(0usize..NAME_CHARS.len(), 0..16),
+        count in 0u64..=u64::MAX,
+        p50 in 0u64..=u64::MAX,
+        p95 in 0u64..=u64::MAX,
+        p99 in 0u64..=u64::MAX,
+        max in 0u64..=u64::MAX,
+    ) {
+        let ev = Event::Hist { name: name_from(ids), count, p50, p95, p99, max };
+        prop_assert_eq!(parse(&encode(&ev)).unwrap(), ev);
+    }
+}

@@ -287,7 +287,10 @@ pub fn simulate(
     // Shared access-link availability per cloudlet (contention mode).
     let mut link_free = vec![0.0f64; market.cloudlet_count()];
 
+    let span_loop = mec_obs::span("sim.event_loop");
+    let mut obs_events: u64 = 0;
     while let Some((now, ev)) = q.pop() {
+        obs_events += 1;
         match ev {
             Ev::LinkArrive {
                 provider,
@@ -387,6 +390,19 @@ pub fn simulate(
                 let _ = provider;
             }
         }
+    }
+
+    drop(span_loop);
+    mec_obs::counter_add("sim.events", obs_events);
+    if mec_obs::enabled() {
+        // Mirror the end-to-end request latencies into an obs histogram
+        // (microseconds). The branch is `const false` in obs-off builds, so
+        // the conversion vanishes entirely.
+        let us: Vec<u64> = latencies
+            .iter()
+            .map(|&ms| (ms * 1000.0).max(0.0) as u64)
+            .collect();
+        mec_obs::record_many("sim.request_latency_us", &us);
     }
 
     let end = latencies.len().max(1);

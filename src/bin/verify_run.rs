@@ -1,7 +1,7 @@
 //! `verify-run` — replay the paper's pipeline under the invariant checkers.
 //!
 //! ```text
-//! verify-run [size] [providers] [seed]
+//! verify-run [size] [providers] [seed] [--obs <path>]
 //! ```
 //!
 //! Builds a GT-ITM scenario (default 250 switches, 100 providers, seed 42),
@@ -15,6 +15,11 @@
 //! The checkers run unconditionally here; compile with
 //! `--features verify` to additionally arm the in-algorithm
 //! self-certification hooks (including the GAP and LP layers underneath).
+//!
+//! `--obs <path>` streams mec-obs events (Appro phase spans, LP pivot
+//! counters, dynamics move counts, per-round potential) to `<path>` as
+//! JSONL; summarize with `obsreport <path>`. Requires `--features obs`,
+//! otherwise the flag warns and is ignored.
 
 use mec_core::appro::{appro, ApproConfig};
 use mec_core::game::{BestResponseDynamics, MoveOrder, IMPROVEMENT_TOL};
@@ -27,8 +32,9 @@ use mec_gap::LpBackend;
 use mec_workload::{gtitm_scenario, Params};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: verify-run [size] [providers] [seed]";
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: verify-run [size] [providers] [seed] [--obs <path>]";
+    install_obs(&mut args, usage);
     let size = parse_arg(&args, 0, 250, usage);
     let providers = parse_arg(&args, 1, 100, usage);
     let seed = parse_arg(&args, 2, 42, usage);
@@ -53,11 +59,34 @@ fn main() {
     failed |= !certify_dynamics(market);
     failed |= !certify_local_search(market);
 
+    mec_obs::shutdown();
     if failed {
         eprintln!("verify-run: FAILED — at least one certificate has violations");
         std::process::exit(1);
     }
     println!("verify-run: all certificates valid");
+}
+
+/// Strips `--obs <path>` out of `args` and installs the JSONL trace sink.
+fn install_obs(args: &mut Vec<String>, usage: &str) {
+    let Some(pos) = args.iter().position(|a| a == "--obs") else {
+        return;
+    };
+    if pos + 1 >= args.len() {
+        eprintln!("verify-run: --obs requires a path argument\n{usage}");
+        std::process::exit(2);
+    }
+    let path = args.remove(pos + 1);
+    args.remove(pos);
+    if !mec_obs::enabled() {
+        eprintln!("verify-run: --obs ignored — rebuild with `--features obs` to capture a trace");
+        return;
+    }
+    if let Err(e) = mec_obs::install_file(std::path::Path::new(&path)) {
+        eprintln!("verify-run: cannot open obs trace `{path}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("verify-run: streaming observability events to {path}");
 }
 
 fn parse_arg(args: &[String], idx: usize, default: usize, usage: &str) -> usize {

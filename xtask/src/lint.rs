@@ -4,7 +4,7 @@
 //! chosen so a line-level approximation is reliable for this codebase):
 //!
 //! * `panics` — no `unwrap()` / `expect(` / `panic!(` in `mec-core`
-//!   non-test code. Library paths must surface [`mec_core::CacheError`]
+//!   non-test code. Library paths must surface `mec_core::CacheError`
 //!   instead of aborting the caller.
 //! * `float-cmp` — no raw `==` / `!=` against float literals and no
 //!   `assert_eq!`/`assert_ne!` on float-literal operands anywhere in the
