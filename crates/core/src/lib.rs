@@ -60,6 +60,7 @@ pub mod local_search;
 pub mod model;
 pub mod opt;
 pub mod poa;
+pub mod snapshot;
 pub mod state;
 pub mod strategy;
 pub mod verify;
@@ -81,6 +82,9 @@ pub use lcf::{lcf, LcfConfig, LcfOutcome, SelectionRule};
 pub use local_search::{social_local_search, LocalSearchResult};
 pub use model::{CloudletSpec, Market, MarketBuilder, ProviderId, ProviderSpec};
 pub use poa::{best_poa_bound, estimate_poa, market_poa_bound, poa_bound, PoaEstimate};
+pub use snapshot::{
+    encode_snapshot, load_snapshot, parse_snapshot, save_snapshot, MarketSnapshot, SnapshotError,
+};
 pub use state::GameState;
 pub use strategy::{Placement, Profile};
 pub use verify::{

@@ -248,6 +248,23 @@ impl Market {
             .fold(0.0, f64::max)
     }
 
+    /// Replaces provider `l`'s `(compute, bandwidth)` demands in place —
+    /// the serving layer's `UpdateDemand` operation. Aggregates derived
+    /// from the old demands (a [`crate::state::GameState`] built over
+    /// this market) must be rebuilt afterwards; they are not notified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range or a demand is negative/non-finite.
+    pub fn set_provider_demand(&mut self, l: ProviderId, compute: f64, bandwidth: f64) {
+        for (name, v) in [("compute_demand", compute), ("bandwidth_demand", bandwidth)] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be >= 0, got {v}");
+        }
+        let p = &mut self.providers[l.index()];
+        p.compute_demand = compute;
+        p.bandwidth_demand = bandwidth;
+    }
+
     /// Builds a sub-market containing only `keep` (in the given order),
     /// with the same cloudlets and update costs. Used by the churn
     /// simulation ([`crate::dynamics`]) to replan for the active providers.

@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 
 pub mod hist;
+pub mod json;
 pub mod report;
 pub mod wire;
 

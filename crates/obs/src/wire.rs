@@ -3,15 +3,11 @@
 //! Every event is one JSON object per line. The encoder and the parser are
 //! hand-rolled (no serde) and always compiled — `obsreport` must be able to
 //! read traces regardless of whether the reading binary was built with the
-//! `enabled` feature. The format round-trips exactly:
-//!
-//! * `u64` fields are written as JSON integers and parsed with
-//!   [`str::parse`], so the full 64-bit range survives (no `f64` detour);
-//! * finite `f64` values use Rust's shortest round-trip `Display`;
-//!   non-finite values are written as the JSON strings `"NaN"`, `"inf"`
-//!   and `"-inf"` (plain JSON has no spelling for them);
-//! * names are escaped per JSON string rules (`\"`, `\\`, `\u00XX` for
-//!   control characters) and may contain arbitrary Unicode.
+//! `enabled` feature. The escaping and number rules live in the shared
+//! [`crate::json`] module (one home for every JSONL format in the
+//! workspace, including the `mec-serve` protocol), so the format
+//! round-trips exactly: lossless `u64`, shortest round-trip `f64` with
+//! `"NaN"`/`"inf"`/`"-inf"` spellings, JSON-escaped Unicode names.
 //!
 //! Line shapes:
 //!
@@ -22,7 +18,11 @@
 //! {"type":"hist","name":"sim.request_latency_us","count":5000,"p50":181,"p95":402,"p99":640,"max":1201}
 //! ```
 
-use std::fmt;
+use crate::json;
+
+/// Parse failure for one trace line (shared with every JSONL format in
+/// the workspace — see [`crate::json`]).
+pub use crate::json::ParseError;
 
 /// One observability event, as written to / read from a JSONL trace.
 ///
@@ -92,19 +92,19 @@ pub fn encode(ev: &Event) -> String {
             dur_ns,
         } => {
             s.push_str("{\"type\":\"span\",\"name\":");
-            push_json_string(&mut s, name);
+            json::push_string(&mut s, name);
             s.push_str(&format!(",\"start_ns\":{start_ns},\"dur_ns\":{dur_ns}}}"));
         }
         Event::Counter { name, value } => {
             s.push_str("{\"type\":\"counter\",\"name\":");
-            push_json_string(&mut s, name);
+            json::push_string(&mut s, name);
             s.push_str(&format!(",\"value\":{value}}}"));
         }
         Event::Gauge { name, seq, value } => {
             s.push_str("{\"type\":\"gauge\",\"name\":");
-            push_json_string(&mut s, name);
+            json::push_string(&mut s, name);
             s.push_str(&format!(",\"seq\":{seq},\"value\":"));
-            push_json_f64(&mut s, *value);
+            json::push_f64(&mut s, *value);
             s.push('}');
         }
         Event::Hist {
@@ -116,7 +116,7 @@ pub fn encode(ev: &Event) -> String {
             max,
         } => {
             s.push_str("{\"type\":\"hist\",\"name\":");
-            push_json_string(&mut s, name);
+            json::push_string(&mut s, name);
             s.push_str(&format!(
                 ",\"count\":{count},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"max\":{max}}}"
             ));
@@ -125,230 +125,35 @@ pub fn encode(ev: &Event) -> String {
     s
 }
 
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn push_json_f64(out: &mut String, v: f64) {
-    if v.is_nan() {
-        out.push_str("\"NaN\"");
-    } else if v.is_infinite() {
-        out.push_str(if v > 0.0 { "\"inf\"" } else { "\"-inf\"" });
-    } else {
-        // Rust's Display for f64 is the shortest string that parses back to
-        // the same value, so finite gauges round-trip bit-exactly.
-        out.push_str(&format!("{v}"));
-    }
-}
-
-/// Error describing why a line failed to parse.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ParseError {
-    msg: String,
-}
-
-impl ParseError {
-    fn new(msg: impl Into<String>) -> Self {
-        ParseError { msg: msg.into() }
-    }
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error: {}", self.msg)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
 /// Parses one JSONL line back into an [`Event`].
 pub fn parse(line: &str) -> Result<Event, ParseError> {
-    let fields = parse_object(line)?;
-    let ty = get_str(&fields, "type")?;
-    let name = get_str(&fields, "name")?.to_string();
+    let fields = json::parse_object(line)?;
+    let ty = json::get_str(&fields, "type")?;
+    let name = json::get_str(&fields, "name")?.to_string();
     match ty {
         "span" => Ok(Event::Span {
             name,
-            start_ns: get_u64(&fields, "start_ns")?,
-            dur_ns: get_u64(&fields, "dur_ns")?,
+            start_ns: json::get_u64(&fields, "start_ns")?,
+            dur_ns: json::get_u64(&fields, "dur_ns")?,
         }),
         "counter" => Ok(Event::Counter {
             name,
-            value: get_u64(&fields, "value")?,
+            value: json::get_u64(&fields, "value")?,
         }),
         "gauge" => Ok(Event::Gauge {
             name,
-            seq: get_u64(&fields, "seq")?,
-            value: get_f64(&fields, "value")?,
+            seq: json::get_u64(&fields, "seq")?,
+            value: json::get_f64(&fields, "value")?,
         }),
         "hist" => Ok(Event::Hist {
             name,
-            count: get_u64(&fields, "count")?,
-            p50: get_u64(&fields, "p50")?,
-            p95: get_u64(&fields, "p95")?,
-            p99: get_u64(&fields, "p99")?,
-            max: get_u64(&fields, "max")?,
+            count: json::get_u64(&fields, "count")?,
+            p50: json::get_u64(&fields, "p50")?,
+            p95: json::get_u64(&fields, "p95")?,
+            p99: json::get_u64(&fields, "p99")?,
+            max: json::get_u64(&fields, "max")?,
         }),
         other => Err(ParseError::new(format!("unknown event type `{other}`"))),
-    }
-}
-
-/// A raw field value: a decoded string or the unparsed number token.
-enum Token {
-    Str(String),
-    Num(String),
-}
-
-fn get<'a>(fields: &'a [(String, Token)], key: &str) -> Result<&'a Token, ParseError> {
-    fields
-        .iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| ParseError::new(format!("missing field `{key}`")))
-}
-
-fn get_str<'a>(fields: &'a [(String, Token)], key: &str) -> Result<&'a str, ParseError> {
-    match get(fields, key)? {
-        Token::Str(s) => Ok(s),
-        Token::Num(_) => Err(ParseError::new(format!("field `{key}` is not a string"))),
-    }
-}
-
-fn get_u64(fields: &[(String, Token)], key: &str) -> Result<u64, ParseError> {
-    match get(fields, key)? {
-        Token::Num(n) => n
-            .parse()
-            .map_err(|_| ParseError::new(format!("field `{key}`: bad integer `{n}`"))),
-        Token::Str(_) => Err(ParseError::new(format!("field `{key}` is not a number"))),
-    }
-}
-
-fn get_f64(fields: &[(String, Token)], key: &str) -> Result<f64, ParseError> {
-    match get(fields, key)? {
-        Token::Num(n) => n
-            .parse()
-            .map_err(|_| ParseError::new(format!("field `{key}`: bad float `{n}`"))),
-        // Non-finite values travel as strings; f64::from_str accepts the
-        // spellings the encoder produces ("NaN", "inf", "-inf").
-        Token::Str(s) => s
-            .parse()
-            .map_err(|_| ParseError::new(format!("field `{key}`: bad float `{s}`"))),
-    }
-}
-
-/// Minimal parser for one flat JSON object: string keys, values that are
-/// strings or numbers. Nested containers are rejected (the wire format
-/// never produces them).
-fn parse_object(line: &str) -> Result<Vec<(String, Token)>, ParseError> {
-    let mut chars = line.trim().chars().peekable();
-    if chars.next() != Some('{') {
-        return Err(ParseError::new("expected `{`"));
-    }
-    let mut fields = Vec::new();
-    loop {
-        skip_ws(&mut chars);
-        match chars.peek() {
-            Some('}') => {
-                chars.next();
-                break;
-            }
-            Some('"') => {}
-            _ => return Err(ParseError::new("expected field name")),
-        }
-        let key = parse_string(&mut chars)?;
-        skip_ws(&mut chars);
-        if chars.next() != Some(':') {
-            return Err(ParseError::new("expected `:`"));
-        }
-        skip_ws(&mut chars);
-        let value = match chars.peek() {
-            Some('"') => Token::Str(parse_string(&mut chars)?),
-            Some(c) if c.is_ascii_digit() || *c == '-' => {
-                let mut num = String::new();
-                while let Some(&c) = chars.peek() {
-                    if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
-                        num.push(c);
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                Token::Num(num)
-            }
-            _ => return Err(ParseError::new("expected string or number value")),
-        };
-        fields.push((key, value));
-        skip_ws(&mut chars);
-        match chars.next() {
-            Some(',') => continue,
-            Some('}') => break,
-            _ => return Err(ParseError::new("expected `,` or `}`")),
-        }
-    }
-    skip_ws(&mut chars);
-    if chars.next().is_some() {
-        return Err(ParseError::new("trailing characters after object"));
-    }
-    Ok(fields)
-}
-
-fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
-    while matches!(chars.peek(), Some(' ' | '\t')) {
-        chars.next();
-    }
-}
-
-fn parse_string(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-) -> Result<String, ParseError> {
-    if chars.next() != Some('"') {
-        return Err(ParseError::new("expected `\"`"));
-    }
-    let mut out = String::new();
-    loop {
-        match chars.next() {
-            None => return Err(ParseError::new("unterminated string")),
-            Some('"') => return Ok(out),
-            Some('\\') => match chars.next() {
-                Some('"') => out.push('"'),
-                Some('\\') => out.push('\\'),
-                Some('/') => out.push('/'),
-                Some('n') => out.push('\n'),
-                Some('r') => out.push('\r'),
-                Some('t') => out.push('\t'),
-                Some('b') => out.push('\u{8}'),
-                Some('f') => out.push('\u{c}'),
-                Some('u') => {
-                    let mut code = 0u32;
-                    for _ in 0..4 {
-                        let d = chars
-                            .next()
-                            .and_then(|c| c.to_digit(16))
-                            .ok_or_else(|| ParseError::new("bad \\u escape"))?;
-                        code = code * 16 + d;
-                    }
-                    let c = char::from_u32(code)
-                        .ok_or_else(|| ParseError::new("\\u escape is not a scalar value"))?;
-                    out.push(c);
-                }
-                _ => return Err(ParseError::new("unknown escape")),
-            },
-            Some(c) => out.push(c),
-        }
     }
 }
 

@@ -1,0 +1,199 @@
+//! `marketload` — load generator for the `mec-serve` daemon.
+//!
+//! ```text
+//! marketload <addr> [flags]        drive an already-running daemon
+//! marketload --smoke [flags]       boot an in-process daemon on an
+//!                                  ephemeral port, drive it, drain it
+//!
+//! flags:
+//!   --sessions N    concurrent sessions           (default 8)
+//!   --epochs N      churn epochs per session      (default 20)
+//!   --seed S        base RNG seed                 (default 1)
+//!   --out PATH      write the JSON report here    (default BENCH_serve.json;
+//!                   debug and --obs runs divert to BENCH_serve.local.json —
+//!                   the checked-in artifact records release timings only)
+//!   --obs PATH      capture an observability trace (needs --features obs)
+//!   --providers N   provider universe, smoke only (default 100)
+//!   --size N        network size, smoke only      (default 100)
+//!   --snapshot P    daemon snapshot file, smoke only
+//! ```
+//!
+//! In `--smoke` mode the exit code reflects the full acceptance check:
+//! non-zero if any session hit a transport error, any drained-placement
+//! certificate failed (with `--features verify`), or the final state was
+//! not an equilibrium of the active providers.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use mec_serve::{run_load, serve, Client, LoadConfig, ServerConfig};
+use mec_workload::{gtitm_scenario, Params};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag_value(args, name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid {name} '{raw}' (expected a number)");
+            exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let addr = args.first().filter(|a| !a.starts_with("--")).cloned();
+    if addr.is_none() && !smoke {
+        eprintln!("usage: marketload <addr|--smoke> [--sessions N] [--epochs N] [--seed S]");
+        eprintln!("                  [--out PATH] [--obs PATH] [--providers N] [--size N]");
+        eprintln!("                  [--snapshot PATH]");
+        exit(2);
+    }
+    let cfg = LoadConfig {
+        sessions: parse_flag(&args, "--sessions", 8),
+        epochs: parse_flag(&args, "--epochs", 20),
+        seed: parse_flag(&args, "--seed", 1),
+        ..LoadConfig::default()
+    };
+    let mut out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let obs_trace = flag_value(&args, "--obs");
+    // BENCH_serve.json is a release-timing artifact; debug builds and
+    // armed obs probes both sit inside the timed request loops, so such
+    // runs must not overwrite it (same guard as sweepbench).
+    if out_path == "BENCH_serve.json" && (cfg!(debug_assertions) || obs_trace.is_some()) {
+        eprintln!(
+            "note: debug/--obs run; writing BENCH_serve.local.json instead of BENCH_serve.json"
+        );
+        out_path = "BENCH_serve.local.json".to_string();
+    }
+    if let Some(trace) = obs_trace {
+        if let Err(e) = mec_obs::install_file(std::path::Path::new(&trace)) {
+            eprintln!("cannot open obs trace {trace}: {e}");
+            exit(1);
+        }
+    }
+
+    let status = if smoke {
+        run_smoke(&args, &cfg, &out_path)
+    } else {
+        run_remote(&addr.unwrap_or_default(), &cfg, &out_path)
+    };
+    mec_obs::flush();
+    exit(status);
+}
+
+/// Drives an external daemon (never shuts it down).
+fn run_remote(addr: &str, cfg: &LoadConfig, out_path: &str) -> i32 {
+    let providers = match Client::connect(addr).and_then(|mut c| c.stats()) {
+        Ok(stats) => stats.providers,
+        Err(e) => {
+            eprintln!("cannot reach daemon at {addr}: {e}");
+            return 1;
+        }
+    };
+    match run_load(addr, providers, cfg) {
+        Ok(report) => finish(&report, out_path, false),
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            1
+        }
+    }
+}
+
+/// Boots an in-process daemon on an ephemeral port, drives it, drains it,
+/// and checks the drain certificates.
+fn run_smoke(args: &[String], cfg: &LoadConfig, out_path: &str) -> i32 {
+    let providers: usize = parse_flag(args, "--providers", 100);
+    let size: usize = parse_flag(args, "--size", 100);
+    let scenario = gtitm_scenario(size, &Params::paper().with_providers(providers), cfg.seed);
+    let server_cfg = ServerConfig {
+        snapshot_path: flag_value(args, "--snapshot").map(PathBuf::from),
+        ..ServerConfig::default()
+    };
+    let handle = match serve(scenario.generated.market, &server_cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot boot daemon: {e}");
+            return 1;
+        }
+    };
+    let addr = handle.addr().to_string();
+    println!("smoke daemon on {addr} ({providers} providers, size-{size} network)");
+
+    let report = match run_load(&addr, providers, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            // Still drain the daemon so the process exits cleanly.
+            let _ = Client::connect(&addr).and_then(|mut c| c.shutdown());
+            let _ = handle.join();
+            return 1;
+        }
+    };
+    if let Err(e) = Client::connect(&addr).and_then(|mut c| c.shutdown()) {
+        eprintln!("shutdown request failed: {e}");
+        return 1;
+    }
+    let outcome = handle.join();
+    let mut status = finish(&report, out_path, true);
+    println!(
+        "drained at seq {} after {} epochs / {} moves (equilibrium: {})",
+        outcome.seq, outcome.epochs, outcome.moves, outcome.equilibrium
+    );
+    if !outcome.equilibrium {
+        eprintln!("FAIL: drained placement is not an active-player equilibrium");
+        status = 1;
+    }
+    for v in &outcome.violations {
+        eprintln!("FAIL: certificate violation: {v}");
+        status = 1;
+    }
+    status
+}
+
+/// Prints the human summary, writes the JSON report, and applies the
+/// error-count gate in smoke mode.
+fn finish(report: &mec_serve::LoadReport, out_path: &str, smoke: bool) -> i32 {
+    println!(
+        "{} ops in {:.3}s  ({:.0} ops/s), {} rejected",
+        report.ops(),
+        report.elapsed.as_secs_f64(),
+        report.ops_per_sec(),
+        report.rejected
+    );
+    for (name, op) in [
+        ("join", &report.join),
+        ("leave", &report.leave),
+        ("update", &report.update),
+        ("query", &report.query),
+    ] {
+        println!(
+            "  {name:<7} n={:<6} p50={}us p95={}us p99={}us max={}us errors={}",
+            op.latency.count(),
+            op.latency.percentile(0.50) / 1_000,
+            op.latency.percentile(0.95) / 1_000,
+            op.latency.percentile(0.99) / 1_000,
+            op.latency.max() / 1_000,
+            op.errors
+        );
+    }
+    if let Err(e) = std::fs::write(out_path, format!("{}\n", report.to_json())) {
+        eprintln!("cannot write {out_path}: {e}");
+        return 1;
+    }
+    println!("report written to {out_path}");
+    let errors =
+        report.join.errors + report.leave.errors + report.update.errors + report.query.errors;
+    if smoke && errors > 0 {
+        eprintln!("FAIL: {errors} protocol errors during smoke run");
+        return 1;
+    }
+    0
+}

@@ -1,0 +1,338 @@
+//! Hand-rolled bounded MPSC channel and oneshot reply slot.
+//!
+//! The workspace vendors no channel crate, so the daemon's single-writer
+//! command queue is built from `Mutex` + `Condvar`: many connection
+//! threads [`Sender::send`] commands, one market thread [`Receiver::recv`]s
+//! them. The buffer is bounded — a flood of writers blocks at `send`
+//! (backpressure) instead of growing the queue without limit. Replies
+//! travel back on a [`oneshot`] slot per command.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct ChanState<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    /// Live [`Sender`] clones; 0 with an empty buffer means disconnected.
+    senders: usize,
+    /// Set when the receiver is dropped: sends fail immediately.
+    closed: bool,
+}
+
+struct Chan<T> {
+    state: Mutex<ChanState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half; clone freely across connection threads.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half; exactly one exists per channel.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The message could not be delivered (receiver gone); gives the value back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Why a timed receive returned without a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeout {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Every sender is gone and the buffer is drained.
+    Disconnected,
+}
+
+/// Creates a bounded MPSC channel holding at most `cap` queued messages.
+///
+/// # Panics
+///
+/// Panics if `cap == 0`.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "channel capacity must be positive");
+    let chan = Arc::new(Chan {
+        state: Mutex::new(ChanState {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            senders: 1,
+            closed: false,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = lock_ok(&self.chan.state);
+        loop {
+            if st.closed {
+                return Err(SendError(value));
+            }
+            if st.buf.len() < st.cap {
+                st.buf.push_back(value);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            st = wait_ok(&self.chan.not_full, st);
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock_ok(&self.chan.state).senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = lock_ok(&self.chan.state);
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake a receiver blocked on an empty buffer so it observes
+            // the disconnect.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvTimeout> {
+        let mut st = lock_ok(&self.chan.state);
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeout::Disconnected);
+            }
+            st = wait_ok(&self.chan.not_empty, st);
+        }
+    }
+
+    /// Blocks up to `timeout` for a message. [`RecvTimeout::Timeout`] is
+    /// the market thread's cue to spend the idle gap on an
+    /// equilibrium-maintenance epoch.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeout> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = lock_ok(&self.chan.state);
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeout::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeout::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .chan
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Drains whatever is queued right now without blocking.
+    pub fn try_drain(&self) -> Vec<T> {
+        let mut st = lock_ok(&self.chan.state);
+        let out: Vec<T> = st.buf.drain(..).collect();
+        if !out.is_empty() {
+            self.chan.not_full.notify_all();
+        }
+        out
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = lock_ok(&self.chan.state);
+        st.closed = true;
+        st.buf.clear();
+        // Unblock writers stuck on a full buffer so they observe `closed`.
+        self.chan.not_full.notify_all();
+    }
+}
+
+/// A single-use reply slot: the market thread sends exactly one response,
+/// the connection thread blocks on it.
+pub fn oneshot<T>() -> (OneSender<T>, OneReceiver<T>) {
+    let slot = Arc::new(OneSlot {
+        state: Mutex::new(OneState {
+            value: None,
+            sender_gone: false,
+        }),
+        filled: Condvar::new(),
+    });
+    (OneSender { slot: slot.clone() }, OneReceiver { slot })
+}
+
+struct OneState<T> {
+    value: Option<T>,
+    sender_gone: bool,
+}
+
+struct OneSlot<T> {
+    state: Mutex<OneState<T>>,
+    filled: Condvar,
+}
+
+/// Sending half of [`oneshot`].
+pub struct OneSender<T> {
+    slot: Arc<OneSlot<T>>,
+}
+
+/// Receiving half of [`oneshot`].
+pub struct OneReceiver<T> {
+    slot: Arc<OneSlot<T>>,
+}
+
+impl<T> OneSender<T> {
+    /// Fills the slot (first write wins) and wakes the receiver.
+    pub fn send(self, value: T) {
+        let mut st = lock_ok(&self.slot.state);
+        if st.value.is_none() {
+            st.value = Some(value);
+        }
+        self.slot.filled.notify_all();
+        // Drop runs next and marks the sender gone.
+    }
+}
+
+impl<T> Drop for OneSender<T> {
+    fn drop(&mut self) {
+        let mut st = lock_ok(&self.slot.state);
+        st.sender_gone = true;
+        self.slot.filled.notify_all();
+    }
+}
+
+impl<T> OneReceiver<T> {
+    /// Blocks for the reply; `None` if the sender was dropped without
+    /// replying (market thread died or rejected the command at drain).
+    pub fn recv(self) -> Option<T> {
+        let mut st = lock_ok(&self.slot.state);
+        loop {
+            if let Some(v) = st.value.take() {
+                return Some(v);
+            }
+            if st.sender_gone {
+                return None;
+            }
+            st = wait_ok(&self.slot.filled, st);
+        }
+    }
+}
+
+/// Locks a mutex, proceeding through poisoning: the daemon's shared state
+/// is a queue of owned values, all of which remain structurally valid even
+/// if a holder panicked mid-critical-section.
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait_ok<'a, T>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, T>,
+) -> std::sync::MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeout::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn disconnect_when_all_senders_drop() {
+        let (tx, rx) = bounded::<u32>(1);
+        let tx2 = tx.clone();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvTimeout::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn bounded_blocks_and_resumes() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2)); // lint: allow(thread-spawn)
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1)); // frees the slot, unblocks the sender
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oneshot_round_trip() {
+        let (tx, rx) = oneshot();
+        tx.send("hi");
+        assert_eq!(rx.recv(), Some("hi"));
+    }
+
+    #[test]
+    fn oneshot_sender_dropped() {
+        let (tx, rx) = oneshot::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn try_drain_empties_queue() {
+        let (tx, rx) = bounded(8);
+        for k in 0..5 {
+            tx.send(k).unwrap();
+        }
+        assert_eq!(rx.try_drain(), vec![0, 1, 2, 3, 4]);
+        assert!(rx.try_drain().is_empty());
+    }
+}

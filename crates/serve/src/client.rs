@@ -1,0 +1,166 @@
+//! A blocking client for the daemon's wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol is strictly request/response per connection).
+//! Protocol-level failures (`{"ok":0,...}`) come back as
+//! [`Response::Error`] values, not `Err` — only transport problems are
+//! `std::io::Error`.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{self, Request, Response, StatsReport};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sets a read timeout so a wedged daemon cannot hang the client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setsockopt failures.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure, an unparseable reply, or the server
+    /// closing the connection without replying.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        proto::write_frame(&mut self.writer, &proto::encode_request(req))?;
+        let payload = proto::read_frame(&mut self.reader)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            )
+        })?;
+        proto::parse_response(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// `join`: request admission (daemon picks the cloudlet).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only; rejections are [`Response::Rejected`].
+    pub fn join(&mut self, provider: usize) -> std::io::Result<Response> {
+        self.request(&Request::Join {
+            provider,
+            cloudlet: None,
+        })
+    }
+
+    /// `join` at a specific cloudlet.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn join_at(&mut self, provider: usize, cloudlet: usize) -> std::io::Result<Response> {
+        self.request(&Request::Join {
+            provider,
+            cloudlet: Some(cloudlet),
+        })
+    }
+
+    /// `leave`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn leave(&mut self, provider: usize) -> std::io::Result<Response> {
+        self.request(&Request::Leave { provider })
+    }
+
+    /// `update`: replace the provider's demand vector.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn update(
+        &mut self,
+        provider: usize,
+        compute: f64,
+        bandwidth: f64,
+    ) -> std::io::Result<Response> {
+        self.request(&Request::UpdateDemand {
+            provider,
+            compute,
+            bandwidth,
+        })
+    }
+
+    /// `query`: the provider's current placement.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn query(&mut self, provider: usize) -> std::io::Result<Response> {
+        self.request(&Request::Query { provider })
+    }
+
+    /// `stats`, decoded into a [`StatsReport`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, plus `InvalidData` if the server answers with
+    /// anything but a stats record.
+    pub fn stats(&mut self) -> std::io::Result<StatsReport> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected stats, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Admin `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn snapshot(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Snapshot)
+    }
+
+    /// Admin `restore`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn restore(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Restore)
+    }
+
+    /// Admin `shutdown`: begins the graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,44 @@
+//! A live service-market daemon for the MEC caching game.
+//!
+//! Everything else in the workspace evaluates the mechanism offline: fix
+//! a market, run the dynamics, measure the equilibrium. This crate turns
+//! the same machinery into an online system — a TCP daemon where service
+//! providers join, leave, and reshape their demand while the market stays
+//! stable:
+//!
+//! * [`proto`] — the length-prefixed JSONL wire protocol (shares its JSON
+//!   escaping/number rules with the observability traces via
+//!   [`mec_obs::json`]);
+//! * [`chan`] — hand-rolled bounded MPSC + oneshot channels (std-only; the
+//!   vendored tree has no channel crate);
+//! * [`view`] — immutable published snapshots for reader threads;
+//! * [`market`] — the single-writer market thread: admission control
+//!   against the incremental [`mec_core::GameState`] residuals (Eq. 4–5),
+//!   bounded best-response *equilibrium maintenance* epochs between
+//!   requests (Lemma 3), versioned crash-recovery snapshots;
+//! * [`server`] — acceptor + connection threads over `std::net`;
+//! * [`client`] — a blocking protocol client;
+//! * [`load`] — the `marketload` engine: concurrent churn-scripted
+//!   sessions with per-op latency histograms.
+//!
+//! Build with `--features verify` to re-certify the drained placement
+//! (capacity + Nash certificates) on shutdown, and `--features obs` to
+//! arm the observability probes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chan;
+pub mod client;
+pub mod load;
+pub mod market;
+pub mod proto;
+pub mod server;
+pub mod view;
+
+pub use client::Client;
+pub use load::{run_load, LoadConfig, LoadReport};
+pub use market::{MarketConfig, MarketOutcome};
+pub use proto::{Request, Response, StatsReport};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use view::{MarketView, SharedView};

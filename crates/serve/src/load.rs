@@ -1,0 +1,409 @@
+//! The `marketload` engine: concurrent provider sessions driving a
+//! daemon, with per-op latency histograms.
+//!
+//! The provider universe is split into disjoint slices, one per session.
+//! Each session opens its own connection and replays a
+//! [`mec_workload::churn`] script over its slice — arrivals become
+//! `join`s, departures `leave`s — interleaved with `query` reads and
+//! periodic `update` demand changes. Latencies are recorded per op type
+//! into always-compiled [`mec_obs::Histogram`]s (nanosecond unit), so the
+//! report works without any cargo feature; building with `--features obs`
+//! additionally streams the same measurements into the observability
+//! trace.
+
+use std::time::{Duration, Instant};
+
+use mec_obs::{json, Histogram};
+use mec_workload::churn::{generate_script, ChurnConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::client::Client;
+use crate::proto::{Response, StatsReport};
+
+/// Shape of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent sessions (connections); the provider universe is split
+    /// evenly across them.
+    pub sessions: usize,
+    /// Churn epochs each session replays.
+    pub epochs: usize,
+    /// Queries issued per session per epoch.
+    pub queries_per_epoch: usize,
+    /// Issue one demand `update` every this many epochs (0 disables).
+    pub update_every: usize,
+    /// Base RNG seed; session `s` uses `seed + s`.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            sessions: 8,
+            epochs: 20,
+            queries_per_epoch: 4,
+            update_every: 5,
+            seed: 1,
+        }
+    }
+}
+
+/// Latency histogram plus outcome counters for one op type.
+#[derive(Debug, Clone, Default)]
+pub struct OpStats {
+    /// Latency distribution in nanoseconds.
+    pub latency: Histogram,
+    /// Requests answered with `{"ok":0,...}`.
+    pub errors: u64,
+}
+
+impl OpStats {
+    fn record(&mut self, started: Instant, resp: &std::io::Result<Response>) {
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.latency.record(nanos);
+        if matches!(resp, Ok(Response::Error { .. }) | Err(_)) {
+            self.errors += 1;
+        }
+    }
+
+    fn merge(&mut self, other: &OpStats) {
+        self.latency.merge(&other.latency);
+        self.errors += other.errors;
+    }
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Sessions that ran.
+    pub sessions: usize,
+    /// Size of the provider universe.
+    pub providers: usize,
+    /// Churn epochs replayed per session.
+    pub epochs: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// `join` latencies/outcomes.
+    pub join: OpStats,
+    /// `leave` latencies/outcomes.
+    pub leave: OpStats,
+    /// `update` latencies/outcomes.
+    pub update: OpStats,
+    /// `query` latencies/outcomes.
+    pub query: OpStats,
+    /// Joins answered `rejected` (admission control, not errors).
+    pub rejected: u64,
+    /// Daemon stats sampled right after the run.
+    pub server: StatsReport,
+}
+
+impl LoadReport {
+    /// Total requests issued.
+    pub fn ops(&self) -> u64 {
+        self.join.latency.count()
+            + self.leave.latency.count()
+            + self.update.latency.count()
+            + self.query.latency.count()
+    }
+
+    /// Aggregate throughput over the whole run.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.ops() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the report as one flat JSON object (the
+    /// `BENCH_serve.json` format), parseable by [`mec_obs::json`].
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"benchmark\":\"serve\"");
+        for (k, v) in [
+            ("sessions", self.sessions as u64),
+            ("providers", self.providers as u64),
+            ("epochs", self.epochs as u64),
+            ("ops", self.ops()),
+            ("rejected", self.rejected),
+            ("server_seq", self.server.seq),
+            ("server_epochs", self.server.epochs),
+            ("server_moves", self.server.moves),
+            ("server_active", self.server.active as u64),
+            ("server_cached", self.server.cached as u64),
+            ("server_equilibrium", u64::from(self.server.equilibrium)),
+        ] {
+            s.push_str(&format!(",\"{k}\":{v}"));
+        }
+        s.push_str(",\"elapsed_s\":");
+        json::push_f64(&mut s, self.elapsed.as_secs_f64());
+        s.push_str(",\"ops_per_sec\":");
+        json::push_f64(&mut s, self.ops_per_sec());
+        s.push_str(",\"server_social_cost\":");
+        json::push_f64(&mut s, self.server.social_cost);
+        for (name, op) in [
+            ("join", &self.join),
+            ("leave", &self.leave),
+            ("update", &self.update),
+            ("query", &self.query),
+        ] {
+            s.push_str(&format!(
+                ",\"{name}_count\":{},\"{name}_errors\":{}",
+                op.latency.count(),
+                op.errors
+            ));
+            for (tag, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                s.push_str(&format!(
+                    ",\"{name}_{tag}_ns\":{}",
+                    op.latency.percentile(q)
+                ));
+            }
+            s.push_str(&format!(",\"{name}_max_ns\":{}", op.latency.max()));
+            s.push_str(&format!(",\"{name}_mean_ns\":", name = name));
+            json::push_f64(&mut s, op.latency.mean());
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// What one session thread brings home.
+struct SessionResult {
+    join: OpStats,
+    leave: OpStats,
+    update: OpStats,
+    query: OpStats,
+    rejected: u64,
+}
+
+/// Runs the load against a daemon at `addr` whose provider universe has
+/// `providers` entries.
+///
+/// # Errors
+///
+/// Fails on connection errors or if any session hits a transport error.
+///
+/// # Panics
+///
+/// Panics if `sessions == 0`, `providers < sessions`, or a session
+/// thread panics.
+pub fn run_load(addr: &str, providers: usize, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
+    assert!(cfg.sessions > 0, "need at least one session");
+    assert!(
+        providers >= cfg.sessions,
+        "cannot split {providers} providers across {} sessions",
+        cfg.sessions
+    );
+    let started = Instant::now();
+    let results: Vec<std::io::Result<SessionResult>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.sessions)
+            .map(|s| {
+                // Split [0, providers) into near-equal contiguous slices.
+                let lo = s * providers / cfg.sessions;
+                let hi = (s + 1) * providers / cfg.sessions;
+                scope.spawn(move |_| run_session(addr, lo, hi, cfg, cfg.seed + s as u64))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    })
+    .unwrap_or_else(|e| std::panic::resume_unwind(e));
+
+    let elapsed = started.elapsed();
+    let mut report = LoadReport {
+        sessions: cfg.sessions,
+        providers,
+        epochs: cfg.epochs,
+        elapsed,
+        join: OpStats::default(),
+        leave: OpStats::default(),
+        update: OpStats::default(),
+        query: OpStats::default(),
+        rejected: 0,
+        server: Client::connect(addr)?.stats()?,
+    };
+    for r in results {
+        let r = r?;
+        report.join.merge(&r.join);
+        report.leave.merge(&r.leave);
+        report.update.merge(&r.update);
+        report.query.merge(&r.query);
+        report.rejected += r.rejected;
+    }
+    // Mirror the merged distributions into the obs registry so a trace
+    // built with `--features obs` carries them too (no-ops otherwise).
+    for (name, op) in [
+        ("marketload.join.ns", &report.join),
+        ("marketload.leave.ns", &report.leave),
+        ("marketload.update.ns", &report.update),
+        ("marketload.query.ns", &report.query),
+    ] {
+        for q in [0.50, 0.95, 0.99] {
+            mec_obs::record(name, op.latency.percentile(q));
+        }
+        mec_obs::counter_add(name, op.latency.count());
+    }
+    mec_obs::counter_add("marketload.rejected", report.rejected);
+    Ok(report)
+}
+
+/// One session: replay a churn script over the providers `[lo, hi)`.
+fn run_session(
+    addr: &str,
+    lo: usize,
+    hi: usize,
+    cfg: &LoadConfig,
+    seed: u64,
+) -> std::io::Result<SessionResult> {
+    let slice = hi - lo;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let script = generate_script(slice, &session_churn(slice, cfg, seed));
+    let mut client = Client::connect(addr)?;
+    let mut out = SessionResult {
+        join: OpStats::default(),
+        leave: OpStats::default(),
+        update: OpStats::default(),
+        query: OpStats::default(),
+        rejected: 0,
+    };
+    let mut joined: Vec<usize> = Vec::with_capacity(slice);
+    for (epoch, event) in script.iter().enumerate() {
+        for d in &event.departures {
+            let global = lo + d.index();
+            // The script may depart a provider whose join was rejected;
+            // only providers actually admitted get a `leave`.
+            if !joined.contains(&global) {
+                continue;
+            }
+            let t = Instant::now();
+            let resp = client.leave(global);
+            out.leave.record(t, &resp);
+            resp?;
+            joined.retain(|&g| g != global);
+        }
+        for a in &event.arrivals {
+            let global = lo + a.index();
+            let t = Instant::now();
+            let resp = client.join(global);
+            out.join.record(t, &resp);
+            match resp? {
+                Response::Admitted { .. } => joined.push(global),
+                Response::Rejected { .. } => out.rejected += 1,
+                _ => {}
+            }
+        }
+        for _ in 0..cfg.queries_per_epoch {
+            let global = lo + rng.random_range(0..slice);
+            let t = Instant::now();
+            let resp = client.query(global);
+            out.query.record(t, &resp);
+            resp?;
+        }
+        if cfg.update_every > 0 && epoch % cfg.update_every == cfg.update_every - 1 {
+            if let Some(&global) = joined.first() {
+                // Jitter the demand vector within the workload's typical
+                // range; the daemon evicts if the new demand no longer fits.
+                let compute = 0.5 + rng.random_range(0..150) as f64 / 100.0;
+                let bandwidth = 2.0 + rng.random_range(0..600) as f64 / 100.0;
+                let t = Instant::now();
+                let resp = client.update(global, compute, bandwidth);
+                out.update.record(t, &resp);
+                resp?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Scales the default churn shape to a session's slice so the script's
+/// ramp never overflows the slice universe.
+fn session_churn(slice: usize, cfg: &LoadConfig, seed: u64) -> ChurnConfig {
+    let ramp_epochs = (cfg.epochs / 4).clamp(1, slice);
+    let ramp_arrivals = (slice / ramp_epochs).max(1).min(slice);
+    ChurnConfig {
+        epochs: cfg.epochs,
+        ramp_epochs,
+        ramp_arrivals,
+        steady_turnover: (slice / 8).max(1),
+        diurnal_period: Some((cfg.epochs / 2).max(2)),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_shape_fits_every_slice_size() {
+        let cfg = LoadConfig::default();
+        for slice in 1..40 {
+            let c = session_churn(slice, &cfg, 0);
+            assert!(
+                c.ramp_epochs * c.ramp_arrivals <= slice,
+                "slice {slice}: ramp {}x{} overflows",
+                c.ramp_epochs,
+                c.ramp_arrivals
+            );
+            // generate_script panics on an invalid shape; run it to be sure.
+            let script = generate_script(slice, &c);
+            assert_eq!(script.len(), cfg.epochs);
+        }
+    }
+
+    #[test]
+    fn report_json_is_flat_and_parseable() {
+        let report = LoadReport {
+            sessions: 2,
+            providers: 10,
+            epochs: 5,
+            elapsed: Duration::from_millis(1500),
+            join: OpStats::default(),
+            leave: OpStats::default(),
+            update: OpStats::default(),
+            query: OpStats::default(),
+            rejected: 3,
+            server: StatsReport {
+                seq: 9,
+                providers: 10,
+                active: 4,
+                cached: 4,
+                social_cost: 12.5,
+                epochs: 2,
+                moves: 6,
+                equilibrium: true,
+            },
+        };
+        let text = report.to_json();
+        let fields = json::parse_object(&text).unwrap();
+        assert_eq!(json::get_str(&fields, "benchmark").unwrap(), "serve");
+        assert_eq!(json::get_u64(&fields, "rejected").unwrap(), 3);
+        assert_eq!(json::get_u64(&fields, "server_equilibrium").unwrap(), 1);
+        assert!(json::get_f64(&fields, "ops_per_sec").unwrap() >= 0.0);
+        assert_eq!(json::get_u64(&fields, "join_p99_ns").unwrap(), 0);
+    }
+
+    #[test]
+    fn op_stats_count_errors_and_merge() {
+        let mut a = OpStats::default();
+        let t = Instant::now();
+        a.record(t, &Ok(Response::Left));
+        a.record(
+            t,
+            &Ok(Response::Error {
+                msg: "x".to_string(),
+            }),
+        );
+        let mut b = OpStats::default();
+        b.record(t, &Ok(Response::Left));
+        a.merge(&b);
+        assert_eq!(a.latency.count(), 3);
+        assert_eq!(a.errors, 1);
+    }
+}

@@ -1,0 +1,754 @@
+//! The single-writer market thread: admission control, equilibrium
+//! maintenance, snapshots, and graceful drain.
+//!
+//! One thread owns the [`Market`] and an incremental [`GameState`] over
+//! it. Connection threads enqueue [`Command`]s on a bounded channel; the
+//! market thread applies them one at a time, so every mutation is
+//! serialized and the incremental aggregates never race. Between
+//! commands — whenever the queue stays empty for the configured idle
+//! gap — the thread spends the slack on *equilibrium maintenance*: a
+//! bounded best-response epoch that applies at most `epoch_moves`
+//! improving moves (Lemma 3 dynamics, amortized so a busy daemon never
+//! starves requests behind a long convergence run).
+//!
+//! [`GameState`] borrows the market, so commands that must mutate the
+//! market itself (demand updates, restores) exit the inner serving loop,
+//! mutate, and rebuild the state in `O(N + M)` — the `'rebuild` pattern.
+//! After every state-changing command or epoch the thread publishes an
+//! immutable [`MarketView`] for the reader threads — always *before*
+//! acknowledging the command, so a client that has its reply in hand can
+//! immediately read its own write through `query`/`stats`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mec_core::game::IMPROVEMENT_TOL;
+use mec_core::model::Market;
+use mec_core::{load_snapshot, save_snapshot, GameState, Placement, Profile, ProviderId};
+use mec_topology::CloudletId;
+
+use crate::chan::{OneSender, Receiver, RecvTimeout};
+use crate::proto::{Response, StatsReport};
+use crate::view::{MarketView, SharedView};
+
+/// A mutating request, carried from a connection thread to the market
+/// thread with a oneshot reply slot. Reads (`query`/`stats`) never become
+/// commands — they are answered from the published [`MarketView`].
+pub enum Command {
+    /// Admit a provider (optionally at a specific cloudlet).
+    Join {
+        /// Provider id.
+        provider: usize,
+        /// Requested cloudlet, if any.
+        cloudlet: Option<usize>,
+        /// Reply slot.
+        reply: OneSender<Response>,
+    },
+    /// Deactivate a provider.
+    Leave {
+        /// Provider id.
+        provider: usize,
+        /// Reply slot.
+        reply: OneSender<Response>,
+    },
+    /// Replace a provider's demand vector.
+    Update {
+        /// Provider id.
+        provider: usize,
+        /// New compute demand.
+        compute: f64,
+        /// New bandwidth demand.
+        bandwidth: f64,
+        /// Reply slot.
+        reply: OneSender<Response>,
+    },
+    /// Write the snapshot file now.
+    Snapshot {
+        /// Reply slot.
+        reply: OneSender<Response>,
+    },
+    /// Reload state from the snapshot file.
+    Restore {
+        /// Reply slot.
+        reply: OneSender<Response>,
+    },
+    /// Begin a graceful drain.
+    Shutdown {
+        /// Reply slot.
+        reply: OneSender<Response>,
+    },
+}
+
+/// Tuning knobs of the market thread.
+#[derive(Debug, Clone)]
+pub struct MarketConfig {
+    /// Improving moves allowed per maintenance epoch.
+    pub epoch_moves: usize,
+    /// Queue-empty gap that triggers a maintenance epoch.
+    pub idle: Duration,
+    /// Snapshot file; `None` disables `snapshot`/`restore` and the final
+    /// drain snapshot.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            epoch_moves: 32,
+            idle: Duration::from_millis(2),
+            snapshot_path: None,
+        }
+    }
+}
+
+/// What the market thread hands back when it drains.
+#[derive(Debug)]
+pub struct MarketOutcome {
+    /// Final state version.
+    pub seq: u64,
+    /// Final placement profile.
+    pub profile: Profile,
+    /// Final admission mask.
+    pub active: Vec<bool>,
+    /// Maintenance epochs run over the daemon's lifetime.
+    pub epochs: u64,
+    /// Improving moves those epochs applied.
+    pub moves: u64,
+    /// `true` if the drained placement is a Nash equilibrium of the
+    /// active providers.
+    pub equilibrium: bool,
+    /// Violations found by the exit certification (always empty unless
+    /// the `verify` feature is on and something is wrong).
+    pub violations: Vec<String>,
+}
+
+/// A reply whose command forced a `'rebuild` — it is answered (and the
+/// rebuilt view published) before the new serving loop starts.
+enum Pending {
+    /// `update_demand`: settle eviction on the rebuilt state.
+    Update(ProviderId, OneSender<Response>),
+    /// `restore`: acknowledge with the restored sequence number.
+    Restore(u64, OneSender<Response>),
+}
+
+/// Mutable book-keeping that survives `'rebuild` iterations.
+struct Book {
+    active: Vec<bool>,
+    seq: u64,
+    epochs: u64,
+    moves: u64,
+    equilibrium: bool,
+    /// Round-robin scan position for maintenance epochs.
+    cursor: usize,
+}
+
+/// Runs the market thread to completion. `market`/`profile`/`active`/`seq`
+/// are the boot state (possibly restored from a snapshot by the caller);
+/// the function returns when a `shutdown` command drains it or every
+/// sender disappears.
+pub fn run_market(
+    mut market: Market,
+    mut profile: Profile,
+    active: Vec<bool>,
+    seq: u64,
+    rx: &Receiver<Command>,
+    view: &SharedView,
+    cfg: &MarketConfig,
+) -> MarketOutcome {
+    let mut book = Book {
+        active,
+        seq,
+        epochs: 0,
+        moves: 0,
+        equilibrium: false,
+        cursor: 0,
+    };
+    // Commands that mutate the market itself finish after the rebuild.
+    let mut pending: Option<Pending> = None;
+
+    'rebuild: loop {
+        let mut state = GameState::new(&market, profile.clone());
+        // Publish before acknowledging: a client that sees the reply must
+        // be able to read its own write from the view (`query`/`stats`
+        // never round-trip through this thread).
+        let settled = pending.take().map(|p| match p {
+            Pending::Update(l, reply) => (settle_update(&mut state, &mut book, l), reply),
+            Pending::Restore(seq, reply) => (Response::Restored { seq }, reply),
+        });
+        publish(view, &state, &book);
+        if let Some((resp, reply)) = settled {
+            reply.send(resp);
+        }
+
+        loop {
+            let cmd = match rx.recv_timeout(cfg.idle) {
+                Ok(cmd) => cmd,
+                Err(RecvTimeout::Timeout) => {
+                    if !book.equilibrium {
+                        run_epoch(&mut state, &mut book, cfg.epoch_moves);
+                        publish(view, &state, &book);
+                    }
+                    continue;
+                }
+                // Every sender (acceptor + connections) is gone: the
+                // server is tearing down without a drain command.
+                Err(RecvTimeout::Disconnected) => {
+                    return finish(state, book, cfg, &[]);
+                }
+            };
+            match cmd {
+                Command::Join {
+                    provider,
+                    cloudlet,
+                    reply,
+                } => {
+                    let resp = handle_join(&mut state, &mut book, provider, cloudlet);
+                    publish(view, &state, &book);
+                    reply.send(resp);
+                }
+                Command::Leave { provider, reply } => {
+                    let resp = handle_leave(&mut state, &mut book, provider);
+                    publish(view, &state, &book);
+                    reply.send(resp);
+                }
+                Command::Update {
+                    provider,
+                    compute,
+                    bandwidth,
+                    reply,
+                } => {
+                    let bad = [compute, bandwidth]
+                        .iter()
+                        .any(|v| !v.is_finite() || *v < 0.0);
+                    if provider >= state.len() {
+                        reply.send(unknown_provider(provider));
+                    } else if bad {
+                        reply.send(Response::Error {
+                            msg: format!(
+                                "demands must be finite and non-negative, \
+                                 got ({compute}, {bandwidth})"
+                            ),
+                        });
+                    } else {
+                        // The state borrows the market: release it, mutate,
+                        // and rebuild. The reply waits for the rebuilt state
+                        // so it can report the post-update cost.
+                        let l = ProviderId(provider);
+                        profile = state.into_profile();
+                        market.set_provider_demand(l, compute, bandwidth);
+                        book.seq += 1;
+                        book.equilibrium = false;
+                        pending = Some(Pending::Update(l, reply));
+                        continue 'rebuild;
+                    }
+                }
+                Command::Restore { reply } => {
+                    let Some(path) = cfg.snapshot_path.as_deref() else {
+                        reply.send(Response::Error {
+                            msg: "daemon was started without --snapshot".to_string(),
+                        });
+                        continue;
+                    };
+                    match load_snapshot(path) {
+                        Ok(snap) => {
+                            // Acknowledged only after the rebuild publishes
+                            // the rewound view (see the 'rebuild prologue).
+                            drop(state.into_profile());
+                            market = snap.market;
+                            profile = snap.profile;
+                            book.active = snap.active;
+                            book.seq = snap.seq;
+                            book.equilibrium = false;
+                            book.cursor = 0;
+                            pending = Some(Pending::Restore(snap.seq, reply));
+                            continue 'rebuild;
+                        }
+                        Err(e) => reply.send(Response::Error {
+                            msg: format!("restore failed: {e}"),
+                        }),
+                    }
+                }
+                Command::Snapshot { reply } => {
+                    reply.send(write_snapshot(&state, &book, cfg));
+                }
+                Command::Shutdown { reply } => {
+                    reply.send(Response::Draining);
+                    // Refuse whatever raced into the queue behind us.
+                    for cmd in rx.try_drain() {
+                        refuse(cmd);
+                    }
+                    return finish(state, book, cfg, &[]);
+                }
+            }
+        }
+    }
+}
+
+fn unknown_provider(provider: usize) -> Response {
+    Response::Error {
+        msg: format!("unknown provider {provider}"),
+    }
+}
+
+/// Admission control (Eq. 4–5 against the maintained residuals): place at
+/// the requested cloudlet if it fits, else — with no explicit request —
+/// at the cheapest fitting cloudlet by Eq. 3. A full market answers
+/// `rejected`, which is a business outcome, not an error.
+fn handle_join(
+    state: &mut GameState<'_>,
+    book: &mut Book,
+    provider: usize,
+    cloudlet: Option<usize>,
+) -> Response {
+    if provider >= state.len() {
+        return unknown_provider(provider);
+    }
+    let l = ProviderId(provider);
+    if book.active[provider] {
+        return Response::Error {
+            msg: format!("provider {provider} already joined"),
+        };
+    }
+    let market = state.market();
+    let chosen = match cloudlet {
+        Some(c) => {
+            if c >= market.cloudlet_count() {
+                return Response::Error {
+                    msg: format!("unknown cloudlet {c}"),
+                };
+            }
+            let i = CloudletId(c);
+            market.fits(l, state.residual(i)).then_some(i)
+        }
+        None => market
+            .cloudlets()
+            .filter(|&i| market.fits(l, state.residual(i)))
+            .min_by(|&a, &b| {
+                let ca = market.caching_cost(l, a, state.congestion(a) + 1);
+                let cb = market.caching_cost(l, b, state.congestion(b) + 1);
+                ca.total_cmp(&cb)
+            }),
+    };
+    match chosen {
+        Some(i) => {
+            state.apply_move(l, Placement::Cloudlet(i));
+            book.active[provider] = true;
+            book.seq += 1;
+            book.equilibrium = false;
+            mec_obs::counter_add("serve.join.admitted", 1);
+            Response::Admitted {
+                cloudlet: i.index(),
+                cost: state.provider_cost(l),
+            }
+        }
+        None => {
+            mec_obs::counter_add("serve.join.rejected", 1);
+            Response::Rejected {
+                reason: match cloudlet {
+                    Some(c) => format!("cloudlet {c} lacks capacity for provider {provider}"),
+                    None => format!("no cloudlet has capacity for provider {provider}"),
+                },
+            }
+        }
+    }
+}
+
+fn handle_leave(state: &mut GameState<'_>, book: &mut Book, provider: usize) -> Response {
+    if provider >= state.len() {
+        return unknown_provider(provider);
+    }
+    if !book.active[provider] {
+        return Response::Error {
+            msg: format!("provider {provider} is not joined"),
+        };
+    }
+    state.apply_move(ProviderId(provider), Placement::Remote);
+    book.active[provider] = false;
+    book.seq += 1;
+    book.equilibrium = false;
+    mec_obs::counter_add("serve.leave", 1);
+    Response::Left
+}
+
+/// Post-rebuild half of `update`: if the new demand no longer fits the
+/// provider's current cloudlet, evict to the remote cloud (still active —
+/// maintenance epochs will re-place it when capacity frees up).
+fn settle_update(state: &mut GameState<'_>, book: &mut Book, l: ProviderId) -> Response {
+    let mut evicted = false;
+    if let Placement::Cloudlet(i) = state.placement(l) {
+        let (a, b) = state.residual(i);
+        if a < -1e-9 || b < -1e-9 {
+            state.apply_move(l, Placement::Remote);
+            book.seq += 1;
+            evicted = true;
+        }
+    }
+    mec_obs::counter_add("serve.update", 1);
+    if evicted {
+        mec_obs::counter_add("serve.update.evicted", 1);
+    }
+    Response::Updated {
+        cost: state.provider_cost(l),
+        evicted,
+    }
+}
+
+fn write_snapshot(state: &GameState<'_>, book: &Book, cfg: &MarketConfig) -> Response {
+    let Some(path) = cfg.snapshot_path.as_deref() else {
+        return Response::Error {
+            msg: "daemon was started without --snapshot".to_string(),
+        };
+    };
+    match save_snapshot(
+        path,
+        book.seq,
+        state.market(),
+        state.profile(),
+        &book.active,
+    ) {
+        Ok(()) => Response::Snapshotted { seq: book.seq },
+        Err(e) => Response::Error {
+            msg: format!("snapshot failed: {e}"),
+        },
+    }
+}
+
+/// One bounded maintenance epoch: round-robin over the providers from the
+/// saved cursor, applying best responses of *active* providers until
+/// `max_moves` improvements land or a full quiet sweep proves the active
+/// players are at equilibrium.
+fn run_epoch(state: &mut GameState<'_>, book: &mut Book, max_moves: usize) {
+    let n = state.len();
+    book.epochs += 1;
+    mec_obs::counter_add("serve.epoch", 1);
+    let mut applied = 0usize;
+    let mut quiet_streak = 0usize;
+    while applied < max_moves && quiet_streak < n {
+        let l = ProviderId(book.cursor);
+        book.cursor = (book.cursor + 1) % n;
+        if !book.active[l.index()] {
+            quiet_streak += 1;
+            continue;
+        }
+        let current = state.provider_cost(l);
+        match state.best_response(l) {
+            Some((p, cost)) if p != state.placement(l) && cost < current - IMPROVEMENT_TOL => {
+                state.apply_move(l, p);
+                applied += 1;
+                quiet_streak = 0;
+            }
+            _ => quiet_streak += 1,
+        }
+    }
+    if applied > 0 {
+        book.moves += applied as u64;
+        book.seq += 1;
+        mec_obs::counter_add("serve.epoch.moves", applied as u64);
+    }
+    // A full pass with no improving move is exactly the Nash condition
+    // restricted to the active players (Lemma 3 terminates the dynamics).
+    book.equilibrium = quiet_streak >= n;
+}
+
+fn publish(view: &SharedView, state: &GameState<'_>, book: &Book) {
+    let market = state.market();
+    let placements: Vec<Placement> = market.providers().map(|l| state.placement(l)).collect();
+    let costs: Vec<f64> = market.providers().map(|l| state.provider_cost(l)).collect();
+    let social_cost = state.subset_cost(market.providers().filter(|l| book.active[l.index()]));
+    view.store(MarketView {
+        seq: book.seq,
+        placements,
+        costs,
+        active: book.active.clone(),
+        social_cost,
+        epochs: book.epochs,
+        moves: book.moves,
+        equilibrium: book.equilibrium,
+    });
+}
+
+/// Builds the wire stats record from a published view.
+pub fn stats_of(view: &MarketView) -> StatsReport {
+    StatsReport {
+        seq: view.seq,
+        providers: view.placements.len(),
+        active: view.active_count(),
+        cached: view.cached_count(),
+        social_cost: view.social_cost,
+        epochs: view.epochs,
+        moves: view.moves,
+        equilibrium: view.equilibrium,
+    }
+}
+
+fn refuse(cmd: Command) {
+    let draining = || Response::Error {
+        msg: "daemon is draining".to_string(),
+    };
+    match cmd {
+        Command::Join { reply, .. }
+        | Command::Leave { reply, .. }
+        | Command::Update { reply, .. }
+        | Command::Snapshot { reply }
+        | Command::Restore { reply } => reply.send(draining()),
+        Command::Shutdown { reply } => reply.send(Response::Draining),
+    }
+}
+
+/// Drain: run maintenance epochs until the active players reach
+/// equilibrium, write the final snapshot, and (with the `verify` feature)
+/// re-certify the placement from first principles.
+fn finish(
+    mut state: GameState<'_>,
+    mut book: Book,
+    cfg: &MarketConfig,
+    _extra: &[String],
+) -> MarketOutcome {
+    // Equilibrium is guaranteed to be reached: best-response dynamics on
+    // the exact-potential game terminate (Lemma 3). The cap is a backstop
+    // against a cost-model bug turning the drain into a hot loop.
+    let mut guard = 0usize;
+    while !book.equilibrium && guard < 100_000 {
+        run_epoch(&mut state, &mut book, usize::MAX);
+        guard += 1;
+    }
+    if let Some(path) = cfg.snapshot_path.as_deref() {
+        // Failure here must not abort the drain; the error goes into the
+        // outcome for the caller to report.
+        if let Err(e) = save_snapshot(
+            path,
+            book.seq,
+            state.market(),
+            state.profile(),
+            &book.active,
+        ) {
+            return outcome(state, book, vec![format!("final snapshot failed: {e}")]);
+        }
+    }
+    let violations = certify(&state, &book);
+    outcome(state, book, violations)
+}
+
+fn outcome(state: GameState<'_>, book: Book, violations: Vec<String>) -> MarketOutcome {
+    MarketOutcome {
+        seq: book.seq,
+        profile: state.into_profile(),
+        active: book.active,
+        epochs: book.epochs,
+        moves: book.moves,
+        equilibrium: book.equilibrium,
+        violations,
+    }
+}
+
+#[cfg(feature = "verify")]
+fn certify(state: &GameState<'_>, book: &Book) -> Vec<String> {
+    let market = state.market();
+    let mut out: Vec<String> = Vec::new();
+    out.extend(
+        mec_core::check_capacity(market, state.profile())
+            .into_iter()
+            .map(|v| v.to_string()),
+    );
+    out.extend(
+        mec_core::check_state(state, 1e-6)
+            .into_iter()
+            .map(|v| v.to_string()),
+    );
+    out.extend(
+        mec_core::check_nash(market, state.profile(), &book.active, IMPROVEMENT_TOL)
+            .into_iter()
+            .map(|v| v.to_string()),
+    );
+    out
+}
+
+#[cfg(not(feature = "verify"))]
+fn certify(_state: &GameState<'_>, _book: &Book) -> Vec<String> {
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chan;
+    use mec_core::model::{CloudletSpec, ProviderSpec};
+
+    fn tiny_market(providers: usize) -> Market {
+        let mut b = Market::builder()
+            .cloudlet(CloudletSpec::new(4.0, 20.0, 0.5, 0.5))
+            .cloudlet(CloudletSpec::new(4.0, 20.0, 0.3, 0.2));
+        for _ in 0..providers {
+            b = b.provider(ProviderSpec::new(2.0, 8.0, 1.0, 30.0));
+        }
+        b.uniform_update_cost(0.2).build()
+    }
+
+    /// Drives `run_market` synchronously: every command is enqueued before
+    /// the thread starts, followed by a shutdown.
+    fn drive(market: Market, cmds: Vec<Command>) -> (Vec<Option<Response>>, MarketOutcome) {
+        let n = market.provider_count();
+        let (tx, rx) = chan::bounded(cmds.len() + 1);
+        let view = SharedView::new(MarketView::empty(n));
+        let mut receivers = Vec::new();
+        for cmd in cmds {
+            tx.send(cmd).map_err(|_| ()).unwrap();
+        }
+        let (sd_tx, sd_rx) = chan::oneshot();
+        tx.send(Command::Shutdown { reply: sd_tx })
+            .map_err(|_| ())
+            .unwrap();
+        drop(tx);
+        let profile = Profile::all_remote(n);
+        let outcome = run_market(
+            market,
+            profile,
+            vec![false; n],
+            0,
+            &rx,
+            &view,
+            &MarketConfig::default(),
+        );
+        receivers.push(sd_rx.recv());
+        (receivers, outcome)
+    }
+
+    fn join(provider: usize) -> (Command, chan::OneReceiver<Response>) {
+        let (tx, rx) = chan::oneshot();
+        (
+            Command::Join {
+                provider,
+                cloudlet: None,
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn join_to_capacity_then_reject_then_leave_readmits() {
+        // Each cloudlet fits exactly 2 of these providers (4.0 / 2.0).
+        let market = tiny_market(5);
+        let n = market.provider_count();
+        let (tx, rx) = chan::bounded(16);
+        let view = SharedView::new(MarketView::empty(n));
+
+        let mut replies = Vec::new();
+        for p in 0..5 {
+            let (cmd, r) = join(p);
+            tx.send(cmd).map_err(|_| ()).unwrap();
+            replies.push(r);
+        }
+        let (leave_tx, leave_rx) = chan::oneshot();
+        tx.send(Command::Leave {
+            provider: 0,
+            reply: leave_tx,
+        })
+        .map_err(|_| ())
+        .unwrap();
+        let (rejoin, rejoin_rx) = join(4);
+        tx.send(rejoin).map_err(|_| ()).unwrap();
+        let (sd_tx, sd_rx) = chan::oneshot();
+        tx.send(Command::Shutdown { reply: sd_tx })
+            .map_err(|_| ())
+            .unwrap();
+        drop(tx);
+
+        let outcome = run_market(
+            market,
+            Profile::all_remote(n),
+            vec![false; n],
+            0,
+            &rx,
+            &view,
+            &MarketConfig::default(),
+        );
+
+        let admitted = replies
+            .drain(..4)
+            .map(|r| matches!(r.recv(), Some(Response::Admitted { .. })))
+            .filter(|x| *x)
+            .count();
+        assert_eq!(admitted, 4, "four providers fit two 2-slot cloudlets");
+        assert!(matches!(
+            replies.pop().unwrap().recv(),
+            Some(Response::Rejected { .. })
+        ));
+        assert_eq!(leave_rx.recv(), Some(Response::Left));
+        assert!(matches!(rejoin_rx.recv(), Some(Response::Admitted { .. })));
+        assert_eq!(sd_rx.recv(), Some(Response::Draining));
+        assert_eq!(outcome.active.iter().filter(|a| **a).count(), 4);
+        assert!(outcome.equilibrium);
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+    }
+
+    #[test]
+    fn double_join_and_unknown_ids_error() {
+        let market = tiny_market(2);
+        let (j0, r0) = join(0);
+        let (j0_again, r0_again) = join(0);
+        let (j_bad, r_bad) = join(99);
+        let (replies, _outcome) = drive(market, vec![j0, j0_again, j_bad]);
+        assert!(matches!(r0.recv(), Some(Response::Admitted { .. })));
+        assert!(matches!(r0_again.recv(), Some(Response::Error { .. })));
+        assert!(matches!(r_bad.recv(), Some(Response::Error { .. })));
+        assert_eq!(replies[0], Some(Response::Draining));
+    }
+
+    #[test]
+    fn update_evicts_when_demand_outgrows_cloudlet() {
+        let market = tiny_market(1);
+        let (j, jr) = join(0);
+        let (u_tx, u_rx) = chan::oneshot();
+        let grow = Command::Update {
+            provider: 0,
+            compute: 100.0,
+            bandwidth: 8.0,
+            reply: u_tx,
+        };
+        let (_, outcome) = drive(market, vec![j, grow]);
+        assert!(matches!(jr.recv(), Some(Response::Admitted { .. })));
+        match u_rx.recv() {
+            Some(Response::Updated { evicted, .. }) => assert!(evicted),
+            other => panic!("expected Updated, got {other:?}"),
+        }
+        // Still active, parked remotely; no cloudlet fits 100 compute.
+        assert!(outcome.active[0]);
+        assert_eq!(outcome.profile.placement(ProviderId(0)), Placement::Remote);
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+    }
+
+    #[test]
+    fn snapshot_without_path_is_an_error() {
+        let market = tiny_market(1);
+        let (s_tx, s_rx) = chan::oneshot();
+        let (_, _) = drive(market, vec![Command::Snapshot { reply: s_tx }]);
+        assert!(matches!(s_rx.recv(), Some(Response::Error { .. })));
+    }
+
+    #[test]
+    fn drain_reaches_equilibrium_of_active_players() {
+        // Asymmetric cloudlets: join picks greedily, the drain epochs then
+        // settle any provider that could improve.
+        let mut b = Market::builder()
+            .cloudlet(CloudletSpec::new(10.0, 50.0, 1.5, 1.5))
+            .cloudlet(CloudletSpec::new(10.0, 50.0, 0.1, 0.1));
+        for _ in 0..6 {
+            b = b.provider(ProviderSpec::new(1.0, 4.0, 0.5, 40.0));
+        }
+        let market = b.uniform_update_cost(0.1).build();
+        let mut cmds = Vec::new();
+        let mut joins = Vec::new();
+        for p in 0..6 {
+            let (c, r) = join(p);
+            cmds.push(c);
+            joins.push(r);
+        }
+        let (_, outcome) = drive(market, cmds);
+        for r in joins {
+            assert!(matches!(r.recv(), Some(Response::Admitted { .. })));
+        }
+        assert!(outcome.equilibrium);
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+    }
+}

@@ -1,0 +1,555 @@
+//! The `mec-serve` wire protocol: length-prefixed JSONL frames.
+//!
+//! Every message is one flat JSON object (string/number values only),
+//! encoded with the shared rules of [`mec_obs::json`] — the same escaping
+//! and number formatting the observability traces use, factored into one
+//! module so the formats cannot drift. A frame on the socket is
+//!
+//! ```text
+//! <decimal byte length of payload>\n<payload JSON>\n
+//! ```
+//!
+//! which keeps the stream self-delimiting (readers never scan for
+//! newlines inside payloads) yet fully inspectable with text tools.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"join","provider":3}            admission: pick the cheapest fitting cloudlet
+//! {"op":"join","provider":3,"cloudlet":1}   admission to a specific cloudlet
+//! {"op":"leave","provider":3}
+//! {"op":"update","provider":3,"compute":2.5,"bandwidth":11.0}
+//! {"op":"query","provider":3}
+//! {"op":"stats"}
+//! {"op":"snapshot"}                     admin: write the snapshot file now
+//! {"op":"restore"}                      admin: reload state from the snapshot file
+//! {"op":"shutdown"}                     admin: graceful drain
+//! ```
+//!
+//! Responses carry `"ok":1` plus a `"result"` discriminator, or `"ok":0`
+//! with an `"error"` string. Business rejections (a full market) are
+//! *results*, not errors: `{"ok":1,"result":"rejected","reason":...}`.
+
+use std::io::{BufRead, Write};
+
+use mec_obs::json::{self, ParseError, Token};
+
+/// Upper bound on a frame payload; anything larger is a protocol error.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A client → server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Admit `provider` (optionally at a specific cloudlet).
+    Join {
+        /// Provider id within the daemon's universe.
+        provider: usize,
+        /// Specific cloudlet to request; `None` lets the daemon pick the
+        /// cheapest fitting one.
+        cloudlet: Option<usize>,
+    },
+    /// Deactivate `provider` and release its capacity.
+    Leave {
+        /// Provider id.
+        provider: usize,
+    },
+    /// Replace `provider`'s demand vector.
+    UpdateDemand {
+        /// Provider id.
+        provider: usize,
+        /// New compute demand (VM units).
+        compute: f64,
+        /// New bandwidth demand (Mbps).
+        bandwidth: f64,
+    },
+    /// Read `provider`'s current placement and cost.
+    Query {
+        /// Provider id.
+        provider: usize,
+    },
+    /// Read daemon-wide counters.
+    Stats,
+    /// Write the snapshot file now.
+    Snapshot,
+    /// Reload state from the snapshot file.
+    Restore,
+    /// Begin a graceful drain.
+    Shutdown,
+}
+
+/// Daemon-wide counters, as carried by [`Response::Stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// State version (bumped on every applied mutation).
+    pub seq: u64,
+    /// Size of the provider universe.
+    pub providers: usize,
+    /// Providers currently admitted.
+    pub active: usize,
+    /// Providers currently cached at some cloudlet.
+    pub cached: usize,
+    /// Social cost of the current placement (Eq. 6).
+    pub social_cost: f64,
+    /// Equilibrium-maintenance epochs run so far.
+    pub epochs: u64,
+    /// Improving moves applied by those epochs.
+    pub moves: u64,
+    /// `true` if the last full scan found no improving move.
+    pub equilibrium: bool,
+}
+
+/// A server → client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Join succeeded; the provider is cached.
+    Admitted {
+        /// Cloudlet the service was cached at.
+        cloudlet: usize,
+        /// The provider's cost there (Eq. 3) at admission time.
+        cost: f64,
+    },
+    /// Join was denied by admission control (no capacity). Not an error.
+    Rejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Leave succeeded.
+    Left,
+    /// UpdateDemand succeeded.
+    Updated {
+        /// The provider's cost after the update.
+        cost: f64,
+        /// `true` if the new demand no longer fit and the service was
+        /// evicted to the remote cloud (still active).
+        evicted: bool,
+    },
+    /// Query result.
+    Placement {
+        /// Cloudlet index, or `None` when serving remotely.
+        at: Option<usize>,
+        /// Current cost (Eq. 3 / remote cost).
+        cost: f64,
+        /// Whether the provider is admitted.
+        active: bool,
+        /// State version the answer was read from.
+        seq: u64,
+    },
+    /// Stats result.
+    Stats(StatsReport),
+    /// Snapshot written.
+    Snapshotted {
+        /// Sequence number stamped into the file.
+        seq: u64,
+    },
+    /// State reloaded from the snapshot file.
+    Restored {
+        /// Sequence number of the restored snapshot.
+        seq: u64,
+    },
+    /// Graceful drain has begun; the connection will close.
+    Draining,
+    /// The request failed (unknown provider, no snapshot path, ...).
+    Error {
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+/// Encodes a request as its JSON payload (no framing).
+pub fn encode_request(req: &Request) -> String {
+    match req {
+        Request::Join {
+            provider,
+            cloudlet: None,
+        } => format!("{{\"op\":\"join\",\"provider\":{provider}}}"),
+        Request::Join {
+            provider,
+            cloudlet: Some(c),
+        } => format!("{{\"op\":\"join\",\"provider\":{provider},\"cloudlet\":{c}}}"),
+        Request::Leave { provider } => format!("{{\"op\":\"leave\",\"provider\":{provider}}}"),
+        Request::UpdateDemand {
+            provider,
+            compute,
+            bandwidth,
+        } => {
+            let mut s = format!("{{\"op\":\"update\",\"provider\":{provider},\"compute\":");
+            json::push_f64(&mut s, *compute);
+            s.push_str(",\"bandwidth\":");
+            json::push_f64(&mut s, *bandwidth);
+            s.push('}');
+            s
+        }
+        Request::Query { provider } => format!("{{\"op\":\"query\",\"provider\":{provider}}}"),
+        Request::Stats => "{\"op\":\"stats\"}".to_string(),
+        Request::Snapshot => "{\"op\":\"snapshot\"}".to_string(),
+        Request::Restore => "{\"op\":\"restore\"}".to_string(),
+        Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+    }
+}
+
+/// Parses a request payload.
+///
+/// # Errors
+///
+/// Errors on malformed JSON or an unknown `op`.
+pub fn parse_request(payload: &str) -> Result<Request, ParseError> {
+    let fields = json::parse_object(payload)?;
+    match json::get_str(&fields, "op")? {
+        "join" => Ok(Request::Join {
+            provider: json::get_usize(&fields, "provider")?,
+            cloudlet: match json::get(&fields, "cloudlet") {
+                Ok(_) => Some(json::get_usize(&fields, "cloudlet")?),
+                Err(_) => None,
+            },
+        }),
+        "leave" => Ok(Request::Leave {
+            provider: json::get_usize(&fields, "provider")?,
+        }),
+        "update" => Ok(Request::UpdateDemand {
+            provider: json::get_usize(&fields, "provider")?,
+            compute: json::get_f64(&fields, "compute")?,
+            bandwidth: json::get_f64(&fields, "bandwidth")?,
+        }),
+        "query" => Ok(Request::Query {
+            provider: json::get_usize(&fields, "provider")?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "snapshot" => Ok(Request::Snapshot),
+        "restore" => Ok(Request::Restore),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ParseError::new(format!("unknown op `{other}`"))),
+    }
+}
+
+/// Encodes a response as its JSON payload (no framing).
+pub fn encode_response(resp: &Response) -> String {
+    match resp {
+        Response::Admitted { cloudlet, cost } => {
+            let mut s =
+                format!("{{\"ok\":1,\"result\":\"admitted\",\"cloudlet\":{cloudlet},\"cost\":");
+            json::push_f64(&mut s, *cost);
+            s.push('}');
+            s
+        }
+        Response::Rejected { reason } => {
+            let mut s = String::from("{\"ok\":1,\"result\":\"rejected\",\"reason\":");
+            json::push_string(&mut s, reason);
+            s.push('}');
+            s
+        }
+        Response::Left => "{\"ok\":1,\"result\":\"left\"}".to_string(),
+        Response::Updated { cost, evicted } => {
+            let mut s = String::from("{\"ok\":1,\"result\":\"updated\",\"cost\":");
+            json::push_f64(&mut s, *cost);
+            s.push_str(&format!(",\"evicted\":{}}}", u64::from(*evicted)));
+            s
+        }
+        Response::Placement {
+            at,
+            cost,
+            active,
+            seq,
+        } => {
+            let mut s = String::from("{\"ok\":1,\"result\":\"placement\",\"at\":");
+            match at {
+                Some(c) => s.push_str(&format!("{c}")),
+                None => s.push_str("\"remote\""),
+            }
+            s.push_str(",\"cost\":");
+            json::push_f64(&mut s, *cost);
+            s.push_str(&format!(
+                ",\"active\":{},\"seq\":{seq}}}",
+                u64::from(*active)
+            ));
+            s
+        }
+        Response::Stats(st) => {
+            let mut s = format!(
+                "{{\"ok\":1,\"result\":\"stats\",\"seq\":{},\"providers\":{},\"active\":{},\
+                 \"cached\":{},\"social_cost\":",
+                st.seq, st.providers, st.active, st.cached
+            );
+            json::push_f64(&mut s, st.social_cost);
+            s.push_str(&format!(
+                ",\"epochs\":{},\"moves\":{},\"equilibrium\":{}}}",
+                st.epochs,
+                st.moves,
+                u64::from(st.equilibrium)
+            ));
+            s
+        }
+        Response::Snapshotted { seq } => {
+            format!("{{\"ok\":1,\"result\":\"snapshotted\",\"seq\":{seq}}}")
+        }
+        Response::Restored { seq } => {
+            format!("{{\"ok\":1,\"result\":\"restored\",\"seq\":{seq}}}")
+        }
+        Response::Draining => "{\"ok\":1,\"result\":\"draining\"}".to_string(),
+        Response::Error { msg } => {
+            let mut s = String::from("{\"ok\":0,\"error\":");
+            json::push_string(&mut s, msg);
+            s.push('}');
+            s
+        }
+    }
+}
+
+/// Parses a response payload.
+///
+/// # Errors
+///
+/// Errors on malformed JSON or an unknown `result`.
+pub fn parse_response(payload: &str) -> Result<Response, ParseError> {
+    let fields = json::parse_object(payload)?;
+    if json::get_u64(&fields, "ok")? == 0 {
+        return Ok(Response::Error {
+            msg: json::get_str(&fields, "error")?.to_string(),
+        });
+    }
+    match json::get_str(&fields, "result")? {
+        "admitted" => Ok(Response::Admitted {
+            cloudlet: json::get_usize(&fields, "cloudlet")?,
+            cost: json::get_f64(&fields, "cost")?,
+        }),
+        "rejected" => Ok(Response::Rejected {
+            reason: json::get_str(&fields, "reason")?.to_string(),
+        }),
+        "left" => Ok(Response::Left),
+        "updated" => Ok(Response::Updated {
+            cost: json::get_f64(&fields, "cost")?,
+            evicted: json::get_u64(&fields, "evicted")? != 0,
+        }),
+        "placement" => Ok(Response::Placement {
+            at: match json::get(&fields, "at")? {
+                Token::Str(s) if s == "remote" => None,
+                Token::Str(s) => {
+                    return Err(ParseError::new(format!("bad placement `{s}`")));
+                }
+                Token::Num(_) => Some(json::get_usize(&fields, "at")?),
+            },
+            cost: json::get_f64(&fields, "cost")?,
+            active: json::get_u64(&fields, "active")? != 0,
+            seq: json::get_u64(&fields, "seq")?,
+        }),
+        "stats" => Ok(Response::Stats(StatsReport {
+            seq: json::get_u64(&fields, "seq")?,
+            providers: json::get_usize(&fields, "providers")?,
+            active: json::get_usize(&fields, "active")?,
+            cached: json::get_usize(&fields, "cached")?,
+            social_cost: json::get_f64(&fields, "social_cost")?,
+            epochs: json::get_u64(&fields, "epochs")?,
+            moves: json::get_u64(&fields, "moves")?,
+            equilibrium: json::get_u64(&fields, "equilibrium")? != 0,
+        })),
+        "snapshotted" => Ok(Response::Snapshotted {
+            seq: json::get_u64(&fields, "seq")?,
+        }),
+        "restored" => Ok(Response::Restored {
+            seq: json::get_u64(&fields, "seq")?,
+        }),
+        "draining" => Ok(Response::Draining),
+        other => Err(ParseError::new(format!("unknown result `{other}`"))),
+    }
+}
+
+/// Writes one frame: decimal payload length, newline, payload, newline.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    // One write_all per frame: a frame split across several small writes
+    // becomes several TCP segments, and Nagle + delayed ACK then stalls
+    // every request by ~40 ms.
+    let mut buf = Vec::with_capacity(payload.len() + 24);
+    buf.extend_from_slice(format!("{}\n", payload.len()).as_bytes());
+    buf.extend_from_slice(payload.as_bytes());
+    buf.push(b'\n');
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a malformed length line, an oversized frame,
+/// or a stream cut mid-frame.
+pub fn read_frame<R: BufRead>(r: &mut R) -> std::io::Result<Option<String>> {
+    let mut len_line = String::new();
+    if r.read_line(&mut len_line)? == 0 {
+        return Ok(None); // clean EOF between frames
+    }
+    let len: usize = len_line.trim().parse().map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("bad frame length `{}`", len_line.trim()),
+        )
+    })?;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len + 1]; // payload + trailing newline
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "stream cut mid-frame")
+        } else {
+            e
+        }
+    })?;
+    if buf.pop() != Some(b'\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame missing trailing newline",
+        ));
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Join {
+                provider: 3,
+                cloudlet: None,
+            },
+            Request::Join {
+                provider: 3,
+                cloudlet: Some(1),
+            },
+            Request::Leave { provider: 0 },
+            Request::UpdateDemand {
+                provider: 9,
+                compute: 2.5,
+                bandwidth: 11.25,
+            },
+            Request::Query { provider: 7 },
+            Request::Stats,
+            Request::Snapshot,
+            Request::Restore,
+            Request::Shutdown,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Admitted {
+                cloudlet: 2,
+                cost: 3.75,
+            },
+            Response::Rejected {
+                reason: "no cloudlet fits \"sp3\"".to_string(),
+            },
+            Response::Left,
+            Response::Updated {
+                cost: 1.25,
+                evicted: true,
+            },
+            Response::Placement {
+                at: Some(4),
+                cost: 0.5,
+                active: true,
+                seq: 42,
+            },
+            Response::Placement {
+                at: None,
+                cost: f64::INFINITY,
+                active: false,
+                seq: 0,
+            },
+            Response::Stats(StatsReport {
+                seq: 99,
+                providers: 100,
+                active: 60,
+                cached: 55,
+                social_cost: 1234.5,
+                epochs: 17,
+                moves: 203,
+                equilibrium: true,
+            }),
+            Response::Snapshotted { seq: 5 },
+            Response::Restored { seq: 5 },
+            Response::Draining,
+            Response::Error {
+                msg: "unknown provider sp999".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in all_requests() {
+            assert_eq!(
+                parse_request(&encode_request(&req)).unwrap(),
+                req,
+                "{req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in all_responses() {
+            assert_eq!(
+                parse_response(&encode_response(&resp)).unwrap(),
+                resp,
+                "{resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        for req in all_requests() {
+            write_frame(&mut buf, &encode_request(&req)).unwrap();
+        }
+        let mut r = std::io::BufReader::new(buf.as_slice());
+        for req in all_requests() {
+            let payload = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(parse_request(&payload).unwrap(), req);
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn torn_and_malformed_frames_error() {
+        // Length line present, payload missing.
+        let mut r = std::io::BufReader::new(&b"10\n"[..]);
+        assert!(read_frame(&mut r).is_err());
+        // Garbage length.
+        let mut r = std::io::BufReader::new(&b"ten\n{}\n"[..]);
+        assert!(read_frame(&mut r).is_err());
+        // Oversized frame.
+        let oversized = format!("{}\n", MAX_FRAME + 1).into_bytes();
+        let mut r = std::io::BufReader::new(oversized.as_slice());
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn unknown_ops_and_results_error() {
+        assert!(parse_request(r#"{"op":"mystery"}"#).is_err());
+        assert!(parse_response(r#"{"ok":1,"result":"mystery"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn error_response_decodes_from_ok_zero() {
+        let r = parse_response(r#"{"ok":0,"error":"boom"}"#).unwrap();
+        assert_eq!(
+            r,
+            Response::Error {
+                msg: "boom".to_string()
+            }
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! The TCP front half of the daemon: acceptor, connection threads, boot
+//! and drain plumbing.
+//!
+//! Threading model (single-writer / multi-reader):
+//!
+//! ```text
+//! acceptor ──spawns──► connection threads ──Command+oneshot──► market thread
+//!                           │                                       │
+//!                           └──── query/stats ◄── SharedView ◄── publishes
+//! ```
+//!
+//! Connection threads parse frames and either answer reads directly from
+//! the latest published [`MarketView`] or
+//! enqueue a [`Command`] and block on its oneshot reply. A `shutdown`
+//! request flips the stop flag, pokes the acceptor awake with a loopback
+//! connection, and the market thread drains: queued commands are refused,
+//! maintenance epochs run to equilibrium, the final snapshot is written.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mec_core::model::Market;
+use mec_core::{load_snapshot, Profile};
+
+use crate::chan::{self, Sender};
+use crate::market::{run_market, stats_of, Command, MarketConfig, MarketOutcome};
+use crate::proto::{self, Request, Response};
+use crate::view::{MarketView, SharedView};
+
+/// Boot configuration of [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7690`; port 0 picks an ephemeral
+    /// port (read it back from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Snapshot file. If it exists at boot, the daemon restores market,
+    /// placements and admission state from it (crash recovery) instead of
+    /// using the market passed to [`serve`].
+    pub snapshot_path: Option<PathBuf>,
+    /// Improving moves per equilibrium-maintenance epoch.
+    pub epoch_moves: usize,
+    /// Queue-empty gap that triggers a maintenance epoch.
+    pub idle: Duration,
+    /// Bound of the command queue (backpressure for writers).
+    pub queue_cap: usize,
+    /// Maximum simultaneous client connections.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            snapshot_path: None,
+            epoch_moves: 32,
+            idle: Duration::from_millis(2),
+            queue_cap: 256,
+            max_connections: 512,
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the daemon;
+/// send a `shutdown` request and [`ServerHandle::join`] it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    market: JoinHandle<MarketOutcome>,
+    acceptor: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon drains and returns the market outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the market or acceptor thread itself panicked.
+    pub fn join(self) -> MarketOutcome {
+        let outcome = match self.market.join() {
+            Ok(o) => o,
+            Err(e) => std::panic::resume_unwind(e),
+        };
+        if let Err(e) = self.acceptor.join() {
+            std::panic::resume_unwind(e);
+        }
+        outcome
+    }
+}
+
+/// Everything a connection thread needs, cheap to clone per accept.
+struct Shared {
+    view: Arc<SharedView>,
+    tx: Sender<Command>,
+    stop: Arc<AtomicBool>,
+    live: Arc<AtomicUsize>,
+    max_connections: usize,
+    addr: SocketAddr,
+}
+
+/// Boots the daemon: restores the snapshot if one exists, binds the
+/// listener, and starts the market and acceptor threads.
+///
+/// # Errors
+///
+/// Propagates bind errors and snapshot-restore I/O or corruption errors.
+pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
+    // Crash recovery: an existing snapshot file *is* the market state.
+    let (market, profile, active, seq) = match cfg.snapshot_path.as_deref() {
+        Some(path) if path.exists() => {
+            let snap = load_snapshot(path).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("restoring {}: {e}", path.display()),
+                )
+            })?;
+            (snap.market, snap.profile, snap.active, snap.seq)
+        }
+        _ => {
+            let n = market.provider_count();
+            (market, Profile::all_remote(n), vec![false; n], 0)
+        }
+    };
+
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let view = Arc::new(SharedView::new(MarketView::empty(market.provider_count())));
+    let (tx, rx) = chan::bounded::<Command>(cfg.queue_cap);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let market_cfg = MarketConfig {
+        epoch_moves: cfg.epoch_moves,
+        idle: cfg.idle,
+        snapshot_path: cfg.snapshot_path.clone(),
+    };
+    let market_view = view.clone();
+    let market_stop = stop.clone();
+    // The daemon's writer thread: owns the market for its whole life.
+    // Intentionally a raw thread, not the bench pool — it outlives any
+    // scope and is joined through the ServerHandle. lint: allow(thread-spawn)
+    let market_thread = std::thread::spawn(move || {
+        let outcome = run_market(market, profile, active, seq, &rx, &market_view, &market_cfg);
+        // Market thread is done (drain or disconnect): stop the acceptor
+        // and poke it out of `accept()` with a throwaway connection.
+        market_stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr);
+        outcome
+    });
+
+    let shared = Arc::new(Shared {
+        view,
+        tx,
+        stop: stop.clone(),
+        live: Arc::new(AtomicUsize::new(0)),
+        max_connections: cfg.max_connections,
+        addr,
+    });
+    // Acceptor: owns the listener; exits when the stop flag flips.
+    // lint: allow(thread-spawn)
+    let acceptor = std::thread::spawn(move || {
+        accept_loop(&listener, &shared);
+    });
+
+    Ok(ServerHandle {
+        addr,
+        market: market_thread,
+        acceptor,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Frames are small request/response pairs; never batch them.
+        let _ = stream.set_nodelay(true);
+        if shared.live.load(Ordering::SeqCst) >= shared.max_connections {
+            let mut s = stream;
+            let payload = proto::encode_response(&Response::Error {
+                msg: "server at connection capacity".to_string(),
+            });
+            let _ = proto::write_frame(&mut s, &payload);
+            continue;
+        }
+        shared.live.fetch_add(1, Ordering::SeqCst);
+        let shared = shared.clone();
+        // One thread per connection; the cap above bounds the fleet.
+        // lint: allow(thread-spawn)
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &shared);
+            shared.live.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+/// Serves one client until EOF, protocol error, or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    while let Some(payload) = proto::read_frame(&mut reader)? {
+        let response = match proto::parse_request(&payload) {
+            Ok(req) => dispatch(req, shared),
+            Err(e) => Response::Error { msg: e.to_string() },
+        };
+        let closing = matches!(response, Response::Draining);
+        proto::write_frame(&mut writer, &proto::encode_response(&response))?;
+        if closing {
+            break;
+        }
+    }
+    writer.flush()
+}
+
+/// Routes one request: reads are answered from the published view,
+/// writes round-trip through the market thread.
+fn dispatch(req: Request, shared: &Shared) -> Response {
+    let command = |cmd: Command| -> Response {
+        // The oneshot sender is inside `cmd`; if the market thread is
+        // gone (or refuses at drain), the reply slot reports it.
+        match shared.tx.send(cmd) {
+            Ok(()) => Response::Error {
+                msg: "market thread dropped the reply".to_string(),
+            },
+            Err(_) => Response::Error {
+                msg: "daemon is draining".to_string(),
+            },
+        }
+    };
+    match req {
+        Request::Query { provider } => {
+            let view = shared.view.load();
+            match (view.placements.get(provider), view.costs.get(provider)) {
+                (Some(p), Some(&cost)) => Response::Placement {
+                    at: match p {
+                        mec_core::Placement::Remote => None,
+                        mec_core::Placement::Cloudlet(c) => Some(c.index()),
+                    },
+                    cost,
+                    active: view.active[provider],
+                    seq: view.seq,
+                },
+                _ => Response::Error {
+                    msg: format!("unknown provider {provider}"),
+                },
+            }
+        }
+        Request::Stats => Response::Stats(stats_of(&shared.view.load())),
+        Request::Join { provider, cloudlet } => {
+            let (reply, rx) = chan::oneshot();
+            let fallback = command(Command::Join {
+                provider,
+                cloudlet,
+                reply,
+            });
+            rx.recv().unwrap_or(fallback)
+        }
+        Request::Leave { provider } => {
+            let (reply, rx) = chan::oneshot();
+            let fallback = command(Command::Leave { provider, reply });
+            rx.recv().unwrap_or(fallback)
+        }
+        Request::UpdateDemand {
+            provider,
+            compute,
+            bandwidth,
+        } => {
+            let (reply, rx) = chan::oneshot();
+            let fallback = command(Command::Update {
+                provider,
+                compute,
+                bandwidth,
+                reply,
+            });
+            rx.recv().unwrap_or(fallback)
+        }
+        Request::Snapshot => {
+            let (reply, rx) = chan::oneshot();
+            let fallback = command(Command::Snapshot { reply });
+            rx.recv().unwrap_or(fallback)
+        }
+        Request::Restore => {
+            let (reply, rx) = chan::oneshot();
+            let fallback = command(Command::Restore { reply });
+            rx.recv().unwrap_or(fallback)
+        }
+        Request::Shutdown => {
+            let (reply, rx) = chan::oneshot();
+            let fallback = command(Command::Shutdown { reply });
+            let resp = rx.recv().unwrap_or(fallback);
+            // Stop accepting and poke the acceptor; the market thread
+            // also does this when it exits, but doing it here closes the
+            // window where a new client connects mid-drain.
+            shared.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(shared.addr);
+            resp
+        }
+    }
+}

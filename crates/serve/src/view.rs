@@ -1,0 +1,139 @@
+//! Immutable market snapshots for reader threads.
+//!
+//! The market thread is the only writer; readers (connection threads
+//! answering `query`/`stats`) never touch it. After every applied command
+//! or maintenance epoch the market thread publishes a fresh
+//! [`MarketView`] into a [`SharedView`] — a hand-rolled arc-swap built
+//! from `Mutex<Arc<_>>`. Readers take the lock only long enough to clone
+//! the `Arc` (two reference-count bumps), then answer any number of
+//! requests from the immutable snapshot without contending with the
+//! writer.
+
+use std::sync::{Arc, Mutex};
+
+use mec_core::Placement;
+
+/// One immutable published state of the market: everything a reader
+/// needs to answer `query` and `stats` without the market thread.
+#[derive(Debug, Clone)]
+pub struct MarketView {
+    /// State version; bumped by the market thread on every mutation.
+    pub seq: u64,
+    /// Placement per provider (the full universe).
+    pub placements: Vec<Placement>,
+    /// Current cost per provider (Eq. 3 when cached, remote cost
+    /// otherwise). Meaningful only while the provider is active.
+    pub costs: Vec<f64>,
+    /// Admission flag per provider.
+    pub active: Vec<bool>,
+    /// Social cost (Eq. 6) summed over the *active* providers.
+    pub social_cost: f64,
+    /// Equilibrium-maintenance epochs run so far.
+    pub epochs: u64,
+    /// Improving moves applied by those epochs.
+    pub moves: u64,
+    /// `true` if the most recent full sweep found no improving move.
+    pub equilibrium: bool,
+}
+
+impl MarketView {
+    /// An empty pre-boot view over `providers` providers (all remote,
+    /// all inactive).
+    pub fn empty(providers: usize) -> Self {
+        MarketView {
+            seq: 0,
+            placements: vec![Placement::Remote; providers],
+            costs: vec![0.0; providers],
+            active: vec![false; providers],
+            social_cost: 0.0,
+            epochs: 0,
+            moves: 0,
+            equilibrium: false,
+        }
+    }
+
+    /// Providers currently admitted.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+
+    /// Providers currently cached at some cloudlet.
+    pub fn cached_count(&self) -> usize {
+        self.placements
+            .iter()
+            .filter(|p| matches!(p, Placement::Cloudlet(_)))
+            .count()
+    }
+}
+
+/// A swappable `Arc<MarketView>`: single writer, many readers.
+///
+/// The vendored tree has no lock-free arc-swap, so this is the simplest
+/// correct substitute: readers hold the mutex for an `Arc::clone` only,
+/// never across their actual work.
+#[derive(Debug)]
+pub struct SharedView {
+    inner: Mutex<Arc<MarketView>>,
+}
+
+impl SharedView {
+    /// Creates a shared view seeded with `view`.
+    pub fn new(view: MarketView) -> Self {
+        SharedView {
+            inner: Mutex::new(Arc::new(view)),
+        }
+    }
+
+    /// Snapshot the current view (cheap: one `Arc` clone under the lock).
+    pub fn load(&self) -> Arc<MarketView> {
+        // A poisoned lock still guards a structurally valid Arc: the
+        // writer replaces the whole Arc atomically under the lock.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Publishes a new view (writer side).
+    pub fn store(&self, view: MarketView) {
+        *self.inner.lock().unwrap_or_else(|e| e.into_inner()) = Arc::new(view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sees_latest_store() {
+        let shared = SharedView::new(MarketView::empty(3));
+        assert_eq!(shared.load().seq, 0);
+        let mut v = MarketView::empty(3);
+        v.seq = 7;
+        v.active[1] = true;
+        shared.store(v);
+        let got = shared.load();
+        assert_eq!(got.seq, 7);
+        assert_eq!(got.active_count(), 1);
+    }
+
+    #[test]
+    fn old_snapshots_stay_valid_after_swap() {
+        let shared = SharedView::new(MarketView::empty(2));
+        let old = shared.load();
+        let mut v = MarketView::empty(2);
+        v.seq = 1;
+        shared.store(v);
+        // The reader that grabbed the old Arc still sees a coherent state.
+        assert_eq!(old.seq, 0);
+        assert_eq!(shared.load().seq, 1);
+    }
+
+    #[test]
+    fn counts_distinguish_cached_from_active() {
+        use mec_topology::CloudletId;
+        let mut v = MarketView::empty(3);
+        v.active = vec![true, true, false];
+        v.placements[0] = Placement::Cloudlet(CloudletId(0));
+        // Provider 1 is active but parked remotely (evicted).
+        assert_eq!(v.active_count(), 2);
+        assert_eq!(v.cached_count(), 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! End-to-end daemon tests over real sockets on ephemeral ports.
+//!
+//! Each test boots an in-process daemon (`serve` with port 0), talks to
+//! it through [`Client`], and drains it with a `shutdown` request. The
+//! admission arc — join to capacity, rejection, leave, re-admission —
+//! and the snapshot/restore crash-recovery path both run against the
+//! full TCP stack, not the market thread in isolation.
+
+use std::time::Duration;
+
+use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+use mec_serve::{serve, Client, Response, ServerConfig, ServerHandle};
+
+/// Two cloudlets, each with room for exactly two of the identical
+/// providers (compute 4.0 / demand 2.0, bandwidth 20.0 / demand 8.0).
+fn two_slot_market(providers: usize) -> Market {
+    let mut b = Market::builder()
+        .cloudlet(CloudletSpec::new(4.0, 20.0, 0.5, 0.5))
+        .cloudlet(CloudletSpec::new(4.0, 20.0, 0.3, 0.2));
+    for _ in 0..providers {
+        b = b.provider(ProviderSpec::new(2.0, 8.0, 1.0, 30.0));
+    }
+    b.uniform_update_cost(0.2).build()
+}
+
+fn boot(market: Market, snapshot: Option<&std::path::Path>) -> (ServerHandle, Client) {
+    let cfg = ServerConfig {
+        snapshot_path: snapshot.map(|p| p.to_path_buf()),
+        ..ServerConfig::default()
+    };
+    let handle = serve(market, &cfg).expect("boot");
+    let client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    (handle, client)
+}
+
+fn drain(handle: ServerHandle, client: &mut Client) -> mec_serve::MarketOutcome {
+    assert_eq!(client.shutdown().expect("shutdown"), Response::Draining);
+    handle.join()
+}
+
+#[test]
+fn join_to_capacity_rejection_leave_readmission() {
+    let (handle, mut client) = boot(two_slot_market(5), None);
+
+    // Four providers fill both cloudlets.
+    for p in 0..4 {
+        match client.join(p).expect("join") {
+            Response::Admitted { cloudlet, cost } => {
+                assert!(cost.is_finite());
+                assert!(cloudlet < 2);
+            }
+            other => panic!("provider {p}: expected admission, got {other:?}"),
+        }
+    }
+    // The fifth finds no capacity anywhere: rejected, not errored.
+    assert!(matches!(
+        client.join(4).expect("join"),
+        Response::Rejected { .. }
+    ));
+    // Rejected providers stay inactive and remote.
+    match client.query(4).expect("query") {
+        Response::Placement { at, active, .. } => {
+            assert_eq!(at, None);
+            assert!(!active);
+        }
+        other => panic!("expected placement, got {other:?}"),
+    }
+
+    // A departure frees a slot; the rejected provider now gets in.
+    // (Which cloudlet has the free slot depends on the maintenance epochs
+    // that may have rebalanced providers in the meantime.)
+    assert_eq!(client.leave(0).expect("leave"), Response::Left);
+    assert!(matches!(
+        client.join(4).expect("rejoin"),
+        Response::Admitted { .. }
+    ));
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.providers, 5);
+    assert_eq!(stats.active, 4);
+    assert_eq!(stats.cached, 4);
+
+    let outcome = drain(handle, &mut client);
+    assert_eq!(outcome.active.iter().filter(|a| **a).count(), 4);
+    assert!(outcome.equilibrium);
+    assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+}
+
+#[test]
+fn protocol_errors_do_not_kill_the_connection() {
+    let (handle, mut client) = boot(two_slot_market(2), None);
+    // Unknown provider, double join, leave-without-join: all errors, all
+    // on the same connection, which stays usable throughout.
+    assert!(matches!(
+        client.join(99).expect("join oob"),
+        Response::Error { .. }
+    ));
+    assert!(matches!(
+        client.join(0).expect("join"),
+        Response::Admitted { .. }
+    ));
+    assert!(matches!(
+        client.join(0).expect("double join"),
+        Response::Error { .. }
+    ));
+    assert!(matches!(
+        client.leave(1).expect("leave inactive"),
+        Response::Error { .. }
+    ));
+    assert!(matches!(
+        client.update(0, f64::NAN, 1.0).expect("bad update"),
+        Response::Error { .. }
+    ));
+    // Still alive.
+    assert_eq!(client.stats().expect("stats").active, 1);
+    drain(handle, &mut client);
+}
+
+#[test]
+fn update_demand_round_trips_and_evicts() {
+    let (handle, mut client) = boot(two_slot_market(2), None);
+    assert!(matches!(
+        client.join(0).expect("join"),
+        Response::Admitted { .. }
+    ));
+    // Shrink: still fits, not evicted.
+    match client.update(0, 1.0, 4.0).expect("shrink") {
+        Response::Updated { evicted, .. } => assert!(!evicted),
+        other => panic!("expected update, got {other:?}"),
+    }
+    // Outgrow every cloudlet: evicted to remote but still active.
+    match client.update(0, 100.0, 4.0).expect("grow") {
+        Response::Updated { evicted, cost } => {
+            assert!(evicted);
+            assert!((cost - 30.0).abs() < 1e-9, "remote cost, got {cost}");
+        }
+        other => panic!("expected update, got {other:?}"),
+    }
+    match client.query(0).expect("query") {
+        Response::Placement { at, active, .. } => {
+            assert_eq!(at, None);
+            assert!(active);
+        }
+        other => panic!("expected placement, got {other:?}"),
+    }
+    let outcome = drain(handle, &mut client);
+    assert!(outcome.active[0]);
+    assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+}
+
+#[test]
+fn snapshot_restore_recovers_market_state() {
+    let dir = std::env::temp_dir().join(format!("mec-serve-it-{}-{}", std::process::id(), line!()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let snap = dir.join("market.snap");
+
+    // Daemon #1: admit three providers, snapshot, then crash (kill the
+    // process from the daemon's point of view: just abandon it after the
+    // snapshot lands — the file must carry the whole state).
+    let (handle, mut client) = boot(two_slot_market(5), Some(&snap));
+    for p in 0..3 {
+        assert!(matches!(
+            client.join(p).expect("join"),
+            Response::Admitted { .. }
+        ));
+    }
+    let seq_at_snapshot = match client.snapshot().expect("snapshot") {
+        Response::Snapshotted { seq } => seq,
+        other => panic!("expected snapshot ack, got {other:?}"),
+    };
+    let pre: Vec<Response> = (0..5).map(|p| client.query(p).expect("query")).collect();
+    // "kill -9": drop the connection and drain via a throwaway client so
+    // the port is released, but restore from the mid-run snapshot, not
+    // the drain-time one.
+    let saved = std::fs::read(&snap).expect("snapshot bytes");
+    let mut admin = Client::connect(handle.addr()).expect("admin");
+    admin.shutdown().expect("shutdown");
+    handle.join();
+    std::fs::write(&snap, &saved).expect("rewind snapshot");
+
+    // Daemon #2 boots from the snapshot: same placements, same seq.
+    let (handle2, mut client2) = boot(two_slot_market(5), Some(&snap));
+    let stats = client2.stats().expect("stats");
+    assert_eq!(stats.seq, seq_at_snapshot);
+    assert_eq!(stats.active, 3);
+    assert_eq!(stats.cached, 3);
+    for (p, before) in pre.iter().enumerate() {
+        let after = client2.query(p).expect("query");
+        let (
+            Response::Placement {
+                at: a0,
+                active: x0,
+                cost: c0,
+                ..
+            },
+            Response::Placement {
+                at: a1,
+                active: x1,
+                cost: c1,
+                ..
+            },
+        ) = (before, &after)
+        else {
+            panic!("expected placements, got {before:?} / {after:?}");
+        };
+        assert_eq!(a0, a1, "provider {p} placement");
+        assert_eq!(x0, x1, "provider {p} active flag");
+        assert!((c0 - c1).abs() < 1e-12, "provider {p} cost");
+    }
+
+    // The restored daemon is fully operational: fill the market.
+    assert!(matches!(
+        client2.join(3).expect("join"),
+        Response::Admitted { .. }
+    ));
+    assert!(matches!(
+        client2.join(4).expect("join"),
+        Response::Rejected { .. }
+    ));
+    let outcome = drain(handle2, &mut client2);
+    assert_eq!(outcome.active.iter().filter(|a| **a).count(), 4);
+    assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_request_rewinds_live_state() {
+    let dir = std::env::temp_dir().join(format!("mec-serve-it-{}-{}", std::process::id(), line!()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let snap = dir.join("market.snap");
+
+    let (handle, mut client) = boot(two_slot_market(4), Some(&snap));
+    assert!(matches!(
+        client.join(0).expect("join"),
+        Response::Admitted { .. }
+    ));
+    let seq = match client.snapshot().expect("snapshot") {
+        Response::Snapshotted { seq } => seq,
+        other => panic!("expected snapshot ack, got {other:?}"),
+    };
+    // Mutate past the snapshot, then rewind to it.
+    assert!(matches!(
+        client.join(1).expect("join"),
+        Response::Admitted { .. }
+    ));
+    match client.restore().expect("restore") {
+        Response::Restored { seq: restored } => assert_eq!(restored, seq),
+        other => panic!("expected restore ack, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.seq, seq);
+    assert_eq!(stats.active, 1, "join(1) must be rewound");
+    drain(handle, &mut client);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_clients_admit_exactly_to_capacity() {
+    // 8 providers race for 4 slots from 8 connections; admissions must
+    // total exactly 4 with the rest rejected, and the daemon must drain
+    // to a feasible equilibrium.
+    let (handle, mut client) = boot(two_slot_market(8), None);
+    let addr = handle.addr();
+    let results: Vec<Response> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|p| {
+                scope.spawn(move |_| {
+                    let mut c = Client::connect(addr).expect("connect");
+                    c.join(p).expect("join")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread"))
+            .collect()
+    })
+    .expect("scope");
+    let admitted = results
+        .iter()
+        .filter(|r| matches!(r, Response::Admitted { .. }))
+        .count();
+    let rejected = results
+        .iter()
+        .filter(|r| matches!(r, Response::Rejected { .. }))
+        .count();
+    assert_eq!(admitted, 4, "{results:?}");
+    assert_eq!(rejected, 4, "{results:?}");
+    let outcome = drain(handle, &mut client);
+    assert!(outcome.equilibrium);
+    assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+}

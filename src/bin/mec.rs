@@ -10,6 +10,10 @@
 //! mec failure                     testbed switch-failure drill
 //! mec stats <gtitm|waxman|as1755> [size]   topology statistics
 //! mec dot <gtitm|waxman|as1755> [size]     Graphviz DOT of a placed network
+//! mec serve [--port P] [--snapshot PATH] [--providers N] [--size N]
+//!                                 run the live service-market daemon
+//! mec load <addr> [--sessions N] [--epochs N] [--seed S] [--out PATH]
+//!                                 drive a running daemon with marketload
 //! ```
 
 use mec_baselines::{jo_offload_cache, offload_cache, JoConfig};
@@ -34,8 +38,12 @@ fn main() {
         Some("failure") => cmd_failure(),
         Some("stats") => cmd_stats(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("load") => cmd_load(&args[1..]),
         _ => {
-            eprintln!("usage: mec <fig N|ablations|run|poa|failure|stats|dot> [args] [--quick]");
+            eprintln!(
+                "usage: mec <fig N|ablations|run|poa|failure|stats|dot|serve|load> [args] [--quick]"
+            );
             std::process::exit(2);
         }
     }
@@ -219,6 +227,122 @@ fn cmd_dot(rest: &[String]) {
     let net = mec_topology::MecNetwork::place(topo, &mec_topology::PlacementConfig::default());
     use std::io::Write;
     let _ = write!(std::io::stdout(), "{}", mec_topology::network_dot(&net));
+}
+
+/// Looks up the value following a `--flag`.
+fn flag_value(rest: &[String], name: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .cloned()
+}
+
+/// Parses a `--flag value` numeric option, exiting with a clear error on
+/// a typo instead of silently falling back to the default.
+fn parse_flag<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> T {
+    match flag_value(rest, name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid {name} '{raw}' (expected a number)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn cmd_serve(rest: &[String]) {
+    let port: u16 = parse_flag(rest, "--port", 7690);
+    let providers: usize = parse_flag(rest, "--providers", 100);
+    let size: usize = parse_flag(rest, "--size", 100);
+    let seed: u64 = parse_flag(rest, "--seed", 42);
+    let snapshot = flag_value(rest, "--snapshot").map(std::path::PathBuf::from);
+
+    let scenario = gtitm_scenario(size, &Params::paper().with_providers(providers), seed);
+    let cfg = mec_serve::ServerConfig {
+        addr: format!("127.0.0.1:{port}"),
+        snapshot_path: snapshot.clone(),
+        ..mec_serve::ServerConfig::default()
+    };
+    let handle = match mec_serve::serve(scenario.generated.market, &cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot boot daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "service market on {} ({providers} providers, size-{size} network{})",
+        handle.addr(),
+        match &snapshot {
+            Some(p) => format!(", snapshot {}", p.display()),
+            None => String::new(),
+        }
+    );
+    println!(
+        "drain with: mec load {} --shutdown  (or any client's shutdown op)",
+        handle.addr()
+    );
+    let outcome = handle.join();
+    println!(
+        "drained at seq {} after {} epochs / {} moves (equilibrium: {})",
+        outcome.seq, outcome.epochs, outcome.moves, outcome.equilibrium
+    );
+    if !outcome.violations.is_empty() {
+        for v in &outcome.violations {
+            eprintln!("certificate violation: {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn cmd_load(rest: &[String]) {
+    let Some(addr) = rest.first().filter(|a| !a.starts_with("--")).cloned() else {
+        eprintln!(
+            "usage: mec load <addr> [--sessions N] [--epochs N] [--seed S] [--out PATH] [--shutdown]"
+        );
+        std::process::exit(2);
+    };
+    let cfg = mec_serve::LoadConfig {
+        sessions: parse_flag(rest, "--sessions", 8),
+        epochs: parse_flag(rest, "--epochs", 20),
+        seed: parse_flag(rest, "--seed", 1),
+        ..mec_serve::LoadConfig::default()
+    };
+    let providers = match mec_serve::Client::connect(&addr).and_then(|mut c| c.stats()) {
+        Ok(stats) => stats.providers,
+        Err(e) => {
+            eprintln!("cannot reach daemon at {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match mec_serve::run_load(&addr, providers, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{} ops in {:.3}s ({:.0} ops/s), {} rejected",
+        report.ops(),
+        report.elapsed.as_secs_f64(),
+        report.ops_per_sec(),
+        report.rejected
+    );
+    let out = flag_value(rest, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    if let Err(e) = std::fs::write(&out, format!("{}\n", report.to_json())) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("report written to {out}");
+    if rest.iter().any(|a| a == "--shutdown") {
+        match mec_serve::Client::connect(&addr).and_then(|mut c| c.shutdown()) {
+            Ok(_) => println!("daemon draining"),
+            Err(e) => {
+                eprintln!("shutdown request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn cmd_stats(rest: &[String]) {

@@ -398,6 +398,31 @@ pub fn self_test() -> Result<(), String> {
             "fn f() {\n    std::thread::spawn(|| {});\n}\n",
             0,
         ),
+        (
+            "thread-spawn",
+            "crates/serve/src/server.rs",
+            // The daemon's long-lived threads (market, acceptor,
+            // per-connection) are intentional and carry the marker in the
+            // comment block above the spawn — the style server.rs uses.
+            "fn f() {\n    // Acceptor thread: owns the listener.\n    // lint: allow(thread-spawn)\n    std::thread::spawn(|| {});\n}\n",
+            0,
+        ),
+        (
+            "thread-spawn",
+            "crates/serve/src/server.rs",
+            // A marker inside the spawned closure does NOT suppress: it
+            // must sit on the spawn line or in the block above it.
+            "fn f() {\n    std::thread::spawn(|| {\n        // lint: allow(thread-spawn)\n    });\n}\n",
+            1,
+        ),
+        (
+            "thread-spawn",
+            "crates/serve/src/chan.rs",
+            // Inline marker on the spawn line itself (the style the
+            // channel tests use).
+            "fn f() {\n    let t = std::thread::spawn(move || 1); // lint: allow(thread-spawn)\n}\n",
+            0,
+        ),
     ];
     for (k, &(rule, path, src, want)) in cases.iter().enumerate() {
         let found = lint_file(path, src);
