@@ -250,10 +250,25 @@ impl fmt::Display for Report {
                 "histogram", "count", "p50", "p95", "p99", "max"
             )?;
             for (name, h) in hist_rows {
+                // A `.ns` suffix marks nanosecond-valued histograms (e.g.
+                // `serve.publish.ns`); scale those like span durations so
+                // the summary reads in ms/us, not ten-digit raw counts.
+                let cell = |v: u64| {
+                    if name.ends_with(".ns") {
+                        fmt_ns(v)
+                    } else {
+                        v.to_string()
+                    }
+                };
                 writeln!(
                     f,
                     "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}",
-                    name, h.count, h.p50, h.p95, h.p99, h.max
+                    name,
+                    h.count,
+                    cell(h.p50),
+                    cell(h.p95),
+                    cell(h.p99),
+                    cell(h.max)
                 )?;
             }
         }
@@ -335,5 +350,32 @@ mod tests {
         for needle in ["span", "counter", "gauge", "histogram", "1.50ms"] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+    }
+
+    #[test]
+    fn ns_suffixed_histograms_render_human_scaled() {
+        let mut r = Report::new();
+        r.add(Event::Hist {
+            name: "serve.publish.ns".into(),
+            count: 10,
+            p50: 2_500,
+            p95: 40_000,
+            p99: 1_200_000,
+            max: 3_000_000_000,
+        });
+        r.add(Event::Hist {
+            name: "serve.drain.batch".into(),
+            count: 10,
+            p50: 12,
+            p95: 64,
+            p99: 128,
+            max: 256,
+        });
+        let text = format!("{r}");
+        for needle in ["2.5us", "40.0us", "1.20ms", "3.000s"] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+        // Unitless histograms stay raw.
+        assert!(text.contains("256"), "raw max missing in:\n{text}");
     }
 }

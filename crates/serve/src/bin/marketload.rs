@@ -8,6 +8,7 @@
 //! flags:
 //!   --sessions N    concurrent sessions           (default 8)
 //!   --epochs N      churn epochs per session      (default 20)
+//!   --queries N     queries per session per epoch (default 4)
 //!   --seed S        base RNG seed                 (default 1)
 //!   --out PATH      write the JSON report here    (default BENCH_serve.json;
 //!                   debug and --obs runs divert to BENCH_serve.local.json —
@@ -56,11 +57,13 @@ fn main() {
         eprintln!("                  [--snapshot PATH]");
         exit(2);
     }
+    let defaults = LoadConfig::default();
     let cfg = LoadConfig {
         sessions: parse_flag(&args, "--sessions", 8),
         epochs: parse_flag(&args, "--epochs", 20),
+        queries_per_epoch: parse_flag(&args, "--queries", defaults.queries_per_epoch),
         seed: parse_flag(&args, "--seed", 1),
-        ..LoadConfig::default()
+        ..defaults
     };
     let mut out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let obs_trace = flag_value(&args, "--obs");
@@ -162,10 +165,11 @@ fn run_smoke(args: &[String], cfg: &LoadConfig, out_path: &str) -> i32 {
 /// error-count gate in smoke mode.
 fn finish(report: &mec_serve::LoadReport, out_path: &str, smoke: bool) -> i32 {
     println!(
-        "{} ops in {:.3}s  ({:.0} ops/s), {} rejected",
+        "{} ops in {:.3}s  ({:.0} ops/s blended, {:.0} write ops/s), {} rejected",
         report.ops(),
         report.elapsed.as_secs_f64(),
         report.ops_per_sec(),
+        report.write_ops_per_sec(),
         report.rejected
     );
     for (name, op) in [
@@ -175,12 +179,13 @@ fn finish(report: &mec_serve::LoadReport, out_path: &str, smoke: bool) -> i32 {
         ("query", &report.query),
     ] {
         println!(
-            "  {name:<7} n={:<6} p50={}us p95={}us p99={}us max={}us errors={}",
+            "  {name:<7} n={:<6} p50={}us p95={}us p99={}us max={}us p99/p50={:.1} errors={}",
             op.latency.count(),
             op.latency.percentile(0.50) / 1_000,
             op.latency.percentile(0.95) / 1_000,
             op.latency.percentile(0.99) / 1_000,
             op.latency.max() / 1_000,
+            op.tail_ratio(),
             op.errors
         );
     }

@@ -40,6 +40,16 @@ pub struct Receiver<T> {
 #[derive(Debug, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
 
+/// A non-blocking send could not complete; gives the value back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The buffer is at capacity (backpressure; retry after the receiver
+    /// drains).
+    Full(T),
+    /// The receiver is gone; the channel will never accept again.
+    Closed(T),
+}
+
 /// Why a timed receive returned without a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecvTimeout {
@@ -88,6 +98,27 @@ impl<T> Sender<T> {
             }
             st = wait_ok(&self.chan.not_full, st);
         }
+    }
+
+    /// Enqueues `value` if there is room right now, without blocking —
+    /// the event loop must never sleep on the command queue, so a full
+    /// buffer is reported back for the caller to hold in its backlog.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] at capacity, [`TrySendError::Closed`] if
+    /// the receiver is gone; both return the value.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = lock_ok(&self.chan.state);
+        if st.closed {
+            return Err(TrySendError::Closed(value));
+        }
+        if st.buf.len() >= st.cap {
+            return Err(TrySendError::Full(value));
+        }
+        st.buf.push_back(value);
+        self.chan.not_empty.notify_one();
+        Ok(())
     }
 }
 
@@ -152,6 +183,58 @@ impl<T> Receiver<T> {
                 .wait_timeout(st, deadline - now)
                 .unwrap_or_else(|e| e.into_inner());
             st = guard;
+        }
+    }
+
+    /// Receives a *batch*: blocks until at least one message is available
+    /// (or `timeout` / disconnect), then drains everything queued — up to
+    /// `max` messages total — into `buf` without further blocking. This
+    /// is the market thread's drain primitive: one lock acquisition and
+    /// one wakeup amortized over the whole batch. Returns the number of
+    /// messages appended and the queue depth *before* the drain (for the
+    /// `serve.queue.depth` gauge).
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeout::Timeout`] if `timeout` elapsed with nothing queued
+    /// (never with `timeout: None`, which waits indefinitely);
+    /// [`RecvTimeout::Disconnected`] when every sender is gone and the
+    /// buffer is empty.
+    pub fn recv_batch(
+        &self,
+        buf: &mut Vec<T>,
+        max: usize,
+        timeout: Option<Duration>,
+    ) -> Result<(usize, usize), RecvTimeout> {
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        let mut st = lock_ok(&self.chan.state);
+        loop {
+            if !st.buf.is_empty() {
+                let depth = st.buf.len();
+                let take = depth.min(max);
+                buf.extend(st.buf.drain(..take));
+                // Potentially many senders were parked on a full buffer.
+                self.chan.not_full.notify_all();
+                return Ok((take, depth));
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeout::Disconnected);
+            }
+            match deadline {
+                None => st = wait_ok(&self.chan.not_empty, st),
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d {
+                        return Err(RecvTimeout::Timeout);
+                    }
+                    let (guard, _timed_out) = self
+                        .chan
+                        .not_empty
+                        .wait_timeout(st, d - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                }
+            }
         }
     }
 
@@ -324,6 +407,60 @@ mod tests {
         let (tx, rx) = oneshot::<u32>();
         drop(tx);
         assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_closed() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Closed(4)));
+    }
+
+    #[test]
+    fn recv_batch_drains_everything_queued() {
+        let (tx, rx) = bounded(8);
+        for k in 0..5 {
+            tx.send(k).unwrap();
+        }
+        let mut buf = Vec::new();
+        let (n, depth) = rx
+            .recv_batch(&mut buf, usize::MAX, Some(Duration::from_secs(1)))
+            .unwrap();
+        assert_eq!((n, depth), (5, 5));
+        assert_eq!(buf, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_batch_respects_max_and_reports_depth() {
+        let (tx, rx) = bounded(8);
+        for k in 0..6 {
+            tx.send(k).unwrap();
+        }
+        let mut buf = Vec::new();
+        let (n, depth) = rx.recv_batch(&mut buf, 4, None).unwrap();
+        assert_eq!((n, depth), (4, 6));
+        let (n, depth) = rx.recv_batch(&mut buf, 4, None).unwrap();
+        assert_eq!((n, depth), (2, 2));
+        assert_eq!(buf, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn recv_batch_times_out_and_disconnects() {
+        let (tx, rx) = bounded::<u32>(1);
+        let mut buf = Vec::new();
+        assert_eq!(
+            rx.recv_batch(&mut buf, 8, Some(Duration::from_millis(5))),
+            Err(RecvTimeout::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_batch(&mut buf, 8, Some(Duration::from_millis(5))),
+            Err(RecvTimeout::Disconnected)
+        );
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! A blocking client for the daemon's wire protocol.
 //!
-//! One [`Client`] wraps one TCP connection and issues one request at a
-//! time (the protocol is strictly request/response per connection).
-//! Protocol-level failures (`{"ok":0,...}`) come back as
+//! One [`Client`] wraps one TCP connection. [`Client::request`] issues
+//! one request and blocks for its response; [`Client::pipeline`] sends a
+//! whole batch in a single write and reads the responses back in order —
+//! the daemon's event loop serializes responses in request order, so
+//! pipelining is safe and amortizes both syscalls and the round trip
+//! over the batch. Protocol-level failures (`{"ok":0,...}`) come back as
 //! [`Response::Error`] values, not `Err` — only transport problems are
 //! `std::io::Error`.
 
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::proto::{self, Request, Response, StatsReport};
 
@@ -59,6 +62,37 @@ impl Client {
         })?;
         proto::parse_response(&payload)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends every request in one write, then reads the responses back
+    /// in order. Returns each response paired with its latency measured
+    /// from the start of the batch write — the pipelined analogue of a
+    /// per-op round-trip time.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure, an unparseable reply, or the server
+    /// closing the connection before every response arrived.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> std::io::Result<Vec<(Response, Duration)>> {
+        let mut frames = Vec::new();
+        for req in reqs {
+            proto::push_frame(&mut frames, &proto::encode_request(req));
+        }
+        let started = Instant::now();
+        self.writer.write_all(&frames)?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            let payload = proto::read_frame(&mut self.reader)?.ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-pipeline",
+                )
+            })?;
+            let resp = proto::parse_response(&payload)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            out.push((resp, started.elapsed()));
+        }
+        Ok(out)
     }
 
     /// `join`: request admission (daemon picks the cloudlet).

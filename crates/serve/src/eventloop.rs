@@ -1,0 +1,598 @@
+//! The poll-based I/O event loop: nonblocking sockets, per-connection
+//! buffers, and ordered reply delivery.
+//!
+//! PR 5's server spent one OS thread per connection; at 100+ sessions the
+//! scheduler — not the market — set the latency floor, and a single slow
+//! client could park a thread indefinitely. This module replaces that
+//! fleet with a small, fixed set of I/O threads, each running a
+//! level-triggered readiness loop over the vendored [`polling`] shim
+//! (`poll(2)`; the one facility `std` lacks):
+//!
+//! ```text
+//! acceptor ──inbox+wake──► io thread(s) ──Command──► market thread
+//!                           │    ▲                        │
+//!          reads from view ─┘    └── Completions ◄── batched replies
+//! ```
+//!
+//! Per connection the loop keeps a [`FrameDecoder`] (reassembling frames
+//! from whatever bytes the kernel delivers), an output buffer (frames for
+//! many responses coalesce into one `write` syscall), and an ordered
+//! `pending` queue that guarantees responses leave in request order even
+//! when reads (answered locally from the published view) and writes
+//! (round-tripping through the market thread) interleave on a pipelined
+//! connection. A read that arrives behind an in-flight write is
+//! *deferred* and evaluated only once the write's reply has been
+//! serialized — by which point the market thread has published a view
+//! covering the write, so read-your-writes holds even within a pipeline.
+//!
+//! Wakeups (new connections from the acceptor, completed commands from
+//! the market thread) arrive through a [`Waker`] — a self-connected UDP
+//! socket whose fd sits in the poll set, `std`-only and cheap: the wake
+//! side is one `send`, deduplicated by an atomic flag so a batch of
+//! completions costs one syscall, not one per reply.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use polling::{poll, PollFd, POLLIN, POLLOUT};
+
+use crate::chan::{Sender, TrySendError};
+use crate::market::{self, stats_of, Command};
+use crate::proto::{self, FrameDecoder, Request, Response};
+use crate::view::SharedView;
+
+/// Stop reading from a connection whose unsent output exceeds this
+/// (bytes); resumes when the client drains. Protects the daemon from a
+/// peer that writes requests but never reads responses.
+const OUT_HIGH_WATER: usize = 1 << 20;
+
+/// Hold at most this many commands in the local backlog when the market
+/// queue is full before pausing reads entirely.
+const BACKLOG_PAUSE: usize = 1024;
+
+/// Read chunk size per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A `std`-only poll-set wakeup: a UDP socket connected to itself. The
+/// waking side `send`s a byte; the polling side keeps the fd in its poll
+/// set with `POLLIN` and drains it on wake.
+#[derive(Debug)]
+pub struct Waker {
+    sock: UdpSocket,
+}
+
+impl Waker {
+    /// Creates the socket pair-of-one on an ephemeral loopback port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/connect/setsockopt failures.
+    pub fn new() -> std::io::Result<Waker> {
+        let sock = UdpSocket::bind(("127.0.0.1", 0))?;
+        sock.connect(sock.local_addr()?)?;
+        sock.set_nonblocking(true)?;
+        Ok(Waker { sock })
+    }
+
+    /// Makes the owning poll loop's next `poll` return immediately.
+    pub fn wake(&self) {
+        // A full socket buffer means wakes are already pending — the
+        // loop will run regardless, so the error is ignorable.
+        let _ = self.sock.send(&[1]);
+    }
+
+    /// Consumes all pending wake bytes (polling side).
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while self.sock.recv(&mut buf).is_ok() {}
+    }
+
+    fn fd(&self) -> std::os::fd::RawFd {
+        self.sock.as_raw_fd()
+    }
+}
+
+/// The reply mailbox of one I/O thread: the market thread pushes
+/// completed `(conn, req, response)` triples here and wakes the loop.
+/// One wake is amortized over a whole batch of completions by the
+/// `wake_armed` flag.
+#[derive(Debug)]
+pub struct Completions {
+    queue: Mutex<Vec<(u64, u64, Response)>>,
+    wake_armed: AtomicBool,
+    waker: Waker,
+}
+
+impl Completions {
+    /// Creates an empty mailbox with its own waker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates waker-socket creation failures.
+    pub fn new() -> std::io::Result<Completions> {
+        Ok(Completions {
+            queue: Mutex::new(Vec::new()),
+            wake_armed: AtomicBool::new(false),
+            waker: Waker::new()?,
+        })
+    }
+
+    /// Delivers one completed response (market-thread side).
+    pub fn push(&self, conn: u64, req: u64, resp: Response) {
+        {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push((conn, req, resp));
+        }
+        if !self.wake_armed.swap(true, Ordering::AcqRel) {
+            self.waker.wake();
+        }
+    }
+
+    /// Wakes the owning loop without delivering a completion — used for
+    /// inbox handoffs from the acceptor and stop-flag changes. Skips the
+    /// dedup flag: these events are rare and must never be coalesced away.
+    pub fn wake(&self) {
+        self.waker.wake();
+    }
+
+    /// Takes everything delivered so far (I/O-thread side). Clears the
+    /// wake flag *before* draining so a concurrent push re-arms the wake.
+    fn drain_into(&self, out: &mut Vec<(u64, u64, Response)>) {
+        self.wake_armed.store(false, Ordering::Release);
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        out.append(&mut q);
+    }
+}
+
+/// Everything one I/O thread shares with the acceptor, the market
+/// thread, and the boot code.
+pub(crate) struct IoShared {
+    /// Reply mailbox (market thread pushes, loop drains).
+    pub completions: Arc<Completions>,
+    /// Freshly accepted connections (acceptor pushes, loop adopts).
+    pub inbox: Mutex<Vec<TcpStream>>,
+    /// Daemon-wide stop flag.
+    pub stop: Arc<AtomicBool>,
+    /// Live-connection count (shared with the acceptor's admission cap).
+    pub live: Arc<AtomicUsize>,
+    /// Command queue into the market thread.
+    pub tx: Sender<Command>,
+    /// The published market view for locally answered reads.
+    pub view: Arc<SharedView>,
+    /// The daemon's own address, for poking the acceptor at shutdown.
+    pub addr: SocketAddr,
+}
+
+/// One response slot in a connection's ordered pipeline.
+enum Slot {
+    /// A write in flight to the market thread, keyed by request id.
+    Waiting(u64),
+    /// A completed response not yet serialized (out of order behind a
+    /// `Waiting` slot).
+    Done(Response),
+    /// A read that arrived behind an in-flight write; evaluated against
+    /// the view only when it reaches the queue head, preserving
+    /// read-your-writes under pipelining.
+    DeferredRead(Request),
+}
+
+/// Per-connection state.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Serialized frames awaiting the socket; `out_pos` is the sent
+    /// prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Response pipeline, strictly in request order.
+    pending: VecDeque<Slot>,
+    /// Next request id for `Waiting` slots.
+    next_req: u64,
+    /// Close once `out` drains (set by a `Draining` response).
+    close_after_flush: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            pending: VecDeque::new(),
+            next_req: 0,
+            close_after_flush: false,
+            dead: false,
+        }
+    }
+
+    fn out_backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+}
+
+/// Answers a read-only request from the published view (never touches
+/// the market thread). Shared by the fast path and deferred evaluation.
+fn answer_read(req: &Request, view: &SharedView) -> Response {
+    match req {
+        Request::Query { provider } => {
+            let view = view.load();
+            match (view.placements.get(*provider), view.costs.get(*provider)) {
+                (Some(p), Some(&cost)) => Response::Placement {
+                    at: match p {
+                        mec_core::Placement::Remote => None,
+                        mec_core::Placement::Cloudlet(c) => Some(c.index()),
+                    },
+                    cost,
+                    active: view.active[*provider],
+                    seq: view.seq,
+                },
+                _ => Response::Error {
+                    msg: format!("unknown provider {provider}"),
+                },
+            }
+        }
+        Request::Stats => Response::Stats(stats_of(&view.load())),
+        _ => Response::Error {
+            msg: "not a read".to_string(),
+        },
+    }
+}
+
+fn is_read(req: &Request) -> bool {
+    matches!(req, Request::Query { .. } | Request::Stats)
+}
+
+/// Runs one I/O thread to completion (until the stop flag flips).
+pub(crate) fn run_io(shared: &IoShared) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_conn: u64 = 0;
+    let mut completions: Vec<(u64, u64, Response)> = Vec::new();
+    let mut backlog: VecDeque<Command> = VecDeque::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut fd_conn: Vec<u64> = Vec::new();
+
+    loop {
+        // (Re)build the poll set: waker first, then every live conn.
+        fds.clear();
+        fd_conn.clear();
+        fds.push(PollFd::new(shared.completions.waker.fd(), POLLIN));
+        let paused = backlog.len() >= BACKLOG_PAUSE;
+        for (&id, conn) in &conns {
+            let mut events = 0i16;
+            if !paused && conn.out_backlog() < OUT_HIGH_WATER && !conn.close_after_flush {
+                events |= POLLIN;
+            }
+            if conn.out_backlog() > 0 {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+            fd_conn.push(id);
+        }
+        // Wakes cover every event source; the timeout is a safety net
+        // (and the backlog-retry tick when the market queue was full).
+        let timeout = if backlog.is_empty() {
+            Duration::from_millis(1000)
+        } else {
+            Duration::from_millis(5)
+        };
+        let _ = poll(&mut fds, Some(timeout));
+        if fds[0].readable() {
+            shared.completions.waker.drain();
+        }
+
+        // Completed commands from the market thread: slot them into their
+        // connection's pipeline.
+        shared.completions.drain_into(&mut completions);
+        for (conn_id, req_id, resp) in completions.drain(..) {
+            let Some(conn) = conns.get_mut(&conn_id) else {
+                continue; // connection died while the command was in flight
+            };
+            if matches!(resp, Response::Draining) {
+                conn.close_after_flush = true;
+                // Stop accepting immediately (the market thread repeats
+                // this when it finishes draining, but doing it here closes
+                // the window where a new client connects mid-drain).
+                shared.stop.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(shared.addr);
+            }
+            for slot in conn.pending.iter_mut() {
+                if let Slot::Waiting(id) = slot {
+                    if *id == req_id {
+                        *slot = Slot::Done(resp);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Adopt freshly accepted connections.
+        {
+            let mut inbox = shared.inbox.lock().unwrap_or_else(|e| e.into_inner());
+            for stream in inbox.drain(..) {
+                if stream.set_nonblocking(true).is_err() {
+                    shared.live.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                conns.insert(next_conn, Conn::new(stream));
+                next_conn += 1;
+            }
+        }
+
+        // Retry the backlog before reading more requests, so FIFO order
+        // into the market thread is preserved.
+        flush_backlog(&mut backlog, shared);
+
+        // Service readiness: read + decode + dispatch, then advance each
+        // connection's pipeline and flush its output buffer.
+        for (k, fd) in fds.iter().enumerate().skip(1) {
+            let id = fd_conn[k - 1];
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            if fd.readable() {
+                read_ready(id, conn, shared, &mut backlog);
+            }
+        }
+        flush_backlog(&mut backlog, shared);
+        for conn in conns.values_mut() {
+            if !conn.dead {
+                advance(conn, shared);
+                flush_out(conn);
+            }
+        }
+        conns.retain(|_, c| {
+            if c.dead {
+                shared.live.fetch_sub(1, Ordering::SeqCst);
+            }
+            !c.dead
+        });
+
+        if shared.stop.load(Ordering::SeqCst) {
+            final_flush(&mut conns, shared);
+            return;
+        }
+    }
+}
+
+/// Pushes backlog commands into the market queue until it fills. A
+/// `Closed` queue means the market thread is gone — every queued command
+/// is refused with the draining error, through the normal completion
+/// path so reply order per connection is preserved.
+fn flush_backlog(backlog: &mut VecDeque<Command>, _shared: &IoShared) {
+    while let Some(cmd) = backlog.pop_front() {
+        match _shared.tx.try_send(cmd) {
+            Ok(()) => {}
+            Err(TrySendError::Full(cmd)) => {
+                backlog.push_front(cmd);
+                return;
+            }
+            Err(TrySendError::Closed(cmd)) => {
+                market::refuse(cmd);
+            }
+        }
+    }
+}
+
+/// Drains the socket, reassembles frames, and dispatches each request.
+fn read_ready(conn_id: u64, conn: &mut Conn, shared: &IoShared, backlog: &mut VecDeque<Command>) {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF. Mid-frame it is a protocol cut; either way the
+                // peer is gone, so the connection is done.
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.decoder.extend(&chunk[..n]);
+                if n < chunk.len() {
+                    break; // kernel buffer drained
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    loop {
+        match conn.decoder.next_frame() {
+            Ok(Some(payload)) => dispatch(conn_id, conn, &payload, shared, backlog),
+            Ok(None) => break,
+            Err(_) => {
+                // Framing lost: nothing sensible can be parsed out of the
+                // stream anymore. Same policy as the threaded server:
+                // drop the connection.
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one decoded request: reads answer from the view (immediately
+/// or deferred behind in-flight writes), writes enqueue a market command
+/// whose reply is routed back through the completions mailbox.
+fn dispatch(
+    conn_id: u64,
+    conn: &mut Conn,
+    payload: &str,
+    shared: &IoShared,
+    backlog: &mut VecDeque<Command>,
+) {
+    let req = match proto::parse_request(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            // Malformed JSON in a well-framed payload: answer the error
+            // in order and keep the connection alive.
+            conn.pending
+                .push_back(Slot::Done(Response::Error { msg: e.to_string() }));
+            return;
+        }
+    };
+    if is_read(&req) {
+        if conn.pending.is_empty() {
+            // Fast path: nothing in flight, answer straight from the view
+            // into the output buffer.
+            let resp = answer_read(&req, &shared.view);
+            proto::push_frame(&mut conn.out, &proto::encode_response(&resp));
+        } else {
+            conn.pending.push_back(Slot::DeferredRead(req));
+        }
+        return;
+    }
+    let req_id = conn.next_req;
+    conn.next_req += 1;
+    let reply = market::Reply::Conn {
+        mailbox: shared.completions.clone(),
+        conn: conn_id,
+        req: req_id,
+    };
+    let cmd = match market::command_for(req, reply) {
+        Ok(cmd) => cmd,
+        Err(resp) => {
+            conn.pending.push_back(Slot::Done(resp));
+            return;
+        }
+    };
+    conn.pending.push_back(Slot::Waiting(req_id));
+    backlog.push_back(cmd);
+}
+
+/// Serializes the completed prefix of the pipeline into the output
+/// buffer, evaluating deferred reads as they reach the head.
+fn advance(conn: &mut Conn, shared: &IoShared) {
+    while let Some(front) = conn.pending.front() {
+        match front {
+            Slot::Waiting(_) => break,
+            Slot::Done(_) => {
+                let Some(Slot::Done(resp)) = conn.pending.pop_front() else {
+                    unreachable!("front() said Done"); // lint: allow(panics)
+                };
+                proto::push_frame(&mut conn.out, &proto::encode_response(&resp));
+            }
+            Slot::DeferredRead(_) => {
+                let Some(Slot::DeferredRead(req)) = conn.pending.pop_front() else {
+                    unreachable!("front() said DeferredRead"); // lint: allow(panics)
+                };
+                // Every earlier write has been acknowledged, and the
+                // market thread publishes before acknowledging — the view
+                // read here covers those writes.
+                let resp = answer_read(&req, &shared.view);
+                proto::push_frame(&mut conn.out, &proto::encode_response(&resp));
+            }
+        }
+    }
+}
+
+/// Writes as much of the output buffer as the socket accepts.
+fn flush_out(conn: &mut Conn) {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+    // Close only once every in-order response (the Draining frame
+    // included) has been serialized *and* written.
+    if conn.close_after_flush && conn.pending.is_empty() {
+        conn.dead = true;
+    }
+}
+
+/// Best-effort flush of every remaining output buffer at shutdown, under
+/// a short deadline, so final responses (`draining`, late errors) reach
+/// their clients before the sockets close.
+fn final_flush(conns: &mut HashMap<u64, Conn>, shared: &IoShared) {
+    // Late completions (e.g. the drain refusals) may still be arriving.
+    let mut completions = Vec::new();
+    shared.completions.drain_into(&mut completions);
+    for (conn_id, req_id, resp) in completions {
+        if let Some(conn) = conns.get_mut(&conn_id) {
+            for slot in conn.pending.iter_mut() {
+                if let Slot::Waiting(id) = slot {
+                    if *id == req_id {
+                        *slot = Slot::Done(resp);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    for conn in conns.values_mut() {
+        advance(conn, shared);
+    }
+    let deadline = Instant::now() + Duration::from_millis(250);
+    while Instant::now() < deadline {
+        let mut remaining = false;
+        for conn in conns.values_mut() {
+            if !conn.dead && conn.out_backlog() > 0 {
+                flush_out(conn);
+                remaining |= !conn.dead && conn.out_backlog() > 0;
+            }
+        }
+        if !remaining {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for (_, c) in conns.drain() {
+        drop(c);
+        shared.live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waker_wakes_poll_and_drains() {
+        let w = Waker::new().unwrap();
+        let mut fds = [PollFd::new(w.fd(), POLLIN)];
+        // Nothing pending: poll times out.
+        assert_eq!(poll(&mut fds, Some(Duration::from_millis(5))).unwrap(), 0);
+        w.wake();
+        w.wake(); // coalesces, never blocks
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        w.drain();
+        assert_eq!(poll(&mut fds, Some(Duration::from_millis(5))).unwrap(), 0);
+    }
+
+    #[test]
+    fn completions_arm_one_wake_per_batch() {
+        let c = Completions::new().unwrap();
+        c.push(0, 0, Response::Left);
+        c.push(0, 1, Response::Left);
+        let mut out = Vec::new();
+        c.drain_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert!(!c.wake_armed.load(Ordering::Acquire));
+        // A push after the drain re-arms the wake.
+        c.push(1, 0, Response::Left);
+        assert!(c.wake_armed.load(Ordering::Acquire));
+    }
+}

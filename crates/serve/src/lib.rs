@@ -12,11 +12,13 @@
 //! * [`chan`] — hand-rolled bounded MPSC + oneshot channels (std-only; the
 //!   vendored tree has no channel crate);
 //! * [`view`] — immutable published snapshots for reader threads;
-//! * [`market`] — the single-writer market thread: admission control
-//!   against the incremental [`mec_core::GameState`] residuals (Eq. 4–5),
-//!   bounded best-response *equilibrium maintenance* epochs between
-//!   requests (Lemma 3), versioned crash-recovery snapshots;
-//! * [`server`] — acceptor + connection threads over `std::net`;
+//! * [`eventloop`] — the poll-based I/O loop (vendored `poll(2)` shim,
+//!   nonblocking sockets, per-connection buffers, ordered completions);
+//! * [`market`] — the single-writer market thread: batched admission
+//!   control against the incremental [`mec_core::GameState`] residuals
+//!   (Eq. 4–5), preemptible best-response *maintenance quanta* between
+//!   queue drains (Lemma 3), versioned crash-recovery snapshots;
+//! * [`server`] — acceptor + event-loop I/O threads over `std::net`;
 //! * [`client`] — a blocking protocol client;
 //! * [`load`] — the `marketload` engine: concurrent churn-scripted
 //!   sessions with per-op latency histograms.
@@ -30,6 +32,7 @@
 
 pub mod chan;
 pub mod client;
+pub mod eventloop;
 pub mod load;
 pub mod market;
 pub mod proto;

@@ -5,9 +5,21 @@
 //! Each session opens its own connection and replays a
 //! [`mec_workload::churn`] script over its slice — arrivals become
 //! `join`s, departures `leave`s — interleaved with `query` reads and
-//! periodic `update` demand changes. Latencies are recorded per op type
-//! into always-compiled [`mec_obs::Histogram`]s (nanosecond unit), so the
-//! report works without any cargo feature; building with `--features obs`
+//! periodic `update` demand changes. Each epoch's requests go out as one
+//! *pipelined batch* ([`Client::pipeline`]): one write syscall carries
+//! the whole epoch, and the daemon's event loop streams the responses
+//! back in order. Latency is measured per op from the start of the batch
+//! write to that op's response — the pipelined analogue of round-trip
+//! time, so queueing delay inside the daemon still shows up in the tail.
+//!
+//! Session starts are *staggered* by a small per-session delay: with
+//! hundreds of sessions, connecting all at once turns the accept queue
+//! into a thundering herd whose connection-setup spike pollutes the
+//! first epoch's latencies.
+//!
+//! Latencies are recorded per op type into always-compiled
+//! [`mec_obs::Histogram`]s (nanosecond unit), so the report works
+//! without any cargo feature; building with `--features obs`
 //! additionally streams the same measurements into the observability
 //! trace.
 
@@ -19,7 +31,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::client::Client;
-use crate::proto::{Response, StatsReport};
+use crate::proto::{Request, Response, StatsReport};
 
 /// Shape of one load run.
 #[derive(Debug, Clone)]
@@ -33,6 +45,9 @@ pub struct LoadConfig {
     pub queries_per_epoch: usize,
     /// Issue one demand `update` every this many epochs (0 disables).
     pub update_every: usize,
+    /// Delay between consecutive session starts (stagger); session `s`
+    /// connects `s * stagger` after the run begins.
+    pub stagger: Duration,
     /// Base RNG seed; session `s` uses `seed + s`.
     pub seed: u64,
 }
@@ -44,6 +59,7 @@ impl Default for LoadConfig {
             epochs: 20,
             queries_per_epoch: 4,
             update_every: 5,
+            stagger: Duration::from_micros(500),
             seed: 1,
         }
     }
@@ -59,10 +75,10 @@ pub struct OpStats {
 }
 
 impl OpStats {
-    fn record(&mut self, started: Instant, resp: &std::io::Result<Response>) {
-        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    fn record(&mut self, latency: Duration, resp: &Response) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
         self.latency.record(nanos);
-        if matches!(resp, Ok(Response::Error { .. }) | Err(_)) {
+        if matches!(resp, Response::Error { .. }) {
             self.errors += 1;
         }
     }
@@ -70,6 +86,15 @@ impl OpStats {
     fn merge(&mut self, other: &OpStats) {
         self.latency.merge(&other.latency);
         self.errors += other.errors;
+    }
+
+    /// Tail amplification: p99 over p50 (0 when the histogram is empty).
+    pub fn tail_ratio(&self) -> f64 {
+        let p50 = self.latency.percentile(0.50);
+        if p50 == 0 {
+            return 0.0;
+        }
+        self.latency.percentile(0.99) as f64 / p50 as f64
     }
 }
 
@@ -101,20 +126,26 @@ pub struct LoadReport {
 impl LoadReport {
     /// Total requests issued.
     pub fn ops(&self) -> u64 {
-        self.join.latency.count()
-            + self.leave.latency.count()
-            + self.update.latency.count()
-            + self.query.latency.count()
+        self.write_ops() + self.query.latency.count()
+    }
+
+    /// Mutating requests issued (`join` + `leave` + `update`) — the ops
+    /// that round-trip through the market thread, as opposed to queries
+    /// answered from the published view.
+    pub fn write_ops(&self) -> u64 {
+        self.join.latency.count() + self.leave.latency.count() + self.update.latency.count()
     }
 
     /// Aggregate throughput over the whole run.
     pub fn ops_per_sec(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
-            self.ops() as f64 / secs
-        } else {
-            0.0
-        }
+        per_sec(self.ops(), self.elapsed)
+    }
+
+    /// Mutating-request throughput — the market thread's write rate,
+    /// reported next to the blended number so a query-heavy mix cannot
+    /// flatter the daemon.
+    pub fn write_ops_per_sec(&self) -> f64 {
+        per_sec(self.write_ops(), self.elapsed)
     }
 
     /// Serializes the report as one flat JSON object (the
@@ -126,6 +157,7 @@ impl LoadReport {
             ("providers", self.providers as u64),
             ("epochs", self.epochs as u64),
             ("ops", self.ops()),
+            ("write_ops", self.write_ops()),
             ("rejected", self.rejected),
             ("server_seq", self.server.seq),
             ("server_epochs", self.server.epochs),
@@ -140,6 +172,8 @@ impl LoadReport {
         json::push_f64(&mut s, self.elapsed.as_secs_f64());
         s.push_str(",\"ops_per_sec\":");
         json::push_f64(&mut s, self.ops_per_sec());
+        s.push_str(",\"write_ops_per_sec\":");
+        json::push_f64(&mut s, self.write_ops_per_sec());
         s.push_str(",\"server_social_cost\":");
         json::push_f64(&mut s, self.server.social_cost);
         for (name, op) in [
@@ -162,9 +196,20 @@ impl LoadReport {
             s.push_str(&format!(",\"{name}_max_ns\":{}", op.latency.max()));
             s.push_str(&format!(",\"{name}_mean_ns\":", name = name));
             json::push_f64(&mut s, op.latency.mean());
+            s.push_str(&format!(",\"{name}_p99_p50\":", name = name));
+            json::push_f64(&mut s, op.tail_ratio());
         }
         s.push('}');
         s
+    }
+}
+
+fn per_sec(count: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
     }
 }
 
@@ -175,6 +220,15 @@ struct SessionResult {
     update: OpStats,
     query: OpStats,
     rejected: u64,
+}
+
+/// Which [`OpStats`] bucket a pipelined request settles into, plus the
+/// state bookkeeping its response triggers.
+enum OpKind {
+    Join(usize),
+    Leave,
+    Update,
+    Query,
 }
 
 /// Runs the load against a daemon at `addr` whose provider universe has
@@ -202,7 +256,15 @@ pub fn run_load(addr: &str, providers: usize, cfg: &LoadConfig) -> std::io::Resu
                 // Split [0, providers) into near-equal contiguous slices.
                 let lo = s * providers / cfg.sessions;
                 let hi = (s + 1) * providers / cfg.sessions;
-                scope.spawn(move |_| run_session(addr, lo, hi, cfg, cfg.seed + s as u64))
+                scope.spawn(move |_| {
+                    // Staggered start: spread the connection setup so the
+                    // accept queue never sees the whole fleet at once.
+                    let offset = cfg.stagger * s as u32;
+                    if !offset.is_zero() {
+                        std::thread::sleep(offset);
+                    }
+                    run_session(addr, lo, hi, cfg, cfg.seed + s as u64)
+                })
             })
             .collect();
         handles
@@ -253,7 +315,8 @@ pub fn run_load(addr: &str, providers: usize, cfg: &LoadConfig) -> std::io::Resu
     Ok(report)
 }
 
-/// One session: replay a churn script over the providers `[lo, hi)`.
+/// One session: replay a churn script over the providers `[lo, hi)`, one
+/// pipelined batch per epoch.
 fn run_session(
     addr: &str,
     lo: usize,
@@ -273,7 +336,11 @@ fn run_session(
         rejected: 0,
     };
     let mut joined: Vec<usize> = Vec::with_capacity(slice);
+    let mut reqs: Vec<Request> = Vec::new();
+    let mut kinds: Vec<OpKind> = Vec::new();
     for (epoch, event) in script.iter().enumerate() {
+        reqs.clear();
+        kinds.clear();
         for d in &event.departures {
             let global = lo + d.index();
             // The script may depart a provider whose join was rejected;
@@ -281,29 +348,22 @@ fn run_session(
             if !joined.contains(&global) {
                 continue;
             }
-            let t = Instant::now();
-            let resp = client.leave(global);
-            out.leave.record(t, &resp);
-            resp?;
+            reqs.push(Request::Leave { provider: global });
+            kinds.push(OpKind::Leave);
             joined.retain(|&g| g != global);
         }
         for a in &event.arrivals {
             let global = lo + a.index();
-            let t = Instant::now();
-            let resp = client.join(global);
-            out.join.record(t, &resp);
-            match resp? {
-                Response::Admitted { .. } => joined.push(global),
-                Response::Rejected { .. } => out.rejected += 1,
-                _ => {}
-            }
+            reqs.push(Request::Join {
+                provider: global,
+                cloudlet: None,
+            });
+            kinds.push(OpKind::Join(global));
         }
         for _ in 0..cfg.queries_per_epoch {
             let global = lo + rng.random_range(0..slice);
-            let t = Instant::now();
-            let resp = client.query(global);
-            out.query.record(t, &resp);
-            resp?;
+            reqs.push(Request::Query { provider: global });
+            kinds.push(OpKind::Query);
         }
         if cfg.update_every > 0 && epoch % cfg.update_every == cfg.update_every - 1 {
             if let Some(&global) = joined.first() {
@@ -311,10 +371,32 @@ fn run_session(
                 // range; the daemon evicts if the new demand no longer fits.
                 let compute = 0.5 + rng.random_range(0..150) as f64 / 100.0;
                 let bandwidth = 2.0 + rng.random_range(0..600) as f64 / 100.0;
-                let t = Instant::now();
-                let resp = client.update(global, compute, bandwidth);
-                out.update.record(t, &resp);
-                resp?;
+                reqs.push(Request::UpdateDemand {
+                    provider: global,
+                    compute,
+                    bandwidth,
+                });
+                kinds.push(OpKind::Update);
+            }
+        }
+        if reqs.is_empty() {
+            continue;
+        }
+        // The whole epoch rides one write; responses come back in request
+        // order with per-op latencies from the batch start.
+        for (kind, (resp, latency)) in kinds.iter().zip(client.pipeline(&reqs)?) {
+            match kind {
+                OpKind::Join(global) => {
+                    out.join.record(latency, &resp);
+                    match resp {
+                        Response::Admitted { .. } => joined.push(*global),
+                        Response::Rejected { .. } => out.rejected += 1,
+                        _ => {}
+                    }
+                }
+                OpKind::Leave => out.leave.record(latency, &resp),
+                OpKind::Update => out.update.record(latency, &resp),
+                OpKind::Query => out.query.record(latency, &resp),
             }
         }
     }
@@ -359,12 +441,15 @@ mod tests {
 
     #[test]
     fn report_json_is_flat_and_parseable() {
+        let mut join = OpStats::default();
+        join.record(Duration::from_micros(10), &Response::Left);
+        join.record(Duration::from_micros(40), &Response::Left);
         let report = LoadReport {
             sessions: 2,
             providers: 10,
             epochs: 5,
             elapsed: Duration::from_millis(1500),
-            join: OpStats::default(),
+            join,
             leave: OpStats::default(),
             update: OpStats::default(),
             query: OpStats::default(),
@@ -386,24 +471,43 @@ mod tests {
         assert_eq!(json::get_u64(&fields, "rejected").unwrap(), 3);
         assert_eq!(json::get_u64(&fields, "server_equilibrium").unwrap(), 1);
         assert!(json::get_f64(&fields, "ops_per_sec").unwrap() >= 0.0);
-        assert_eq!(json::get_u64(&fields, "join_p99_ns").unwrap(), 0);
+        assert_eq!(json::get_u64(&fields, "write_ops").unwrap(), 2);
+        assert!(json::get_f64(&fields, "write_ops_per_sec").unwrap() > 0.0);
+        assert!(json::get_f64(&fields, "join_p99_p50").unwrap() >= 1.0);
+        assert!(json::get_u64(&fields, "join_p99_ns").unwrap() > 0);
+        // Empty histogram: the ratio is exactly the 0.0 sentinel.
+        // lint: allow(float-cmp)
+        assert_eq!(json::get_f64(&fields, "query_p99_p50").unwrap(), 0.0);
     }
 
     #[test]
     fn op_stats_count_errors_and_merge() {
         let mut a = OpStats::default();
-        let t = Instant::now();
-        a.record(t, &Ok(Response::Left));
+        a.record(Duration::from_micros(5), &Response::Left);
         a.record(
-            t,
-            &Ok(Response::Error {
+            Duration::from_micros(5),
+            &Response::Error {
                 msg: "x".to_string(),
-            }),
+            },
         );
         let mut b = OpStats::default();
-        b.record(t, &Ok(Response::Left));
+        b.record(Duration::from_micros(5), &Response::Left);
         a.merge(&b);
         assert_eq!(a.latency.count(), 3);
         assert_eq!(a.errors, 1);
+    }
+
+    #[test]
+    fn tail_ratio_is_p99_over_p50() {
+        let mut op = OpStats::default();
+        for _ in 0..99 {
+            op.record(Duration::from_nanos(1000), &Response::Left);
+        }
+        op.record(Duration::from_nanos(5000), &Response::Left);
+        let r = op.tail_ratio();
+        assert!(r >= 1.0, "ratio {r} must be at least 1");
+        // Empty histogram: the ratio is exactly the 0.0 sentinel.
+        // lint: allow(float-cmp)
+        assert_eq!(OpStats::default().tail_ratio(), 0.0);
     }
 }

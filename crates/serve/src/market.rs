@@ -1,25 +1,38 @@
-//! The single-writer market thread: admission control, equilibrium
-//! maintenance, snapshots, and graceful drain.
+//! The single-writer market thread: batched admission control,
+//! preemptible equilibrium maintenance, snapshots, and graceful drain.
 //!
 //! One thread owns the [`Market`] and an incremental [`GameState`] over
-//! it. Connection threads enqueue [`Command`]s on a bounded channel; the
-//! market thread applies them one at a time, so every mutation is
-//! serialized and the incremental aggregates never race. Between
-//! commands — whenever the queue stays empty for the configured idle
-//! gap — the thread spends the slack on *equilibrium maintenance*: a
-//! bounded best-response epoch that applies at most `epoch_moves`
-//! improving moves (Lemma 3 dynamics, amortized so a busy daemon never
-//! starves requests behind a long convergence run).
+//! it. I/O threads enqueue [`Command`]s on a bounded channel; the market
+//! thread drains the queue in *batches* — everything queued is taken in
+//! one lock, applied in one pass over the state, and covered by a single
+//! published [`MarketView`]. Publishing is the expensive step (`O(N)`
+//! placement/cost vectors per view), so amortizing one publish over a
+//! whole batch is where the daemon's write throughput comes from.
+//!
+//! Read-your-writes is preserved batch-wide: the view covering a batch
+//! is published *before* any command in the batch is acknowledged, so a
+//! client holding a reply can immediately observe its write through
+//! `query`/`stats` — whichever thread answers the read.
+//!
+//! Whenever a drain comes back empty and the active players are not yet
+//! at equilibrium, the thread spends the gap on one *maintenance
+//! quantum*: a bounded best-response sweep applying at most
+//! `epoch_moves` improving moves (Lemma 3 dynamics). Quanta interleave
+//! with queue drains, so maintenance is preemptible — a request burst
+//! waits for at most one quantum, never a full convergence run — while
+//! the exact-potential argument still guarantees the dynamics terminate
+//! once the queue goes quiet. At equilibrium with an empty queue the
+//! thread blocks on the channel and costs nothing.
 //!
 //! [`GameState`] borrows the market, so commands that must mutate the
-//! market itself (demand updates, restores) exit the inner serving loop,
-//! mutate, and rebuild the state in `O(N + M)` — the `'rebuild` pattern.
-//! After every state-changing command or epoch the thread publishes an
-//! immutable [`MarketView`] for the reader threads — always *before*
-//! acknowledging the command, so a client that has its reply in hand can
-//! immediately read its own write through `query`/`stats`.
+//! market itself (demand updates, restores) publish and acknowledge the
+//! batch prefix, exit the serving loop, mutate, and rebuild the state in
+//! `O(N + M)` — the `'rebuild` pattern. The unapplied batch remainder is
+//! carried across the rebuild and applied against the fresh state.
 
+use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use mec_core::game::IMPROVEMENT_TOL;
@@ -28,12 +41,46 @@ use mec_core::{load_snapshot, save_snapshot, GameState, Placement, Profile, Prov
 use mec_topology::CloudletId;
 
 use crate::chan::{OneSender, Receiver, RecvTimeout};
-use crate::proto::{Response, StatsReport};
+use crate::eventloop::Completions;
+use crate::proto::{Request, Response, StatsReport};
 use crate::view::{MarketView, SharedView};
 
-/// A mutating request, carried from a connection thread to the market
-/// thread with a oneshot reply slot. Reads (`query`/`stats`) never become
-/// commands — they are answered from the published [`MarketView`].
+/// Where a command's response goes once the market thread settles it.
+pub enum Reply {
+    /// A blocking oneshot slot (in-process drivers, unit tests).
+    Oneshot(OneSender<Response>),
+    /// An event-loop route: the response is pushed into the owning I/O
+    /// thread's completion mailbox, keyed by connection and request id,
+    /// and the loop serializes it in request order.
+    Conn {
+        /// The owning I/O thread's completion mailbox.
+        mailbox: Arc<Completions>,
+        /// Connection id within that thread.
+        conn: u64,
+        /// Request id within that connection.
+        req: u64,
+    },
+}
+
+impl Reply {
+    /// Delivers the response to whoever is waiting.
+    pub fn send(self, resp: Response) {
+        match self {
+            Reply::Oneshot(tx) => tx.send(resp),
+            Reply::Conn { mailbox, conn, req } => mailbox.push(conn, req, resp),
+        }
+    }
+}
+
+impl From<OneSender<Response>> for Reply {
+    fn from(tx: OneSender<Response>) -> Reply {
+        Reply::Oneshot(tx)
+    }
+}
+
+/// A mutating request, carried from an I/O thread to the market thread
+/// with its reply route. Reads (`query`/`stats`) never become commands —
+/// they are answered from the published [`MarketView`].
 pub enum Command {
     /// Admit a provider (optionally at a specific cloudlet).
     Join {
@@ -41,15 +88,15 @@ pub enum Command {
         provider: usize,
         /// Requested cloudlet, if any.
         cloudlet: Option<usize>,
-        /// Reply slot.
-        reply: OneSender<Response>,
+        /// Reply route.
+        reply: Reply,
     },
     /// Deactivate a provider.
     Leave {
         /// Provider id.
         provider: usize,
-        /// Reply slot.
-        reply: OneSender<Response>,
+        /// Reply route.
+        reply: Reply,
     },
     /// Replace a provider's demand vector.
     Update {
@@ -59,33 +106,66 @@ pub enum Command {
         compute: f64,
         /// New bandwidth demand.
         bandwidth: f64,
-        /// Reply slot.
-        reply: OneSender<Response>,
+        /// Reply route.
+        reply: Reply,
     },
     /// Write the snapshot file now.
     Snapshot {
-        /// Reply slot.
-        reply: OneSender<Response>,
+        /// Reply route.
+        reply: Reply,
     },
     /// Reload state from the snapshot file.
     Restore {
-        /// Reply slot.
-        reply: OneSender<Response>,
+        /// Reply route.
+        reply: Reply,
     },
     /// Begin a graceful drain.
     Shutdown {
-        /// Reply slot.
-        reply: OneSender<Response>,
+        /// Reply route.
+        reply: Reply,
     },
+}
+
+/// Builds the market command for a mutating request. Read requests are
+/// answered from the view and never reach the market thread; asking for
+/// a command for one returns the error response to send instead.
+pub fn command_for(req: Request, reply: Reply) -> Result<Command, Response> {
+    Ok(match req {
+        Request::Join { provider, cloudlet } => Command::Join {
+            provider,
+            cloudlet,
+            reply,
+        },
+        Request::Leave { provider } => Command::Leave { provider, reply },
+        Request::UpdateDemand {
+            provider,
+            compute,
+            bandwidth,
+        } => Command::Update {
+            provider,
+            compute,
+            bandwidth,
+            reply,
+        },
+        Request::Snapshot => Command::Snapshot { reply },
+        Request::Restore => Command::Restore { reply },
+        Request::Shutdown => Command::Shutdown { reply },
+        Request::Query { .. } | Request::Stats => {
+            return Err(Response::Error {
+                msg: "read requests are answered from the view".to_string(),
+            })
+        }
+    })
 }
 
 /// Tuning knobs of the market thread.
 #[derive(Debug, Clone)]
 pub struct MarketConfig {
-    /// Improving moves allowed per maintenance epoch.
+    /// Improving moves allowed per maintenance quantum.
     pub epoch_moves: usize,
-    /// Queue-empty gap that triggers a maintenance epoch.
-    pub idle: Duration,
+    /// Most commands taken from the queue per drain (one published view
+    /// covers the whole batch).
+    pub batch_max: usize,
     /// Snapshot file; `None` disables `snapshot`/`restore` and the final
     /// drain snapshot.
     pub snapshot_path: Option<PathBuf>,
@@ -95,7 +175,7 @@ impl Default for MarketConfig {
     fn default() -> Self {
         MarketConfig {
             epoch_moves: 32,
-            idle: Duration::from_millis(2),
+            batch_max: 256,
             snapshot_path: None,
         }
     }
@@ -110,9 +190,9 @@ pub struct MarketOutcome {
     pub profile: Profile,
     /// Final admission mask.
     pub active: Vec<bool>,
-    /// Maintenance epochs run over the daemon's lifetime.
+    /// Maintenance quanta run over the daemon's lifetime.
     pub epochs: u64,
-    /// Improving moves those epochs applied.
+    /// Improving moves those quanta applied.
     pub moves: u64,
     /// `true` if the drained placement is a Nash equilibrium of the
     /// active providers.
@@ -126,9 +206,9 @@ pub struct MarketOutcome {
 /// rebuilt view published) before the new serving loop starts.
 enum Pending {
     /// `update_demand`: settle eviction on the rebuilt state.
-    Update(ProviderId, OneSender<Response>),
+    Update(ProviderId, Reply),
     /// `restore`: acknowledge with the restored sequence number.
-    Restore(u64, OneSender<Response>),
+    Restore(u64, Reply),
 }
 
 /// Mutable book-keeping that survives `'rebuild` iterations.
@@ -138,7 +218,7 @@ struct Book {
     epochs: u64,
     moves: u64,
     equilibrium: bool,
-    /// Round-robin scan position for maintenance epochs.
+    /// Round-robin scan position for maintenance quanta.
     cursor: usize,
 }
 
@@ -165,6 +245,12 @@ pub fn run_market(
     };
     // Commands that mutate the market itself finish after the rebuild.
     let mut pending: Option<Pending> = None;
+    // The unapplied remainder of a batch interrupted by a rebuild.
+    let mut carry: VecDeque<Command> = VecDeque::new();
+    let mut batch: Vec<Command> = Vec::new();
+    // Replies settled in the current batch, flushed only after the
+    // covering view is published.
+    let mut acks: Vec<(Reply, Response)> = Vec::new();
 
     'rebuild: loop {
         let mut state = GameState::new(&market, profile.clone());
@@ -175,112 +261,156 @@ pub fn run_market(
             Pending::Update(l, reply) => (settle_update(&mut state, &mut book, l), reply),
             Pending::Restore(seq, reply) => (Response::Restored { seq }, reply),
         });
-        publish(view, &state, &book);
+        publish_timed(view, &state, &book);
         if let Some((resp, reply)) = settled {
             reply.send(resp);
         }
 
         loop {
-            let cmd = match rx.recv_timeout(cfg.idle) {
-                Ok(cmd) => cmd,
-                Err(RecvTimeout::Timeout) => {
-                    if !book.equilibrium {
-                        run_epoch(&mut state, &mut book, cfg.epoch_moves);
-                        publish(view, &state, &book);
+            if carry.is_empty() {
+                // Block only at equilibrium; otherwise peek nonblockingly
+                // and spend empty gaps on maintenance quanta.
+                let timeout = if book.equilibrium {
+                    None
+                } else {
+                    Some(Duration::ZERO)
+                };
+                match rx.recv_batch(&mut batch, cfg.batch_max, timeout) {
+                    Ok((taken, depth)) => {
+                        mec_obs::record("serve.drain.batch", taken as u64);
+                        mec_obs::record("serve.drain.depth", depth as u64);
+                        mec_obs::gauge("serve.queue.depth", book.seq, depth as f64);
+                        carry.extend(batch.drain(..));
                     }
-                    continue;
-                }
-                // Every sender (acceptor + connections) is gone: the
-                // server is tearing down without a drain command.
-                Err(RecvTimeout::Disconnected) => {
-                    return finish(state, book, cfg, &[]);
-                }
-            };
-            match cmd {
-                Command::Join {
-                    provider,
-                    cloudlet,
-                    reply,
-                } => {
-                    let resp = handle_join(&mut state, &mut book, provider, cloudlet);
-                    publish(view, &state, &book);
-                    reply.send(resp);
-                }
-                Command::Leave { provider, reply } => {
-                    let resp = handle_leave(&mut state, &mut book, provider);
-                    publish(view, &state, &book);
-                    reply.send(resp);
-                }
-                Command::Update {
-                    provider,
-                    compute,
-                    bandwidth,
-                    reply,
-                } => {
-                    let bad = [compute, bandwidth]
-                        .iter()
-                        .any(|v| !v.is_finite() || *v < 0.0);
-                    if provider >= state.len() {
-                        reply.send(unknown_provider(provider));
-                    } else if bad {
-                        reply.send(Response::Error {
-                            msg: format!(
-                                "demands must be finite and non-negative, \
-                                 got ({compute}, {bandwidth})"
-                            ),
-                        });
-                    } else {
-                        // The state borrows the market: release it, mutate,
-                        // and rebuild. The reply waits for the rebuilt state
-                        // so it can report the post-update cost.
-                        let l = ProviderId(provider);
-                        profile = state.into_profile();
-                        market.set_provider_demand(l, compute, bandwidth);
-                        book.seq += 1;
-                        book.equilibrium = false;
-                        pending = Some(Pending::Update(l, reply));
-                        continue 'rebuild;
-                    }
-                }
-                Command::Restore { reply } => {
-                    let Some(path) = cfg.snapshot_path.as_deref() else {
-                        reply.send(Response::Error {
-                            msg: "daemon was started without --snapshot".to_string(),
-                        });
+                    Err(RecvTimeout::Timeout) => {
+                        run_quantum(&mut state, &mut book, cfg.epoch_moves);
+                        publish_timed(view, &state, &book);
                         continue;
-                    };
-                    match load_snapshot(path) {
-                        Ok(snap) => {
-                            // Acknowledged only after the rebuild publishes
-                            // the rewound view (see the 'rebuild prologue).
-                            drop(state.into_profile());
-                            market = snap.market;
-                            profile = snap.profile;
-                            book.active = snap.active;
-                            book.seq = snap.seq;
-                            book.equilibrium = false;
-                            book.cursor = 0;
-                            pending = Some(Pending::Restore(snap.seq, reply));
-                            continue 'rebuild;
-                        }
-                        Err(e) => reply.send(Response::Error {
-                            msg: format!("restore failed: {e}"),
-                        }),
                     }
-                }
-                Command::Snapshot { reply } => {
-                    reply.send(write_snapshot(&state, &book, cfg));
-                }
-                Command::Shutdown { reply } => {
-                    reply.send(Response::Draining);
-                    // Refuse whatever raced into the queue behind us.
-                    for cmd in rx.try_drain() {
-                        refuse(cmd);
+                    // Every sender (I/O threads) is gone: the server is
+                    // tearing down without a drain command.
+                    Err(RecvTimeout::Disconnected) => {
+                        return finish(state, book, cfg, &[]);
                     }
-                    return finish(state, book, cfg, &[]);
                 }
             }
+            // One pass over the batch; one publish; acks after.
+            while let Some(cmd) = carry.pop_front() {
+                match cmd {
+                    Command::Join {
+                        provider,
+                        cloudlet,
+                        reply,
+                    } => {
+                        let resp = handle_join(&mut state, &mut book, provider, cloudlet);
+                        acks.push((reply, resp));
+                    }
+                    Command::Leave { provider, reply } => {
+                        let resp = handle_leave(&mut state, &mut book, provider);
+                        acks.push((reply, resp));
+                    }
+                    Command::Update {
+                        provider,
+                        compute,
+                        bandwidth,
+                        reply,
+                    } => {
+                        let bad = [compute, bandwidth]
+                            .iter()
+                            .any(|v| !v.is_finite() || *v < 0.0);
+                        if provider >= state.len() {
+                            acks.push((reply, unknown_provider(provider)));
+                        } else if bad {
+                            acks.push((
+                                reply,
+                                Response::Error {
+                                    msg: format!(
+                                        "demands must be finite and non-negative, \
+                                         got ({compute}, {bandwidth})"
+                                    ),
+                                },
+                            ));
+                        } else {
+                            // The state borrows the market: publish and
+                            // acknowledge the batch prefix, then release,
+                            // mutate, and rebuild. The remainder stays in
+                            // `carry` for the rebuilt state; this reply
+                            // waits for the rebuild so it can report the
+                            // post-update cost.
+                            publish_timed(view, &state, &book);
+                            flush_acks(&mut acks);
+                            let l = ProviderId(provider);
+                            profile = state.into_profile();
+                            market.set_provider_demand(l, compute, bandwidth);
+                            book.seq += 1;
+                            book.equilibrium = false;
+                            pending = Some(Pending::Update(l, reply));
+                            continue 'rebuild;
+                        }
+                    }
+                    Command::Restore { reply } => {
+                        let Some(path) = cfg.snapshot_path.as_deref() else {
+                            acks.push((
+                                reply,
+                                Response::Error {
+                                    msg: "daemon was started without --snapshot".to_string(),
+                                },
+                            ));
+                            continue;
+                        };
+                        match load_snapshot(path) {
+                            Ok(snap) => {
+                                // Acknowledged only after the rebuild
+                                // publishes the rewound view (see the
+                                // 'rebuild prologue).
+                                publish_timed(view, &state, &book);
+                                flush_acks(&mut acks);
+                                drop(state.into_profile());
+                                market = snap.market;
+                                profile = snap.profile;
+                                book.active = snap.active;
+                                book.seq = snap.seq;
+                                book.equilibrium = false;
+                                book.cursor = 0;
+                                pending = Some(Pending::Restore(snap.seq, reply));
+                                continue 'rebuild;
+                            }
+                            Err(e) => acks.push((
+                                reply,
+                                Response::Error {
+                                    msg: format!("restore failed: {e}"),
+                                },
+                            )),
+                        }
+                    }
+                    Command::Snapshot { reply } => {
+                        acks.push((reply, write_snapshot(&state, &book, cfg)));
+                    }
+                    Command::Shutdown { reply } => {
+                        // Settle the batch prefix, announce the drain, and
+                        // refuse whatever raced in behind us.
+                        publish_timed(view, &state, &book);
+                        flush_acks(&mut acks);
+                        reply.send(Response::Draining);
+                        for cmd in carry.drain(..) {
+                            refuse(cmd);
+                        }
+                        for cmd in rx.try_drain() {
+                            refuse(cmd);
+                        }
+                        return finish(state, book, cfg, &[]);
+                    }
+                }
+            }
+            publish_timed(view, &state, &book);
+            flush_acks(&mut acks);
         }
+    }
+}
+
+fn flush_acks(acks: &mut Vec<(Reply, Response)>) {
+    for (reply, resp) in acks.drain(..) {
+        reply.send(resp);
     }
 }
 
@@ -372,7 +502,7 @@ fn handle_leave(state: &mut GameState<'_>, book: &mut Book, provider: usize) -> 
 
 /// Post-rebuild half of `update`: if the new demand no longer fits the
 /// provider's current cloudlet, evict to the remote cloud (still active —
-/// maintenance epochs will re-place it when capacity frees up).
+/// maintenance quanta will re-place it when capacity frees up).
 fn settle_update(state: &mut GameState<'_>, book: &mut Book, l: ProviderId) -> Response {
     let mut evicted = false;
     if let Placement::Cloudlet(i) = state.placement(l) {
@@ -413,11 +543,13 @@ fn write_snapshot(state: &GameState<'_>, book: &Book, cfg: &MarketConfig) -> Res
     }
 }
 
-/// One bounded maintenance epoch: round-robin over the providers from the
-/// saved cursor, applying best responses of *active* providers until
+/// One bounded maintenance quantum: round-robin over the providers from
+/// the saved cursor, applying best responses of *active* providers until
 /// `max_moves` improvements land or a full quiet sweep proves the active
-/// players are at equilibrium.
-fn run_epoch(state: &mut GameState<'_>, book: &mut Book, max_moves: usize) {
+/// players are at equilibrium. Bounding the moves is what makes
+/// maintenance preemptible — the serving loop re-checks the queue after
+/// every quantum, so a request burst waits for one quantum at most.
+fn run_quantum(state: &mut GameState<'_>, book: &mut Book, max_moves: usize) {
     let n = state.len();
     book.epochs += 1;
     mec_obs::counter_add("serve.epoch", 1);
@@ -440,6 +572,7 @@ fn run_epoch(state: &mut GameState<'_>, book: &mut Book, max_moves: usize) {
             _ => quiet_streak += 1,
         }
     }
+    mec_obs::record("serve.quantum.moves", applied as u64);
     if applied > 0 {
         book.moves += applied as u64;
         book.seq += 1;
@@ -467,6 +600,19 @@ fn publish(view: &SharedView, state: &GameState<'_>, book: &Book) {
     });
 }
 
+/// [`publish`], with the per-batch view-build latency recorded when the
+/// probes are armed (`enabled()` is `const`, so the timer folds away in
+/// no-op builds).
+fn publish_timed(view: &SharedView, state: &GameState<'_>, book: &Book) {
+    if mec_obs::enabled() {
+        let t0 = std::time::Instant::now();
+        publish(view, state, book);
+        mec_obs::record("serve.publish.ns", t0.elapsed().as_nanos() as u64);
+    } else {
+        publish(view, state, book);
+    }
+}
+
 /// Builds the wire stats record from a published view.
 pub fn stats_of(view: &MarketView) -> StatsReport {
     StatsReport {
@@ -481,7 +627,9 @@ pub fn stats_of(view: &MarketView) -> StatsReport {
     }
 }
 
-fn refuse(cmd: Command) {
+/// Answers a command with the draining error (used for everything queued
+/// behind a shutdown, and by I/O threads whose queue closed under them).
+pub(crate) fn refuse(cmd: Command) {
     let draining = || Response::Error {
         msg: "daemon is draining".to_string(),
     };
@@ -495,7 +643,7 @@ fn refuse(cmd: Command) {
     }
 }
 
-/// Drain: run maintenance epochs until the active players reach
+/// Drain: run maintenance quanta until the active players reach
 /// equilibrium, write the final snapshot, and (with the `verify` feature)
 /// re-certify the placement from first principles.
 fn finish(
@@ -509,7 +657,7 @@ fn finish(
     // against a cost-model bug turning the drain into a hot loop.
     let mut guard = 0usize;
     while !book.equilibrium && guard < 100_000 {
-        run_epoch(&mut state, &mut book, usize::MAX);
+        run_quantum(&mut state, &mut book, usize::MAX);
         guard += 1;
     }
     if let Some(path) = cfg.snapshot_path.as_deref() {
@@ -595,9 +743,11 @@ mod tests {
             tx.send(cmd).map_err(|_| ()).unwrap();
         }
         let (sd_tx, sd_rx) = chan::oneshot();
-        tx.send(Command::Shutdown { reply: sd_tx })
-            .map_err(|_| ())
-            .unwrap();
+        tx.send(Command::Shutdown {
+            reply: sd_tx.into(),
+        })
+        .map_err(|_| ())
+        .unwrap();
         drop(tx);
         let profile = Profile::all_remote(n);
         let outcome = run_market(
@@ -619,7 +769,7 @@ mod tests {
             Command::Join {
                 provider,
                 cloudlet: None,
-                reply: tx,
+                reply: tx.into(),
             },
             rx,
         )
@@ -642,16 +792,18 @@ mod tests {
         let (leave_tx, leave_rx) = chan::oneshot();
         tx.send(Command::Leave {
             provider: 0,
-            reply: leave_tx,
+            reply: leave_tx.into(),
         })
         .map_err(|_| ())
         .unwrap();
         let (rejoin, rejoin_rx) = join(4);
         tx.send(rejoin).map_err(|_| ()).unwrap();
         let (sd_tx, sd_rx) = chan::oneshot();
-        tx.send(Command::Shutdown { reply: sd_tx })
-            .map_err(|_| ())
-            .unwrap();
+        tx.send(Command::Shutdown {
+            reply: sd_tx.into(),
+        })
+        .map_err(|_| ())
+        .unwrap();
         drop(tx);
 
         let outcome = run_market(
@@ -704,7 +856,7 @@ mod tests {
             provider: 0,
             compute: 100.0,
             bandwidth: 8.0,
-            reply: u_tx,
+            reply: u_tx.into(),
         };
         let (_, outcome) = drive(market, vec![j, grow]);
         assert!(matches!(jr.recv(), Some(Response::Admitted { .. })));
@@ -722,13 +874,13 @@ mod tests {
     fn snapshot_without_path_is_an_error() {
         let market = tiny_market(1);
         let (s_tx, s_rx) = chan::oneshot();
-        let (_, _) = drive(market, vec![Command::Snapshot { reply: s_tx }]);
+        let (_, _) = drive(market, vec![Command::Snapshot { reply: s_tx.into() }]);
         assert!(matches!(s_rx.recv(), Some(Response::Error { .. })));
     }
 
     #[test]
     fn drain_reaches_equilibrium_of_active_players() {
-        // Asymmetric cloudlets: join picks greedily, the drain epochs then
+        // Asymmetric cloudlets: join picks greedily, the drain quanta then
         // settle any provider that could improve.
         let mut b = Market::builder()
             .cloudlet(CloudletSpec::new(10.0, 50.0, 1.5, 1.5))
@@ -749,6 +901,39 @@ mod tests {
             assert!(matches!(r.recv(), Some(Response::Admitted { .. })));
         }
         assert!(outcome.equilibrium);
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+    }
+
+    #[test]
+    fn mid_batch_rebuild_carries_the_remainder() {
+        // A batch of join → update (forces a rebuild) → join → leave must
+        // settle every command against the right state: the second join
+        // and the leave ride across the `'rebuild` in the carry queue.
+        let market = tiny_market(3);
+        let (j0, r0) = join(0);
+        let (u_tx, u_rx) = chan::oneshot();
+        let update = Command::Update {
+            provider: 0,
+            compute: 1.0,
+            bandwidth: 4.0,
+            reply: u_tx.into(),
+        };
+        let (j1, r1) = join(1);
+        let (l_tx, l_rx) = chan::oneshot();
+        let leave = Command::Leave {
+            provider: 0,
+            reply: l_tx.into(),
+        };
+        let (_, outcome) = drive(market, vec![j0, update, j1, leave]);
+        assert!(matches!(r0.recv(), Some(Response::Admitted { .. })));
+        assert!(matches!(
+            u_rx.recv(),
+            Some(Response::Updated { evicted: false, .. })
+        ));
+        assert!(matches!(r1.recv(), Some(Response::Admitted { .. })));
+        assert_eq!(l_rx.recv(), Some(Response::Left));
+        assert!(!outcome.active[0]);
+        assert!(outcome.active[1]);
         assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
     }
 }

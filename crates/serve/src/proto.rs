@@ -363,11 +363,113 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> std::io::Result<()> {
     // becomes several TCP segments, and Nagle + delayed ACK then stalls
     // every request by ~40 ms.
     let mut buf = Vec::with_capacity(payload.len() + 24);
-    buf.extend_from_slice(format!("{}\n", payload.len()).as_bytes());
-    buf.extend_from_slice(payload.as_bytes());
-    buf.push(b'\n');
+    push_frame(&mut buf, payload);
     w.write_all(&buf)?;
     w.flush()
+}
+
+/// Incremental frame reassembly for nonblocking sockets.
+///
+/// The event loop reads whatever bytes the kernel has — which may end
+/// mid-length-prefix, mid-payload, or pack a dozen pipelined frames into
+/// one `read` — feeds them in with [`FrameDecoder::extend`], and pulls
+/// complete frames out with [`FrameDecoder::next_frame`]. The decoder
+/// owns the partial-frame state, so a slow client costs one buffer, not
+/// a blocked thread.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once it outgrows the tail.
+    pos: usize,
+}
+
+/// Longest sensible length line: `MAX_FRAME` has 7 digits; allow slack
+/// for whitespace before calling the prefix malformed.
+const MAX_LEN_LINE: usize = 24;
+
+impl FrameDecoder {
+    /// A fresh decoder with no buffered bytes.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly read bytes to the reassembly buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by the frame
+        // size rather than the connection's lifetime traffic.
+        if self.pos > 0 && self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// `true` if a partially received frame is buffered — EOF now would
+    /// be a mid-frame cut, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a malformed or oversized length prefix, a missing
+    /// frame-terminating newline, or non-UTF-8 payload — all unrecoverable
+    /// for the connection (framing is lost).
+    pub fn next_frame(&mut self) -> std::io::Result<Option<String>> {
+        let pending = &self.buf[self.pos..];
+        let Some(nl) = pending.iter().take(MAX_LEN_LINE).position(|&b| b == b'\n') else {
+            if pending.len() >= MAX_LEN_LINE {
+                return Err(bad_data(format!(
+                    "frame length line exceeds {MAX_LEN_LINE} bytes"
+                )));
+            }
+            return Ok(None);
+        };
+        let len_line = std::str::from_utf8(&pending[..nl])
+            .map_err(|_| bad_data("frame length line is not UTF-8".to_string()))?;
+        let len: usize = len_line
+            .trim()
+            .parse()
+            .map_err(|_| bad_data(format!("bad frame length `{}`", len_line.trim())))?;
+        if len > MAX_FRAME {
+            return Err(bad_data(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+            )));
+        }
+        // Length line + payload + trailing newline.
+        let total = nl + 1 + len + 1;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let payload = &pending[nl + 1..nl + 1 + len];
+        if pending[total - 1] != b'\n' {
+            return Err(bad_data("frame missing trailing newline".to_string()));
+        }
+        let payload = std::str::from_utf8(payload)
+            .map_err(|_| bad_data("frame is not UTF-8".to_string()))?
+            .to_string();
+        self.pos += total;
+        Ok(Some(payload))
+    }
+}
+
+fn bad_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Appends one encoded frame to `out` without any I/O — the event loop
+/// batches many frames into one `write` syscall.
+pub fn push_frame(out: &mut Vec<u8>, payload: &str) {
+    debug_assert!(payload.len() <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    out.extend_from_slice(format!("{}\n", payload.len()).as_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    out.push(b'\n');
 }
 
 /// Reads one frame. `Ok(None)` is a clean EOF at a frame boundary.
@@ -533,6 +635,106 @@ mod tests {
         let oversized = format!("{}\n", MAX_FRAME + 1).into_bytes();
         let mut r = std::io::BufReader::new(oversized.as_slice());
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn decoder_reassembles_byte_by_byte() {
+        // Feed every frame one byte at a time: the decoder must stay in
+        // "need more" until the final newline of each frame.
+        let mut wire = Vec::new();
+        for req in all_requests() {
+            write_frame(&mut wire, &encode_request(&req)).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            dec.extend(&[b]);
+            while let Some(payload) = dec.next_frame().unwrap() {
+                got.push(parse_request(&payload).unwrap());
+            }
+        }
+        assert_eq!(got, all_requests());
+        assert!(!dec.mid_frame(), "no partial frame may remain");
+    }
+
+    #[test]
+    fn decoder_handles_split_length_prefix() {
+        // `12\n{...}\n` delivered as "1" then "2\n{...}\n".
+        let payload = r#"{"op":"stats"}"#;
+        let mut wire = Vec::new();
+        write_frame(&mut wire, payload).unwrap();
+        let (a, b) = wire.split_at(1);
+        let mut dec = FrameDecoder::new();
+        dec.extend(a);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.mid_frame());
+        dec.extend(b);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(payload));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn decoder_yields_many_pipelined_frames_from_one_chunk() {
+        let mut wire = Vec::new();
+        for _ in 0..50 {
+            write_frame(&mut wire, r#"{"op":"stats"}"#).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        let mut n = 0;
+        while dec.next_frame().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn decoder_rejects_oversize_and_malformed_prefixes() {
+        // Oversized declared length fails as soon as the prefix is whole.
+        let mut dec = FrameDecoder::new();
+        dec.extend(format!("{}\n", MAX_FRAME + 1).as_bytes());
+        assert!(dec.next_frame().is_err());
+        // Garbage length line.
+        let mut dec = FrameDecoder::new();
+        dec.extend(b"ten\n{}\n");
+        assert!(dec.next_frame().is_err());
+        // A length line that never terminates is cut off at the cap.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&[b'9'; MAX_LEN_LINE]);
+        assert!(dec.next_frame().is_err());
+        // Frame whose payload is not followed by the newline terminator.
+        let mut dec = FrameDecoder::new();
+        dec.extend(b"2\n{}X");
+        assert!(dec.next_frame().is_err());
+        // Non-UTF-8 payload.
+        let mut dec = FrameDecoder::new();
+        dec.extend(b"2\n\xff\xfe\n");
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn decoder_compacts_without_losing_frames() {
+        // Push enough traffic through one decoder to force compaction,
+        // interleaving partial deliveries.
+        let payload = r#"{"op":"query","provider":123456}"#;
+        let mut wire = Vec::new();
+        write_frame(&mut wire, payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = 0usize;
+        for round in 0..2000 {
+            // Alternate split points to exercise both partial paths.
+            let cut = 1 + (round % (wire.len() - 1));
+            dec.extend(&wire[..cut]);
+            while dec.next_frame().unwrap().is_some() {
+                got += 1;
+            }
+            dec.extend(&wire[cut..]);
+            while let Some(p) = dec.next_frame().unwrap() {
+                assert_eq!(p, payload);
+                got += 1;
+            }
+        }
+        assert_eq!(got, 2000);
     }
 
     #[test]

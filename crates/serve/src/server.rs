@@ -1,35 +1,42 @@
-//! The TCP front half of the daemon: acceptor, connection threads, boot
-//! and drain plumbing.
+//! The TCP front half of the daemon: acceptor, event-loop I/O threads,
+//! boot and drain plumbing.
 //!
 //! Threading model (single-writer / multi-reader):
 //!
 //! ```text
-//! acceptor ──spawns──► connection threads ──Command+oneshot──► market thread
-//!                           │                                       │
-//!                           └──── query/stats ◄── SharedView ◄── publishes
+//! acceptor ──inbox+wake──► io threads ──Command batch──► market thread
+//!                           │    ▲                           │
+//!          reads from view ─┘    └──── Completions ◄──── publishes+acks
 //! ```
 //!
-//! Connection threads parse frames and either answer reads directly from
-//! the latest published [`MarketView`] or
-//! enqueue a [`Command`] and block on its oneshot reply. A `shutdown`
-//! request flips the stop flag, pokes the acceptor awake with a loopback
-//! connection, and the market thread drains: queued commands are refused,
-//! maintenance epochs run to equilibrium, the final snapshot is written.
+//! The acceptor owns the listener and hands each accepted socket to one
+//! of a small, fixed set of I/O threads (round-robin), which run the
+//! poll-based event loop in [`crate::eventloop`]: nonblocking reads into
+//! per-connection frame decoders, reads answered from the latest
+//! published [`crate::view::MarketView`], writes enqueued as
+//! [`Command`]s whose replies come back through a completion mailbox and
+//! leave in request order. No thread is ever parked on one client.
+//!
+//! A `shutdown` request drains through the market thread, which answers
+//! `draining`; the I/O thread that sees that completion flips the stop
+//! flag and pokes the acceptor awake with a loopback connection. The
+//! market thread refuses queued commands, runs maintenance quanta to
+//! equilibrium, writes the final snapshot, then wakes every I/O thread
+//! so they flush and exit.
 
-use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 use mec_core::model::Market;
 use mec_core::{load_snapshot, Profile};
 
-use crate::chan::{self, Sender};
-use crate::market::{run_market, stats_of, Command, MarketConfig, MarketOutcome};
-use crate::proto::{self, Request, Response};
+use crate::chan;
+use crate::eventloop::{run_io, Completions, IoShared};
+use crate::market::{run_market, Command, MarketConfig, MarketOutcome};
+use crate::proto::{self, Response};
 use crate::view::{MarketView, SharedView};
 
 /// Boot configuration of [`serve`].
@@ -42,12 +49,16 @@ pub struct ServerConfig {
     /// placements and admission state from it (crash recovery) instead of
     /// using the market passed to [`serve`].
     pub snapshot_path: Option<PathBuf>,
-    /// Improving moves per equilibrium-maintenance epoch.
+    /// Improving moves per equilibrium-maintenance quantum.
     pub epoch_moves: usize,
-    /// Queue-empty gap that triggers a maintenance epoch.
-    pub idle: Duration,
     /// Bound of the command queue (backpressure for writers).
     pub queue_cap: usize,
+    /// Most commands the market thread takes per batched drain.
+    pub batch_max: usize,
+    /// Event-loop I/O threads; 0 sizes the fleet from the machine
+    /// (`available_parallelism`, capped at 4 — the market thread is the
+    /// write bottleneck, extra I/O threads past that just add contention).
+    pub io_threads: usize,
     /// Maximum simultaneous client connections.
     pub max_connections: usize,
 }
@@ -58,10 +69,25 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             snapshot_path: None,
             epoch_moves: 32,
-            idle: Duration::from_millis(2),
-            queue_cap: 256,
+            queue_cap: 1024,
+            batch_max: 256,
+            io_threads: 0,
             max_connections: 512,
         }
+    }
+}
+
+impl ServerConfig {
+    fn io_thread_count(&self) -> usize {
+        if self.io_threads > 0 {
+            return self.io_threads;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // On a single core one I/O thread is strictly better: the market
+        // thread needs the core more than a second poll loop does.
+        cores.saturating_sub(1).clamp(1, 4)
     }
 }
 
@@ -71,6 +97,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     market: JoinHandle<MarketOutcome>,
     acceptor: JoinHandle<()>,
+    io: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -83,7 +110,7 @@ impl ServerHandle {
     ///
     /// # Panics
     ///
-    /// Panics if the market or acceptor thread itself panicked.
+    /// Panics if the market, acceptor, or an I/O thread itself panicked.
     pub fn join(self) -> MarketOutcome {
         let outcome = match self.market.join() {
             Ok(o) => o,
@@ -92,26 +119,22 @@ impl ServerHandle {
         if let Err(e) = self.acceptor.join() {
             std::panic::resume_unwind(e);
         }
+        for h in self.io {
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
         outcome
     }
 }
 
-/// Everything a connection thread needs, cheap to clone per accept.
-struct Shared {
-    view: Arc<SharedView>,
-    tx: Sender<Command>,
-    stop: Arc<AtomicBool>,
-    live: Arc<AtomicUsize>,
-    max_connections: usize,
-    addr: SocketAddr,
-}
-
 /// Boots the daemon: restores the snapshot if one exists, binds the
-/// listener, and starts the market and acceptor threads.
+/// listener, and starts the market, acceptor, and I/O threads.
 ///
 /// # Errors
 ///
-/// Propagates bind errors and snapshot-restore I/O or corruption errors.
+/// Propagates bind errors, waker-socket errors, and snapshot-restore I/O
+/// or corruption errors.
 pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     // Crash recovery: an existing snapshot file *is* the market state.
     let (market, profile, active, seq) = match cfg.snapshot_path.as_deref() {
@@ -135,56 +158,93 @@ pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle
     let view = Arc::new(SharedView::new(MarketView::empty(market.provider_count())));
     let (tx, rx) = chan::bounded::<Command>(cfg.queue_cap);
     let stop = Arc::new(AtomicBool::new(false));
+    let live = Arc::new(AtomicUsize::new(0));
+
+    // One IoShared per event-loop thread: its own completion mailbox and
+    // accepted-connection inbox, everything else shared daemon-wide.
+    let io_count = cfg.io_thread_count();
+    let mut io_shared: Vec<Arc<IoShared>> = Vec::with_capacity(io_count);
+    for _ in 0..io_count {
+        io_shared.push(Arc::new(IoShared {
+            completions: Arc::new(Completions::new()?),
+            inbox: Mutex::new(Vec::new()),
+            stop: stop.clone(),
+            live: live.clone(),
+            tx: tx.clone(),
+            view: view.clone(),
+            addr,
+        }));
+    }
+    // The boot copy of `tx` is dropped here: once the I/O threads exit,
+    // the market thread's receiver disconnects and it can tear down even
+    // without an explicit shutdown command.
+    drop(tx);
 
     let market_cfg = MarketConfig {
         epoch_moves: cfg.epoch_moves,
-        idle: cfg.idle,
+        batch_max: cfg.batch_max,
         snapshot_path: cfg.snapshot_path.clone(),
     };
     let market_view = view.clone();
     let market_stop = stop.clone();
+    let market_wakers: Vec<Arc<Completions>> =
+        io_shared.iter().map(|s| s.completions.clone()).collect();
     // The daemon's writer thread: owns the market for its whole life.
     // Intentionally a raw thread, not the bench pool — it outlives any
     // scope and is joined through the ServerHandle. lint: allow(thread-spawn)
     let market_thread = std::thread::spawn(move || {
         let outcome = run_market(market, profile, active, seq, &rx, &market_view, &market_cfg);
-        // Market thread is done (drain or disconnect): stop the acceptor
-        // and poke it out of `accept()` with a throwaway connection.
+        // Market thread is done (drain or disconnect): stop the acceptor,
+        // poke it out of `accept()` with a throwaway connection, and wake
+        // every I/O thread so it observes the flag and flushes out.
         market_stop.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(addr);
+        for c in &market_wakers {
+            c.wake();
+        }
         outcome
     });
 
-    let shared = Arc::new(Shared {
-        view,
-        tx,
-        stop: stop.clone(),
-        live: Arc::new(AtomicUsize::new(0)),
-        max_connections: cfg.max_connections,
-        addr,
-    });
+    let mut io = Vec::with_capacity(io_count);
+    for shared in &io_shared {
+        let shared = shared.clone();
+        // One poll loop per I/O thread, joined through the ServerHandle.
+        // lint: allow(thread-spawn)
+        io.push(std::thread::spawn(move || run_io(&shared)));
+    }
+
+    let max_connections = cfg.max_connections;
     // Acceptor: owns the listener; exits when the stop flag flips.
     // lint: allow(thread-spawn)
     let acceptor = std::thread::spawn(move || {
-        accept_loop(&listener, &shared);
+        accept_loop(&listener, &io_shared, &stop, &live, max_connections);
     });
 
     Ok(ServerHandle {
         addr,
         market: market_thread,
         acceptor,
+        io,
     })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+/// Accepts connections and deals them round-robin to the I/O threads.
+fn accept_loop(
+    listener: &TcpListener,
+    io_shared: &[Arc<IoShared>],
+    stop: &AtomicBool,
+    live: &AtomicUsize,
+    max_connections: usize,
+) {
+    let mut next = 0usize;
     for stream in listener.incoming() {
-        if shared.stop.load(Ordering::SeqCst) {
+        if stop.load(Ordering::SeqCst) {
             return;
         }
         let Ok(stream) = stream else { continue };
         // Frames are small request/response pairs; never batch them.
         let _ = stream.set_nodelay(true);
-        if shared.live.load(Ordering::SeqCst) >= shared.max_connections {
+        if live.load(Ordering::SeqCst) >= max_connections {
             let mut s = stream;
             let payload = proto::encode_response(&Response::Error {
                 msg: "server at connection capacity".to_string(),
@@ -192,117 +252,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             let _ = proto::write_frame(&mut s, &payload);
             continue;
         }
-        shared.live.fetch_add(1, Ordering::SeqCst);
-        let shared = shared.clone();
-        // One thread per connection; the cap above bounds the fleet.
-        // lint: allow(thread-spawn)
-        std::thread::spawn(move || {
-            let _ = handle_connection(stream, &shared);
-            shared.live.fetch_sub(1, Ordering::SeqCst);
-        });
-    }
-}
-
-/// Serves one client until EOF, protocol error, or shutdown.
-fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    while let Some(payload) = proto::read_frame(&mut reader)? {
-        let response = match proto::parse_request(&payload) {
-            Ok(req) => dispatch(req, shared),
-            Err(e) => Response::Error { msg: e.to_string() },
-        };
-        let closing = matches!(response, Response::Draining);
-        proto::write_frame(&mut writer, &proto::encode_response(&response))?;
-        if closing {
-            break;
+        live.fetch_add(1, Ordering::SeqCst);
+        let target = &io_shared[next % io_shared.len()];
+        next = next.wrapping_add(1);
+        {
+            let mut inbox = target.inbox.lock().unwrap_or_else(|e| e.into_inner());
+            inbox.push(stream);
         }
-    }
-    writer.flush()
-}
-
-/// Routes one request: reads are answered from the published view,
-/// writes round-trip through the market thread.
-fn dispatch(req: Request, shared: &Shared) -> Response {
-    let command = |cmd: Command| -> Response {
-        // The oneshot sender is inside `cmd`; if the market thread is
-        // gone (or refuses at drain), the reply slot reports it.
-        match shared.tx.send(cmd) {
-            Ok(()) => Response::Error {
-                msg: "market thread dropped the reply".to_string(),
-            },
-            Err(_) => Response::Error {
-                msg: "daemon is draining".to_string(),
-            },
-        }
-    };
-    match req {
-        Request::Query { provider } => {
-            let view = shared.view.load();
-            match (view.placements.get(provider), view.costs.get(provider)) {
-                (Some(p), Some(&cost)) => Response::Placement {
-                    at: match p {
-                        mec_core::Placement::Remote => None,
-                        mec_core::Placement::Cloudlet(c) => Some(c.index()),
-                    },
-                    cost,
-                    active: view.active[provider],
-                    seq: view.seq,
-                },
-                _ => Response::Error {
-                    msg: format!("unknown provider {provider}"),
-                },
-            }
-        }
-        Request::Stats => Response::Stats(stats_of(&shared.view.load())),
-        Request::Join { provider, cloudlet } => {
-            let (reply, rx) = chan::oneshot();
-            let fallback = command(Command::Join {
-                provider,
-                cloudlet,
-                reply,
-            });
-            rx.recv().unwrap_or(fallback)
-        }
-        Request::Leave { provider } => {
-            let (reply, rx) = chan::oneshot();
-            let fallback = command(Command::Leave { provider, reply });
-            rx.recv().unwrap_or(fallback)
-        }
-        Request::UpdateDemand {
-            provider,
-            compute,
-            bandwidth,
-        } => {
-            let (reply, rx) = chan::oneshot();
-            let fallback = command(Command::Update {
-                provider,
-                compute,
-                bandwidth,
-                reply,
-            });
-            rx.recv().unwrap_or(fallback)
-        }
-        Request::Snapshot => {
-            let (reply, rx) = chan::oneshot();
-            let fallback = command(Command::Snapshot { reply });
-            rx.recv().unwrap_or(fallback)
-        }
-        Request::Restore => {
-            let (reply, rx) = chan::oneshot();
-            let fallback = command(Command::Restore { reply });
-            rx.recv().unwrap_or(fallback)
-        }
-        Request::Shutdown => {
-            let (reply, rx) = chan::oneshot();
-            let fallback = command(Command::Shutdown { reply });
-            let resp = rx.recv().unwrap_or(fallback);
-            // Stop accepting and poke the acceptor; the market thread
-            // also does this when it exits, but doing it here closes the
-            // window where a new client connects mid-drain.
-            shared.stop.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(shared.addr);
-            resp
-        }
+        target.completions.wake();
     }
 }

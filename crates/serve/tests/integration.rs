@@ -259,6 +259,99 @@ fn restore_request_rewinds_live_state() {
 }
 
 #[test]
+fn pipelined_reads_observe_preceding_writes() {
+    // Read-your-writes across a batched drain: a query pipelined behind
+    // writes on the same connection must see a view at least as new as
+    // those writes, even though the market thread applies the whole
+    // batch in one pass, publishes once, and only then acknowledges.
+    // The pipelined reads sit behind in-flight commands, forcing the
+    // event loop through its deferred-read path — a stale pre-write view
+    // here is exactly the regression batching could introduce.
+    use mec_serve::Request;
+    let (handle, mut client) = boot(two_slot_market(4), None);
+    let batch = [
+        Request::Join {
+            provider: 0,
+            cloudlet: None,
+        },
+        Request::Query { provider: 0 }, // deferred behind the join
+    ];
+    let resps: Vec<Response> = client
+        .pipeline(&batch)
+        .expect("pipeline")
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
+    assert!(matches!(resps[0], Response::Admitted { .. }));
+    match &resps[1] {
+        Response::Placement { at, active, .. } => {
+            assert!(active, "query pipelined after join must see the join");
+            assert!(at.is_some());
+        }
+        other => panic!("expected placement, got {other:?}"),
+    }
+    // A batch whose writes supersede each other: the trailing reads must
+    // reflect the final state of the batch (join(1) + leave(0) both
+    // applied), never a pre-write view.
+    let batch = [
+        Request::Join {
+            provider: 1,
+            cloudlet: None,
+        },
+        Request::Leave { provider: 0 },
+        Request::Query { provider: 0 }, // must see the leave applied
+        Request::Query { provider: 1 }, // must see the join applied
+        Request::Stats,                 // must count exactly provider 1
+    ];
+    let resps: Vec<Response> = client
+        .pipeline(&batch)
+        .expect("pipeline")
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
+    assert!(matches!(resps[0], Response::Admitted { .. }));
+    assert_eq!(resps[1], Response::Left);
+    match &resps[2] {
+        Response::Placement { at, active, .. } => {
+            assert!(!active, "query pipelined after leave must see the leave");
+            assert_eq!(*at, None);
+        }
+        other => panic!("expected placement, got {other:?}"),
+    }
+    assert!(matches!(
+        &resps[3],
+        Response::Placement { active: true, .. }
+    ));
+    match &resps[4] {
+        Response::Stats(s) => assert_eq!(s.active, 1),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    drain(handle, &mut client);
+}
+
+#[test]
+fn slow_reader_does_not_stall_other_clients() {
+    // One client writes a request but never reads the response; with the
+    // event loop this parks a buffer, not a thread, and other clients
+    // keep getting served.
+    use std::io::Write;
+    let (handle, mut client) = boot(two_slot_market(4), None);
+    let mut lazy = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    lazy.write_all(b"24\n{\"op\":\"stats\",\"seq\":100}\n")
+        .expect("write");
+    // Never read from `lazy`; the daemon must still answer everyone else.
+    for p in 0..2 {
+        assert!(matches!(
+            client.join(p).expect("join"),
+            Response::Admitted { .. }
+        ));
+    }
+    assert_eq!(client.stats().expect("stats").active, 2);
+    drop(lazy);
+    drain(handle, &mut client);
+}
+
+#[test]
 fn concurrent_clients_admit_exactly_to_capacity() {
     // 8 providers race for 4 slots from 8 connections; admissions must
     // total exactly 4 with the rest rejected, and the daemon must drain

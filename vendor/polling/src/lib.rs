@@ -1,0 +1,193 @@
+//! Offline stand-in for a readiness-polling crate.
+//!
+//! The `mec-serve` event loop needs exactly one OS facility that `std`
+//! does not expose: *readiness multiplexing* — "block until any of these
+//! sockets can make progress". This crate provides it as a thin, safe
+//! wrapper over the POSIX `poll(2)` syscall, bound directly against the
+//! C library symbol that `std` already links on every unix target (no
+//! `libc` crate, no build script, no registry access).
+//!
+//! The API is the syscall, dressed minimally:
+//!
+//! ```ignore
+//! let mut fds = [PollFd::new(listener_fd, POLLIN), PollFd::new(conn_fd, POLLIN | POLLOUT)];
+//! let ready = polling::poll(&mut fds, Some(Duration::from_millis(50)))?;
+//! if fds[1].readable() { /* read until WouldBlock */ }
+//! ```
+//!
+//! Level-triggered semantics, exactly as `poll(2)` defines them: a fd
+//! stays ready until drained, so a loop that processes every readiness
+//! report until `WouldBlock` never misses an edge. `EINTR` is retried
+//! internally (with the timeout re-armed against a deadline), so callers
+//! never observe spurious interrupted-syscall errors.
+//!
+//! This is the single home of `unsafe` in the workspace; the event loop
+//! in `crates/serve` stays `#![forbid(unsafe_code)]` by depending on it.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::{Duration, Instant};
+
+/// Readable data is available (or a peer closed with data pending).
+pub const POLLIN: i16 = 0x001;
+/// Writing now will not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Fd not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the poll set — layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Watches `fd` for the `events` mask (`POLLIN` / `POLLOUT` / both).
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The watched file descriptor.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Replaces the interest mask for the next [`poll`] call.
+    pub fn set_events(&mut self, events: i16) {
+        self.events = events;
+    }
+
+    /// The readiness mask reported by the last [`poll`] call.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// `true` if the fd is readable — or in an error/hangup state, which
+    /// a reader must also observe (the subsequent `read` reports it).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// `true` if the fd is writable — or errored, which a writer must
+    /// observe the same way.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+mod sys {
+    // Bound against the libc `poll` symbol std already links; `nfds_t` is
+    // `unsigned long` on every supported unix.
+    extern "C" {
+        pub fn poll(fds: *mut super::PollFd, nfds: std::ffi::c_ulong, timeout: i32) -> i32;
+    }
+}
+
+/// Blocks until at least one fd in `fds` is ready, the timeout elapses
+/// (`Ok(0)`), or an error occurs. `None` waits forever. Retries `EINTR`
+/// against a fixed deadline, so a signal never surfaces as an error.
+///
+/// # Errors
+///
+/// Any `poll(2)` failure other than `EINTR` (e.g. `ENOMEM`), as
+/// [`io::Error::last_os_error`].
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let deadline = timeout.map(|t| Instant::now() + t);
+    loop {
+        let wait_ms: i32 = match deadline {
+            None => -1,
+            Some(d) => {
+                let left = d.saturating_duration_since(Instant::now());
+                // Round up so a 100µs remainder does not spin at 0ms.
+                i32::try_from(left.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX)
+                    + i32::from(left.subsec_nanos() % 1_000_000 != 0)
+            }
+        };
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-layout structs; the kernel writes only the
+        // `revents` field of the first `fds.len()` entries.
+        let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, wait_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(0);
+            }
+            continue;
+        }
+        return Err(err);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn timeout_with_nothing_ready_returns_zero() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn readable_after_peer_writes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+        client.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(served.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        let mut buf = [0u8; 1];
+        served.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"x");
+    }
+
+    #[test]
+    fn writable_socket_reports_pollout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let _served = listener.accept().unwrap();
+        let mut fds = [PollFd::new(client.as_raw_fd(), POLLOUT)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].writable());
+    }
+
+    #[test]
+    fn hangup_reports_readable_so_readers_observe_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (served, _) = listener.accept().unwrap();
+        drop(client);
+        let mut fds = [PollFd::new(served.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable(), "revents {:#x}", fds[0].revents());
+    }
+}

@@ -3,12 +3,16 @@
 //! ```text
 //! cargo xtask lint               lint the workspace (exit 1 on findings)
 //! cargo xtask lint --self-test   prove the rules flag seeded violations
+//! cargo xtask tailgate <report.json> [--op join] [--max-ratio 20]
+//!                                fail if an op's p99/p50 exceeds the bound
 //! ```
 //!
 //! See [`lint`] for the rules and the `// lint: allow(<rule>)` escape
-//! hatch.
+//! hatch, and [`tailgate`] for the tail-latency gate CI applies to the
+//! marketload smoke report.
 
 mod lint;
+mod tailgate;
 
 use std::path::PathBuf;
 
@@ -16,11 +20,34 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(args.iter().any(|a| a == "--self-test")),
+        Some("tailgate") => cmd_tailgate(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint [--self-test]");
+            eprintln!("usage: cargo xtask <lint [--self-test] | tailgate <report.json> [--op OP] [--max-ratio N]>");
             std::process::exit(2);
         }
     }
+}
+
+fn cmd_tailgate(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: cargo xtask tailgate <report.json> [--op OP] [--max-ratio N]");
+        std::process::exit(2);
+    };
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let op = flag("--op").unwrap_or_else(|| "join".to_string());
+    let max_ratio: f64 = match flag("--max-ratio").as_deref().unwrap_or("20").parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("invalid --max-ratio (expected a number)");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(tailgate::run(&PathBuf::from(path), &op, max_ratio));
 }
 
 fn repo_root() -> PathBuf {

@@ -1,0 +1,138 @@
+//! `cargo xtask tailgate` — tail-latency gate over a marketload report.
+//!
+//! Reads the flat JSON emitted by `marketload --out` and fails when an
+//! op's tail amplification (`<op>_p99_p50`, i.e. p99 latency over p50)
+//! exceeds a bound. CI runs this against the smoke run's report so a
+//! regression that re-introduces a convoy — one slow client or one long
+//! maintenance sweep stalling everyone's tail — fails the build instead
+//! of only skewing a checked-in benchmark number months later.
+//!
+//! The parser is deliberately minimal: the report is one flat JSON
+//! object written by `LoadReport::to_json`, so scanning for `"key":`
+//! and reading the number after it is exact, not heuristic. xtask stays
+//! dependency-free.
+
+use std::path::Path;
+
+/// Reads `"<key>": <number>` out of a flat JSON object.
+fn extract_number(json: &str, key: &str) -> Result<f64, String> {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .ok_or_else(|| format!("no \"{key}\" field in report"))?;
+    let rest = &json[at + needle.len()..];
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated value for \"{key}\""))?;
+    let raw = rest[..end].trim();
+    raw.parse::<f64>()
+        .map_err(|_| format!("\"{key}\" is not a number: {raw:?}"))
+}
+
+/// The gate verdict for one op.
+pub struct Verdict {
+    /// Which op was gated (`join`, `leave`, `update`, `query`).
+    pub op: String,
+    /// Measured p99/p50 amplification.
+    pub ratio: f64,
+    /// Requests of this op in the run (a gate over 0 ops is vacuous and
+    /// fails loudly instead of passing silently).
+    pub count: u64,
+    /// Bound the ratio was checked against.
+    pub max_ratio: f64,
+}
+
+impl Verdict {
+    /// Whether the run passes this gate.
+    pub fn pass(&self) -> bool {
+        self.count > 0 && self.ratio <= self.max_ratio
+    }
+}
+
+/// Evaluates the gate for `op` against a report's JSON text.
+///
+/// # Errors
+///
+/// Fails when the report lacks the op's fields or they do not parse.
+pub fn check(json: &str, op: &str, max_ratio: f64) -> Result<Verdict, String> {
+    let ratio = extract_number(json, &format!("{op}_p99_p50"))?;
+    let count = extract_number(json, &format!("{op}_count"))? as u64;
+    Ok(Verdict {
+        op: op.to_string(),
+        ratio,
+        count,
+        max_ratio,
+    })
+}
+
+/// Runs the gate against a report file; returns the process exit code.
+pub fn run(path: &Path, op: &str, max_ratio: f64) -> i32 {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tailgate: cannot read {}: {e}", path.display());
+            return 1;
+        }
+    };
+    match check(&json, op, max_ratio) {
+        Ok(v) => {
+            println!(
+                "tailgate: {} p99/p50 = {:.2} over {} ops (bound {:.1})",
+                v.op, v.ratio, v.count, v.max_ratio
+            );
+            if v.pass() {
+                0
+            } else if v.count == 0 {
+                eprintln!(
+                    "tailgate: FAIL — no {} ops in the report, gate is vacuous",
+                    v.op
+                );
+                1
+            } else {
+                eprintln!(
+                    "tailgate: FAIL — {} tail amplification {:.2} exceeds {:.1}",
+                    v.op, v.ratio, v.max_ratio
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("tailgate: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{"benchmark":"serve","join_count":100,"join_p99_p50":2.5,"query_count":0,"query_p99_p50":0}"#;
+
+    #[test]
+    fn passes_under_bound_fails_over() {
+        let v = check(REPORT, "join", 5.0).unwrap();
+        assert!(v.pass());
+        let v = check(REPORT, "join", 2.0).unwrap();
+        assert!(!v.pass());
+    }
+
+    #[test]
+    fn zero_ops_is_a_vacuous_gate_and_fails() {
+        let v = check(REPORT, "query", 5.0).unwrap();
+        assert!(!v.pass());
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        assert!(check(REPORT, "leave", 5.0).is_err());
+        assert!(extract_number(REPORT, "nope").is_err());
+    }
+
+    #[test]
+    fn extracts_trailing_field_before_brace() {
+        let json = r#"{"a":1,"b_p99_p50":3.25}"#;
+        let x = extract_number(json, "b_p99_p50").unwrap();
+        assert!((x - 3.25).abs() < 1e-12);
+    }
+}
