@@ -20,6 +20,7 @@
 //! assert!(joint.profile.is_feasible(&s.generated.market));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod jo_offload_cache;

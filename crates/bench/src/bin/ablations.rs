@@ -1,5 +1,7 @@
 //! Runs the DESIGN.md ablation studies and prints their tables.
 
+#![forbid(unsafe_code)]
+
 use mec_bench::ablation;
 
 fn main() {

@@ -1,5 +1,7 @@
 //! Regenerates the paper's Fig. 5 tables. Pass `--quick` for a reduced run.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let cfg = mec_bench::run_config_from_args();
     mec_bench::print_tables(&mec_bench::fig5(&cfg));

@@ -33,6 +33,8 @@
 //! overhead inside the timed loops, an `--obs` run also refuses to
 //! overwrite the checked-in artifacts.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use mec_core::appro::{appro, ApproConfig};

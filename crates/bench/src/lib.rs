@@ -9,6 +9,7 @@
 //! tables; `cargo bench -p mec-bench` runs the Criterion micro-benchmarks
 //! of the algorithm hot paths.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;

@@ -46,6 +46,7 @@
 //! # Ok::<(), mec_core::CoreError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

@@ -31,6 +31,7 @@
 //! # Ok::<(), mec_gap::GapError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exact;

@@ -34,6 +34,7 @@
 //! assert!((sol.objective - (-7.0)).abs() < 1e-9); // x=1, y=3
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub(crate) mod revised;

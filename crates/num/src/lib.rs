@@ -18,6 +18,8 @@
 //! exact check is the intended semantics. Routing those through this crate
 //! keeps them visible and greppable.
 
+#![forbid(unsafe_code)]
+
 // lint: allow(float-cmp) — this crate *implements* the blessed helpers.
 
 /// Returns `true` when `a` and `b` differ by at most `eps`.

@@ -11,6 +11,8 @@
 //! skipped, never fatal. Works regardless of whether this binary was built
 //! with the `enabled` feature: parsing and folding are always compiled.
 
+#![forbid(unsafe_code)]
+
 use std::fs::File;
 use std::io::{self, BufReader, Read};
 

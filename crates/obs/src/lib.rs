@@ -66,6 +66,7 @@
 
 pub mod hist;
 pub mod json;
+pub mod probes;
 pub mod report;
 pub mod wire;
 

@@ -1,0 +1,106 @@
+//! The probe-name registry: every counter, histogram, gauge, and span
+//! name the workspace emits through [`crate`] (`mec-obs`).
+//!
+//! Probe names are stringly typed at the emit site — `counter_add`,
+//! `record`, `span`, and friends all take `&str` — which makes a typo'd
+//! or renamed-on-one-side-only probe a silent data loss: the writer
+//! emits under one name, the dashboard or `obsreport` reader aggregates
+//! under another, and nothing fails. This registry closes the loop. It
+//! is the single source of truth for which names exist, and the
+//! `probes` rule in `cargo xtask analyze` checks every *literal* probe
+//! name at every emit site in the workspace against it, so an
+//! unregistered name fails the build instead of vanishing from the
+//! report.
+//!
+//! Names constructed at runtime (formatted or table-driven, like the
+//! `marketload.*.ns` mirror loop in `mec-serve`'s load generator) are
+//! invisible to that static check; they are registered here anyway so
+//! the inventory stays complete for human readers and for `obsreport`.
+//!
+//! Naming convention: `<subsystem>.<event>[.<qualifier>]`, lowercase,
+//! dot-separated; duration histograms carry a unit suffix (`.ns`,
+//! `_us`). Keep the list sorted.
+//!
+//! When adding a probe: pick the name, emit it, and add it here in the
+//! same change — `cargo xtask analyze` holds you to it.
+
+/// Every probe name the workspace may emit, sorted lexicographically.
+pub const REGISTRY: &[&str] = &[
+    // approximation pipeline (crates/core appro solver)
+    "appro.gap_solve",
+    "appro.merge",
+    "appro.polish",
+    "appro.pricing",
+    "appro.repair",
+    "appro.runs",
+    "appro.split",
+    "appro.total",
+    "appro.virtual_slots",
+    // market dynamics and local search (crates/core)
+    "core.dynamics.moves_applied",
+    "core.dynamics.moves_attempted",
+    "core.dynamics.potential",
+    "core.dynamics.rounds",
+    "core.dynamics.run",
+    "core.local_search.moves",
+    "core.local_search.run",
+    // GAP rounding (crates/gap)
+    "gap.lp_relax",
+    "gap.round",
+    "gap.rounding_slots",
+    // LP solver (crates/lp)
+    "lp.pivots",
+    "lp.refactorizations",
+    "lp.revised.solve",
+    "lp.revised.solves",
+    // load generator (crates/serve load harness; the `.ns` histograms
+    // are emitted through a table, i.e. runtime-constructed)
+    "marketload.join.ns",
+    "marketload.leave.ns",
+    "marketload.query.ns",
+    "marketload.rejected",
+    "marketload.update.ns",
+    // serve daemon data plane (crates/serve)
+    "serve.drain.batch",
+    "serve.drain.depth",
+    "serve.epoch",
+    "serve.epoch.moves",
+    "serve.join.admitted",
+    "serve.join.rejected",
+    "serve.leave",
+    "serve.publish.ns",
+    "serve.quantum.moves",
+    "serve.queue.depth",
+    "serve.update",
+    "serve.update.evicted",
+    // discrete-event simulator (crates/sim)
+    "sim.event_loop",
+    "sim.events",
+    "sim.request_latency_us",
+];
+
+/// `true` if `name` is a registered probe name.
+#[must_use]
+pub fn is_registered(name: &str) -> bool {
+    REGISTRY.binary_search(&name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        for w in REGISTRY.windows(2) {
+            assert!(w[0] < w[1], "registry out of order at {:?}", w);
+        }
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        assert!(is_registered("serve.epoch"));
+        assert!(is_registered("appro.total"));
+        assert!(!is_registered("serve.epochs"));
+        assert!(!is_registered(""));
+    }
+}

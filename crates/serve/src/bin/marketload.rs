@@ -24,6 +24,8 @@
 //! certificate failed (with `--features verify`), or the final state was
 //! not an equilibrium of the active providers.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::exit;
 

@@ -11,6 +11,18 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+/// Schedule-perturbation point: a pseudo-random yield under
+/// `--features loom-model` (see the vendored loom stand-in), nothing in
+/// production builds. Placed at the hazard windows of the channel
+/// protocol — around lock acquisition and between a state change and
+/// its condvar notify — so the interleaving models below push competing
+/// senders and the draining receiver through many orderings.
+#[inline]
+fn fuzz() {
+    #[cfg(feature = "loom-model")]
+    loom::fuzz_yield();
+}
+
 struct ChanState<T> {
     buf: VecDeque<T>,
     cap: usize,
@@ -86,6 +98,7 @@ impl<T> Sender<T> {
     ///
     /// Returns the value back if the receiver is gone.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        fuzz();
         let mut st = lock_ok(&self.chan.state);
         loop {
             if st.closed {
@@ -93,6 +106,7 @@ impl<T> Sender<T> {
             }
             if st.buf.len() < st.cap {
                 st.buf.push_back(value);
+                fuzz();
                 self.chan.not_empty.notify_one();
                 return Ok(());
             }
@@ -109,6 +123,7 @@ impl<T> Sender<T> {
     /// [`TrySendError::Full`] at capacity, [`TrySendError::Closed`] if
     /// the receiver is gone; both return the value.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        fuzz();
         let mut st = lock_ok(&self.chan.state);
         if st.closed {
             return Err(TrySendError::Closed(value));
@@ -207,12 +222,14 @@ impl<T> Receiver<T> {
         timeout: Option<Duration>,
     ) -> Result<(usize, usize), RecvTimeout> {
         let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        fuzz();
         let mut st = lock_ok(&self.chan.state);
         loop {
             if !st.buf.is_empty() {
                 let depth = st.buf.len();
                 let take = depth.min(max);
                 buf.extend(st.buf.drain(..take));
+                fuzz();
                 // Potentially many senders were parked on a full buffer.
                 self.chan.not_full.notify_all();
                 return Ok((take, depth));
@@ -471,5 +488,126 @@ mod tests {
         }
         assert_eq!(rx.try_drain(), vec![0, 1, 2, 3, 4]);
         assert!(rx.try_drain().is_empty());
+    }
+}
+
+/// Interleaving models of the channel protocol, run under the loom
+/// stand-in's schedule perturbation (`--features loom-model`; the TSan
+/// CI cell watches the same tests for data races). The `fuzz()` points
+/// in `send`/`try_send`/`recv_batch` give each iteration a different
+/// ordering of competing senders against the draining receiver.
+#[cfg(all(test, feature = "loom-model"))]
+mod loom_model_tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Many senders racing a batching receiver over a tiny buffer:
+    /// every message arrives exactly once, each sender's sequence stays
+    /// in order, and no batch exceeds its `max`.
+    #[test]
+    fn recv_batch_loses_and_reorders_nothing() {
+        loom::model(|| {
+            const SENDERS: usize = 3;
+            const PER_SENDER: usize = 16;
+            // cap 2 forces senders to park on `not_full` and race the
+            // receiver's notify_all on every drain.
+            let (tx, rx) = bounded::<(usize, usize)>(2);
+            let handles: Vec<_> = (0..SENDERS)
+                .map(|s| {
+                    let tx = tx.clone();
+                    // Model threads stand in for connection threads.
+                    // lint: allow(thread-spawn)
+                    loom::thread::spawn(move || {
+                        for seq in 0..PER_SENDER {
+                            loom::fuzz_yield();
+                            tx.send((s, seq)).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+
+            let mut got: Vec<Vec<usize>> = vec![Vec::new(); SENDERS];
+            let mut batch = Vec::new();
+            let mut total = 0;
+            while total < SENDERS * PER_SENDER {
+                let (take, _depth) = rx
+                    .recv_batch(&mut batch, 4, Some(Duration::from_secs(5)))
+                    .expect("all messages must arrive before timeout/disconnect");
+                assert!(take <= 4, "batch exceeded max: {take}");
+                total += take;
+                for (s, seq) in batch.drain(..) {
+                    got[s].push(seq);
+                }
+            }
+            for (s, seqs) in got.iter().enumerate() {
+                assert_eq!(
+                    *seqs,
+                    (0..PER_SENDER).collect::<Vec<_>>(),
+                    "sender {s} lost or reordered messages"
+                );
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    /// `try_send` under the same contention: a Full result never loses
+    /// the value (it comes back for the backlog) and everything that
+    /// reported Ok is delivered exactly once.
+    #[test]
+    fn try_send_full_returns_value_without_loss() {
+        loom::model(|| {
+            const SENDERS: usize = 2;
+            const PER_SENDER: usize = 12;
+            let (tx, rx) = bounded::<(usize, usize)>(2);
+            let handles: Vec<_> = (0..SENDERS)
+                .map(|s| {
+                    let tx = tx.clone();
+                    // lint: allow(thread-spawn)
+                    loom::thread::spawn(move || {
+                        let mut sent = 0;
+                        for seq in 0..PER_SENDER {
+                            let mut v = (s, seq);
+                            loop {
+                                match tx.try_send(v) {
+                                    Ok(()) => {
+                                        sent += 1;
+                                        break;
+                                    }
+                                    Err(TrySendError::Full(back)) => {
+                                        // Backlog retry: the value came
+                                        // back intact.
+                                        assert_eq!(back, (s, seq));
+                                        v = back;
+                                        std::thread::yield_now();
+                                    }
+                                    Err(TrySendError::Closed(_)) => {
+                                        unreachable!("receiver lives");
+                                    }
+                                }
+                            }
+                        }
+                        sent
+                    })
+                })
+                .collect();
+            drop(tx);
+
+            let mut batch = Vec::new();
+            let mut total = 0;
+            loop {
+                match rx.recv_batch(&mut batch, usize::MAX, Some(Duration::from_secs(5))) {
+                    Ok((take, _)) => total += take,
+                    Err(RecvTimeout::Disconnected) => break,
+                    Err(RecvTimeout::Timeout) => panic!("senders wedged"),
+                }
+                batch.clear();
+            }
+            let sent: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, sent);
+            assert_eq!(total, SENDERS * PER_SENDER);
+        });
     }
 }

@@ -39,6 +39,15 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+// Under `--features loom-model` the wake-dedup flag runs on the loom
+// stand-in's AtomicBool, so the interleaving model below can perturb the
+// push/swap ordering against store/drain. `stop` and the live-connection
+// counter stay on std atomics — they cross the crate API.
+#[cfg(feature = "loom-model")]
+use loom::sync::atomic::AtomicBool as WakeFlag;
+#[cfg(not(feature = "loom-model"))]
+use std::sync::atomic::AtomicBool as WakeFlag;
+
 use polling::{poll, PollFd, POLLIN, POLLOUT};
 
 use crate::chan::{Sender, TrySendError};
@@ -89,6 +98,9 @@ impl Waker {
     /// Consumes all pending wake bytes (polling side).
     fn drain(&self) {
         let mut buf = [0u8; 64];
+        // Nonblocking UDP socket: recv returns WouldBlock when empty,
+        // never parks the thread.
+        // lint: allow(io-blocking)
         while self.sock.recv(&mut buf).is_ok() {}
     }
 
@@ -104,7 +116,7 @@ impl Waker {
 #[derive(Debug)]
 pub struct Completions {
     queue: Mutex<Vec<(u64, u64, Response)>>,
-    wake_armed: AtomicBool,
+    wake_armed: WakeFlag,
     waker: Waker,
 }
 
@@ -117,7 +129,7 @@ impl Completions {
     pub fn new() -> std::io::Result<Completions> {
         Ok(Completions {
             queue: Mutex::new(Vec::new()),
-            wake_armed: AtomicBool::new(false),
+            wake_armed: WakeFlag::new(false),
             waker: Waker::new()?,
         })
     }
@@ -125,7 +137,14 @@ impl Completions {
     /// Delivers one completed response (market-thread side).
     pub fn push(&self, conn: u64, req: u64, resp: Response) {
         {
+            // Mailbox lock held only for one Vec push; the I/O-thread
+            // side holds it only for a swap. Never blocks meaningfully.
+            // lint: allow(io-blocking)
             let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            // One entry per in-flight market command, and in-flight
+            // commands are bounded by the market channel capacity plus
+            // the BACKLOG_PAUSE read-pause threshold.
+            // lint: allow(growth)
             q.push((conn, req, resp));
         }
         if !self.wake_armed.swap(true, Ordering::AcqRel) {
@@ -144,6 +163,9 @@ impl Completions {
     /// wake flag *before* draining so a concurrent push re-arms the wake.
     fn drain_into(&self, out: &mut Vec<(u64, u64, Response)>) {
         self.wake_armed.store(false, Ordering::Release);
+        // Mailbox lock held only for the append; the market-thread side
+        // holds it only for one push. Never blocks meaningfully.
+        // lint: allow(io-blocking)
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         out.append(&mut q);
     }
@@ -314,6 +336,9 @@ pub(crate) fn run_io(shared: &IoShared) {
 
         // Adopt freshly accepted connections.
         {
+            // Inbox lock held only to drain the handoff Vec; the
+            // acceptor holds it only for one push per accept.
+            // lint: allow(io-blocking)
             let mut inbox = shared.inbox.lock().unwrap_or_else(|e| e.into_inner());
             for stream in inbox.drain(..) {
                 if stream.set_nonblocking(true).is_err() {
@@ -370,7 +395,7 @@ fn flush_backlog(backlog: &mut VecDeque<Command>, _shared: &IoShared) {
         match _shared.tx.try_send(cmd) {
             Ok(()) => {}
             Err(TrySendError::Full(cmd)) => {
-                backlog.push_front(cmd);
+                backlog.push_front(cmd); // lint: allow(growth) — re-queues the element just popped; no net growth
                 return;
             }
             Err(TrySendError::Closed(cmd)) => {
@@ -392,6 +417,12 @@ fn read_ready(conn_id: u64, conn: &mut Conn, shared: &IoShared, backlog: &mut Ve
                 return;
             }
             Ok(n) => {
+                // Reassembly buffer is bounded by proto::MAX_FRAME: the
+                // decoder errors (and we kill the connection) as soon as
+                // a length line announces an oversized frame, so the
+                // buffer never holds more than one max frame plus one
+                // read chunk.
+                // lint: allow(growth)
                 conn.decoder.extend(&chunk[..n]);
                 if n < chunk.len() {
                     break; // kernel buffer drained
@@ -434,9 +465,12 @@ fn dispatch(
         Ok(req) => req,
         Err(e) => {
             // Malformed JSON in a well-framed payload: answer the error
-            // in order and keep the connection alive.
+            // in order and keep the connection alive. The pending
+            // pipeline is bounded by the read-pause backpressure: reads
+            // (its only producer) stop while the backlog or out-buffer
+            // is over its high-water mark.
             conn.pending
-                .push_back(Slot::Done(Response::Error { msg: e.to_string() }));
+                .push_back(Slot::Done(Response::Error { msg: e.to_string() })); // lint: allow(growth)
             return;
         }
     };
@@ -447,6 +481,8 @@ fn dispatch(
             let resp = answer_read(&req, &shared.view);
             proto::push_frame(&mut conn.out, &proto::encode_response(&resp));
         } else {
+            // Bounded by the read-pause backpressure (see above).
+            // lint: allow(growth)
             conn.pending.push_back(Slot::DeferredRead(req));
         }
         return;
@@ -461,12 +497,19 @@ fn dispatch(
     let cmd = match market::command_for(req, reply) {
         Ok(cmd) => cmd,
         Err(resp) => {
+            // Bounded by the read-pause backpressure (see above).
+            // lint: allow(growth)
             conn.pending.push_back(Slot::Done(resp));
             return;
         }
     };
+    // Both bounded by the read-pause backpressure: reads stop while
+    // backlog.len() >= BACKLOG_PAUSE or the out-buffer is over its
+    // high-water mark, so neither queue can outgrow one poll round's
+    // overshoot past those thresholds.
+    // lint: allow(growth)
     conn.pending.push_back(Slot::Waiting(req_id));
-    backlog.push_back(cmd);
+    backlog.push_back(cmd); // lint: allow(growth) — same BACKLOG_PAUSE bound as above
 }
 
 /// Serializes the completed prefix of the pipeline into the output
@@ -555,6 +598,9 @@ fn final_flush(conns: &mut HashMap<u64, Conn>, shared: &IoShared) {
         if !remaining {
             break;
         }
+        // Shutdown-only flush: the loop has already stopped serving, and
+        // the whole drain is capped by the 250ms deadline above.
+        // lint: allow(io-blocking)
         std::thread::sleep(Duration::from_millis(2));
     }
     for (_, c) in conns.drain() {
@@ -594,5 +640,72 @@ mod tests {
         // A push after the drain re-arms the wake.
         c.push(1, 0, Response::Left);
         assert!(c.wake_armed.load(Ordering::Acquire));
+    }
+}
+
+/// Interleaving model of the wake-dedup protocol, run under the loom
+/// stand-in's schedule perturbation (`--features loom-model`; the TSan
+/// CI cell watches the same test for data races).
+///
+/// The hazard this pins down: `drain_into` MUST clear `wake_armed`
+/// *before* draining the queue. If it cleared afterwards, a producer
+/// could push between the drain and the clear, observe the still-armed
+/// flag, skip its wake — and then the clear lands: item queued, flag
+/// down, no datagram in flight. The consumer, which only drains when the
+/// waker fires, would never pick it up.
+#[cfg(all(test, feature = "loom-model"))]
+mod loom_model_tests {
+    use super::*;
+
+    /// Every completion pushed concurrently is delivered to a consumer
+    /// that drains ONLY on a waker datagram — no wake is ever lost.
+    #[test]
+    fn no_lost_wake_under_perturbed_schedules() {
+        loom::model(|| {
+            const PRODUCERS: u64 = 3;
+            let mail = Arc::new(Completions::new().unwrap());
+            let handles: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let m = Arc::clone(&mail);
+                    // Model threads stand in for the market thread.
+                    // lint: allow(thread-spawn)
+                    loom::thread::spawn(move || {
+                        loom::fuzz_yield();
+                        m.push(p, 0, Response::Left);
+                    })
+                })
+                .collect();
+
+            // The consumer plays the I/O loop: it touches the mailbox
+            // only after observing a wake datagram, exactly like `poll`
+            // reporting the waker fd readable.
+            let mut got = 0u64;
+            let mut out = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while got < PRODUCERS {
+                assert!(
+                    Instant::now() < deadline,
+                    "lost wake: {got}/{PRODUCERS} delivered, queue stuck with no datagram"
+                );
+                let mut buf = [0u8; 8];
+                if mail.waker.sock.recv(&mut buf).is_ok() {
+                    mail.waker.drain();
+                    mail.drain_into(&mut out);
+                    got += out.len() as u64;
+                    out.clear();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            // Quiescence: nothing left behind in the mailbox.
+            mail.drain_into(&mut out);
+            assert!(
+                out.is_empty(),
+                "completions delivered without a wake: {out:?}"
+            );
+        });
     }
 }

@@ -404,6 +404,11 @@ impl FrameDecoder {
             self.buf.drain(..self.pos);
             self.pos = 0;
         }
+        // Bounded by MAX_FRAME: next_frame errors on any length line
+        // announcing more, and the caller kills the connection on that
+        // error, so unconsumed bytes never exceed one max frame plus
+        // one read chunk.
+        // lint: allow(growth)
         self.buf.extend_from_slice(bytes);
     }
 

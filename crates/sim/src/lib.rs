@@ -22,6 +22,7 @@
 //! assert!(report.completed > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;

@@ -33,6 +33,7 @@
 //! # Ok::<(), mec_core::CoreError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod controller;

@@ -22,6 +22,7 @@
 //! assert_eq!(net.data_center_count(), 5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dot;

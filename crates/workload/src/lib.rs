@@ -14,6 +14,7 @@
 //! assert_eq!(scenario.generated.market.provider_count(), 20);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod churn;

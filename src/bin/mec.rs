@@ -16,6 +16,8 @@
 //!                                 drive a running daemon with marketload
 //! ```
 
+#![forbid(unsafe_code)]
+
 use mec_baselines::{jo_offload_cache, offload_cache, JoConfig};
 use mec_core::lcf::{lcf, LcfConfig};
 use mec_core::{estimate_poa, market_poa_bound};

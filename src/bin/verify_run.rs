@@ -21,6 +21,8 @@
 //! JSONL; summarize with `obsreport <path>`. Requires `--features obs`,
 //! otherwise the flag warns and is ignored.
 
+#![forbid(unsafe_code)]
+
 use mec_core::appro::{appro, ApproConfig};
 use mec_core::game::{BestResponseDynamics, MoveOrder, IMPROVEMENT_TOL};
 use mec_core::lcf::{lcf, LcfConfig};

@@ -4,6 +4,7 @@
 //! README for the architecture overview and `examples/` for runnable
 //! demonstrations of the public API.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use mec_baselines as baselines;

@@ -76,6 +76,19 @@ fn maybe_yield() {
     });
 }
 
+/// Explicit schedule-perturbation point for code under test.
+///
+/// The wrapped atomics inject yields at every loom-visible operation,
+/// but a protocol whose hazard window sits *between* two plain-std
+/// operations (a buffer push and the flag swap that publishes it, say)
+/// needs a hook the instrumented crate can call at exactly that spot.
+/// Compiles to this pseudo-random yield under `--features loom-model`;
+/// instrumented crates gate their call sites so production builds carry
+/// no trace of it.
+pub fn fuzz_yield() {
+    maybe_yield();
+}
+
 /// Loom-shaped synchronization primitives.
 pub mod sync {
     /// Schedule-perturbing atomics (wrap `std::sync::atomic`).
@@ -141,6 +154,49 @@ pub mod sync {
                 self.inner.into_inner()
             }
         }
+
+        /// `std::sync::atomic::AtomicBool` with yield injection around
+        /// every operation — enough surface for flag/latch protocols
+        /// like the serve event loop's wake-dedup bit.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            inner: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// Creates a new atomic flag.
+            pub fn new(v: bool) -> Self {
+                AtomicBool {
+                    inner: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            /// Loads the flag, possibly yielding first.
+            pub fn load(&self, order: Ordering) -> bool {
+                super::super::maybe_yield();
+                self.inner.load(order)
+            }
+
+            /// Stores the flag, possibly yielding first.
+            pub fn store(&self, v: bool, order: Ordering) {
+                super::super::maybe_yield();
+                self.inner.store(v, order);
+            }
+
+            /// Atomic swap; yields around the RMW so competing threads
+            /// get a chance to interleave on either side.
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                super::super::maybe_yield();
+                let out = self.inner.swap(v, order);
+                super::super::maybe_yield();
+                out
+            }
+
+            /// Consumes the atomic and returns the value.
+            pub fn into_inner(self) -> bool {
+                self.inner.into_inner()
+            }
+        }
     }
 }
 
@@ -184,8 +240,32 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
-    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Arc;
+
+    #[test]
+    fn swap_claims_a_flag_exactly_once_across_threads() {
+        super::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let wins = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let f = Arc::clone(&flag);
+                    let w = Arc::clone(&wins);
+                    super::thread::spawn(move || {
+                        super::fuzz_yield();
+                        if !f.swap(true, Ordering::AcqRel) {
+                            w.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(wins.load(Ordering::SeqCst), 1);
+        });
+    }
 
     #[test]
     fn model_runs_many_iterations() {

@@ -1,0 +1,606 @@
+//! Brace-matched item model over the token stream.
+//!
+//! The lexer ([`super::lexer`]) gives token identity; this module gives
+//! *scope*. It walks the significant tokens of one file and recovers a
+//! shallow tree of items — `fn`, `mod`, `impl`, `trait` — each with its
+//! attributes, name, and the byte extent of its brace-matched body.
+//!
+//! The payoff is exact `#[cfg(test)]` resolution. The old line scanner
+//! exempted everything from the *first* `#[cfg(test)]` to end-of-file,
+//! which both mis-exempted non-test code after an inline test module
+//! and could not see `#[cfg(all(test, …))]` forms. Here an item is
+//! test-only iff one of its attributes is a `cfg(…)` whose argument
+//! list contains the bare ident `test` (so `cfg(all(test, feature =
+//! "loom-model"))` counts, `cfg(feature = "test")` does not — that
+//! `test` is a string literal, not an ident), or the item is a
+//! `#[test]`/`#[bench]` function. Test scope is then precisely the
+//! item's brace extent, and [`FileItems::in_test_code`] answers byte
+//! lookups against those extents.
+//!
+//! The model is deliberately shallow: bodies of `mod`/`impl`/`trait`
+//! are recursed (they contain more items), bodies of `fn` are not
+//! (rules scan function bodies as token runs, not trees). Items the
+//! rules never ask about (`struct`, `enum`, `use`, …) are skipped by
+//! the brace/semicolon skipper without being modeled.
+
+use super::lexer::{Kind, Tok};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn name(…) { … }` — body not recursed.
+    Fn,
+    /// `mod name { … }` (inline only; `mod name;` has no extent here).
+    Mod,
+    /// `impl Type { … }` / `impl Trait for Type { … }`.
+    Impl,
+    /// `trait Name { … }`.
+    Trait,
+}
+
+/// One modeled item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Declared name; for `impl`, the last path ident before the brace
+    /// (the self type's final segment).
+    pub name: String,
+    /// Index range into the file's *significant-token* list (the
+    /// output of [`super::lexer::significant`]) of the brace-matched
+    /// body, excluding the braces themselves.
+    pub body_toks: (usize, usize),
+    /// Byte range of the whole item, first attribute through closing
+    /// brace.
+    pub bytes: (usize, usize),
+    /// This item (not an ancestor) carries `#[cfg(test)]`-like gating
+    /// or is a `#[test]` fn.
+    pub test_attr: bool,
+    /// This item is inside test scope: `test_attr` on itself or any
+    /// ancestor.
+    pub in_test: bool,
+    /// Children (for `Mod`/`Impl`/`Trait`; always empty for `Fn`).
+    pub children: Vec<Item>,
+}
+
+/// The item tree of one file plus derived test-extent lookup data.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+    /// Byte ranges covered by test-only scope, sorted, non-overlapping
+    /// (outermost extent wins).
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileItems {
+    /// `true` if byte offset `at` lies inside a `#[cfg(test)]`-gated item
+    /// or a `#[test]` function.
+    pub fn in_test_code(&self, at: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| at >= s && at < e)
+    }
+
+    /// Depth-first iteration over every modeled item.
+    pub fn walk(&self) -> Vec<&Item> {
+        let mut out = Vec::new();
+        fn rec<'a>(items: &'a [Item], out: &mut Vec<&'a Item>) {
+            for it in items {
+                out.push(it);
+                rec(&it.children, out);
+            }
+        }
+        rec(&self.items, &mut out);
+        out
+    }
+
+    /// All functions (any nesting), with their test-scope flag resolved.
+    pub fn fns(&self) -> Vec<&Item> {
+        self.walk()
+            .into_iter()
+            .filter(|it| it.kind == ItemKind::Fn)
+            .collect()
+    }
+}
+
+/// Builds the item model for one file.
+pub fn build(src: &str, toks: &[Tok]) -> FileItems {
+    let sig = super::lexer::significant(toks);
+    let mut items = Vec::new();
+    parse_items(src, toks, &sig, 0, sig.len(), false, &mut items);
+    let mut test_ranges = Vec::new();
+    collect_test_ranges(&items, &mut test_ranges);
+    test_ranges.sort_unstable();
+    FileItems { items, test_ranges }
+}
+
+fn collect_test_ranges(items: &[Item], out: &mut Vec<(usize, usize)>) {
+    for it in items {
+        if it.test_attr {
+            // Outermost gated extent covers all children; no need to
+            // recurse below it.
+            out.push(it.bytes);
+        } else {
+            collect_test_ranges(&it.children, out);
+        }
+    }
+}
+
+/// Parses the significant-token window `sig[lo..hi]` into items.
+/// `parent_test` marks that an enclosing item is test-gated.
+fn parse_items(
+    src: &str,
+    toks: &[Tok],
+    sig: &[usize],
+    mut lo: usize,
+    hi: usize,
+    parent_test: bool,
+    out: &mut Vec<Item>,
+) {
+    while lo < hi {
+        let (attrs_start, attr_test, next) = eat_attrs(src, toks, sig, lo, hi);
+        lo = next;
+        if lo >= hi {
+            break;
+        }
+        let t = &toks[sig[lo]];
+        let word = if t.kind == Kind::Ident {
+            t.text(src)
+        } else {
+            ""
+        };
+        match word {
+            // Visibility / qualifiers in front of an item header: step
+            // over and keep the attribute context for the real keyword.
+            "pub" | "unsafe" | "async" | "const" | "extern" | "default" => {
+                // `pub(crate)` — skip a parenthesized visibility scope.
+                if word == "pub" && sig.get(lo + 1).is_some_and(|&k| toks[k].text(src) == "(") {
+                    let close = match_open(src, toks, sig, lo + 1, hi, "(", ")");
+                    lo = close + 1;
+                } else {
+                    lo += 1;
+                }
+                // Re-run the loop body with the same attribute info by
+                // handling the next keyword inline below; simplest is to
+                // rewind: stash attrs via recursion-free trick — handle
+                // by falling through using a small loop.
+                let (kw_lo, kw) = skip_qualifiers(src, toks, sig, lo, hi);
+                lo = kw_lo;
+                if lo >= hi {
+                    break;
+                }
+                handle_keyword(
+                    src,
+                    toks,
+                    sig,
+                    &mut lo,
+                    hi,
+                    kw,
+                    attrs_start,
+                    attr_test,
+                    parent_test,
+                    out,
+                );
+            }
+            "fn" | "mod" | "impl" | "trait" => {
+                handle_keyword(
+                    src,
+                    toks,
+                    sig,
+                    &mut lo,
+                    hi,
+                    word.to_string(),
+                    attrs_start,
+                    attr_test,
+                    parent_test,
+                    out,
+                );
+            }
+            _ => {
+                // Not an item we model: skip to the end of this item —
+                // the next top-level `;` or past a brace-matched block.
+                lo = skip_unmodeled(src, toks, sig, lo, hi);
+            }
+        }
+    }
+}
+
+/// Steps over `pub`/`unsafe`/`async`/`const`/`extern "C"`/`default`
+/// qualifier idents, returning the index of the first non-qualifier
+/// significant token and its text (empty if not an ident).
+fn skip_qualifiers(
+    src: &str,
+    toks: &[Tok],
+    sig: &[usize],
+    mut lo: usize,
+    hi: usize,
+) -> (usize, String) {
+    while lo < hi {
+        let t = &toks[sig[lo]];
+        if t.kind == Kind::Ident {
+            match t.text(src) {
+                "pub" => {
+                    if sig.get(lo + 1).is_some_and(|&k| toks[k].text(src) == "(") {
+                        let close = match_open(src, toks, sig, lo + 1, hi, "(", ")");
+                        lo = close + 1;
+                    } else {
+                        lo += 1;
+                    }
+                }
+                "unsafe" | "async" | "const" | "default" => lo += 1,
+                "extern" => {
+                    lo += 1;
+                    // Optional ABI string.
+                    if lo < hi && matches!(toks[sig[lo]].kind, Kind::Str | Kind::RawStr) {
+                        lo += 1;
+                    }
+                }
+                other => return (lo, other.to_string()),
+            }
+        } else {
+            return (lo, String::new());
+        }
+    }
+    (lo, String::new())
+}
+
+/// Handles one `fn`/`mod`/`impl`/`trait` keyword at `*lo`, appending the
+/// parsed item (when it has a brace body) and advancing `*lo` past it.
+#[allow(clippy::too_many_arguments)]
+fn handle_keyword(
+    src: &str,
+    toks: &[Tok],
+    sig: &[usize],
+    lo: &mut usize,
+    hi: usize,
+    kw: String,
+    attrs_start: usize,
+    attr_test: bool,
+    parent_test: bool,
+    out: &mut Vec<Item>,
+) {
+    let kind = match kw.as_str() {
+        "fn" => ItemKind::Fn,
+        "mod" => ItemKind::Mod,
+        "impl" => ItemKind::Impl,
+        "trait" => ItemKind::Trait,
+        _ => {
+            *lo = skip_unmodeled(src, toks, sig, *lo, hi);
+            return;
+        }
+    };
+    let header_tok = &toks[sig[*lo]];
+    let attr_tok = &toks[sig[attrs_start.min(sig.len() - 1)]];
+    let byte_start = attr_tok.start.min(header_tok.start);
+    *lo += 1; // past keyword
+
+    // Find the body `{` or a terminating `;` (fn decl in trait, `mod x;`).
+    // Skip over parenthesized/bracketed groups (params, generics, where
+    // bounds with braces don't occur before the body in valid Rust —
+    // `where` clauses end at `{`).
+    let mut name = String::new();
+    let mut k = *lo;
+    let mut body_open = None;
+    while k < hi {
+        let t = &toks[sig[k]];
+        let txt = t.text(src);
+        match txt {
+            "{" => {
+                body_open = Some(k);
+                break;
+            }
+            ";" => break,
+            "(" | "[" => {
+                let close = match_open(src, toks, sig, k, hi, txt, matching(txt));
+                k = close + 1;
+                continue;
+            }
+            "<" => {
+                // Generic params: match angle brackets by depth, bailing
+                // at `{`/`;` (comparison `<` never appears in headers).
+                let mut depth = 1i32;
+                k += 1;
+                while k < hi && depth > 0 {
+                    match toks[sig[k]].text(src) {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        "{" | ";" => break,
+                        _ => {}
+                    }
+                    if depth > 0 {
+                        k += 1;
+                    }
+                }
+                k += 1;
+                continue;
+            }
+            _ => {
+                if t.kind == Kind::Ident && name.is_empty() && kind != ItemKind::Impl {
+                    name = txt.to_string();
+                }
+                if t.kind == Kind::Ident && kind == ItemKind::Impl {
+                    // Last ident before the brace — the self type's
+                    // final path segment (`for` resets are fine: the
+                    // type after `for` is the self type).
+                    name = txt.to_string();
+                }
+                k += 1;
+            }
+        }
+    }
+
+    let Some(open) = body_open else {
+        // `mod x;`, trait-method decl, etc.: no body to model.
+        *lo = k.saturating_add(1).min(hi);
+        return;
+    };
+    let close = match_open(src, toks, sig, open, hi, "{", "}");
+    let is_test = attr_test || parent_test;
+    let mut item = Item {
+        kind,
+        name,
+        body_toks: (open + 1, close),
+        bytes: (byte_start, toks[sig[close.min(sig.len() - 1)]].end),
+        test_attr: attr_test,
+        in_test: is_test,
+        children: Vec::new(),
+    };
+    if kind != ItemKind::Fn {
+        parse_items(src, toks, sig, open + 1, close, is_test, &mut item.children);
+    }
+    out.push(item);
+    *lo = close + 1;
+}
+
+fn matching(open: &str) -> &'static str {
+    match open {
+        "(" => ")",
+        "[" => "]",
+        _ => "}",
+    }
+}
+
+/// Given `sig[at]` == `open`, returns the index in `sig` of the matching
+/// `close` (or `hi - 1` if unbalanced — never past the window).
+fn match_open(
+    src: &str,
+    toks: &[Tok],
+    sig: &[usize],
+    at: usize,
+    hi: usize,
+    open: &str,
+    close: &str,
+) -> usize {
+    let mut depth = 0i64;
+    let mut k = at;
+    while k < hi {
+        let txt = toks[sig[k]].text(src);
+        if txt == open {
+            depth += 1;
+        } else if txt == close {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    hi.saturating_sub(1)
+}
+
+/// Consumes leading `#[…]` attributes at `sig[lo..]`. Returns
+/// `(attrs_start_sig_index, any_attr_is_test_gate, next_index)`.
+fn eat_attrs(src: &str, toks: &[Tok], sig: &[usize], lo: usize, hi: usize) -> (usize, bool, usize) {
+    let mut k = lo;
+    let mut test = false;
+    while k + 1 < hi && toks[sig[k]].text(src) == "#" {
+        if toks[sig[k + 1]].text(src) == "[" {
+            let close = match_open(src, toks, sig, k + 1, hi, "[", "]");
+            test |= attr_is_test_gate(src, toks, sig, k + 2, close);
+            k = close + 1;
+        } else if k + 2 < hi
+            && toks[sig[k + 1]].text(src) == "!"
+            && toks[sig[k + 2]].text(src) == "["
+        {
+            // Inner attribute (`#![forbid(unsafe_code)]`): consume, never
+            // a test gate for a following item.
+            let close = match_open(src, toks, sig, k + 2, hi, "[", "]");
+            k = close + 1;
+        } else {
+            break;
+        }
+    }
+    (lo, test, k)
+}
+
+/// `true` for `#[test]`, `#[bench]`, and any `#[cfg(…)]` whose argument
+/// tokens contain the bare ident `test` (`cfg(test)`,
+/// `cfg(all(test, feature = "x"))`). A `"test"` string literal — as in
+/// `cfg(feature = "test")` — is a [`Kind::Str`] token and does not match.
+fn attr_is_test_gate(src: &str, toks: &[Tok], sig: &[usize], lo: usize, hi: usize) -> bool {
+    if lo >= hi {
+        return false;
+    }
+    let head = toks[sig[lo]].text(src);
+    if head == "test" || head == "bench" {
+        return true;
+    }
+    if head != "cfg" {
+        return false;
+    }
+    (lo + 1..hi).any(|k| {
+        let t = &toks[sig[k]];
+        t.kind == Kind::Ident && t.text(src) == "test"
+    })
+}
+
+/// Skips one unmodeled item: advances past the next top-level `;`, or
+/// past a brace block if one opens first (e.g. `struct S { … }`,
+/// `static X: T = { … };` is still ended by the `;`). Always advances.
+fn skip_unmodeled(src: &str, toks: &[Tok], sig: &[usize], lo: usize, hi: usize) -> usize {
+    let mut k = lo;
+    let mut depth = 0i64;
+    while k < hi {
+        match toks[sig[k]].text(src) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return k + 1;
+                }
+            }
+            ";" if depth == 0 => return k + 1,
+            "=" if depth == 0 => {
+                // `static X: [u8; 2] = [..];` — from here only the `;`
+                // ends the item; braces belong to the initializer.
+                let mut j = k + 1;
+                let mut d2 = 0i64;
+                while j < hi {
+                    match toks[sig[j]].text(src) {
+                        "{" | "(" | "[" => d2 += 1,
+                        "}" | ")" | "]" => d2 -= 1,
+                        ";" if d2 == 0 => return j + 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return hi;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer;
+    use super::*;
+
+    fn model(src: &str) -> FileItems {
+        build(src, &lexer::lex(src))
+    }
+
+    #[test]
+    fn finds_fns_mods_impls() {
+        let src = r#"
+            pub fn alpha() { beta(); }
+            mod inner {
+                fn beta() {}
+                impl Thing { fn gamma(&self) {} }
+            }
+            trait T { fn decl(&self); fn with_body(&self) {} }
+        "#;
+        let m = model(src);
+        let names: Vec<&str> = m.fns().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "gamma", "with_body"]);
+        let mods: Vec<&str> = m
+            .walk()
+            .iter()
+            .filter(|i| i.kind == ItemKind::Mod)
+            .map(|i| i.name.as_str())
+            .collect();
+        assert_eq!(mods, vec!["inner"]);
+    }
+
+    #[test]
+    fn cfg_test_scoped_to_module_extent() {
+        // The regression this model exists to fix: code AFTER an inline
+        // test module must not be exempt.
+        let src = r#"
+            fn before() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { assert!(true); }
+            }
+            fn after() { value.unwrap(); }
+        "#;
+        let m = model(src);
+        let after = m
+            .fns()
+            .into_iter()
+            .find(|f| f.name == "after")
+            .expect("after modeled");
+        assert!(!after.in_test, "code after a test mod is NOT test code");
+        let t = m.fns().into_iter().find(|f| f.name == "t").expect("t");
+        assert!(t.in_test);
+        // Byte-level lookup agrees.
+        let unwrap_at = src.find(".unwrap").expect("unwrap");
+        assert!(!m.in_test_code(unwrap_at));
+        let assert_at = src.find("assert!").expect("assert");
+        assert!(m.in_test_code(assert_at));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_but_feature_string_does_not() {
+        let src = r#"
+            #[cfg(all(test, feature = "loom-model"))]
+            mod loom_tests { fn a() {} }
+            #[cfg(feature = "test")]
+            mod not_tests { fn b() {} }
+        "#;
+        let m = model(src);
+        let a = m.fns().into_iter().find(|f| f.name == "a").expect("a");
+        assert!(a.in_test, "cfg(all(test, ...)) is a test gate");
+        let b = m.fns().into_iter().find(|f| f.name == "b").expect("b");
+        assert!(!b.in_test, "cfg(feature = \"test\") is NOT a test gate");
+    }
+
+    #[test]
+    fn test_attr_fn_is_test_scope() {
+        let src = "#[test]\nfn check() { x.unwrap(); }\nfn prod() {}";
+        let m = model(src);
+        assert!(m.in_test_code(src.find(".unwrap").expect("site")));
+        let prod = m
+            .fns()
+            .into_iter()
+            .find(|f| f.name == "prod")
+            .expect("prod");
+        assert!(!prod.in_test);
+    }
+
+    #[test]
+    fn generics_and_where_clauses_do_not_confuse_body_detection() {
+        let src = r#"
+            fn generic<T: Into<Vec<u8>>>(x: T) -> Option<u8> where T: Clone { None }
+            struct S<T> { inner: Vec<T> }
+            fn after_struct() {}
+        "#;
+        let m = model(src);
+        let names: Vec<&str> = m.fns().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["generic", "after_struct"]);
+    }
+
+    #[test]
+    fn impl_name_is_self_type_segment() {
+        let src = "impl<T> Display for Wrapper<T> { fn fmt(&self) {} }";
+        let m = model(src);
+        let imp = m
+            .walk()
+            .into_iter()
+            .find(|i| i.kind == ItemKind::Impl)
+            .expect("impl");
+        assert_eq!(imp.name, "Wrapper");
+    }
+
+    #[test]
+    fn fn_bodies_are_not_recursed() {
+        // A closure's braces inside a fn body must not produce items.
+        let src = "fn outer() { let f = |x| { x + 1 }; mod_like(); }";
+        let m = model(src);
+        assert_eq!(m.fns().len(), 1);
+        assert!(m.fns()[0].children.is_empty());
+    }
+
+    #[test]
+    fn statics_with_brace_initializers_do_not_derail() {
+        let src = r#"
+            static TABLE: [u8; 2] = [1, 2];
+            const BLOCK: fn() = { || {} };
+            fn tail() {}
+        "#;
+        let m = model(src);
+        assert!(m.fns().iter().any(|f| f.name == "tail"));
+    }
+}

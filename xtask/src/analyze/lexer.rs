@@ -1,0 +1,717 @@
+//! A hand-rolled, dependency-free Rust lexer.
+//!
+//! The line scanner this module replaces could not see three things the
+//! analysis rules need: *string context* (an operator inside a string
+//! literal is not code), *comment context* (`/* … */` can span lines and
+//! nest), and *token identity* (`.unwrap_or_else(` must not match a rule
+//! looking for `.unwrap(`). This lexer recovers all three with a single
+//! left-to-right pass and no dependencies.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Lossless.** Every byte of the input lands in exactly one token,
+//!    in order — concatenating the token slices reproduces the file
+//!    byte-for-byte. The proptests pin this; it is what makes the item
+//!    model's byte ranges trustworthy.
+//! 2. **Context-exact for the constructs rules care about**: strings
+//!    (plain, raw with any `#` count, byte), char literals vs.
+//!    lifetimes, line comments, and *nested* block comments.
+//! 3. **Approximate elsewhere.** Multi-character operators come out as
+//!    single-character [`Kind::Punct`] tokens; rules that need `==` check
+//!    adjacency of two `=` tokens. Numeric literals keep enough shape to
+//!    classify float literals (`1.0`, `1e-9`, `2.5E3`, `0.5f64`) without
+//!    a full grammar.
+//!
+//! Everything downstream (the item model in [`super::items`], every rule
+//! in [`super::rules`]) works on `&[Tok]` plus the original source.
+
+/// Token classification. `Ws`, `LineComment`, and `BlockComment` are the
+/// "insignificant" kinds; rules iterate past them via
+/// [`significant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Whitespace run (spaces, tabs, newlines).
+    Ws,
+    /// `// …` to end of line (newline excluded), including `///` and `//!`.
+    LineComment,
+    /// `/* … */`, nesting tracked; unterminated runs to end of file.
+    BlockComment,
+    /// `"…"` or `b"…"` with escapes.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##` — any hash count.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'\t'`, `'\u{1F600}'`.
+    Char,
+    /// `'ident` not closed by a quote — `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// Numeric literal, including `.`/exponent/suffix shapes.
+    Num,
+    /// Everything else, one character at a time.
+    Punct,
+}
+
+/// One token: a classification over a byte range of the source, plus the
+/// 1-based line its first byte sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// What the bytes are.
+    pub kind: Kind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// `true` for whitespace and comments.
+    pub fn insignificant(&self) -> bool {
+        matches!(self.kind, Kind::Ws | Kind::LineComment | Kind::BlockComment)
+    }
+}
+
+/// Indices of the significant (non-whitespace, non-comment) tokens, in
+/// order. Rules match on this sequence so comments and layout never
+/// break a pattern.
+pub fn significant(toks: &[Tok]) -> Vec<usize> {
+    toks.iter()
+        .enumerate()
+        .filter(|(_, t)| !t.insignificant())
+        .map(|(k, _)| k)
+        .collect()
+}
+
+/// Lexes `src` completely. Never fails: malformed input (unterminated
+/// string, stray byte) degrades to best-effort tokens that still cover
+/// every byte exactly once.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        full: src,
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    full: &'a str,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.out.push(Tok {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances `n` bytes.
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn next_kind(&mut self) -> Kind {
+        let c = self.src[self.pos];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                    self.bump();
+                }
+                Kind::Ws
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|b| b != b'\n') {
+                    self.bump();
+                }
+                Kind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' if self.raw_or_byte_prefix().is_some() => {
+                // Dispatch recomputed inside; the guard only confirms a
+                // literal prefix actually follows the `r`/`b`.
+                let k = self.raw_or_byte_prefix();
+                match k {
+                    Some(Prefix::RawStr(hashes)) => self.raw_string(hashes),
+                    Some(Prefix::ByteStr) => {
+                        self.bump(); // b
+                        self.string()
+                    }
+                    Some(Prefix::ByteChar) => {
+                        self.bump(); // b
+                        self.char_or_lifetime()
+                    }
+                    Some(Prefix::RawIdent) => {
+                        self.bump_n(2); // r#
+                        self.ident()
+                    }
+                    None => unreachable!("guard checked the prefix"), // lint: allow(panics)
+                }
+            }
+            c if c.is_ascii_digit() => self.number(),
+            c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(),
+            _ => {
+                self.bump();
+                Kind::Punct
+            }
+        }
+    }
+
+    fn block_comment(&mut self) -> Kind {
+        self.bump_n(2); // /*
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.src.len() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        Kind::BlockComment
+    }
+
+    fn string(&mut self) -> Kind {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        Kind::Str
+    }
+
+    fn raw_string(&mut self, hashes: usize) -> Kind {
+        // Consume `r`/`br`, the hashes, and the opening quote.
+        let prefix = if self.src[self.pos] == b'b' { 2 } else { 1 };
+        self.bump_n(prefix + hashes + 1);
+        'scan: while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                // A close candidate: `"` followed by `hashes` hash marks.
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                break;
+            }
+            self.bump();
+        }
+        Kind::RawStr
+    }
+
+    /// Distinguishes `'a'` (char) from `'a` / `'static` (lifetime): after
+    /// the quote, an identifier run that is *followed by* a closing quote
+    /// is a char literal; otherwise it is a lifetime. Escapes (`'\n'`)
+    /// are always char literals.
+    fn char_or_lifetime(&mut self) -> Kind {
+        self.bump(); // '
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump(); // the escaped char (u of \u{..} included below)
+                }
+                // `\u{…}` payload.
+                while self.peek(0).is_some_and(|b| b != b'\'') {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                Kind::Char
+            }
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                let mut k = 0usize;
+                while self
+                    .peek(k)
+                    .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+                {
+                    k += 1;
+                }
+                if self.peek(k) == Some(b'\'') {
+                    self.bump_n(k + 1);
+                    Kind::Char
+                } else {
+                    self.bump_n(k);
+                    Kind::Lifetime
+                }
+            }
+            Some(_) => {
+                // `'('`-style single char literal (or a stray quote).
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                Kind::Char
+            }
+            None => Kind::Char,
+        }
+    }
+
+    fn ident(&mut self) -> Kind {
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+        {
+            self.bump();
+        }
+        Kind::Ident
+    }
+
+    fn number(&mut self) -> Kind {
+        // Digits plus alphanumerics and underscores cover hex/oct/bin
+        // bodies, exponent letters, and type suffixes in one sweep.
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+        {
+            let was_exp = matches!(self.src[self.pos], b'e' | b'E')
+                && !self.full[..self.pos].ends_with(['x', 'X']);
+            self.bump();
+            // Exponent sign: `1e-9`, `2.5E+3`.
+            if was_exp
+                && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+                && !self.is_hex_body()
+            {
+                self.bump();
+            }
+        }
+        // Fractional part: a `.` followed by a digit (so `0..2` and
+        // `1.max(2)` stay ranges/method calls).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump(); // .
+            while self
+                .peek(0)
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+            {
+                let was_exp = matches!(self.src[self.pos], b'e' | b'E');
+                self.bump();
+                if was_exp
+                    && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                    && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            }
+        } else if self.peek(0) == Some(b'.')
+            && self
+                .peek(1)
+                .is_none_or(|b| !(b == b'.' || b == b'_' || b.is_ascii_alphabetic() || b >= 0x80))
+        {
+            // Trailing-dot float: `1.` (but not `0..` or `1.abs()`).
+            self.bump();
+        }
+        Kind::Num
+    }
+
+    /// `true` if the current number token started with `0x`/`0X` (the
+    /// exponent-sign rule must not fire inside hex bodies).
+    fn is_hex_body(&self) -> bool {
+        let tail = &self.full[..self.pos];
+        let start = tail
+            .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '+' || c == '-'))
+            .map_or(0, |k| k + 1);
+        tail[start..].starts_with("0x") || tail[start..].starts_with("0X")
+    }
+
+    /// Looks ahead from an `r` or `b` for a literal prefix. Returns
+    /// `None` when the letter is just the start of an ordinary ident.
+    fn raw_or_byte_prefix(&self) -> Option<Prefix> {
+        match self.src[self.pos] {
+            b'r' => {
+                let mut k = 1usize;
+                while self.peek(k) == Some(b'#') {
+                    k += 1;
+                }
+                match (k - 1, self.peek(k)) {
+                    (hashes, Some(b'"')) => Some(Prefix::RawStr(hashes)),
+                    (0, _) => None,
+                    // `r#ident` — exactly one hash, then ident start.
+                    (1, Some(c)) if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                        Some(Prefix::RawIdent)
+                    }
+                    _ => None,
+                }
+            }
+            b'b' => match self.peek(1) {
+                Some(b'"') => Some(Prefix::ByteStr),
+                Some(b'\'') => Some(Prefix::ByteChar),
+                Some(b'r') => {
+                    let mut k = 2usize;
+                    while self.peek(k) == Some(b'#') {
+                        k += 1;
+                    }
+                    (self.peek(k) == Some(b'"')).then_some(Prefix::RawStr(k - 2))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+enum Prefix {
+    RawStr(usize),
+    ByteStr,
+    ByteChar,
+    RawIdent,
+}
+
+/// `true` if a [`Kind::Num`] token's text is a float literal: it has a
+/// decimal point, an exponent, or an `f32`/`f64` suffix (and is not a
+/// hex/octal/binary literal, where `e` is a digit).
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    let t = text
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .replace('_', "");
+    if t.is_empty() || !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    t.contains('.') || t.contains('e') || t.contains('E')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.insignificant())
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src, "lossless round-trip failed");
+        // Tokens must tile the input exactly.
+        let mut at = 0;
+        for t in &toks {
+            assert_eq!(t.start, at, "gap/overlap at byte {at}");
+            assert!(t.end > t.start, "empty token at {at}");
+            at = t.end;
+        }
+        assert_eq!(at, src.len());
+    }
+
+    #[test]
+    fn strings_hide_operators() {
+        let ks = kinds(r#"let s = "a == 1.0 and panic!(";"#);
+        assert!(ks.iter().any(|(k, t)| *k == Kind::Str && t.contains("==")));
+        assert!(!ks.iter().any(|(k, t)| *k == Kind::Ident && *t == "panic"));
+        roundtrip(r#"let s = "a == 1.0 and panic!(";"#);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"quote " inside"#; let t = r##"x"# still"##;"####;
+        let ks = kinds(src);
+        let raws: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == Kind::RawStr)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(raws.len(), 2, "{ks:?}");
+        assert!(raws[0].contains("quote"));
+        assert!(raws[1].contains("still"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let ks = kinds(src);
+        assert_eq!(
+            ks.iter()
+                .filter(|(k, _)| *k == Kind::Ident)
+                .map(|(_, t)| *t)
+                .collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        roundtrip(src);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src =
+            "fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let s: &'static str = \"\"; }";
+        let ks = kinds(src);
+        let lifetimes: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        let chars: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Char)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        assert_eq!(chars, vec!["'a'", "'\\n'"]);
+        roundtrip(src);
+    }
+
+    #[test]
+    fn numbers_classify_floats() {
+        for (lit, is_float) in [
+            ("1.0", true),
+            ("0.5f64", true),
+            ("1_000.25", true),
+            ("1e-9", true),
+            ("2.5E3", true),
+            ("3", false),
+            ("0x2e", false),
+            ("1_000", false),
+            ("42u64", false),
+        ] {
+            let src = format!("let x = {lit};");
+            let ks = kinds(&src);
+            let num = ks
+                .iter()
+                .find(|(k, _)| *k == Kind::Num)
+                .unwrap_or_else(|| panic!("no Num in {src}: {ks:?}"));
+            assert_eq!(num.1, lit, "number mis-lexed in {src}");
+            assert_eq!(is_float_literal(num.1), is_float, "{lit}");
+            roundtrip(&src);
+        }
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let ks = kinds("for i in 0..2 { x[1..=3]; }");
+        let nums: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Num)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(nums, vec!["0", "2", "1", "3"]);
+        assert!(nums.iter().all(|n| !is_float_literal(n)));
+    }
+
+    #[test]
+    fn method_on_int_is_not_float() {
+        let ks = kinds("let y = 1.max(2);");
+        let nums: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Num)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(nums, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn raw_idents_and_byte_literals() {
+        let src = "let r#match = b\"bytes\"; let c = b'x'; let br = br#\"raw\"#;";
+        let ks = kinds(src);
+        assert!(ks.iter().any(|(k, t)| *k == Kind::Ident && *t == "r#match"));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == Kind::Str && *t == "b\"bytes\""));
+        assert!(ks.iter().any(|(k, t)| *k == Kind::Char && *t == "b'x'"));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == Kind::RawStr && *t == "br#\"raw\"#"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_and_multiline_constructs() {
+        let src = "a\n/* two\nlines */\n\"str\nacross\"\nz";
+        let toks = lex(src);
+        let z = toks
+            .iter()
+            .find(|t| t.kind == Kind::Ident && t.text(src) == "z")
+            .unwrap();
+        assert_eq!(z.line, 6);
+        roundtrip(src);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["\"never closed", "/* never closed", "r#\"never", "'", "b'"] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn escaped_quotes_stay_in_string() {
+        let src = r#"let s = "he said \"hi\" loudly"; let t = 1;"#;
+        let ks = kinds(src);
+        let strs: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Str)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].contains("hi"));
+        roundtrip(src);
+    }
+}
+
+/// Property tests: the lexer must tile ANY input losslessly — including
+/// adversarial soups of the constructs it special-cases — and its line
+/// numbering must agree with an independent newline scan. Run by
+/// `cargo test -p xtask`; the vendored proptest stand-in is seeded
+/// random testing, deterministic per test name.
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// The tricky vocabulary: every construct with lexer special-casing,
+    /// plus prefix/suffix shards whose concatenation forms new ones
+    /// (`r` + `"x"` fuses into a raw string, `b` + `'a'` into a byte
+    /// char — the round-trip must hold either way).
+    const FRAGMENTS: &[&str] = &[
+        "ident",
+        "r#raw_ident",
+        "self",
+        "'a",
+        "'static",
+        "'x'",
+        "'\\''",
+        "'\\n'",
+        "b'z'",
+        "\"plain\"",
+        "\"esc \\\" quote\"",
+        "\"multi\nline\"",
+        "r\"raw\"",
+        "r#\"quote \" inside\"#",
+        "r##\"x\"# still\"##",
+        "br#\"bytes\"#",
+        "b\"bytes\"",
+        "// line comment",
+        "/* block */",
+        "/* nested /* inner */ outer */",
+        "/*! inner doc */",
+        "/// doc comment",
+        "0.4f64",
+        "1e-9",
+        "0x_ffu32",
+        "42",
+        "1_000.5",
+        "..=",
+        "=>",
+        "::<",
+        ">>=",
+        "==",
+        "!=",
+        "&&",
+        "#![allow()]",
+        "#[cfg(test)]",
+        "{",
+        "}",
+        "(",
+        ")",
+        ";",
+        ",",
+        ".",
+        "r",
+        "b",
+        "br",
+        "#",
+        "\"",
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn lex_tiles_arbitrary_fragment_soup(
+            picks in vec((0usize..FRAGMENTS.len(), 0usize..3), 0..40)
+        ) {
+            let mut src = String::new();
+            for &(f, sep) in &picks {
+                src.push_str(FRAGMENTS[f]);
+                src.push_str(["", " ", "\n"][sep]);
+            }
+            let toks = lex(&src);
+            let mut at = 0;
+            for t in &toks {
+                prop_assert_eq!(t.start, at, "gap/overlap at byte {} of {:?}", at, src);
+                prop_assert!(t.end > t.start, "empty token in {:?}", src);
+                at = t.end;
+            }
+            prop_assert_eq!(at, src.len(), "input not fully consumed: {:?}", src);
+            let rebuilt: String = toks.iter().map(|t| t.text(&src)).collect();
+            prop_assert_eq!(rebuilt, src);
+        }
+
+        #[test]
+        fn line_numbers_agree_with_newline_scan(
+            picks in vec((0usize..FRAGMENTS.len(), 0usize..3), 0..40)
+        ) {
+            let mut src = String::new();
+            for &(f, sep) in &picks {
+                src.push_str(FRAGMENTS[f]);
+                src.push_str(["", " ", "\n"][sep]);
+            }
+            for t in lex(&src) {
+                let want = 1 + src[..t.start].bytes().filter(|&b| b == b'\n').count() as u32;
+                prop_assert_eq!(t.line, want, "line mismatch at byte {} of {:?}", t.start, src);
+            }
+        }
+    }
+}

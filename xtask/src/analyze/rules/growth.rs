@@ -1,0 +1,121 @@
+//! `growth` — connection-scoped buffers must not grow unchecked.
+//!
+//! A slow or malicious client must never be able to make the daemon
+//! allocate without bound: every buffer a connection can pump bytes or
+//! commands into needs a visible capacity check. This rule covers the
+//! three serve data-plane files where such buffers live —
+//! `crates/serve/src/eventloop.rs` (per-connection out-buffers,
+//! pending-response queues, read backlogs), `chan.rs` (the bounded
+//! command queue), and `proto.rs` (frame reassembly) — and flags any
+//! growing call in non-test code:
+//!
+//! `.push(` `.push_back(` `.push_front(` `.extend(`
+//! `.extend_from_slice(` `.insert(`
+//!
+//! unless one of these holds:
+//!
+//! * the *enclosing function body* mentions a capacity name — an
+//!   ALL-CAPS const containing `MAX`/`CAP`/`LIMIT`/`HIGH_WATER`/`PAUSE`
+//!   or a lowercase ident spelled `cap`/`max`/`capacity`/`limit` — the
+//!   syntactic shadow of an actual bound check;
+//! * the call is `.push(<literal>)` with a single char/str/number
+//!   literal argument (building a fixed-size string or tag, not
+//!   buffering client data);
+//! * the site carries `// lint: allow(growth)` with its justification
+//!   (the escape hatch for buffers bounded elsewhere — e.g. a drain
+//!   whose source is already capacity-checked).
+//!
+//! The rule is a heuristic, and an honest one: it cannot prove the
+//! mentioned capacity is *the* bound for *this* buffer. What it does
+//! guarantee is that an unbounded push cannot land in these files
+//! without either sitting next to a named bound or carrying a written
+//! justification — the review trigger the PR-6 backpressure design
+//! needs to stay true.
+
+use super::super::lexer::Kind;
+use super::super::{Finding, SrcFile, Workspace};
+use super::{enclosing_fn, method_call};
+
+const FILES: &[&str] = &[
+    "crates/serve/src/eventloop.rs",
+    "crates/serve/src/chan.rs",
+    "crates/serve/src/proto.rs",
+];
+
+const GROWERS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "extend",
+    "extend_from_slice",
+    "insert",
+];
+
+/// Runs the rule over the workspace. See the module docs.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if !FILES.iter().any(|p| f.path.ends_with(p)) {
+            continue;
+        }
+        for k in 0..f.sig.len() {
+            let Some((name_k, method)) = method_call(f, k) else {
+                continue;
+            };
+            if !GROWERS.contains(&method) {
+                continue;
+            }
+            let at = f.tok(name_k).start;
+            if f.items.in_test_code(at) {
+                continue;
+            }
+            if method == "push" && single_literal_arg(f, name_k + 1) {
+                continue;
+            }
+            let Some(func) = enclosing_fn(&f.items.items, at) else {
+                continue;
+            };
+            if fn_mentions_capacity(f, func.body_toks) {
+                continue;
+            }
+            let mut fd = f.finding_at(name_k, "growth");
+            fd.excerpt = format!(
+                "unchecked .{method}( in fn {} (no capacity bound in scope): {}",
+                func.name, fd.excerpt
+            );
+            out.push(fd);
+        }
+    }
+    out
+}
+
+/// `.push('x')` / `.push("tag")` / `.push(7)` — a single literal arg.
+fn single_literal_arg(f: &SrcFile, open_k: usize) -> bool {
+    let arg = open_k + 1;
+    arg + 1 < f.sig.len()
+        && matches!(
+            f.tok(arg).kind,
+            Kind::Char | Kind::Str | Kind::RawStr | Kind::Num
+        )
+        && f.txt(arg + 1) == ")"
+}
+
+/// Does the function body mention a capacity-ish name anywhere?
+fn fn_mentions_capacity(f: &SrcFile, (lo, hi): (usize, usize)) -> bool {
+    (lo..hi).any(|k| {
+        let t = f.tok(k);
+        t.kind == Kind::Ident && is_capacity_name(t.text(&f.text))
+    })
+}
+
+fn is_capacity_name(name: &str) -> bool {
+    if matches!(name, "cap" | "max" | "capacity" | "limit") {
+        return true;
+    }
+    let all_caps = name.chars().any(|c| c.is_ascii_uppercase())
+        && !name.chars().any(|c| c.is_ascii_lowercase());
+    all_caps
+        && ["MAX", "CAP", "LIMIT", "HIGH_WATER", "PAUSE"]
+            .iter()
+            .any(|m| name.contains(m))
+}

@@ -1,0 +1,286 @@
+//! `lock-order` — the acquired-while-held graph must be acyclic.
+//!
+//! A deadlock needs two threads taking the same two locks in opposite
+//! orders. This rule approximates that hazard statically: every
+//! function body is scanned linearly for mutex acquisitions, and each
+//! acquisition made *while another guard is provably still live* adds
+//! a directed edge `held → acquired` to a workspace-wide graph. A
+//! cycle in that graph is a potential lock-order inversion and fails
+//! the build.
+//!
+//! What counts as an acquisition:
+//!
+//! * `path.lock(…)` — a method call named `lock` on a dotted path
+//!   (`self.chan.state.lock()`, `target.inbox.lock()`);
+//! * `lock_ok(&path)` / `lock_ok(&mut path)` — the serve crate's
+//!   poison-proceeding helper, whose first argument is the mutex path.
+//!
+//! The lock *key* is the path with any leading `self` stripped and
+//! truncated to its last two segments — so `self.chan.state`,
+//! `chan.state`, and `sender.chan.state` all collapse to `chan.state`,
+//! which is the right granularity for a codebase that names its mutex
+//! fields consistently (and is honest about being a syntactic
+//! approximation: aliasing through arbitrary local names is not
+//! tracked).
+//!
+//! Guard lifetime:
+//!
+//! * a let-bound guard (`let g = m.lock()…`) is held to the end of the
+//!   enclosing block, or until `drop(g)`;
+//! * a temporary (`m.lock().unwrap().push(x)`) is held to the end of
+//!   the statement (the next `;` at the same bracket depth).
+//!
+//! Test code is scanned too: a test that takes locks in a conflicting
+//! order is exactly as deadlock-prone as production code. Vendored
+//! code is not scanned.
+
+use super::super::lexer::Kind;
+use super::super::{Finding, SrcFile, Workspace};
+use super::method_call;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs the rule over the workspace. See the module docs.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    // edge (held, acquired) -> first site (file, line, excerpt-ish)
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    for f in &ws.files {
+        if f.path.starts_with("vendor/") || f.path.starts_with("target/") {
+            continue;
+        }
+        for it in f.items.fns() {
+            scan_fn(f, it.body_toks, &mut edges);
+        }
+    }
+
+    // Cycle detection over the key graph.
+    let nodes: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let adj: BTreeMap<&String, Vec<&String>> = {
+        let mut m: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            m.entry(a).or_default().push(b);
+        }
+        m
+    };
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in nodes {
+        let mut path: Vec<&String> = Vec::new();
+        // Simple DFS looking for a path back to `start`.
+        if let Some(cycle) = dfs_cycle(start, start, &adj, &mut path) {
+            let mut canon = cycle.clone();
+            canon.sort();
+            if !reported.insert(canon) {
+                continue;
+            }
+            // Anchor the finding at the first edge of the cycle.
+            let key = (cycle[0].clone(), cycle[1 % cycle.len()].clone());
+            if let Some((file, line)) = edges.get(&key) {
+                out.push(Finding {
+                    file: file.clone(),
+                    line: *line,
+                    rule: "lock-order",
+                    excerpt: format!("lock-order cycle: {} -> {}", cycle.join(" -> "), cycle[0]),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn dfs_cycle<'a>(
+    at: &'a String,
+    start: &'a String,
+    adj: &BTreeMap<&'a String, Vec<&'a String>>,
+    path: &mut Vec<&'a String>,
+) -> Option<Vec<String>> {
+    if path.contains(&at) {
+        // Found a loop; only report it if it returns to `start`.
+        return (at == start).then(|| path.iter().map(|s| (*s).clone()).collect());
+    }
+    path.push(at);
+    if let Some(next) = adj.get(at) {
+        for n in next {
+            if let Some(c) = dfs_cycle(n, start, adj, path) {
+                path.pop();
+                return Some(c);
+            }
+        }
+    }
+    path.pop();
+    None
+}
+
+/// A live guard inside one function scan.
+struct Held {
+    key: String,
+    /// Let-binding variable name, if any (releasable by `drop(var)`).
+    var: Option<String>,
+    /// Sig index at which the guard dies (end of statement or block).
+    until: usize,
+}
+
+/// Scans one function body, recording acquired-while-held edges.
+fn scan_fn(
+    f: &SrcFile,
+    (lo, hi): (usize, usize),
+    edges: &mut BTreeMap<(String, String), (String, usize)>,
+) {
+    let mut held: Vec<Held> = Vec::new();
+    let mut k = lo;
+    while k < hi {
+        held.retain(|h| h.until > k);
+
+        // drop(var) releases a named guard.
+        if f.txt(k) == "drop" && k + 2 < hi && f.txt(k + 1) == "(" {
+            let var = f.txt(k + 2).to_string();
+            held.retain(|h| h.var.as_deref() != Some(var.as_str()));
+        }
+
+        let acq = acquisition_at(f, k, hi).filter(|(key, _)| !key.is_empty());
+        if let Some((key, path_start)) = acq {
+            for h in &held {
+                if h.key != key {
+                    edges
+                        .entry((h.key.clone(), key.clone()))
+                        .or_insert_with(|| (f.path.clone(), f.tok(k).line as usize));
+                }
+            }
+            let var = let_binding_before(f, path_start, lo);
+            let until = if var.is_some() {
+                end_of_block(f, k, hi)
+            } else {
+                end_of_statement(f, k, hi)
+            };
+            held.push(Held { key, var, until });
+        }
+        k += 1;
+    }
+}
+
+/// Detects an acquisition whose `lock`/`lock_ok` ident sits at `k`.
+/// Returns `(key, sig-index-of-path-start)`.
+fn acquisition_at(f: &SrcFile, k: usize, hi: usize) -> Option<(String, usize)> {
+    // `path.lock(` — `k` points at the `.` of the final `.lock(`.
+    if let Some((_, "lock")) = method_call(f, k) {
+        let (key, start) = dotted_path_before(f, k);
+        return Some((key, start));
+    }
+    // `lock_ok(&path)` / `lock_ok(&mut path)`.
+    if f.txt(k) == "lock_ok" && k + 2 < hi && f.txt(k + 1) == "(" {
+        let mut j = k + 2;
+        while j < hi && (f.txt(j) == "&" || f.txt(j) == "mut") {
+            j += 1;
+        }
+        let (key, _) = dotted_path_from(f, j, hi);
+        return Some((key, k));
+    }
+    None
+}
+
+/// Collects the dotted path ending just before the `.` at sig index `k`
+/// (`a.b.c` for `a.b.c.lock(`). Returns `(key, path-start-index)`.
+fn dotted_path_before(f: &SrcFile, k: usize) -> (String, usize) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = k; // points at the final `.`
+    loop {
+        if j == 0 {
+            break;
+        }
+        let prev = j - 1;
+        if f.tok(prev).kind == Kind::Ident {
+            segs.push(f.txt(prev).to_string());
+            if prev >= 2 && f.txt(prev - 1) == "." {
+                j = prev - 1;
+                continue;
+            }
+            j = prev;
+        }
+        break;
+    }
+    segs.reverse();
+    (canonical_key(&segs), j)
+}
+
+/// Collects a dotted path starting at sig index `j` (`a.b.c` until a
+/// non-path token). Returns `(key, index-after-path)`.
+fn dotted_path_from(f: &SrcFile, mut j: usize, hi: usize) -> (String, usize) {
+    let mut segs: Vec<String> = Vec::new();
+    while j < hi && f.tok(j).kind == Kind::Ident {
+        segs.push(f.txt(j).to_string());
+        if j + 1 < hi && f.txt(j + 1) == "." {
+            j += 2;
+        } else {
+            j += 1;
+            break;
+        }
+    }
+    (canonical_key(&segs), j)
+}
+
+/// `self`-stripped, last-two-segments lock key.
+fn canonical_key(segs: &[String]) -> String {
+    let segs: Vec<&String> = segs.iter().filter(|s| s.as_str() != "self").collect();
+    let n = segs.len();
+    let tail = &segs[n.saturating_sub(2)..];
+    tail.iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// If the tokens immediately before `path_start` are `let [mut] var =`,
+/// returns `var`.
+fn let_binding_before(f: &SrcFile, path_start: usize, lo: usize) -> Option<String> {
+    if path_start < lo + 2 || f.txt(path_start - 1) != "=" {
+        return None;
+    }
+    let var_k = path_start - 2;
+    if f.tok(var_k).kind != Kind::Ident {
+        return None;
+    }
+    let kw = var_k.checked_sub(1)?;
+    let is_let = f.txt(kw) == "let" || (f.txt(kw) == "mut" && kw > lo && f.txt(kw - 1) == "let");
+    is_let.then(|| f.txt(var_k).to_string())
+}
+
+/// Sig index of the `;` ending the statement containing `k` (tracking
+/// bracket depth so `;` inside nested closures/blocks don't end it).
+fn end_of_statement(f: &SrcFile, mut k: usize, hi: usize) -> usize {
+    let mut depth = 0i64;
+    while k < hi {
+        match f.txt(k) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            ";" if depth <= 0 => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    hi
+}
+
+/// Sig index of the `}` closing the block containing `k`.
+fn end_of_block(f: &SrcFile, mut k: usize, hi: usize) -> usize {
+    let mut depth = 0i64;
+    while k < hi {
+        match f.txt(k) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    hi
+}

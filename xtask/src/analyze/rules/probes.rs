@@ -1,0 +1,119 @@
+//! `probes` — obs probe names must come from the declared registry.
+//!
+//! mec-obs keys every counter, histogram, and span by a string name.
+//! A typo'd name at an instrumentation site doesn't fail anything — it
+//! silently forks a second series (`serve.join.admited`) that no
+//! dashboard, no `obsreport` reader, and no tailgate bound is looking
+//! at. This rule closes that hole: `crates/obs/src/probes.rs` declares
+//! the registry of blessed probe names, and every *literal* probe name
+//! at a call site must appear in it.
+//!
+//! Checked call shapes (first argument a string literal):
+//!
+//! * `mec_obs::counter_add("…", …)`, `mec_obs::record("…", …)`,
+//!   `mec_obs::record_many("…", …)`, `mec_obs::span("…")`,
+//!   `mec_obs::gauge("…", …)`;
+//! * the macro forms `obs_counter!("…", …)` and `obs_span!("…")`.
+//!
+//! Sites whose name is computed (a variable, a `format!`) are out of
+//! static reach and are skipped — the registry check is for the 95% of
+//! sites that are literals. The obs crate itself and vendored code are
+//! exempt (the registry file would otherwise flag its own doc
+//! examples).
+//!
+//! Registry shape: every string literal in `crates/obs/src/probes.rs`
+//! non-test code is a declared name — the file is a single
+//! `pub const REGISTRY: &[&str]` plus its rustdoc, so this extraction
+//! is exact.
+
+use super::super::lexer::Kind;
+use super::super::{Finding, Workspace};
+use std::collections::BTreeSet;
+
+const REGISTRY_FILE: &str = "crates/obs/src/probes.rs";
+
+const FNS: &[&str] = &["counter_add", "record", "record_many", "span", "gauge"];
+const MACROS: &[&str] = &["obs_counter", "obs_span"];
+
+/// Runs the rule over the workspace. See the module docs.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let Some(reg_file) = ws.files.iter().find(|f| f.path.ends_with(REGISTRY_FILE)) else {
+        // No registry declared — nothing to check against. The workspace
+        // ships one; fixtures that omit it opt out of this rule.
+        return Vec::new();
+    };
+    let mut registry: BTreeSet<String> = BTreeSet::new();
+    for k in 0..reg_file.sig.len() {
+        let t = reg_file.tok(k);
+        if t.kind == Kind::Str && !reg_file.items.in_test_code(t.start) {
+            if let Some(name) = unquote(t.text(&reg_file.text)) {
+                registry.insert(name.to_string());
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if f.path.starts_with("vendor/")
+            || f.path.starts_with("target/")
+            || f.path.starts_with("crates/obs/")
+        {
+            continue;
+        }
+        for k in 0..f.sig.len() {
+            let t = f.tok(k);
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            let txt = t.text(&f.text);
+            // `mec_obs::<fn>("name"` — k at the fn ident.
+            let fn_site = FNS.contains(&txt)
+                && k >= 3
+                && f.txt(k - 1) == ":"
+                && f.txt(k - 2) == ":"
+                && f.txt(k - 3) == "mec_obs"
+                && k + 2 < f.sig.len()
+                && f.txt(k + 1) == "(";
+            // `obs_counter!("name"` / `obs_span!("name"`.
+            let macro_site = MACROS.contains(&txt)
+                && k + 3 < f.sig.len()
+                && f.txt(k + 1) == "!"
+                && f.txt(k + 2) == "(";
+            let arg_k = if fn_site {
+                k + 2
+            } else if macro_site {
+                k + 3
+            } else {
+                continue;
+            };
+            let arg = f.tok(arg_k);
+            if arg.kind != Kind::Str {
+                continue; // computed name: out of static reach
+            }
+            let Some(name) = unquote(arg.text(&f.text)) else {
+                continue;
+            };
+            if !registry.contains(name) {
+                let line = arg.line as usize;
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line,
+                    rule: "probes",
+                    excerpt: format!(
+                        "probe name \"{name}\" not in {REGISTRY_FILE} registry: {}",
+                        f.line_text(line)
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Strips the quotes off a plain string literal token (`"x"` → `x`);
+/// `None` for byte strings or literals with escapes (those are never
+/// valid probe names anyway).
+fn unquote(lit: &str) -> Option<&str> {
+    let inner = lit.strip_prefix('"')?.strip_suffix('"')?;
+    (!inner.contains('\\')).then_some(inner)
+}

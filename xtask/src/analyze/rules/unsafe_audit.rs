@@ -1,0 +1,114 @@
+//! `unsafe-audit` — contain and justify every drop of unsafety.
+//!
+//! The workspace's threat model for unsafe code is simple: all of it
+//! lives in `vendor/polling` (the poll(2) FFI shim), and none of it is
+//! allowed anywhere else. Two checks enforce that:
+//!
+//! 1. **Justification.** Every `unsafe` keyword in `vendor/polling`
+//!    (outside test code) must carry a `// SAFETY:` comment — inline on
+//!    the same line or in the contiguous comment block directly above —
+//!    stating why the invariants hold.
+//! 2. **Containment.** Every first-party crate root (`src/lib.rs`,
+//!    `src/main.rs`, and each `src/bin/*.rs` binary root outside
+//!    `vendor/`) must declare `#![forbid(unsafe_code)]`, so a stray
+//!    `unsafe` anywhere else is a *compile* error, not a review item.
+//!
+//! The containment check is structural (the inner attribute must be
+//! present in the file), so deleting the attribute to sneak unsafety in
+//! shows up in `cargo xtask analyze` even before a human reads the
+//! diff.
+
+use super::super::lexer::Kind;
+use super::super::{Finding, SrcFile, Workspace};
+
+/// Runs the rule over the workspace. See the module docs.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if f.path.starts_with("vendor/polling/") {
+            audit_unsafe_comments(f, &mut out);
+        }
+        if is_first_party_crate_root(&f.path) && !declares_forbid_unsafe(f) {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: 1,
+                rule: "unsafe-audit",
+                excerpt: "crate root missing #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Every `unsafe` token needs a `SAFETY:` comment on its line or in the
+/// contiguous comment block above it.
+fn audit_unsafe_comments(f: &SrcFile, out: &mut Vec<Finding>) {
+    for k in 0..f.sig.len() {
+        let t = f.tok(k);
+        if t.kind != Kind::Ident || t.text(&f.text) != "unsafe" {
+            continue;
+        }
+        if f.items.in_test_code(t.start) {
+            continue;
+        }
+        if !has_safety_comment(f, t.line as usize) {
+            let mut fd = f.finding_at(k, "unsafe-audit");
+            fd.excerpt = format!("unsafe without a // SAFETY: comment: {}", fd.excerpt);
+            out.push(fd);
+        }
+    }
+}
+
+/// `SAFETY:` on line `line` (1-based) or in the contiguous `//` block
+/// directly above — the same shape as the allow-marker contract.
+fn has_safety_comment(f: &SrcFile, line: usize) -> bool {
+    let lines: Vec<&str> = f.text.lines().collect();
+    let idx = line.saturating_sub(1);
+    if lines.get(idx).is_some_and(|l| l.contains("SAFETY:")) {
+        return true;
+    }
+    let mut k = idx;
+    while k > 0 && lines[k - 1].trim_start().starts_with("//") {
+        k -= 1;
+        if lines[k].contains("SAFETY:") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Crate roots we require `#![forbid(unsafe_code)]` in: lib roots, bin
+/// roots, and `src/bin/*` binaries — everywhere rustc accepts the inner
+/// attribute — excluding vendored crates (the FFI shim *is* unsafe).
+fn is_first_party_crate_root(path: &str) -> bool {
+    if path.starts_with("vendor/") || path.starts_with("target/") {
+        return false;
+    }
+    if path.ends_with("/src/lib.rs") || path == "src/lib.rs" {
+        return true;
+    }
+    if path.ends_with("/src/main.rs") || path == "src/main.rs" {
+        return true;
+    }
+    // src/bin/<name>.rs
+    if let Some(pos) = path.rfind("/bin/") {
+        let before = &path[..pos];
+        let after = &path[pos + 5..];
+        return before.ends_with("src") && after.ends_with(".rs") && !after.contains('/');
+    }
+    false
+}
+
+/// Token-level search for the inner attribute `#![forbid(unsafe_code)]`.
+fn declares_forbid_unsafe(f: &SrcFile) -> bool {
+    (0..f.sig.len().saturating_sub(7)).any(|k| {
+        f.txt(k) == "#"
+            && f.txt(k + 1) == "!"
+            && f.txt(k + 2) == "["
+            && f.txt(k + 3) == "forbid"
+            && f.txt(k + 4) == "("
+            && f.txt(k + 5) == "unsafe_code"
+            && f.txt(k + 6) == ")"
+            && f.txt(k + 7) == "]"
+    })
+}

@@ -1,16 +1,23 @@
 //! `cargo xtask` — repository automation.
 //!
 //! ```text
-//! cargo xtask lint               lint the workspace (exit 1 on findings)
-//! cargo xtask lint --self-test   prove the rules flag seeded violations
+//! cargo xtask lint                  three-rule lint pass (exit 1 on findings)
+//! cargo xtask lint --self-test      prove the lint rules flag seeded violations
+//! cargo xtask analyze               full token-aware analysis: concurrency,
+//!                                   unsafe audit, growth, probe registry + lint
+//! cargo xtask analyze --self-test   run every rule against its seeded fixtures
 //! cargo xtask tailgate <report.json> [--op join] [--max-ratio 20]
-//!                                fail if an op's p99/p50 exceeds the bound
+//!                                   fail if an op's p99/p50 exceeds the bound
 //! ```
 //!
-//! See [`lint`] for the rules and the `// lint: allow(<rule>)` escape
+//! See [`analyze`] for the engine and the rule registry, [`lint`] for
+//! the legacy three-rule subset and the `// lint: allow(<rule>)` escape
 //! hatch, and [`tailgate`] for the tail-latency gate CI applies to the
 //! marketload smoke report.
 
+#![forbid(unsafe_code)]
+
+mod analyze;
 mod lint;
 mod tailgate;
 
@@ -20,9 +27,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(args.iter().any(|a| a == "--self-test")),
+        Some("analyze") => cmd_analyze(args.iter().any(|a| a == "--self-test")),
         Some("tailgate") => cmd_tailgate(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint [--self-test] | tailgate <report.json> [--op OP] [--max-ratio N]>");
+            eprintln!(
+                "usage: cargo xtask <lint [--self-test] | analyze [--self-test] | tailgate <report.json> [--op OP] [--max-ratio N]>"
+            );
             std::process::exit(2);
         }
     }
@@ -91,4 +101,45 @@ fn cmd_lint(self_test: bool) {
             std::process::exit(1);
         }
     }
+}
+
+fn cmd_analyze(self_test: bool) {
+    if self_test {
+        match analyze::self_test() {
+            Ok(()) => {
+                println!("xtask analyze self-test: every rule fires on its seeded fixtures")
+            }
+            Err(e) => {
+                eprintln!("xtask analyze self-test FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let root = repo_root();
+    let ws = match analyze::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask analyze: I/O error loading workspace: {e}");
+            std::process::exit(1);
+        }
+    };
+    let findings = analyze::run_all(&ws);
+    if findings.is_empty() {
+        println!(
+            "xtask analyze: clean ({} files, {} rules)",
+            ws.files.len(),
+            analyze::registry().len()
+        );
+        return;
+    }
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    eprintln!(
+        "xtask analyze: {} finding(s). Fix them or suppress a justified \
+         site with `// lint: allow(<rule>)`.",
+        findings.len()
+    );
+    std::process::exit(1);
 }
