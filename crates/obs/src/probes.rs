@@ -69,8 +69,18 @@ pub const REGISTRY: &[&str] = &[
     "serve.join.rejected",
     "serve.leave",
     "serve.publish.ns",
+    // per-shard publish latencies (shard index beyond s3 is
+    // runtime-constructed but follows the same pattern; `obsreport`
+    // folds all of them back into one combined view)
+    "serve.publish.s0.ns",
+    "serve.publish.s1.ns",
+    "serve.publish.s2.ns",
+    "serve.publish.s3.ns",
     "serve.quantum.moves",
     "serve.queue.depth",
+    "serve.shard.migrate",
+    "serve.shard.rebalance.moves",
+    "serve.shard.route",
     "serve.update",
     "serve.update.evicted",
     // discrete-event simulator (crates/sim)

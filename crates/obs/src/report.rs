@@ -154,6 +154,67 @@ impl Report {
         }
         Ok(report)
     }
+
+    /// Folds per-shard histogram snapshots back into one combined view.
+    ///
+    /// A sharded `mec-serve` daemon emits its publish latency under
+    /// per-shard names (`serve.publish.s0.ns` … `serve.publish.s3.ns`,
+    /// one histogram per writer thread). This groups every snapshot
+    /// whose penultimate dotted segment is `s<digits>` under the name
+    /// with that segment removed (`serve.publish.ns`) and merges the
+    /// group: counts sum, maxima take the max, and the percentile
+    /// columns are count-weighted means — an approximation, since exact
+    /// percentile merging needs the raw histograms, but a faithful
+    /// center-of-mass summary of where the shards' tails sit.
+    pub fn shard_folds(&self) -> BTreeMap<String, HistSnapshot> {
+        let mut folds: BTreeMap<String, Vec<&HistSnapshot>> = BTreeMap::new();
+        for (name, h) in &self.hists {
+            if let Some(base) = shard_base(name) {
+                folds.entry(base).or_default().push(h);
+            }
+        }
+        folds
+            .into_iter()
+            .map(|(base, group)| {
+                let count: u64 = group.iter().map(|h| h.count).sum();
+                let weighted = |pick: fn(&HistSnapshot) -> u64| {
+                    if count == 0 {
+                        return 0;
+                    }
+                    let sum: u128 = group
+                        .iter()
+                        .map(|h| u128::from(pick(h)) * u128::from(h.count))
+                        .sum();
+                    (sum / u128::from(count)).min(u128::from(u64::MAX)) as u64
+                };
+                let snap = HistSnapshot {
+                    count,
+                    p50: weighted(|h| h.p50),
+                    p95: weighted(|h| h.p95),
+                    p99: weighted(|h| h.p99),
+                    max: group.iter().map(|h| h.max).max().unwrap_or(0),
+                };
+                (base, snap)
+            })
+            .collect()
+    }
+}
+
+/// `serve.publish.s2.ns` → `Some("serve.publish.ns")`; names without a
+/// penultimate `s<digits>` segment fold nowhere.
+fn shard_base(name: &str) -> Option<String> {
+    let segs: Vec<&str> = name.split('.').collect();
+    if segs.len() < 3 {
+        return None;
+    }
+    let shard = segs[segs.len() - 2];
+    let digits = shard.strip_prefix('s')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let mut base: Vec<&str> = segs[..segs.len() - 2].to_vec();
+    base.push(segs[segs.len() - 1]);
+    Some(base.join("."))
 }
 
 /// Renders a nanosecond quantity with a human-friendly unit.
@@ -243,7 +304,8 @@ impl fmt::Display for Report {
             .iter()
             .filter(|(name, _)| !self.spans.contains_key(*name))
             .collect();
-        if !hist_rows.is_empty() {
+        let folds = self.shard_folds();
+        if !hist_rows.is_empty() || !folds.is_empty() {
             writeln!(
                 f,
                 "\n{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}",
@@ -264,6 +326,28 @@ impl fmt::Display for Report {
                     f,
                     "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}",
                     name,
+                    h.count,
+                    cell(h.p50),
+                    cell(h.p95),
+                    cell(h.p99),
+                    cell(h.max)
+                )?;
+            }
+            // Combined per-shard views (see [`Report::shard_folds`]):
+            // one `<base> (shards)` row folding every `<base>.s<k>.ns`
+            // histogram above it.
+            for (base, h) in &folds {
+                let cell = |v: u64| {
+                    if base.ends_with(".ns") {
+                        fmt_ns(v)
+                    } else {
+                        v.to_string()
+                    }
+                };
+                writeln!(
+                    f,
+                    "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                    format!("{base} (shards)"),
                     h.count,
                     cell(h.p50),
                     cell(h.p95),
@@ -377,5 +461,57 @@ mod tests {
         }
         // Unitless histograms stay raw.
         assert!(text.contains("256"), "raw max missing in:\n{text}");
+    }
+
+    #[test]
+    fn shard_folds_merge_per_shard_publish_hists() {
+        let mut r = Report::new();
+        for (k, count, p50, max) in [(0u32, 30u64, 1_000u64, 9_000u64), (1, 10, 5_000, 50_000)] {
+            r.add(Event::Hist {
+                name: format!("serve.publish.s{k}.ns"),
+                count,
+                p50,
+                p95: p50 * 2,
+                p99: p50 * 3,
+                max,
+            });
+        }
+        // Not shard-shaped: stays out of the fold.
+        r.add(Event::Hist {
+            name: "serve.drain.batch".into(),
+            count: 4,
+            p50: 8,
+            p95: 16,
+            p99: 16,
+            max: 32,
+        });
+        let folds = r.shard_folds();
+        assert_eq!(folds.len(), 1);
+        let combined = folds["serve.publish.ns"];
+        assert_eq!(combined.count, 40);
+        // Count-weighted mean: (1000*30 + 5000*10) / 40 = 2000.
+        assert_eq!(combined.p50, 2_000);
+        assert_eq!(combined.max, 50_000);
+        let text = format!("{r}");
+        assert!(
+            text.contains("serve.publish.ns (shards)"),
+            "missing folded row in:\n{text}"
+        );
+    }
+
+    #[test]
+    fn shard_base_rejects_non_shard_names() {
+        assert_eq!(
+            shard_base("serve.publish.s3.ns").as_deref(),
+            Some("serve.publish.ns")
+        );
+        assert_eq!(
+            shard_base("serve.publish.s12.ns").as_deref(),
+            Some("serve.publish.ns")
+        );
+        assert_eq!(shard_base("serve.publish.ns"), None);
+        assert_eq!(shard_base("serve.sx.ns"), None);
+        assert_eq!(shard_base("s0.ns"), None);
+        assert_eq!(shard_base("serve.s.ns"), None);
     }
 }

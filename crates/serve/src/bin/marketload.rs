@@ -4,6 +4,10 @@
 //! marketload <addr> [flags]        drive an already-running daemon
 //! marketload --smoke [flags]       boot an in-process daemon on an
 //!                                  ephemeral port, drive it, drain it
+//! marketload --direct [flags]      socket-free data-plane drain bench:
+//!                                  feed a seeded churn stream straight
+//!                                  into the shard queues and time the
+//!                                  drain (the CI shard-scaling gate)
 //!
 //! flags:
 //!   --sessions N    concurrent sessions           (default 8)
@@ -17,6 +21,9 @@
 //!   --providers N   provider universe, smoke only (default 100)
 //!   --size N        network size, smoke only      (default 100)
 //!   --snapshot P    daemon snapshot file, smoke only
+//!   --shards N      market shards, smoke/direct   (default 1); regions
+//!                   derive from the scenario topology
+//!   --commands N    churn commands, direct only   (default 100000)
 //! ```
 //!
 //! In `--smoke` mode the exit code reflects the full acceptance check:
@@ -29,7 +36,7 @@
 use std::path::PathBuf;
 use std::process::exit;
 
-use mec_serve::{run_load, serve, Client, LoadConfig, ServerConfig};
+use mec_serve::{drain_bench, run_load, serve, Client, DrainConfig, LoadConfig, ServerConfig};
 use mec_workload::{gtitm_scenario, Params};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -52,12 +59,16 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let direct = args.iter().any(|a| a == "--direct");
     let addr = args.first().filter(|a| !a.starts_with("--")).cloned();
-    if addr.is_none() && !smoke {
-        eprintln!("usage: marketload <addr|--smoke> [--sessions N] [--epochs N] [--seed S]");
-        eprintln!("                  [--out PATH] [--obs PATH] [--providers N] [--size N]");
-        eprintln!("                  [--snapshot PATH]");
+    if addr.is_none() && !smoke && !direct {
+        eprintln!("usage: marketload <addr|--smoke|--direct> [--sessions N] [--epochs N]");
+        eprintln!("                  [--seed S] [--out PATH] [--obs PATH] [--providers N]");
+        eprintln!("                  [--size N] [--snapshot PATH] [--shards N] [--commands N]");
         exit(2);
+    }
+    if direct {
+        exit(run_direct(&args));
     }
     let defaults = LoadConfig::default();
     let cfg = LoadConfig {
@@ -94,6 +105,59 @@ fn main() {
     exit(status);
 }
 
+/// The socket-free data-plane drain bench (see `mec_serve::drain`):
+/// writes the flat JSON row the `cargo xtask tailgate scale` gate
+/// compares across shard counts.
+fn run_direct(args: &[String]) -> i32 {
+    let providers: usize = parse_flag(args, "--providers", 2000);
+    let size: usize = parse_flag(args, "--size", 2000);
+    let seed: u64 = parse_flag(args, "--seed", 1);
+    let scenario = gtitm_scenario(size, &Params::paper().with_providers(providers), seed);
+    let cloudlets = scenario.generated.market.cloudlet_count();
+    let shards: usize = parse_flag(args, "--shards", 1).clamp(1, cloudlets.max(1));
+    let regions = (shards > 1).then(|| scenario.net.regions(shards));
+    let cfg = DrainConfig {
+        shards,
+        commands: parse_flag(args, "--commands", 100_000),
+        seed,
+        ..DrainConfig::default()
+    };
+    let report = match drain_bench(scenario.generated.market, regions, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("drain bench failed: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "{} commands drained in {:.3}s  ({:.0} write ops/s, {} shard{}, {} epochs, {} moves)",
+        report.commands,
+        report.elapsed.as_secs_f64(),
+        report.write_ops_per_sec(),
+        report.shards,
+        if report.shards == 1 { "" } else { "s" },
+        report.epochs,
+        report.moves,
+    );
+    let out_path =
+        flag_value(args, "--out").unwrap_or_else(|| format!("BENCH_drain_{shards}.local.json"));
+    if let Err(e) = std::fs::write(&out_path, format!("{}\n", report.to_json())) {
+        eprintln!("cannot write {out_path}: {e}");
+        return 1;
+    }
+    println!("report written to {out_path}");
+    let mut status = 0;
+    if !report.equilibrium {
+        eprintln!("FAIL: drained placement is not an active-player equilibrium");
+        status = 1;
+    }
+    for v in &report.violations {
+        eprintln!("FAIL: certificate violation: {v}");
+        status = 1;
+    }
+    status
+}
+
 /// Drives an external daemon (never shuts it down).
 fn run_remote(addr: &str, cfg: &LoadConfig, out_path: &str) -> i32 {
     let providers = match Client::connect(addr).and_then(|mut c| c.stats()) {
@@ -118,8 +182,16 @@ fn run_smoke(args: &[String], cfg: &LoadConfig, out_path: &str) -> i32 {
     let providers: usize = parse_flag(args, "--providers", 100);
     let size: usize = parse_flag(args, "--size", 100);
     let scenario = gtitm_scenario(size, &Params::paper().with_providers(providers), cfg.seed);
+    let cloudlets = scenario.generated.market.cloudlet_count();
+    let shards: usize = parse_flag(args, "--shards", 1).clamp(1, cloudlets.max(1));
+    // Spatial regions from the scenario topology: the same proximity
+    // clusters the paper's cloudlet placement implies, so cross-shard
+    // traffic maps to genuinely distant cloudlets.
+    let regions = (shards > 1).then(|| scenario.net.regions(shards));
     let server_cfg = ServerConfig {
         snapshot_path: flag_value(args, "--snapshot").map(PathBuf::from),
+        shards,
+        regions,
         ..ServerConfig::default()
     };
     let handle = match serve(scenario.generated.market, &server_cfg) {
@@ -130,7 +202,10 @@ fn run_smoke(args: &[String], cfg: &LoadConfig, out_path: &str) -> i32 {
         }
     };
     let addr = handle.addr().to_string();
-    println!("smoke daemon on {addr} ({providers} providers, size-{size} network)");
+    println!(
+        "smoke daemon on {addr} ({providers} providers, size-{size} network, {shards} shard{})",
+        if shards == 1 { "" } else { "s" }
+    );
 
     let report = match run_load(&addr, providers, cfg) {
         Ok(r) => r,

@@ -349,7 +349,7 @@ impl<T> OneReceiver<T> {
 /// Locks a mutex, proceeding through poisoning: the daemon's shared state
 /// is a queue of owned values, all of which remain structurally valid even
 /// if a holder panicked mid-critical-section.
-fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 

@@ -51,8 +51,9 @@ use std::sync::atomic::AtomicBool as WakeFlag;
 use polling::{poll, PollFd, POLLIN, POLLOUT};
 
 use crate::chan::{Sender, TrySendError};
-use crate::market::{self, stats_of, Command};
+use crate::market::{self, composite_stats, Command};
 use crate::proto::{self, FrameDecoder, Request, Response};
+use crate::shard::{CoordKind, CoordOp, Coordinator, DrainOp, Router, ShardGauges};
 use crate::view::SharedView;
 
 /// Stop reading from a connection whose unsent output exceeds this
@@ -182,12 +183,34 @@ pub(crate) struct IoShared {
     pub stop: Arc<AtomicBool>,
     /// Live-connection count (shared with the acceptor's admission cap).
     pub live: Arc<AtomicUsize>,
-    /// Command queue into the market thread.
-    pub tx: Sender<Command>,
-    /// The published market view for locally answered reads.
-    pub view: Arc<SharedView>,
+    /// Command queues into the shard writer threads (one per shard; a
+    /// single-shard daemon has exactly one entry).
+    pub txs: Vec<Sender<Command>>,
+    /// Published market views, one per shard. Reads are answered from the
+    /// owning shard's view.
+    pub views: Vec<Arc<SharedView>>,
+    /// Provider→shard ownership map; routes writes and queries.
+    pub router: Arc<Router>,
+    /// Per-shard queue-depth/write gauges folded into composite stats.
+    pub gauges: Arc<ShardGauges>,
+    /// Shared epoch allocator for coordinated snapshot/restore fan-outs.
+    pub coord: Arc<Coordinator>,
     /// The daemon's own address, for poking the acceptor at shutdown.
     pub addr: SocketAddr,
+}
+
+impl IoShared {
+    /// Number of market shards behind this I/O thread.
+    fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The shard whose writer thread must settle a write for `provider`
+    /// (clamped: the router may cover more providers than live shards
+    /// only transiently, never the other way around).
+    fn shard_of(&self, provider: usize) -> usize {
+        self.router.owner(provider).min(self.txs.len() - 1)
+    }
 }
 
 /// One response slot in a connection's ordered pipeline.
@@ -239,12 +262,15 @@ impl Conn {
     }
 }
 
-/// Answers a read-only request from the published view (never touches
-/// the market thread). Shared by the fast path and deferred evaluation.
-fn answer_read(req: &Request, view: &SharedView) -> Response {
+/// Answers a read-only request from the published views (never touches
+/// a market thread). Shared by the fast path and deferred evaluation.
+/// Queries read the *owning* shard's view — the shard whose writer
+/// settled the provider's last write, so read-your-writes survives
+/// sharding; stats fold every shard's view into one composite record.
+fn answer_read(req: &Request, shared: &IoShared) -> Response {
     match req {
         Request::Query { provider } => {
-            let view = view.load();
+            let view = shared.views[shared.shard_of(*provider)].load();
             match (view.placements.get(*provider), view.costs.get(*provider)) {
                 (Some(p), Some(&cost)) => Response::Placement {
                     at: match p {
@@ -260,7 +286,7 @@ fn answer_read(req: &Request, view: &SharedView) -> Response {
                 },
             }
         }
-        Request::Stats => Response::Stats(stats_of(&view.load())),
+        Request::Stats => Response::Stats(composite_stats(&shared.views, &shared.gauges)),
         _ => Response::Error {
             msg: "not a read".to_string(),
         },
@@ -276,7 +302,7 @@ pub(crate) fn run_io(shared: &IoShared) {
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_conn: u64 = 0;
     let mut completions: Vec<(u64, u64, Response)> = Vec::new();
-    let mut backlog: VecDeque<Command> = VecDeque::new();
+    let mut backlog: VecDeque<(usize, Command)> = VecDeque::new();
     let mut fds: Vec<PollFd> = Vec::new();
     let mut fd_conn: Vec<u64> = Vec::new();
 
@@ -386,16 +412,19 @@ pub(crate) fn run_io(shared: &IoShared) {
     }
 }
 
-/// Pushes backlog commands into the market queue until it fills. A
-/// `Closed` queue means the market thread is gone — every queued command
-/// is refused with the draining error, through the normal completion
-/// path so reply order per connection is preserved.
-fn flush_backlog(backlog: &mut VecDeque<Command>, _shared: &IoShared) {
-    while let Some(cmd) = backlog.pop_front() {
-        match _shared.tx.try_send(cmd) {
+/// Pushes backlog commands into their shard queues until one fills. The
+/// backlog is drained strictly FIFO — stopping at the first full queue
+/// rather than skipping ahead to another shard's entries — so commands
+/// from one connection reach each shard in request order. A `Closed`
+/// queue means that shard's writer is gone — the command is refused with
+/// the draining error, through the normal completion path so reply order
+/// per connection is preserved.
+fn flush_backlog(backlog: &mut VecDeque<(usize, Command)>, shared: &IoShared) {
+    while let Some((shard, cmd)) = backlog.pop_front() {
+        match shared.txs[shard].try_send(cmd) {
             Ok(()) => {}
             Err(TrySendError::Full(cmd)) => {
-                backlog.push_front(cmd); // lint: allow(growth) — re-queues the element just popped; no net growth
+                backlog.push_front((shard, cmd)); // lint: allow(growth) — re-queues the element just popped; no net growth
                 return;
             }
             Err(TrySendError::Closed(cmd)) => {
@@ -406,7 +435,12 @@ fn flush_backlog(backlog: &mut VecDeque<Command>, _shared: &IoShared) {
 }
 
 /// Drains the socket, reassembles frames, and dispatches each request.
-fn read_ready(conn_id: u64, conn: &mut Conn, shared: &IoShared, backlog: &mut VecDeque<Command>) {
+fn read_ready(
+    conn_id: u64,
+    conn: &mut Conn,
+    shared: &IoShared,
+    backlog: &mut VecDeque<(usize, Command)>,
+) {
     let mut chunk = [0u8; READ_CHUNK];
     loop {
         match conn.stream.read(&mut chunk) {
@@ -459,7 +493,7 @@ fn dispatch(
     conn: &mut Conn,
     payload: &str,
     shared: &IoShared,
-    backlog: &mut VecDeque<Command>,
+    backlog: &mut VecDeque<(usize, Command)>,
 ) {
     let req = match proto::parse_request(payload) {
         Ok(req) => req,
@@ -478,7 +512,7 @@ fn dispatch(
         if conn.pending.is_empty() {
             // Fast path: nothing in flight, answer straight from the view
             // into the output buffer.
-            let resp = answer_read(&req, &shared.view);
+            let resp = answer_read(&req, shared);
             proto::push_frame(&mut conn.out, &proto::encode_response(&resp));
         } else {
             // Bounded by the read-pause backpressure (see above).
@@ -487,6 +521,15 @@ fn dispatch(
         }
         return;
     }
+    // Writes are routed to the shard that owns the provider (a stale
+    // route is chased by the receiving shard, so freshness is advisory);
+    // admin requests without a provider run on shard 0 or fan out.
+    let shard = match &req {
+        Request::Join { provider, .. }
+        | Request::Leave { provider }
+        | Request::UpdateDemand { provider, .. } => shared.shard_of(*provider),
+        _ => 0,
+    };
     let req_id = conn.next_req;
     conn.next_req += 1;
     let reply = market::Reply::Conn {
@@ -494,6 +537,15 @@ fn dispatch(
         conn: conn_id,
         req: req_id,
     };
+    if shared.shards() > 1
+        && matches!(
+            req,
+            Request::Snapshot | Request::Restore | Request::Shutdown
+        )
+    {
+        fan_out_admin(conn, req_id, &req, reply, shared, backlog);
+        return;
+    }
     let cmd = match market::command_for(req, reply) {
         Ok(cmd) => cmd,
         Err(resp) => {
@@ -509,7 +561,47 @@ fn dispatch(
     // overshoot past those thresholds.
     // lint: allow(growth)
     conn.pending.push_back(Slot::Waiting(req_id));
-    backlog.push_back(cmd); // lint: allow(growth) — same BACKLOG_PAUSE bound as above
+    backlog.push_back((shard, cmd)); // lint: allow(growth) — same BACKLOG_PAUSE bound as above
+}
+
+/// Fans a multi-shard admin request out to every shard queue: `snapshot`
+/// and `restore` become a coordinated two-phase op (prepare now; the
+/// last prepare-acker enqueues the apply fan-out), `shutdown` a drain
+/// barrier. The single client reply travels inside the shared op and the
+/// last shard to complete answers it, so the connection sees exactly one
+/// response in request order.
+fn fan_out_admin(
+    conn: &mut Conn,
+    req_id: u64,
+    req: &Request,
+    reply: market::Reply,
+    shared: &IoShared,
+    backlog: &mut VecDeque<(usize, Command)>,
+) {
+    // Bounded by the read-pause backpressure, like every slot push.
+    // lint: allow(growth)
+    conn.pending.push_back(Slot::Waiting(req_id));
+    if matches!(req, Request::Shutdown) {
+        let op = Arc::new(DrainOp::new(shared.shards(), reply));
+        for k in 0..shared.shards() {
+            backlog.push_back((k, Command::DrainAll { op: op.clone() })); // lint: allow(growth) — BACKLOG_PAUSE bound
+        }
+        return;
+    }
+    let kind = if matches!(req, Request::Snapshot) {
+        CoordKind::Snapshot
+    } else {
+        CoordKind::Restore
+    };
+    let op = Arc::new(CoordOp::new(
+        kind,
+        shared.coord.next_epoch(),
+        shared.shards(),
+        reply,
+    ));
+    for k in 0..shared.shards() {
+        backlog.push_back((k, Command::Prepare { op: op.clone() })); // lint: allow(growth) — BACKLOG_PAUSE bound
+    }
 }
 
 /// Serializes the completed prefix of the pipeline into the output
@@ -528,10 +620,10 @@ fn advance(conn: &mut Conn, shared: &IoShared) {
                 let Some(Slot::DeferredRead(req)) = conn.pending.pop_front() else {
                     unreachable!("front() said DeferredRead"); // lint: allow(panics)
                 };
-                // Every earlier write has been acknowledged, and the
-                // market thread publishes before acknowledging — the view
-                // read here covers those writes.
-                let resp = answer_read(&req, &shared.view);
+                // Every earlier write has been acknowledged, and each
+                // shard publishes before acknowledging — the owning
+                // shard's view read here covers those writes.
+                let resp = answer_read(&req, shared);
                 proto::push_frame(&mut conn.out, &proto::encode_response(&resp));
             }
         }

@@ -18,10 +18,15 @@
 //!   control against the incremental [`mec_core::GameState`] residuals
 //!   (Eq. 4–5), preemptible best-response *maintenance quanta* between
 //!   queue drains (Lemma 3), versioned crash-recovery snapshots;
+//! * [`shard`] — region-keyed market sharding: the provider→shard
+//!   router, cross-shard migration bookkeeping, and coordinated
+//!   multi-shard snapshot manifests;
 //! * [`server`] — acceptor + event-loop I/O threads over `std::net`;
 //! * [`client`] — a blocking protocol client;
 //! * [`load`] — the `marketload` engine: concurrent churn-scripted
-//!   sessions with per-op latency histograms.
+//!   sessions with per-op latency histograms;
+//! * [`drain`] — the socket-free data-plane drain benchmark behind the
+//!   CI shard-scaling gate.
 //!
 //! Build with `--features verify` to re-certify the drained placement
 //! (capacity + Nash certificates) on shutdown, and `--features obs` to
@@ -32,14 +37,17 @@
 
 pub mod chan;
 pub mod client;
+pub mod drain;
 pub mod eventloop;
 pub mod load;
 pub mod market;
 pub mod proto;
 pub mod server;
+pub mod shard;
 pub mod view;
 
 pub use client::Client;
+pub use drain::{drain_bench, DrainConfig, DrainReport};
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use market::{MarketConfig, MarketOutcome};
 pub use proto::{Request, Response, StatsReport};

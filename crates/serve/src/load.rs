@@ -176,6 +176,19 @@ impl LoadReport {
         json::push_f64(&mut s, self.write_ops_per_sec());
         s.push_str(",\"server_social_cost\":");
         json::push_f64(&mut s, self.server.social_cost);
+        // Per-shard breakdown (sharded daemons only): lifetime writes,
+        // last-drain queue depth, and each shard's write throughput over
+        // the run, so a skewed partition shows up as one hot shard.
+        if !self.server.shards.is_empty() {
+            s.push_str(&format!(",\"shards\":{}", self.server.shards.len()));
+            for (k, sh) in self.server.shards.iter().enumerate() {
+                s.push_str(&format!(
+                    ",\"s{k}_writes\":{},\"s{k}_depth\":{},\"s{k}_write_ops_per_sec\":",
+                    sh.writes, sh.depth
+                ));
+                json::push_f64(&mut s, per_sec(sh.writes, self.elapsed));
+            }
+        }
         for (name, op) in [
             ("join", &self.join),
             ("leave", &self.leave),
@@ -463,6 +476,18 @@ mod tests {
                 epochs: 2,
                 moves: 6,
                 equilibrium: true,
+                shards: vec![
+                    crate::proto::ShardStat {
+                        seq: 5,
+                        depth: 1,
+                        writes: 30,
+                    },
+                    crate::proto::ShardStat {
+                        seq: 4,
+                        depth: 0,
+                        writes: 12,
+                    },
+                ],
             },
         };
         let text = report.to_json();
@@ -478,6 +503,11 @@ mod tests {
         // Empty histogram: the ratio is exactly the 0.0 sentinel.
         // lint: allow(float-cmp)
         assert_eq!(json::get_f64(&fields, "query_p99_p50").unwrap(), 0.0);
+        // Per-shard breakdown rides along when the daemon is sharded.
+        assert_eq!(json::get_u64(&fields, "shards").unwrap(), 2);
+        assert_eq!(json::get_u64(&fields, "s0_writes").unwrap(), 30);
+        assert_eq!(json::get_u64(&fields, "s1_depth").unwrap(), 0);
+        assert!(json::get_f64(&fields, "s0_write_ops_per_sec").unwrap() > 0.0);
     }
 
     #[test]

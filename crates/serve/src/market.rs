@@ -31,19 +31,46 @@
 //! carried across the rebuild and applied against the fresh state.
 
 use std::collections::VecDeque;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mec_core::game::IMPROVEMENT_TOL;
 use mec_core::model::Market;
-use mec_core::{load_snapshot, save_snapshot, GameState, Placement, Profile, ProviderId};
+use mec_core::{
+    load_snapshot, save_snapshot, save_snapshot_sharded, GameState, Placement, Profile, ProviderId,
+    ShardMeta,
+};
 use mec_topology::CloudletId;
 
-use crate::chan::{OneSender, Receiver, RecvTimeout};
+use crate::chan::{OneSender, Receiver, RecvTimeout, Sender, TrySendError};
 use crate::eventloop::Completions;
 use crate::proto::{Request, Response, StatsReport};
+use crate::shard::{
+    parse_manifest, shard_snapshot_path, write_manifest, CoordKind, CoordOp, Coordinator, DrainOp,
+    Manifest, Router, ShardGauges,
+};
 use crate::view::{MarketView, SharedView};
+
+/// Same slack as [`Market::fits`], used when debiting reservations.
+const CAP_SLACK: f64 = 1e-9;
+
+/// How long an idle sharded writer sleeps between housekeeping ticks
+/// (rebalance scans, noticing the I/O side went away). Single-shard
+/// markets keep the legacy behavior of blocking indefinitely.
+const IDLE_TICK: Duration = Duration::from_millis(10);
+
+/// Housekeeping ticks between cross-shard rebalance scans.
+const REBALANCE_TICKS: u64 = 8;
+
+/// Minimum relative cost improvement before a cross-shard migration is
+/// worth the handoff (on top of [`IMPROVEMENT_TOL`]).
+const MIGRATION_MARGIN: f64 = 0.01;
+
+/// Backstop for the drain linger: if a peer shard wedges, stop waiting
+/// for the quiesce barrier after this long and finish anyway.
+const DRAIN_LINGER_MAX: Duration = Duration::from_secs(5);
 
 /// Where a command's response goes once the market thread settles it.
 pub enum Reply {
@@ -124,6 +151,76 @@ pub enum Command {
         /// Reply route.
         reply: Reply,
     },
+    /// (cross-shard) A join handed over from another shard. Ownership has
+    /// already transferred to the receiver; the provider's authoritative
+    /// demands ride along so the receiver can sync its market copy.
+    JoinForward {
+        /// Provider id.
+        provider: usize,
+        /// Requested cloudlet, if any.
+        cloudlet: Option<usize>,
+        /// Authoritative compute demand.
+        compute: f64,
+        /// Authoritative bandwidth demand.
+        bandwidth: f64,
+        /// Shards tried so far (a generic join gives up after a full lap).
+        hop: usize,
+        /// Reply route.
+        reply: Reply,
+    },
+    /// (cross-shard) Phase 1 of a migration handoff: reserve capacity at
+    /// `cloudlet` on the receiving shard.
+    MigrateReserve {
+        /// Provider id.
+        provider: usize,
+        /// Target cloudlet (in the receiver's region).
+        cloudlet: usize,
+        /// Compute demand to reserve.
+        compute: f64,
+        /// Bandwidth demand to reserve.
+        bandwidth: f64,
+        /// Source shard awaiting the grant.
+        from: usize,
+    },
+    /// (cross-shard) The target's answer to a reservation.
+    MigrateGrant {
+        /// Provider id.
+        provider: usize,
+        /// `true` if capacity was reserved.
+        granted: bool,
+    },
+    /// (cross-shard) Phase 2: the source released the provider; place it.
+    MigrateCommit {
+        /// Provider id.
+        provider: usize,
+        /// Reserved cloudlet.
+        cloudlet: usize,
+        /// Authoritative compute demand.
+        compute: f64,
+        /// Authoritative bandwidth demand.
+        bandwidth: f64,
+    },
+    /// (cross-shard) Cancel a granted reservation.
+    MigrateAbort {
+        /// Provider id.
+        provider: usize,
+    },
+    /// (coordinated) Phase 1 of a multi-shard snapshot/restore: pause
+    /// migrations and ack once in-flight handoffs have resolved.
+    Prepare {
+        /// The coordinated operation.
+        op: Arc<CoordOp>,
+    },
+    /// (coordinated) Phase 2: write/load this shard's slice.
+    Apply {
+        /// The coordinated operation.
+        op: Arc<CoordOp>,
+    },
+    /// (coordinated) Graceful drain of a sharded daemon.
+    DrainAll {
+        /// The shared drain barrier.
+        op: Arc<DrainOp>,
+    },
 }
 
 /// Builds the market command for a mutating request. Read requests are
@@ -181,6 +278,95 @@ impl Default for MarketConfig {
     }
 }
 
+/// Everything one shard's writer thread shares with the rest of the
+/// daemon: its region, the ownership router, peer queues and views, and
+/// the coordination barriers. The legacy single-market entry point
+/// ([`run_market`]) builds a trivial one-shard context.
+pub struct ShardCtx {
+    /// This shard's index.
+    pub index: usize,
+    /// Total shard count.
+    pub shards: usize,
+    /// Cloudlet→"belongs to this shard" mask over the full topology.
+    pub mine: Vec<bool>,
+    /// Provider→shard ownership map (shared with the I/O threads).
+    pub router: Arc<Router>,
+    /// Command senders to every shard, self included (empty in the
+    /// legacy wrapper — nothing is ever forwarded at one shard).
+    pub peers: Vec<Sender<Command>>,
+    /// Published views of every shard, self included (used for
+    /// cross-shard rebalance estimates).
+    pub views: Vec<Arc<SharedView>>,
+    /// Shared epochs and drain/quiesce barriers.
+    pub coord: Arc<Coordinator>,
+    /// Per-shard depth/write gauges read by `stats`.
+    pub gauges: Arc<ShardGauges>,
+    /// Live I/O-side senders; at zero the shard self-drains. `None` in
+    /// the legacy wrapper, which relies on channel disconnection.
+    pub io_live: Option<Arc<AtomicUsize>>,
+    /// Interned probe name for this shard's publish latency.
+    publish_probe: &'static str,
+}
+
+/// Literal per-shard publish probes (the common shard counts); higher
+/// indices intern a leaked name once per shard thread.
+const PUBLISH_PROBES: [&str; 4] = [
+    "serve.publish.s0.ns",
+    "serve.publish.s1.ns",
+    "serve.publish.s2.ns",
+    "serve.publish.s3.ns",
+];
+
+impl ShardCtx {
+    /// Builds the context for shard `index` of `shards`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        index: usize,
+        shards: usize,
+        mine: Vec<bool>,
+        router: Arc<Router>,
+        peers: Vec<Sender<Command>>,
+        views: Vec<Arc<SharedView>>,
+        coord: Arc<Coordinator>,
+        gauges: Arc<ShardGauges>,
+        io_live: Option<Arc<AtomicUsize>>,
+    ) -> ShardCtx {
+        assert!(index < shards, "shard index out of range");
+        let publish_probe = if shards == 1 {
+            "serve.publish.ns"
+        } else if let Some(name) = PUBLISH_PROBES.get(index).copied() {
+            name
+        } else {
+            Box::leak(format!("serve.publish.s{index}.ns").into_boxed_str())
+        };
+        ShardCtx {
+            index,
+            shards,
+            mine,
+            router,
+            peers,
+            views,
+            coord,
+            gauges,
+            io_live,
+            publish_probe,
+        }
+    }
+
+    /// `true` if cloudlet `c` belongs to this shard's region.
+    fn owns_cloudlet(&self, c: usize) -> bool {
+        self.mine.get(c).copied().unwrap_or(false)
+    }
+
+    /// `true` once every I/O-side sender has exited (sharded daemons
+    /// cannot rely on channel disconnection — peers hold senders too).
+    fn io_gone(&self) -> bool {
+        self.io_live
+            .as_ref()
+            .is_some_and(|l| l.load(Ordering::Acquire) == 0)
+    }
+}
+
 /// What the market thread hands back when it drains.
 #[derive(Debug)]
 pub struct MarketOutcome {
@@ -209,6 +395,44 @@ enum Pending {
     Update(ProviderId, Reply),
     /// `restore`: acknowledge with the restored sequence number.
     Restore(u64, Reply),
+    /// A forwarded join whose demands were synced into the market.
+    Forward {
+        /// Provider id.
+        provider: usize,
+        /// Requested cloudlet, if any.
+        cloudlet: Option<usize>,
+        /// Shards tried so far.
+        hop: usize,
+        /// Reply route.
+        reply: Reply,
+    },
+    /// A migration commit whose demands were synced into the market.
+    Commit {
+        /// Provider id.
+        provider: usize,
+        /// Reserved cloudlet.
+        cloudlet: usize,
+    },
+    /// A coordinated restore: ack the apply barrier once the rebuilt
+    /// view is published.
+    CoordRestore(Arc<CoordOp>),
+}
+
+/// Capacity debited at a cloudlet for an in-flight incoming migration.
+struct Reservation {
+    provider: usize,
+    cloudlet: usize,
+    compute: f64,
+    bandwidth: f64,
+}
+
+/// This shard's at-most-one outgoing migration handoff.
+struct Outgoing {
+    provider: usize,
+    target: usize,
+    cloudlet: usize,
+    /// Set by a drain: answer the pending grant with an abort.
+    cancelled: bool,
 }
 
 /// Mutable book-keeping that survives `'rebuild` iterations.
@@ -220,13 +444,81 @@ struct Book {
     equilibrium: bool,
     /// Round-robin scan position for maintenance quanta.
     cursor: usize,
+    /// Cross-shard sends that hit a full peer queue, drained FIFO so
+    /// per-target ordering is preserved. The writer never blocks on a
+    /// peer queue — that is what makes shard-to-shard cycles safe.
+    outbound: VecDeque<(usize, Command)>,
+    /// Capacity debits granted to in-flight incoming migrations.
+    reserved: Vec<Reservation>,
+    /// The at-most-one outgoing migration handoff.
+    outgoing: Option<Outgoing>,
+    /// Providers whose client left between reserve-grant and commit; the
+    /// commit is dropped instead of resurrecting them.
+    tombstones: Vec<usize>,
+    /// `true` between a coordinated prepare and its apply: no new
+    /// migrations originate and no reservations are granted.
+    paused: bool,
+    /// Prepare fan-outs deferred until the outgoing handoff resolves.
+    parked_preps: Vec<Arc<CoordOp>>,
+    /// Idle housekeeping ticks (throttles rebalance scans).
+    ticks: u64,
+}
+
+impl Book {
+    fn new(active: Vec<bool>, seq: u64) -> Book {
+        Book {
+            active,
+            seq,
+            epochs: 0,
+            moves: 0,
+            equilibrium: false,
+            cursor: 0,
+            outbound: VecDeque::new(),
+            reserved: Vec::new(),
+            outgoing: None,
+            tombstones: Vec::new(),
+            paused: false,
+            parked_preps: Vec::new(),
+            ticks: 0,
+        }
+    }
 }
 
 /// Runs the market thread to completion. `market`/`profile`/`active`/`seq`
 /// are the boot state (possibly restored from a snapshot by the caller);
 /// the function returns when a `shutdown` command drains it or every
-/// sender disappears.
+/// sender disappears. This is the legacy single-shard entry point; a
+/// sharded daemon runs [`run_shard`] once per region.
 pub fn run_market(
+    market: Market,
+    profile: Profile,
+    active: Vec<bool>,
+    seq: u64,
+    rx: &Receiver<Command>,
+    view: &SharedView,
+    cfg: &MarketConfig,
+) -> MarketOutcome {
+    let n = market.provider_count();
+    let m = market.cloudlet_count();
+    let ctx = ShardCtx::new(
+        0,
+        1,
+        vec![true; m],
+        Arc::new(Router::new(n, 1)),
+        Vec::new(),
+        Vec::new(),
+        Arc::new(Coordinator::new(1, vec![0; m], 0)),
+        Arc::new(ShardGauges::new(1)),
+        None,
+    );
+    run_shard(market, profile, active, seq, rx, view, cfg, &ctx)
+}
+
+/// Runs one shard's writer thread to completion: the single-shard serving
+/// loop plus cross-shard forwarding, two-phase migration, and the
+/// coordinated snapshot/restore/drain protocol.
+#[allow(clippy::too_many_arguments)]
+pub fn run_shard(
     mut market: Market,
     mut profile: Profile,
     active: Vec<bool>,
@@ -234,15 +526,9 @@ pub fn run_market(
     rx: &Receiver<Command>,
     view: &SharedView,
     cfg: &MarketConfig,
+    ctx: &ShardCtx,
 ) -> MarketOutcome {
-    let mut book = Book {
-        active,
-        seq,
-        epochs: 0,
-        moves: 0,
-        equilibrium: false,
-        cursor: 0,
-    };
+    let mut book = Book::new(active, seq);
     // Commands that mutate the market itself finish after the rebuild.
     let mut pending: Option<Pending> = None;
     // The unapplied remainder of a batch interrupted by a rebuild.
@@ -257,40 +543,86 @@ pub fn run_market(
         // Publish before acknowledging: a client that sees the reply must
         // be able to read its own write from the view (`query`/`stats`
         // never round-trip through this thread).
-        let settled = pending.take().map(|p| match p {
-            Pending::Update(l, reply) => (settle_update(&mut state, &mut book, l), reply),
-            Pending::Restore(seq, reply) => (Response::Restored { seq }, reply),
-        });
-        publish_timed(view, &state, &book);
+        let mut settled: Option<(Response, Reply)> = None;
+        let mut restored_op: Option<Arc<CoordOp>> = None;
+        match pending.take() {
+            None => {}
+            Some(Pending::Update(l, reply)) => {
+                settled = Some((settle_update(&mut state, &mut book, l), reply));
+            }
+            Some(Pending::Restore(seq, reply)) => {
+                settled = Some((Response::Restored { seq }, reply));
+            }
+            Some(Pending::Forward {
+                provider,
+                cloudlet,
+                hop,
+                reply,
+            }) => {
+                if let Some((reply, resp)) =
+                    handle_join(&mut state, &mut book, ctx, provider, cloudlet, hop, reply)
+                {
+                    settled = Some((resp, reply));
+                }
+            }
+            Some(Pending::Commit { provider, cloudlet }) => {
+                place_commit(&mut state, &mut book, ctx, provider, cloudlet);
+            }
+            Some(Pending::CoordRestore(op)) => {
+                op.fold_seq(book.seq);
+                restored_op = Some(op);
+            }
+        }
+        publish_timed(view, &state, &book, ctx);
         if let Some((resp, reply)) = settled {
             reply.send(resp);
         }
+        if let Some(op) = restored_op {
+            complete_apply(&op, cfg);
+        }
 
         loop {
+            drain_outbound(&mut book, ctx);
             if carry.is_empty() {
                 // Block only at equilibrium; otherwise peek nonblockingly
-                // and spend empty gaps on maintenance quanta.
-                let timeout = if book.equilibrium {
-                    None
-                } else {
+                // and spend empty gaps on maintenance quanta. A sharded
+                // writer never blocks forever: peers hold its sender, so
+                // disconnection cannot signal teardown — it wakes on an
+                // idle tick to rebalance and to notice the I/O side died.
+                let timeout = if !book.equilibrium {
                     Some(Duration::ZERO)
+                } else if ctx.shards > 1 {
+                    Some(IDLE_TICK)
+                } else {
+                    None
                 };
                 match rx.recv_batch(&mut batch, cfg.batch_max, timeout) {
                     Ok((taken, depth)) => {
                         mec_obs::record("serve.drain.batch", taken as u64);
                         mec_obs::record("serve.drain.depth", depth as u64);
                         mec_obs::gauge("serve.queue.depth", book.seq, depth as f64);
+                        ctx.gauges.set_depth(ctx.index, depth);
                         carry.extend(batch.drain(..));
                     }
                     Err(RecvTimeout::Timeout) => {
-                        run_quantum(&mut state, &mut book, cfg.epoch_moves);
-                        publish_timed(view, &state, &book);
+                        if !book.equilibrium {
+                            run_quantum(&mut state, &mut book, ctx, cfg.epoch_moves);
+                            publish_timed(view, &state, &book, ctx);
+                        } else {
+                            maybe_rebalance(&state, &mut book, ctx);
+                        }
+                        if ctx.shards > 1 && ctx.io_gone() {
+                            return drain_and_finish(state, book, cfg, ctx, rx, &mut carry);
+                        }
                         continue;
                     }
                     // Every sender (I/O threads) is gone: the server is
                     // tearing down without a drain command.
                     Err(RecvTimeout::Disconnected) => {
-                        return finish(state, book, cfg, &[]);
+                        if ctx.shards > 1 {
+                            return drain_and_finish(state, book, cfg, ctx, rx, &mut carry);
+                        }
+                        return finish(state, book, cfg, ctx);
                     }
                 }
             }
@@ -302,12 +634,201 @@ pub fn run_market(
                         cloudlet,
                         reply,
                     } => {
-                        let resp = handle_join(&mut state, &mut book, provider, cloudlet);
-                        acks.push((reply, resp));
+                        if misrouted(ctx, provider) {
+                            chase_owner(
+                                &mut book,
+                                ctx,
+                                provider,
+                                Command::Join {
+                                    provider,
+                                    cloudlet,
+                                    reply,
+                                },
+                            );
+                        } else if let Some((reply, resp)) =
+                            handle_join(&mut state, &mut book, ctx, provider, cloudlet, 0, reply)
+                        {
+                            ctx.gauges.add_writes(ctx.index, 1);
+                            acks.push((reply, resp));
+                        }
                     }
                     Command::Leave { provider, reply } => {
-                        let resp = handle_leave(&mut state, &mut book, provider);
-                        acks.push((reply, resp));
+                        if misrouted(ctx, provider) {
+                            chase_owner(
+                                &mut book,
+                                ctx,
+                                provider,
+                                Command::Leave { provider, reply },
+                            );
+                        } else {
+                            let resp = handle_leave(&mut state, &mut book, provider);
+                            ctx.gauges.add_writes(ctx.index, 1);
+                            acks.push((reply, resp));
+                        }
+                    }
+                    Command::JoinForward {
+                        provider,
+                        cloudlet,
+                        compute,
+                        bandwidth,
+                        hop,
+                        reply,
+                    } => {
+                        if provider >= state.len() {
+                            acks.push((reply, unknown_provider(provider)));
+                        } else if demands_differ(&state, provider, compute, bandwidth) {
+                            // Sync the authoritative demands before
+                            // settling the join — rebuild dance.
+                            publish_timed(view, &state, &book, ctx);
+                            flush_acks(&mut acks);
+                            profile = state.into_profile();
+                            market.set_provider_demand(ProviderId(provider), compute, bandwidth);
+                            book.seq += 1;
+                            book.equilibrium = false;
+                            pending = Some(Pending::Forward {
+                                provider,
+                                cloudlet,
+                                hop,
+                                reply,
+                            });
+                            continue 'rebuild;
+                        } else if let Some((reply, resp)) =
+                            handle_join(&mut state, &mut book, ctx, provider, cloudlet, hop, reply)
+                        {
+                            ctx.gauges.add_writes(ctx.index, 1);
+                            acks.push((reply, resp));
+                        }
+                    }
+                    Command::MigrateReserve {
+                        provider,
+                        cloudlet,
+                        compute,
+                        bandwidth,
+                        from,
+                    } => {
+                        // Authoritative Eq. 4–5 admission on the target's
+                        // own thread; never granted while a coordinated
+                        // snapshot is between prepare and apply (a commit
+                        // admitted then could land behind the apply and
+                        // vanish from every slice).
+                        let granted = !book.paused
+                            && provider < state.len()
+                            && ctx.owns_cloudlet(cloudlet)
+                            && !book.active[provider]
+                            && {
+                                let (a, b) = free_at(&state, &book, CloudletId(cloudlet));
+                                compute <= a + CAP_SLACK && bandwidth <= b + CAP_SLACK
+                            };
+                        if granted {
+                            book.reserved.push(Reservation {
+                                provider,
+                                cloudlet,
+                                compute,
+                                bandwidth,
+                            });
+                        }
+                        send_peer(
+                            &mut book,
+                            ctx,
+                            from,
+                            Command::MigrateGrant { provider, granted },
+                        );
+                    }
+                    Command::MigrateGrant { provider, granted } => {
+                        handle_grant(&mut state, &mut book, ctx, provider, granted);
+                    }
+                    Command::MigrateCommit {
+                        provider,
+                        cloudlet,
+                        compute,
+                        bandwidth,
+                    } => {
+                        book.reserved.retain(|r| r.provider != provider);
+                        if let Some(ix) = book.tombstones.iter().position(|p| *p == provider) {
+                            // The client left while the handoff was in
+                            // flight; we own an inactive remote provider.
+                            book.tombstones.swap_remove(ix);
+                        } else if provider < state.len() && !book.active[provider] {
+                            if demands_differ(&state, provider, compute, bandwidth) {
+                                publish_timed(view, &state, &book, ctx);
+                                flush_acks(&mut acks);
+                                profile = state.into_profile();
+                                market.set_provider_demand(
+                                    ProviderId(provider),
+                                    compute,
+                                    bandwidth,
+                                );
+                                pending = Some(Pending::Commit { provider, cloudlet });
+                                continue 'rebuild;
+                            }
+                            place_commit(&mut state, &mut book, ctx, provider, cloudlet);
+                            ctx.gauges.add_writes(ctx.index, 1);
+                        }
+                    }
+                    Command::MigrateAbort { provider } => {
+                        book.reserved.retain(|r| r.provider != provider);
+                        book.tombstones.retain(|p| *p != provider);
+                    }
+                    Command::Prepare { op } => {
+                        book.paused = true;
+                        if book.outgoing.is_some() {
+                            // Ack only once the in-flight handoff has sent
+                            // commit or abort — that FIFO-orders any commit
+                            // ahead of the apply fan-out on the target.
+                            book.parked_preps.push(op);
+                        } else {
+                            complete_prepare(&mut book, ctx, &op);
+                        }
+                    }
+                    Command::Apply { op } => match op.kind {
+                        CoordKind::Snapshot => {
+                            if let Err(msg) = write_shard_slice(&state, &book, cfg, ctx, op.epoch) {
+                                op.push_error(msg);
+                            }
+                            book.paused = false;
+                            complete_apply(&op, cfg);
+                        }
+                        CoordKind::Restore => {
+                            book.paused = false;
+                            match load_my_slice(cfg, ctx) {
+                                Ok(snap) => {
+                                    publish_timed(view, &state, &book, ctx);
+                                    flush_acks(&mut acks);
+                                    drop(state.into_profile());
+                                    market = snap.market;
+                                    profile = snap.profile;
+                                    book.active = snap.active;
+                                    book.seq = snap.seq;
+                                    book.equilibrium = false;
+                                    book.cursor = 0;
+                                    book.reserved.clear();
+                                    book.tombstones.clear();
+                                    if let Some(meta) = &snap.shard {
+                                        for (p, owned) in meta.owned.iter().enumerate() {
+                                            if *owned {
+                                                ctx.router.set_owner(p, ctx.index);
+                                            }
+                                        }
+                                    }
+                                    pending = Some(Pending::CoordRestore(op));
+                                    continue 'rebuild;
+                                }
+                                Err(msg) => {
+                                    op.push_error(msg);
+                                    complete_apply(&op, cfg);
+                                }
+                            }
+                        }
+                    },
+                    Command::DrainAll { op } => {
+                        publish_timed(view, &state, &book, ctx);
+                        flush_acks(&mut acks);
+                        if op.ack() {
+                            if let Some(reply) = op.take_reply() {
+                                reply.send(Response::Draining);
+                            }
+                        }
+                        return drain_and_finish(state, book, cfg, ctx, rx, &mut carry);
                     }
                     Command::Update {
                         provider,
@@ -315,6 +836,21 @@ pub fn run_market(
                         bandwidth,
                         reply,
                     } => {
+                        if misrouted(ctx, provider) {
+                            chase_owner(
+                                &mut book,
+                                ctx,
+                                provider,
+                                Command::Update {
+                                    provider,
+                                    compute,
+                                    bandwidth,
+                                    reply,
+                                },
+                            );
+                            continue;
+                        }
+                        ctx.gauges.add_writes(ctx.index, 1);
                         let bad = [compute, bandwidth]
                             .iter()
                             .any(|v| !v.is_finite() || *v < 0.0);
@@ -337,7 +873,7 @@ pub fn run_market(
                             // `carry` for the rebuilt state; this reply
                             // waits for the rebuild so it can report the
                             // post-update cost.
-                            publish_timed(view, &state, &book);
+                            publish_timed(view, &state, &book, ctx);
                             flush_acks(&mut acks);
                             let l = ProviderId(provider);
                             profile = state.into_profile();
@@ -349,6 +885,18 @@ pub fn run_market(
                         }
                     }
                     Command::Restore { reply } => {
+                        if ctx.shards > 1 {
+                            // Sharded daemons restore through the
+                            // coordinated Prepare/Apply fan-out.
+                            acks.push((
+                                reply,
+                                Response::Error {
+                                    msg: "sharded restore must go through the coordinator"
+                                        .to_string(),
+                                },
+                            ));
+                            continue;
+                        }
                         let Some(path) = cfg.snapshot_path.as_deref() else {
                             acks.push((
                                 reply,
@@ -363,7 +911,7 @@ pub fn run_market(
                                 // Acknowledged only after the rebuild
                                 // publishes the rewound view (see the
                                 // 'rebuild prologue).
-                                publish_timed(view, &state, &book);
+                                publish_timed(view, &state, &book, ctx);
                                 flush_acks(&mut acks);
                                 drop(state.into_profile());
                                 market = snap.market;
@@ -384,25 +932,41 @@ pub fn run_market(
                         }
                     }
                     Command::Snapshot { reply } => {
-                        acks.push((reply, write_snapshot(&state, &book, cfg)));
+                        if ctx.shards > 1 {
+                            acks.push((
+                                reply,
+                                Response::Error {
+                                    msg: "sharded snapshot must go through the coordinator"
+                                        .to_string(),
+                                },
+                            ));
+                        } else {
+                            acks.push((reply, write_snapshot(&state, &book, cfg)));
+                        }
                     }
                     Command::Shutdown { reply } => {
                         // Settle the batch prefix, announce the drain, and
                         // refuse whatever raced in behind us.
-                        publish_timed(view, &state, &book);
+                        publish_timed(view, &state, &book, ctx);
                         flush_acks(&mut acks);
                         reply.send(Response::Draining);
+                        if ctx.shards > 1 {
+                            // A stray legacy shutdown on a sharded daemon
+                            // drains this shard with the full protocol so
+                            // in-flight migrations still resolve.
+                            return drain_and_finish(state, book, cfg, ctx, rx, &mut carry);
+                        }
                         for cmd in carry.drain(..) {
                             refuse(cmd);
                         }
                         for cmd in rx.try_drain() {
                             refuse(cmd);
                         }
-                        return finish(state, book, cfg, &[]);
+                        return finish(state, book, cfg, ctx);
                     }
                 }
             }
-            publish_timed(view, &state, &book);
+            publish_timed(view, &state, &book, ctx);
             flush_acks(&mut acks);
         }
     }
@@ -420,39 +984,469 @@ fn unknown_provider(provider: usize) -> Response {
     }
 }
 
-/// Admission control (Eq. 4–5 against the maintained residuals): place at
-/// the requested cloudlet if it fits, else — with no explicit request —
-/// at the cheapest fitting cloudlet by Eq. 3. A full market answers
-/// `rejected`, which is a business outcome, not an error.
+/// Bit-exact demand drift check against the shard's local market copy.
+fn demands_differ(state: &GameState<'_>, provider: usize, compute: f64, bandwidth: f64) -> bool {
+    let spec = state.market().provider(ProviderId(provider));
+    spec.compute_demand.to_bits() != compute.to_bits()
+        || spec.bandwidth_demand.to_bits() != bandwidth.to_bits()
+}
+
+/// Residual capacity at `i` net of migration reservations — the free
+/// space admission and best responses are allowed to see.
+fn free_at(state: &GameState<'_>, book: &Book, i: CloudletId) -> (f64, f64) {
+    let (mut a, mut b) = state.residual(i);
+    for r in &book.reserved {
+        if r.cloudlet == i.index() {
+            a -= r.compute;
+            b -= r.bandwidth;
+        }
+    }
+    (a, b)
+}
+
+/// `true` if this shard no longer owns `provider` (the router moved it
+/// after the I/O thread picked a queue).
+fn misrouted(ctx: &ShardCtx, provider: usize) -> bool {
+    ctx.shards > 1 && ctx.router.owner(provider) != ctx.index
+}
+
+/// Re-routes a misrouted command to the current owner. The chase
+/// converges because ownership only changes when the new owner actually
+/// processes work for the provider.
+fn chase_owner(book: &mut Book, ctx: &ShardCtx, provider: usize, cmd: Command) {
+    mec_obs::counter_add("serve.shard.route", 1);
+    let owner = ctx.router.owner(provider);
+    send_peer(book, ctx, owner, cmd);
+}
+
+/// Enqueues a cross-shard command, never blocking: anything that does not
+/// fit the peer queue right now waits in `book.outbound` (global FIFO, so
+/// per-target ordering is preserved) and is retried every loop iteration.
+fn send_peer(book: &mut Book, ctx: &ShardCtx, target: usize, cmd: Command) {
+    book.outbound.push_back((target, cmd));
+    drain_outbound(book, ctx);
+}
+
+fn drain_outbound(book: &mut Book, ctx: &ShardCtx) {
+    while let Some((target, cmd)) = book.outbound.pop_front() {
+        let Some(tx) = ctx.peers.get(target) else {
+            // Legacy wrapper: no peers, nothing to deliver.
+            continue;
+        };
+        match tx.try_send(cmd) {
+            Ok(()) => {}
+            Err(TrySendError::Full(cmd)) => {
+                // Stop at the first full queue: draining past it could
+                // reorder two sends to the same target.
+                book.outbound.push_front((target, cmd));
+                break;
+            }
+            // Peer thread already exited (teardown): drop the message.
+            Err(TrySendError::Closed(_)) => {}
+        }
+    }
+}
+
+/// Hands a join (and the provider's ownership) to `target`.
+#[allow(clippy::too_many_arguments)]
+fn forward_join(
+    state: &GameState<'_>,
+    book: &mut Book,
+    ctx: &ShardCtx,
+    provider: usize,
+    cloudlet: Option<usize>,
+    hop: usize,
+    reply: Reply,
+    target: usize,
+) {
+    let spec = state.market().provider(ProviderId(provider));
+    ctx.router.set_owner(provider, target);
+    mec_obs::counter_add("serve.shard.route", 1);
+    send_peer(
+        book,
+        ctx,
+        target,
+        Command::JoinForward {
+            provider,
+            cloudlet,
+            compute: spec.compute_demand,
+            bandwidth: spec.bandwidth_demand,
+            hop,
+            reply,
+        },
+    );
+}
+
+/// Settles the target's answer to this shard's outgoing reservation: on a
+/// usable grant, release the provider locally, transfer ownership, and
+/// commit on the target; otherwise abort any reserved capacity.
+fn handle_grant(
+    state: &mut GameState<'_>,
+    book: &mut Book,
+    ctx: &ShardCtx,
+    provider: usize,
+    granted: bool,
+) {
+    let Some(out) = book.outgoing.take() else {
+        return; // stale grant: nothing in flight
+    };
+    if out.provider != provider {
+        book.outgoing = Some(out);
+        return;
+    }
+    let usable = !out.cancelled
+        && book.active.get(provider).copied().unwrap_or(false)
+        && ctx.router.owner(provider) == ctx.index;
+    if granted && usable {
+        let l = ProviderId(provider);
+        let spec = state.market().provider(l);
+        let (compute, bandwidth) = (spec.compute_demand, spec.bandwidth_demand);
+        state.apply_move(l, Placement::Remote);
+        book.active[provider] = false;
+        book.seq += 1;
+        book.equilibrium = false;
+        ctx.router.set_owner(provider, out.target);
+        mec_obs::counter_add("serve.shard.migrate", 1);
+        send_peer(
+            book,
+            ctx,
+            out.target,
+            Command::MigrateCommit {
+                provider,
+                cloudlet: out.cloudlet,
+                compute,
+                bandwidth,
+            },
+        );
+    } else if granted {
+        send_peer(book, ctx, out.target, Command::MigrateAbort { provider });
+    }
+    resolve_parked(book, ctx);
+}
+
+/// Activates a committed provider on the receiving shard. Capacity was
+/// reserved at grant time, but demands may have moved underneath the
+/// reservation — re-check and fall back to remote (still active; the
+/// maintenance quanta re-place it when capacity frees up).
+fn place_commit(
+    state: &mut GameState<'_>,
+    book: &mut Book,
+    ctx: &ShardCtx,
+    provider: usize,
+    cloudlet: usize,
+) {
+    let l = ProviderId(provider);
+    let market = state.market();
+    let placement = if cloudlet < market.cloudlet_count()
+        && ctx.owns_cloudlet(cloudlet)
+        && market.fits(l, free_at(state, book, CloudletId(cloudlet)))
+    {
+        Placement::Cloudlet(CloudletId(cloudlet))
+    } else {
+        Placement::Remote
+    };
+    state.apply_move(l, placement);
+    book.active[provider] = true;
+    book.seq += 1;
+    book.equilibrium = false;
+}
+
+/// Acks a prepare; the last shard to ack fans the apply out to everyone
+/// (through its outbound, so per-target FIFO holds).
+fn complete_prepare(book: &mut Book, ctx: &ShardCtx, op: &Arc<CoordOp>) {
+    if op.ack_prepare() {
+        for k in 0..ctx.shards {
+            send_peer(book, ctx, k, Command::Apply { op: op.clone() });
+        }
+    }
+}
+
+/// Fires deferred prepare-acks once the outgoing handoff has resolved.
+fn resolve_parked(book: &mut Book, ctx: &ShardCtx) {
+    if book.outgoing.is_some() {
+        return;
+    }
+    for op in std::mem::take(&mut book.parked_preps) {
+        complete_prepare(book, ctx, &op);
+    }
+}
+
+/// Acks an apply; the last shard answers the client — and, for a clean
+/// snapshot, writes the manifest first (manifest last on disk, so a crash
+/// leaves either the previous complete set or the new one).
+fn complete_apply(op: &Arc<CoordOp>, cfg: &MarketConfig) {
+    if !op.ack_apply() {
+        return;
+    }
+    let errors = op.take_errors();
+    let Some(reply) = op.take_reply() else { return };
+    let resp = if !errors.is_empty() {
+        Response::Error {
+            msg: errors.join("; "),
+        }
+    } else {
+        match op.kind {
+            CoordKind::Snapshot => match cfg.snapshot_path.as_deref() {
+                Some(base) => match write_manifest(
+                    base,
+                    &Manifest {
+                        epoch: op.epoch,
+                        shards: op.shards,
+                    },
+                ) {
+                    Ok(()) => Response::Snapshotted { seq: op.epoch },
+                    Err(e) => Response::Error {
+                        msg: format!("manifest write failed: {e}"),
+                    },
+                },
+                None => Response::Error {
+                    msg: "daemon was started without --snapshot".to_string(),
+                },
+            },
+            CoordKind::Restore => Response::Restored { seq: op.seq() },
+        }
+    };
+    reply.send(resp);
+}
+
+/// Writes this shard's slice of the epoch-`epoch` snapshot set.
+fn write_shard_slice(
+    state: &GameState<'_>,
+    book: &Book,
+    cfg: &MarketConfig,
+    ctx: &ShardCtx,
+    epoch: u64,
+) -> Result<(), String> {
+    let base = cfg
+        .snapshot_path
+        .as_deref()
+        .ok_or_else(|| "daemon was started without --snapshot".to_string())?;
+    write_shard_slice_at(state, book, ctx, base, epoch)
+}
+
+fn write_shard_slice_at(
+    state: &GameState<'_>,
+    book: &Book,
+    ctx: &ShardCtx,
+    base: &Path,
+    epoch: u64,
+) -> Result<(), String> {
+    let meta = ShardMeta {
+        epoch,
+        index: ctx.index,
+        count: ctx.shards,
+        owned: (0..state.len())
+            .map(|p| ctx.router.owner(p) == ctx.index)
+            .collect(),
+    };
+    save_snapshot_sharded(
+        &shard_snapshot_path(base, epoch, ctx.index),
+        book.seq,
+        state.market(),
+        state.profile(),
+        &book.active,
+        &meta,
+    )
+    .map_err(|e| format!("shard {} snapshot failed: {e}", ctx.index))
+}
+
+/// Loads this shard's slice of the newest manifest-complete snapshot set.
+fn load_my_slice(cfg: &MarketConfig, ctx: &ShardCtx) -> Result<mec_core::MarketSnapshot, String> {
+    let base = cfg
+        .snapshot_path
+        .as_deref()
+        .ok_or_else(|| "daemon was started without --snapshot".to_string())?;
+    let text =
+        std::fs::read_to_string(base).map_err(|e| format!("restore failed: {base:?}: {e}"))?;
+    let manifest =
+        parse_manifest(&text).ok_or_else(|| "snapshot path holds no shard manifest".to_string())?;
+    if manifest.shards != ctx.shards {
+        return Err(format!(
+            "snapshot set has {} shards, daemon runs {}; restart to re-partition",
+            manifest.shards, ctx.shards
+        ));
+    }
+    load_snapshot(&shard_snapshot_path(base, manifest.epoch, ctx.index))
+        .map_err(|e| format!("shard {} restore failed: {e}", ctx.index))
+}
+
+/// Periodic cross-shard rebalance, piggybacked on idle housekeeping
+/// ticks: find the owned active provider with the largest estimated gain
+/// from moving into a peer region (advisory congestion/residuals read
+/// from the peer's published view) and start a reserve→commit handoff.
+/// At most one outgoing handoff is in flight per shard.
+fn maybe_rebalance(state: &GameState<'_>, book: &mut Book, ctx: &ShardCtx) {
+    if ctx.shards == 1 || book.paused || book.outgoing.is_some() {
+        return;
+    }
+    book.ticks += 1;
+    if !book.ticks.is_multiple_of(REBALANCE_TICKS) {
+        return;
+    }
+    let views: Vec<Arc<MarketView>> = ctx.views.iter().map(|v| v.load()).collect();
+    let market = state.market();
+    let mut best: Option<(usize, usize, f64)> = None;
+    for l in market.providers() {
+        let p = l.index();
+        if !book.active[p] || ctx.router.owner(p) != ctx.index {
+            continue;
+        }
+        let current = state.provider_cost(l);
+        let spec = market.provider(l);
+        for i in market.cloudlets() {
+            let c = i.index();
+            if ctx.owns_cloudlet(c) {
+                continue;
+            }
+            let Some(v) = views.get(ctx.coord.region_of[c]) else {
+                continue;
+            };
+            let (Some(&cong), Some(&(ra, rb))) = (v.congestion.get(c), v.residual.get(c)) else {
+                continue;
+            };
+            if spec.compute_demand > ra + CAP_SLACK || spec.bandwidth_demand > rb + CAP_SLACK {
+                continue;
+            }
+            let est = market.caching_cost(l, i, cong + 1);
+            let gain = current - est;
+            if est + IMPROVEMENT_TOL < current * (1.0 - MIGRATION_MARGIN)
+                && best.is_none_or(|(_, _, g)| gain > g)
+            {
+                best = Some((p, c, gain));
+            }
+        }
+    }
+    let Some((provider, cloudlet, _)) = best else {
+        return;
+    };
+    let spec = market.provider(ProviderId(provider));
+    let target = ctx.coord.region_of[cloudlet];
+    book.outgoing = Some(Outgoing {
+        provider,
+        target,
+        cloudlet,
+        cancelled: false,
+    });
+    mec_obs::record("serve.shard.rebalance.moves", 1);
+    send_peer(
+        book,
+        ctx,
+        target,
+        Command::MigrateReserve {
+            provider,
+            cloudlet,
+            compute: spec.compute_demand,
+            bandwidth: spec.bandwidth_demand,
+            from: ctx.index,
+        },
+    );
+}
+
+/// [`GameState::best_response`] restricted to this shard's region, with
+/// migration reservations debited from the residuals. Falls through to
+/// the exact core implementation when nothing restricts the view.
+fn region_best_response(
+    state: &GameState<'_>,
+    book: &Book,
+    ctx: &ShardCtx,
+    l: ProviderId,
+) -> Option<(Placement, f64)> {
+    if ctx.shards == 1 && book.reserved.is_empty() {
+        return state.best_response(l);
+    }
+    let market = state.market();
+    let current = state.placement(l);
+    let spec = market.provider(l);
+    let mut best: Option<(Placement, f64)> = None;
+    let mut consider = |p: Placement, cost: f64| {
+        let better = match best {
+            None => true,
+            Some((bp, bc)) => {
+                cost < bc - IMPROVEMENT_TOL
+                    || ((cost - bc).abs() <= IMPROVEMENT_TOL && p == current && bp != current)
+            }
+        };
+        if better {
+            best = Some((p, cost));
+        }
+    };
+    if spec.can_stay_remote() {
+        consider(Placement::Remote, spec.remote_cost);
+    }
+    for i in market.cloudlets() {
+        if !ctx.owns_cloudlet(i.index()) {
+            continue;
+        }
+        let (mut free_a, mut free_b) = free_at(state, book, i);
+        let mut others = state.congestion(i);
+        if current == Placement::Cloudlet(i) {
+            free_a += spec.compute_demand;
+            free_b += spec.bandwidth_demand;
+            others -= 1;
+        }
+        if market.fits(l, (free_a, free_b)) {
+            consider(
+                Placement::Cloudlet(i),
+                market.caching_cost(l, i, others + 1),
+            );
+        }
+    }
+    best
+}
+
+/// Admission control (Eq. 4–5 against the maintained residuals, net of
+/// migration reservations): place at the requested cloudlet if it fits,
+/// else — with no explicit request — at the cheapest fitting cloudlet of
+/// this shard's region by Eq. 3. A pinned join for a foreign region is
+/// handed to that region's shard; a generic join that does not fit here
+/// tries the next shard, giving up after a full lap. Returns the ack to
+/// send, or `None` when the join (and the provider's ownership) was
+/// forwarded — the receiving shard answers.
 fn handle_join(
     state: &mut GameState<'_>,
     book: &mut Book,
+    ctx: &ShardCtx,
     provider: usize,
     cloudlet: Option<usize>,
-) -> Response {
+    hop: usize,
+    reply: Reply,
+) -> Option<(Reply, Response)> {
     if provider >= state.len() {
-        return unknown_provider(provider);
+        return Some((reply, unknown_provider(provider)));
     }
     let l = ProviderId(provider);
     if book.active[provider] {
-        return Response::Error {
-            msg: format!("provider {provider} already joined"),
-        };
+        return Some((
+            reply,
+            Response::Error {
+                msg: format!("provider {provider} already joined"),
+            },
+        ));
     }
     let market = state.market();
+    if let Some(c) = cloudlet {
+        if c >= market.cloudlet_count() {
+            return Some((
+                reply,
+                Response::Error {
+                    msg: format!("unknown cloudlet {c}"),
+                },
+            ));
+        }
+        if !ctx.owns_cloudlet(c) {
+            let target = ctx.coord.region_of[c];
+            forward_join(state, book, ctx, provider, cloudlet, hop, reply, target);
+            return None;
+        }
+    }
     let chosen = match cloudlet {
         Some(c) => {
-            if c >= market.cloudlet_count() {
-                return Response::Error {
-                    msg: format!("unknown cloudlet {c}"),
-                };
-            }
             let i = CloudletId(c);
-            market.fits(l, state.residual(i)).then_some(i)
+            market.fits(l, free_at(state, book, i)).then_some(i)
         }
         None => market
             .cloudlets()
-            .filter(|&i| market.fits(l, state.residual(i)))
+            .filter(|&i| ctx.owns_cloudlet(i.index()) && market.fits(l, free_at(state, book, i)))
             .min_by(|&a, &b| {
                 let ca = market.caching_cost(l, a, state.congestion(a) + 1);
                 let cb = market.caching_cost(l, b, state.congestion(b) + 1);
@@ -466,19 +1460,30 @@ fn handle_join(
             book.seq += 1;
             book.equilibrium = false;
             mec_obs::counter_add("serve.join.admitted", 1);
-            Response::Admitted {
-                cloudlet: i.index(),
-                cost: state.provider_cost(l),
-            }
+            Some((
+                reply,
+                Response::Admitted {
+                    cloudlet: i.index(),
+                    cost: state.provider_cost(l),
+                },
+            ))
         }
         None => {
-            mec_obs::counter_add("serve.join.rejected", 1);
-            Response::Rejected {
-                reason: match cloudlet {
-                    Some(c) => format!("cloudlet {c} lacks capacity for provider {provider}"),
-                    None => format!("no cloudlet has capacity for provider {provider}"),
-                },
+            if cloudlet.is_none() && ctx.shards > 1 && hop + 1 < ctx.shards {
+                let target = (ctx.index + 1) % ctx.shards;
+                forward_join(state, book, ctx, provider, None, hop + 1, reply, target);
+                return None;
             }
+            mec_obs::counter_add("serve.join.rejected", 1);
+            Some((
+                reply,
+                Response::Rejected {
+                    reason: match cloudlet {
+                        Some(c) => format!("cloudlet {c} lacks capacity for provider {provider}"),
+                        None => format!("no cloudlet has capacity for provider {provider}"),
+                    },
+                },
+            ))
         }
     }
 }
@@ -488,6 +1493,16 @@ fn handle_leave(state: &mut GameState<'_>, book: &mut Book, provider: usize) -> 
         return unknown_provider(provider);
     }
     if !book.active[provider] {
+        // An incoming migration commit may be about to land (the client's
+        // leave overtook it): honor the leave by tombstoning the handoff.
+        if book.reserved.iter().any(|r| r.provider == provider) {
+            book.reserved.retain(|r| r.provider != provider);
+            if !book.tombstones.contains(&provider) {
+                book.tombstones.push(provider);
+            }
+            mec_obs::counter_add("serve.leave", 1);
+            return Response::Left;
+        }
         return Response::Error {
             msg: format!("provider {provider} is not joined"),
         };
@@ -549,7 +1564,7 @@ fn write_snapshot(state: &GameState<'_>, book: &Book, cfg: &MarketConfig) -> Res
 /// players are at equilibrium. Bounding the moves is what makes
 /// maintenance preemptible — the serving loop re-checks the queue after
 /// every quantum, so a request burst waits for one quantum at most.
-fn run_quantum(state: &mut GameState<'_>, book: &mut Book, max_moves: usize) {
+fn run_quantum(state: &mut GameState<'_>, book: &mut Book, ctx: &ShardCtx, max_moves: usize) {
     let n = state.len();
     book.epochs += 1;
     mec_obs::counter_add("serve.epoch", 1);
@@ -558,12 +1573,12 @@ fn run_quantum(state: &mut GameState<'_>, book: &mut Book, max_moves: usize) {
     while applied < max_moves && quiet_streak < n {
         let l = ProviderId(book.cursor);
         book.cursor = (book.cursor + 1) % n;
-        if !book.active[l.index()] {
+        if !book.active[l.index()] || (ctx.shards > 1 && ctx.router.owner(l.index()) != ctx.index) {
             quiet_streak += 1;
             continue;
         }
         let current = state.provider_cost(l);
-        match state.best_response(l) {
+        match region_best_response(state, book, ctx, l) {
             Some((p, cost)) if p != state.placement(l) && cost < current - IMPROVEMENT_TOL => {
                 state.apply_move(l, p);
                 applied += 1;
@@ -588,12 +1603,22 @@ fn publish(view: &SharedView, state: &GameState<'_>, book: &Book) {
     let placements: Vec<Placement> = market.providers().map(|l| state.placement(l)).collect();
     let costs: Vec<f64> = market.providers().map(|l| state.provider_cost(l)).collect();
     let social_cost = state.subset_cost(market.providers().filter(|l| book.active[l.index()]));
+    let congestion = state.congestion_counts().to_vec();
+    // Peers read the residuals to estimate migrations: show them the free
+    // space net of already-granted reservations so they never over-target.
+    let mut residual: Vec<(f64, f64)> = market.cloudlets().map(|i| state.residual(i)).collect();
+    for r in &book.reserved {
+        residual[r.cloudlet].0 -= r.compute;
+        residual[r.cloudlet].1 -= r.bandwidth;
+    }
     view.store(MarketView {
         seq: book.seq,
         placements,
         costs,
         active: book.active.clone(),
         social_cost,
+        congestion,
+        residual,
         epochs: book.epochs,
         moves: book.moves,
         equilibrium: book.equilibrium,
@@ -602,12 +1627,13 @@ fn publish(view: &SharedView, state: &GameState<'_>, book: &Book) {
 
 /// [`publish`], with the per-batch view-build latency recorded when the
 /// probes are armed (`enabled()` is `const`, so the timer folds away in
-/// no-op builds).
-fn publish_timed(view: &SharedView, state: &GameState<'_>, book: &Book) {
+/// no-op builds). Sharded daemons record per-shard probes
+/// (`serve.publish.s<k>.ns`); `obsreport` folds them back together.
+fn publish_timed(view: &SharedView, state: &GameState<'_>, book: &Book, ctx: &ShardCtx) {
     if mec_obs::enabled() {
         let t0 = std::time::Instant::now();
         publish(view, state, book);
-        mec_obs::record("serve.publish.ns", t0.elapsed().as_nanos() as u64);
+        mec_obs::record(ctx.publish_probe, t0.elapsed().as_nanos() as u64);
     } else {
         publish(view, state, book);
     }
@@ -624,7 +1650,47 @@ pub fn stats_of(view: &MarketView) -> StatsReport {
         epochs: view.epochs,
         moves: view.moves,
         equilibrium: view.equilibrium,
+        shards: Vec::new(),
     }
+}
+
+/// Folds every shard's published view (plus the shared gauges) into one
+/// daemon-wide stats record: totals summed, equilibrium ANDed, and a
+/// per-shard breakdown appended. With one shard this is exactly
+/// [`stats_of`] — the wire encoding stays byte-identical to the
+/// pre-sharding protocol.
+pub fn composite_stats(views: &[Arc<SharedView>], gauges: &ShardGauges) -> StatsReport {
+    if views.len() == 1 {
+        return stats_of(&views[0].load());
+    }
+    let mut st = StatsReport {
+        seq: 0,
+        providers: 0,
+        active: 0,
+        cached: 0,
+        social_cost: 0.0,
+        epochs: 0,
+        moves: 0,
+        equilibrium: true,
+        shards: Vec::with_capacity(views.len()),
+    };
+    for (k, view) in views.iter().enumerate() {
+        let v = view.load();
+        st.seq += v.seq;
+        st.providers = v.placements.len();
+        st.active += v.active_count();
+        st.cached += v.cached_count();
+        st.social_cost += v.social_cost;
+        st.epochs += v.epochs;
+        st.moves += v.moves;
+        st.equilibrium &= v.equilibrium;
+        st.shards.push(crate::proto::ShardStat {
+            seq: v.seq,
+            depth: gauges.depth(k) as u64,
+            writes: gauges.writes(k),
+        });
+    }
+    st
 }
 
 /// Answers a command with the draining error (used for everything queued
@@ -638,32 +1704,191 @@ pub(crate) fn refuse(cmd: Command) {
         | Command::Leave { reply, .. }
         | Command::Update { reply, .. }
         | Command::Snapshot { reply }
-        | Command::Restore { reply } => reply.send(draining()),
+        | Command::Restore { reply }
+        | Command::JoinForward { reply, .. } => reply.send(draining()),
         Command::Shutdown { reply } => reply.send(Response::Draining),
+        // Cross-shard bookkeeping has no client waiting on it.
+        Command::MigrateReserve { .. }
+        | Command::MigrateGrant { .. }
+        | Command::MigrateCommit { .. }
+        | Command::MigrateAbort { .. } => {}
+        // Coordinated ops: fail this shard's share of the barrier so the
+        // last arriver answers the client with the drain error.
+        Command::Prepare { op } => {
+            op.push_error("daemon is draining".to_string());
+            let _ = op.ack_prepare();
+        }
+        Command::Apply { op } => {
+            op.push_error("daemon is draining".to_string());
+            if op.ack_apply() {
+                if let Some(reply) = op.take_reply() {
+                    reply.send(draining());
+                }
+            }
+        }
+        Command::DrainAll { op } => {
+            if op.ack() {
+                if let Some(reply) = op.take_reply() {
+                    reply.send(Response::Draining);
+                }
+            }
+        }
+    }
+}
+
+/// Coordinated drain of one shard: announce quiesce (or cancel the
+/// in-flight outgoing handoff first), keep servicing migration traffic
+/// until every shard has quiesced, then finish independently.
+fn drain_and_finish(
+    mut state: GameState<'_>,
+    mut book: Book,
+    cfg: &MarketConfig,
+    ctx: &ShardCtx,
+    rx: &Receiver<Command>,
+    carry: &mut VecDeque<Command>,
+) -> MarketOutcome {
+    // Quiesce: this shard originates no further migrations. An in-flight
+    // outgoing handoff must resolve first (the pending grant is answered
+    // with an abort), so commits are never stranded.
+    if let Some(out) = book.outgoing.as_mut() {
+        out.cancelled = true;
+    } else {
+        ctx.coord.arrive_quiesced();
+    }
+    // Coordinated snapshots parked behind the handoff fail with the drain
+    // error — their barriers still complete so no client is stranded.
+    for op in std::mem::take(&mut book.parked_preps) {
+        op.push_error("daemon is draining".to_string());
+        complete_prepare(&mut book, ctx, &op);
+    }
+    // Whatever was already batched rides through the drain handler so
+    // in-flight commits still land.
+    while let Some(cmd) = carry.pop_front() {
+        drain_cmd(&mut state, &mut book, ctx, cmd);
+    }
+    // Linger until every shard has quiesced, servicing migration traffic
+    // (reservation requests are refused, commits/aborts applied). The
+    // deadline is a backstop against a wedged peer.
+    let deadline = Instant::now() + DRAIN_LINGER_MAX;
+    loop {
+        drain_outbound(&mut book, ctx);
+        if book.outgoing.is_none() && ctx.coord.all_quiesced() {
+            break;
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(cmd) => drain_cmd(&mut state, &mut book, ctx, cmd),
+            Err(RecvTimeout::Timeout) => {}
+            Err(RecvTimeout::Disconnected) => break,
+        }
+    }
+    drain_outbound(&mut book, ctx);
+    for cmd in rx.try_drain() {
+        drain_cmd(&mut state, &mut book, ctx, cmd);
+    }
+    // Any reservation left now belongs to a handoff that died with its
+    // source; drop them so the final equilibrium is unconstrained.
+    book.reserved.clear();
+    finish(state, book, cfg, ctx)
+}
+
+/// Command handling during a drain: client traffic is refused, migration
+/// traffic is settled so no provider is lost mid-handoff.
+fn drain_cmd(state: &mut GameState<'_>, book: &mut Book, ctx: &ShardCtx, cmd: Command) {
+    match cmd {
+        Command::MigrateReserve { provider, from, .. } => {
+            send_peer(
+                book,
+                ctx,
+                from,
+                Command::MigrateGrant {
+                    provider,
+                    granted: false,
+                },
+            );
+        }
+        Command::MigrateGrant { provider, granted } => {
+            let resolved = book
+                .outgoing
+                .as_ref()
+                .is_some_and(|out| out.provider == provider);
+            if resolved {
+                // `resolved` just witnessed `outgoing` is Some for this
+                // provider; nothing between the check and the take.
+                // lint: allow(panics)
+                let out = book.outgoing.take().expect("outgoing checked above");
+                if granted {
+                    send_peer(book, ctx, out.target, Command::MigrateAbort { provider });
+                }
+                ctx.coord.arrive_quiesced();
+            }
+        }
+        Command::MigrateCommit {
+            provider, cloudlet, ..
+        } => {
+            // Demand drift cannot rebuild mid-drain; the local demands are
+            // used for the capacity re-check and the final slice, which
+            // keeps the certificates self-consistent.
+            book.reserved.retain(|r| r.provider != provider);
+            if let Some(ix) = book.tombstones.iter().position(|p| *p == provider) {
+                book.tombstones.swap_remove(ix);
+            } else if provider < state.len() && !book.active[provider] {
+                place_commit(state, book, ctx, provider, cloudlet);
+            }
+        }
+        Command::MigrateAbort { provider } => {
+            book.reserved.retain(|r| r.provider != provider);
+            book.tombstones.retain(|p| *p != provider);
+        }
+        other => refuse(other),
     }
 }
 
 /// Drain: run maintenance quanta until the active players reach
-/// equilibrium, write the final snapshot, and (with the `verify` feature)
-/// re-certify the placement from first principles.
+/// equilibrium, write the final snapshot (a shard writes its slice of the
+/// drain-epoch set; the last shard to finish writes the manifest), and
+/// (with the `verify` feature) re-certify the placement from first
+/// principles.
 fn finish(
     mut state: GameState<'_>,
     mut book: Book,
     cfg: &MarketConfig,
-    _extra: &[String],
+    ctx: &ShardCtx,
 ) -> MarketOutcome {
     // Equilibrium is guaranteed to be reached: best-response dynamics on
     // the exact-potential game terminate (Lemma 3). The cap is a backstop
     // against a cost-model bug turning the drain into a hot loop.
     let mut guard = 0usize;
     while !book.equilibrium && guard < 100_000 {
-        run_quantum(&mut state, &mut book, usize::MAX);
+        run_quantum(&mut state, &mut book, ctx, usize::MAX);
         guard += 1;
     }
     if let Some(path) = cfg.snapshot_path.as_deref() {
         // Failure here must not abort the drain; the error goes into the
         // outcome for the caller to report.
-        if let Err(e) = save_snapshot(
+        if ctx.shards > 1 {
+            let epoch = ctx.coord.drain_epoch();
+            let wrote = write_shard_slice_at(&state, &book, ctx, path, epoch);
+            if wrote.is_err() {
+                ctx.coord.mark_drain_failed();
+            }
+            if ctx.coord.arrive_finished() && !ctx.coord.drain_failed() {
+                if let Err(e) = write_manifest(
+                    path,
+                    &Manifest {
+                        epoch,
+                        shards: ctx.shards,
+                    },
+                ) {
+                    return outcome(state, book, vec![format!("final manifest failed: {e}")]);
+                }
+            }
+            if let Err(msg) = wrote {
+                return outcome(state, book, vec![format!("final snapshot failed: {msg}")]);
+            }
+        } else if let Err(e) = save_snapshot(
             path,
             book.seq,
             state.market(),
@@ -673,7 +1898,7 @@ fn finish(
             return outcome(state, book, vec![format!("final snapshot failed: {e}")]);
         }
     }
-    let violations = certify(&state, &book);
+    let violations = certify(&state, &book, ctx);
     outcome(state, book, violations)
 }
 
@@ -690,7 +1915,7 @@ fn outcome(state: GameState<'_>, book: Book, violations: Vec<String>) -> MarketO
 }
 
 #[cfg(feature = "verify")]
-fn certify(state: &GameState<'_>, book: &Book) -> Vec<String> {
+fn certify(state: &GameState<'_>, book: &Book, ctx: &ShardCtx) -> Vec<String> {
     let market = state.market();
     let mut out: Vec<String> = Vec::new();
     out.extend(
@@ -703,16 +1928,80 @@ fn certify(state: &GameState<'_>, book: &Book) -> Vec<String> {
             .into_iter()
             .map(|v| v.to_string()),
     );
-    out.extend(
-        mec_core::check_nash(market, state.profile(), &book.active, IMPROVEMENT_TOL)
-            .into_iter()
-            .map(|v| v.to_string()),
-    );
+    if ctx.shards == 1 {
+        out.extend(
+            mec_core::check_nash(market, state.profile(), &book.active, IMPROVEMENT_TOL)
+                .into_iter()
+                .map(|v| v.to_string()),
+        );
+    } else {
+        out.extend(certify_region_nash(state, book, ctx));
+    }
     out
 }
 
+/// Nash certification restricted to this shard's region. The shard's
+/// market copy sees foreign cloudlets as empty (their load lives on other
+/// shards), so a whole-market `check_nash` would report phantom improving
+/// moves into them. Rebuild a sub-market of just the region's cloudlets,
+/// re-index the owned placements into it, and certify that.
+#[cfg(feature = "verify")]
+fn certify_region_nash(state: &GameState<'_>, book: &Book, ctx: &ShardCtx) -> Vec<String> {
+    let market = state.market();
+    let keep: Vec<usize> = (0..market.cloudlet_count())
+        .filter(|&c| ctx.owns_cloudlet(c))
+        .collect();
+    let mut local_of = vec![None; market.cloudlet_count()];
+    for (j, &c) in keep.iter().enumerate() {
+        local_of[c] = Some(j);
+    }
+    let mut b = Market::builder();
+    for &c in &keep {
+        b = b.cloudlet(market.cloudlet(CloudletId(c)).clone());
+    }
+    for l in market.providers() {
+        b = b.provider(market.provider(l).clone());
+    }
+    let mut update_cost = Vec::with_capacity(market.provider_count() * keep.len());
+    for l in market.providers() {
+        for &c in &keep {
+            update_cost.push(market.update_cost(l, CloudletId(c)));
+        }
+    }
+    let sub = b.update_cost_matrix(update_cost).build();
+    let mut violations = Vec::new();
+    let mut placements = Vec::with_capacity(market.provider_count());
+    let mut mask = vec![false; market.provider_count()];
+    for l in market.providers() {
+        let p = l.index();
+        let owned = ctx.router.owner(p) == ctx.index;
+        let place = match state.placement(l) {
+            Placement::Cloudlet(i) if owned => match local_of[i.index()] {
+                Some(j) => Placement::Cloudlet(CloudletId(j)),
+                None => {
+                    violations.push(format!(
+                        "shard {}: owned provider {p} placed outside its region",
+                        ctx.index
+                    ));
+                    Placement::Remote
+                }
+            },
+            _ => Placement::Remote,
+        };
+        placements.push(place);
+        mask[p] = owned && book.active[p];
+    }
+    let profile = Profile::new(placements);
+    violations.extend(
+        mec_core::check_nash(&sub, &profile, &mask, IMPROVEMENT_TOL)
+            .into_iter()
+            .map(|v| format!("shard {}: {v}", ctx.index)),
+    );
+    violations
+}
+
 #[cfg(not(feature = "verify"))]
-fn certify(_state: &GameState<'_>, _book: &Book) -> Vec<String> {
+fn certify(_state: &GameState<'_>, _book: &Book, _ctx: &ShardCtx) -> Vec<String> {
     Vec::new()
 }
 

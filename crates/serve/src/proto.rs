@@ -77,6 +77,17 @@ pub enum Request {
     Shutdown,
 }
 
+/// One shard's slice of the composite stats (sharded daemons only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStat {
+    /// The shard's own state version.
+    pub seq: u64,
+    /// Queue depth the shard saw at its latest drain.
+    pub depth: u64,
+    /// Write commands the shard has settled over its lifetime.
+    pub writes: u64,
+}
+
 /// Daemon-wide counters, as carried by [`Response::Stats`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsReport {
@@ -96,6 +107,9 @@ pub struct StatsReport {
     pub moves: u64,
     /// `true` if the last full scan found no improving move.
     pub equilibrium: bool,
+    /// Per-shard breakdown (empty on a single-shard daemon, whose wire
+    /// encoding is then byte-identical to the pre-sharding protocol).
+    pub shards: Vec<ShardStat>,
 }
 
 /// A server → client response.
@@ -271,11 +285,21 @@ pub fn encode_response(resp: &Response) -> String {
             );
             json::push_f64(&mut s, st.social_cost);
             s.push_str(&format!(
-                ",\"epochs\":{},\"moves\":{},\"equilibrium\":{}}}",
+                ",\"epochs\":{},\"moves\":{},\"equilibrium\":{}",
                 st.epochs,
                 st.moves,
                 u64::from(st.equilibrium)
             ));
+            if !st.shards.is_empty() {
+                s.push_str(&format!(",\"shards\":{}", st.shards.len()));
+                for (k, sh) in st.shards.iter().enumerate() {
+                    s.push_str(&format!(
+                        ",\"s{k}_seq\":{},\"s{k}_depth\":{},\"s{k}_writes\":{}",
+                        sh.seq, sh.depth, sh.writes
+                    ));
+                }
+            }
+            s.push('}');
             s
         }
         Response::Snapshotted { seq } => {
@@ -331,16 +355,36 @@ pub fn parse_response(payload: &str) -> Result<Response, ParseError> {
             active: json::get_u64(&fields, "active")? != 0,
             seq: json::get_u64(&fields, "seq")?,
         }),
-        "stats" => Ok(Response::Stats(StatsReport {
-            seq: json::get_u64(&fields, "seq")?,
-            providers: json::get_usize(&fields, "providers")?,
-            active: json::get_usize(&fields, "active")?,
-            cached: json::get_usize(&fields, "cached")?,
-            social_cost: json::get_f64(&fields, "social_cost")?,
-            epochs: json::get_u64(&fields, "epochs")?,
-            moves: json::get_u64(&fields, "moves")?,
-            equilibrium: json::get_u64(&fields, "equilibrium")? != 0,
-        })),
+        "stats" => {
+            // Per-shard fields are optional: single-shard daemons (and
+            // every pre-sharding peer) omit them entirely.
+            let mut shards = Vec::new();
+            if let Ok(count) = json::get_usize(&fields, "shards") {
+                for k in 0..count {
+                    // Each push is gated by three successful `s{k}_*`
+                    // field lookups, so growth is bounded by the fields
+                    // actually present in the frame (itself capped by
+                    // the decoder's max-frame limit).
+                    // lint: allow(growth)
+                    shards.push(ShardStat {
+                        seq: json::get_u64(&fields, &format!("s{k}_seq"))?,
+                        depth: json::get_u64(&fields, &format!("s{k}_depth"))?,
+                        writes: json::get_u64(&fields, &format!("s{k}_writes"))?,
+                    });
+                }
+            }
+            Ok(Response::Stats(StatsReport {
+                seq: json::get_u64(&fields, "seq")?,
+                providers: json::get_usize(&fields, "providers")?,
+                active: json::get_usize(&fields, "active")?,
+                cached: json::get_usize(&fields, "cached")?,
+                social_cost: json::get_f64(&fields, "social_cost")?,
+                epochs: json::get_u64(&fields, "epochs")?,
+                moves: json::get_u64(&fields, "moves")?,
+                equilibrium: json::get_u64(&fields, "equilibrium")? != 0,
+                shards,
+            }))
+        }
         "snapshotted" => Ok(Response::Snapshotted {
             seq: json::get_u64(&fields, "seq")?,
         }),
@@ -582,6 +626,29 @@ mod tests {
                 epochs: 17,
                 moves: 203,
                 equilibrium: true,
+                shards: Vec::new(),
+            }),
+            Response::Stats(StatsReport {
+                seq: 12,
+                providers: 40,
+                active: 20,
+                cached: 18,
+                social_cost: 99.5,
+                epochs: 4,
+                moves: 31,
+                equilibrium: false,
+                shards: vec![
+                    ShardStat {
+                        seq: 7,
+                        depth: 3,
+                        writes: 120,
+                    },
+                    ShardStat {
+                        seq: 5,
+                        depth: 0,
+                        writes: 88,
+                    },
+                ],
             }),
             Response::Snapshotted { seq: 5 },
             Response::Restored { seq: 5 },
@@ -612,6 +679,21 @@ mod tests {
                 "{resp:?}"
             );
         }
+    }
+
+    #[test]
+    fn single_shard_stats_stay_wire_compatible() {
+        // A stats payload without per-shard fields is exactly what the
+        // pre-sharding protocol emitted; it must parse to an empty shard
+        // list and re-encode byte-identically.
+        let legacy = "{\"ok\":1,\"result\":\"stats\",\"seq\":1,\"providers\":2,\"active\":1,\
+                      \"cached\":1,\"social_cost\":2.5,\"epochs\":3,\"moves\":4,\"equilibrium\":1}";
+        let parsed = parse_response(legacy).unwrap();
+        let Response::Stats(ref st) = parsed else {
+            panic!("not stats");
+        };
+        assert!(st.shards.is_empty());
+        assert_eq!(encode_response(&parsed), legacy);
     }
 
     #[test]

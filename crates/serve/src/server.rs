@@ -1,42 +1,48 @@
 //! The TCP front half of the daemon: acceptor, event-loop I/O threads,
 //! boot and drain plumbing.
 //!
-//! Threading model (single-writer / multi-reader):
+//! Threading model (single-writer *per region* / multi-reader):
 //!
 //! ```text
-//! acceptor ──inbox+wake──► io threads ──Command batch──► market thread
-//!                           │    ▲                           │
-//!          reads from view ─┘    └──── Completions ◄──── publishes+acks
+//! acceptor ──inbox+wake──► io threads ──Command batch──► shard threads (×N)
+//!                           │    ▲                           │   ▲
+//!         reads from views ─┘    └──── Completions ◄──── publishes+acks
+//!                                                            └── peer queues
 //! ```
 //!
 //! The acceptor owns the listener and hands each accepted socket to one
 //! of a small, fixed set of I/O threads (round-robin), which run the
 //! poll-based event loop in [`crate::eventloop`]: nonblocking reads into
-//! per-connection frame decoders, reads answered from the latest
-//! published [`crate::view::MarketView`], writes enqueued as
-//! [`Command`]s whose replies come back through a completion mailbox and
-//! leave in request order. No thread is ever parked on one client.
+//! per-connection frame decoders, reads answered from the owning shard's
+//! published [`crate::view::MarketView`], writes routed by the
+//! provider→shard [`Router`] as [`Command`]s whose replies come back
+//! through a completion mailbox and leave in request order. No thread is
+//! ever parked on one client.
 //!
-//! A `shutdown` request drains through the market thread, which answers
-//! `draining`; the I/O thread that sees that completion flips the stop
-//! flag and pokes the acceptor awake with a loopback connection. The
-//! market thread refuses queued commands, runs maintenance quanta to
-//! equilibrium, writes the final snapshot, then wakes every I/O thread
-//! so they flush and exit.
+//! With `shards == 1` the daemon is exactly the legacy single-writer
+//! system: one market thread, one view, plain snapshot files, teardown
+//! by channel disconnection. With `shards > 1` each region gets its own
+//! writer thread; admin requests fan out as coordinated two-phase ops
+//! (see [`crate::shard`]), snapshots become per-shard slice sets behind a
+//! manifest, and teardown is signalled by the `io_live` counter (peers
+//! hold each other's senders, so disconnection can never fire).
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use mec_core::model::Market;
-use mec_core::{load_snapshot, Profile};
+use mec_core::{load_snapshot, MarketSnapshot, Placement, Profile, ProviderId};
 
 use crate::chan;
 use crate::eventloop::{run_io, Completions, IoShared};
-use crate::market::{run_market, Command, MarketConfig, MarketOutcome};
+use crate::market::{run_shard, Command, MarketConfig, MarketOutcome, ShardCtx};
 use crate::proto::{self, Response};
+use crate::shard::{
+    contiguous_regions, parse_manifest, shard_snapshot_path, Coordinator, Router, ShardGauges,
+};
 use crate::view::{MarketView, SharedView};
 
 /// Boot configuration of [`serve`].
@@ -47,20 +53,31 @@ pub struct ServerConfig {
     pub addr: String,
     /// Snapshot file. If it exists at boot, the daemon restores market,
     /// placements and admission state from it (crash recovery) instead of
-    /// using the market passed to [`serve`].
+    /// using the market passed to [`serve`]. A sharded daemon writes a
+    /// manifest here pointing at per-shard slice files; boot understands
+    /// both formats regardless of the configured shard count.
     pub snapshot_path: Option<PathBuf>,
     /// Improving moves per equilibrium-maintenance quantum.
     pub epoch_moves: usize,
-    /// Bound of the command queue (backpressure for writers).
+    /// Bound of each shard's command queue (backpressure for writers).
     pub queue_cap: usize,
-    /// Most commands the market thread takes per batched drain.
+    /// Most commands a shard thread takes per batched drain.
     pub batch_max: usize,
     /// Event-loop I/O threads; 0 sizes the fleet from the machine
-    /// (`available_parallelism`, capped at 4 — the market thread is the
+    /// (`available_parallelism`, capped at 4 — the shard threads are the
     /// write bottleneck, extra I/O threads past that just add contention).
     pub io_threads: usize,
     /// Maximum simultaneous client connections.
     pub max_connections: usize,
+    /// Market shards (writer threads), each owning one topology region.
+    /// 1 (the default) keeps the legacy single-writer daemon; clamped to
+    /// the cloudlet count.
+    pub shards: usize,
+    /// Cloudlet→shard region map (`regions[c]` is the owning shard of
+    /// cloudlet `c`). `None` derives a contiguous index split; callers
+    /// with topology metadata pass `MecNetwork::regions(shards)` for a
+    /// spatial partition.
+    pub regions: Option<Vec<usize>>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +90,8 @@ impl Default for ServerConfig {
             batch_max: 256,
             io_threads: 0,
             max_connections: 512,
+            shards: 1,
+            regions: None,
         }
     }
 }
@@ -95,7 +114,7 @@ impl ServerConfig {
 /// send a `shutdown` request and [`ServerHandle::join`] it.
 pub struct ServerHandle {
     addr: SocketAddr,
-    market: JoinHandle<MarketOutcome>,
+    shards: Vec<JoinHandle<MarketOutcome>>,
     acceptor: JoinHandle<()>,
     io: Vec<JoinHandle<()>>,
 }
@@ -106,16 +125,22 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Blocks until the daemon drains and returns the market outcome.
+    /// Blocks until the daemon drains and returns the merged market
+    /// outcome (totals summed across shards, placements merged by the
+    /// final admission mask — after a drain every provider is active on
+    /// at most one shard).
     ///
     /// # Panics
     ///
-    /// Panics if the market, acceptor, or an I/O thread itself panicked.
+    /// Panics if a shard, the acceptor, or an I/O thread itself panicked.
     pub fn join(self) -> MarketOutcome {
-        let outcome = match self.market.join() {
-            Ok(o) => o,
-            Err(e) => std::panic::resume_unwind(e),
-        };
+        let mut outcomes = Vec::with_capacity(self.shards.len());
+        for h in self.shards {
+            match h.join() {
+                Ok(o) => outcomes.push(o),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
         if let Err(e) = self.acceptor.join() {
             std::panic::resume_unwind(e);
         }
@@ -124,45 +149,240 @@ impl ServerHandle {
                 std::panic::resume_unwind(e);
             }
         }
-        outcome
+        merge_outcomes(outcomes)
     }
 }
 
+/// Folds per-shard outcomes into the daemon-wide one. Counters sum,
+/// equilibrium ANDs, violations concatenate; a provider's placement and
+/// admission flag come from whichever shard holds it active (unique
+/// after a drain — migrations are quiesced before shards finish).
+fn merge_outcomes(mut outcomes: Vec<MarketOutcome>) -> MarketOutcome {
+    let mut merged = outcomes.remove(0);
+    for o in outcomes {
+        merged.seq += o.seq;
+        merged.epochs += o.epochs;
+        merged.moves += o.moves;
+        merged.equilibrium &= o.equilibrium;
+        merged.violations.extend(o.violations);
+        for p in 0..o.active.len() {
+            if o.active[p] {
+                merged.active[p] = true;
+                merged
+                    .profile
+                    .set(ProviderId(p), o.profile.placement(ProviderId(p)));
+            }
+        }
+    }
+    merged
+}
+
+/// Boot state recovered from disk (or the caller's fresh market): the
+/// merged global market, placements, admission mask, seq, the epoch to
+/// seed the snapshot coordinator with, and any per-provider ownership
+/// claims a sharded snapshot set recorded.
+struct BootState {
+    market: Market,
+    profile: Profile,
+    active: Vec<bool>,
+    seq: u64,
+    epoch0: u64,
+    claim: Vec<Option<usize>>,
+}
+
+/// Restores boot state from `path` if a snapshot exists there: either a
+/// sharded manifest (merge every slice of the newest consistent set) or
+/// a legacy whole-market file. No snapshot means a fresh all-remote boot
+/// from the caller's market.
+fn boot_state(market: Market, path: Option<&Path>) -> std::io::Result<BootState> {
+    let fresh = |market: Market| {
+        let n = market.provider_count();
+        BootState {
+            market,
+            profile: Profile::all_remote(n),
+            active: vec![false; n],
+            seq: 0,
+            epoch0: 0,
+            claim: vec![None; n],
+        }
+    };
+    let Some(path) = path.filter(|p| p.exists()) else {
+        return Ok(fresh(market));
+    };
+    let text = std::fs::read_to_string(path)?;
+    let Some(manifest) = parse_manifest(&text) else {
+        // Legacy whole-market snapshot: the file *is* the market state.
+        let snap = load_snapshot(path).map_err(|e| restore_err(path, &e))?;
+        let n = snap.market.provider_count();
+        return Ok(BootState {
+            market: snap.market,
+            profile: snap.profile,
+            active: snap.active,
+            seq: snap.seq,
+            epoch0: 0,
+            claim: vec![None; n],
+        });
+    };
+    let mut slices = Vec::with_capacity(manifest.shards);
+    for k in 0..manifest.shards {
+        let slice_path = shard_snapshot_path(path, manifest.epoch, k);
+        slices.push(load_snapshot(&slice_path).map_err(|e| restore_err(&slice_path, &e))?);
+    }
+    Ok(merge_slices(slices, manifest.epoch))
+}
+
+fn restore_err(path: &Path, e: &dyn std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("restoring {}: {e}", path.display()),
+    )
+}
+
+/// Merges the slices of one coordinated snapshot set into a global boot
+/// state. Each slice is authoritative for the providers its ownership
+/// mask claims: their placement, admission flag, and demand vector come
+/// from the owning slice (each shard's market copy tracks `update`s only
+/// for its own providers). Claim conflicts — possible when a crash lands
+/// between a join-forward's ownership transfer and the peer's slice
+/// write — resolve in favor of an *active* claim: the claimant actually
+/// holding the provider in its game state is unique, because migrations
+/// are quiesced while slices are written.
+fn merge_slices(slices: Vec<MarketSnapshot>, epoch: u64) -> BootState {
+    let mut slices = slices.into_iter();
+    // The manifest loader rejects empty snapshot sets before this call.
+    // lint: allow(panics)
+    let first = slices.next().expect("manifest guarantees >= 1 shard");
+    let mut out = BootState {
+        seq: first.seq,
+        epoch0: epoch,
+        claim: vec![None; first.market.provider_count()],
+        profile: Profile::all_remote(first.market.provider_count()),
+        active: vec![false; first.market.provider_count()],
+        market: first.market.clone(),
+    };
+    let n = out.market.provider_count();
+    let mut fold = |k: usize, snap: &MarketSnapshot| {
+        out.seq = out.seq.max(snap.seq);
+        let Some(meta) = snap.shard.as_ref() else {
+            return;
+        };
+        for p in 0..n {
+            if !meta.owned.get(p).copied().unwrap_or(false) {
+                continue;
+            }
+            if out.claim[p].is_some() && (out.active[p] || !snap.active[p]) {
+                // Keep an active claim; an inactive double-claim is a
+                // converged Remote/inactive copy on both sides.
+                continue;
+            }
+            out.claim[p] = Some(k);
+            out.active[p] = snap.active[p];
+            out.profile
+                .set(ProviderId(p), snap.profile.placement(ProviderId(p)));
+            let spec = snap.market.provider(ProviderId(p));
+            out.market.set_provider_demand(
+                ProviderId(p),
+                spec.compute_demand,
+                spec.bandwidth_demand,
+            );
+        }
+    };
+    fold(0, &first);
+    for (k, snap) in slices.enumerate() {
+        fold(k + 1, &snap);
+    }
+    out
+}
+
+/// Validates a caller-supplied region map (or derives the contiguous
+/// fallback): every cloudlet mapped, every shard non-empty.
+pub(crate) fn region_map(
+    regions: Option<&Vec<usize>>,
+    cloudlets: usize,
+    shards: usize,
+) -> std::io::Result<Vec<usize>> {
+    let Some(r) = regions else {
+        return Ok(contiguous_regions(cloudlets, shards));
+    };
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+    if r.len() != cloudlets {
+        return Err(bad(format!(
+            "region map covers {} cloudlets, market has {cloudlets}",
+            r.len()
+        )));
+    }
+    for k in 0..shards {
+        if !r.contains(&k) {
+            return Err(bad(format!(
+                "region map leaves shard {k} without cloudlets"
+            )));
+        }
+    }
+    if let Some(&r_max) = r.iter().max() {
+        if r_max >= shards {
+            return Err(bad(format!(
+                "region map names shard {r_max}, daemon has {shards}"
+            )));
+        }
+    }
+    Ok(r.clone())
+}
+
 /// Boots the daemon: restores the snapshot if one exists, binds the
-/// listener, and starts the market, acceptor, and I/O threads.
+/// listener, and starts the shard, acceptor, and I/O threads.
 ///
 /// # Errors
 ///
-/// Propagates bind errors, waker-socket errors, and snapshot-restore I/O
-/// or corruption errors.
+/// Propagates bind errors, waker-socket errors, invalid region maps, and
+/// snapshot-restore I/O or corruption errors.
 pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
-    // Crash recovery: an existing snapshot file *is* the market state.
-    let (market, profile, active, seq) = match cfg.snapshot_path.as_deref() {
-        Some(path) if path.exists() => {
-            let snap = load_snapshot(path).map_err(|e| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("restoring {}: {e}", path.display()),
-                )
-            })?;
-            (snap.market, snap.profile, snap.active, snap.seq)
-        }
-        _ => {
-            let n = market.provider_count();
-            (market, Profile::all_remote(n), vec![false; n], 0)
-        }
-    };
+    let boot = boot_state(market, cfg.snapshot_path.as_deref())?;
+    let BootState {
+        market,
+        profile,
+        active,
+        seq,
+        epoch0,
+        claim,
+    } = boot;
+    let n = market.provider_count();
+    let m = market.cloudlet_count();
+    let shards = cfg.shards.clamp(1, m.max(1));
+    let region_of = region_map(cfg.regions.as_ref(), m, shards)?;
 
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let view = Arc::new(SharedView::new(MarketView::empty(market.provider_count())));
-    let (tx, rx) = chan::bounded::<Command>(cfg.queue_cap);
+    let views: Vec<Arc<SharedView>> = (0..shards)
+        .map(|_| Arc::new(SharedView::new(MarketView::empty(n))))
+        .collect();
+    let router = Arc::new(Router::new(n, shards));
+    for (p, &claimed) in claim.iter().enumerate() {
+        // Restored/derived ownership: a cached provider belongs to its
+        // cloudlet's region (capacity is accounted there); a remote one
+        // keeps its snapshot claim when still valid, else its home shard.
+        let owner = match profile.placement(ProviderId(p)) {
+            Placement::Cloudlet(c) => region_of[c.index()],
+            Placement::Remote => claimed.filter(|&k| k < shards).unwrap_or(p % shards),
+        };
+        router.set_owner(p, owner);
+    }
+    let gauges = Arc::new(ShardGauges::new(shards));
+    let coord = Arc::new(Coordinator::new(shards, region_of.clone(), epoch0));
     let stop = Arc::new(AtomicBool::new(false));
     let live = Arc::new(AtomicUsize::new(0));
+    let io_count = cfg.io_thread_count();
+    let io_live = Arc::new(AtomicUsize::new(io_count));
+
+    let mut txs = Vec::with_capacity(shards);
+    let mut rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = chan::bounded::<Command>(cfg.queue_cap);
+        txs.push(tx);
+        rxs.push(rx);
+    }
 
     // One IoShared per event-loop thread: its own completion mailbox and
     // accepted-connection inbox, everything else shared daemon-wide.
-    let io_count = cfg.io_thread_count();
     let mut io_shared: Vec<Arc<IoShared>> = Vec::with_capacity(io_count);
     for _ in 0..io_count {
         io_shared.push(Arc::new(IoShared {
@@ -170,47 +390,104 @@ pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle
             inbox: Mutex::new(Vec::new()),
             stop: stop.clone(),
             live: live.clone(),
-            tx: tx.clone(),
-            view: view.clone(),
+            txs: txs.clone(),
+            views: views.clone(),
+            router: router.clone(),
+            gauges: gauges.clone(),
+            coord: coord.clone(),
             addr,
         }));
     }
-    // The boot copy of `tx` is dropped here: once the I/O threads exit,
-    // the market thread's receiver disconnects and it can tear down even
-    // without an explicit shutdown command.
-    drop(tx);
 
     let market_cfg = MarketConfig {
         epoch_moves: cfg.epoch_moves,
         batch_max: cfg.batch_max,
         snapshot_path: cfg.snapshot_path.clone(),
     };
-    let market_view = view.clone();
-    let market_stop = stop.clone();
-    let market_wakers: Vec<Arc<Completions>> =
-        io_shared.iter().map(|s| s.completions.clone()).collect();
-    // The daemon's writer thread: owns the market for its whole life.
-    // Intentionally a raw thread, not the bench pool — it outlives any
-    // scope and is joined through the ServerHandle. lint: allow(thread-spawn)
-    let market_thread = std::thread::spawn(move || {
-        let outcome = run_market(market, profile, active, seq, &rx, &market_view, &market_cfg);
-        // Market thread is done (drain or disconnect): stop the acceptor,
-        // poke it out of `accept()` with a throwaway connection, and wake
-        // every I/O thread so it observes the flag and flushes out.
-        market_stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(addr);
-        for c in &market_wakers {
-            c.wake();
+    let wakers: Vec<Arc<Completions>> = io_shared.iter().map(|s| s.completions.clone()).collect();
+
+    let mut shard_threads = Vec::with_capacity(shards);
+    for (k, rx) in rxs.into_iter().enumerate() {
+        let mine: Vec<bool> = region_of.iter().map(|&r| r == k).collect();
+        // At one shard the context carries no peer senders and no
+        // io_live counter: the writer keeps the legacy teardown contract
+        // (its receiver disconnects once every I/O thread exits).
+        let ctx = ShardCtx::new(
+            k,
+            shards,
+            mine,
+            router.clone(),
+            if shards > 1 { txs.clone() } else { Vec::new() },
+            if shards > 1 {
+                views.clone()
+            } else {
+                Vec::new()
+            },
+            coord.clone(),
+            gauges.clone(),
+            (shards > 1).then(|| io_live.clone()),
+        );
+        // This shard's slice of the boot state: owned providers carry
+        // their restored placement and admission flag, everyone else is
+        // Remote/inactive (their owner's slice carries them).
+        let shard_market = market.clone();
+        let mut shard_profile = Profile::all_remote(n);
+        let mut shard_active = vec![false; n];
+        for p in 0..n {
+            if router.owner(p) == k {
+                shard_active[p] = active[p];
+                shard_profile.set(ProviderId(p), profile.placement(ProviderId(p)));
+            }
         }
-        outcome
-    });
+        let view = views[k].clone();
+        let cfg_k = market_cfg.clone();
+        let stop_k = stop.clone();
+        let wakers_k = wakers.clone();
+        // The shard's writer thread: owns its region for its whole life.
+        // Intentionally a raw thread, not the bench pool — it outlives any
+        // scope and is joined through the ServerHandle. lint: allow(thread-spawn)
+        shard_threads.push(std::thread::spawn(move || {
+            let outcome = run_shard(
+                shard_market,
+                shard_profile,
+                shard_active,
+                seq,
+                &rx,
+                &view,
+                &cfg_k,
+                &ctx,
+            );
+            // This shard is done (drain or disconnect): stop the
+            // acceptor, poke it out of `accept()` with a throwaway
+            // connection, and wake every I/O thread so it observes the
+            // flag and flushes out. Idempotent across shards.
+            stop_k.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(addr);
+            for c in &wakers_k {
+                c.wake();
+            }
+            outcome
+        }));
+    }
+    // The boot copies of the senders are dropped here: at one shard the
+    // writer's receiver disconnects once the I/O threads exit (legacy
+    // teardown); at several the peers hold each other's senders and the
+    // io_live counter signals teardown instead.
+    drop(txs);
 
     let mut io = Vec::with_capacity(io_count);
     for shared in &io_shared {
         let shared = shared.clone();
+        let io_live_k = io_live.clone();
         // One poll loop per I/O thread, joined through the ServerHandle.
         // lint: allow(thread-spawn)
-        io.push(std::thread::spawn(move || run_io(&shared)));
+        io.push(std::thread::spawn(move || {
+            run_io(&shared);
+            // Signal the shard threads: one fewer I/O-side sender. At
+            // zero the shards self-drain even though their peers still
+            // hold senders (disconnection can never fire at > 1 shard).
+            io_live_k.fetch_sub(1, Ordering::AcqRel);
+        }));
     }
 
     let max_connections = cfg.max_connections;
@@ -222,7 +499,7 @@ pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle
 
     Ok(ServerHandle {
         addr,
-        market: market_thread,
+        shards: shard_threads,
         acceptor,
         io,
     })

@@ -28,6 +28,15 @@ pub struct MarketView {
     pub active: Vec<bool>,
     /// Social cost (Eq. 6) summed over the *active* providers.
     pub social_cost: f64,
+    /// Congestion count per cloudlet (cached providers at each). In a
+    /// sharded daemon only the publishing shard's own region carries
+    /// real load; foreign regions read zero here.
+    pub congestion: Vec<usize>,
+    /// Residual `(compute, bandwidth)` capacity per cloudlet. Peer
+    /// shards read this (plus [`MarketView::congestion`]) to estimate
+    /// whether migrating a provider into the region could pay off; the
+    /// estimate is advisory — admission re-checks on the owning thread.
+    pub residual: Vec<(f64, f64)>,
     /// Equilibrium-maintenance epochs run so far.
     pub epochs: u64,
     /// Improving moves applied by those epochs.
@@ -46,6 +55,8 @@ impl MarketView {
             costs: vec![0.0; providers],
             active: vec![false; providers],
             social_cost: 0.0,
+            congestion: Vec::new(),
+            residual: Vec::new(),
             epochs: 0,
             moves: 0,
             equilibrium: false,

@@ -259,6 +259,151 @@ fn restore_request_rewinds_live_state() {
 }
 
 #[test]
+fn kill9_mid_migration_restores_from_shard_slices() {
+    let dir = std::env::temp_dir().join(format!("mec-serve-it-{}-{}", std::process::id(), line!()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let snap = dir.join("market.snap");
+
+    // Two shards over the two-cloudlet market: the contiguous region map
+    // gives shard 0 cloudlet 0 and shard 1 cloudlet 1. Providers home to
+    // shard `p % 2`.
+    let boot_sharded = |market: Market| {
+        let cfg = ServerConfig {
+            snapshot_path: Some(snap.clone()),
+            shards: 2,
+            ..ServerConfig::default()
+        };
+        let handle = serve(market, &cfg).expect("boot");
+        let client = Client::connect(handle.addr()).expect("connect");
+        client
+            .set_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        (handle, client)
+    };
+
+    let (handle, mut client) = boot_sharded(two_slot_market(6));
+    // Providers 0 and 2 (home shard 0) fill shard 0's cloudlet; provider
+    // 4 (also home shard 0) then finds its region full and forwards
+    // cross-shard — a live ownership handoff to shard 1 that the crash
+    // must not lose or duplicate. Provider 1 fills shard 1's last slot.
+    for p in [0, 2] {
+        match client.join(p).expect("join") {
+            Response::Admitted { cloudlet, .. } => assert_eq!(cloudlet, 0, "provider {p}"),
+            other => panic!("provider {p}: expected admission, got {other:?}"),
+        }
+    }
+    match client.join(4).expect("forwarded join") {
+        Response::Admitted { cloudlet, .. } => {
+            assert_eq!(cloudlet, 1, "forwarded join must land cross-shard")
+        }
+        other => panic!("expected cross-shard admission, got {other:?}"),
+    }
+    assert!(matches!(
+        client.join(1).expect("join"),
+        Response::Admitted { .. }
+    ));
+
+    // Coordinated snapshot: prepare quiesces in-flight handoffs before
+    // any slice is written, so the set on disk is consistent even though
+    // a migration was just in flight. (The coordinated ack carries the
+    // set's coordinator epoch, not a state seq.)
+    let epoch_at_snapshot = match client.snapshot().expect("snapshot") {
+        Response::Snapshotted { seq } => seq,
+        other => panic!("expected snapshot ack, got {other:?}"),
+    };
+    let pre: Vec<Response> = (0..6).map(|p| client.query(p).expect("query")).collect();
+
+    // "kill -9": stash the whole snapshot set (manifest + slices), drain
+    // via a throwaway client to free the port (which writes a *newer*
+    // set and garbage-collects ours), then put the mid-run set back.
+    let manifest_bytes = std::fs::read(&snap).expect("manifest bytes");
+    let manifest = mec_serve::shard::parse_manifest(
+        std::str::from_utf8(&manifest_bytes).expect("manifest utf8"),
+    )
+    .expect("manifest parses");
+    assert_eq!(manifest.shards, 2);
+    assert_eq!(manifest.epoch, epoch_at_snapshot);
+    let slice_paths: Vec<_> = (0..manifest.shards)
+        .map(|k| mec_serve::shard::shard_snapshot_path(&snap, manifest.epoch, k))
+        .collect();
+    let slice_bytes: Vec<_> = slice_paths
+        .iter()
+        .map(|p| std::fs::read(p).expect("slice bytes"))
+        .collect();
+    let mut admin = Client::connect(handle.addr()).expect("admin");
+    admin.shutdown().expect("shutdown");
+    handle.join();
+    std::fs::remove_dir_all(&dir).expect("wipe");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    std::fs::write(&snap, &manifest_bytes).expect("rewind manifest");
+    for (p, bytes) in slice_paths.iter().zip(&slice_bytes) {
+        std::fs::write(p, bytes).expect("rewind slice");
+    }
+
+    // The set itself: every provider is claimed by exactly one shard's
+    // ownership mask, and the forwarded provider 4 moved to shard 1.
+    let slices: Vec<_> = slice_paths
+        .iter()
+        .map(|p| mec_core::load_snapshot(p).expect("slice parses"))
+        .collect();
+    let masks: Vec<&Vec<bool>> = slices
+        .iter()
+        .map(|s| &s.shard.as_ref().expect("slice has shard meta").owned)
+        .collect();
+    for p in 0..6 {
+        let claims = masks.iter().filter(|m| m[p]).count();
+        assert_eq!(claims, 1, "provider {p} claimed by {claims} shards");
+    }
+    assert!(masks[1][4], "forwarded provider must be owned by shard 1");
+    for s in &slices {
+        let meta = s.shard.as_ref().expect("meta");
+        assert_eq!(meta.epoch, manifest.epoch, "mixed-epoch set");
+        assert_eq!(meta.count, 2);
+    }
+
+    // Daemon #2 boots from the per-shard slices: same seq, same
+    // placements, and fully operational — including fresh cross-shard
+    // forwarding after a slot frees up.
+    let slice_seq_sum: u64 = slices.iter().map(|s| s.seq).sum();
+    let (handle2, mut client2) = boot_sharded(two_slot_market(6));
+    let stats = client2.stats().expect("stats");
+    // Composite stats sum the per-shard seqs; each restored shard starts
+    // at its slice's seq.
+    assert_eq!(stats.seq, slice_seq_sum);
+    assert_eq!(stats.active, 4);
+    assert_eq!(stats.shards.len(), 2, "restored daemon reports both shards");
+    for (p, before) in pre.iter().enumerate() {
+        let after = client2.query(p).expect("query");
+        let (
+            Response::Placement {
+                at: a0, active: x0, ..
+            },
+            Response::Placement {
+                at: a1, active: x1, ..
+            },
+        ) = (before, &after)
+        else {
+            panic!("expected placements, got {before:?} / {after:?}");
+        };
+        assert_eq!(a0, a1, "provider {p} placement");
+        assert_eq!(x0, x1, "provider {p} active flag");
+    }
+    assert_eq!(client2.leave(0).expect("leave"), Response::Left);
+    // Provider 5 homes to shard 1, whose cloudlet is still full; the
+    // restored router must forward it to the slot shard 0 just freed.
+    match client2.join(5).expect("post-restore forwarded join") {
+        Response::Admitted { cloudlet, .. } => assert_eq!(cloudlet, 0),
+        other => panic!("expected cross-shard admission, got {other:?}"),
+    }
+    let outcome = drain(handle2, &mut client2);
+    assert_eq!(outcome.active.iter().filter(|a| **a).count(), 4);
+    assert!(outcome.equilibrium);
+    assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn pipelined_reads_observe_preceding_writes() {
     // Read-your-writes across a batched drain: a query pipelined behind
     // writes on the same connection must see a view at least as new as

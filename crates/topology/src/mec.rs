@@ -293,6 +293,77 @@ impl MecNetwork {
         }
         best
     }
+
+    /// Buckets cloudlets into `n` spatial regions by proximity.
+    ///
+    /// Returns a region index in `0..n` for every cloudlet (indexed by
+    /// [`CloudletId`]). Seeds are picked greedily k-center style — the
+    /// first seed is cloudlet 0, each further seed the cloudlet farthest
+    /// (in shortest-path latency between sites) from every seed chosen so
+    /// far — then each cloudlet joins its nearest seed (ties to the
+    /// smallest region index). The construction is deterministic, so the
+    /// same network always shards the same way, and every region is
+    /// non-empty as long as `n <= cloudlet_count()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the cloudlet count.
+    pub fn regions(&self, n: usize) -> Vec<usize> {
+        let m = self.cloudlet_count();
+        assert!(n > 0, "need at least one region");
+        assert!(n <= m, "cannot split {m} cloudlets into {n} regions");
+
+        let site = |c: usize| self.cloudlet_sites[c];
+        let d = |a: usize, b: usize| self.distances.distance(site(a), site(b));
+
+        // Greedy farthest-point seeding: min-distance-to-any-seed, maxed.
+        let mut seeds: Vec<usize> = vec![0];
+        let mut min_to_seed: Vec<f64> = (0..m).map(|c| d(c, 0)).collect();
+        while seeds.len() < n {
+            let mut far = None;
+            let mut far_d = f64::NEG_INFINITY;
+            for (c, &dist) in min_to_seed.iter().enumerate() {
+                if seeds.contains(&c) {
+                    continue;
+                }
+                // Unreachable pairs (infinite distance) still make fine
+                // seeds: a disconnected cluster deserves its own region.
+                let dist = if dist.is_finite() { dist } else { f64::MAX };
+                if dist > far_d {
+                    far_d = dist;
+                    far = Some(c);
+                }
+            }
+            let far = far.expect("n <= cloudlet_count leaves a non-seed candidate");
+            seeds.push(far);
+            for (c, slot) in min_to_seed.iter_mut().enumerate() {
+                let nd = d(c, far);
+                if nd < *slot {
+                    *slot = nd;
+                }
+            }
+        }
+
+        (0..m)
+            .map(|c| {
+                // A seed anchors its own region even when another seed is
+                // equidistant, so no region can come out empty.
+                if let Some(r) = seeds.iter().position(|&s| s == c) {
+                    return r;
+                }
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for (r, &s) in seeds.iter().enumerate() {
+                    let dist = d(c, s);
+                    if dist < best_d {
+                        best_d = dist;
+                        best = r;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +407,57 @@ mod tests {
         for d in m.data_centers() {
             assert!(transits.contains(&m.dc_site(d)));
         }
+    }
+
+    #[test]
+    fn regions_cover_and_fill() {
+        let m = net(200, 5);
+        for n in [1, 2, 4, m.cloudlet_count()] {
+            let regions = m.regions(n);
+            assert_eq!(regions.len(), m.cloudlet_count());
+            assert!(regions.iter().all(|&r| r < n));
+            for r in 0..n {
+                assert!(regions.contains(&r), "region {r} of {n} is empty");
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_deterministic_and_proximal() {
+        let m = net(200, 6);
+        let a = m.regions(4);
+        assert_eq!(a, m.regions(4), "same network must shard the same way");
+
+        // Proximity sanity: a cloudlet is no farther from some member of
+        // its own region than from every member of every other region.
+        let d = |x: usize, y: usize| {
+            m.distances().distance(
+                m.cloudlet_site(CloudletId(x)),
+                m.cloudlet_site(CloudletId(y)),
+            )
+        };
+        for c in 0..m.cloudlet_count() {
+            let own = (0..m.cloudlet_count())
+                .filter(|&x| x != c && a[x] == a[c])
+                .map(|x| d(c, x))
+                .fold(f64::INFINITY, f64::min);
+            let other = (0..m.cloudlet_count())
+                .filter(|&x| a[x] != a[c])
+                .map(|x| d(c, x))
+                .fold(f64::INFINITY, f64::min);
+            if own.is_finite() && other.is_finite() {
+                // Clusters may interleave at the margin, but a cloudlet
+                // should never sit 3x closer to a foreign region.
+                assert!(own <= other * 3.0 + 1e-9, "cloudlet {c}: {own} vs {other}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "regions")]
+    fn regions_rejects_more_regions_than_cloudlets() {
+        let m = net(100, 7);
+        let _ = m.regions(m.cloudlet_count() + 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! mec failure                     testbed switch-failure drill
 //! mec stats <gtitm|waxman|as1755> [size]   topology statistics
 //! mec dot <gtitm|waxman|as1755> [size]     Graphviz DOT of a placed network
-//! mec serve [--port P] [--snapshot PATH] [--providers N] [--size N]
+//! mec serve [--port P] [--snapshot PATH] [--providers N] [--size N] [--shards N]
 //!                                 run the live service-market daemon
 //! mec load <addr> [--sessions N] [--epochs N] [--seed S] [--out PATH]
 //!                                 drive a running daemon with marketload
@@ -259,9 +259,14 @@ fn cmd_serve(rest: &[String]) {
     let snapshot = flag_value(rest, "--snapshot").map(std::path::PathBuf::from);
 
     let scenario = gtitm_scenario(size, &Params::paper().with_providers(providers), seed);
+    let cloudlets = scenario.generated.market.cloudlet_count();
+    let shards: usize = parse_flag(rest, "--shards", 1).clamp(1, cloudlets.max(1));
+    let regions = (shards > 1).then(|| scenario.net.regions(shards));
     let cfg = mec_serve::ServerConfig {
         addr: format!("127.0.0.1:{port}"),
         snapshot_path: snapshot.clone(),
+        shards,
+        regions,
         ..mec_serve::ServerConfig::default()
     };
     let handle = match mec_serve::serve(scenario.generated.market, &cfg) {
@@ -272,8 +277,9 @@ fn cmd_serve(rest: &[String]) {
         }
     };
     println!(
-        "service market on {} ({providers} providers, size-{size} network{})",
+        "service market on {} ({providers} providers, size-{size} network, {shards} shard{}{})",
         handle.addr(),
+        if shards == 1 { "" } else { "s" },
         match &snapshot {
             Some(p) => format!(", snapshot {}", p.display()),
             None => String::new(),

@@ -125,6 +125,50 @@ fn ab_again(s: &S) {
     },
     Fixture {
         rule: "lock-order",
+        title: "two shards taking each other's reply locks in opposite order cycle",
+        files: &[(
+            "crates/serve/src/handoff.rs",
+            r#"
+fn migrate_east(a: &Shard, b: &Shard) {
+    let src = a.east.reply.lock().expect("east"); // lint: allow(panics)
+    let dst = b.west.reply.lock().expect("west"); // lint: allow(panics)
+    drop(dst);
+    drop(src);
+}
+fn migrate_west(a: &Shard, b: &Shard) {
+    let dst = b.west.reply.lock().expect("west"); // lint: allow(panics)
+    let src = a.east.reply.lock().expect("east"); // lint: allow(panics)
+    drop(src);
+    drop(dst);
+}
+"#,
+        )],
+        expect: 1,
+    },
+    Fixture {
+        rule: "lock-order",
+        title: "reply locks ranked by shard id acquire in one global order",
+        files: &[(
+            "crates/serve/src/handoff.rs",
+            r#"
+fn migrate_east(a: &Shard, b: &Shard) {
+    let src = a.east.reply.lock().expect("east"); // lint: allow(panics)
+    let dst = b.west.reply.lock().expect("west"); // lint: allow(panics)
+    drop(dst);
+    drop(src);
+}
+fn migrate_west(a: &Shard, b: &Shard) {
+    let src = a.east.reply.lock().expect("east"); // lint: allow(panics)
+    let dst = b.west.reply.lock().expect("west"); // lint: allow(panics)
+    drop(dst);
+    drop(src);
+}
+"#,
+        )],
+        expect: 0,
+    },
+    Fixture {
+        rule: "lock-order",
         title: "drop() before the second acquisition breaks the edge",
         files: &[(
             "crates/serve/src/demo.rs",

@@ -8,6 +8,9 @@
 //! cargo xtask analyze --self-test   run every rule against its seeded fixtures
 //! cargo xtask tailgate <report.json> [--op join] [--max-ratio 20]
 //!                                   fail if an op's p99/p50 exceeds the bound
+//! cargo xtask tailgate scale <base.json> <sharded.json> [--min-ratio 2]
+//!                                   fail if the sharded drain bench is not
+//!                                   at least min-ratio times the base
 //! ```
 //!
 //! See [`analyze`] for the engine and the rule registry, [`lint`] for
@@ -39,8 +42,12 @@ fn main() {
 }
 
 fn cmd_tailgate(args: &[String]) {
+    if args.first().map(String::as_str) == Some("scale") {
+        return cmd_tailgate_scale(&args[1..]);
+    }
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!("usage: cargo xtask tailgate <report.json> [--op OP] [--max-ratio N]");
+        eprintln!("       cargo xtask tailgate scale <base.json> <sharded.json> [--min-ratio N]");
         std::process::exit(2);
     };
     let flag = |name: &str| {
@@ -58,6 +65,32 @@ fn cmd_tailgate(args: &[String]) {
         }
     };
     std::process::exit(tailgate::run(&PathBuf::from(path), &op, max_ratio));
+}
+
+fn cmd_tailgate_scale(args: &[String]) {
+    let mut paths = args.iter().filter(|a| !a.starts_with("--"));
+    let (Some(base), Some(sharded)) = (paths.next(), paths.next()) else {
+        eprintln!("usage: cargo xtask tailgate scale <base.json> <sharded.json> [--min-ratio N]");
+        std::process::exit(2);
+    };
+    let min_ratio: f64 = match args
+        .iter()
+        .position(|a| a == "--min-ratio")
+        .and_then(|i| args.get(i + 1))
+        .map_or("2", String::as_str)
+        .parse()
+    {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("invalid --min-ratio (expected a number)");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(tailgate::run_scale(
+        &PathBuf::from(base),
+        &PathBuf::from(sharded),
+        min_ratio,
+    ));
 }
 
 fn repo_root() -> PathBuf {

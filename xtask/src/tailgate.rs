@@ -1,16 +1,26 @@
-//! `cargo xtask tailgate` — tail-latency gate over a marketload report.
+//! `cargo xtask tailgate` — performance gates over marketload reports.
 //!
-//! Reads the flat JSON emitted by `marketload --out` and fails when an
-//! op's tail amplification (`<op>_p99_p50`, i.e. p99 latency over p50)
-//! exceeds a bound. CI runs this against the smoke run's report so a
-//! regression that re-introduces a convoy — one slow client or one long
-//! maintenance sweep stalling everyone's tail — fails the build instead
-//! of only skewing a checked-in benchmark number months later.
+//! Two modes:
 //!
-//! The parser is deliberately minimal: the report is one flat JSON
-//! object written by `LoadReport::to_json`, so scanning for `"key":`
-//! and reading the number after it is exact, not heuristic. xtask stays
-//! dependency-free.
+//! * **tail gate** (default): reads the flat JSON emitted by
+//!   `marketload --out` and fails when an op's tail amplification
+//!   (`<op>_p99_p50`, i.e. p99 latency over p50) exceeds a bound. CI
+//!   runs this against the smoke run's report so a regression that
+//!   re-introduces a convoy — one slow client or one long maintenance
+//!   sweep stalling everyone's tail — fails the build instead of only
+//!   skewing a checked-in benchmark number months later.
+//! * **scale gate** (`tailgate scale <base.json> <sharded.json>`):
+//!   compares two `marketload --direct` drain reports and fails when
+//!   the sharded run's `write_ops_per_sec` is less than `--min-ratio`
+//!   (default 2.0) times the base run's. CI runs this on the 1-shard vs
+//!   4-shard drain bench, so a change that silently serializes the
+//!   shards — a global lock, a chatty cross-shard protocol — fails the
+//!   build even on a single-core runner.
+//!
+//! The parser is deliberately minimal: each report is one flat JSON
+//! object written by `LoadReport::to_json` / `DrainReport::to_json`, so
+//! scanning for `"key":` and reading the number after it is exact, not
+//! heuristic. xtask stays dependency-free.
 
 use std::path::Path;
 
@@ -103,11 +113,105 @@ pub fn run(path: &Path, op: &str, max_ratio: f64) -> i32 {
     }
 }
 
+/// The scale-gate verdict comparing two drain reports.
+pub struct ScaleVerdict {
+    /// Shard counts of the (base, sharded) reports.
+    pub shards: (u64, u64),
+    /// Write throughputs of the (base, sharded) reports.
+    pub ops: (f64, f64),
+    /// Required sharded/base throughput ratio.
+    pub min_ratio: f64,
+}
+
+impl ScaleVerdict {
+    /// Measured sharded/base throughput ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.ops.0 > 0.0 {
+            self.ops.1 / self.ops.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the pair passes the gate. A degenerate comparison — zero
+    /// base throughput, or a "sharded" report with no more shards than
+    /// the base — fails loudly instead of passing vacuously.
+    pub fn pass(&self) -> bool {
+        self.ops.0 > 0.0 && self.shards.1 > self.shards.0 && self.ratio() >= self.min_ratio
+    }
+}
+
+/// Evaluates the scale gate over two drain-report JSON texts.
+///
+/// # Errors
+///
+/// Fails when either report lacks `shards`/`write_ops_per_sec` or they
+/// do not parse.
+pub fn check_scale(base: &str, sharded: &str, min_ratio: f64) -> Result<ScaleVerdict, String> {
+    Ok(ScaleVerdict {
+        shards: (
+            extract_number(base, "shards")? as u64,
+            extract_number(sharded, "shards")? as u64,
+        ),
+        ops: (
+            extract_number(base, "write_ops_per_sec")?,
+            extract_number(sharded, "write_ops_per_sec")?,
+        ),
+        min_ratio,
+    })
+}
+
+/// Runs the scale gate against two report files; returns the exit code.
+pub fn run_scale(base: &Path, sharded: &Path, min_ratio: f64) -> i32 {
+    let read = |p: &Path| {
+        std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))
+    };
+    let verdict = read(base)
+        .and_then(|b| read(sharded).map(|s| (b, s)))
+        .and_then(|(b, s)| check_scale(&b, &s, min_ratio));
+    match verdict {
+        Ok(v) => {
+            println!(
+                "tailgate scale: {} shard(s) at {:.0} ops/s vs {} shard(s) at {:.0} ops/s — {:.2}x (need {:.1}x)",
+                v.shards.0,
+                v.ops.0,
+                v.shards.1,
+                v.ops.1,
+                v.ratio(),
+                v.min_ratio
+            );
+            if v.pass() {
+                0
+            } else if v.shards.1 <= v.shards.0 {
+                eprintln!(
+                    "tailgate scale: FAIL — sharded report has {} shard(s), base has {}; gate is vacuous",
+                    v.shards.1, v.shards.0
+                );
+                1
+            } else {
+                eprintln!(
+                    "tailgate scale: FAIL — sharded throughput is only {:.2}x the base (need {:.1}x)",
+                    v.ratio(),
+                    v.min_ratio
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("tailgate scale: {e}");
+            1
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const REPORT: &str = r#"{"benchmark":"serve","join_count":100,"join_p99_p50":2.5,"query_count":0,"query_p99_p50":0}"#;
+
+    const DRAIN_1: &str = r#"{"benchmark":"serve-drain","shards":1,"commands":100000,"write_ops_per_sec":300000,"s0_writes":100000}"#;
+    const DRAIN_4: &str = r#"{"benchmark":"serve-drain","shards":4,"commands":100000,"write_ops_per_sec":750000,"s0_writes":25000}"#;
 
     #[test]
     fn passes_under_bound_fails_over() {
@@ -134,5 +238,27 @@ mod tests {
         let json = r#"{"a":1,"b_p99_p50":3.25}"#;
         let x = extract_number(json, "b_p99_p50").unwrap();
         assert!((x - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_gate_passes_at_ratio_and_fails_below() {
+        let v = check_scale(DRAIN_1, DRAIN_4, 2.0).unwrap();
+        assert!((v.ratio() - 2.5).abs() < 1e-12);
+        assert!(v.pass());
+        let v = check_scale(DRAIN_1, DRAIN_4, 3.0).unwrap();
+        assert!(!v.pass(), "2.5x must not pass a 3x bound");
+    }
+
+    #[test]
+    fn scale_gate_rejects_degenerate_comparisons() {
+        // Same shard count on both sides: vacuous, fails.
+        let v = check_scale(DRAIN_1, DRAIN_1, 0.5).unwrap();
+        assert!(!v.pass());
+        // Zero base throughput: fails rather than dividing to infinity.
+        let zero = r#"{"shards":1,"write_ops_per_sec":0}"#;
+        let v = check_scale(zero, DRAIN_4, 2.0).unwrap();
+        assert!(!v.pass());
+        // Missing fields are errors, not passes.
+        assert!(check_scale(REPORT, DRAIN_4, 2.0).is_err());
     }
 }
