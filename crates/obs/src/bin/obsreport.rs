@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! obsreport <trace.jsonl | ->
+//! obsreport --catalog
 //! ```
 //!
 //! Reads the trace produced by a `--obs <path>` run (sweepbench,
@@ -10,6 +11,10 @@
 //! summaries and histogram snapshots. Malformed lines are counted and
 //! skipped, never fatal. Works regardless of whether this binary was built
 //! with the `enabled` feature: parsing and folding are always compiled.
+//!
+//! `--catalog` instead prints the markdown metrics catalog rendered from
+//! `mec_obs::probes::REGISTRY`; `cargo xtask metrics-doc` pipes this into
+//! `docs/METRICS.md`.
 
 #![forbid(unsafe_code)]
 
@@ -21,9 +26,13 @@ use mec_obs::Report;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let path = match args.as_slice() {
+        [p] if p == "--catalog" => {
+            print!("{}", mec_obs::probes::catalog_markdown());
+            return;
+        }
         [p] if p != "--help" && p != "-h" => p.clone(),
         _ => {
-            eprintln!("usage: obsreport <trace.jsonl | ->");
+            eprintln!("usage: obsreport <trace.jsonl | -> | obsreport --catalog");
             std::process::exit(2);
         }
     };

@@ -19,9 +19,11 @@
 //! `verify` chain), so a single `--features obs` at the top level arms
 //! every layer at once.
 //!
-//! The [`wire`] (JSONL encode/parse), [`hist`] and [`report`] modules are
-//! always compiled regardless of the feature, so the `obsreport` binary can
-//! summarize traces no matter how it was built.
+//! The [`wire`] (JSONL encode/parse), [`hist`], [`report`] and [`prom`]
+//! (Prometheus exposition) modules are always compiled regardless of the
+//! feature, so the `obsreport` binary can summarize traces no matter how
+//! it was built. [`probes`] carries the authoritative probe registry with
+//! per-probe descriptions; `docs/METRICS.md` is generated from it.
 //!
 //! # Examples
 //!
@@ -67,6 +69,7 @@
 pub mod hist;
 pub mod json;
 pub mod probes;
+pub mod prom;
 pub mod report;
 pub mod wire;
 

@@ -202,7 +202,10 @@ impl Report {
 
 /// `serve.publish.s2.ns` → `Some("serve.publish.ns")`; names without a
 /// penultimate `s<digits>` segment fold nowhere.
-fn shard_base(name: &str) -> Option<String> {
+///
+/// Public because the Prometheus renderer ([`crate::prom`]) uses the
+/// same convention to turn per-shard series into `shard="k"` labels.
+pub fn shard_base(name: &str) -> Option<String> {
     let segs: Vec<&str> = name.split('.').collect();
     if segs.len() < 3 {
         return None;

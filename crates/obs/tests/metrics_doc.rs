@@ -1,0 +1,54 @@
+//! Keeps `docs/METRICS.md` in lockstep with the probe registry: the
+//! checked-in file must be, byte for byte, what
+//! [`mec_obs::probes::catalog_markdown`] renders from
+//! `mec_obs::probes::REGISTRY`. Regenerate with `cargo xtask metrics-doc`.
+
+use mec_obs::probes::{catalog_markdown, ProbeKind, REGISTRY};
+
+const METRICS_DOC: &str = include_str!("../../../docs/METRICS.md");
+
+#[test]
+fn metrics_doc_matches_probe_registry() {
+    let canonical = catalog_markdown();
+    assert!(
+        METRICS_DOC == canonical,
+        "docs/METRICS.md is out of sync with mec_obs::probes::REGISTRY.\n\
+         Regenerate it with `cargo xtask metrics-doc`."
+    );
+}
+
+#[test]
+fn metrics_doc_names_every_probe() {
+    for p in REGISTRY {
+        assert!(
+            METRICS_DOC.contains(&format!("`{}`", p.name)),
+            "docs/METRICS.md is missing probe `{}` — regenerate with \
+             `cargo xtask metrics-doc`",
+            p.name
+        );
+        assert!(
+            METRICS_DOC.contains(p.help),
+            "docs/METRICS.md is missing the description of `{}` — regenerate \
+             with `cargo xtask metrics-doc`",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn metrics_doc_explains_every_kind_in_use() {
+    for kind in [
+        ProbeKind::Counter,
+        ProbeKind::Histogram,
+        ProbeKind::Span,
+        ProbeKind::Gauge,
+    ] {
+        if REGISTRY.iter().any(|p| p.kind == kind) {
+            assert!(
+                METRICS_DOC.contains(&format!("**{}**", kind.label())),
+                "docs/METRICS.md never explains the `{}` kind",
+                kind.label()
+            );
+        }
+    }
+}

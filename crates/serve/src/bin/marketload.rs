@@ -24,6 +24,11 @@
 //!   --shards N      market shards, smoke/direct   (default 1); regions
 //!                   derive from the scenario topology
 //!   --commands N    churn commands, direct only   (default 100000)
+//!   --admin-port P  HTTP admin surface, smoke only (default off; 0 with
+//!                   --scrape picks an ephemeral port)
+//!   --scrape        scrape GET /metrics at 1 Hz during the smoke load and
+//!                   report how many scrapes returned well-formed
+//!                   Prometheus text (implies an admin listener)
 //! ```
 //!
 //! In `--smoke` mode the exit code reflects the full acceptance check:
@@ -188,10 +193,13 @@ fn run_smoke(args: &[String], cfg: &LoadConfig, out_path: &str) -> i32 {
     // clusters the paper's cloudlet placement implies, so cross-shard
     // traffic maps to genuinely distant cloudlets.
     let regions = (shards > 1).then(|| scenario.net.regions(shards));
+    let admin_port: u16 = parse_flag(args, "--admin-port", 0);
+    let scrape = args.iter().any(|a| a == "--scrape");
     let server_cfg = ServerConfig {
         snapshot_path: flag_value(args, "--snapshot").map(PathBuf::from),
         shards,
         regions,
+        admin_addr: (admin_port != 0 || scrape).then(|| format!("127.0.0.1:{admin_port}")),
         ..ServerConfig::default()
     };
     let handle = match serve(scenario.generated.market, &server_cfg) {
@@ -206,8 +214,17 @@ fn run_smoke(args: &[String], cfg: &LoadConfig, out_path: &str) -> i32 {
         "smoke daemon on {addr} ({providers} providers, size-{size} network, {shards} shard{})",
         if shards == 1 { "" } else { "s" }
     );
+    if let Some(admin) = handle.admin_addr() {
+        println!("admin surface on http://{admin}");
+    }
+    let scraper = match (scrape, handle.admin_addr()) {
+        (true, Some(admin)) => Some(spawn_scraper(admin)),
+        _ => None,
+    };
 
-    let report = match run_load(&addr, providers, cfg) {
+    let load_result = run_load(&addr, providers, cfg);
+    let scrape_status = scraper.map_or(0, Scraper::finish);
+    let report = match load_result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("load run failed: {e}");
@@ -222,7 +239,7 @@ fn run_smoke(args: &[String], cfg: &LoadConfig, out_path: &str) -> i32 {
         return 1;
     }
     let outcome = handle.join();
-    let mut status = finish(&report, out_path, true);
+    let mut status = finish(&report, out_path, true).max(scrape_status);
     println!(
         "drained at seq {} after {} epochs / {} moves (equilibrium: {})",
         outcome.seq, outcome.epochs, outcome.moves, outcome.equilibrium
@@ -236,6 +253,78 @@ fn run_smoke(args: &[String], cfg: &LoadConfig, out_path: &str) -> i32 {
         status = 1;
     }
     status
+}
+
+/// A 1 Hz `GET /metrics` scraper running alongside the smoke load — the
+/// realistic Prometheus-attached deployment the admin surface is sized
+/// for (and the setup `EXPERIMENTS.md` uses to bound scrape overhead).
+struct Scraper {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    thread: std::thread::JoinHandle<(u64, u64)>,
+}
+
+/// Starts the scraper against the daemon's admin address.
+fn spawn_scraper(admin: std::net::SocketAddr) -> Scraper {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let stop_t = stop.clone();
+    // Joined via Scraper::finish before the smoke run reports.
+    // lint: allow(thread-spawn)
+    let thread = std::thread::spawn(move || {
+        let target = admin.to_string();
+        let mut attempts = 0u64;
+        let mut ok = 0u64;
+        loop {
+            attempts += 1;
+            if scrape_metrics(&target) {
+                ok += 1;
+            }
+            // 1 Hz, slept in slices so the stop lands promptly.
+            for _ in 0..20 {
+                if stop_t.load(Ordering::SeqCst) {
+                    return (attempts, ok);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    });
+    Scraper { stop, thread }
+}
+
+impl Scraper {
+    /// Stops the loop and reports; non-zero when any scrape came back
+    /// malformed (connection refused, non-200, or no `# TYPE` line).
+    fn finish(self) -> i32 {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let Ok((attempts, ok)) = self.thread.join() else {
+            eprintln!("FAIL: metrics scraper thread panicked");
+            return 1;
+        };
+        println!("scraped /metrics {attempts} times ({ok} well-formed)");
+        if ok < attempts {
+            eprintln!("FAIL: {} malformed /metrics responses", attempts - ok);
+            return 1;
+        }
+        0
+    }
+}
+
+/// One `GET /metrics` round trip; true when the reply is a 200 carrying
+/// at least one Prometheus `# TYPE` line.
+fn scrape_metrics(admin: &str) -> bool {
+    use std::io::{Read, Write};
+    let Ok(mut s) = std::net::TcpStream::connect(admin) else {
+        return false;
+    };
+    let req = format!("GET /metrics HTTP/1.1\r\nHost: {admin}\r\nConnection: close\r\n\r\n");
+    if s.write_all(req.as_bytes()).is_err() {
+        return false;
+    }
+    let mut reply = String::new();
+    if s.read_to_string(&mut reply).is_err() {
+        return false;
+    }
+    reply.starts_with("HTTP/1.1 200") && reply.contains("\n# TYPE ")
 }
 
 /// Prints the human summary, writes the JSON report, and applies the

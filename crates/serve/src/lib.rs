@@ -21,6 +21,9 @@
 //! * [`shard`] — region-keyed market sharding: the provider→shard
 //!   router, cross-shard migration bookkeeping, and coordinated
 //!   multi-shard snapshot manifests;
+//! * [`admin`] — the std-only HTTP/1.1 admin surface: Prometheus
+//!   `/metrics`, live placement/residual/shard inspection, and
+//!   validated topology hot-reload;
 //! * [`server`] — acceptor + event-loop I/O threads over `std::net`;
 //! * [`client`] — a blocking protocol client;
 //! * [`load`] — the `marketload` engine: concurrent churn-scripted
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admin;
 pub mod chan;
 pub mod client;
 pub mod drain;

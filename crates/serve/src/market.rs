@@ -1107,6 +1107,7 @@ fn handle_grant(
         book.equilibrium = false;
         ctx.router.set_owner(provider, out.target);
         mec_obs::counter_add("serve.shard.migrate", 1);
+        ctx.gauges.add_migrations(out.target, 1);
         send_peer(
             book,
             ctx,
@@ -1284,6 +1285,9 @@ fn maybe_rebalance(state: &GameState<'_>, book: &mut Book, ctx: &ShardCtx) {
         return;
     }
     let views: Vec<Arc<MarketView>> = ctx.views.iter().map(|v| v.load()).collect();
+    // One map load per pass: a concurrent admin reload swaps the Arc,
+    // and this pass keeps targeting under the map it started with.
+    let region_of = ctx.coord.region_map();
     let market = state.market();
     let mut best: Option<(usize, usize, f64)> = None;
     for l in market.providers() {
@@ -1298,7 +1302,14 @@ fn maybe_rebalance(state: &GameState<'_>, book: &mut Book, ctx: &ShardCtx) {
             if ctx.owns_cloudlet(c) {
                 continue;
             }
-            let Some(v) = views.get(ctx.coord.region_of[c]) else {
+            let r = region_of.get(c).copied().unwrap_or(0);
+            if r == ctx.index {
+                // A reloaded map can point an unowned cloudlet back at
+                // this shard; capacity ownership is fixed at boot, so a
+                // handoff to ourselves could never be granted.
+                continue;
+            }
+            let Some(v) = views.get(r) else {
                 continue;
             };
             let (Some(&cong), Some(&(ra, rb))) = (v.congestion.get(c), v.residual.get(c)) else {
@@ -1320,7 +1331,7 @@ fn maybe_rebalance(state: &GameState<'_>, book: &mut Book, ctx: &ShardCtx) {
         return;
     };
     let spec = market.provider(ProviderId(provider));
-    let target = ctx.coord.region_of[cloudlet];
+    let target = region_of.get(cloudlet).copied().unwrap_or(0);
     book.outgoing = Some(Outgoing {
         provider,
         target,
@@ -1434,8 +1445,28 @@ fn handle_join(
             ));
         }
         if !ctx.owns_cloudlet(c) {
-            let target = ctx.coord.region_of[c];
-            forward_join(state, book, ctx, provider, cloudlet, hop, reply, target);
+            let target = ctx.coord.region_of(c);
+            // Under the boot map the owner is one direct hop away. After
+            // an admin topology reload the map can disagree with the
+            // boot-time ownership masks (capacity ownership never moves
+            // at runtime): a map that points back at this shard, or a
+            // forward chain that has done a full lap without finding the
+            // mask owner, must reject cleanly instead of bouncing the
+            // command between shards forever.
+            if target == ctx.index || hop >= ctx.shards {
+                mec_obs::counter_add("serve.join.rejected", 1);
+                return Some((
+                    reply,
+                    Response::Rejected {
+                        reason: format!(
+                            "cloudlet {c} is not owned by any shard under the current \
+                             region map (reload moved it off its boot owner; restart \
+                             to re-partition)"
+                        ),
+                    },
+                ));
+            }
+            forward_join(state, book, ctx, provider, cloudlet, hop + 1, reply, target);
             return None;
         }
     }

@@ -78,6 +78,11 @@ pub struct ServerConfig {
     /// with topology metadata pass `MecNetwork::regions(shards)` for a
     /// spatial partition.
     pub regions: Option<Vec<usize>>,
+    /// Address of the HTTP admin surface ([`crate::admin`]), e.g.
+    /// `127.0.0.1:9640`; port 0 picks an ephemeral port (read it back
+    /// from [`ServerHandle::admin_addr`]). `None` (the default) runs no
+    /// admin listener.
+    pub admin_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +97,7 @@ impl Default for ServerConfig {
             max_connections: 512,
             shards: 1,
             regions: None,
+            admin_addr: None,
         }
     }
 }
@@ -114,15 +120,23 @@ impl ServerConfig {
 /// send a `shutdown` request and [`ServerHandle::join`] it.
 pub struct ServerHandle {
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     shards: Vec<JoinHandle<MarketOutcome>>,
     acceptor: JoinHandle<()>,
     io: Vec<JoinHandle<()>>,
+    admin: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The bound address (resolves port 0 to the actual ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound admin address, when [`ServerConfig::admin_addr`] asked
+    /// for one (resolves port 0 to the actual ephemeral port).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
     /// Blocks until the daemon drains and returns the merged market
@@ -145,6 +159,11 @@ impl ServerHandle {
             std::panic::resume_unwind(e);
         }
         for h in self.io {
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+        if let Some(h) = self.admin {
             if let Err(e) = h.join() {
                 std::panic::resume_unwind(e);
             }
@@ -369,6 +388,12 @@ pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle
     let gauges = Arc::new(ShardGauges::new(shards));
     let coord = Arc::new(Coordinator::new(shards, region_of.clone(), epoch0));
     let stop = Arc::new(AtomicBool::new(false));
+    // Bind the admin listener before any thread starts so a bad admin
+    // address fails the boot instead of leaking a half-started daemon.
+    let admin_listener = match cfg.admin_addr.as_deref() {
+        Some(a) => Some(crate::admin::bind_admin(a)?),
+        None => None,
+    };
     let live = Arc::new(AtomicUsize::new(0));
     let io_count = cfg.io_thread_count();
     let io_live = Arc::new(AtomicUsize::new(io_count));
@@ -490,6 +515,22 @@ pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle
         }));
     }
 
+    let mut admin_addr = None;
+    let mut admin = None;
+    if let Some((admin_l, bound)) = admin_listener {
+        admin_addr = Some(bound);
+        let shared = Arc::new(crate::admin::AdminShared {
+            views: views.clone(),
+            router: router.clone(),
+            gauges: gauges.clone(),
+            coord: coord.clone(),
+            stop: stop.clone(),
+            cloudlets: m,
+            providers: n,
+        });
+        admin = Some(crate::admin::spawn_admin(admin_l, shared));
+    }
+
     let max_connections = cfg.max_connections;
     // Acceptor: owns the listener; exits when the stop flag flips.
     // lint: allow(thread-spawn)
@@ -499,9 +540,11 @@ pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle
 
     Ok(ServerHandle {
         addr,
+        admin_addr,
         shards: shard_threads,
         acceptor,
         io,
+        admin,
     })
 }
 

@@ -96,11 +96,12 @@ impl Router {
     }
 }
 
-/// Per-shard gauges shared between shard threads (writers) and I/O
-/// threads (readers answering `stats`).
+/// Per-shard gauges shared between shard threads (writers) and I/O /
+/// admin threads (readers answering `stats` and `GET /shards`).
 pub struct ShardGauges {
     depth: Vec<AtomicUsize>,
     writes: Vec<AtomicU64>,
+    migrations: Vec<AtomicU64>,
 }
 
 impl ShardGauges {
@@ -109,6 +110,7 @@ impl ShardGauges {
         ShardGauges {
             depth: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
             writes: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            migrations: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -122,6 +124,11 @@ impl ShardGauges {
         self.writes[k].fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Counts a cross-shard migration granted *into* shard `k`.
+    pub fn add_migrations(&self, k: usize, n: u64) {
+        self.migrations[k].fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Latest drain depth of shard `k`.
     pub fn depth(&self, k: usize) -> usize {
         self.depth[k].load(Ordering::Relaxed)
@@ -131,14 +138,31 @@ impl ShardGauges {
     pub fn writes(&self, k: usize) -> u64 {
         self.writes[k].load(Ordering::Relaxed)
     }
+
+    /// Lifetime cross-shard migrations granted into shard `k`.
+    pub fn migrations(&self, k: usize) -> u64 {
+        self.migrations[k].load(Ordering::Relaxed)
+    }
 }
 
 /// Shared coordination state of one sharded daemon.
 pub struct Coordinator {
     /// Shard count.
     pub shards: usize,
-    /// Cloudlet→shard region assignment.
-    pub region_of: Vec<usize>,
+    /// Cloudlet→shard region assignment, swappable at runtime (admin
+    /// topology reload). Readers clone the `Arc` out ([`Self::region_map`])
+    /// or index one cloudlet ([`Self::region_of`]); the swap
+    /// ([`Self::swap_region_map`]) is validated by the caller first.
+    ///
+    /// The map only steers *routing* decisions — which shard a pinned
+    /// join is forwarded to, which region a rebalance pass targets. The
+    /// per-shard capacity ownership masks (`ShardCtx::mine`) are fixed
+    /// at boot, and every capacity-mutating path re-checks ownership on
+    /// the executing shard, so a concurrent swap can misroute (the
+    /// receiving shard forwards or refuses) but never oversubscribe.
+    region_of: Mutex<std::sync::Arc<Vec<usize>>>,
+    /// Bumped on every successful [`Self::swap_region_map`].
+    region_version: AtomicU64,
     /// Next snapshot epoch (monotonic; assigned at dispatch time).
     epoch: AtomicU64,
     /// Epoch of the final drain snapshot set, assigned once by whichever
@@ -158,13 +182,40 @@ impl Coordinator {
     pub fn new(shards: usize, region_of: Vec<usize>, epoch0: u64) -> Coordinator {
         Coordinator {
             shards,
-            region_of,
+            region_of: Mutex::new(std::sync::Arc::new(region_of)),
+            region_version: AtomicU64::new(0),
             epoch: AtomicU64::new(epoch0),
             drain_epoch: AtomicU64::new(NO_EPOCH),
             quiesced: AtomicUsize::new(0),
             unfinished: AtomicUsize::new(shards),
             drain_failed: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// The current cloudlet→shard region map (cheap: one lock + `Arc`
+    /// clone). Loops should call this once and index the returned map.
+    pub fn region_map(&self) -> std::sync::Arc<Vec<usize>> {
+        lock_ok(&self.region_of).clone()
+    }
+
+    /// Region (owning shard at boot) of cloudlet `c` under the current
+    /// map; unknown cloudlets report region 0 (panic-free, mirroring
+    /// [`Router::owner`] clamping).
+    pub fn region_of(&self, c: usize) -> usize {
+        self.region_map().get(c).copied().unwrap_or(0)
+    }
+
+    /// Monotonic version of the region map (0 at boot, +1 per swap).
+    pub fn region_version(&self) -> u64 {
+        self.region_version.load(Ordering::Acquire)
+    }
+
+    /// Installs a new region map and returns the new version. The caller
+    /// must have validated `map` (length = cloudlets, every shard
+    /// `0..self.shards` non-empty) — see `server::region_map`.
+    pub fn swap_region_map(&self, map: Vec<usize>) -> u64 {
+        *lock_ok(&self.region_of) = std::sync::Arc::new(map);
+        self.region_version.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Allocates the next snapshot epoch.
@@ -523,6 +574,29 @@ mod tests {
         assert!(op.ack_apply());
         assert!(op.take_reply().is_some());
         assert!(op.take_reply().is_none(), "reply is taken exactly once");
+    }
+
+    #[test]
+    fn region_map_swaps_bump_version_and_reroute() {
+        let c = Coordinator::new(2, vec![0, 1], 0);
+        assert_eq!(c.region_version(), 0);
+        assert_eq!(c.region_of(0), 0);
+        assert_eq!(c.region_of(1), 1);
+        assert_eq!(c.region_of(99), 0, "unknown cloudlets clamp to region 0");
+        assert_eq!(c.swap_region_map(vec![1, 0]), 1);
+        assert_eq!(c.region_version(), 1);
+        assert_eq!(c.region_of(0), 1);
+        assert_eq!(*c.region_map(), vec![1, 0]);
+    }
+
+    #[test]
+    fn gauges_track_migrations_per_shard() {
+        let g = ShardGauges::new(2);
+        assert_eq!(g.migrations(0), 0);
+        g.add_migrations(1, 2);
+        g.add_migrations(1, 1);
+        assert_eq!(g.migrations(1), 3);
+        assert_eq!(g.migrations(0), 0);
     }
 
     #[test]

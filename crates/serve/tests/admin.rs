@@ -1,0 +1,351 @@
+//! End-to-end tests of the HTTP admin surface over real sockets.
+//!
+//! Each test boots an in-process daemon with an ephemeral admin port
+//! ([`ServerConfig::admin_addr`] = `127.0.0.1:0`), talks HTTP/1.1 to it
+//! with a hand-rolled client (the same discipline as the surface under
+//! test), and drains through the regular wire protocol. Covered:
+//! Prometheus conformance and registry coverage of `GET /metrics`
+//! (including counter monotonicity across scrapes), `GET /placement`
+//! agreement with the `stats` verb, robustness against malformed and
+//! oversized requests, and validation-before-swap on
+//! `POST /reload/topology`.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use mec_core::model::{CloudletSpec, Market, ProviderSpec};
+use mec_obs::probes::{ProbeKind, REGISTRY};
+use mec_serve::{serve, Client, Response, ServerConfig, ServerHandle};
+
+/// Two cloudlets, each with room for exactly two of the identical
+/// providers (same fixture as the wire-protocol integration tests).
+fn two_slot_market(providers: usize) -> Market {
+    let mut b = Market::builder()
+        .cloudlet(CloudletSpec::new(4.0, 20.0, 0.5, 0.5))
+        .cloudlet(CloudletSpec::new(4.0, 20.0, 0.3, 0.2));
+    for _ in 0..providers {
+        b = b.provider(ProviderSpec::new(2.0, 8.0, 1.0, 30.0));
+    }
+    b.uniform_update_cost(0.2).build()
+}
+
+fn boot(market: Market, shards: usize) -> (ServerHandle, Client, SocketAddr) {
+    let cfg = ServerConfig {
+        shards,
+        admin_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let handle = serve(market, &cfg).expect("boot");
+    let admin = handle.admin_addr().expect("admin listener bound");
+    let client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    (handle, client, admin)
+}
+
+fn drain(handle: ServerHandle, client: &mut Client) {
+    assert_eq!(client.shutdown().expect("shutdown"), Response::Draining);
+    handle.join();
+}
+
+/// Sends raw bytes, returns `(status, body)` of the one-shot response.
+fn raw(admin: SocketAddr, request: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(admin).expect("connect admin");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    s.write_all(request).expect("write request");
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("read reply");
+    let status = reply
+        .split_whitespace()
+        .nth(1)
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in reply: {reply:.60}"));
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(admin: SocketAddr, path: &str) -> (u16, String) {
+    raw(
+        admin,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(admin: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    raw(
+        admin,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// Pulls `"field":<integer>` out of a flat JSON body.
+fn json_u64(body: &str, field: &str) -> u64 {
+    let key = format!("\"{field}\":");
+    let at = body
+        .find(&key)
+        .unwrap_or_else(|| panic!("no {key} in {body:.120}"));
+    body[at + key.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key} in {body:.120}"))
+}
+
+/// The exposition family a probe lands in (mirrors `mec_obs::prom`):
+/// per-shard variants like `serve.publish.s0.ns` fold into their base
+/// family (`serve_publish_ns`) as `shard`-labeled series.
+fn family(name: &str) -> String {
+    let segs: Vec<&str> = name.split('.').collect();
+    if segs.len() >= 2 {
+        let pen = segs[segs.len() - 2];
+        if pen.len() > 1 && pen.starts_with('s') && pen[1..].chars().all(|c| c.is_ascii_digit()) {
+            let mut folded = segs;
+            folded.remove(folded.len() - 2);
+            return sanitized(&folded.join("."));
+        }
+    }
+    sanitized(name)
+}
+
+/// The admin surface's metric-name sanitization (mirrors
+/// `mec_obs::prom`): every char outside `[a-zA-Z0-9_:]` becomes `_`.
+fn sanitized(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Parses exposition text into (`# TYPE` map, per-series sample values).
+fn parse_prometheus(body: &str) -> (HashMap<String, String>, HashMap<String, f64>) {
+    let mut types = HashMap::new();
+    let mut samples = HashMap::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (it.next(), it.next()) else {
+                panic!("malformed TYPE line: {line}");
+            };
+            assert!(
+                types.insert(name.to_string(), kind.to_string()).is_none(),
+                "duplicate # TYPE for {name}"
+            );
+            continue;
+        }
+        if line.starts_with('#') {
+            assert!(line.starts_with("# HELP "), "unknown comment line: {line}");
+            continue;
+        }
+        // A sample: `series value` where series is `name` or `name{...}`.
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let v: f64 = value.parse().unwrap_or_else(|_| {
+            panic!("non-numeric sample value in line: {line}");
+        });
+        let metric = series.split('{').next().expect("series name");
+        assert!(
+            metric
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name char in line: {line}"
+        );
+        samples.insert(series.to_string(), v);
+    }
+    (types, samples)
+}
+
+#[test]
+fn metrics_covers_registry_and_counters_are_monotonic() {
+    let (handle, mut client, admin) = boot(two_slot_market(4), 2);
+    for p in 0..3 {
+        client.join(p).expect("join");
+    }
+
+    let (status, first) = get(admin, "/metrics");
+    assert_eq!(status, 200);
+    let (types, samples1) = parse_prometheus(&first);
+
+    // Every registered probe that /metrics promises (gauges stream to
+    // the JSONL sink only) appears with the right exposition type, even
+    // before its first emission.
+    for p in REGISTRY {
+        let metric = family(p.name);
+        match p.kind {
+            ProbeKind::Gauge => assert!(
+                !types.contains_key(&metric),
+                "gauge {} leaked into /metrics",
+                p.name
+            ),
+            ProbeKind::Counter => assert_eq!(
+                types.get(&metric).map(String::as_str),
+                Some("counter"),
+                "missing/mistyped counter {}",
+                p.name
+            ),
+            ProbeKind::Histogram | ProbeKind::Span => assert_eq!(
+                types.get(&metric).map(String::as_str),
+                Some("summary"),
+                "missing/mistyped summary {}",
+                p.name
+            ),
+        }
+    }
+    // Per-shard publish latency folds into one labeled family.
+    assert!(
+        first.contains("serve_publish_ns_count{shard=\"0\"}")
+            && first.contains("serve_publish_ns_count{shard=\"1\"}"),
+        "expected shard-labeled publish series in:\n{first:.400}"
+    );
+
+    // More traffic, then a second scrape: counters never move backwards.
+    for p in 0..3 {
+        client.query(p).expect("query");
+    }
+    client.join(3).expect("join");
+    let (status, second) = get(admin, "/metrics");
+    assert_eq!(status, 200);
+    let (_, samples2) = parse_prometheus(&second);
+    for (series, &v1) in &samples1 {
+        let metric = series.split('{').next().expect("name");
+        if types.get(metric).map(String::as_str) != Some("counter") {
+            continue;
+        }
+        let v2 = samples2
+            .get(series)
+            .unwrap_or_else(|| panic!("counter series {series} vanished on rescrape"));
+        assert!(*v2 >= v1, "counter {series} went backwards: {v1} -> {v2}");
+    }
+
+    drain(handle, &mut client);
+}
+
+#[test]
+fn placement_agrees_with_the_stats_verb() {
+    let (handle, mut client, admin) = boot(two_slot_market(4), 2);
+    for p in 0..3 {
+        assert!(matches!(
+            client.join(p).expect("join"),
+            Response::Admitted { .. }
+        ));
+    }
+
+    // Maintenance epochs may still be applying improving moves right
+    // after the joins; poll until one scrape and one stats call observe
+    // the same quiesced state.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().expect("stats");
+        let (status, body) = get(admin, "/placement");
+        assert_eq!(status, 200);
+        let agree = json_u64(&body, "seq") == stats.seq
+            && json_u64(&body, "active") as usize == stats.active
+            && body.matches("\"provider\":").count() == stats.active;
+        if agree {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "placement never agreed with stats: {stats:?} vs {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    drain(handle, &mut client);
+}
+
+#[test]
+fn malformed_and_oversized_requests_do_not_wedge_the_listener() {
+    let (handle, mut client, admin) = boot(two_slot_market(2), 1);
+
+    let (status, _) = raw(admin, b"GARBAGE NONSENSE\r\n\r\n");
+    assert_eq!(status, 400, "non-HTTP bytes");
+
+    let huge_header = format!(
+        "GET /metrics HTTP/1.1\r\nX-Filler: {}\r\n\r\n",
+        "x".repeat(16 * 1024)
+    );
+    let (status, _) = raw(admin, huge_header.as_bytes());
+    assert_eq!(status, 431, "oversized head");
+
+    let (status, _) = raw(
+        admin,
+        b"POST /reload/topology HTTP/1.1\r\nContent-Length: 2000000\r\n\r\n",
+    );
+    assert_eq!(status, 413, "oversized body");
+
+    let (status, _) = raw(admin, b"DELETE /metrics HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 405, "unsupported method");
+
+    let (status, _) = get(admin, "/nope");
+    assert_eq!(status, 404, "unknown path");
+
+    // A client that sends nothing and hangs up mid-head.
+    drop(TcpStream::connect(admin).expect("connect"));
+
+    // The listener survived all of it.
+    let (status, body) = get(admin, "/shards");
+    assert_eq!(status, 200);
+    assert_eq!(json_u64(&body, "shard"), 0);
+
+    drain(handle, &mut client);
+}
+
+#[test]
+fn topology_reload_validates_before_swapping() {
+    let (handle, mut client, admin) = boot(two_slot_market(4), 2);
+
+    let (_, body) = get(admin, "/shards");
+    assert_eq!(json_u64(&body, "region_version"), 0);
+
+    // Invalid maps: shard left empty, shard out of range, wrong length,
+    // non-numeric. None may change the live map.
+    for bad in ["0 0", "5 5", "0 1 0", "zero one"] {
+        let (status, reply) = post(admin, "/reload/topology", bad);
+        assert_eq!(status, 400, "map '{bad}' accepted: {reply}");
+    }
+    let (_, body) = get(admin, "/shards");
+    assert_eq!(
+        json_u64(&body, "region_version"),
+        0,
+        "rejected reload still bumped the version"
+    );
+
+    // A valid swap bumps the version and re-steers cloudlet routing.
+    let (status, reply) = post(admin, "/reload/topology", "1,0");
+    assert_eq!(status, 200, "{reply}");
+    assert_eq!(json_u64(&reply, "region_version"), 1);
+    let (_, residuals) = get(admin, "/residuals");
+    assert_eq!(json_u64(&residuals, "region_version"), 1);
+    assert!(
+        residuals.contains("{\"cloudlet\":0,\"shard\":1,"),
+        "cloudlet 0 not re-steered to shard 1: {residuals}"
+    );
+
+    // The data plane stays usable after the swap.
+    assert!(matches!(
+        client.join(0).expect("join after reload"),
+        Response::Admitted { .. } | Response::Rejected { .. }
+    ));
+
+    drain(handle, &mut client);
+}

@@ -10,7 +10,7 @@
 //! mec failure                     testbed switch-failure drill
 //! mec stats <gtitm|waxman|as1755> [size]   topology statistics
 //! mec dot <gtitm|waxman|as1755> [size]     Graphviz DOT of a placed network
-//! mec serve [--port P] [--snapshot PATH] [--providers N] [--size N] [--shards N]
+//! mec serve [--port P] [--admin-port P] [--snapshot PATH] [--providers N] [--size N] [--shards N]
 //!                                 run the live service-market daemon
 //! mec load <addr> [--sessions N] [--epochs N] [--seed S] [--out PATH]
 //!                                 drive a running daemon with marketload
@@ -253,6 +253,7 @@ fn parse_flag<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> 
 
 fn cmd_serve(rest: &[String]) {
     let port: u16 = parse_flag(rest, "--port", 7690);
+    let admin_port: u16 = parse_flag(rest, "--admin-port", 0);
     let providers: usize = parse_flag(rest, "--providers", 100);
     let size: usize = parse_flag(rest, "--size", 100);
     let seed: u64 = parse_flag(rest, "--seed", 42);
@@ -267,6 +268,7 @@ fn cmd_serve(rest: &[String]) {
         snapshot_path: snapshot.clone(),
         shards,
         regions,
+        admin_addr: (admin_port != 0).then(|| format!("127.0.0.1:{admin_port}")),
         ..mec_serve::ServerConfig::default()
     };
     let handle = match mec_serve::serve(scenario.generated.market, &cfg) {
@@ -285,6 +287,9 @@ fn cmd_serve(rest: &[String]) {
             None => String::new(),
         }
     );
+    if let Some(admin) = handle.admin_addr() {
+        println!("admin surface on http://{admin} (/metrics /placement /residuals /shards)");
+    }
     println!(
         "drain with: mec load {} --shutdown  (or any client's shutdown op)",
         handle.addr()

@@ -326,7 +326,7 @@ mod tests {
         files: &[
             (
                 "crates/obs/src/probes.rs",
-                "//! Probe registry.\npub const REGISTRY: &[&str] = &[\"serve.join.admitted\"];\n",
+                "//! Probe registry.\npub const REGISTRY: &[Probe] = &[Probe {\n    name: \"serve.join.admitted\",\n    kind: ProbeKind::Counter,\n    help: \"Admitted joins; mentions serve.join.admited on purpose.\",\n}];\n",
             ),
             (
                 "crates/serve/src/market.rs",
@@ -341,7 +341,7 @@ mod tests {
         files: &[
             (
                 "crates/obs/src/probes.rs",
-                "//! Probe registry.\npub const REGISTRY: &[&str] = &[\"serve.join.admitted\"];\n",
+                "//! Probe registry.\npub const REGISTRY: &[Probe] = &[Probe {\n    name: \"serve.join.admitted\",\n    kind: ProbeKind::Counter,\n    help: \"Admitted joins.\",\n}];\n",
             ),
             (
                 "crates/serve/src/market.rs",

@@ -3,10 +3,11 @@
 //! A slow or malicious client must never be able to make the daemon
 //! allocate without bound: every buffer a connection can pump bytes or
 //! commands into needs a visible capacity check. This rule covers the
-//! three serve data-plane files where such buffers live —
+//! serve files where such buffers live —
 //! `crates/serve/src/eventloop.rs` (per-connection out-buffers,
 //! pending-response queues, read backlogs), `chan.rs` (the bounded
-//! command queue), and `proto.rs` (frame reassembly) — and flags any
+//! command queue), `proto.rs` (frame reassembly), and `admin.rs` (the
+//! HTTP admin surface's request head/body buffers) — and flags any
 //! growing call in non-test code:
 //!
 //! `.push(` `.push_back(` `.push_front(` `.extend(`
@@ -40,6 +41,7 @@ const FILES: &[&str] = &[
     "crates/serve/src/eventloop.rs",
     "crates/serve/src/chan.rs",
     "crates/serve/src/proto.rs",
+    "crates/serve/src/admin.rs",
 ];
 
 const GROWERS: &[&str] = &[

@@ -21,10 +21,12 @@
 //! exempt (the registry file would otherwise flag its own doc
 //! examples).
 //!
-//! Registry shape: every string literal in `crates/obs/src/probes.rs`
-//! non-test code is a declared name — the file is a single
-//! `pub const REGISTRY: &[&str]` plus its rustdoc, so this extraction
-//! is exact.
+//! Registry shape: `crates/obs/src/probes.rs` declares
+//! `pub const REGISTRY: &[Probe]` where each entry is a
+//! `Probe { name: "…", kind: …, help: "…" }` literal. A declared name
+//! is exactly a string literal in non-test code sitting in `name:`
+//! field position — which keeps the `help` text (free prose that may
+//! mention probe-like words) out of the extracted set.
 
 use super::super::lexer::Kind;
 use super::super::{Finding, Workspace};
@@ -45,7 +47,14 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
     let mut registry: BTreeSet<String> = BTreeSet::new();
     for k in 0..reg_file.sig.len() {
         let t = reg_file.tok(k);
-        if t.kind == Kind::Str && !reg_file.items.in_test_code(t.start) {
+        // Only literals in `name: "…"` field position declare a probe;
+        // `help:` strings and doc examples stay out of the set.
+        let named = t.kind == Kind::Str
+            && k >= 2
+            && reg_file.txt(k - 1) == ":"
+            && reg_file.txt(k - 2) == "name"
+            && !reg_file.items.in_test_code(t.start);
+        if named {
             if let Some(name) = unquote(t.text(&reg_file.text)) {
                 registry.insert(name.to_string());
             }

@@ -11,6 +11,8 @@
 //! cargo xtask tailgate scale <base.json> <sharded.json> [--min-ratio 2]
 //!                                   fail if the sharded drain bench is not
 //!                                   at least min-ratio times the base
+//! cargo xtask metrics-doc           regenerate docs/METRICS.md from the
+//!                                   probe registry (obsreport --catalog)
 //! ```
 //!
 //! See [`analyze`] for the engine and the rule registry, [`lint`] for
@@ -32,9 +34,10 @@ fn main() {
         Some("lint") => cmd_lint(args.iter().any(|a| a == "--self-test")),
         Some("analyze") => cmd_analyze(args.iter().any(|a| a == "--self-test")),
         Some("tailgate") => cmd_tailgate(&args[1..]),
+        Some("metrics-doc") => cmd_metrics_doc(),
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--self-test] | analyze [--self-test] | tailgate <report.json> [--op OP] [--max-ratio N]>"
+                "usage: cargo xtask <lint [--self-test] | analyze [--self-test] | tailgate <report.json> [--op OP] [--max-ratio N] | metrics-doc>"
             );
             std::process::exit(2);
         }
@@ -91,6 +94,56 @@ fn cmd_tailgate_scale(args: &[String]) {
         &PathBuf::from(sharded),
         min_ratio,
     ));
+}
+
+/// Regenerates `docs/METRICS.md` from `mec_obs::probes::REGISTRY` by
+/// shelling out to `obsreport --catalog` (the registry lives in mec-obs;
+/// xtask itself stays dependency-free).
+fn cmd_metrics_doc() {
+    let root = repo_root();
+    let out = std::process::Command::new(env!("CARGO"))
+        .args([
+            "run",
+            "-q",
+            "-p",
+            "mec-obs",
+            "--bin",
+            "obsreport",
+            "--",
+            "--catalog",
+        ])
+        .current_dir(&root)
+        .output();
+    let out = match out {
+        Ok(o) if o.status.success() && !o.stdout.is_empty() => o.stdout,
+        Ok(o) => {
+            eprintln!(
+                "xtask metrics-doc: obsreport --catalog failed:\n{}",
+                String::from_utf8_lossy(&o.stderr)
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("xtask metrics-doc: cannot run cargo: {e}");
+            std::process::exit(1);
+        }
+    };
+    let path = root.join("docs/METRICS.md");
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("xtask metrics-doc: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = std::fs::write(&path, &out) {
+        eprintln!("xtask metrics-doc: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "xtask metrics-doc: wrote {} ({} bytes)",
+        path.display(),
+        out.len()
+    );
 }
 
 fn repo_root() -> PathBuf {
