@@ -1,0 +1,559 @@
+//! Eviction-policy baselines on dynamic traces: LRU, LFU, and GDSF
+//! placement vs the game-theoretic placement, replaying the same
+//! `mec-scenario` schedule.
+//!
+//! Classical cache simulators (the SNIPPETS.md exemplar) treat one cache
+//! and one object stream; here the "cache" is the cloudlet fleet and the
+//! "objects" are services with two-dimensional demands, so each policy
+//! becomes a *placement* policy: a missed service is instantiated at its
+//! cheapest-flat-cost cloudlet, evicting victims chosen by the policy
+//! when capacity runs out. Evicted services fall back to remote serving
+//! (Eq. 1), exactly like a market player parking at the data center.
+//!
+//! Demand enters the economics the way the paper's cost model says it
+//! should: every per-request cost term scales with the request rate
+//! `r_l`, so each epoch the evaluation market scales provider `l`'s
+//! remote cost by its observed demand factor (an EWMA of its share of
+//! the epoch's requests, clamped). All policies are scored against the
+//! *same* per-epoch scaled market — the game placement re-plans on it
+//! (demand-driven re-caching), the eviction policies react to the raw
+//! hit/miss stream, and the social-cost comparison is apples to apples.
+
+use mec_core::strategy::{Placement, Profile};
+use mec_core::{BestResponseDynamics, Market, MoveOrder, ProviderId, ProviderSpec};
+use mec_scenario::Trace;
+use mec_topology::CloudletId;
+
+/// EWMA smoothing constant for observed request rates (weight of the
+/// newest epoch).
+pub const DEMAND_EWMA_ALPHA: f64 = 0.3;
+
+/// Demand factors are clamped to `[FACTOR_MIN, FACTOR_MAX]` so one cold
+/// epoch cannot zero a provider's economics and a flash crowd cannot
+/// blow them up unboundedly.
+pub const FACTOR_MIN: f64 = 0.25;
+/// See [`FACTOR_MIN`].
+pub const FACTOR_MAX: f64 = 4.0;
+
+/// Which placement policy replays the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePolicy {
+    /// Best-response dynamics on the demand-scaled market each epoch —
+    /// the paper's game placement, made demand-driven.
+    Game,
+    /// Least-recently-used eviction.
+    Lru,
+    /// Least-frequently-used eviction.
+    Lfu,
+    /// Greedy-Dual-Size-Frequency: priority `L + freq · cost / size`,
+    /// with per-cloudlet inflation aging.
+    Gdsf,
+}
+
+impl TracePolicy {
+    /// Stable lowercase name (bench rows, tailgate parsing).
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePolicy::Game => "game",
+            TracePolicy::Lru => "lru",
+            TracePolicy::Lfu => "lfu",
+            TracePolicy::Gdsf => "gdsf",
+        }
+    }
+
+    /// Every policy the scenario bench sweeps, game first.
+    pub fn all() -> [TracePolicy; 4] {
+        [
+            TracePolicy::Game,
+            TracePolicy::Lru,
+            TracePolicy::Lfu,
+            TracePolicy::Gdsf,
+        ]
+    }
+}
+
+/// Outcome of replaying one trace under one policy.
+#[derive(Debug, Clone)]
+pub struct TraceOutcome {
+    /// Policy name (see [`TracePolicy::name`]).
+    pub policy: &'static str,
+    /// Total requests replayed.
+    pub requests: u64,
+    /// Requests that found their service cached at a cloudlet.
+    pub hits: u64,
+    /// Remote→cloudlet placements made during the replay (cache
+    /// insertions / demand-driven re-caches).
+    pub recaches: u64,
+    /// Social cost (Eq. 6) on the per-epoch demand-scaled market,
+    /// averaged over epochs.
+    pub mean_social_cost: f64,
+    /// The placement at the end of the trace.
+    pub final_profile: Profile,
+}
+
+impl TraceOutcome {
+    /// Fraction of requests served from a cloudlet cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Per-epoch demand factors from the trace: an EWMA of each service's
+/// request rate, normalized by the mean rate and clamped to
+/// `[FACTOR_MIN, FACTOR_MAX]`. `factors[e][l]` scales provider `l`'s
+/// per-request economics during epoch `e`. Identical for every policy —
+/// the factors depend only on the trace.
+pub fn demand_factors(trace: &Trace) -> Vec<Vec<f64>> {
+    let n = trace.services;
+    let mut ewma = vec![0.0f64; n];
+    let mut out = Vec::with_capacity(trace.epoch_count());
+    for e in 0..trace.epoch_count() {
+        let counts = trace.counts(e);
+        for (l, &c) in counts.iter().enumerate() {
+            ewma[l] = DEMAND_EWMA_ALPHA * c as f64 + (1.0 - DEMAND_EWMA_ALPHA) * ewma[l];
+        }
+        let mean = (ewma.iter().sum::<f64>() / n as f64).max(f64::MIN_POSITIVE);
+        out.push(
+            ewma.iter()
+                .map(|&w| (w / mean).clamp(FACTOR_MIN, FACTOR_MAX))
+                .collect(),
+        );
+    }
+    out
+}
+
+/// Rebuilds `base` with every provider's remote cost scaled by its
+/// demand factor. Demands and capacities are untouched, so any profile
+/// feasible on `base` stays feasible on the scaled market.
+///
+/// # Panics
+///
+/// Panics if `factors.len() != base.provider_count()`.
+pub fn scaled_market(base: &Market, factors: &[f64]) -> Market {
+    let n = base.provider_count();
+    let m = base.cloudlet_count();
+    assert_eq!(factors.len(), n, "one demand factor per provider");
+    let mut builder = Market::builder();
+    for i in base.cloudlets() {
+        builder = builder.cloudlet(base.cloudlet(i).clone());
+    }
+    for l in base.providers() {
+        let spec = base.provider(l);
+        builder = builder.provider(ProviderSpec::new(
+            spec.compute_demand,
+            spec.bandwidth_demand,
+            spec.instantiation_cost,
+            spec.remote_cost * factors[l.index()],
+        ));
+    }
+    let mut matrix = Vec::with_capacity(n * m);
+    for l in base.providers() {
+        for i in base.cloudlets() {
+            matrix.push(base.update_cost(l, i));
+        }
+    }
+    builder.update_cost_matrix(matrix).build()
+}
+
+/// Replays `trace` against `market` under `policy`.
+///
+/// All four policies see the same request stream and are scored against
+/// the same per-epoch demand-scaled market; they differ only in how
+/// placements respond. The game re-plans at each epoch boundary on the
+/// *previous* epoch's factors (a one-epoch observation lag, like the
+/// serve daemon's maintenance quanta); eviction policies mutate the
+/// cache request by request.
+///
+/// # Panics
+///
+/// Panics if the trace universe does not match the market's provider
+/// count.
+pub fn evaluate_trace(market: &Market, trace: &Trace, policy: TracePolicy) -> TraceOutcome {
+    assert_eq!(
+        trace.services,
+        market.provider_count(),
+        "trace universe ({}) must match the market ({} providers)",
+        trace.services,
+        market.provider_count()
+    );
+    let factors = demand_factors(trace);
+    match policy {
+        TracePolicy::Game => replay_game(market, trace, &factors),
+        _ => replay_eviction(market, trace, &factors, policy),
+    }
+}
+
+/// The game placement: at each epoch boundary, best-response dynamics on
+/// the demand-scaled market, starting from the carried-over profile.
+fn replay_game(market: &Market, trace: &Trace, factors: &[Vec<f64>]) -> TraceOutcome {
+    let n = market.provider_count();
+    let movable = vec![true; n];
+    let driver = BestResponseDynamics::new(MoveOrder::RoundRobin);
+    let mut profile = Profile::all_remote(n);
+    let mut hits = 0u64;
+    let mut requests = 0u64;
+    let mut recaches = 0u64;
+    let mut cost_sum = 0.0;
+    for e in 0..trace.epoch_count() {
+        // Decide on what was observed so far: base market before any
+        // observation, else the previous epoch's factors.
+        let decision = if e == 0 {
+            market.clone()
+        } else {
+            scaled_market(market, &factors[e - 1])
+        };
+        let before: Vec<Placement> = (0..n).map(|l| profile.placement(ProviderId(l))).collect();
+        driver.run(&decision, &mut profile, &movable);
+        for (l, &prev) in before.iter().enumerate() {
+            let now = profile.placement(ProviderId(l));
+            if matches!(now, Placement::Cloudlet(_)) && now != prev {
+                recaches += 1;
+            }
+        }
+        for &svc in trace.requests_in(e) {
+            requests += 1;
+            if matches!(
+                profile.placement(ProviderId(svc as usize)),
+                Placement::Cloudlet(_)
+            ) {
+                hits += 1;
+            }
+        }
+        cost_sum += profile.social_cost(&scaled_market(market, &factors[e]));
+    }
+    TraceOutcome {
+        policy: TracePolicy::Game.name(),
+        requests,
+        hits,
+        recaches,
+        mean_social_cost: cost_sum / trace.epoch_count() as f64,
+        final_profile: profile,
+    }
+}
+
+/// Per-service bookkeeping for the eviction policies.
+struct CacheState {
+    placements: Vec<Placement>,
+    residual: Vec<(f64, f64)>,
+    freq: Vec<u64>,
+    last_used: Vec<u64>,
+    /// GDSF priority per cached service.
+    priority: Vec<f64>,
+    /// GDSF inflation value per cloudlet (rises to each evicted
+    /// victim's priority, so old frequencies age out).
+    inflation: Vec<f64>,
+    clock: u64,
+}
+
+impl CacheState {
+    fn new(market: &Market) -> CacheState {
+        CacheState {
+            placements: vec![Placement::Remote; market.provider_count()],
+            residual: market
+                .cloudlets()
+                .map(|i| {
+                    let c = market.cloudlet(i);
+                    (c.compute_capacity, c.bandwidth_capacity)
+                })
+                .collect(),
+            freq: vec![0; market.provider_count()],
+            last_used: vec![0; market.provider_count()],
+            priority: vec![0.0; market.provider_count()],
+            inflation: vec![0.0; market.cloudlet_count()],
+            clock: 0,
+        }
+    }
+
+    /// Normalized two-dimensional size of service `l` (GDSF divisor).
+    fn size(&self, market: &Market, l: ProviderId) -> f64 {
+        let spec = market.provider(l);
+        let c = market.max_compute_demand().max(f64::MIN_POSITIVE);
+        let b = market.max_bandwidth_demand().max(f64::MIN_POSITIVE);
+        (spec.compute_demand / c + spec.bandwidth_demand / b).max(f64::MIN_POSITIVE)
+    }
+
+    /// GDSF priority of `l` if cached at `i`.
+    fn gdsf_priority(&self, market: &Market, l: ProviderId, i: CloudletId) -> f64 {
+        self.inflation[i.index()]
+            + self.freq[l.index()] as f64 * market.flat_cost(l, i) / self.size(market, l)
+    }
+
+    /// Services currently cached at cloudlet `i` that may be evicted
+    /// (their spec allows remote serving).
+    fn evictable_at(&self, market: &Market, i: CloudletId) -> Vec<usize> {
+        (0..self.placements.len())
+            .filter(|&l| {
+                matches!(self.placements[l], Placement::Cloudlet(c) if c == i)
+                    && market.provider(ProviderId(l)).can_stay_remote()
+            })
+            .collect()
+    }
+}
+
+/// Victim order for one eviction round; smaller sorts first (evicted
+/// first).
+fn victim_key(state: &CacheState, policy: TracePolicy, l: usize) -> (f64, u64, u64, usize) {
+    match policy {
+        TracePolicy::Lru => (0.0, state.last_used[l], state.freq[l], l),
+        TracePolicy::Lfu => (0.0, state.freq[l], state.last_used[l], l),
+        TracePolicy::Gdsf => (state.priority[l], state.last_used[l], state.freq[l], l),
+        TracePolicy::Game => unreachable!("game placement has no victims"), // lint: allow(panics)
+    }
+}
+
+/// Tries to admit missed service `l`: place at the cheapest-flat-cost
+/// cloudlet, evicting per `policy` when full. Returns `true` if the
+/// service was cached.
+fn try_admit(state: &mut CacheState, market: &Market, policy: TracePolicy, l: ProviderId) -> bool {
+    let spec = market.provider(l).clone();
+    let mut order: Vec<CloudletId> = market.cloudlets().collect();
+    order.sort_by(|&a, &b| {
+        market
+            .flat_cost(l, a)
+            .partial_cmp(&market.flat_cost(l, b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index().cmp(&b.index()))
+    });
+
+    // First choice: any cloudlet with free room, cheapest first.
+    if let Some(&i) = order
+        .iter()
+        .find(|&&i| market.fits(l, state.residual[i.index()]))
+    {
+        place(state, market, policy, l, i);
+        return true;
+    }
+
+    // Otherwise evict at the cheapest cloudlet that could ever hold the
+    // service.
+    for &i in &order {
+        let cap = market.cloudlet(i);
+        if spec.compute_demand > cap.compute_capacity
+            || spec.bandwidth_demand > cap.bandwidth_capacity
+        {
+            continue;
+        }
+        let mut victims = state.evictable_at(market, i);
+        victims.sort_by(|&a, &b| {
+            victim_key(state, policy, a)
+                .partial_cmp(&victim_key(state, policy, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let candidate_pri = state.gdsf_priority(market, l, i);
+        let mut free = state.residual[i.index()];
+        let mut chosen = Vec::new();
+        for v in victims {
+            if market.fits(l, free) {
+                break;
+            }
+            // GDSF admission control: never evict a victim worth more
+            // than the candidate.
+            if policy == TracePolicy::Gdsf && state.priority[v] > candidate_pri {
+                break;
+            }
+            let vs = market.provider(ProviderId(v));
+            free.0 += vs.compute_demand;
+            free.1 += vs.bandwidth_demand;
+            chosen.push(v);
+        }
+        if !market.fits(l, free) {
+            continue; // not enough evictable value here; try next cloudlet
+        }
+        for v in chosen {
+            let vs = market.provider(ProviderId(v));
+            state.residual[i.index()].0 += vs.compute_demand;
+            state.residual[i.index()].1 += vs.bandwidth_demand;
+            state.placements[v] = Placement::Remote;
+            if policy == TracePolicy::Gdsf {
+                // Aging: the cloudlet's inflation rises to the evicted
+                // priority, so long-idle high-frequency entries decay
+                // relative to fresh arrivals.
+                if state.priority[v] > state.inflation[i.index()] {
+                    state.inflation[i.index()] = state.priority[v];
+                }
+            }
+        }
+        place(state, market, policy, l, i);
+        return true;
+    }
+    false
+}
+
+fn place(
+    state: &mut CacheState,
+    market: &Market,
+    policy: TracePolicy,
+    l: ProviderId,
+    i: CloudletId,
+) {
+    let spec = market.provider(l);
+    state.residual[i.index()].0 -= spec.compute_demand;
+    state.residual[i.index()].1 -= spec.bandwidth_demand;
+    state.placements[l.index()] = Placement::Cloudlet(i);
+    if policy == TracePolicy::Gdsf {
+        state.priority[l.index()] = state.gdsf_priority(market, l, i);
+    }
+}
+
+/// Replays the trace under an eviction policy, request by request.
+fn replay_eviction(
+    market: &Market,
+    trace: &Trace,
+    factors: &[Vec<f64>],
+    policy: TracePolicy,
+) -> TraceOutcome {
+    let mut state = CacheState::new(market);
+    let mut hits = 0u64;
+    let mut requests = 0u64;
+    let mut recaches = 0u64;
+    let mut cost_sum = 0.0;
+    for (e, epoch_factors) in factors.iter().enumerate().take(trace.epoch_count()) {
+        for &svc in trace.requests_in(e) {
+            let l = ProviderId(svc as usize);
+            state.clock += 1;
+            state.freq[l.index()] += 1;
+            state.last_used[l.index()] = state.clock;
+            requests += 1;
+            match state.placements[l.index()] {
+                Placement::Cloudlet(i) => {
+                    hits += 1;
+                    if policy == TracePolicy::Gdsf {
+                        state.priority[l.index()] = state.gdsf_priority(market, l, i);
+                    }
+                }
+                Placement::Remote => {
+                    if try_admit(&mut state, market, policy, l) {
+                        recaches += 1;
+                    }
+                }
+            }
+        }
+        let profile = Profile::new(state.placements.clone());
+        cost_sum += profile.social_cost(&scaled_market(market, epoch_factors));
+    }
+    TraceOutcome {
+        policy: policy.name(),
+        requests,
+        hits,
+        recaches,
+        mean_social_cost: cost_sum / trace.epoch_count() as f64,
+        final_profile: Profile::new(state.placements),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_scenario::standard_traces;
+    use mec_workload::{gtitm_scenario, Params};
+
+    fn market(providers: usize, seed: u64) -> Market {
+        gtitm_scenario(100, &Params::paper().with_providers(providers), seed)
+            .generated
+            .market
+    }
+
+    #[test]
+    fn every_policy_produces_a_feasible_final_profile() {
+        let m = market(30, 1);
+        let traces = standard_traces(30, 10, 80, 7);
+        for t in &traces {
+            for p in TracePolicy::all() {
+                let out = evaluate_trace(&m, t, p);
+                assert!(
+                    out.final_profile.is_feasible(&m),
+                    "{} infeasible on {}",
+                    p.name(),
+                    t.label
+                );
+                assert_eq!(out.requests, t.total_requests());
+                assert!(out.hits <= out.requests);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let m = market(20, 2);
+        let t = &standard_traces(20, 8, 60, 3)[1];
+        for p in TracePolicy::all() {
+            let a = evaluate_trace(&m, t, p);
+            let b = evaluate_trace(&m, t, p);
+            assert_eq!(a.final_profile, b.final_profile, "{}", p.name());
+            assert_eq!(a.hits, b.hits);
+            assert!((a.mean_social_cost - b.mean_social_cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skewed_popularity_yields_hits() {
+        let m = market(25, 4);
+        let t = &standard_traces(25, 12, 150, 5)[0];
+        for p in TracePolicy::all() {
+            let out = evaluate_trace(&m, t, p);
+            assert!(out.hits > 0, "{} never hit", p.name());
+            assert!(out.hit_rate() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_triggers_recaching() {
+        let m = market(25, 6);
+        let flash = &standard_traces(25, 15, 120, 11)[1];
+        for p in TracePolicy::all() {
+            let out = evaluate_trace(&m, flash, p);
+            assert!(
+                out.recaches > 0,
+                "{} never re-cached under a flash crowd",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn game_social_cost_beats_every_eviction_policy() {
+        // The claim the `tailgate scenarios` CI gate enforces on the
+        // committed bench file, checked here at unit scale.
+        let m = market(40, 42);
+        for t in &standard_traces(40, 12, 200, 42) {
+            let game = evaluate_trace(&m, t, TracePolicy::Game).mean_social_cost;
+            for p in [TracePolicy::Lru, TracePolicy::Lfu, TracePolicy::Gdsf] {
+                let base = evaluate_trace(&m, t, p).mean_social_cost;
+                assert!(
+                    game <= base + 1e-9,
+                    "game {game} > {} {base} on {}",
+                    p.name(),
+                    t.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demand_factors_track_the_flash() {
+        let t = &standard_traces(20, 15, 100, 9)[1];
+        let f = demand_factors(t);
+        let target = t.flash_targets[0] as usize;
+        // Mid-flash the target's factor should exceed its pre-flash one.
+        let pre = f[3][target];
+        let mid = f[9][target];
+        assert!(mid > pre, "flash target factor never rose: {pre} -> {mid}");
+    }
+
+    #[test]
+    fn scaled_market_preserves_feasibility_and_scales_remote() {
+        let m = market(15, 8);
+        let factors = vec![2.0; 15];
+        let s = scaled_market(&m, &factors);
+        for l in m.providers() {
+            let base = m.provider(l).remote_cost;
+            let scaled = s.provider(l).remote_cost;
+            assert!((scaled - 2.0 * base).abs() < 1e-9);
+            assert!((s.provider(l).compute_demand - m.provider(l).compute_demand).abs() < 1e-12);
+        }
+    }
+}

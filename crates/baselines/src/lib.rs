@@ -2,10 +2,13 @@
 //!
 //! * [`jo_offload_cache`](mod@jo_offload_cache) — per-provider joint caching + offloading after
 //!   \[23\], run independently by every provider;
-//! * [`offload_cache`](mod@offload_cache) — greedy decoupled offload-then-cache after \[20\].
+//! * [`offload_cache`](mod@offload_cache) — greedy decoupled offload-then-cache after \[20\];
+//! * [`eviction`] — classical cache-eviction placement policies (LRU,
+//!   LFU, GDSF) replaying `mec-scenario` dynamic-popularity traces
+//!   against the demand-driven game placement.
 //!
-//! Both respect cloudlet capacities and are evaluated under the true
-//! congestion-aware social-cost model of `mec-core`.
+//! All baselines respect cloudlet capacities and are evaluated under the
+//! true congestion-aware social-cost model of `mec-core`.
 //!
 //! # Examples
 //!
@@ -23,10 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eviction;
 pub mod jo_offload_cache;
 pub mod offload_cache;
 pub mod reference;
 
+pub use eviction::{demand_factors, evaluate_trace, scaled_market, TraceOutcome, TracePolicy};
 pub use jo_offload_cache::{jo_offload_cache, JoConfig};
 pub use offload_cache::{offload_cache, offload_objective, BaselineOutcome};
 pub use reference::{centralized_greedy, nearest_cloudlet, random_placement};

@@ -19,6 +19,15 @@
 //!   is timed. `--smoke` runs one tiny cell once per backend — the CI
 //!   bit-rot guard, valid in debug builds because it never writes.
 //!
+//! * **scenarios** (`sweepbench scenarios`) — no timing: replays the
+//!   standard dynamic-popularity traces (diurnal Zipf, flash crowd,
+//!   popularity drift; `mec-scenario`, seed 42) under the game placement
+//!   and the LRU / LFU / GDSF eviction baselines on one GT-ITM market,
+//!   written to `BENCH_scenarios.json`. Deterministic — no wall-clock in
+//!   the artifact — so any build may regenerate it, but debug/`--obs`
+//!   runs still refuse to overwrite (artifact hygiene: one canonical
+//!   regeneration command). `cargo xtask tailgate scenarios` gates on it.
+//!
 //! * **table** (`sweepbench table`) — no timing: renders the checked-in
 //!   `BENCH_appro.json` as the canonical markdown performance table that
 //!   README.md embeds (kept in sync by `tests/readme_table.rs`).
@@ -383,6 +392,99 @@ fn run_appro_sweep(quick: bool, smoke: bool) {
     println!("{json}");
 }
 
+/// The scenario comparison grid: the standard dynamic traces replayed
+/// under every placement policy on one paper-shaped GT-ITM market.
+/// Everything here is deterministic (trace generation, demand factors,
+/// best-response dynamics, eviction simulation), so the artifact is
+/// reproducible bit-for-bit from the recorded seed.
+fn run_scenario_sweep() {
+    use mec_baselines::eviction::{evaluate_trace, TracePolicy};
+
+    const SEED: u64 = 42;
+    const SIZE: usize = 100;
+    const PROVIDERS: usize = 200;
+    const EPOCHS: usize = 60;
+    const REQUESTS_PER_EPOCH: usize = 400;
+
+    let scenario = gtitm_scenario(SIZE, &Params::paper().with_providers(PROVIDERS), SEED);
+    let market = &scenario.generated.market;
+    let traces = mec_scenario::standard_traces(PROVIDERS, EPOCHS, REQUESTS_PER_EPOCH, SEED);
+
+    let mut rows = Vec::new();
+    for trace in &traces {
+        for policy in TracePolicy::all() {
+            let outcome = evaluate_trace(market, trace, policy);
+            eprintln!(
+                "  {:>16} {:>5}: hit rate {:.3}  social cost {:.3}  ({} re-caches)",
+                trace.label,
+                outcome.policy,
+                outcome.hit_rate(),
+                outcome.mean_social_cost,
+                outcome.recaches,
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\n",
+                    "      \"trace\": \"{}\",\n",
+                    "      \"policy\": \"{}\",\n",
+                    "      \"requests\": {},\n",
+                    "      \"hits\": {},\n",
+                    "      \"hit_rate\": {:.6},\n",
+                    "      \"social_cost\": {:.6},\n",
+                    "      \"recaches\": {}\n",
+                    "    }}"
+                ),
+                trace.label,
+                outcome.policy,
+                outcome.requests,
+                outcome.hits,
+                outcome.hit_rate(),
+                outcome.mean_social_cost,
+                outcome.recaches,
+            ));
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"scenario_policy_sweep\",\n",
+            "  \"seed\": {},\n",
+            "  \"network_size\": {},\n",
+            "  \"providers\": {},\n",
+            "  \"epochs\": {},\n",
+            "  \"requests_per_epoch\": {},\n",
+            "  \"note\": \"standard mec-scenario traces replayed under the game placement and ",
+            "the LRU/LFU/GDSF eviction baselines on one GT-ITM market; social_cost is the ",
+            "per-epoch demand-scaled Eq. 6 cost averaged over epochs; fully deterministic\",\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        SEED,
+        SIZE,
+        PROVIDERS,
+        EPOCHS,
+        REQUESTS_PER_EPOCH,
+        rows.join(",\n"),
+    );
+    // Deterministic, but keep the same single-regeneration-command hygiene
+    // as the timing artifacts: debug/--obs runs print without writing.
+    if cfg!(debug_assertions) || mec_obs::sink_installed() {
+        eprintln!(
+            "sweepbench: {} — not overwriting BENCH_scenarios.json \
+             (regenerate with `cargo run --release -p mec-bench --bin sweepbench -- scenarios`)",
+            if cfg!(debug_assertions) {
+                "debug build"
+            } else {
+                "obs trace active"
+            }
+        );
+    } else {
+        std::fs::write("BENCH_scenarios.json", &json).expect("write BENCH_scenarios.json");
+    }
+    println!("{json}");
+}
+
 /// Strips `--obs <path>` out of `args` and installs the JSONL trace sink
 /// (check `mec_obs::sink_installed()` for whether capture is live).
 fn install_obs(args: &mut Vec<String>) {
@@ -420,6 +522,11 @@ fn main() {
             .expect("read BENCH_appro.json (run from the workspace root)");
         let rows = mec_bench::table::parse_appro_bench(&json);
         print!("{}", mec_bench::table::appro_perf_markdown(&rows));
+        return;
+    }
+    if args.iter().any(|a| a == "scenarios") {
+        run_scenario_sweep();
+        mec_obs::shutdown();
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");

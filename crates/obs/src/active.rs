@@ -214,6 +214,19 @@ pub fn reset() {
     SINK_ON.store(false, Ordering::Release);
 }
 
+/// Clears only the histograms (latency distributions), leaving counters
+/// monotonic and any installed sink in place. Long-lived daemons expose
+/// this through `POST /reset/histograms` so operators can re-baseline
+/// tail latencies after a deploy or an incident without breaking
+/// Prometheus counter semantics. Returns how many histograms were
+/// dropped.
+pub fn reset_histograms() -> usize {
+    let mut reg = registry();
+    let n = reg.hists.len();
+    reg.hists.clear();
+    n
+}
+
 /// RAII timer guard for a named span: created by [`span`], records the
 /// elapsed time on drop (into the histogram `name` and, when a sink is
 /// installed, as a `span` event).

@@ -128,7 +128,7 @@ mod active;
 #[cfg(feature = "enabled")]
 pub use active::{
     counter_add, enabled, flush, gauge, install_file, install_writer, record, record_many, reset,
-    shutdown, sink_installed, span, summary, Span,
+    reset_histograms, shutdown, sink_installed, span, summary, Span,
 };
 
 #[cfg(not(feature = "enabled"))]
@@ -136,5 +136,5 @@ mod noop;
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
     counter_add, enabled, flush, gauge, install_file, install_writer, record, record_many, reset,
-    shutdown, sink_installed, span, summary, Span,
+    reset_histograms, shutdown, sink_installed, span, summary, Span,
 };

@@ -70,6 +70,12 @@ pub fn summary() -> Summary {
 #[inline(always)]
 pub fn reset() {}
 
+/// Would clear only the histograms; nothing to clear here (0 dropped).
+#[inline(always)]
+pub fn reset_histograms() -> usize {
+    0
+}
+
 /// RAII timer guard for a named span. A zero-sized type in no-op builds —
 /// constructing and dropping it compiles to nothing.
 #[derive(Debug)]

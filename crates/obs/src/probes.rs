@@ -219,6 +219,16 @@ pub const REGISTRY: &[Probe] = &[
     },
     // serve daemon data plane (crates/serve)
     Probe {
+        name: "serve.cache.hit",
+        kind: ProbeKind::Counter,
+        help: "Queries answered while the provider was cached at a cloudlet.",
+    },
+    Probe {
+        name: "serve.cache.miss",
+        kind: ProbeKind::Counter,
+        help: "Queries answered while the provider was remote or inactive.",
+    },
+    Probe {
         name: "serve.drain.batch",
         kind: ProbeKind::Histogram,
         help: "Commands taken per queue-drain batch by a shard writer.",
@@ -290,6 +300,11 @@ pub const REGISTRY: &[Probe] = &[
         name: "serve.queue.depth",
         kind: ProbeKind::Gauge,
         help: "Writer-queue depth sampled at drain time (per shard seq).",
+    },
+    Probe {
+        name: "serve.recache",
+        kind: ProbeKind::Counter,
+        help: "Maintenance moves that cached or re-homed a provider (demand-driven re-caching).",
     },
     Probe {
         name: "serve.shard.migrate",

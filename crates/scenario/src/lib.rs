@@ -1,0 +1,31 @@
+//! Dynamic-popularity trace engine for the service-caching market.
+//!
+//! Every workload elsewhere in the workspace is a stationary churn
+//! script; this crate generates the *non-stationary* request traffic
+//! the cache-or-not question actually turns on (the multi-time-scale
+//! popularity setting of Chen et al. and the unknown-arrivals online
+//! setting of Fan & Hou): Zipf-popularity request streams with diurnal
+//! volume cycles, flash crowds, and gradual popularity drift.
+//!
+//! The output is a replayable event schedule — [`Trace`] — that three
+//! consumers drive against identical bytes:
+//!
+//! * the offline eviction harness in `mec-baselines` (LRU / LFU / GDSF
+//!   vs the game placement);
+//! * `sweepbench scenarios` (the `BENCH_scenarios.json` comparison);
+//! * `marketload --scenario` (the same trace replayed against the live
+//!   `mec-serve` daemon's demand-observation layer).
+//!
+//! Determinism is a hard contract: the crate is std-only, all
+//! randomness flows from one splitmix64 stream, and the same
+//! [`TraceConfig`] yields a byte-identical [`Trace::schedule_text`]
+//! forever. See `crates/scenario/tests/determinism.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod popularity;
+pub mod trace;
+
+pub use popularity::{Mix, PopularityModel, Sampler};
+pub use trace::{standard_traces, validate_trace, Diurnal, Drift, FlashCrowd, Trace, TraceConfig};

@@ -1,0 +1,594 @@
+//! The trace engine: non-stationary request schedules, replayable and
+//! byte-identical per seed.
+//!
+//! A [`Trace`] is an ordered request stream per epoch: `epochs[e]` lists
+//! the service ids requested during epoch `e`, in arrival order (order
+//! matters — recency-based eviction policies see it). Three modulations
+//! compose over a Zipf base popularity:
+//!
+//! * **diurnal** — per-epoch volume swings sinusoidally around the mean
+//!   (same `1 + amplitude·sin` shape as `mec-workload`'s churn curve);
+//! * **flash crowd** — for a bounded window, a handful of cold services
+//!   get their sampling weight multiplied by a large boost;
+//! * **drift** — every `interval` epochs the popularity ranking rotates,
+//!   so the hot set wanders over the trace instead of staying fixed.
+//!
+//! Schedules serialize to a canonical text form ([`Trace::schedule_text`])
+//! so "same seed ⇒ byte-identical schedule" is a testable statement, and
+//! parse back ([`Trace::parse_schedule`]) so a schedule generated once
+//! can be replayed anywhere — the offline eviction harness in
+//! `mec-baselines`, `sweepbench scenarios`, and `marketload --scenario`
+//! all drive the same bytes.
+
+use crate::popularity::{Mix, PopularityModel, Sampler};
+
+/// Sinusoidal per-epoch volume modulation.
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    /// Full cycle length in epochs.
+    pub period: usize,
+    /// Peak deviation from the mean volume (0.75 = ±75 %).
+    pub amplitude: f64,
+}
+
+/// A bounded surge of interest in a few previously-cold services.
+#[derive(Debug, Clone)]
+pub struct FlashCrowd {
+    /// First epoch of the surge.
+    pub start: usize,
+    /// Surge length in epochs.
+    pub duration: usize,
+    /// How many of the coldest-ranked services flash.
+    pub targets: usize,
+    /// Sampling-weight multiplier applied to each target during the
+    /// surge.
+    pub boost: f64,
+}
+
+/// Gradual popularity drift: rotate the ranking every `interval` epochs.
+#[derive(Debug, Clone)]
+pub struct Drift {
+    /// Epochs between drift steps.
+    pub interval: usize,
+    /// Ranks rotated per step (see [`PopularityModel::rotate`]).
+    pub shift: usize,
+}
+
+/// Everything that determines a trace. Two equal configs generate
+/// byte-identical schedules.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Human-readable trace name (lands in reports and schedule text;
+    /// must not contain whitespace).
+    pub label: String,
+    /// Service universe size; request ids are `0..services`.
+    pub services: usize,
+    /// Schedule length in epochs.
+    pub epochs: usize,
+    /// Mean requests per epoch before diurnal modulation.
+    pub requests_per_epoch: usize,
+    /// Zipf skew `s` (0 = uniform; 0.9 is the classic web default).
+    pub zipf_exponent: f64,
+    /// Optional volume modulation.
+    pub diurnal: Option<Diurnal>,
+    /// Optional flash crowd.
+    pub flash: Option<FlashCrowd>,
+    /// Optional popularity drift.
+    pub drift: Option<Drift>,
+    /// RNG seed; the sole source of randomness.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// A stationary Zipf config with no modulation.
+    pub fn new(
+        label: &str,
+        services: usize,
+        epochs: usize,
+        requests_per_epoch: usize,
+        seed: u64,
+    ) -> TraceConfig {
+        TraceConfig {
+            label: label.to_string(),
+            services,
+            epochs,
+            requests_per_epoch,
+            zipf_exponent: 0.9,
+            diurnal: None,
+            flash: None,
+            drift: None,
+            seed,
+        }
+    }
+
+    /// Adds a diurnal volume cycle.
+    #[must_use]
+    pub fn with_diurnal(mut self, period: usize, amplitude: f64) -> TraceConfig {
+        self.diurnal = Some(Diurnal { period, amplitude });
+        self
+    }
+
+    /// Adds a flash crowd window.
+    #[must_use]
+    pub fn with_flash(mut self, flash: FlashCrowd) -> TraceConfig {
+        self.flash = Some(flash);
+        self
+    }
+
+    /// Adds gradual popularity drift.
+    #[must_use]
+    pub fn with_drift(mut self, interval: usize, shift: usize) -> TraceConfig {
+        self.drift = Some(Drift { interval, shift });
+        self
+    }
+
+    /// Overrides the Zipf exponent.
+    #[must_use]
+    pub fn with_zipf_exponent(mut self, s: f64) -> TraceConfig {
+        self.zipf_exponent = s;
+        self
+    }
+
+    /// Generates the schedule. Deterministic: the same config always
+    /// yields the same [`Trace`], byte for byte (see
+    /// [`Trace::schedule_text`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate config (zero services/epochs/volume, a
+    /// whitespace label, or a flash window bigger than the universe).
+    pub fn generate(&self) -> Trace {
+        assert!(self.services > 0, "trace '{}': zero services", self.label);
+        assert!(self.epochs > 0, "trace '{}': zero epochs", self.label);
+        assert!(
+            self.requests_per_epoch > 0,
+            "trace '{}': zero requests per epoch",
+            self.label
+        );
+        assert!(
+            !self.label.is_empty() && !self.label.contains(char::is_whitespace),
+            "trace label '{}' must be non-empty with no whitespace",
+            self.label
+        );
+        if let Some(f) = &self.flash {
+            assert!(
+                f.targets > 0 && f.targets <= self.services,
+                "trace '{}': flash targets {} outside 1..={}",
+                self.label,
+                f.targets,
+                self.services
+            );
+        }
+
+        let mut mix = Mix::new(self.seed);
+        let mut model = PopularityModel::new(self.services, self.zipf_exponent);
+        let mut boost = vec![1.0; self.services];
+        let mut flash_targets: Vec<u32> = Vec::new();
+        let mut epochs = Vec::with_capacity(self.epochs);
+
+        for e in 0..self.epochs {
+            // Drift first: epoch e samples from the post-drift ranking.
+            if let Some(d) = &self.drift {
+                if d.interval > 0 && e > 0 && e % d.interval == 0 {
+                    model.rotate(d.shift);
+                }
+            }
+            // Flash window: targets are the coldest-ranked services at
+            // the moment the surge starts (so the surge is a genuine
+            // popularity inversion, not a boost of already-hot heads).
+            if let Some(f) = &self.flash {
+                let active = e >= f.start && e < f.start + f.duration;
+                if active && flash_targets.is_empty() {
+                    flash_targets = (self.services - f.targets..self.services)
+                        .map(|k| model.service_at_rank(k))
+                        .collect();
+                    flash_targets.sort_unstable();
+                }
+                for b in boost.iter_mut() {
+                    *b = 1.0;
+                }
+                if active {
+                    for &t in &flash_targets {
+                        boost[t as usize] = f.boost;
+                    }
+                }
+            }
+            let volume = self.epoch_volume(e);
+            let sampler = Sampler::new(&model.service_weights(&boost));
+            let mut requests = Vec::with_capacity(volume);
+            for _ in 0..volume {
+                requests.push(sampler.sample(&mut mix));
+            }
+            epochs.push(requests);
+        }
+
+        Trace {
+            label: self.label.clone(),
+            services: self.services,
+            seed: self.seed,
+            flash_targets,
+            epochs,
+        }
+    }
+
+    /// Request volume for epoch `e` after diurnal modulation (≥ 1).
+    fn epoch_volume(&self, e: usize) -> usize {
+        let base = self.requests_per_epoch as f64;
+        let factor = match &self.diurnal {
+            Some(d) if d.period > 0 => {
+                let phase = e as f64 / d.period as f64 * std::f64::consts::TAU;
+                1.0 + d.amplitude * phase.sin()
+            }
+            _ => 1.0,
+        };
+        ((base * factor).round() as usize).max(1)
+    }
+}
+
+/// A generated request schedule: the replayable artifact every consumer
+/// drives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Trace name (from the config).
+    pub label: String,
+    /// Service universe size.
+    pub services: usize,
+    /// Seed the schedule was generated from.
+    pub seed: u64,
+    /// Services boosted by the flash crowd (empty without one).
+    pub flash_targets: Vec<u32>,
+    /// `epochs[e]` = ordered service ids requested during epoch `e`.
+    epochs: Vec<Vec<u32>>,
+}
+
+impl Trace {
+    /// Number of epochs in the schedule.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// The ordered request stream of epoch `e`.
+    pub fn requests_in(&self, e: usize) -> &[u32] {
+        &self.epochs[e]
+    }
+
+    /// Per-service request counts for epoch `e`.
+    pub fn counts(&self, e: usize) -> Vec<u32> {
+        let mut c = vec![0u32; self.services];
+        for &svc in &self.epochs[e] {
+            c[svc as usize] += 1;
+        }
+        c
+    }
+
+    /// Total requests across the whole schedule.
+    pub fn total_requests(&self) -> u64 {
+        self.epochs.iter().map(|e| e.len() as u64).sum()
+    }
+
+    /// Canonical text serialization: a header line followed by one
+    /// space-separated line of service ids per epoch. Two traces are
+    /// identical iff their schedule texts are byte-identical — this is
+    /// the representation the determinism tests compare and the replay
+    /// consumers parse.
+    pub fn schedule_text(&self) -> String {
+        let targets = if self.flash_targets.is_empty() {
+            "-".to_string()
+        } else {
+            self.flash_targets
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut out = format!(
+            "mec-scenario v1 label={} services={} seed={} epochs={} flash={}\n",
+            self.label,
+            self.services,
+            self.seed,
+            self.epochs.len(),
+            targets
+        );
+        for epoch in &self.epochs {
+            let line = epoch
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a schedule previously produced by [`Trace::schedule_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse_schedule(text: &str) -> Result<Trace, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty schedule")?;
+        let mut label = None;
+        let mut services = None;
+        let mut seed = None;
+        let mut epochs_declared = None;
+        let mut flash_targets = Vec::new();
+        let mut fields = header.split_whitespace();
+        if fields.next() != Some("mec-scenario") || fields.next() != Some("v1") {
+            return Err("not a mec-scenario v1 schedule".to_string());
+        }
+        for field in fields {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("malformed header field '{field}'"))?;
+            match key {
+                "label" => label = Some(value.to_string()),
+                "services" => {
+                    services = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|e| format!("services: {e}"))?,
+                    );
+                }
+                "seed" => seed = Some(value.parse::<u64>().map_err(|e| format!("seed: {e}"))?),
+                "epochs" => {
+                    epochs_declared =
+                        Some(value.parse::<usize>().map_err(|e| format!("epochs: {e}"))?);
+                }
+                "flash" => {
+                    if value != "-" {
+                        for id in value.split(',') {
+                            flash_targets
+                                .push(id.parse::<u32>().map_err(|e| format!("flash id: {e}"))?);
+                        }
+                    }
+                }
+                _ => return Err(format!("unknown header key '{key}'")),
+            }
+        }
+        let services = services.ok_or("header missing services")?;
+        let mut epochs = Vec::new();
+        for (k, line) in lines.enumerate() {
+            let mut requests = Vec::new();
+            for id in line.split_whitespace() {
+                let id: u32 = id
+                    .parse()
+                    .map_err(|e| format!("epoch {k}: bad service id '{id}': {e}"))?;
+                if id as usize >= services {
+                    return Err(format!("epoch {k}: service id {id} >= universe {services}"));
+                }
+                requests.push(id);
+            }
+            epochs.push(requests);
+        }
+        if let Some(declared) = epochs_declared {
+            if declared != epochs.len() {
+                return Err(format!(
+                    "header declares {declared} epochs but schedule has {}",
+                    epochs.len()
+                ));
+            }
+        }
+        Ok(Trace {
+            label: label.ok_or("header missing label")?,
+            services,
+            seed: seed.ok_or("header missing seed")?,
+            flash_targets,
+            epochs,
+        })
+    }
+}
+
+/// Validates a schedule: every id in range, epoch count and volumes
+/// sane. Returns the peak epoch volume.
+///
+/// # Panics
+///
+/// Panics naming the offending epoch on the first violation.
+pub fn validate_trace(trace: &Trace) -> usize {
+    assert!(trace.services > 0, "trace '{}': zero services", trace.label);
+    assert!(
+        trace.epoch_count() > 0,
+        "trace '{}': zero epochs",
+        trace.label
+    );
+    let mut peak = 0;
+    for e in 0..trace.epoch_count() {
+        let reqs = trace.requests_in(e);
+        assert!(
+            !reqs.is_empty(),
+            "trace '{}': epoch {e} has no requests",
+            trace.label
+        );
+        for &svc in reqs {
+            assert!(
+                (svc as usize) < trace.services,
+                "trace '{}': epoch {e} requests unknown service {svc}",
+                trace.label
+            );
+        }
+        peak = peak.max(reqs.len());
+    }
+    for &t in &trace.flash_targets {
+        assert!(
+            (t as usize) < trace.services,
+            "trace '{}': flash target {t} outside the universe",
+            trace.label
+        );
+    }
+    peak
+}
+
+/// The three dynamic traces the scenario bench sweeps — one per
+/// non-stationarity the paper's setting cares about:
+///
+/// 1. `zipf_diurnal` — stationary Zipf popularity, sinusoidal volume;
+/// 2. `flash_crowd` — a mid-trace surge on the five coldest services
+///    (weight ×50);
+/// 3. `popularity_drift` — the ranking rotates by three every five
+///    epochs, with a mild diurnal cycle on top.
+///
+/// All three share `services`, `epochs`, `requests_per_epoch`, and
+/// derive their RNG streams from `seed` (offset per trace so the
+/// schedules are independent).
+pub fn standard_traces(
+    services: usize,
+    epochs: usize,
+    requests_per_epoch: usize,
+    seed: u64,
+) -> Vec<Trace> {
+    let flash = FlashCrowd {
+        start: epochs / 3,
+        duration: (epochs / 3).max(1),
+        targets: 5.min(services),
+        boost: 50.0,
+    };
+    vec![
+        TraceConfig::new("zipf_diurnal", services, epochs, requests_per_epoch, seed)
+            .with_diurnal(epochs.max(2) / 2, 0.75)
+            .generate(),
+        TraceConfig::new(
+            "flash_crowd",
+            services,
+            epochs,
+            requests_per_epoch,
+            seed.wrapping_add(1),
+        )
+        .with_flash(flash)
+        .generate(),
+        TraceConfig::new(
+            "popularity_drift",
+            services,
+            epochs,
+            requests_per_epoch,
+            seed.wrapping_add(2),
+        )
+        .with_drift(5, 3)
+        .with_diurnal(epochs.max(2) / 2, 0.3)
+        .generate(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> TraceConfig {
+        TraceConfig::new("t", 20, 12, 50, 9)
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = base().generate();
+        let b = base().generate();
+        assert_eq!(a.schedule_text(), b.schedule_text());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = base().generate();
+        let mut cfg = base();
+        cfg.seed = 10;
+        let b = cfg.generate();
+        assert_ne!(a.schedule_text(), b.schedule_text());
+    }
+
+    #[test]
+    fn diurnal_modulates_volume() {
+        let flat = base().generate();
+        let wave = base().with_diurnal(12, 0.75).generate();
+        let spread = |t: &Trace| {
+            let sizes: Vec<usize> = (0..t.epoch_count())
+                .map(|e| t.requests_in(e).len())
+                .collect();
+            sizes.iter().max().unwrap() - sizes.iter().min().unwrap()
+        };
+        assert!(
+            spread(&wave) > spread(&flat),
+            "diurnal cycle had no effect on volume"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_boosts_cold_targets() {
+        let cfg = base().with_flash(FlashCrowd {
+            start: 4,
+            duration: 4,
+            targets: 3,
+            boost: 100.0,
+        });
+        let t = cfg.generate();
+        assert_eq!(t.flash_targets.len(), 3);
+        // Targets are cold (bottom-ranked) services.
+        for &target in &t.flash_targets {
+            assert!(target as usize >= t.services - 3);
+        }
+        let in_window: u32 = (4..8).map(|e| t.counts(e)).fold(0, |acc, c| {
+            acc + t.flash_targets.iter().map(|&x| c[x as usize]).sum::<u32>()
+        });
+        let out_window: u32 = (0..4).map(|e| t.counts(e)).fold(0, |acc, c| {
+            acc + t.flash_targets.iter().map(|&x| c[x as usize]).sum::<u32>()
+        });
+        assert!(
+            in_window > 4 * out_window.max(1),
+            "flash window did not dominate: {in_window} vs {out_window}"
+        );
+    }
+
+    #[test]
+    fn drift_moves_the_hot_set() {
+        let cfg = TraceConfig::new("d", 20, 40, 200, 5).with_drift(5, 3);
+        let t = cfg.generate();
+        let top = |e: usize| {
+            let c = t.counts(e);
+            (0..c.len()).max_by_key(|&l| c[l]).unwrap()
+        };
+        assert_ne!(
+            top(0),
+            top(t.epoch_count() - 1),
+            "ranking rotation never changed the most-requested service"
+        );
+    }
+
+    #[test]
+    fn schedule_text_round_trips() {
+        let t = base()
+            .with_flash(FlashCrowd {
+                start: 2,
+                duration: 3,
+                targets: 2,
+                boost: 25.0,
+            })
+            .generate();
+        let parsed = Trace::parse_schedule(&t.schedule_text()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_ids() {
+        let text = "mec-scenario v1 label=x services=3 seed=1 epochs=1 flash=-\n0 1 7\n";
+        assert!(Trace::parse_schedule(text).is_err());
+    }
+
+    #[test]
+    fn standard_traces_cover_the_three_dynamics() {
+        let traces = standard_traces(30, 24, 100, 42);
+        assert_eq!(traces.len(), 3);
+        let labels: Vec<&str> = traces.iter().map(|t| t.label.as_str()).collect();
+        assert_eq!(labels, ["zipf_diurnal", "flash_crowd", "popularity_drift"]);
+        for t in &traces {
+            assert!(validate_trace(t) > 0);
+            assert_eq!(t.epoch_count(), 24);
+        }
+        assert!(!traces[1].flash_targets.is_empty());
+    }
+
+    #[test]
+    fn validate_catches_malformed_ids() {
+        let mut t = base().generate();
+        t.epochs[3][0] = 99;
+        let r = std::panic::catch_unwind(|| validate_trace(&t));
+        assert!(r.is_err());
+    }
+}

@@ -16,6 +16,14 @@
 //!   owning shards, read lock-free from the arc-swapped per-shard
 //!   [`crate::view::MarketView`]s (the same source the `query`/`stats`
 //!   verbs answer from; `seq` is the shard-summed stats seq).
+//! * `GET /placement/<provider-id>` — one provider's drill-down:
+//!   assignment, cost, demand vector, observed request-rate EWMA, and
+//!   the residual capacity of its cloudlet (when cached). `400` for a
+//!   non-numeric id, `404` for an id outside the booted universe.
+//! * `POST /reset/histograms` — clear every `mec-obs` latency histogram
+//!   (counters stay monotonic, Prometheus-safe) so operators can
+//!   re-baseline tails after a deploy or an incident; answers with how
+//!   many were dropped.
 //! * `GET /residuals` — Eq. 4–5 residual capacities and congestion per
 //!   cloudlet, each read from its owning shard's published view.
 //! * `GET /shards` — per-shard queue depth, settled writes, published
@@ -259,9 +267,20 @@ fn dispatch(req: &HttpRequest, shared: &AdminShared) -> (u16, &'static str, Stri
             mec_obs::prom::render(&mec_obs::summary()),
         ),
         ("GET", "/placement") => (200, "application/json", placement_json(shared)),
+        ("GET", p) if p.starts_with("/placement/") => {
+            placement_detail(&p["/placement/".len()..], shared)
+        }
         ("GET", "/residuals") => (200, "application/json", residuals_json(shared)),
         ("GET", "/shards") => (200, "application/json", shards_json(shared)),
         ("POST", "/reload/topology") => reload_topology(&req.body, shared),
+        ("POST", "/reset/histograms") => {
+            let cleared = mec_obs::reset_histograms();
+            (
+                200,
+                "application/json",
+                format!("{{\"ok\":true,\"cleared\":{cleared}}}\n"),
+            )
+        }
         ("GET", _) => (
             404,
             "application/json",
@@ -325,6 +344,63 @@ fn placement_json(shared: &AdminShared) -> String {
         rows.len(),
         json_f64(social_cost),
         rows.join(",")
+    )
+}
+
+/// `GET /placement/<id>`: one provider's drill-down, read from its
+/// owning shard's view: assignment and cost, the market's demand vector
+/// for it, the request-rate EWMA the maintenance quanta saw last, and —
+/// when cached — the residual capacity left at its cloudlet.
+fn placement_detail(id: &str, shared: &AdminShared) -> (u16, &'static str, String) {
+    let Ok(p) = id.parse::<usize>() else {
+        return (
+            400,
+            "application/json",
+            format!(
+                "{{\"ok\":false,\"error\":\"bad provider id '{}'\"}}\n",
+                id.replace('"', "'")
+            ),
+        );
+    };
+    if p >= shared.providers {
+        return (
+            404,
+            "application/json",
+            format!(
+                "{{\"ok\":false,\"error\":\"unknown provider {p} (universe is {})\"}}\n",
+                shared.providers
+            ),
+        );
+    }
+    let k = shared.router.owner(p).min(shared.views.len() - 1);
+    let v = shared.views[k].load();
+    let active = v.active.get(p).copied().unwrap_or(false);
+    let cloudlet = match v.placements.get(p) {
+        Some(Placement::Cloudlet(c)) => Some(c.index()),
+        _ => None,
+    };
+    let (compute, bandwidth) = v.demands.get(p).copied().unwrap_or((0.0, 0.0));
+    let ewma = v.demand_ewma.get(p).copied().unwrap_or(0.0);
+    let (cloudlet_s, res_a, res_b) = match cloudlet {
+        Some(c) => {
+            let (a, b) = v.residual.get(c).copied().unwrap_or((f64::NAN, f64::NAN));
+            (c.to_string(), json_f64(a), json_f64(b))
+        }
+        None => ("null".to_string(), "null".into(), "null".into()),
+    };
+    (
+        200,
+        "application/json",
+        format!(
+            "{{\"provider\":{p},\"shard\":{k},\"active\":{active},\"cloudlet\":{cloudlet_s},\
+             \"cost\":{},\"compute_demand\":{},\"bandwidth_demand\":{},\"demand_ewma\":{},\
+             \"residual_compute\":{res_a},\"residual_bandwidth\":{res_b},\"seq\":{}}}\n",
+            json_f64(v.costs.get(p).copied().unwrap_or(0.0)),
+            json_f64(compute),
+            json_f64(bandwidth),
+            json_f64(ewma),
+            v.seq
+        ),
     )
 }
 

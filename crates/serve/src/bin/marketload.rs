@@ -8,6 +8,10 @@
 //!                                  feed a seeded churn stream straight
 //!                                  into the shard queues and time the
 //!                                  drain (the CI shard-scaling gate)
+//! marketload --direct --scenario K replay a generated dynamic-popularity
+//!                                  trace (K = diurnal|flash|drift) against
+//!                                  one live writer and report hit rate /
+//!                                  re-caches (the CI scenario smoke cell)
 //!
 //! flags:
 //!   --sessions N    concurrent sessions           (default 8)
@@ -24,6 +28,9 @@
 //!   --shards N      market shards, smoke/direct   (default 1); regions
 //!                   derive from the scenario topology
 //!   --commands N    churn commands, direct only   (default 100000)
+//!   --scenario K    direct only: replay trace K (diurnal|flash|drift)
+//!                   instead of the churn drain; --epochs and --queries
+//!                   become trace epochs / requests per epoch
 //!   --admin-port P  HTTP admin surface, smoke only (default off; 0 with
 //!                   --scrape picks an ephemeral port)
 //!   --scrape        scrape GET /metrics at 1 Hz during the smoke load and
@@ -41,7 +48,10 @@
 use std::path::PathBuf;
 use std::process::exit;
 
-use mec_serve::{drain_bench, run_load, serve, Client, DrainConfig, LoadConfig, ServerConfig};
+use mec_serve::{
+    drain_bench, run_load, run_scenario, serve, Client, DrainConfig, LoadConfig, ScenarioConfig,
+    ServerConfig,
+};
 use mec_workload::{gtitm_scenario, Params};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -114,6 +124,9 @@ fn main() {
 /// writes the flat JSON row the `cargo xtask tailgate scale` gate
 /// compares across shard counts.
 fn run_direct(args: &[String]) -> i32 {
+    if let Some(kind) = flag_value(args, "--scenario") {
+        return run_scenario_mode(args, &kind);
+    }
     let providers: usize = parse_flag(args, "--providers", 2000);
     let size: usize = parse_flag(args, "--size", 2000);
     let seed: u64 = parse_flag(args, "--seed", 1);
@@ -158,6 +171,62 @@ fn run_direct(args: &[String]) -> i32 {
     }
     for v in &report.violations {
         eprintln!("FAIL: certificate violation: {v}");
+        status = 1;
+    }
+    status
+}
+
+/// Replays one generated dynamic-popularity trace against a single live
+/// writer thread (socket-free, like the drain bench) and prints the
+/// [`mec_serve::ScenarioReport`]. The CI scenario smoke cell runs this
+/// with a short flash trace; exit status reflects the drain certificate.
+fn run_scenario_mode(args: &[String], kind: &str) -> i32 {
+    let label = match kind {
+        "diurnal" => "zipf_diurnal",
+        "flash" => "flash_crowd",
+        "drift" => "popularity_drift",
+        other => {
+            eprintln!("unknown --scenario '{other}' (expected diurnal|flash|drift)");
+            return 2;
+        }
+    };
+    let providers: usize = parse_flag(args, "--providers", 40);
+    let size: usize = parse_flag(args, "--size", 100);
+    let seed: u64 = parse_flag(args, "--seed", 42);
+    let epochs: usize = parse_flag(args, "--epochs", 12);
+    let requests: usize = parse_flag(args, "--queries", 80);
+    let trace = mec_scenario::standard_traces(providers, epochs, requests, seed)
+        .into_iter()
+        .find(|t| t.label == label)
+        .expect("standard trace set always contains every kind"); // lint: allow(panics)
+    let market = gtitm_scenario(size, &Params::paper().with_providers(providers), seed)
+        .generated
+        .market;
+    let report = run_scenario(market, &trace, &ScenarioConfig::default());
+    println!(
+        "{}: {} requests over {} epochs  hit rate {:.3}  ({} re-caches, \
+         {} joins, {} rejected, {} leaves, social cost {:.3})",
+        report.label,
+        report.requests,
+        report.epochs,
+        report.hit_rate(),
+        report.recaches,
+        report.joins,
+        report.rejected,
+        report.leaves,
+        report.final_social_cost,
+    );
+    let mut status = 0;
+    if !report.equilibrium {
+        eprintln!("FAIL: trace drained off-equilibrium");
+        status = 1;
+    }
+    for v in &report.violations {
+        eprintln!("FAIL: certificate violation: {v}");
+        status = 1;
+    }
+    if report.requests > 0 && report.hits == 0 {
+        eprintln!("FAIL: no request was ever served from cache");
         status = 1;
     }
     status

@@ -51,6 +51,7 @@ use std::sync::atomic::AtomicBool as WakeFlag;
 use polling::{poll, PollFd, POLLIN, POLLOUT};
 
 use crate::chan::{Sender, TrySendError};
+use crate::demand::DemandTracker;
 use crate::market::{self, composite_stats, Command};
 use crate::proto::{self, FrameDecoder, Request, Response};
 use crate::shard::{CoordKind, CoordOp, Coordinator, DrainOp, Router, ShardGauges};
@@ -195,6 +196,10 @@ pub(crate) struct IoShared {
     pub gauges: Arc<ShardGauges>,
     /// Shared epoch allocator for coordinated snapshot/restore fan-outs.
     pub coord: Arc<Coordinator>,
+    /// Per-provider query counters: every answered query is noted here,
+    /// and the shard writers fold the counts into demand EWMAs at each
+    /// maintenance quantum (demand-driven re-caching).
+    pub demand: Arc<DemandTracker>,
     /// The daemon's own address, for poking the acceptor at shutdown.
     pub addr: SocketAddr,
 }
@@ -272,15 +277,29 @@ fn answer_read(req: &Request, shared: &IoShared) -> Response {
         Request::Query { provider } => {
             let view = shared.views[shared.shard_of(*provider)].load();
             match (view.placements.get(*provider), view.costs.get(*provider)) {
-                (Some(p), Some(&cost)) => Response::Placement {
-                    at: match p {
-                        mec_core::Placement::Remote => None,
-                        mec_core::Placement::Cloudlet(c) => Some(c.index()),
-                    },
-                    cost,
-                    active: view.active[*provider],
-                    seq: view.seq,
-                },
+                (Some(p), Some(&cost)) => {
+                    // The demand signal: queries are the requests of the
+                    // paper's users, so each one is noted for the owning
+                    // writer's next EWMA fold. Hit = answered by a cached
+                    // replica; miss = served from the remote cloud.
+                    shared.demand.note(*provider);
+                    let cached =
+                        view.active[*provider] && matches!(p, mec_core::Placement::Cloudlet(_));
+                    if cached {
+                        mec_obs::counter_add("serve.cache.hit", 1);
+                    } else {
+                        mec_obs::counter_add("serve.cache.miss", 1);
+                    }
+                    Response::Placement {
+                        at: match p {
+                            mec_core::Placement::Remote => None,
+                            mec_core::Placement::Cloudlet(c) => Some(c.index()),
+                        },
+                        cost,
+                        active: view.active[*provider],
+                        seq: view.seq,
+                    }
+                }
                 _ => Response::Error {
                     msg: format!("unknown provider {provider}"),
                 },

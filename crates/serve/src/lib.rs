@@ -12,6 +12,13 @@
 //! * [`chan`] — hand-rolled bounded MPSC + oneshot channels (std-only; the
 //!   vendored tree has no channel crate);
 //! * [`view`] — immutable published snapshots for reader threads;
+//! * [`demand`] — the demand-observation layer: I/O threads note every
+//!   answered query into a shared tracker, shard writers fold the counts
+//!   into per-service EWMAs each maintenance quantum and scan providers
+//!   hottest-first (demand-driven re-caching);
+//! * [`scenario`] — replays a [`mec_scenario::Trace`] (Zipf popularity,
+//!   diurnal cycles, flash crowds, drift) against a live writer thread,
+//!   scoring cache hits and observed re-cache moves;
 //! * [`eventloop`] — the poll-based I/O loop (vendored `poll(2)` shim,
 //!   nonblocking sockets, per-connection buffers, ordered completions);
 //! * [`market`] — the single-writer market thread: batched admission
@@ -41,19 +48,23 @@
 pub mod admin;
 pub mod chan;
 pub mod client;
+pub mod demand;
 pub mod drain;
 pub mod eventloop;
 pub mod load;
 pub mod market;
 pub mod proto;
+pub mod scenario;
 pub mod server;
 pub mod shard;
 pub mod view;
 
 pub use client::Client;
+pub use demand::{DemandTracker, DEMAND_EWMA_ALPHA};
 pub use drain::{drain_bench, DrainConfig, DrainReport};
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use market::{MarketConfig, MarketOutcome};
 pub use proto::{Request, Response, StatsReport};
+pub use scenario::{run_scenario, ScenarioConfig, ScenarioReport};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use view::{MarketView, SharedView};

@@ -45,6 +45,7 @@ use mec_core::{
 use mec_topology::CloudletId;
 
 use crate::chan::{OneSender, Receiver, RecvTimeout, Sender, TrySendError};
+use crate::demand::{demand_order, DemandTracker, DEMAND_EWMA_ALPHA};
 use crate::eventloop::Completions;
 use crate::proto::{Request, Response, StatsReport};
 use crate::shard::{
@@ -304,6 +305,11 @@ pub struct ShardCtx {
     /// Live I/O-side senders; at zero the shard self-drains. `None` in
     /// the legacy wrapper, which relies on channel disconnection.
     pub io_live: Option<Arc<AtomicUsize>>,
+    /// Per-provider query counters noted by the I/O side; folded into
+    /// demand EWMAs at quantum start. Defaults to the inert
+    /// [`DemandTracker::disabled`] — attach a live one with
+    /// [`ShardCtx::with_demand`].
+    pub demand: Arc<DemandTracker>,
     /// Interned probe name for this shard's publish latency.
     publish_probe: &'static str,
 }
@@ -349,8 +355,16 @@ impl ShardCtx {
             coord,
             gauges,
             io_live,
+            demand: Arc::new(DemandTracker::disabled()),
             publish_probe,
         }
+    }
+
+    /// Attaches the live demand tracker shared with the I/O threads
+    /// (builder-style; the default context carries an inert tracker).
+    pub fn with_demand(mut self, demand: Arc<DemandTracker>) -> ShardCtx {
+        self.demand = demand;
+        self
     }
 
     /// `true` if cloudlet `c` belongs to this shard's region.
@@ -442,8 +456,13 @@ struct Book {
     epochs: u64,
     moves: u64,
     equilibrium: bool,
-    /// Round-robin scan position for maintenance quanta.
+    /// Round-robin scan position for maintenance quanta (the fallback
+    /// order when no demand has been observed).
     cursor: usize,
+    /// Per-provider request-rate EWMAs ([`DEMAND_EWMA_ALPHA`]), folded
+    /// from the shared [`DemandTracker`] at every quantum start. Drives
+    /// the hot-first maintenance scan and is published in the view.
+    demand_ewma: Vec<f64>,
     /// Cross-shard sends that hit a full peer queue, drained FIFO so
     /// per-target ordering is preserved. The writer never blocks on a
     /// peer queue — that is what makes shard-to-shard cycles safe.
@@ -466,6 +485,7 @@ struct Book {
 
 impl Book {
     fn new(active: Vec<bool>, seq: u64) -> Book {
+        let n = active.len();
         Book {
             active,
             seq,
@@ -473,6 +493,7 @@ impl Book {
             moves: 0,
             equilibrium: false,
             cursor: 0,
+            demand_ewma: vec![0.0; n],
             outbound: VecDeque::new(),
             reserved: Vec::new(),
             outgoing: None,
@@ -1589,21 +1610,50 @@ fn write_snapshot(state: &GameState<'_>, book: &Book, cfg: &MarketConfig) -> Res
     }
 }
 
-/// One bounded maintenance quantum: round-robin over the providers from
-/// the saved cursor, applying best responses of *active* providers until
-/// `max_moves` improvements land or a full quiet sweep proves the active
-/// players are at equilibrium. Bounding the moves is what makes
-/// maintenance preemptible — the serving loop re-checks the queue after
-/// every quantum, so a request burst waits for one quantum at most.
+/// Folds the query counts the I/O side accumulated since the last
+/// quantum into this shard's per-provider demand EWMAs. Counts for
+/// providers owned by other shards are left in the tracker for their
+/// owner's next fold; owned EWMAs decay toward zero through quiet
+/// quanta (the same update with a zero count).
+fn fold_demand(book: &mut Book, ctx: &ShardCtx) {
+    if ctx.demand.is_empty() {
+        return;
+    }
+    let n = book.demand_ewma.len().min(ctx.demand.len());
+    for p in 0..n {
+        if ctx.shards > 1 && ctx.router.owner(p) != ctx.index {
+            continue;
+        }
+        let count = ctx.demand.take(p) as f64;
+        let e = &mut book.demand_ewma[p];
+        *e = (1.0 - DEMAND_EWMA_ALPHA) * *e + DEMAND_EWMA_ALPHA * count;
+    }
+}
+
+/// One bounded maintenance quantum: scan the providers **hottest first**
+/// (by the demand EWMAs just folded from the I/O side; round-robin from
+/// the saved cursor when no demand has ever been observed), applying
+/// best responses of *active* providers until `max_moves` improvements
+/// land or a full quiet sweep proves the active players are at
+/// equilibrium. Demand biases only the order — every move is still an
+/// exact best response, so the fixed points stay Nash equilibria; under
+/// a bounded quantum the hot services simply get first claim on scarce
+/// capacity. Bounding the moves is what makes maintenance preemptible —
+/// the serving loop re-checks the queue after every quantum, so a
+/// request burst waits for one quantum at most.
 fn run_quantum(state: &mut GameState<'_>, book: &mut Book, ctx: &ShardCtx, max_moves: usize) {
     let n = state.len();
     book.epochs += 1;
     mec_obs::counter_add("serve.epoch", 1);
+    fold_demand(book, ctx);
+    let order = demand_order(n, &book.demand_ewma, book.cursor);
+    let mut pos = 0usize;
     let mut applied = 0usize;
+    let mut recached = 0u64;
     let mut quiet_streak = 0usize;
     while applied < max_moves && quiet_streak < n {
-        let l = ProviderId(book.cursor);
-        book.cursor = (book.cursor + 1) % n;
+        let l = ProviderId(order[pos % n]);
+        pos += 1;
         if !book.active[l.index()] || (ctx.shards > 1 && ctx.router.owner(l.index()) != ctx.index) {
             quiet_streak += 1;
             continue;
@@ -1612,17 +1662,26 @@ fn run_quantum(state: &mut GameState<'_>, book: &mut Book, ctx: &ShardCtx, max_m
         match region_best_response(state, book, ctx, l) {
             Some((p, cost)) if p != state.placement(l) && cost < current - IMPROVEMENT_TOL => {
                 state.apply_move(l, p);
+                if matches!(p, Placement::Cloudlet(_)) {
+                    recached += 1;
+                }
                 applied += 1;
                 quiet_streak = 0;
             }
             _ => quiet_streak += 1,
         }
     }
+    // Advance the fallback rotation exactly as the legacy per-step
+    // cursor bump did: one examined provider per iteration.
+    book.cursor = (book.cursor + pos) % n.max(1);
     mec_obs::record("serve.quantum.moves", applied as u64);
     if applied > 0 {
         book.moves += applied as u64;
         book.seq += 1;
         mec_obs::counter_add("serve.epoch.moves", applied as u64);
+    }
+    if recached > 0 {
+        mec_obs::counter_add("serve.recache", recached);
     }
     // A full pass with no improving move is exactly the Nash condition
     // restricted to the active players (Lemma 3 terminates the dynamics).
@@ -1642,6 +1701,13 @@ fn publish(view: &SharedView, state: &GameState<'_>, book: &Book) {
         residual[r.cloudlet].0 -= r.compute;
         residual[r.cloudlet].1 -= r.bandwidth;
     }
+    let demands: Vec<(f64, f64)> = market
+        .providers()
+        .map(|l| {
+            let spec = market.provider(l);
+            (spec.compute_demand, spec.bandwidth_demand)
+        })
+        .collect();
     view.store(MarketView {
         seq: book.seq,
         placements,
@@ -1650,6 +1716,8 @@ fn publish(view: &SharedView, state: &GameState<'_>, book: &Book) {
         social_cost,
         congestion,
         residual,
+        demands,
+        demand_ewma: book.demand_ewma.clone(),
         epochs: book.epochs,
         moves: book.moves,
         equilibrium: book.equilibrium,
@@ -2152,6 +2220,106 @@ mod tests {
         assert_eq!(outcome.active.iter().filter(|a| **a).count(), 4);
         assert!(outcome.equilibrium);
         assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+    }
+
+    /// The demand signal must change *which* provider wins scarce
+    /// capacity. One cloudlet, two providers: grow both past capacity
+    /// (evicting both), shrink both back to a size where exactly one
+    /// fits, and let the drain's maintenance quanta re-cache one of
+    /// them. With no observations the round-robin cursor picks provider
+    /// 0; with provider 1 hot, hot-first must pick provider 1.
+    #[test]
+    fn observed_demand_biases_recaching_toward_hot_providers() {
+        fn run(notes: &[(usize, u64)]) -> (Placement, Placement) {
+            let market = Market::builder()
+                .cloudlet(CloudletSpec::new(4.0, 20.0, 0.5, 0.5))
+                .provider(ProviderSpec::new(2.0, 8.0, 1.0, 30.0))
+                .provider(ProviderSpec::new(2.0, 8.0, 1.0, 30.0))
+                .uniform_update_cost(0.2)
+                .build();
+            let demand = Arc::new(DemandTracker::new(2));
+            for &(p, c) in notes {
+                for _ in 0..c {
+                    demand.note(p);
+                }
+            }
+            let ctx = ShardCtx::new(
+                0,
+                1,
+                vec![true; 1],
+                Arc::new(Router::new(2, 1)),
+                Vec::new(),
+                Vec::new(),
+                Arc::new(Coordinator::new(1, vec![0; 1], 0)),
+                Arc::new(ShardGauges::new(1)),
+                None,
+            )
+            .with_demand(demand);
+
+            let (tx, rx) = chan::bounded(16);
+            let view = SharedView::new(MarketView::empty(2));
+            let mut receivers = Vec::new();
+            for p in 0..2 {
+                let (cmd, r) = join(p);
+                tx.send(cmd).map_err(|_| ()).unwrap();
+                receivers.push(r);
+            }
+            // Grow past capacity (each eviction), then shrink to a size
+            // where one — and only one — fits the cloudlet again.
+            for &(compute, bandwidth) in &[(5.0, 8.0), (3.0, 8.0)] {
+                for p in 0..2 {
+                    let (otx, orx) = chan::oneshot();
+                    tx.send(Command::Update {
+                        provider: p,
+                        compute,
+                        bandwidth,
+                        reply: otx.into(),
+                    })
+                    .map_err(|_| ())
+                    .unwrap();
+                    receivers.push(orx);
+                }
+            }
+            let (sd_tx, sd_rx) = chan::oneshot();
+            tx.send(Command::Shutdown {
+                reply: sd_tx.into(),
+            })
+            .map_err(|_| ())
+            .unwrap();
+            drop(tx);
+
+            let outcome = run_shard(
+                market,
+                Profile::all_remote(2),
+                vec![false; 2],
+                0,
+                &rx,
+                &view,
+                &MarketConfig::default(),
+                &ctx,
+            );
+            assert_eq!(sd_rx.recv(), Some(Response::Draining));
+            assert!(outcome.equilibrium);
+            assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+            (
+                outcome.profile.placement(ProviderId(0)),
+                outcome.profile.placement(ProviderId(1)),
+            )
+        }
+
+        let (p0, p1) = run(&[]);
+        assert!(
+            matches!(p0, Placement::Cloudlet(_)),
+            "without demand the round-robin cursor re-caches provider 0, got {p0:?}/{p1:?}"
+        );
+        assert_eq!(p1, Placement::Remote);
+
+        let (p0, p1) = run(&[(1, 50), (0, 2)]);
+        assert_eq!(p0, Placement::Remote);
+        assert!(
+            matches!(p1, Placement::Cloudlet(_)),
+            "hot provider 1 must win the slot under demand-driven ordering, got {p0:?}/{p1:?}"
+        );
     }
 
     #[test]

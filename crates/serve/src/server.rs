@@ -37,6 +37,7 @@ use mec_core::model::Market;
 use mec_core::{load_snapshot, MarketSnapshot, Placement, Profile, ProviderId};
 
 use crate::chan;
+use crate::demand::DemandTracker;
 use crate::eventloop::{run_io, Completions, IoShared};
 use crate::market::{run_shard, Command, MarketConfig, MarketOutcome, ShardCtx};
 use crate::proto::{self, Response};
@@ -397,6 +398,9 @@ pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle
     let live = Arc::new(AtomicUsize::new(0));
     let io_count = cfg.io_thread_count();
     let io_live = Arc::new(AtomicUsize::new(io_count));
+    // One demand tracker daemon-wide: every I/O thread notes queries into
+    // it, each writer folds (only) its owned providers' counts.
+    let demand = Arc::new(DemandTracker::new(n));
 
     let mut txs = Vec::with_capacity(shards);
     let mut rxs = Vec::with_capacity(shards);
@@ -420,6 +424,7 @@ pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle
             router: router.clone(),
             gauges: gauges.clone(),
             coord: coord.clone(),
+            demand: demand.clone(),
             addr,
         }));
     }
@@ -451,7 +456,8 @@ pub fn serve(market: Market, cfg: &ServerConfig) -> std::io::Result<ServerHandle
             coord.clone(),
             gauges.clone(),
             (shards > 1).then(|| io_live.clone()),
-        );
+        )
+        .with_demand(demand.clone());
         // This shard's slice of the boot state: owned providers carry
         // their restored placement and admission flag, everyone else is
         // Remote/inactive (their owner's slice carries them).

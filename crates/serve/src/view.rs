@@ -37,6 +37,14 @@ pub struct MarketView {
     /// whether migrating a provider into the region could pay off; the
     /// estimate is advisory — admission re-checks on the owning thread.
     pub residual: Vec<(f64, f64)>,
+    /// `(compute, bandwidth)` demand per provider, from the publishing
+    /// shard's market copy. Feeds the admin placement drill-down.
+    pub demands: Vec<(f64, f64)>,
+    /// Observed request-rate EWMA per provider (folded from I/O-side
+    /// query counts once per maintenance quantum; zero when the daemon
+    /// runs without a demand tracker). In a sharded daemon only the
+    /// publishing shard's own providers carry a live signal.
+    pub demand_ewma: Vec<f64>,
     /// Equilibrium-maintenance epochs run so far.
     pub epochs: u64,
     /// Improving moves applied by those epochs.
@@ -57,6 +65,8 @@ impl MarketView {
             social_cost: 0.0,
             congestion: Vec::new(),
             residual: Vec::new(),
+            demands: vec![(0.0, 0.0); providers],
+            demand_ewma: vec![0.0; providers],
             epochs: 0,
             moves: 0,
             equilibrium: false,

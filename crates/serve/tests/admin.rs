@@ -349,3 +349,103 @@ fn topology_reload_validates_before_swapping() {
 
     drain(handle, &mut client);
 }
+
+#[test]
+fn placement_drilldown_reports_one_provider() {
+    let (handle, mut client, admin) = boot(two_slot_market(4), 2);
+    assert!(matches!(
+        client.join(1).expect("join"),
+        Response::Admitted { .. }
+    ));
+    // Queries feed the demand tracker the drill-down's EWMA comes from.
+    for _ in 0..5 {
+        client.query(1).expect("query");
+    }
+
+    // Poll: the drill-down reads the owning shard's published view,
+    // which covers the join once its batch is published.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let body = loop {
+        let (status, body) = get(admin, "/placement/1");
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"active\":true") {
+            break body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "drill-down never saw the join: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(json_u64(&body, "provider"), 1);
+    assert!(json_u64(&body, "shard") < 2);
+    assert!(
+        json_u64(&body, "cloudlet") < 2,
+        "admitted provider must be cached: {body}"
+    );
+    // The fixture's demand vector rides along for capacity triage.
+    assert_eq!(json_u64(&body, "compute_demand"), 2);
+    assert_eq!(json_u64(&body, "bandwidth_demand"), 8);
+    for field in [
+        "demand_ewma",
+        "residual_compute",
+        "residual_bandwidth",
+        "cost",
+    ] {
+        assert!(
+            body.contains(&format!("\"{field}\":")),
+            "{field} missing: {body}"
+        );
+    }
+
+    // An admitted-but-unknown id is 404, a non-numeric one 400.
+    let (status, body) = get(admin, "/placement/99");
+    assert_eq!(status, 404, "{body}");
+    let (status, body) = get(admin, "/placement/one");
+    assert_eq!(status, 400, "{body}");
+
+    drain(handle, &mut client);
+}
+
+#[test]
+fn reset_histograms_keeps_counters_monotonic() {
+    let (handle, mut client, admin) = boot(two_slot_market(4), 1);
+    for p in 0..3 {
+        client.join(p).expect("join");
+        client.query(p).expect("query");
+    }
+
+    let (status, first) = get(admin, "/metrics");
+    assert_eq!(status, 200);
+    let (types, before) = parse_prometheus(&first);
+
+    let (status, reply) = post(admin, "/reset/histograms", "");
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    // `cleared` reports how many distributions were dropped (0 in
+    // builds without --features obs, where nothing ever records).
+    let _ = json_u64(&reply, "cleared");
+
+    // Histograms may re-baseline, counters must not move backwards.
+    let (status, second) = get(admin, "/metrics");
+    assert_eq!(status, 200);
+    let (_, after) = parse_prometheus(&second);
+    for (series, &v1) in &before {
+        let metric = series.split('{').next().expect("name");
+        if types.get(metric).map(String::as_str) != Some("counter") {
+            continue;
+        }
+        let v2 = after
+            .get(series)
+            .unwrap_or_else(|| panic!("counter series {series} vanished after reset"));
+        assert!(
+            *v2 >= v1,
+            "counter {series} went backwards across the reset: {v1} -> {v2}"
+        );
+    }
+    // GET on the reset endpoint is not a thing.
+    let (status, _) = get(admin, "/reset/histograms");
+    assert_eq!(status, 404);
+
+    drain(handle, &mut client);
+}

@@ -11,6 +11,10 @@
 //! cargo xtask tailgate scale <base.json> <sharded.json> [--min-ratio 2]
 //!                                   fail if the sharded drain bench is not
 //!                                   at least min-ratio times the base
+//! cargo xtask tailgate scenarios <bench.json>
+//!                                   fail if the game placement's social cost
+//!                                   exceeds any eviction baseline's on any
+//!                                   trace of the scenarios bench artifact
 //! cargo xtask metrics-doc           regenerate docs/METRICS.md from the
 //!                                   probe registry (obsreport --catalog)
 //! ```
@@ -48,9 +52,17 @@ fn cmd_tailgate(args: &[String]) {
     if args.first().map(String::as_str) == Some("scale") {
         return cmd_tailgate_scale(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("scenarios") {
+        let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            eprintln!("usage: cargo xtask tailgate scenarios <bench.json>");
+            std::process::exit(2);
+        };
+        std::process::exit(tailgate::run_scenarios(&PathBuf::from(path)));
+    }
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!("usage: cargo xtask tailgate <report.json> [--op OP] [--max-ratio N]");
         eprintln!("       cargo xtask tailgate scale <base.json> <sharded.json> [--min-ratio N]");
+        eprintln!("       cargo xtask tailgate scenarios <bench.json>");
         std::process::exit(2);
     };
     let flag = |name: &str| {

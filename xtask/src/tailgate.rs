@@ -1,6 +1,6 @@
 //! `cargo xtask tailgate` — performance gates over marketload reports.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * **tail gate** (default): reads the flat JSON emitted by
 //!   `marketload --out` and fails when an op's tail amplification
@@ -16,6 +16,12 @@
 //!   4-shard drain bench, so a change that silently serializes the
 //!   shards — a global lock, a chatty cross-shard protocol — fails the
 //!   build even on a single-core runner.
+//! * **scenario gate** (`tailgate scenarios <bench.json>`): reads the
+//!   checked-in `BENCH_scenarios.json` (the `sweepbench scenarios`
+//!   artifact) and fails unless, on every dynamic trace, the game
+//!   placement's social cost is ≤ each eviction baseline's (LRU, LFU,
+//!   GDSF). A vacuous comparison — missing traces, missing policies,
+//!   zero-request rows — fails loudly, matching the scale gate.
 //!
 //! The parser is deliberately minimal: each report is one flat JSON
 //! object written by `LoadReport::to_json` / `DrainReport::to_json`, so
@@ -204,6 +210,141 @@ pub fn run_scale(base: &Path, sharded: &Path, min_ratio: f64) -> i32 {
     }
 }
 
+/// One parsed row of the `sweepbench scenarios` artifact.
+#[derive(Debug, Clone)]
+pub struct ScenarioRow {
+    /// Trace label (`zipf_diurnal`, `flash_crowd`, ...).
+    pub trace: String,
+    /// Policy name (`game`, `lru`, `lfu`, `gdsf`).
+    pub policy: String,
+    /// Requests replayed in this cell.
+    pub requests: u64,
+    /// Mean per-epoch social cost (Eq. 6) of this cell.
+    pub social_cost: f64,
+}
+
+/// Reads `"<key>": "<string>"` out of a flat JSON object.
+fn extract_string(json: &str, key: &str) -> Result<String, String> {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .ok_or_else(|| format!("no \"{key}\" field in row"))?;
+    let rest = json[at + needle.len()..].trim_start();
+    let inner = rest
+        .strip_prefix('"')
+        .ok_or_else(|| format!("\"{key}\" is not a string"))?;
+    let end = inner
+        .find('"')
+        .ok_or_else(|| format!("unterminated string for \"{key}\""))?;
+    Ok(inner[..end].to_string())
+}
+
+/// Splits the artifact's `"results": [ {...}, {...} ]` array into its
+/// row objects. Rows are flat (no nested braces), so scanning brace
+/// pairs after the `"results"` key is exact, matching the shape
+/// `sweepbench scenarios` writes.
+fn scenario_rows(json: &str) -> Result<Vec<ScenarioRow>, String> {
+    let at = json
+        .find("\"results\"")
+        .ok_or("no \"results\" array in bench file")?;
+    let mut rest = &json[at..];
+    let mut rows = Vec::new();
+    while let Some(open) = rest.find('{') {
+        let body = &rest[open + 1..];
+        let close = body.find('}').ok_or("unterminated row object")?;
+        let row = &body[..close];
+        rows.push(ScenarioRow {
+            trace: extract_string(row, "trace")?,
+            policy: extract_string(row, "policy")?,
+            requests: extract_number(row, "requests")? as u64,
+            social_cost: extract_number(row, "social_cost")?,
+        });
+        rest = &body[close + 1..];
+    }
+    Ok(rows)
+}
+
+/// The eviction baselines every trace must be compared against.
+const SCENARIO_BASELINES: [&str; 3] = ["lru", "lfu", "gdsf"];
+
+/// Evaluates the scenario gate over the bench-file JSON text. Returns
+/// the list of human-readable verdict lines (one per trace × baseline)
+/// on success.
+///
+/// # Errors
+///
+/// Fails — loudly, never vacuously — when the file has fewer than 3
+/// traces, any trace lacks the `game` row or a baseline row, any row
+/// replayed zero requests, or the game's social cost exceeds any
+/// baseline's on any trace.
+pub fn check_scenarios(json: &str) -> Result<Vec<String>, String> {
+    let rows = scenario_rows(json)?;
+    let mut traces: Vec<&str> = Vec::new();
+    for r in &rows {
+        if !traces.contains(&r.trace.as_str()) {
+            traces.push(&r.trace);
+        }
+        if r.requests == 0 {
+            return Err(format!(
+                "row {}/{} replayed 0 requests — comparison is vacuous",
+                r.trace, r.policy
+            ));
+        }
+    }
+    if traces.len() < 3 {
+        return Err(format!(
+            "only {} trace(s) in the bench file, need >= 3 dynamic traces",
+            traces.len()
+        ));
+    }
+    let cell = |trace: &str, policy: &str| {
+        rows.iter()
+            .find(|r| r.trace == trace && r.policy == policy)
+            .ok_or_else(|| format!("trace {trace} has no \"{policy}\" row"))
+    };
+    let mut lines = Vec::new();
+    for trace in &traces {
+        let game = cell(trace, "game")?;
+        for baseline in SCENARIO_BASELINES {
+            let b = cell(trace, baseline)?;
+            if game.social_cost > b.social_cost {
+                return Err(format!(
+                    "trace {trace}: game social cost {:.3} exceeds {baseline}'s {:.3}",
+                    game.social_cost, b.social_cost
+                ));
+            }
+            lines.push(format!(
+                "tailgate scenarios: {trace}: game {:.3} <= {baseline} {:.3}",
+                game.social_cost, b.social_cost
+            ));
+        }
+    }
+    Ok(lines)
+}
+
+/// Runs the scenario gate against a bench file; returns the exit code.
+pub fn run_scenarios(path: &Path) -> i32 {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tailgate scenarios: cannot read {}: {e}", path.display());
+            return 1;
+        }
+    };
+    match check_scenarios(&json) {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("tailgate scenarios: FAIL — {e}");
+            1
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +388,77 @@ mod tests {
         assert!(v.pass());
         let v = check_scale(DRAIN_1, DRAIN_4, 3.0).unwrap();
         assert!(!v.pass(), "2.5x must not pass a 3x bound");
+    }
+
+    /// Builds a minimal scenarios artifact from (trace, policy, requests,
+    /// social_cost) rows.
+    fn scenarios_json(rows: &[(&str, &str, u64, f64)]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(t, p, req, cost)| {
+                format!(
+                    "    {{ \"trace\": \"{t}\", \"policy\": \"{p}\", \"requests\": {req}, \
+                     \"hits\": 1, \"hit_rate\": 0.5, \"social_cost\": {cost:.6}, \"recaches\": 1 }}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"scenario_policy_sweep\",\n  \"seed\": 42,\n  \"results\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        )
+    }
+
+    /// A full 3-trace × 4-policy grid where game dominates everywhere.
+    fn winning_grid() -> String {
+        let mut rows = Vec::new();
+        for t in ["zipf_diurnal", "flash_crowd", "popularity_drift"] {
+            rows.push((t, "game", 1000, 100.0));
+            rows.push((t, "lru", 1000, 300.0));
+            rows.push((t, "lfu", 1000, 250.0));
+            rows.push((t, "gdsf", 1000, 200.0));
+        }
+        scenarios_json(&rows)
+    }
+
+    #[test]
+    fn scenario_gate_passes_when_game_dominates() {
+        let lines = check_scenarios(&winning_grid()).unwrap();
+        // One verdict line per trace × baseline.
+        assert_eq!(lines.len(), 9);
+    }
+
+    #[test]
+    fn scenario_gate_fails_when_a_baseline_beats_the_game() {
+        let json = winning_grid().replace("100.000000", "400.000000");
+        let err = check_scenarios(&json).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn scenario_gate_fails_loudly_on_vacuous_comparisons() {
+        // Fewer than 3 traces.
+        let json = scenarios_json(&[
+            ("a", "game", 10, 1.0),
+            ("a", "lru", 10, 2.0),
+            ("a", "lfu", 10, 2.0),
+            ("a", "gdsf", 10, 2.0),
+        ]);
+        assert!(check_scenarios(&json).unwrap_err().contains(">= 3"));
+        // A missing baseline row.
+        let json = winning_grid().replace("\"policy\": \"gdsf\"", "\"policy\": \"fifo\"");
+        assert!(check_scenarios(&json)
+            .unwrap_err()
+            .contains("no \"gdsf\" row"));
+        // A zero-request row.
+        let json = winning_grid().replace("\"requests\": 1000", "\"requests\": 0");
+        assert!(check_scenarios(&json).unwrap_err().contains("0 requests"));
+        // A missing game row.
+        let json = winning_grid().replace("\"policy\": \"game\"", "\"policy\": \"lcf\"");
+        assert!(check_scenarios(&json)
+            .unwrap_err()
+            .contains("no \"game\" row"));
+        // No results array at all.
+        assert!(check_scenarios("{}").is_err());
     }
 
     #[test]
